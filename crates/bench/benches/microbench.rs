@@ -1,0 +1,173 @@
+//! Criterion micro-benchmarks: *real wall-clock* cost of the library's own
+//! mechanisms (the virtual-time figures live in the `fig*` binaries).
+//!
+//! Covers the data structures the paper calls out: the fault path (§4.3
+//! signal handler), the balanced-tree block lookup (§5.2, `O(log2 n)`), the
+//! page table, the device allocator and the DMA timeline engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmac::{Context, GmacConfig, LookupKind, Protocol};
+use hetsim::{CopyMode, DeviceId, Platform};
+use softmmu::{AddressSpace, Protection, VAddr, PAGE_SIZE};
+use std::hint::black_box;
+
+/// Page-table map/translate/unmap throughput.
+fn bench_page_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("softmmu");
+    g.bench_function("map_unmap_page", |b| {
+        let mut vm = AddressSpace::new();
+        let mut addr = 0x4_0000_0000u64;
+        b.iter(|| {
+            let id = vm.map_fixed(VAddr(addr), PAGE_SIZE, Protection::ReadWrite).unwrap();
+            vm.unmap_region(id).unwrap();
+            addr += PAGE_SIZE * 2;
+        });
+    });
+    g.bench_function("checked_read_4k", |b| {
+        let mut vm = AddressSpace::new();
+        let base = VAddr(0x4_0000_0000);
+        vm.map_fixed(base, 1 << 20, Protection::ReadWrite).unwrap();
+        let mut buf = vec![0u8; 4096];
+        b.iter(|| {
+            vm.read_bytes(base + 8192, black_box(&mut buf)).unwrap();
+        });
+    });
+    g.bench_function("protect_range_64k", |b| {
+        let mut vm = AddressSpace::new();
+        let base = VAddr(0x4_0000_0000);
+        vm.map_fixed(base, 1 << 20, Protection::ReadWrite).unwrap();
+        let mut flip = false;
+        b.iter(|| {
+            let prot = if flip { Protection::ReadOnly } else { Protection::ReadWrite };
+            flip = !flip;
+            vm.protect(base, 64 << 10, prot).unwrap();
+        });
+    });
+    g.finish();
+}
+
+/// The paper's §5.2 lookup discussion: balanced tree vs linear scan when the
+/// fault handler locates a block.
+fn bench_block_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("manager_lookup");
+    for &objects in &[16usize, 256] {
+        for (label, kind) in [("tree", LookupKind::Tree), ("linear", LookupKind::Linear)] {
+            g.bench_with_input(
+                BenchmarkId::new(label, objects),
+                &objects,
+                |b, &objects| {
+                    let mut ctx = Context::new(
+                        Platform::desktop_g280(),
+                        GmacConfig::default().lookup(kind),
+                    );
+                    let ptrs: Vec<_> =
+                        (0..objects).map(|_| ctx.alloc(256 * 1024).unwrap()).collect();
+                    let probe = ptrs[objects / 2].byte_add(1234);
+                    b.iter(|| black_box(ctx.object_at(black_box(probe)).is_some()));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Full fault path: checked store on a read-only block -> signal charge ->
+/// protocol transition -> retry.
+fn bench_fault_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fault_path");
+    g.bench_function("write_fault_resolution", |b| {
+        let mut ctx = Context::new(
+            Platform::desktop_g280(),
+            GmacConfig::default().protocol(Protocol::Rolling).rolling_size(1_000_000),
+        );
+        let p = ctx.alloc(64 << 20).unwrap();
+        let blocks = 64 << 20 >> 18; // 256 KiB blocks
+        let mut i = 0u64;
+        b.iter(|| {
+            // Touch a fresh block every iteration: every store faults once.
+            let off = (i % blocks) * (256 << 10);
+            i += 1;
+            ctx.store::<u32>(p.byte_add(off), 7).unwrap();
+        });
+    });
+    g.bench_function("store_no_fault", |b| {
+        let mut ctx = Context::new(Platform::desktop_g280(), GmacConfig::default());
+        let p = ctx.alloc(4096).unwrap();
+        ctx.store::<u32>(p, 1).unwrap(); // now dirty: no more faults
+        b.iter(|| ctx.store::<u32>(black_box(p), black_box(9)).unwrap());
+    });
+    g.finish();
+}
+
+/// Device allocator behaviour under churn.
+fn bench_devmem(c: &mut Criterion) {
+    let mut g = c.benchmark_group("devmem");
+    g.bench_function("alloc_free_churn", |b| {
+        let mut p = Platform::desktop_g280();
+        b.iter(|| {
+            let a = p.dev_alloc(DeviceId(0), 1 << 16).unwrap();
+            let bb = p.dev_alloc(DeviceId(0), 1 << 20).unwrap();
+            p.dev_free(DeviceId(0), a).unwrap();
+            p.dev_free(DeviceId(0), bb).unwrap();
+        });
+    });
+    g.finish();
+}
+
+/// DMA engine: simulation throughput of timed transfers.
+fn bench_dma(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dma_engine");
+    for &size in &[4096u64, 1 << 20] {
+        g.bench_with_input(BenchmarkId::new("copy_h2d", size), &size, |b, &size| {
+            let mut p = Platform::desktop_g280();
+            let dst = p.dev_alloc(DeviceId(0), size).unwrap();
+            let src = vec![0xA5u8; size as usize];
+            b.iter(|| {
+                p.copy_h2d(DeviceId(0), dst, black_box(&src), CopyMode::Sync).unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+/// End-to-end simulated application throughput (how fast the simulator runs
+/// a full produce/compute/consume cycle, not the virtual time it reports).
+fn bench_end_to_end(c: &mut Criterion) {
+    use gmac::Param;
+    use hetsim::LaunchDims;
+    use std::sync::Arc;
+    use workloads::vecadd::VecAddKernel;
+
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(20);
+    g.bench_function("vecadd_256k_rolling", |b| {
+        b.iter(|| {
+            let mut platform = Platform::desktop_g280();
+            platform.register_kernel(Arc::new(VecAddKernel));
+            let mut ctx = Context::new(platform, GmacConfig::default());
+            let n = 256 * 1024usize;
+            let a = ctx.alloc((n * 4) as u64).unwrap();
+            let bb = ctx.alloc((n * 4) as u64).unwrap();
+            let cc = ctx.alloc((n * 4) as u64).unwrap();
+            ctx.store_slice(a, &vec![1.0f32; n]).unwrap();
+            ctx.store_slice(bb, &vec![2.0f32; n]).unwrap();
+            let params =
+                [Param::Shared(a), Param::Shared(bb), Param::Shared(cc), Param::U64(n as u64)];
+            ctx.call("vecadd", LaunchDims::for_elements(n as u64, 256), &params).unwrap();
+            ctx.sync().unwrap();
+            black_box(ctx.load_slice::<f32>(cc, n).unwrap());
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_page_table,
+    bench_block_lookup,
+    bench_fault_path,
+    bench_devmem,
+    bench_dma,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 8 — data transferred by lazy- and rolling-update, normalised to
+//! batch-update, split host-to-accelerator vs accelerator-to-host.
+//!
+//! Paper shape: both protocols move a small fraction of batch-update's
+//! traffic (the bars sit well below 0.5 for most benchmarks), with
+//! rolling-update's fine-grained blocks trimming a little more than lazy on
+//! benchmarks with scattered CPU reads (e.g. mri-q).
+
+use gmac::Protocol;
+use gmac_bench::{emit, fmt_bytes, TextTable};
+use workloads::{parboil_suite, run_variant, Variant};
+
+fn main() {
+    let mut body = String::new();
+    body.push_str("Figure 8 — transferred data normalised to batch-update\n\n");
+    let mut t = TextTable::new([
+        "benchmark",
+        "batch total",
+        "lazy H2D",
+        "lazy D2H",
+        "rolling H2D",
+        "rolling D2H",
+    ]);
+    for w in parboil_suite() {
+        eprintln!("[fig08] running {} ...", w.name());
+        let batch = run_variant(w.as_ref(), Variant::Gmac(Protocol::Batch)).expect("batch");
+        let lazy = run_variant(w.as_ref(), Variant::Gmac(Protocol::Lazy)).expect("lazy");
+        let rolling = run_variant(w.as_ref(), Variant::Gmac(Protocol::Rolling)).expect("rolling");
+        let (bh, bd) = (batch.transfers.h2d_bytes.max(1), batch.transfers.d2h_bytes.max(1));
+        t.row([
+            w.name().to_string(),
+            fmt_bytes(batch.transfers.total_bytes()),
+            format!("{:.3}", lazy.transfers.h2d_bytes as f64 / bh as f64),
+            format!("{:.3}", lazy.transfers.d2h_bytes as f64 / bd as f64),
+            format!("{:.3}", rolling.transfers.h2d_bytes as f64 / bh as f64),
+            format!("{:.3}", rolling.transfers.d2h_bytes as f64 / bd as f64),
+        ]);
+    }
+    body.push_str(&t.render());
+    body.push_str(
+        "\nValues are fractions of batch-update's traffic in the same direction \
+         (paper Figure 8 plots exactly these bars; lower is better).\n",
+    );
+    emit("fig08", &body);
+}

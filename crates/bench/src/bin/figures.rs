@@ -1,0 +1,27 @@
+//! Runs every figure generator in sequence (results land in `results/`).
+//!
+//! Equivalent to executing `fig02 fig07 fig08 fig09 fig10 fig11 fig12
+//! porting` one after another, in the order the paper presents them.
+
+use std::process::Command;
+
+fn main() {
+    let bins = ["fig02", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "porting"];
+    for bin in bins {
+        eprintln!("=== {bin} ===");
+        let status = Command::new(std::env::current_exe().expect("self path").with_file_name(bin))
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("failed to spawn {bin}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    eprintln!("all figures written to results/");
+}

@@ -1,0 +1,482 @@
+//! The GMAC application-programming interface (paper Table 1 plus the
+//! `adsmSafeAlloc`/`adsmSafe` extension of §4.2).
+//!
+//! | paper call | method |
+//! |---|---|
+//! | `adsmAlloc(size)` | [`Context::alloc`] |
+//! | `adsmFree(addr)` | [`Context::free`] |
+//! | `adsmCall(kernel)` | [`Context::call`] |
+//! | `adsmSync()` | [`Context::sync`] |
+//! | `adsmSafeAlloc(size)` | [`Context::safe_alloc`] |
+//! | `adsmSafe(address)` | [`Context::translate`] |
+
+use crate::config::{AalLayer, GmacConfig};
+use crate::error::{GmacError, GmacResult};
+use crate::manager::Manager;
+use crate::object::SharedObject;
+use crate::protocol::{make, CoherenceProtocol};
+use crate::ptr::{Param, SharedPtr};
+use crate::runtime::{Counters, Runtime};
+use crate::sched::{SchedPolicy, Scheduler};
+use crate::state::BlockState;
+use hetsim::{
+    Category, DevAddr, DeviceId, KernelArg, LaunchDims, Platform, StreamId, TimeLedger,
+    TransferLedger,
+};
+use softmmu::{AccessKind, MmuError, Scalar, VAddr};
+
+/// An outstanding accelerator call awaiting [`Context::sync`].
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    dev: DeviceId,
+    stream: StreamId,
+}
+
+/// A GMAC context: one shared logical address space between the host CPU and
+/// all accelerators of a platform.
+///
+/// The context owns the simulated platform, the software MMU and the
+/// coherence protocol; applications interact exclusively through shared
+/// pointers and the Table 1 calls.
+#[derive(Debug)]
+pub struct Context {
+    pub(crate) rt: Runtime,
+    pub(crate) mgr: Manager,
+    pub(crate) protocol: Box<dyn CoherenceProtocol>,
+    scheduler: Scheduler,
+    pending: Option<Pending>,
+    cuda_initialized: bool,
+}
+
+impl Context {
+    /// Creates a context over `platform` with the given configuration.
+    pub fn new(platform: Platform, config: GmacConfig) -> Self {
+        let device_count = platform.device_count();
+        let protocol = make(config.protocol);
+        let mgr = Manager::new(config.lookup);
+        Context {
+            rt: Runtime::new(platform, config),
+            mgr,
+            protocol,
+            scheduler: Scheduler::new(SchedPolicy::Fixed(DeviceId(0)), device_count),
+            pending: None,
+            cuda_initialized: false,
+        }
+    }
+
+    fn ensure_cuda_init(&mut self) {
+        if !self.cuda_initialized {
+            self.cuda_initialized = true;
+            if self.rt.config.aal == AalLayer::Runtime {
+                // The CUDA run-time layer pays a one-time context
+                // initialisation; the driver layer lets us "discard CUDA
+                // initialization time" (paper §5).
+                let cost = self.rt.config.costs.cuda_init;
+                self.rt.charge(Category::CudaMalloc, cost);
+            }
+        }
+    }
+
+    // ----- allocation (Table 1) --------------------------------------------
+
+    /// `adsmAlloc(size)`: allocates a shared object and returns the single
+    /// pointer valid on both the CPU and the accelerator.
+    ///
+    /// # Errors
+    /// [`GmacError::AddressCollision`] when the host virtual range matching
+    /// the accelerator range is taken (use [`Self::safe_alloc`]); propagates
+    /// device out-of-memory.
+    pub fn alloc(&mut self, size: u64) -> GmacResult<SharedPtr> {
+        let dev = self.scheduler.device_for_alloc();
+        self.alloc_on(dev, size)
+    }
+
+    /// [`Self::alloc`] pinned to a specific accelerator.
+    ///
+    /// # Errors
+    /// Same as [`Self::alloc`].
+    pub fn alloc_on(&mut self, dev: DeviceId, size: u64) -> GmacResult<SharedPtr> {
+        self.ensure_cuda_init();
+        let alloc_base = self.rt.config.costs.alloc_base;
+        self.rt.charge(Category::Malloc, alloc_base);
+        let size = VAddr(size.max(1)).page_up().0;
+        // 1. Accelerator memory first (its allocator dictates the address).
+        let dev_addr = self.rt.platform.dev_alloc(dev, size)?;
+        // 2. Mirror the same numeric range in system memory — the paper's
+        //    fixed-address mmap trick (§4.2).
+        let addr = VAddr(dev_addr.0);
+        let initial = self.protocol.initial_state();
+        let region = match self.rt.vm.map_fixed(addr, size, initial.protection()) {
+            Ok(region) => region,
+            Err(MmuError::Overlap { .. }) => {
+                self.rt.platform.dev_free(dev, dev_addr)?;
+                return Err(GmacError::AddressCollision(addr));
+            }
+            Err(e) => return Err(e.into()),
+        };
+        self.finish_alloc(dev, dev_addr, addr, size, region, initial)
+    }
+
+    /// `adsmSafeAlloc(size)`: allocates a shared object whose CPU pointer is
+    /// *not* numerically equal to the accelerator address — the fallback for
+    /// platforms where device ranges collide (multi-GPU, §4.2). Kernels need
+    /// [`Self::translate`] (the runtime performs it automatically for
+    /// [`Param::Shared`] parameters).
+    ///
+    /// # Errors
+    /// Propagates device out-of-memory and MMU failures.
+    pub fn safe_alloc(&mut self, size: u64) -> GmacResult<SharedPtr> {
+        let dev = self.scheduler.device_for_alloc();
+        self.safe_alloc_on(dev, size)
+    }
+
+    /// [`Self::safe_alloc`] pinned to a specific accelerator.
+    ///
+    /// # Errors
+    /// Same as [`Self::safe_alloc`].
+    pub fn safe_alloc_on(&mut self, dev: DeviceId, size: u64) -> GmacResult<SharedPtr> {
+        self.ensure_cuda_init();
+        let alloc_base = self.rt.config.costs.alloc_base;
+        self.rt.charge(Category::Malloc, alloc_base);
+        let size = VAddr(size.max(1)).page_up().0;
+        let dev_addr = self.rt.platform.dev_alloc(dev, size)?;
+        let initial = self.protocol.initial_state();
+        let (region, addr) = self.rt.vm.map_anywhere(size, initial.protection())?;
+        self.finish_alloc(dev, dev_addr, addr, size, region, initial)
+    }
+
+    fn finish_alloc(
+        &mut self,
+        dev: DeviceId,
+        dev_addr: DevAddr,
+        addr: VAddr,
+        size: u64,
+        region: softmmu::RegionId,
+        initial: BlockState,
+    ) -> GmacResult<SharedPtr> {
+        let block_size = self.protocol.block_size_for(&self.rt.config, size);
+        let id = self.mgr.next_id();
+        let obj = SharedObject::new(id, addr, size, dev, dev_addr, region, block_size, initial);
+        self.mgr.insert(obj);
+        self.protocol.on_alloc(&mut self.rt, &mut self.mgr, addr)?;
+        Ok(SharedPtr::new(addr))
+    }
+
+    /// `adsmFree(addr)`: releases a shared object.
+    ///
+    /// # Errors
+    /// [`GmacError::NotShared`] if `ptr` is not a live shared object.
+    pub fn free(&mut self, ptr: SharedPtr) -> GmacResult<()> {
+        let free_base = self.rt.config.costs.free_base;
+        self.rt.charge(Category::Free, free_base);
+        let obj = self.mgr.remove(ptr.addr()).ok_or(GmacError::NotShared(ptr.addr()))?;
+        self.protocol.on_free(&mut self.rt, &obj)?;
+        self.rt.vm.unmap_region(obj.region())?;
+        self.rt.platform.dev_free(obj.device(), obj.dev_addr())?;
+        Ok(())
+    }
+
+    // ----- kernel execution (Table 1) ----------------------------------------
+
+    /// `adsmCall(kernel)`: releases shared objects to the accelerator and
+    /// launches `kernel` asynchronously. Shared-pointer parameters are
+    /// translated to device addresses automatically.
+    ///
+    /// # Errors
+    /// Fails for unknown kernels, foreign pointers, or parameters whose
+    /// objects live on different accelerators.
+    pub fn call(&mut self, kernel: &str, dims: LaunchDims, params: &[Param]) -> GmacResult<()> {
+        self.call_annotated(kernel, dims, params, None)
+    }
+
+    /// [`Self::call`] with the §4.3 write-set annotation: `writes` names the
+    /// shared objects the kernel may write. Objects *not* listed keep a
+    /// CPU-valid state across the call, so reading them after [`Self::sync`]
+    /// costs no transfer (the paper's suggested interprocedural-analysis /
+    /// programmer-annotation optimisation).
+    ///
+    /// # Errors
+    /// Same as [`Self::call`].
+    pub fn call_annotated(
+        &mut self,
+        kernel: &str,
+        dims: LaunchDims,
+        params: &[Param],
+        writes: Option<&[SharedPtr]>,
+    ) -> GmacResult<()> {
+        self.ensure_cuda_init();
+        // Resolve the target accelerator from the parameter objects.
+        let mut dev: Option<DeviceId> = None;
+        let mut args = Vec::with_capacity(params.len());
+        for param in params {
+            match param {
+                Param::Shared(ptr) => {
+                    let obj =
+                        self.mgr.find(ptr.addr()).ok_or(GmacError::NotShared(ptr.addr()))?;
+                    match dev {
+                        None => dev = Some(obj.device()),
+                        Some(d) if d == obj.device() => {}
+                        Some(_) => return Err(GmacError::MixedDevices),
+                    }
+                    args.push(KernelArg::Ptr(obj.translate(ptr.addr())));
+                }
+                scalar => args.push(scalar.to_scalar_arg().expect("scalar param")),
+            }
+        }
+        let dev = dev.unwrap_or_else(|| self.scheduler.default_device());
+
+        // Release-consistency: the CPU releases shared objects at the call
+        // boundary (§3.3).
+        let call_cost = self.rt.config.costs.call_per_object * self.mgr.len() as u64;
+        self.rt.charge(Category::Launch, call_cost);
+        let writes: Option<Vec<VAddr>> = writes.map(|ptrs| {
+            ptrs.iter()
+                .filter_map(|p| self.mgr.find(p.addr()).map(|o| o.addr()))
+                .collect()
+        });
+        self.protocol.release(&mut self.rt, &mut self.mgr, dev, writes.as_deref())?;
+
+        self.rt.platform.launch(dev, StreamId(0), kernel, dims, &args)?;
+        self.pending = Some(Pending { dev, stream: StreamId(0) });
+        Ok(())
+    }
+
+    /// `adsmSync()`: blocks until the outstanding accelerator call finishes
+    /// and acquires the shared objects back for the CPU.
+    ///
+    /// # Errors
+    /// [`GmacError::NothingToSync`] when no call is outstanding.
+    pub fn sync(&mut self) -> GmacResult<()> {
+        let pending = self.pending.take().ok_or(GmacError::NothingToSync)?;
+        let sync_base = self.rt.config.costs.sync_base;
+        self.rt.charge(Category::Sync, sync_base);
+        self.rt.platform.sync_stream(pending.dev, pending.stream)?;
+        self.protocol.acquire(&mut self.rt, &mut self.mgr, pending.dev)?;
+        Ok(())
+    }
+
+    /// `adsmSafe(address)`: translates a shared pointer to the accelerator
+    /// address space (identity for unified allocations).
+    ///
+    /// # Errors
+    /// [`GmacError::NotShared`] for foreign pointers.
+    pub fn translate(&self, ptr: SharedPtr) -> GmacResult<DevAddr> {
+        let obj = self.mgr.find(ptr.addr()).ok_or(GmacError::NotShared(ptr.addr()))?;
+        Ok(obj.translate(ptr.addr()))
+    }
+
+    // ----- transparent CPU access ---------------------------------------------
+
+    /// Typed load through the shared address space. Faults are resolved by
+    /// the coherence protocol exactly like the paper's `SIGSEGV` handler.
+    ///
+    /// # Errors
+    /// [`GmacError::NotShared`] for foreign pointers; propagates transfer
+    /// failures.
+    pub fn load<T: Scalar>(&mut self, ptr: SharedPtr) -> GmacResult<T> {
+        self.access_checked(ptr, T::SIZE as u64, AccessKind::Read)?;
+        self.rt.platform.cpu_touch(T::SIZE as u64);
+        Ok(self.rt.vm.load::<T>(ptr.addr())?)
+    }
+
+    /// Typed store through the shared address space.
+    ///
+    /// # Errors
+    /// Same as [`Self::load`].
+    pub fn store<T: Scalar>(&mut self, ptr: SharedPtr, value: T) -> GmacResult<()> {
+        self.access_checked(ptr, T::SIZE as u64, AccessKind::Write)?;
+        self.rt.platform.cpu_touch(T::SIZE as u64);
+        Ok(self.rt.vm.store(ptr.addr(), value)?)
+    }
+
+    /// Loads `n` consecutive scalars. Equivalent to an element loop on the
+    /// CPU: the first touch of each invalid block faults once and fetches
+    /// that block.
+    ///
+    /// # Errors
+    /// Same as [`Self::load`].
+    pub fn load_slice<T: Scalar>(&mut self, ptr: SharedPtr, n: usize) -> GmacResult<Vec<T>> {
+        let bytes = self.shared_read(ptr, n as u64 * T::SIZE as u64)?;
+        Ok(softmmu::from_bytes(&bytes))
+    }
+
+    /// Stores consecutive scalars. Equivalent to an element loop on the CPU:
+    /// the first touch of each non-dirty block faults once.
+    ///
+    /// # Errors
+    /// Same as [`Self::load`].
+    pub fn store_slice<T: Scalar>(&mut self, ptr: SharedPtr, values: &[T]) -> GmacResult<()> {
+        self.shared_write(ptr, &softmmu::to_bytes(values))
+    }
+
+    /// Single checked access with the fault-retry loop (the paper's signal
+    /// handler protocol, §4.3).
+    fn access_checked(&mut self, ptr: SharedPtr, len: u64, kind: AccessKind) -> GmacResult<()> {
+        // One fault can occur per block the access spans; anything beyond
+        // that means the protocol failed to make progress.
+        let mut budget = 4 + len / softmmu::PAGE_SIZE;
+        loop {
+            match self.rt.vm.check(ptr.addr(), len, kind) {
+                Ok(()) => return Ok(()),
+                Err(MmuError::Fault(fault)) => {
+                    if budget == 0 {
+                        return Err(GmacError::UnresolvedFault(fault.to_string()));
+                    }
+                    budget -= 1;
+                    self.handle_fault(fault.addr, kind)?;
+                }
+                Err(MmuError::Unmapped(a)) => return Err(GmacError::NotShared(a)),
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// The "signal handler": charge delivery + lookup, then let the protocol
+    /// resolve the faulting block.
+    fn handle_fault(&mut self, fault_addr: VAddr, kind: AccessKind) -> GmacResult<()> {
+        let obj = self.mgr.find(fault_addr).ok_or(GmacError::NotShared(fault_addr))?;
+        let start = obj.addr();
+        let offset = fault_addr - start;
+        let steps = self.mgr.lookup_steps();
+        self.rt.charge_signal(steps, kind == AccessKind::Write);
+        match kind {
+            AccessKind::Read => {
+                self.protocol.prepare_read(&mut self.rt, &mut self.mgr, start, offset, 1)
+            }
+            AccessKind::Write => {
+                self.protocol.prepare_write(&mut self.rt, &mut self.mgr, start, offset, 1)
+            }
+        }
+    }
+
+    /// Block-chunked shared read used by slice loads, bulk ops and I/O: per
+    /// touched block, pay one fault if the block is not readable, then copy.
+    pub(crate) fn shared_read(&mut self, ptr: SharedPtr, len: u64) -> GmacResult<Vec<u8>> {
+        let obj = self.mgr.find(ptr.addr()).ok_or(GmacError::NotShared(ptr.addr()))?;
+        let start = obj.addr();
+        let base_offset = ptr.addr() - start;
+        Runtime::check_bounds(obj, base_offset, len)?;
+        let blocks = obj.blocks_overlapping(base_offset, len);
+        let mut out = vec![0u8; len as usize];
+        for idx in blocks {
+            let obj = self.mgr.find(start).expect("object lives across loop");
+            let block = *obj.block(idx);
+            let lo = block.offset.max(base_offset);
+            let hi = (block.offset + block.len).min(base_offset + len);
+            if block.state == BlockState::Invalid {
+                // An element loop would fault on first touch of this block.
+                let steps = self.mgr.lookup_steps();
+                self.rt.charge_signal(steps, false);
+                self.protocol.prepare_read(&mut self.rt, &mut self.mgr, start, lo, hi - lo)?;
+            }
+            let dst = &mut out[(lo - base_offset) as usize..(hi - base_offset) as usize];
+            self.rt.vm.read_raw(start + lo, dst)?;
+            // The application's own CPU time to traverse the chunk.
+            self.rt.platform.cpu_touch(hi - lo);
+        }
+        Ok(out)
+    }
+
+    /// Block-chunked shared write used by slice stores, bulk ops and I/O:
+    /// per touched block, pay one fault if the block is not writable,
+    /// prepare it, then immediately land the bytes (required ordering — see
+    /// [`CoherenceProtocol::prepare_write`]).
+    pub(crate) fn shared_write(&mut self, ptr: SharedPtr, bytes: &[u8]) -> GmacResult<()> {
+        let len = bytes.len() as u64;
+        let obj = self.mgr.find(ptr.addr()).ok_or(GmacError::NotShared(ptr.addr()))?;
+        let start = obj.addr();
+        let base_offset = ptr.addr() - start;
+        Runtime::check_bounds(obj, base_offset, len)?;
+        let blocks = obj.blocks_overlapping(base_offset, len);
+        for idx in blocks {
+            let obj = self.mgr.find(start).expect("object lives across loop");
+            let block = *obj.block(idx);
+            let lo = block.offset.max(base_offset);
+            let hi = (block.offset + block.len).min(base_offset + len);
+            if block.state != BlockState::Dirty {
+                let steps = self.mgr.lookup_steps();
+                self.rt.charge_signal(steps, true);
+                self.protocol.prepare_write(&mut self.rt, &mut self.mgr, start, lo, hi - lo)?;
+            }
+            let src = &bytes[(lo - base_offset) as usize..(hi - base_offset) as usize];
+            self.rt.vm.write_raw(start + lo, src)?;
+            // The application's own CPU time to produce/copy the chunk.
+            self.rt.platform.cpu_touch(hi - lo);
+        }
+        Ok(())
+    }
+
+    // ----- introspection --------------------------------------------------------
+
+    /// The simulated platform (clock, devices, filesystem).
+    pub fn platform(&self) -> &Platform {
+        self.rt.platform()
+    }
+
+    /// The simulated platform, mutable (kernel registration, file setup).
+    pub fn platform_mut(&mut self) -> &mut Platform {
+        self.rt.platform_mut()
+    }
+
+    /// Consumes the context, returning the platform (final measurements).
+    pub fn into_platform(self) -> Platform {
+        self.rt.platform
+    }
+
+    /// Execution-time ledger (Figure 10 categories).
+    pub fn ledger(&self) -> &TimeLedger {
+        self.rt.platform().ledger()
+    }
+
+    /// Transfer ledger (Figure 8 input).
+    pub fn transfers(&self) -> &TransferLedger {
+        self.rt.platform().transfers()
+    }
+
+    /// Runtime event counters (faults, fetches, evictions).
+    pub fn counters(&self) -> Counters {
+        self.rt.counters()
+    }
+
+    /// Active configuration.
+    pub fn config(&self) -> &GmacConfig {
+        self.rt.config()
+    }
+
+    /// Number of live shared objects.
+    pub fn object_count(&self) -> usize {
+        self.mgr.len()
+    }
+
+    /// The shared object containing `ptr` (diagnostics/tests).
+    pub fn object_at(&self, ptr: SharedPtr) -> Option<&SharedObject> {
+        self.mgr.find(ptr.addr())
+    }
+
+    /// Start addresses of all live shared objects, in address order.
+    pub fn object_addrs(&self) -> Vec<VAddr> {
+        self.mgr.addrs()
+    }
+
+    /// Number of blocks currently dirty, per the protocol's bookkeeping.
+    pub fn dirty_block_count(&self) -> usize {
+        self.protocol.dirty_blocks(&self.mgr)
+    }
+
+    /// Changes the allocation-placement policy.
+    pub fn set_sched_policy(&mut self, policy: SchedPolicy) {
+        self.scheduler.set_policy(policy);
+    }
+
+    /// Whether an accelerator call is outstanding.
+    pub fn has_pending_call(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Direct access to runtime internals (protocol ablation harnesses and
+    /// tests). Not part of the stable API.
+    #[doc(hidden)]
+    pub fn parts(&mut self) -> (&mut Runtime, &mut Manager, &mut dyn CoherenceProtocol) {
+        (&mut self.rt, &mut self.mgr, self.protocol.as_mut())
+    }
+}

@@ -1,0 +1,243 @@
+//! Runtime configuration: protocol choice, block geometry, rolling size and
+//! cost model, selectable at context creation — the paper selects these "at
+//! application load time" (§4.3).
+
+use hetsim::Nanos;
+use softmmu::PAGE_SIZE;
+
+/// Which memory-coherence protocol the runtime uses (paper §4.3, Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Protocol {
+    /// Pure write-invalidate: everything moves at call/return.
+    Batch,
+    /// Page-protection detection, whole-object transfers.
+    Lazy,
+    /// Lazy + fixed-size blocks + bounded dirty set with eager eviction.
+    #[default]
+    Rolling,
+}
+
+impl Protocol {
+    /// All protocols, in the paper's presentation order.
+    pub const ALL: [Protocol; 3] = [Protocol::Batch, Protocol::Lazy, Protocol::Rolling];
+
+    /// Display label used in figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Protocol::Batch => "GMAC Batch",
+            Protocol::Lazy => "GMAC Lazy",
+            Protocol::Rolling => "GMAC Rolling",
+        }
+    }
+}
+
+impl std::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How the shared-memory manager locates the block containing a faulting
+/// address (paper §5.2: GMAC keeps blocks in a balanced binary tree,
+/// `O(log2 n)`; the linear alternative exists for the ablation bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LookupKind {
+    /// Ordered-tree lookup, `O(log n)` — the paper's choice.
+    #[default]
+    Tree,
+    /// Linear scan, `O(n)` — ablation baseline.
+    Linear,
+}
+
+/// Which Accelerator Abstraction Layer flavour to model (paper §4.1/§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AalLayer {
+    /// CUDA Run-Time layer: pays a one-time CUDA context initialisation at
+    /// first use (the paper uses this flavour when comparing against CUDA).
+    Runtime,
+    /// CUDA Driver layer: full control, no hidden initialisation (the paper
+    /// uses this flavour for the execution-time break-down).
+    #[default]
+    Driver,
+}
+
+/// Host-side bookkeeping costs of the GMAC library itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GmacCosts {
+    /// `adsmAlloc` bookkeeping (object registration, host mapping).
+    pub alloc_base: Nanos,
+    /// `adsmFree` bookkeeping.
+    pub free_base: Nanos,
+    /// Per shared object scanned at `adsmCall`.
+    pub call_per_object: Nanos,
+    /// Fixed `adsmSync` bookkeeping.
+    pub sync_base: Nanos,
+    /// Per-node cost of walking the block tree in the fault handler.
+    pub lookup_tree_node: Nanos,
+    /// Per-entry cost of a linear block scan in the fault handler.
+    pub lookup_linear_entry: Nanos,
+    /// One-time CUDA runtime initialisation (only with [`AalLayer::Runtime`]).
+    pub cuda_init: Nanos,
+}
+
+impl Default for GmacCosts {
+    fn default() -> Self {
+        GmacCosts {
+            alloc_base: Nanos::from_micros(8),
+            free_base: Nanos::from_micros(5),
+            call_per_object: Nanos::from_nanos(300),
+            sync_base: Nanos::from_micros(2),
+            lookup_tree_node: Nanos::from_nanos(60),
+            lookup_linear_entry: Nanos::from_nanos(15),
+            cuda_init: Nanos::from_millis(60),
+        }
+    }
+}
+
+/// GMAC runtime configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GmacConfig {
+    /// Coherence protocol.
+    pub protocol: Protocol,
+    /// Rolling-update block size in bytes (multiple of the page size).
+    pub block_size: u64,
+    /// Adaptive rolling-size growth per allocation (paper default: 2 blocks).
+    pub rolling_factor: usize,
+    /// Fixed rolling size override (Figure 12 uses 1/2/4); `None` = adaptive.
+    pub rolling_size: Option<usize>,
+    /// Evict dirty blocks eagerly with asynchronous DMA (paper behaviour);
+    /// `false` degrades to synchronous flush at call time (ablation).
+    pub eager_eviction: bool,
+    /// Block-lookup structure used by the fault handler.
+    pub lookup: LookupKind,
+    /// Accelerator Abstraction Layer flavour.
+    pub aal: AalLayer,
+    /// Library bookkeeping costs.
+    pub costs: GmacCosts,
+}
+
+impl Default for GmacConfig {
+    fn default() -> Self {
+        GmacConfig {
+            protocol: Protocol::Rolling,
+            block_size: 256 * 1024,
+            rolling_factor: 2,
+            rolling_size: None,
+            eager_eviction: true,
+            lookup: LookupKind::Tree,
+            aal: AalLayer::Driver,
+            costs: GmacCosts::default(),
+        }
+    }
+}
+
+impl GmacConfig {
+    /// Validated constructor (same as `Default`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the coherence protocol.
+    pub fn protocol(mut self, protocol: Protocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Sets the rolling block size.
+    ///
+    /// # Panics
+    /// Panics if `block_size` is zero or not a multiple of the page size
+    /// (protection is per page; see `softmmu`).
+    pub fn block_size(mut self, block_size: u64) -> Self {
+        assert!(
+            block_size > 0 && block_size % PAGE_SIZE == 0,
+            "block size must be a positive multiple of the {PAGE_SIZE}-byte page"
+        );
+        self.block_size = block_size;
+        self
+    }
+
+    /// Fixes the rolling size (maximum dirty blocks) instead of the adaptive
+    /// default.
+    pub fn rolling_size(mut self, blocks: usize) -> Self {
+        self.rolling_size = Some(blocks.max(1));
+        self
+    }
+
+    /// Sets the adaptive rolling-size growth factor.
+    pub fn rolling_factor(mut self, factor: usize) -> Self {
+        self.rolling_factor = factor.max(1);
+        self
+    }
+
+    /// Enables or disables eager asynchronous eviction.
+    pub fn eager_eviction(mut self, on: bool) -> Self {
+        self.eager_eviction = on;
+        self
+    }
+
+    /// Selects the block-lookup structure.
+    pub fn lookup(mut self, lookup: LookupKind) -> Self {
+        self.lookup = lookup;
+        self
+    }
+
+    /// Selects the AAL flavour.
+    pub fn aal(mut self, aal: AalLayer) -> Self {
+        self.aal = aal;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_defaults() {
+        let c = GmacConfig::default();
+        assert_eq!(c.protocol, Protocol::Rolling);
+        assert_eq!(c.rolling_factor, 2, "paper: default growth of 2 blocks per allocation");
+        assert_eq!(c.rolling_size, None, "adaptive by default");
+        assert!(c.eager_eviction);
+        assert_eq!(c.lookup, LookupKind::Tree);
+        assert_eq!(c.block_size % PAGE_SIZE, 0);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = GmacConfig::new()
+            .protocol(Protocol::Lazy)
+            .block_size(64 * 1024)
+            .rolling_size(4)
+            .rolling_factor(3)
+            .eager_eviction(false)
+            .lookup(LookupKind::Linear)
+            .aal(AalLayer::Runtime);
+        assert_eq!(c.protocol, Protocol::Lazy);
+        assert_eq!(c.block_size, 64 * 1024);
+        assert_eq!(c.rolling_size, Some(4));
+        assert_eq!(c.rolling_factor, 3);
+        assert!(!c.eager_eviction);
+        assert_eq!(c.lookup, LookupKind::Linear);
+        assert_eq!(c.aal, AalLayer::Runtime);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be")]
+    fn rejects_unaligned_block_size() {
+        GmacConfig::new().block_size(1000);
+    }
+
+    #[test]
+    fn rolling_size_clamped_to_one() {
+        assert_eq!(GmacConfig::new().rolling_size(0).rolling_size, Some(1));
+    }
+
+    #[test]
+    fn protocol_labels() {
+        assert_eq!(Protocol::Batch.label(), "GMAC Batch");
+        assert_eq!(Protocol::Rolling.to_string(), "GMAC Rolling");
+        assert_eq!(Protocol::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,125 @@
+//! Error type for the GMAC runtime.
+
+use cudart::CudaError;
+use hetsim::SimError;
+use softmmu::{MmuError, VAddr};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the ADSM runtime.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GmacError {
+    /// A pointer does not fall inside any live shared object.
+    NotShared(VAddr),
+    /// The unified-address `mmap` trick failed because the host range is
+    /// taken (the multi-accelerator case of paper §4.2); use
+    /// [`crate::Context::safe_alloc`] instead.
+    AddressCollision(VAddr),
+    /// Kernel parameters reference objects on different accelerators.
+    MixedDevices,
+    /// `sync()` called with no outstanding accelerator call.
+    NothingToSync,
+    /// An access spans beyond the end of a shared object.
+    OutOfObjectBounds {
+        /// Object start.
+        base: VAddr,
+        /// Offending offset.
+        offset: u64,
+        /// Access length.
+        len: u64,
+    },
+    /// A protection fault could not be resolved by the coherence protocol
+    /// (a runtime bug; faults must not occur in batch-update, for example).
+    UnresolvedFault(String),
+    /// Underlying accelerator-API failure.
+    Cuda(CudaError),
+    /// Underlying platform failure.
+    Sim(SimError),
+    /// Underlying MMU failure that is not a recoverable protection fault.
+    Mmu(MmuError),
+}
+
+impl fmt::Display for GmacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GmacError::NotShared(a) => write!(f, "pointer {a} is not in a shared object"),
+            GmacError::AddressCollision(a) => {
+                write!(f, "host range at {a} already in use; use safe_alloc")
+            }
+            GmacError::MixedDevices => {
+                f.write_str("kernel parameters span multiple accelerators")
+            }
+            GmacError::NothingToSync => f.write_str("no accelerator call outstanding"),
+            GmacError::OutOfObjectBounds { base, offset, len } => {
+                write!(f, "access at {base}+{offset} length {len} exceeds the shared object")
+            }
+            GmacError::UnresolvedFault(msg) => write!(f, "unresolved protection fault: {msg}"),
+            GmacError::Cuda(e) => write!(f, "accelerator error: {e}"),
+            GmacError::Sim(e) => write!(f, "platform error: {e}"),
+            GmacError::Mmu(e) => write!(f, "mmu error: {e}"),
+        }
+    }
+}
+
+impl Error for GmacError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GmacError::Cuda(e) => Some(e),
+            GmacError::Sim(e) => Some(e),
+            GmacError::Mmu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CudaError> for GmacError {
+    fn from(e: CudaError) -> Self {
+        GmacError::Cuda(e)
+    }
+}
+
+impl From<SimError> for GmacError {
+    fn from(e: SimError) -> Self {
+        GmacError::Sim(e)
+    }
+}
+
+impl From<MmuError> for GmacError {
+    fn from(e: MmuError) -> Self {
+        GmacError::Mmu(e)
+    }
+}
+
+/// Result alias for GMAC operations.
+pub type GmacResult<T> = Result<T, GmacError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert_eq!(
+            GmacError::NotShared(VAddr(0x10)).to_string(),
+            "pointer 0x10 is not in a shared object"
+        );
+        assert!(GmacError::AddressCollision(VAddr(0x2000)).to_string().contains("safe_alloc"));
+        let e = GmacError::OutOfObjectBounds { base: VAddr(0x1000), offset: 4096, len: 8 };
+        assert!(e.to_string().contains("0x1000+4096"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e = GmacError::from(SimError::NoSuchDevice(2));
+        assert!(e.source().is_some());
+        let e = GmacError::NothingToSync;
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GmacError>();
+    }
+}

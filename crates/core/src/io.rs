@@ -1,0 +1,173 @@
+//! I/O interposition (paper §4.4).
+//!
+//! When `read()` targets a shared object, the first write triggers a fault;
+//! with rolling-update a *second* fault would arrive mid-syscall, and "the
+//! operating system prevents an ongoing I/O operation from being restarted
+//! once data has been read or written". GMAC therefore interposes on the I/O
+//! calls and performs them **in block-sized memory chunks**, resolving each
+//! block's state up front so no syscall ever needs restarting. The same
+//! mechanism gives the *illusion of peer DMA*: applications pass shared
+//! pointers straight to `read`/`write`, while the implementation stages
+//! through system memory (as the paper's implementation also does).
+
+use crate::api::Context;
+use crate::error::{GmacError, GmacResult};
+use crate::ptr::SharedPtr;
+
+impl Context {
+    /// Interposed `read()`: reads up to `len` bytes from the simulated file
+    /// `name` at `file_offset` directly into shared memory at `ptr`.
+    /// Returns the number of bytes read (short at end-of-file).
+    ///
+    /// Disk time is charged to `IORead`; block-state resolution follows the
+    /// coherence protocol exactly as CPU stores would.
+    ///
+    /// # Errors
+    /// Fails for unknown files or foreign pointers.
+    pub fn read_file_to_shared(
+        &mut self,
+        name: &str,
+        file_offset: u64,
+        ptr: SharedPtr,
+        len: u64,
+    ) -> GmacResult<u64> {
+        let chunk = self.io_chunk_size(ptr)?;
+        let mut total = 0u64;
+        let mut buf = vec![0u8; chunk as usize];
+        while total < len {
+            let n = (len - total).min(chunk) as usize;
+            let read = self.rt.platform_mut().file_read(name, file_offset + total, &mut buf[..n])?;
+            if read == 0 {
+                break; // end of file
+            }
+            // Land the chunk through the protocol-aware write path: one
+            // fault-equivalent per block, no syscall restarts.
+            self.shared_write(ptr.byte_add(total), &buf[..read])?;
+            total += read as u64;
+            if read < n {
+                break;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Interposed `write()`: writes `len` bytes of shared memory at `ptr`
+    /// into the simulated file `name` at `file_offset`. Invalid blocks are
+    /// fetched from the accelerator first (they transition to read-only,
+    /// like any CPU read). Returns bytes written.
+    ///
+    /// Disk time is charged to `IOWrite`.
+    ///
+    /// # Errors
+    /// Fails for foreign pointers or platform errors.
+    pub fn write_shared_to_file(
+        &mut self,
+        name: &str,
+        file_offset: u64,
+        ptr: SharedPtr,
+        len: u64,
+    ) -> GmacResult<u64> {
+        let chunk = self.io_chunk_size(ptr)?;
+        let mut total = 0u64;
+        while total < len {
+            let n = (len - total).min(chunk);
+            let bytes = self.shared_read(ptr.byte_add(total), n)?;
+            self.rt.platform_mut().file_write(name, file_offset + total, &bytes)?;
+            total += n;
+        }
+        Ok(total)
+    }
+
+    /// Chunk size used for interposed I/O on the object containing `ptr`:
+    /// the object's block size (whole object for batch/lazy), as §4.4
+    /// prescribes.
+    fn io_chunk_size(&self, ptr: SharedPtr) -> GmacResult<u64> {
+        let obj = self.object_at(ptr).ok_or(GmacError::NotShared(ptr.addr()))?;
+        Ok(obj.block_size().min(obj.size()).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{GmacConfig, Protocol};
+    use crate::Context;
+    use hetsim::{Category, Platform};
+
+    fn ctx(protocol: Protocol) -> Context {
+        let platform = Platform::desktop_g280();
+        Context::new(
+            platform,
+            GmacConfig::default().protocol(protocol).block_size(64 * 1024),
+        )
+    }
+
+    #[test]
+    fn file_roundtrip_through_shared_memory() {
+        for protocol in Protocol::ALL {
+            let mut c = ctx(protocol);
+            let data: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
+            c.platform_mut().fs_mut().create("in.dat", data.clone());
+            let p = c.alloc(data.len() as u64).unwrap();
+            let n = c.read_file_to_shared("in.dat", 0, p, data.len() as u64).unwrap();
+            assert_eq!(n, data.len() as u64, "{protocol}");
+            let out = c.load_slice::<u8>(p, data.len()).unwrap();
+            assert_eq!(out, data, "{protocol}");
+
+            let m = c.write_shared_to_file("out.dat", 0, p, data.len() as u64).unwrap();
+            assert_eq!(m, data.len() as u64);
+            let mut copied = vec![0u8; data.len()];
+            c.platform_mut().fs_mut().read_at("out.dat", 0, &mut copied).unwrap();
+            assert_eq!(copied, data, "{protocol}");
+        }
+    }
+
+    #[test]
+    fn short_read_at_eof() {
+        let mut c = ctx(Protocol::Rolling);
+        c.platform_mut().fs_mut().create("small.dat", vec![7u8; 1000]);
+        let p = c.alloc(4096).unwrap();
+        let n = c.read_file_to_shared("small.dat", 0, p, 4096).unwrap();
+        assert_eq!(n, 1000);
+        assert_eq!(c.load_slice::<u8>(p, 1000).unwrap(), vec![7u8; 1000]);
+    }
+
+    #[test]
+    fn io_charges_io_categories() {
+        let mut c = ctx(Protocol::Rolling);
+        c.platform_mut().fs_mut().create("in.dat", vec![1u8; 256 * 1024]);
+        let p = c.alloc(256 * 1024).unwrap();
+        c.read_file_to_shared("in.dat", 0, p, 256 * 1024).unwrap();
+        assert!(c.ledger().get(Category::IoRead).as_nanos() > 0);
+        c.write_shared_to_file("out.dat", 0, p, 256 * 1024).unwrap();
+        assert!(c.ledger().get(Category::IoWrite).as_nanos() > 0);
+    }
+
+    #[test]
+    fn write_of_kernel_output_fetches_from_device() {
+        // After a call, blocks are invalid; writing them to disk must pull
+        // the kernel's bytes, not stale host bytes.
+        let mut c = ctx(Protocol::Rolling);
+        let p = c.alloc(128 * 1024).unwrap();
+        c.store_slice::<u8>(p, &vec![9u8; 128 * 1024]).unwrap();
+        // Pretend a kernel ran: release everything (no kernel registered, so
+        // drive the protocol directly through a store-free path).
+        {
+            let (rt, mgr, proto) = c.parts();
+            proto.release(rt, mgr, hetsim::DeviceId(0), None).unwrap();
+        }
+        let before = c.transfers().d2h_bytes;
+        c.write_shared_to_file("dump.bin", 0, p, 128 * 1024).unwrap();
+        assert_eq!(c.transfers().d2h_bytes - before, 128 * 1024);
+        let mut out = vec![0u8; 128 * 1024];
+        c.platform_mut().fs_mut().read_at("dump.bin", 0, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 9));
+    }
+
+    #[test]
+    fn foreign_pointer_rejected() {
+        let mut c = ctx(Protocol::Rolling);
+        let p = c.alloc(4096).unwrap();
+        c.free(p).unwrap();
+        assert!(c.read_file_to_shared("x", 0, p, 16).is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! # gmac — Asymmetric Distributed Shared Memory for heterogeneous systems
+//!
+//! A Rust reproduction of **GMAC**, the user-level ADSM runtime of Gelado et
+//! al., *"An Asymmetric Distributed Shared Memory Model for Heterogeneous
+//! Parallel Systems"* (ASPLOS 2010).
+//!
+//! ADSM maintains a shared logical address space in which the **CPU can
+//! transparently access objects hosted in accelerator memory, but not vice
+//! versa**. The asymmetry means every coherence and consistency action runs
+//! on the host — at allocation, page-fault, kernel-call and kernel-return
+//! boundaries — allowing accelerators with no coherence support at all.
+//!
+//! ## The API (paper Table 1)
+//!
+//! ```
+//! use gmac::{Context, GmacConfig, Protocol};
+//! use hetsim::Platform;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut ctx = Context::new(
+//!     Platform::desktop_g280(),
+//!     GmacConfig::default().protocol(Protocol::Rolling),
+//! );
+//!
+//! // adsmAlloc: ONE pointer, valid on CPU and accelerator.
+//! let v = ctx.alloc(1 << 20)?;
+//!
+//! // The CPU initialises the object directly — no cudaMemcpy anywhere.
+//! ctx.store_slice::<f32>(v, &vec![1.0; 1024])?;
+//!
+//! // adsmFree releases it.
+//! ctx.free(v)?;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Kernels are launched with [`Context::call`] (`adsmCall`) and joined with
+//! [`Context::sync`] (`adsmSync`); shared objects are released to the
+//! accelerator at the call and acquired back by the CPU at the sync — the
+//! implicit release consistency of §3.3.
+//!
+//! ## Coherence protocols
+//!
+//! Three host-driven protocols are selectable via [`GmacConfig`]
+//! (see [`protocol`]): [`Protocol::Batch`], [`Protocol::Lazy`] and
+//! [`Protocol::Rolling`] — each a refinement of the previous, exactly as the
+//! paper presents them.
+//!
+//! ## Substrate
+//!
+//! This crate contains *no* real GPU code: it runs on the simulated platform
+//! of the [`hetsim`] crate and detects CPU accesses with the software MMU of
+//! [`softmmu`] instead of `mprotect`/`SIGSEGV` (see `DESIGN.md` for the
+//! substitution argument). The programming model, state machines, transfer
+//! policies and cost accounting are faithful to the paper.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod api;
+pub mod bulk;
+pub mod config;
+pub mod error;
+pub mod io;
+pub mod manager;
+pub mod object;
+pub mod protocol;
+pub mod ptr;
+pub mod report;
+pub mod runtime;
+pub mod sched;
+pub mod state;
+pub mod testutil;
+
+pub use api::Context;
+pub use config::{AalLayer, GmacConfig, GmacCosts, LookupKind, Protocol};
+pub use error::{GmacError, GmacResult};
+pub use object::{ObjectId, SharedObject};
+pub use ptr::{Param, SharedPtr};
+pub use report::{ObjectReport, Report};
+pub use runtime::Counters;
+pub use sched::{SchedPolicy, Scheduler};
+pub use state::BlockState;

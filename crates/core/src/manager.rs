@@ -1,0 +1,253 @@
+//! The shared-memory manager: the registry of live shared objects.
+//!
+//! The paper's memory manager "keeps a list of the starting address and size
+//! of allocated shared memory objects" and locates the faulting block in "a
+//! balanced binary tree, which requires O(log2(n)) operations" (§5.2). Both
+//! structures are implemented here — the ordered-tree registry (default) and
+//! a linear scan (ablation baseline) — selected by
+//! [`crate::config::LookupKind`].
+
+use crate::config::LookupKind;
+use crate::object::{ObjectId, SharedObject};
+use softmmu::VAddr;
+use std::collections::BTreeMap;
+
+/// Registry of live shared objects, addressable by any interior pointer.
+#[derive(Debug)]
+pub struct Manager {
+    kind: LookupKind,
+    /// Tree variant: start address -> object.
+    tree: BTreeMap<u64, SharedObject>,
+    /// Linear variant: unsorted vector.
+    linear: Vec<SharedObject>,
+    next_id: u64,
+    total_blocks: usize,
+}
+
+impl Manager {
+    /// Creates an empty registry using the given lookup structure.
+    pub fn new(kind: LookupKind) -> Self {
+        Manager { kind, tree: BTreeMap::new(), linear: Vec::new(), next_id: 1, total_blocks: 0 }
+    }
+
+    /// Allocates the next object id.
+    pub fn next_id(&mut self) -> ObjectId {
+        let id = ObjectId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Registers an object.
+    ///
+    /// # Panics
+    /// Panics if the object's range overlaps a registered object (the
+    /// allocator guarantees disjointness; overlap is a runtime bug).
+    pub fn insert(&mut self, obj: SharedObject) {
+        assert!(
+            self.find(obj.addr()).is_none() && self.find(obj.end() - 1u64).is_none(),
+            "overlapping shared objects"
+        );
+        self.total_blocks += obj.block_count();
+        match self.kind {
+            LookupKind::Tree => {
+                self.tree.insert(obj.addr().0, obj);
+            }
+            LookupKind::Linear => self.linear.push(obj),
+        }
+    }
+
+    /// Removes the object containing `addr`, returning it.
+    pub fn remove(&mut self, addr: VAddr) -> Option<SharedObject> {
+        let start = self.find(addr)?.addr().0;
+        let obj = match self.kind {
+            LookupKind::Tree => self.tree.remove(&start),
+            LookupKind::Linear => {
+                let idx = self.linear.iter().position(|o| o.addr().0 == start)?;
+                Some(self.linear.swap_remove(idx))
+            }
+        }?;
+        self.total_blocks -= obj.block_count();
+        Some(obj)
+    }
+
+    /// The object containing `addr`, if any.
+    pub fn find(&self, addr: VAddr) -> Option<&SharedObject> {
+        match self.kind {
+            LookupKind::Tree => self
+                .tree
+                .range(..=addr.0)
+                .next_back()
+                .map(|(_, o)| o)
+                .filter(|o| o.contains(addr)),
+            LookupKind::Linear => self.linear.iter().find(|o| o.contains(addr)),
+        }
+    }
+
+    /// The object containing `addr`, mutable.
+    pub fn find_mut(&mut self, addr: VAddr) -> Option<&mut SharedObject> {
+        match self.kind {
+            LookupKind::Tree => self
+                .tree
+                .range_mut(..=addr.0)
+                .next_back()
+                .map(|(_, o)| o)
+                .filter(|o| o.contains(addr)),
+            LookupKind::Linear => self.linear.iter_mut().find(|o| o.contains(addr)),
+        }
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        match self.kind {
+            LookupKind::Tree => self.tree.len(),
+            LookupKind::Linear => self.linear.len(),
+        }
+    }
+
+    /// True when no objects are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of blocks across all objects (drives the fault-handler
+    /// lookup-cost model).
+    pub fn total_blocks(&self) -> usize {
+        self.total_blocks
+    }
+
+    /// Number of steps the configured lookup structure needs to locate a
+    /// block among `total_blocks` entries.
+    pub fn lookup_steps(&self) -> u64 {
+        let n = self.total_blocks.max(1) as u64;
+        match self.kind {
+            // Balanced-tree walk: ceil(log2(n + 1)).
+            LookupKind::Tree => 64 - n.leading_zeros() as u64,
+            // Expected half-scan.
+            LookupKind::Linear => (n / 2).max(1),
+        }
+    }
+
+    /// Iterates over all objects (address order for the tree variant).
+    pub fn iter(&self) -> Box<dyn Iterator<Item = &SharedObject> + '_> {
+        match self.kind {
+            LookupKind::Tree => Box::new(self.tree.values()),
+            LookupKind::Linear => Box::new(self.linear.iter()),
+        }
+    }
+
+    /// Iterates over all objects, mutable.
+    pub fn iter_mut(&mut self) -> Box<dyn Iterator<Item = &mut SharedObject> + '_> {
+        match self.kind {
+            LookupKind::Tree => Box::new(self.tree.values_mut()),
+            LookupKind::Linear => Box::new(self.linear.iter_mut()),
+        }
+    }
+
+    /// Start addresses of all objects (snapshot, avoids borrow conflicts in
+    /// protocol loops).
+    pub fn addrs(&self) -> Vec<VAddr> {
+        self.iter().map(|o| o.addr()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectId;
+    use crate::state::BlockState;
+    use hetsim::{DevAddr, DeviceId};
+    use softmmu::RegionId;
+
+    fn obj(id: u64, addr: u64, size: u64) -> SharedObject {
+        SharedObject::new(
+            ObjectId(id),
+            VAddr(addr),
+            size,
+            DeviceId(0),
+            DevAddr(addr),
+            RegionId(id),
+            4096,
+            BlockState::ReadOnly,
+        )
+    }
+
+    fn both() -> [Manager; 2] {
+        [Manager::new(LookupKind::Tree), Manager::new(LookupKind::Linear)]
+    }
+
+    #[test]
+    fn find_by_interior_pointer() {
+        for mut m in both() {
+            m.insert(obj(1, 0x10_0000, 8192));
+            m.insert(obj(2, 0x20_0000, 4096));
+            assert_eq!(m.find(VAddr(0x10_0000)).unwrap().id(), ObjectId(1));
+            assert_eq!(m.find(VAddr(0x10_1FFF)).unwrap().id(), ObjectId(1));
+            assert!(m.find(VAddr(0x10_2000)).is_none());
+            assert_eq!(m.find(VAddr(0x20_0010)).unwrap().id(), ObjectId(2));
+            assert!(m.find(VAddr(0x30_0000)).is_none());
+            assert!(m.find(VAddr(0xF_FFFF)).is_none());
+            assert_eq!(m.len(), 2);
+        }
+    }
+
+    #[test]
+    fn remove_by_interior_pointer() {
+        for mut m in both() {
+            m.insert(obj(1, 0x10_0000, 8192));
+            let o = m.remove(VAddr(0x10_0100)).unwrap();
+            assert_eq!(o.id(), ObjectId(1));
+            assert!(m.is_empty());
+            assert_eq!(m.total_blocks(), 0);
+            assert!(m.remove(VAddr(0x10_0000)).is_none());
+        }
+    }
+
+    #[test]
+    fn total_blocks_tracks_inserts_and_removes() {
+        for mut m in both() {
+            m.insert(obj(1, 0x10_0000, 16384)); // 4 blocks of 4 KiB
+            m.insert(obj(2, 0x20_0000, 4096)); // 1 block
+            assert_eq!(m.total_blocks(), 5);
+            m.remove(VAddr(0x10_0000));
+            assert_eq!(m.total_blocks(), 1);
+        }
+    }
+
+    #[test]
+    fn lookup_steps_models() {
+        let mut t = Manager::new(LookupKind::Tree);
+        let mut l = Manager::new(LookupKind::Linear);
+        for i in 0..16 {
+            t.insert(obj(i + 1, 0x10_0000 + i * 0x10_000, 16384));
+            l.insert(obj(i + 1, 0x10_0000 + i * 0x10_000, 16384));
+        }
+        // 64 blocks total: tree walks ~log2(64)=6..7 steps, linear ~32.
+        assert!(t.lookup_steps() <= 8);
+        assert!(l.lookup_steps() >= 30);
+    }
+
+    #[test]
+    fn find_mut_allows_state_changes() {
+        for mut m in both() {
+            m.insert(obj(1, 0x10_0000, 4096));
+            m.find_mut(VAddr(0x10_0000)).unwrap().block_mut(0).state = BlockState::Dirty;
+            assert_eq!(m.find(VAddr(0x10_0000)).unwrap().block(0).state, BlockState::Dirty);
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut m = Manager::new(LookupKind::Tree);
+        let a = m.next_id();
+        let b = m.next_id();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn addrs_snapshot_sorted_for_tree() {
+        let mut m = Manager::new(LookupKind::Tree);
+        m.insert(obj(1, 0x30_0000, 4096));
+        m.insert(obj(2, 0x10_0000, 4096));
+        assert_eq!(m.addrs(), vec![VAddr(0x10_0000), VAddr(0x30_0000)]);
+    }
+}

@@ -1,0 +1,279 @@
+//! Shared objects: the unit of allocation in ADSM.
+//!
+//! A shared object is one `adsmAlloc` result: a range of the unified address
+//! space hosted in accelerator memory and mirrored in system memory. The
+//! memory manager "keeps a list of the starting address and size of allocated
+//! shared memory objects"; rolling-update extends each entry with "a list of
+//! the starting addresses and sizes of the memory blocks composing the
+//! object" (paper §4.3) — that per-block list is [`SharedObject::blocks`].
+
+use crate::state::BlockState;
+use hetsim::{DevAddr, DeviceId};
+use softmmu::{RegionId, VAddr};
+
+/// Identifies a shared object within a context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u64);
+
+/// One fixed-size block of a shared object (the last block may be shorter,
+/// exactly as the paper specifies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Block {
+    /// Byte offset of the block within the object.
+    pub offset: u64,
+    /// Block length in bytes.
+    pub len: u64,
+    /// Coherence state.
+    pub state: BlockState,
+}
+
+/// A live shared allocation.
+#[derive(Debug, Clone)]
+pub struct SharedObject {
+    id: ObjectId,
+    addr: VAddr,
+    size: u64,
+    dev: DeviceId,
+    dev_addr: DevAddr,
+    region: RegionId,
+    block_size: u64,
+    blocks: Vec<Block>,
+}
+
+impl SharedObject {
+    /// Creates an object whose blocks start in `initial` state.
+    ///
+    /// `block_size` is the protocol's block granularity; batch- and
+    /// lazy-update pass the object size so the object is a single block.
+    ///
+    /// # Panics
+    /// Panics if `size` or `block_size` is zero.
+    pub fn new(
+        id: ObjectId,
+        addr: VAddr,
+        size: u64,
+        dev: DeviceId,
+        dev_addr: DevAddr,
+        region: RegionId,
+        block_size: u64,
+        initial: BlockState,
+    ) -> Self {
+        assert!(size > 0, "zero-size shared object");
+        assert!(block_size > 0, "zero block size");
+        let mut blocks = Vec::with_capacity(size.div_ceil(block_size) as usize);
+        let mut offset = 0;
+        while offset < size {
+            let len = block_size.min(size - offset);
+            blocks.push(Block { offset, len, state: initial });
+            offset += len;
+        }
+        SharedObject { id, addr, size, dev, dev_addr, region, block_size, blocks }
+    }
+
+    /// Object identifier.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// Start of the object in the unified address space.
+    pub fn addr(&self) -> VAddr {
+        self.addr
+    }
+
+    /// Object size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// One past the last byte.
+    pub fn end(&self) -> VAddr {
+        self.addr + self.size
+    }
+
+    /// The accelerator hosting the object.
+    pub fn device(&self) -> DeviceId {
+        self.dev
+    }
+
+    /// Device address of the object (equals [`Self::addr`] for unified
+    /// allocations; differs for `safe_alloc`).
+    pub fn dev_addr(&self) -> DevAddr {
+        self.dev_addr
+    }
+
+    /// True when host and device use the same numeric address.
+    pub fn is_unified(&self) -> bool {
+        self.addr.0 == self.dev_addr.0
+    }
+
+    /// The softmmu region mirroring the object in system memory.
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
+
+    /// Protocol block granularity for this object.
+    pub fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    /// True when `addr` falls inside the object.
+    pub fn contains(&self, addr: VAddr) -> bool {
+        addr >= self.addr && addr < self.end()
+    }
+
+    /// Translates a unified-space address inside this object to the device
+    /// address space.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `addr` is outside the object.
+    pub fn translate(&self, addr: VAddr) -> DevAddr {
+        debug_assert!(self.contains(addr), "translate of foreign address");
+        self.dev_addr.add(addr - self.addr)
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Block by index.
+    pub fn block(&self, idx: usize) -> &Block {
+        &self.blocks[idx]
+    }
+
+    /// Block by index, mutable.
+    pub fn block_mut(&mut self, idx: usize) -> &mut Block {
+        &mut self.blocks[idx]
+    }
+
+    /// Index of the block containing byte `offset`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `offset` is out of bounds.
+    pub fn block_of(&self, offset: u64) -> usize {
+        debug_assert!(offset < self.size);
+        (offset / self.block_size) as usize
+    }
+
+    /// Indices of the blocks overlapping `[offset, offset + len)`.
+    pub fn blocks_overlapping(&self, offset: u64, len: u64) -> std::ops::Range<usize> {
+        if len == 0 || offset >= self.size {
+            return 0..0;
+        }
+        let end = (offset + len).min(self.size);
+        let first = (offset / self.block_size) as usize;
+        let last = ((end - 1) / self.block_size) as usize;
+        first..last + 1
+    }
+
+    /// Iterator over all blocks.
+    pub fn blocks(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter()
+    }
+
+    /// Iterator over all blocks, mutable.
+    pub fn blocks_mut(&mut self) -> impl Iterator<Item = &mut Block> {
+        self.blocks.iter_mut()
+    }
+
+    /// Number of blocks currently in `state`.
+    pub fn count_in_state(&self, state: BlockState) -> usize {
+        self.blocks.iter().filter(|b| b.state == state).count()
+    }
+
+    /// Unified-space address of block `idx`.
+    pub fn block_addr(&self, idx: usize) -> VAddr {
+        self.addr + self.blocks[idx].offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(size: u64, block: u64) -> SharedObject {
+        SharedObject::new(
+            ObjectId(1),
+            VAddr(0x10_0000),
+            size,
+            DeviceId(0),
+            DevAddr(0x10_0000),
+            RegionId(1),
+            block,
+            BlockState::ReadOnly,
+        )
+    }
+
+    #[test]
+    fn block_partition_covers_object_exactly() {
+        let o = obj(10_000, 4096);
+        assert_eq!(o.block_count(), 3);
+        assert_eq!(o.block(0).len, 4096);
+        assert_eq!(o.block(1).len, 4096);
+        assert_eq!(o.block(2).len, 10_000 - 8192, "tail block is shorter (paper §4.3)");
+        let total: u64 = o.blocks().map(|b| b.len).sum();
+        assert_eq!(total, o.size());
+    }
+
+    #[test]
+    fn single_block_object() {
+        let o = obj(4096, 1 << 30); // lazy-update style: block >= object
+        assert_eq!(o.block_count(), 1);
+        assert_eq!(o.block(0).len, 4096);
+    }
+
+    #[test]
+    fn block_of_and_overlap() {
+        let o = obj(16384, 4096);
+        assert_eq!(o.block_of(0), 0);
+        assert_eq!(o.block_of(4095), 0);
+        assert_eq!(o.block_of(4096), 1);
+        assert_eq!(o.blocks_overlapping(0, 1), 0..1);
+        assert_eq!(o.blocks_overlapping(4000, 200), 0..2);
+        assert_eq!(o.blocks_overlapping(0, 16384), 0..4);
+        assert_eq!(o.blocks_overlapping(8192, 0), 0..0);
+        assert_eq!(o.blocks_overlapping(20_000, 4), 0..0);
+        // Clamped at the end of the object.
+        assert_eq!(o.blocks_overlapping(12_288, 999_999), 3..4);
+    }
+
+    #[test]
+    fn translation_unified_and_safe() {
+        let o = obj(8192, 4096);
+        assert!(o.is_unified());
+        assert_eq!(o.translate(VAddr(0x10_0010)).0, 0x10_0010);
+
+        let safe = SharedObject::new(
+            ObjectId(2),
+            VAddr(0x7000_0000_0000),
+            4096,
+            DeviceId(0),
+            DevAddr(0x10_0000),
+            RegionId(2),
+            4096,
+            BlockState::ReadOnly,
+        );
+        assert!(!safe.is_unified());
+        assert_eq!(safe.translate(VAddr(0x7000_0000_0010)).0, 0x10_0010);
+    }
+
+    #[test]
+    fn contains_and_bounds() {
+        let o = obj(4096, 4096);
+        assert!(o.contains(VAddr(0x10_0000)));
+        assert!(o.contains(VAddr(0x10_0FFF)));
+        assert!(!o.contains(VAddr(0x10_1000)));
+        assert!(!o.contains(VAddr(0xF_FFFF)));
+        assert_eq!(o.end(), VAddr(0x10_1000));
+    }
+
+    #[test]
+    fn state_counting() {
+        let mut o = obj(12288, 4096);
+        assert_eq!(o.count_in_state(BlockState::ReadOnly), 3);
+        o.block_mut(1).state = BlockState::Dirty;
+        assert_eq!(o.count_in_state(BlockState::Dirty), 1);
+        assert_eq!(o.count_in_state(BlockState::ReadOnly), 2);
+        assert_eq!(o.block_addr(1), VAddr(0x10_1000));
+    }
+}

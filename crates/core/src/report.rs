@@ -1,0 +1,188 @@
+//! Runtime diagnostics: a structured snapshot of a [`Context`]'s state —
+//! live objects, per-state block counts, traffic, fault counters and the
+//! execution-time break-down — renderable as text. The `gmacProfile`-style
+//! observability a released runtime ships with.
+
+use crate::api::Context;
+use crate::state::BlockState;
+use hetsim::stats::fmt_bytes;
+use hetsim::Category;
+use std::fmt;
+
+/// Snapshot of one live shared object.
+#[derive(Debug, Clone)]
+pub struct ObjectReport {
+    /// Start of the object in the unified address space.
+    pub addr: u64,
+    /// Object size in bytes.
+    pub size: u64,
+    /// Hosting accelerator.
+    pub device: usize,
+    /// Whether host and device share the numeric address.
+    pub unified: bool,
+    /// Block granularity.
+    pub block_size: u64,
+    /// Blocks per state: (invalid, read-only, dirty).
+    pub blocks: (usize, usize, usize),
+}
+
+/// Full context snapshot.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Protocol in use.
+    pub protocol: crate::config::Protocol,
+    /// Live objects, in address order.
+    pub objects: Vec<ObjectReport>,
+    /// Total dirty blocks according to the protocol's own bookkeeping.
+    pub dirty_blocks: usize,
+    /// Event counters.
+    pub counters: crate::runtime::Counters,
+    /// Bytes moved host-to-device.
+    pub h2d_bytes: u64,
+    /// Bytes moved device-to-host.
+    pub d2h_bytes: u64,
+    /// Total elapsed virtual time.
+    pub elapsed: hetsim::Nanos,
+    /// (category label, share of total time) pairs, non-zero only.
+    pub breakdown: Vec<(&'static str, f64)>,
+}
+
+impl Context {
+    /// Takes a diagnostic snapshot of the context.
+    pub fn report(&self) -> Report {
+        let objects = self
+            .object_addrs()
+            .into_iter()
+            .filter_map(|a| self.object_at(crate::ptr::SharedPtr::new(a)))
+            .map(|o| ObjectReport {
+                addr: o.addr().0,
+                size: o.size(),
+                device: o.device().0,
+                unified: o.is_unified(),
+                block_size: o.block_size(),
+                blocks: (
+                    o.count_in_state(BlockState::Invalid),
+                    o.count_in_state(BlockState::ReadOnly),
+                    o.count_in_state(BlockState::Dirty),
+                ),
+            })
+            .collect();
+        let ledger = self.ledger();
+        let total = ledger.total().as_nanos().max(1) as f64;
+        let breakdown = Category::ALL
+            .iter()
+            .filter_map(|&c| {
+                let ns = ledger.get(c).as_nanos();
+                (ns > 0).then(|| (c.label(), ns as f64 / total))
+            })
+            .collect();
+        Report {
+            protocol: self.config().protocol,
+            objects,
+            dirty_blocks: self.dirty_block_count(),
+            counters: self.counters(),
+            h2d_bytes: self.transfers().h2d_bytes,
+            d2h_bytes: self.transfers().d2h_bytes,
+            elapsed: self.platform().elapsed(),
+            breakdown,
+        }
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "GMAC context ({}) — {} elapsed", self.protocol, self.elapsed)?;
+        writeln!(
+            f,
+            "  objects: {}   dirty blocks: {}   faults: {} ({} rd / {} wr)",
+            self.objects.len(),
+            self.dirty_blocks,
+            self.counters.faults(),
+            self.counters.faults_read,
+            self.counters.faults_write,
+        )?;
+        writeln!(
+            f,
+            "  traffic: {} H2D / {} D2H   fetches: {}   flushes: {} ({} eager)",
+            fmt_bytes(self.h2d_bytes),
+            fmt_bytes(self.d2h_bytes),
+            self.counters.blocks_fetched,
+            self.counters.blocks_flushed,
+            self.counters.eager_evictions,
+        )?;
+        for o in &self.objects {
+            writeln!(
+                f,
+                "  obj {:#x} +{:<10} gpu{} {}  blocks(inv/ro/dirty): {}/{}/{}",
+                o.addr,
+                fmt_bytes(o.size),
+                o.device,
+                if o.unified { "unified" } else { "mapped " },
+                o.blocks.0,
+                o.blocks.1,
+                o.blocks.2,
+            )?;
+        }
+        write!(f, "  time:")?;
+        for (label, frac) in &self.breakdown {
+            write!(f, " {label} {:.1}%", frac * 100.0)?;
+        }
+        writeln!(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{GmacConfig, Protocol};
+    use crate::Context;
+    use hetsim::Platform;
+
+    #[test]
+    fn report_reflects_context_state() {
+        let mut c = Context::new(
+            Platform::desktop_g280(),
+            GmacConfig::default().protocol(Protocol::Rolling).block_size(4096),
+        );
+        let a = c.alloc(16 * 4096).unwrap();
+        let _b = c.safe_alloc(4096).unwrap();
+        c.store::<u32>(a, 7).unwrap();
+
+        let r = c.report();
+        assert_eq!(r.protocol, Protocol::Rolling);
+        assert_eq!(r.objects.len(), 2);
+        assert!(
+            r.objects[0].unified != r.objects[1].unified,
+            "exactly one of the two objects is unified"
+        );
+        assert_eq!(r.dirty_blocks, 1);
+        assert_eq!(r.counters.faults_write, 1);
+        // One object has 16 blocks: 15 read-only + 1 dirty.
+        let big = r.objects.iter().find(|o| o.size == 16 * 4096).unwrap();
+        assert_eq!(big.blocks, (0, 15, 1));
+        assert!(r.elapsed.as_nanos() > 0);
+
+        let text = r.to_string();
+        assert!(text.contains("GMAC context (GMAC Rolling)"));
+        assert!(text.contains("objects: 2"));
+        assert!(text.contains("blocks(inv/ro/dirty): 0/15/1"));
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let mut c = Context::new(Platform::desktop_g280(), GmacConfig::default());
+        let p = c.alloc(4096).unwrap();
+        c.store::<u8>(p, 1).unwrap();
+        let r = c.report();
+        let sum: f64 = r.breakdown.iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "fractions sum to {sum}");
+    }
+
+    #[test]
+    fn empty_context_report_is_wellformed() {
+        let c = Context::new(Platform::desktop_g280(), GmacConfig::default());
+        let r = c.report();
+        assert!(r.objects.is_empty());
+        assert_eq!(r.dirty_blocks, 0);
+        assert!(!r.to_string().is_empty());
+    }
+}

@@ -1,0 +1,348 @@
+//! The runtime kernel of GMAC: owns the simulated platform and the software
+//! MMU, and provides the data-movement primitives the coherence protocols are
+//! built from.
+
+use crate::config::GmacConfig;
+use crate::error::{GmacError, GmacResult};
+use crate::object::SharedObject;
+use crate::state::BlockState;
+use hetsim::{Category, CopyMode, Nanos, Platform, TimePoint};
+use softmmu::{AddressSpace, VAddr};
+
+/// Event counters exposed for tests and the figure harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Protection faults resolved as reads.
+    pub faults_read: u64,
+    /// Protection faults resolved as writes.
+    pub faults_write: u64,
+    /// Blocks fetched device-to-host.
+    pub blocks_fetched: u64,
+    /// Blocks flushed host-to-device.
+    pub blocks_flushed: u64,
+    /// Flushes that were eager (asynchronous) rolling evictions.
+    pub eager_evictions: u64,
+}
+
+impl Counters {
+    /// Total protection faults.
+    pub fn faults(&self) -> u64 {
+        self.faults_read + self.faults_write
+    }
+}
+
+/// Platform + MMU + configuration bundle threaded through the runtime.
+#[derive(Debug)]
+pub struct Runtime {
+    pub(crate) platform: Platform,
+    pub(crate) vm: AddressSpace,
+    pub(crate) config: GmacConfig,
+    pub(crate) counters: Counters,
+}
+
+impl Runtime {
+    /// Creates the runtime over a platform.
+    pub fn new(platform: Platform, config: GmacConfig) -> Self {
+        Runtime { platform, vm: AddressSpace::new(), config, counters: Counters::default() }
+    }
+
+    /// The simulated platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The simulated platform, mutable.
+    pub fn platform_mut(&mut self) -> &mut Platform {
+        &mut self.platform
+    }
+
+    /// The software MMU.
+    pub fn vm(&self) -> &AddressSpace {
+        &self.vm
+    }
+
+    /// Event counters.
+    pub fn counters(&self) -> Counters {
+        self.counters
+    }
+
+    /// Active configuration.
+    pub fn config(&self) -> &GmacConfig {
+        &self.config
+    }
+
+    // ----- protocol primitives ----------------------------------------------
+
+    /// Flushes `[offset, offset+len)` of `obj` host→device. Gathers the bytes
+    /// from system memory (raw access — the runtime is "kernel mode") and
+    /// issues DMA. Returns the DMA completion time.
+    ///
+    /// # Errors
+    /// Propagates platform/MMU failures.
+    pub fn flush_range(
+        &mut self,
+        obj: &SharedObject,
+        offset: u64,
+        len: u64,
+        mode: CopyMode,
+    ) -> GmacResult<TimePoint> {
+        let bytes = self.vm.gather(obj.addr() + offset, len)?;
+        let dst = obj.dev_addr().add(offset);
+        let end = self.platform.copy_h2d(obj.device(), dst, &bytes, mode)?;
+        self.counters.blocks_flushed += 1;
+        if mode == CopyMode::Async {
+            self.counters.eager_evictions += 1;
+        }
+        Ok(end)
+    }
+
+    /// Fetches `[offset, offset+len)` of `obj` device→host (synchronous;
+    /// the CPU needs the data to make progress).
+    ///
+    /// # Errors
+    /// Propagates platform/MMU failures.
+    pub fn fetch_range(&mut self, obj: &SharedObject, offset: u64, len: u64) -> GmacResult<()> {
+        let src = obj.dev_addr().add(offset);
+        let mut bytes = vec![0u8; len as usize];
+        self.platform.copy_d2h(obj.device(), src, &mut bytes, CopyMode::Sync)?;
+        self.vm.write_raw(obj.addr() + offset, &bytes)?;
+        self.counters.blocks_fetched += 1;
+        Ok(())
+    }
+
+    /// Sets the page protection of block `idx` of `obj` to match `state`.
+    ///
+    /// # Errors
+    /// Propagates MMU failures.
+    pub fn protect_block(&mut self, obj: &SharedObject, idx: usize, state: BlockState) -> GmacResult<()> {
+        let block = obj.block(idx);
+        self.vm.protect(obj.addr() + block.offset, block.len, state.protection())?;
+        Ok(())
+    }
+
+    /// Sets the protection of the whole object to match `state`.
+    ///
+    /// # Errors
+    /// Propagates MMU failures.
+    pub fn protect_object(&mut self, obj: &SharedObject, state: BlockState) -> GmacResult<()> {
+        self.vm.protect(obj.addr(), obj.size(), state.protection())?;
+        Ok(())
+    }
+
+    /// Waits until all outstanding host→device DMA on `obj`'s device has
+    /// drained (used at `adsmCall` to join eager evictions), charging the
+    /// wait to `Copy`.
+    ///
+    /// # Errors
+    /// Fails for unknown devices.
+    pub fn join_h2d(&mut self, obj_dev: hetsim::DeviceId) -> GmacResult<()> {
+        let horizon = self.platform.device(obj_dev)?.h2d_engine().busy_until();
+        self.platform.wait_for(horizon, Category::Copy);
+        Ok(())
+    }
+
+    /// Device-side fill of an object range (`cudaMemset` path of the §4.4
+    /// bulk-memory interposition).
+    ///
+    /// # Errors
+    /// Propagates platform failures.
+    pub fn dev_fill(&mut self, obj: &SharedObject, offset: u64, len: u64, value: u8) -> GmacResult<()> {
+        self.platform.dev_memset(obj.device(), obj.dev_addr().add(offset), value, len)?;
+        Ok(())
+    }
+
+    /// Charges the cost of one protection-fault delivery plus the
+    /// block-lookup walk of `steps` nodes (paper §5.2), and counts it.
+    pub fn charge_signal(&mut self, steps: u64, write: bool) {
+        let per_node = match self.config.lookup {
+            crate::config::LookupKind::Tree => self.config.costs.lookup_tree_node,
+            crate::config::LookupKind::Linear => self.config.costs.lookup_linear_entry,
+        };
+        let cost = self.platform.cpu().signal_cost + per_node * steps;
+        self.platform.spend(Category::Signal, cost);
+        if write {
+            self.counters.faults_write += 1;
+        } else {
+            self.counters.faults_read += 1;
+        }
+    }
+
+    /// Charges GMAC bookkeeping time to a ledger category.
+    pub fn charge(&mut self, cat: Category, dur: Nanos) {
+        self.platform.spend(cat, dur);
+    }
+
+    /// Validates that `[offset, offset+len)` lies inside `obj`.
+    ///
+    /// # Errors
+    /// [`GmacError::OutOfObjectBounds`] when the range spills past the end.
+    pub fn check_bounds(obj: &SharedObject, offset: u64, len: u64) -> GmacResult<()> {
+        if offset.checked_add(len).map(|end| end <= obj.size()).unwrap_or(false) {
+            Ok(())
+        } else {
+            Err(GmacError::OutOfObjectBounds { base: obj.addr(), offset, len })
+        }
+    }
+
+    /// Reads current bytes of an object range *without* changing any state:
+    /// invalid blocks are read from the device, others from system memory.
+    /// Used by the bulk-memory interposition for source operands.
+    ///
+    /// # Errors
+    /// Propagates platform/MMU failures.
+    pub fn peek_range(&mut self, obj: &SharedObject, offset: u64, len: u64) -> GmacResult<Vec<u8>> {
+        Self::check_bounds(obj, offset, len)?;
+        let mut out = vec![0u8; len as usize];
+        for idx in obj.blocks_overlapping(offset, len) {
+            let block = *obj.block(idx);
+            let lo = block.offset.max(offset);
+            let hi = (block.offset + block.len).min(offset + len);
+            let dst = &mut out[(lo - offset) as usize..(hi - offset) as usize];
+            if block.state == BlockState::Invalid {
+                let src = obj.dev_addr().add(lo);
+                self.platform.copy_d2h(obj.device(), src, dst, CopyMode::Sync)?;
+            } else {
+                self.vm.read_raw(obj.addr() + lo, dst)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Mirror of the unified address space check: true when the host mapping
+    /// for `addr` exists.
+    pub fn is_mapped(&self, addr: VAddr) -> bool {
+        self.vm.protection_at(addr).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{GmacConfig, LookupKind};
+    use crate::object::ObjectId;
+    use softmmu::Protection;
+    use hetsim::DeviceId;
+
+    fn setup(size: u64, block: u64) -> (Runtime, SharedObject) {
+        let platform = Platform::desktop_g280();
+        let mut rt = Runtime::new(platform, GmacConfig::default());
+        let dev_addr = rt.platform.dev_alloc(DeviceId(0), size).unwrap();
+        let addr = VAddr(dev_addr.0);
+        let region = rt.vm.map_fixed(addr, size, Protection::ReadWrite).unwrap();
+        let obj = SharedObject::new(
+            ObjectId(1),
+            addr,
+            size,
+            DeviceId(0),
+            dev_addr,
+            region,
+            block,
+            BlockState::ReadOnly,
+        );
+        (rt, obj)
+    }
+
+    #[test]
+    fn flush_and_fetch_roundtrip() {
+        let (mut rt, obj) = setup(8192, 4096);
+        rt.vm.write_raw(obj.addr(), &[42u8; 8192]).unwrap();
+        rt.flush_range(&obj, 0, 8192, CopyMode::Sync).unwrap();
+        // Clobber host, fetch back.
+        rt.vm.write_raw(obj.addr(), &[0u8; 8192]).unwrap();
+        rt.fetch_range(&obj, 0, 8192).unwrap();
+        assert_eq!(rt.vm.gather(obj.addr(), 8192).unwrap(), vec![42u8; 8192]);
+        assert_eq!(rt.counters().blocks_flushed, 1);
+        assert_eq!(rt.counters().blocks_fetched, 1);
+    }
+
+    #[test]
+    fn partial_range_transfers() {
+        let (mut rt, obj) = setup(8192, 4096);
+        rt.vm.write_raw(obj.addr() + 4096, &[7u8; 4096]).unwrap();
+        rt.flush_range(&obj, 4096, 4096, CopyMode::Sync).unwrap();
+        let dev = rt.platform.device(DeviceId(0)).unwrap();
+        let on_dev = dev.mem().slice(obj.dev_addr().add(4096), 4096).unwrap().to_vec();
+        assert_eq!(on_dev, vec![7u8; 4096]);
+        // First half untouched on device.
+        let first = dev.mem().slice(obj.dev_addr(), 4096).unwrap().to_vec();
+        assert_eq!(first, vec![0u8; 4096]);
+    }
+
+    #[test]
+    fn protect_block_changes_page_permissions() {
+        let (mut rt, obj) = setup(8192, 4096);
+        rt.protect_block(&obj, 1, BlockState::Invalid).unwrap();
+        assert_eq!(rt.vm.protection_at(obj.addr() + 4096), Some(Protection::None));
+        assert_eq!(rt.vm.protection_at(obj.addr()), Some(Protection::ReadWrite));
+        rt.protect_object(&obj, BlockState::ReadOnly).unwrap();
+        assert_eq!(rt.vm.protection_at(obj.addr()), Some(Protection::ReadOnly));
+    }
+
+    #[test]
+    fn charge_signal_accounting() {
+        let (mut rt, _obj) = setup(4096, 4096);
+        let before = rt.platform.ledger().get(Category::Signal);
+        rt.charge_signal(10, true);
+        rt.charge_signal(10, false);
+        assert!(rt.platform.ledger().get(Category::Signal) > before);
+        assert_eq!(rt.counters().faults_write, 1);
+        assert_eq!(rt.counters().faults_read, 1);
+        assert_eq!(rt.counters().faults(), 2);
+    }
+
+    #[test]
+    fn linear_lookup_charges_more_for_many_blocks() {
+        let platform = Platform::desktop_g280();
+        let mut rt_tree = Runtime::new(platform, GmacConfig::default());
+        let platform = Platform::desktop_g280();
+        let mut rt_lin =
+            Runtime::new(platform, GmacConfig::default().lookup(LookupKind::Linear));
+        rt_tree.charge_signal(14, true); // ~16k blocks in a tree
+        rt_lin.charge_signal(8192, true); // same population, half-scan
+        assert!(
+            rt_lin.platform.ledger().get(Category::Signal)
+                > rt_tree.platform.ledger().get(Category::Signal)
+        );
+    }
+
+    #[test]
+    fn bounds_check() {
+        let (_rt, obj) = setup(8192, 4096);
+        assert!(Runtime::check_bounds(&obj, 0, 8192).is_ok());
+        assert!(Runtime::check_bounds(&obj, 8191, 1).is_ok());
+        assert!(matches!(
+            Runtime::check_bounds(&obj, 8191, 2),
+            Err(GmacError::OutOfObjectBounds { .. })
+        ));
+        assert!(Runtime::check_bounds(&obj, u64::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn peek_reads_through_to_device_for_invalid_blocks() {
+        let (mut rt, mut obj) = setup(8192, 4096);
+        // Host says 1s, device says 2s.
+        rt.vm.write_raw(obj.addr(), &[1u8; 8192]).unwrap();
+        rt.platform
+            .device_mut(DeviceId(0))
+            .unwrap()
+            .mem_mut()
+            .write(obj.dev_addr(), &[2u8; 8192])
+            .unwrap();
+        obj.block_mut(1).state = BlockState::Invalid;
+        let bytes = rt.peek_range(&obj, 0, 8192).unwrap();
+        assert!(bytes[..4096].iter().all(|&b| b == 1), "valid block read from host");
+        assert!(bytes[4096..].iter().all(|&b| b == 2), "invalid block read from device");
+        // Peek never mutates state.
+        assert_eq!(obj.block(1).state, BlockState::Invalid);
+    }
+
+    #[test]
+    fn join_h2d_waits_for_async_evictions() {
+        let (mut rt, obj) = setup(8192, 4096);
+        let end = rt.flush_range(&obj, 0, 4096, CopyMode::Async).unwrap();
+        assert!(rt.platform.now() < end);
+        rt.join_h2d(obj.device()).unwrap();
+        assert!(rt.platform.now() >= end);
+        assert_eq!(rt.counters().eager_evictions, 1);
+    }
+}

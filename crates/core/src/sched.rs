@@ -1,0 +1,98 @@
+//! Kernel/allocation scheduling across accelerators.
+//!
+//! The paper's kernel scheduler "selects the most appropriate accelerator for
+//! execution of a given kernel" (§4.1) and defers detailed policies to
+//! Jimenez et al. [29]. This module provides the two policies the
+//! experiments need: pinning everything to one device (the single-GPU
+//! platform of §5) and round-robin placement for multi-accelerator tests.
+
+use hetsim::DeviceId;
+
+/// Placement policy for new shared objects (kernels follow their data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// All allocations on one device.
+    Fixed(DeviceId),
+    /// Rotate allocations across all devices.
+    RoundRobin,
+}
+
+/// The allocation/kernel scheduler.
+#[derive(Debug)]
+pub struct Scheduler {
+    policy: SchedPolicy,
+    device_count: usize,
+    next: usize,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for a platform with `device_count` accelerators.
+    pub fn new(policy: SchedPolicy, device_count: usize) -> Self {
+        assert!(device_count > 0, "scheduler needs at least one device");
+        Scheduler { policy, device_count, next: 0 }
+    }
+
+    /// Active policy.
+    pub fn policy(&self) -> SchedPolicy {
+        self.policy
+    }
+
+    /// Replaces the policy.
+    pub fn set_policy(&mut self, policy: SchedPolicy) {
+        self.policy = policy;
+    }
+
+    /// Chooses the device for a new allocation.
+    pub fn device_for_alloc(&mut self) -> DeviceId {
+        match self.policy {
+            SchedPolicy::Fixed(dev) => dev,
+            SchedPolicy::RoundRobin => {
+                let dev = DeviceId(self.next % self.device_count);
+                self.next += 1;
+                dev
+            }
+        }
+    }
+
+    /// Device used for kernels that reference no shared objects.
+    pub fn default_device(&self) -> DeviceId {
+        match self.policy {
+            SchedPolicy::Fixed(dev) => dev,
+            SchedPolicy::RoundRobin => DeviceId(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_policy_always_same_device() {
+        let mut s = Scheduler::new(SchedPolicy::Fixed(DeviceId(1)), 2);
+        assert_eq!(s.device_for_alloc(), DeviceId(1));
+        assert_eq!(s.device_for_alloc(), DeviceId(1));
+        assert_eq!(s.default_device(), DeviceId(1));
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut s = Scheduler::new(SchedPolicy::RoundRobin, 3);
+        let seq: Vec<_> = (0..6).map(|_| s.device_for_alloc().0).collect();
+        assert_eq!(seq, [0, 1, 2, 0, 1, 2]);
+        assert_eq!(s.default_device(), DeviceId(0));
+    }
+
+    #[test]
+    fn policy_can_change_at_runtime() {
+        let mut s = Scheduler::new(SchedPolicy::Fixed(DeviceId(0)), 2);
+        s.set_policy(SchedPolicy::RoundRobin);
+        assert_eq!(s.policy(), SchedPolicy::RoundRobin);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_devices_rejected() {
+        Scheduler::new(SchedPolicy::RoundRobin, 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Coherence states for shared memory (paper Figure 6).
+
+use softmmu::Protection;
+
+/// State of a shared memory range from the CPU's perspective.
+///
+/// The paper's definition (§4.3):
+/// * **Invalid** — the up-to-date copy is only in accelerator memory; it must
+///   be transferred back if the CPU reads it after the kernel returns.
+/// * **Dirty** — the CPU holds an updated copy that must be transferred to
+///   the accelerator before the next kernel call.
+/// * **ReadOnly** — CPU and accelerator hold the same version; no transfer is
+///   needed before the next call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BlockState {
+    /// Accelerator copy is newer; CPU access must fetch.
+    Invalid,
+    /// Both copies identical.
+    #[default]
+    ReadOnly,
+    /// CPU copy is newer; must flush before the next kernel call.
+    Dirty,
+}
+
+impl BlockState {
+    /// The page protection that *detects* the accesses this state cares
+    /// about, exactly as GMAC drives `mprotect` (§4.3): invalid faults on
+    /// everything, read-only faults on writes, dirty never faults.
+    pub fn protection(self) -> Protection {
+        match self {
+            BlockState::Invalid => Protection::None,
+            BlockState::ReadOnly => Protection::ReadOnly,
+            BlockState::Dirty => Protection::ReadWrite,
+        }
+    }
+
+    /// Label used in traces and tests.
+    pub fn label(self) -> &'static str {
+        match self {
+            BlockState::Invalid => "invalid",
+            BlockState::ReadOnly => "read-only",
+            BlockState::Dirty => "dirty",
+        }
+    }
+}
+
+impl std::fmt::Display for BlockState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protection_mapping_matches_paper() {
+        assert_eq!(BlockState::Invalid.protection(), Protection::None);
+        assert_eq!(BlockState::ReadOnly.protection(), Protection::ReadOnly);
+        assert_eq!(BlockState::Dirty.protection(), Protection::ReadWrite);
+    }
+
+    #[test]
+    fn default_is_read_only() {
+        // Paper: "Shared data structures are initialized to a read-only
+        // state when they are allocated."
+        assert_eq!(BlockState::default(), BlockState::ReadOnly);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(BlockState::Invalid.to_string(), "invalid");
+        assert_eq!(BlockState::Dirty.label(), "dirty");
+    }
+}

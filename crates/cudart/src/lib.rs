@@ -1,0 +1,342 @@
+//! # cudart — a CUDA-runtime-like shim over the simulated platform
+//!
+//! The paper's baseline programming model (§2.2, Figure 3) is CUDA 2.2:
+//! applications explicitly allocate device memory (`cudaMalloc`), move data
+//! (`cudaMemcpy`) and launch kernels. This crate reproduces that API surface
+//! over [`hetsim`], with CUDA-style error codes, so that:
+//!
+//! * the **baseline variants** of every workload are written exactly like the
+//!   paper's CUDA versions (double pointers, explicit transfers), and
+//! * the GMAC runtime's Accelerator Abstraction Layer (paper §4.1) has a
+//!   CUDA-shaped interface to build on.
+//!
+//! ```
+//! use cudart::Cuda;
+//! use hetsim::{Platform, DeviceId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut p = Platform::desktop_g280();
+//! let cuda = Cuda::new(DeviceId(0));
+//! let dev_foo = cuda.malloc(&mut p, 4096)?;          // cudaMalloc
+//! cuda.memcpy_h2d(&mut p, dev_foo, &[1u8; 4096])?;   // cudaMemcpy(HtoD)
+//! let mut back = [0u8; 4096];
+//! cuda.memcpy_d2h(&mut p, &mut back, dev_foo)?;      // cudaMemcpy(DtoH)
+//! cuda.free(&mut p, dev_foo)?;                       // cudaFree
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use hetsim::{
+    CopyMode, DevAddr, DeviceId, KernelArg, LaunchDims, Platform, SimError, StreamId, TimePoint,
+};
+use std::error::Error;
+use std::fmt;
+
+/// CUDA-style error codes (the subset the paper's software stack can hit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CudaError {
+    /// `cudaErrorMemoryAllocation`: device allocation failed.
+    MemoryAllocation {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes free on the device.
+        free: u64,
+    },
+    /// `cudaErrorInvalidDevicePointer`.
+    InvalidDevicePointer(u64),
+    /// `cudaErrorInvalidValue`: malformed sizes/ranges/arguments.
+    InvalidValue(String),
+    /// `cudaErrorInvalidDevice`.
+    InvalidDevice(usize),
+    /// `cudaErrorInvalidResourceHandle`: bad stream.
+    InvalidResourceHandle(u32),
+    /// `cudaErrorInvalidDeviceFunction`: unknown kernel.
+    InvalidDeviceFunction(String),
+}
+
+impl fmt::Display for CudaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CudaError::MemoryAllocation { requested, free } => {
+                write!(f, "cudaErrorMemoryAllocation: requested {requested} bytes, {free} free")
+            }
+            CudaError::InvalidDevicePointer(a) => {
+                write!(f, "cudaErrorInvalidDevicePointer: {a:#x}")
+            }
+            CudaError::InvalidValue(msg) => write!(f, "cudaErrorInvalidValue: {msg}"),
+            CudaError::InvalidDevice(id) => write!(f, "cudaErrorInvalidDevice: {id}"),
+            CudaError::InvalidResourceHandle(s) => {
+                write!(f, "cudaErrorInvalidResourceHandle: stream {s}")
+            }
+            CudaError::InvalidDeviceFunction(name) => {
+                write!(f, "cudaErrorInvalidDeviceFunction: {name}")
+            }
+        }
+    }
+}
+
+impl Error for CudaError {}
+
+impl From<SimError> for CudaError {
+    fn from(e: SimError) -> Self {
+        match e {
+            SimError::OutOfDeviceMemory { requested, free } => {
+                CudaError::MemoryAllocation { requested, free }
+            }
+            SimError::InvalidDeviceAddress(a) | SimError::NotAnAllocation(a) => {
+                CudaError::InvalidDevicePointer(a)
+            }
+            SimError::OutOfBounds { addr, len } => {
+                CudaError::InvalidValue(format!("access at {addr:#x} length {len} out of bounds"))
+            }
+            SimError::NoSuchDevice(id) => CudaError::InvalidDevice(id),
+            SimError::NoSuchStream(s) => CudaError::InvalidResourceHandle(s),
+            SimError::UnknownKernel(name) => CudaError::InvalidDeviceFunction(name),
+            SimError::BadKernelArgs(msg) => CudaError::InvalidValue(msg),
+            SimError::FileNotFound(name) => CudaError::InvalidValue(format!("file {name}")),
+            // `SimError` is non-exhaustive; surface anything new verbatim.
+            other => CudaError::InvalidValue(other.to_string()),
+        }
+    }
+}
+
+/// Result alias for CUDA-shim operations.
+pub type CudaResult<T> = Result<T, CudaError>;
+
+/// A completion marker for asynchronous operations (`cudaEvent_t`-like):
+/// holds the virtual instant at which the operation finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Event(pub TimePoint);
+
+/// A CUDA-runtime handle bound to one device (the shim's equivalent of the
+/// implicit current-device state of the real runtime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cuda {
+    dev: DeviceId,
+}
+
+impl Cuda {
+    /// Binds a handle to `dev`.
+    pub fn new(dev: DeviceId) -> Self {
+        Cuda { dev }
+    }
+
+    /// The bound device.
+    pub fn device(&self) -> DeviceId {
+        self.dev
+    }
+
+    /// `cudaMalloc`: allocates device memory.
+    ///
+    /// # Errors
+    /// [`CudaError::MemoryAllocation`] when device memory is exhausted.
+    pub fn malloc(&self, p: &mut Platform, size: u64) -> CudaResult<DevAddr> {
+        Ok(p.dev_alloc(self.dev, size)?)
+    }
+
+    /// `cudaFree`: releases device memory.
+    ///
+    /// # Errors
+    /// [`CudaError::InvalidDevicePointer`] for non-allocation addresses.
+    pub fn free(&self, p: &mut Platform, addr: DevAddr) -> CudaResult<()> {
+        Ok(p.dev_free(self.dev, addr)?)
+    }
+
+    /// `cudaMemcpy(..., cudaMemcpyHostToDevice)`: synchronous upload.
+    ///
+    /// # Errors
+    /// [`CudaError::InvalidValue`] for out-of-bounds destination ranges.
+    pub fn memcpy_h2d(&self, p: &mut Platform, dst: DevAddr, src: &[u8]) -> CudaResult<()> {
+        p.copy_h2d(self.dev, dst, src, CopyMode::Sync)?;
+        Ok(())
+    }
+
+    /// `cudaMemcpy(..., cudaMemcpyDeviceToHost)`: synchronous download.
+    ///
+    /// # Errors
+    /// [`CudaError::InvalidValue`] for out-of-bounds source ranges.
+    pub fn memcpy_d2h(&self, p: &mut Platform, dst: &mut [u8], src: DevAddr) -> CudaResult<()> {
+        p.copy_d2h(self.dev, src, dst, CopyMode::Sync)?;
+        Ok(())
+    }
+
+    /// `cudaMemcpyAsync` host-to-device: returns an [`Event`] that completes
+    /// when the DMA finishes; the host does not block.
+    ///
+    /// # Errors
+    /// [`CudaError::InvalidValue`] for out-of-bounds destination ranges.
+    pub fn memcpy_h2d_async(
+        &self,
+        p: &mut Platform,
+        dst: DevAddr,
+        src: &[u8],
+    ) -> CudaResult<Event> {
+        Ok(Event(p.copy_h2d(self.dev, dst, src, CopyMode::Async)?))
+    }
+
+    /// `cudaMemcpyAsync` device-to-host.
+    ///
+    /// # Errors
+    /// [`CudaError::InvalidValue`] for out-of-bounds source ranges.
+    pub fn memcpy_d2h_async(
+        &self,
+        p: &mut Platform,
+        dst: &mut [u8],
+        src: DevAddr,
+    ) -> CudaResult<Event> {
+        Ok(Event(p.copy_d2h(self.dev, src, dst, CopyMode::Async)?))
+    }
+
+    /// `cudaMemset`: device-side fill.
+    ///
+    /// # Errors
+    /// [`CudaError::InvalidValue`] for out-of-bounds ranges.
+    pub fn memset(&self, p: &mut Platform, addr: DevAddr, value: u8, len: u64) -> CudaResult<()> {
+        Ok(p.dev_memset(self.dev, addr, value, len)?)
+    }
+
+    /// Kernel launch (`kernel<<<grid, block, 0, stream>>>(args)`): enqueues a
+    /// registered kernel; the host pays only the launch cost.
+    ///
+    /// # Errors
+    /// Fails for unknown kernels/streams or kernel argument errors.
+    pub fn launch(
+        &self,
+        p: &mut Platform,
+        stream: StreamId,
+        kernel: &str,
+        dims: LaunchDims,
+        args: &[KernelArg],
+    ) -> CudaResult<Event> {
+        Ok(Event(p.launch(self.dev, stream, kernel, dims, args)?))
+    }
+
+    /// `cudaStreamCreate`.
+    ///
+    /// # Errors
+    /// [`CudaError::InvalidDevice`] for unknown devices.
+    pub fn stream_create(&self, p: &mut Platform) -> CudaResult<StreamId> {
+        Ok(p.device_mut(self.dev)?.create_stream())
+    }
+
+    /// `cudaStreamSynchronize`: blocks until all work on `stream` completes.
+    ///
+    /// # Errors
+    /// Fails for unknown devices or streams.
+    pub fn stream_synchronize(&self, p: &mut Platform, stream: StreamId) -> CudaResult<()> {
+        Ok(p.sync_stream(self.dev, stream)?)
+    }
+
+    /// `cudaThreadSynchronize` (CUDA 2.x name): blocks until the device is
+    /// fully quiescent.
+    ///
+    /// # Errors
+    /// Fails for unknown devices.
+    pub fn thread_synchronize(&self, p: &mut Platform) -> CudaResult<()> {
+        Ok(p.sync_device(self.dev)?)
+    }
+
+    /// `cudaEventSynchronize`: blocks until `event` completes, charging the
+    /// wait to the `Copy` category (events in this stack mark transfers).
+    pub fn event_synchronize(&self, p: &mut Platform, event: Event) {
+        p.wait_for(event.0, hetsim::Category::Copy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::Category;
+
+    const DEV: DeviceId = DeviceId(0);
+
+    #[test]
+    fn malloc_memcpy_roundtrip_like_figure3() {
+        // The explicit-transfer flow of the paper's Figure 3.
+        let mut p = Platform::desktop_g280();
+        let cuda = Cuda::new(DEV);
+        let foo: Vec<u8> = (0..=255).collect();
+        let dev_foo = cuda.malloc(&mut p, foo.len() as u64).unwrap();
+        cuda.memcpy_h2d(&mut p, dev_foo, &foo).unwrap();
+        let mut back = vec![0u8; foo.len()];
+        cuda.memcpy_d2h(&mut p, &mut back, dev_foo).unwrap();
+        assert_eq!(back, foo);
+        cuda.free(&mut p, dev_foo).unwrap();
+    }
+
+    #[test]
+    fn oom_maps_to_memory_allocation_error() {
+        let mut p = Platform::desktop_g280();
+        let cuda = Cuda::new(DEV);
+        let err = cuda.malloc(&mut p, 8 << 30).unwrap_err();
+        assert!(matches!(err, CudaError::MemoryAllocation { .. }));
+        assert!(err.to_string().starts_with("cudaErrorMemoryAllocation"));
+    }
+
+    #[test]
+    fn bad_pointer_maps_to_invalid_device_pointer() {
+        let mut p = Platform::desktop_g280();
+        let cuda = Cuda::new(DEV);
+        let err = cuda.free(&mut p, DevAddr(0x1234)).unwrap_err();
+        assert!(matches!(err, CudaError::InvalidDevicePointer(0x1234)));
+    }
+
+    #[test]
+    fn wrong_device_is_invalid_device() {
+        let mut p = Platform::desktop_g280();
+        let cuda = Cuda::new(DeviceId(7));
+        assert!(matches!(cuda.malloc(&mut p, 64), Err(CudaError::InvalidDevice(7))));
+    }
+
+    #[test]
+    fn async_memcpy_returns_event_and_wait_charges_copy() {
+        let mut p = Platform::desktop_g280();
+        let cuda = Cuda::new(DEV);
+        let d = cuda.malloc(&mut p, 1 << 20).unwrap();
+        let ev = cuda.memcpy_h2d_async(&mut p, d, &vec![3u8; 1 << 20]).unwrap();
+        let before = p.ledger().get(Category::Copy);
+        cuda.event_synchronize(&mut p, ev);
+        assert!(p.ledger().get(Category::Copy) > before);
+        assert!(p.now() >= ev.0);
+    }
+
+    #[test]
+    fn stream_sync_after_launchless_stream_is_noop_in_time() {
+        let mut p = Platform::desktop_g280();
+        let cuda = Cuda::new(DEV);
+        let s = cuda.stream_create(&mut p).unwrap();
+        let t0 = p.now();
+        cuda.stream_synchronize(&mut p, s).unwrap();
+        // Only the fixed sync-call cost elapses.
+        assert_eq!(p.now().since(t0), p.device(DEV).unwrap().spec().sync_cost);
+        assert!(matches!(
+            cuda.stream_synchronize(&mut p, StreamId(99)),
+            Err(CudaError::InvalidResourceHandle(99))
+        ));
+    }
+
+    #[test]
+    fn unknown_kernel_is_invalid_device_function() {
+        let mut p = Platform::desktop_g280();
+        let cuda = Cuda::new(DEV);
+        let err = cuda
+            .launch(&mut p, StreamId(0), "missing", LaunchDims::default(), &[])
+            .unwrap_err();
+        assert!(matches!(err, CudaError::InvalidDeviceFunction(_)));
+    }
+
+    #[test]
+    fn memset_fills_device_memory() {
+        let mut p = Platform::desktop_g280();
+        let cuda = Cuda::new(DEV);
+        let d = cuda.malloc(&mut p, 4096).unwrap();
+        cuda.memset(&mut p, d, 0x5A, 4096).unwrap();
+        let mut out = vec![0u8; 4096];
+        cuda.memcpy_d2h(&mut p, &mut out, d).unwrap();
+        assert!(out.iter().all(|&b| b == 0x5A));
+    }
+}

@@ -1,0 +1,217 @@
+//! Interconnect and memory-link bandwidth models.
+//!
+//! A [`LinkModel`] charges `latency + bytes / peak_bandwidth` per transfer, so
+//! the *attained* bandwidth rises with transfer size and saturates at the
+//! peak — exactly the behaviour the paper exploits in §5.2 (Figure 11): small
+//! rolling-update blocks waste bandwidth, large blocks amortise the setup
+//! latency.
+//!
+//! The preset links mirror the paper's Figure 2 comparison lines
+//! (PCIe, QPI, HyperTransport, NVIDIA GTX295 on-board memory).
+
+use crate::time::Nanos;
+use std::fmt;
+
+/// Bytes-per-second as a strongly-typed quantity.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct BytesPerSec(f64);
+
+impl BytesPerSec {
+    /// Creates a rate from raw bytes/second.
+    ///
+    /// # Panics
+    /// Panics if `bps` is not finite and positive.
+    pub fn new(bps: f64) -> Self {
+        assert!(bps.is_finite() && bps > 0.0, "bandwidth must be positive");
+        BytesPerSec(bps)
+    }
+
+    /// Creates a rate from gigabytes/second (decimal GB).
+    pub fn from_gbps(gbps: f64) -> Self {
+        Self::new(gbps * 1e9)
+    }
+
+    /// Creates a rate from megabytes/second (decimal MB).
+    pub fn from_mbps(mbps: f64) -> Self {
+        Self::new(mbps * 1e6)
+    }
+
+    /// Raw bytes/second.
+    pub fn as_bps(self) -> f64 {
+        self.0
+    }
+
+    /// This rate in decimal gigabytes/second.
+    pub fn as_gbps(self) -> f64 {
+        self.0 / 1e9
+    }
+}
+
+impl fmt::Display for BytesPerSec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e9 {
+            write!(f, "{:.2} GB/s", self.0 / 1e9)
+        } else if self.0 >= 1e6 {
+            write!(f, "{:.2} MB/s", self.0 / 1e6)
+        } else {
+            write!(f, "{:.0} B/s", self.0)
+        }
+    }
+}
+
+/// A point-to-point link with fixed per-transfer latency and peak bandwidth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkModel {
+    name: &'static str,
+    latency: Nanos,
+    peak: BytesPerSec,
+}
+
+impl LinkModel {
+    /// Creates a link model.
+    pub fn new(name: &'static str, latency: Nanos, peak: BytesPerSec) -> Self {
+        LinkModel { name, latency, peak }
+    }
+
+    /// Human-readable link name (used in figure output).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Per-transfer setup latency (DMA descriptor, doorbell, completion IRQ).
+    pub fn latency(&self) -> Nanos {
+        self.latency
+    }
+
+    /// Peak (asymptotic) bandwidth.
+    pub fn peak(&self) -> BytesPerSec {
+        self.peak
+    }
+
+    /// Time to move `bytes` across this link in a single transfer.
+    pub fn transfer_time(&self, bytes: u64) -> Nanos {
+        let wire = Nanos::from_secs_f64(bytes as f64 / self.peak.0);
+        self.latency + wire
+    }
+
+    /// Bandwidth actually attained by a single transfer of `bytes`
+    /// (rises with size, saturates at [`Self::peak`]).
+    pub fn attained_bandwidth(&self, bytes: u64) -> BytesPerSec {
+        let t = self.transfer_time(bytes).as_secs_f64();
+        if t <= 0.0 {
+            self.peak
+        } else {
+            BytesPerSec::new((bytes as f64 / t).max(f64::MIN_POSITIVE))
+        }
+    }
+
+    // ----- Presets ---------------------------------------------------------
+    // Calibrated against the paper's experimental platform (§5: PCIe 2.0 16x,
+    // NVIDIA G280) and the Figure 2 comparison lines.
+
+    /// PCIe 2.0 x16, host-to-device direction (pinned-memory DMA).
+    pub fn pcie2_x16_h2d() -> Self {
+        Self::new("PCIe 2.0 x16 H2D", Nanos::from_micros(12), BytesPerSec::from_gbps(5.6))
+    }
+
+    /// PCIe 2.0 x16, device-to-host direction.
+    pub fn pcie2_x16_d2h() -> Self {
+        Self::new("PCIe 2.0 x16 D2H", Nanos::from_micros(12), BytesPerSec::from_gbps(5.0))
+    }
+
+    /// Generic PCIe line used in the Figure 2 comparison.
+    pub fn pcie() -> Self {
+        Self::new("PCIe", Nanos::from_micros(12), BytesPerSec::from_gbps(8.0))
+    }
+
+    /// Intel QuickPath Interconnect (Figure 2 line).
+    pub fn qpi() -> Self {
+        Self::new("QPI", Nanos::from_micros(1), BytesPerSec::from_gbps(12.8))
+    }
+
+    /// AMD HyperTransport (Figure 2 line).
+    pub fn hypertransport() -> Self {
+        Self::new("HyperTransport", Nanos::from_micros(1), BytesPerSec::from_gbps(20.8))
+    }
+
+    /// NVIDIA GTX295 on-board GDDR3 memory (Figure 2 line).
+    pub fn gtx295_memory() -> Self {
+        Self::new("NVIDIA GTX295 Memory", Nanos::from_nanos(400), BytesPerSec::from_gbps(223.8))
+    }
+
+    /// CPU and accelerator sharing one memory controller (the paper's
+    /// low-cost integrated case, §3.1: Intel GMA / AMD Fusion class):
+    /// "transfers" are cache-to-cache moves through shared DRAM.
+    pub fn integrated_shared_memory() -> Self {
+        Self::new("Integrated shared memory", Nanos::from_nanos(300), BytesPerSec::from_gbps(6.4))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_constructors() {
+        assert_eq!(BytesPerSec::from_gbps(1.0).as_bps(), 1e9);
+        assert_eq!(BytesPerSec::from_mbps(1.0).as_bps(), 1e6);
+        assert!((BytesPerSec::from_gbps(5.6).as_gbps() - 5.6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn rate_rejects_zero() {
+        BytesPerSec::new(0.0);
+    }
+
+    #[test]
+    fn rate_display() {
+        assert_eq!(BytesPerSec::from_gbps(5.6).to_string(), "5.60 GB/s");
+        assert_eq!(BytesPerSec::from_mbps(150.0).to_string(), "150.00 MB/s");
+    }
+
+    #[test]
+    fn transfer_time_is_latency_plus_wire() {
+        let link = LinkModel::new("t", Nanos::from_micros(10), BytesPerSec::from_gbps(1.0));
+        // 1000 bytes at 1 GB/s = 1 us wire time.
+        assert_eq!(link.transfer_time(1000), Nanos::from_micros(11));
+        // Zero-byte transfer still pays latency.
+        assert_eq!(link.transfer_time(0), Nanos::from_micros(10));
+    }
+
+    #[test]
+    fn attained_bandwidth_monotone_and_saturating() {
+        let link = LinkModel::pcie2_x16_h2d();
+        let sizes = [4_096u64, 65_536, 1 << 20, 32 << 20, 1 << 30];
+        let mut prev = 0.0;
+        for &s in &sizes {
+            let bw = link.attained_bandwidth(s).as_bps();
+            assert!(bw > prev, "attained bandwidth must rise with size");
+            assert!(bw <= link.peak().as_bps() * 1.0001, "must not exceed peak");
+            prev = bw;
+        }
+        // Very large transfers approach the peak.
+        let big = link.attained_bandwidth(4 << 30).as_bps();
+        assert!(big > link.peak().as_bps() * 0.99);
+    }
+
+    #[test]
+    fn small_blocks_waste_bandwidth() {
+        // The premise behind Figure 11: a 4 KiB transfer attains a small
+        // fraction of peak bandwidth on PCIe.
+        let link = LinkModel::pcie2_x16_h2d();
+        let small = link.attained_bandwidth(4 << 10).as_bps();
+        assert!(small < link.peak().as_bps() * 0.1);
+    }
+
+    #[test]
+    fn figure2_line_ordering() {
+        // The paper's Figure 2 orders the lines PCIe < QPI < HyperTransport <
+        // GTX295 memory.
+        let pcie = LinkModel::pcie().peak().as_bps();
+        let qpi = LinkModel::qpi().peak().as_bps();
+        let ht = LinkModel::hypertransport().peak().as_bps();
+        let gtx = LinkModel::gtx295_memory().peak().as_bps();
+        assert!(pcie < qpi && qpi < ht && ht < gtx);
+    }
+}

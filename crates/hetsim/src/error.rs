@@ -1,0 +1,87 @@
+//! Error types for the platform simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the simulated platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Device memory allocation failed: not enough contiguous free space.
+    OutOfDeviceMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes currently free (possibly fragmented).
+        free: u64,
+    },
+    /// An address did not correspond to a live allocation.
+    InvalidDeviceAddress(u64),
+    /// A free targeted an address that is not an allocation start.
+    NotAnAllocation(u64),
+    /// Access touched bytes outside the referenced allocation.
+    OutOfBounds {
+        /// First byte accessed.
+        addr: u64,
+        /// Length of the access.
+        len: u64,
+    },
+    /// Referenced device does not exist.
+    NoSuchDevice(usize),
+    /// Referenced stream does not exist.
+    NoSuchStream(u32),
+    /// Referenced kernel has not been registered.
+    UnknownKernel(String),
+    /// A simulated file was not found in the simulated filesystem.
+    FileNotFound(String),
+    /// Kernel argument list did not match the kernel's expectation.
+    BadKernelArgs(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfDeviceMemory { requested, free } => {
+                write!(f, "out of device memory: requested {requested} bytes, {free} free")
+            }
+            SimError::InvalidDeviceAddress(a) => write!(f, "invalid device address {a:#x}"),
+            SimError::NotAnAllocation(a) => {
+                write!(f, "address {a:#x} is not the start of an allocation")
+            }
+            SimError::OutOfBounds { addr, len } => {
+                write!(f, "access at {addr:#x} length {len} is out of bounds")
+            }
+            SimError::NoSuchDevice(id) => write!(f, "no such device: {id}"),
+            SimError::NoSuchStream(id) => write!(f, "no such stream: {id}"),
+            SimError::UnknownKernel(name) => write!(f, "unknown kernel: {name}"),
+            SimError::FileNotFound(name) => write!(f, "simulated file not found: {name}"),
+            SimError::BadKernelArgs(msg) => write!(f, "bad kernel arguments: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Convenience result alias for simulator operations.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = SimError::OutOfDeviceMemory { requested: 10, free: 5 };
+        assert_eq!(e.to_string(), "out of device memory: requested 10 bytes, 5 free");
+        assert_eq!(SimError::NoSuchDevice(3).to_string(), "no such device: 3");
+        assert_eq!(
+            SimError::InvalidDeviceAddress(0xdead).to_string(),
+            "invalid device address 0xdead"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,247 @@
+//! Accelerator kernels: launch geometry, argument passing, execution and the
+//! roofline cost model.
+//!
+//! Kernels *really execute* (plain Rust against the simulated device memory),
+//! so every workload's results can be checked end-to-end; their *timing* is
+//! modelled from the work they report ([`KernelProfile`]) and the device's
+//! throughput ([`crate::device::GpuSpec`]). This mirrors the paper's split:
+//! the data-parallel phase runs on the accelerator at accelerator speeds
+//! while the coherence protocol only observes launch/return boundaries.
+
+use crate::devmem::{DevAddr, DeviceMemory};
+use crate::error::{SimError, SimResult};
+
+/// CUDA-style launch geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchDims {
+    /// Grid dimensions (blocks).
+    pub grid: (u32, u32, u32),
+    /// Block dimensions (threads).
+    pub block: (u32, u32, u32),
+}
+
+impl LaunchDims {
+    /// One-dimensional launch: `blocks × threads`.
+    pub fn linear(blocks: u32, threads: u32) -> Self {
+        LaunchDims { grid: (blocks, 1, 1), block: (threads, 1, 1) }
+    }
+
+    /// For `n` elements with `threads` per block (grid rounded up).
+    pub fn for_elements(n: u64, threads: u32) -> Self {
+        let blocks = n.div_ceil(threads as u64).max(1) as u32;
+        Self::linear(blocks, threads)
+    }
+
+    /// Total number of threads in the launch.
+    pub fn total_threads(&self) -> u64 {
+        let g = self.grid.0 as u64 * self.grid.1 as u64 * self.grid.2 as u64;
+        let b = self.block.0 as u64 * self.block.1 as u64 * self.block.2 as u64;
+        g * b
+    }
+}
+
+impl Default for LaunchDims {
+    fn default() -> Self {
+        LaunchDims::linear(1, 1)
+    }
+}
+
+/// A kernel argument (device pointer or scalar), as passed through the
+/// launch API.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelArg {
+    /// A pointer into device memory.
+    Ptr(DevAddr),
+    /// An unsigned scalar.
+    U64(u64),
+    /// A float scalar.
+    F64(f64),
+}
+
+impl KernelArg {
+    /// Extracts a device pointer.
+    ///
+    /// # Errors
+    /// [`SimError::BadKernelArgs`] when the argument is not a pointer.
+    pub fn as_ptr(&self) -> SimResult<DevAddr> {
+        match self {
+            KernelArg::Ptr(p) => Ok(*p),
+            other => Err(SimError::BadKernelArgs(format!("expected pointer, got {other:?}"))),
+        }
+    }
+
+    /// Extracts an unsigned scalar.
+    ///
+    /// # Errors
+    /// [`SimError::BadKernelArgs`] when the argument is not a `U64`.
+    pub fn as_u64(&self) -> SimResult<u64> {
+        match self {
+            KernelArg::U64(v) => Ok(*v),
+            other => Err(SimError::BadKernelArgs(format!("expected u64, got {other:?}"))),
+        }
+    }
+
+    /// Extracts a float scalar.
+    ///
+    /// # Errors
+    /// [`SimError::BadKernelArgs`] when the argument is not an `F64`.
+    pub fn as_f64(&self) -> SimResult<f64> {
+        match self {
+            KernelArg::F64(v) => Ok(*v),
+            other => Err(SimError::BadKernelArgs(format!("expected f64, got {other:?}"))),
+        }
+    }
+}
+
+/// Typed accessor over a kernel's argument list.
+#[derive(Debug, Clone, Copy)]
+pub struct Args<'a>(&'a [KernelArg]);
+
+impl<'a> Args<'a> {
+    /// Wraps an argument slice.
+    pub fn new(args: &'a [KernelArg]) -> Self {
+        Args(args)
+    }
+
+    /// Number of arguments.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when there are no arguments.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Pointer argument at `i`.
+    ///
+    /// # Errors
+    /// Fails when `i` is out of range or the argument has the wrong type.
+    pub fn ptr(&self, i: usize) -> SimResult<DevAddr> {
+        self.get(i)?.as_ptr()
+    }
+
+    /// `u64` argument at `i`.
+    ///
+    /// # Errors
+    /// Fails when `i` is out of range or the argument has the wrong type.
+    pub fn u64(&self, i: usize) -> SimResult<u64> {
+        self.get(i)?.as_u64()
+    }
+
+    /// `f64` argument at `i`.
+    ///
+    /// # Errors
+    /// Fails when `i` is out of range or the argument has the wrong type.
+    pub fn f64(&self, i: usize) -> SimResult<f64> {
+        self.get(i)?.as_f64()
+    }
+
+    fn get(&self, i: usize) -> SimResult<&KernelArg> {
+        self.0
+            .get(i)
+            .ok_or_else(|| SimError::BadKernelArgs(format!("missing argument {i}")))
+    }
+}
+
+/// Work performed by one kernel launch, used by the roofline timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct KernelProfile {
+    /// Floating-point (or equivalent) operations executed.
+    pub flops: f64,
+    /// Bytes moved to/from device memory.
+    pub bytes: f64,
+}
+
+impl KernelProfile {
+    /// Creates a profile.
+    pub fn new(flops: f64, bytes: f64) -> Self {
+        KernelProfile { flops, bytes }
+    }
+}
+
+/// A device kernel: executes against device memory and reports its work.
+///
+/// Implementations must be deterministic: the simulation relies on kernels
+/// producing identical results for identical memory contents.
+pub trait Kernel: Send + Sync {
+    /// Kernel name (unique within a registry).
+    fn name(&self) -> &str;
+
+    /// Runs the kernel and returns the work it performed.
+    ///
+    /// # Errors
+    /// Implementations fail on malformed arguments or out-of-bounds device
+    /// accesses.
+    fn execute(
+        &self,
+        mem: &mut DeviceMemory,
+        dims: LaunchDims,
+        args: Args<'_>,
+    ) -> SimResult<KernelProfile>;
+}
+
+/// Helper: reads a `f32` slice out of device memory.
+///
+/// # Errors
+/// Fails when the range is out of bounds.
+pub fn read_f32_slice(mem: &DeviceMemory, addr: DevAddr, n: u64) -> SimResult<Vec<f32>> {
+    let bytes = mem.slice(addr, n * 4)?;
+    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+}
+
+/// Helper: writes a `f32` slice into device memory.
+///
+/// # Errors
+/// Fails when the range is out of bounds.
+pub fn write_f32_slice(mem: &mut DeviceMemory, addr: DevAddr, data: &[f32]) -> SimResult<()> {
+    let out = mem.slice_mut(addr, data.len() as u64 * 4)?;
+    for (chunk, v) in out.chunks_exact_mut(4).zip(data) {
+        chunk.copy_from_slice(&v.to_le_bytes());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_dims_thread_math() {
+        let d = LaunchDims::linear(4, 256);
+        assert_eq!(d.total_threads(), 1024);
+        let d = LaunchDims::for_elements(1000, 256);
+        assert_eq!(d.grid.0, 4);
+        assert_eq!(d.total_threads(), 1024);
+        let d = LaunchDims::for_elements(0, 256);
+        assert_eq!(d.grid.0, 1, "degenerate launches still have one block");
+    }
+
+    #[test]
+    fn args_typed_access() {
+        let raw = [KernelArg::Ptr(DevAddr(0x100)), KernelArg::U64(7), KernelArg::F64(2.5)];
+        let args = Args::new(&raw);
+        assert_eq!(args.len(), 3);
+        assert!(!args.is_empty());
+        assert_eq!(args.ptr(0).unwrap(), DevAddr(0x100));
+        assert_eq!(args.u64(1).unwrap(), 7);
+        assert_eq!(args.f64(2).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn args_type_mismatch_is_error() {
+        let raw = [KernelArg::U64(7)];
+        let args = Args::new(&raw);
+        assert!(matches!(args.ptr(0), Err(SimError::BadKernelArgs(_))));
+        assert!(matches!(args.f64(0), Err(SimError::BadKernelArgs(_))));
+        assert!(matches!(args.u64(3), Err(SimError::BadKernelArgs(_))));
+    }
+
+    #[test]
+    fn f32_slice_roundtrip() {
+        let mut mem = DeviceMemory::new(0x1000, 4096);
+        let a = mem.alloc(64).unwrap();
+        write_f32_slice(&mut mem, a, &[1.0, -2.5, 3.25]).unwrap();
+        assert_eq!(read_f32_slice(&mem, a, 3).unwrap(), vec![1.0, -2.5, 3.25]);
+    }
+}

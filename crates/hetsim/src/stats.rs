@@ -1,0 +1,294 @@
+//! Execution-time and data-transfer accounting.
+//!
+//! [`TimeLedger`] reproduces the thirteen categories of the paper's Figure 10
+//! break-down; [`TransferLedger`] feeds Figure 8 (bytes moved per direction).
+//!
+//! The ledger accounts *CPU-perceived* time: every charge corresponds to an
+//! interval during which the host thread was either computing or blocked, so
+//! the category totals partition total elapsed virtual time (an invariant the
+//! integration tests assert).
+
+use crate::time::Nanos;
+use std::fmt;
+
+/// Execution-time categories, matching the paper's Figure 10 legend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Category {
+    /// GMAC-driven data transfer the CPU blocked on.
+    Copy,
+    /// GMAC `adsmAlloc` bookkeeping (shared-object setup, page mapping).
+    Malloc,
+    /// GMAC `adsmFree` bookkeeping.
+    Free,
+    /// GMAC `adsmCall` bookkeeping (protocol release actions).
+    Launch,
+    /// GMAC `adsmSync` waiting and acquire actions.
+    Sync,
+    /// Page-fault ("signal") handling: delivery plus block lookup.
+    Signal,
+    /// Accelerator-API allocation cost (`cudaMalloc`).
+    CudaMalloc,
+    /// Accelerator-API free cost (`cudaFree`).
+    CudaFree,
+    /// Accelerator-API launch cost (`cudaLaunch`).
+    CudaLaunch,
+    /// Time the CPU spent waiting for kernel execution on the accelerator.
+    Gpu,
+    /// Simulated disk reads.
+    IoRead,
+    /// Simulated disk writes.
+    IoWrite,
+    /// Application CPU compute.
+    Cpu,
+}
+
+impl Category {
+    /// All categories, in Figure 10 legend order.
+    pub const ALL: [Category; 13] = [
+        Category::Copy,
+        Category::Malloc,
+        Category::Free,
+        Category::Launch,
+        Category::Sync,
+        Category::Signal,
+        Category::CudaMalloc,
+        Category::CudaFree,
+        Category::CudaLaunch,
+        Category::Gpu,
+        Category::IoRead,
+        Category::IoWrite,
+        Category::Cpu,
+    ];
+
+    /// Label used in figure output (matches the paper's legend).
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Copy => "Copy",
+            Category::Malloc => "Malloc",
+            Category::Free => "Free",
+            Category::Launch => "Launch",
+            Category::Sync => "Sync",
+            Category::Signal => "Signal",
+            Category::CudaMalloc => "cudaMalloc",
+            Category::CudaFree => "cudaFree",
+            Category::CudaLaunch => "cudaLaunch",
+            Category::Gpu => "GPU",
+            Category::IoRead => "IORead",
+            Category::IoWrite => "IOWrite",
+            Category::Cpu => "CPU",
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Accumulates time per [`Category`].
+#[derive(Debug, Clone, Default)]
+pub struct TimeLedger {
+    per: [Nanos; 13],
+}
+
+impl TimeLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `dur` to `cat`.
+    pub fn charge(&mut self, cat: Category, dur: Nanos) {
+        self.per[cat as usize] += dur;
+    }
+
+    /// Time accumulated in `cat`.
+    pub fn get(&self, cat: Category) -> Nanos {
+        self.per[cat as usize]
+    }
+
+    /// Sum over all categories.
+    pub fn total(&self) -> Nanos {
+        self.per.iter().copied().sum()
+    }
+
+    /// Fraction of total time spent in `cat` (0 when the ledger is empty).
+    pub fn fraction(&self, cat: Category) -> f64 {
+        let total = self.total().as_nanos();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(cat).as_nanos() as f64 / total as f64
+        }
+    }
+
+    /// Clears all counters.
+    pub fn reset(&mut self) {
+        self.per = Default::default();
+    }
+
+    /// Iterator over `(category, time)` pairs in legend order.
+    pub fn iter(&self) -> impl Iterator<Item = (Category, Nanos)> + '_ {
+        Category::ALL.iter().map(move |&c| (c, self.get(c)))
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &TimeLedger) {
+        for (i, v) in other.per.iter().enumerate() {
+            self.per[i] += *v;
+        }
+    }
+}
+
+/// Direction of a host/accelerator transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Host (system) memory to accelerator memory.
+    HostToDevice,
+    /// Accelerator memory to host (system) memory.
+    DeviceToHost,
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::HostToDevice => f.write_str("H2D"),
+            Direction::DeviceToHost => f.write_str("D2H"),
+        }
+    }
+}
+
+/// Counts bytes and transfers per direction (Figure 8 input).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransferLedger {
+    /// Bytes moved host-to-device.
+    pub h2d_bytes: u64,
+    /// Bytes moved device-to-host.
+    pub d2h_bytes: u64,
+    /// Number of host-to-device transfers.
+    pub h2d_count: u64,
+    /// Number of device-to-host transfers.
+    pub d2h_count: u64,
+}
+
+impl TransferLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one transfer.
+    pub fn record(&mut self, dir: Direction, bytes: u64) {
+        match dir {
+            Direction::HostToDevice => {
+                self.h2d_bytes += bytes;
+                self.h2d_count += 1;
+            }
+            Direction::DeviceToHost => {
+                self.d2h_bytes += bytes;
+                self.d2h_count += 1;
+            }
+        }
+    }
+
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.h2d_bytes + self.d2h_bytes
+    }
+
+    /// Clears the ledger.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Formats a byte count with binary units.
+pub fn fmt_bytes(bytes: u64) -> String {
+    const KIB: f64 = 1024.0;
+    let b = bytes as f64;
+    if b >= KIB * KIB * KIB {
+        format!("{:.2} GiB", b / (KIB * KIB * KIB))
+    } else if b >= KIB * KIB {
+        format!("{:.2} MiB", b / (KIB * KIB))
+    } else if b >= KIB {
+        format!("{:.2} KiB", b / KIB)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_charges_accumulate() {
+        let mut l = TimeLedger::new();
+        l.charge(Category::Cpu, Nanos::from_micros(10));
+        l.charge(Category::Cpu, Nanos::from_micros(5));
+        l.charge(Category::Gpu, Nanos::from_micros(15));
+        assert_eq!(l.get(Category::Cpu), Nanos::from_micros(15));
+        assert_eq!(l.total(), Nanos::from_micros(30));
+        assert!((l.fraction(Category::Gpu) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ledger_fraction_is_zero() {
+        let l = TimeLedger::new();
+        assert_eq!(l.fraction(Category::Signal), 0.0);
+        assert_eq!(l.total(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn iter_covers_all_categories_in_order() {
+        let l = TimeLedger::new();
+        let cats: Vec<_> = l.iter().map(|(c, _)| c).collect();
+        assert_eq!(cats.len(), 13);
+        assert_eq!(cats[0], Category::Copy);
+        assert_eq!(cats[12], Category::Cpu);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = TimeLedger::new();
+        let mut b = TimeLedger::new();
+        a.charge(Category::Signal, Nanos::from_nanos(7));
+        b.charge(Category::Signal, Nanos::from_nanos(5));
+        b.charge(Category::IoRead, Nanos::from_nanos(3));
+        a.merge(&b);
+        assert_eq!(a.get(Category::Signal), Nanos::from_nanos(12));
+        assert_eq!(a.get(Category::IoRead), Nanos::from_nanos(3));
+    }
+
+    #[test]
+    fn transfer_ledger_directions_are_separate() {
+        let mut t = TransferLedger::new();
+        t.record(Direction::HostToDevice, 100);
+        t.record(Direction::HostToDevice, 50);
+        t.record(Direction::DeviceToHost, 25);
+        assert_eq!(t.h2d_bytes, 150);
+        assert_eq!(t.h2d_count, 2);
+        assert_eq!(t.d2h_bytes, 25);
+        assert_eq!(t.d2h_count, 1);
+        assert_eq!(t.total_bytes(), 175);
+        t.reset();
+        assert_eq!(t, TransferLedger::default());
+    }
+
+    #[test]
+    fn labels_match_figure10_legend() {
+        assert_eq!(Category::CudaMalloc.label(), "cudaMalloc");
+        assert_eq!(Category::Gpu.label(), "GPU");
+        assert_eq!(Category::IoRead.to_string(), "IORead");
+    }
+
+    #[test]
+    fn fmt_bytes_scales() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.00 KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.00 MiB");
+        assert_eq!(fmt_bytes(5 << 30), "5.00 GiB");
+    }
+}

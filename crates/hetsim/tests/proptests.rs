@@ -1,0 +1,126 @@
+//! Property tests for the platform substrate: the device allocator against
+//! an interval model, and engine-timeline monotonicity.
+
+use hetsim::{DevAddr, DeviceMemory, Engine, Nanos, TimePoint};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum AllocOp {
+    Alloc(u64),
+    /// Free the i-th live allocation (modulo live count).
+    Free(usize),
+}
+
+fn alloc_op() -> impl Strategy<Value = AllocOp> {
+    prop_oneof![
+        (1u64..64 * 1024).prop_map(AllocOp::Alloc),
+        (0usize..64).prop_map(AllocOp::Free),
+    ]
+}
+
+proptest! {
+    /// Allocations never overlap, stay in the window, and freeing everything
+    /// coalesces back to one region covering the whole capacity.
+    #[test]
+    fn allocator_against_interval_model(ops in proptest::collection::vec(alloc_op(), 1..200)) {
+        const CAP: u64 = 1 << 20;
+        let mut mem = DeviceMemory::new(0x1000_0000, CAP);
+        let mut live: BTreeMap<u64, u64> = BTreeMap::new(); // addr -> size
+
+        for op in ops {
+            match op {
+                AllocOp::Alloc(size) => {
+                    match mem.alloc(size) {
+                        Ok(addr) => {
+                            let rounded = size.div_ceil(256) * 256;
+                            // In-window and aligned.
+                            prop_assert!(addr.0 >= 0x1000_0000);
+                            prop_assert!(addr.0 + rounded <= 0x1000_0000 + CAP);
+                            prop_assert_eq!(addr.0 % 256, 0);
+                            // No overlap with any live allocation.
+                            for (&a, &s) in &live {
+                                prop_assert!(
+                                    addr.0 + rounded <= a || a + s <= addr.0,
+                                    "overlap: new [{:#x},+{}) vs live [{:#x},+{})",
+                                    addr.0, rounded, a, s
+                                );
+                            }
+                            live.insert(addr.0, rounded);
+                        }
+                        Err(_) => {
+                            // OOM must be justified: requested more than the
+                            // total free bytes, or free space is fragmented.
+                            let used: u64 = live.values().sum();
+                            let free = CAP - used;
+                            let rounded = size.div_ceil(256) * 256;
+                            prop_assert!(
+                                rounded > free || live.len() > 0,
+                                "alloc of {} failed with {} free and no fragmentation",
+                                rounded, free
+                            );
+                        }
+                    }
+                }
+                AllocOp::Free(idx) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let &addr = live.keys().nth(idx % live.len()).unwrap();
+                    live.remove(&addr);
+                    mem.free(DevAddr(addr)).unwrap();
+                }
+            }
+            let used: u64 = live.values().sum();
+            prop_assert_eq!(mem.used_bytes(), used);
+            prop_assert_eq!(mem.allocation_count(), live.len());
+        }
+
+        // Drain everything: memory must fully coalesce.
+        for (&addr, _) in live.clone().iter() {
+            mem.free(DevAddr(addr)).unwrap();
+        }
+        prop_assert_eq!(mem.free_bytes(), CAP);
+        // A maximal allocation must now succeed (proves coalescing).
+        prop_assert!(mem.alloc(CAP).is_ok());
+    }
+
+    /// Engine reservations are serial: intervals never overlap and
+    /// busy_until never moves backwards.
+    #[test]
+    fn engine_timeline_is_serial(
+        jobs in proptest::collection::vec((0u64..10_000, 1u64..5_000), 1..100)
+    ) {
+        let mut engine = Engine::new("prop");
+        let mut prev_end = TimePoint::ZERO;
+        let mut total = Nanos::ZERO;
+        for (submit, dur) in jobs {
+            let r = engine.reserve(TimePoint::from_nanos(submit), Nanos::from_nanos(dur));
+            // Starts no earlier than submission and no earlier than the
+            // previous job's end.
+            prop_assert!(r.start >= TimePoint::from_nanos(submit));
+            prop_assert!(r.start >= prev_end);
+            prop_assert_eq!(r.duration(), Nanos::from_nanos(dur));
+            prop_assert_eq!(engine.busy_until(), r.end);
+            prev_end = r.end;
+            total += Nanos::from_nanos(dur);
+            prop_assert_eq!(engine.total_busy(), total);
+        }
+    }
+
+    /// Device memory read/write round-trips arbitrary payloads at arbitrary
+    /// in-bounds offsets.
+    #[test]
+    fn devmem_rw_roundtrip(
+        payload in proptest::collection::vec(any::<u8>(), 1..2048),
+        offset in 0u64..4096,
+    ) {
+        let mut mem = DeviceMemory::new(0x2000, 8192);
+        let base = mem.alloc(8192).unwrap();
+        let addr = base.add(offset.min(8192 - payload.len() as u64));
+        mem.write(addr, &payload).unwrap();
+        let mut out = vec![0u8; payload.len()];
+        mem.read(addr, &mut out).unwrap();
+        prop_assert_eq!(out, payload);
+    }
+}

@@ -1,0 +1,161 @@
+//! Typed access paths over the software MMU.
+//!
+//! The CPU side of a GMAC application reads and writes shared objects through
+//! these helpers; each call performs the same protection check a hardware
+//! load/store would, so coherence-protocol permission changes behave exactly
+//! like `mprotect` on the paper's platform.
+
+use crate::addr::VAddr;
+use crate::fault::MmuResult;
+use crate::space::AddressSpace;
+
+/// A plain-old-data scalar that can cross the softmmu boundary.
+///
+/// Implemented for the primitive numeric types; all encodings are
+/// little-endian (the paper assumes homogeneous data representation between
+/// CPU and accelerator, §6.2).
+pub trait Scalar: Copy + Sized {
+    /// Encoded size in bytes.
+    const SIZE: usize;
+
+    /// Encodes into `out` (exactly `SIZE` bytes).
+    fn store_le(self, out: &mut [u8]);
+
+    /// Decodes from `src` (exactly `SIZE` bytes).
+    fn load_le(src: &[u8]) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+            fn store_le(self, out: &mut [u8]) {
+                out.copy_from_slice(&self.to_le_bytes());
+            }
+            fn load_le(src: &[u8]) -> Self {
+                <$t>::from_le_bytes(src.try_into().expect("scalar size mismatch"))
+            }
+        }
+    )*};
+}
+
+impl_scalar!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+impl AddressSpace {
+    /// Checked typed load at `addr`.
+    ///
+    /// # Errors
+    /// Propagates protection faults and unmapped-page errors.
+    pub fn load<T: Scalar>(&mut self, addr: VAddr) -> MmuResult<T> {
+        let mut buf = [0u8; 8];
+        let buf = &mut buf[..T::SIZE];
+        self.read_bytes(addr, buf)?;
+        Ok(T::load_le(buf))
+    }
+
+    /// Checked typed store at `addr`.
+    ///
+    /// # Errors
+    /// Propagates protection faults and unmapped-page errors.
+    pub fn store<T: Scalar>(&mut self, addr: VAddr, value: T) -> MmuResult<()> {
+        let mut buf = [0u8; 8];
+        let buf = &mut buf[..T::SIZE];
+        value.store_le(buf);
+        self.write_bytes(addr, buf)
+    }
+
+    /// Checked load of `n` consecutive scalars starting at `addr`.
+    ///
+    /// # Errors
+    /// Propagates protection faults and unmapped-page errors.
+    pub fn load_slice<T: Scalar>(&mut self, addr: VAddr, n: usize) -> MmuResult<Vec<T>> {
+        let mut bytes = vec![0u8; n * T::SIZE];
+        self.read_bytes(addr, &mut bytes)?;
+        Ok(bytes.chunks_exact(T::SIZE).map(T::load_le).collect())
+    }
+
+    /// Checked store of consecutive scalars starting at `addr`.
+    ///
+    /// # Errors
+    /// Propagates protection faults and unmapped-page errors.
+    pub fn store_slice<T: Scalar>(&mut self, addr: VAddr, values: &[T]) -> MmuResult<()> {
+        let mut bytes = vec![0u8; values.len() * T::SIZE];
+        for (chunk, v) in bytes.chunks_exact_mut(T::SIZE).zip(values) {
+            v.store_le(chunk);
+        }
+        self.write_bytes(addr, &bytes)
+    }
+}
+
+/// Encodes a scalar slice to little-endian bytes (host-private buffers).
+pub fn to_bytes<T: Scalar>(values: &[T]) -> Vec<u8> {
+    let mut bytes = vec![0u8; values.len() * T::SIZE];
+    for (chunk, v) in bytes.chunks_exact_mut(T::SIZE).zip(values) {
+        v.store_le(chunk);
+    }
+    bytes
+}
+
+/// Decodes little-endian bytes into a scalar vector.
+///
+/// # Panics
+/// Panics if `bytes.len()` is not a multiple of the scalar size.
+pub fn from_bytes<T: Scalar>(bytes: &[u8]) -> Vec<T> {
+    assert_eq!(bytes.len() % T::SIZE, 0, "byte length not a scalar multiple");
+    bytes.chunks_exact(T::SIZE).map(T::load_le).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prot::Protection;
+
+    #[test]
+    fn typed_roundtrip_all_types() {
+        let mut vm = AddressSpace::new();
+        let (_, a) = vm.map_anywhere(4096, Protection::ReadWrite).unwrap();
+        vm.store::<u8>(a, 0xAB).unwrap();
+        assert_eq!(vm.load::<u8>(a).unwrap(), 0xAB);
+        vm.store::<i16>(a, -5).unwrap();
+        assert_eq!(vm.load::<i16>(a).unwrap(), -5);
+        vm.store::<u32>(a, 0xDEAD_BEEF).unwrap();
+        assert_eq!(vm.load::<u32>(a).unwrap(), 0xDEAD_BEEF);
+        vm.store::<f32>(a, -2.5).unwrap();
+        assert_eq!(vm.load::<f32>(a).unwrap(), -2.5);
+        vm.store::<f64>(a, 1e300).unwrap();
+        assert_eq!(vm.load::<f64>(a).unwrap(), 1e300);
+        vm.store::<i64>(a, i64::MIN).unwrap();
+        assert_eq!(vm.load::<i64>(a).unwrap(), i64::MIN);
+    }
+
+    #[test]
+    fn slice_roundtrip_across_pages() {
+        let mut vm = AddressSpace::new();
+        let (_, a) = vm.map_anywhere(8192, Protection::ReadWrite).unwrap();
+        let data: Vec<f32> = (0..1500).map(|i| i as f32 * 0.5).collect();
+        vm.store_slice(a + 100, &data).unwrap(); // spans both pages
+        assert_eq!(vm.load_slice::<f32>(a + 100, 1500).unwrap(), data);
+    }
+
+    #[test]
+    fn typed_access_respects_protection() {
+        let mut vm = AddressSpace::new();
+        let (_, a) = vm.map_anywhere(4096, Protection::ReadOnly).unwrap();
+        assert!(vm.load::<u32>(a).is_ok());
+        assert!(vm.store::<u32>(a, 1).is_err());
+    }
+
+    #[test]
+    fn bytes_helpers_roundtrip() {
+        let vals = [1.5f64, -2.25, 1e-9];
+        let bytes = to_bytes(&vals);
+        assert_eq!(bytes.len(), 24);
+        assert_eq!(from_bytes::<f64>(&bytes), vals);
+    }
+
+    #[test]
+    #[should_panic(expected = "byte length not a scalar multiple")]
+    fn from_bytes_rejects_ragged_input() {
+        let _ = from_bytes::<u32>(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Protection faults and MMU errors.
+//!
+//! In the paper, accesses to invalid/read-only shared data trigger a hardware
+//! page fault delivered to GMAC as a POSIX signal (§4.3). In this softmmu the
+//! same event is a [`Fault`] value returned from the access path; the GMAC
+//! runtime plays the role of the signal handler: it resolves the fault
+//! (protocol state transition + permission change) and retries the access.
+
+use crate::addr::VAddr;
+use crate::prot::{AccessKind, Protection};
+use crate::space::RegionId;
+use std::error::Error;
+use std::fmt;
+
+/// A protection violation: the simulated equivalent of `SIGSEGV`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// First offending byte (like `siginfo.si_addr`).
+    pub addr: VAddr,
+    /// What the access attempted.
+    pub kind: AccessKind,
+    /// The permissions the page had.
+    pub prot: Protection,
+    /// The region containing the page.
+    pub region: RegionId,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} fault at {} (page is {})", self.kind, self.addr, self.prot)
+    }
+}
+
+/// Errors from the software MMU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MmuError {
+    /// A protection violation (recoverable: resolve and retry).
+    Fault(Fault),
+    /// Access or operation touched an unmapped address.
+    Unmapped(VAddr),
+    /// A fixed mapping collided with an existing region.
+    Overlap {
+        /// Requested start.
+        addr: VAddr,
+        /// Requested length.
+        len: u64,
+    },
+    /// Address was not page aligned where alignment is required.
+    Misaligned(VAddr),
+    /// The virtual address space is exhausted (or the request exceeds it).
+    OutOfVirtualSpace,
+    /// Referenced region does not exist.
+    InvalidRegion(RegionId),
+    /// Zero-length mapping or access where a length is required.
+    BadLength,
+}
+
+impl fmt::Display for MmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MmuError::Fault(fault) => write!(f, "{fault}"),
+            MmuError::Unmapped(a) => write!(f, "unmapped address {a}"),
+            MmuError::Overlap { addr, len } => {
+                write!(f, "mapping [{addr}, +{len}) overlaps an existing region")
+            }
+            MmuError::Misaligned(a) => write!(f, "address {a} is not page aligned"),
+            MmuError::OutOfVirtualSpace => f.write_str("virtual address space exhausted"),
+            MmuError::InvalidRegion(r) => write!(f, "invalid region id {r:?}"),
+            MmuError::BadLength => f.write_str("zero-length mapping is not allowed"),
+        }
+    }
+}
+
+impl Error for MmuError {}
+
+impl From<Fault> for MmuError {
+    fn from(f: Fault) -> Self {
+        MmuError::Fault(f)
+    }
+}
+
+/// Result alias for MMU operations.
+pub type MmuResult<T> = Result<T, MmuError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_display() {
+        let f = Fault {
+            addr: VAddr(0x1234),
+            kind: AccessKind::Write,
+            prot: Protection::ReadOnly,
+            region: RegionId(3),
+        };
+        assert_eq!(f.to_string(), "write fault at 0x1234 (page is r--)");
+        let e: MmuError = f.into();
+        assert!(matches!(e, MmuError::Fault(_)));
+        assert_eq!(e.to_string(), f.to_string());
+    }
+
+    #[test]
+    fn error_messages() {
+        assert_eq!(MmuError::Unmapped(VAddr(0x10)).to_string(), "unmapped address 0x10");
+        assert_eq!(
+            MmuError::Overlap { addr: VAddr(0x1000), len: 4096 }.to_string(),
+            "mapping [0x1000, +4096) overlaps an existing region"
+        );
+        assert_eq!(MmuError::Misaligned(VAddr(1)).to_string(), "address 0x1 is not page aligned");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MmuError>();
+    }
+}

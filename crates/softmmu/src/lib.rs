@@ -1,0 +1,51 @@
+//! # softmmu — a software MMU
+//!
+//! The GMAC paper detects CPU accesses to shared data with hardware memory
+//! protection: `mmap` fixed-address mappings, `mprotect` permission changes
+//! and `SIGSEGV` delivery to a user-level handler (§4.2–4.3). Re-creating
+//! that in safe Rust is not possible (and per-process signal handling makes
+//! it awkward even in unsafe Rust), so this crate provides the same state
+//! machine as an explicit substrate:
+//!
+//! * a 48-bit virtual [`AddressSpace`] with `mmap(MAP_FIXED)` / anonymous
+//!   mapping / `mprotect` equivalents backed by a real 4-level radix
+//!   [`table::PageTable`],
+//! * per-page [`Protection`] checked on every access,
+//! * [`Fault`] values standing in for `SIGSEGV`: the GMAC runtime resolves
+//!   the fault (protocol transition + permission change) and retries, exactly
+//!   like the paper's signal handler,
+//! * raw ("kernel-mode") access paths the runtime uses to stage DMA without
+//!   tripping its own protection.
+//!
+//! ```
+//! use softmmu::{AddressSpace, Protection, VAddr, MmuError};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut vm = AddressSpace::new();
+//! let region = vm.map_fixed(VAddr(0x2_0000_0000), 4096, Protection::ReadOnly)?;
+//! // A write faults like SIGSEGV...
+//! assert!(matches!(vm.store::<u32>(VAddr(0x2_0000_0000), 7), Err(MmuError::Fault(_))));
+//! // ...the "handler" upgrades permissions and the retry succeeds.
+//! vm.protect(VAddr(0x2_0000_0000), 4096, Protection::ReadWrite)?;
+//! vm.store::<u32>(VAddr(0x2_0000_0000), 7)?;
+//! # let _ = region;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod access;
+pub mod addr;
+pub mod fault;
+pub mod frame;
+pub mod prot;
+pub mod space;
+pub mod table;
+
+pub use access::{from_bytes, to_bytes, Scalar};
+pub use addr::{pages_covering, VAddr, VPage, PAGE_SIZE, PAGE_SHIFT};
+pub use fault::{Fault, MmuError, MmuResult};
+pub use prot::{AccessKind, Protection};
+pub use space::{AddressSpace, Region, RegionId};

@@ -1,0 +1,88 @@
+//! Page protection modes and access kinds.
+//!
+//! The GMAC coherence protocols drive these exactly like `mprotect()` in the
+//! paper (§4.3): *Invalid* blocks are mapped with [`Protection::None`] so any
+//! access faults, *ReadOnly* blocks fault on write, *Dirty* blocks are
+//! [`Protection::ReadWrite`].
+
+use std::fmt;
+
+/// What an access attempts to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => f.write_str("read"),
+            AccessKind::Write => f.write_str("write"),
+        }
+    }
+}
+
+/// Per-page permission bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Protection {
+    /// No access permitted (paper: invalid state — `PROT_NONE`).
+    #[default]
+    None,
+    /// Loads permitted, stores fault (paper: read-only state — `PROT_READ`).
+    ReadOnly,
+    /// All access permitted (paper: dirty state — `PROT_READ|PROT_WRITE`).
+    ReadWrite,
+}
+
+impl Protection {
+    /// Whether this protection permits `kind`.
+    pub fn allows(self, kind: AccessKind) -> bool {
+        match (self, kind) {
+            (Protection::ReadWrite, _) => true,
+            (Protection::ReadOnly, AccessKind::Read) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Protection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protection::None => f.write_str("---"),
+            Protection::ReadOnly => f.write_str("r--"),
+            Protection::ReadWrite => f.write_str("rw-"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permission_matrix() {
+        assert!(!Protection::None.allows(AccessKind::Read));
+        assert!(!Protection::None.allows(AccessKind::Write));
+        assert!(Protection::ReadOnly.allows(AccessKind::Read));
+        assert!(!Protection::ReadOnly.allows(AccessKind::Write));
+        assert!(Protection::ReadWrite.allows(AccessKind::Read));
+        assert!(Protection::ReadWrite.allows(AccessKind::Write));
+    }
+
+    #[test]
+    fn display_is_mprotect_like() {
+        assert_eq!(Protection::None.to_string(), "---");
+        assert_eq!(Protection::ReadOnly.to_string(), "r--");
+        assert_eq!(Protection::ReadWrite.to_string(), "rw-");
+        assert_eq!(AccessKind::Read.to_string(), "read");
+        assert_eq!(AccessKind::Write.to_string(), "write");
+    }
+
+    #[test]
+    fn default_is_none() {
+        assert_eq!(Protection::default(), Protection::None);
+    }
+}

@@ -1,0 +1,568 @@
+//! The simulated host address space: region bookkeeping (`mmap`-like),
+//! per-page protection (`mprotect`-like) and checked access paths.
+
+use crate::addr::{pages_covering, VAddr, PAGE_SIZE, VADDR_LIMIT};
+use crate::fault::{Fault, MmuError, MmuResult};
+use crate::frame::FrameArena;
+use crate::prot::{AccessKind, Protection};
+use crate::table::{PageTable, Pte};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifies a mapped region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u64);
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "region:{}", self.0)
+    }
+}
+
+/// A contiguous mapped range of the address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// Region identifier.
+    pub id: RegionId,
+    /// First byte (page aligned).
+    pub start: VAddr,
+    /// Length in bytes (page aligned).
+    pub len: u64,
+}
+
+impl Region {
+    /// One past the last byte.
+    pub fn end(&self) -> VAddr {
+        self.start + self.len
+    }
+
+    /// True when `addr` lies inside the region.
+    pub fn contains(&self, addr: VAddr) -> bool {
+        addr >= self.start && addr < self.end()
+    }
+}
+
+/// Base of the area used by anonymous (`map_anywhere`) mappings, chosen away
+/// from the device windows used by the unified-address trick.
+const MMAP_BASE: u64 = 0x7000_0000_0000;
+
+/// The software MMU: page table + frames + region registry.
+#[derive(Debug)]
+pub struct AddressSpace {
+    table: PageTable,
+    frames: FrameArena,
+    regions: BTreeMap<u64, Region>,
+    next_id: u64,
+    mmap_cursor: u64,
+    faults_observed: u64,
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        AddressSpace {
+            table: PageTable::new(),
+            frames: FrameArena::new(),
+            regions: BTreeMap::new(),
+            next_id: 1,
+            mmap_cursor: MMAP_BASE,
+            faults_observed: 0,
+        }
+    }
+
+    // ----- mapping -----------------------------------------------------------
+
+    /// Maps `len` bytes at exactly `addr` (like `mmap(MAP_FIXED)`), the
+    /// primitive GMAC uses to mirror an accelerator range in system memory
+    /// (paper §4.2). All pages get protection `prot`.
+    ///
+    /// # Errors
+    /// Fails if `addr` is unaligned/non-canonical, `len` is zero, or the
+    /// range overlaps an existing region.
+    pub fn map_fixed(&mut self, addr: VAddr, len: u64, prot: Protection) -> MmuResult<RegionId> {
+        if !addr.is_page_aligned() {
+            return Err(MmuError::Misaligned(addr));
+        }
+        if len == 0 {
+            return Err(MmuError::BadLength);
+        }
+        let len = VAddr(len).page_up().0;
+        let end = addr.checked_add(len).ok_or(MmuError::OutOfVirtualSpace)?;
+        if end.0 > VADDR_LIMIT {
+            return Err(MmuError::OutOfVirtualSpace);
+        }
+        if self.overlaps(addr, len) {
+            return Err(MmuError::Overlap { addr, len });
+        }
+        let id = RegionId(self.next_id);
+        self.next_id += 1;
+        for page in pages_covering(addr, len) {
+            let pte = Pte { frame: self.frames.alloc(), prot, region: id };
+            let prev = self.table.map(page, pte);
+            debug_assert!(prev.is_none(), "overlap check missed a mapped page");
+        }
+        self.regions.insert(addr.0, Region { id, start: addr, len });
+        Ok(id)
+    }
+
+    /// Maps `len` bytes at a kernel-chosen address (like anonymous `mmap`),
+    /// the fallback behind `adsmSafeAlloc`.
+    ///
+    /// # Errors
+    /// Fails when the virtual address space is exhausted.
+    pub fn map_anywhere(&mut self, len: u64, prot: Protection) -> MmuResult<(RegionId, VAddr)> {
+        if len == 0 {
+            return Err(MmuError::BadLength);
+        }
+        let len_rounded = VAddr(len).page_up().0;
+        // Bump allocation with a guard page between regions; the 48-bit space
+        // is large enough that reuse is unnecessary for simulation lifetimes.
+        let mut addr = VAddr(self.mmap_cursor);
+        while self.overlaps(addr, len_rounded) {
+            let next = self
+                .regions
+                .range(addr.0..)
+                .next()
+                .map(|(_, r)| r.end().page_up() + PAGE_SIZE)
+                .ok_or(MmuError::OutOfVirtualSpace)?;
+            addr = next;
+        }
+        if addr.0 + len_rounded > VADDR_LIMIT {
+            return Err(MmuError::OutOfVirtualSpace);
+        }
+        let id = self.map_fixed(addr, len_rounded, prot)?;
+        self.mmap_cursor = (addr + len_rounded + PAGE_SIZE).0;
+        Ok((id, addr))
+    }
+
+    /// Unmaps a region, releasing its frames.
+    ///
+    /// # Errors
+    /// [`MmuError::InvalidRegion`] when the region does not exist.
+    pub fn unmap_region(&mut self, id: RegionId) -> MmuResult<()> {
+        let start = self
+            .regions
+            .iter()
+            .find(|(_, r)| r.id == id)
+            .map(|(&s, _)| s)
+            .ok_or(MmuError::InvalidRegion(id))?;
+        let region = self.regions.remove(&start).expect("region key vanished");
+        for page in pages_covering(region.start, region.len) {
+            let pte = self.table.unmap(page).expect("region page not mapped");
+            self.frames.free(pte.frame);
+        }
+        Ok(())
+    }
+
+    /// Changes protection of `[addr, addr+len)` (like `mprotect`). `addr`
+    /// must be page aligned; `len` is rounded up to whole pages.
+    ///
+    /// # Errors
+    /// Fails on misalignment or if any page in the range is unmapped.
+    pub fn protect(&mut self, addr: VAddr, len: u64, prot: Protection) -> MmuResult<()> {
+        if !addr.is_page_aligned() {
+            return Err(MmuError::Misaligned(addr));
+        }
+        // Validate first so the operation is atomic.
+        for page in pages_covering(addr, len) {
+            if self.table.lookup(page).is_none() {
+                return Err(MmuError::Unmapped(page.base()));
+            }
+        }
+        for page in pages_covering(addr, len) {
+            self.table.protect(page, prot);
+        }
+        Ok(())
+    }
+
+    // ----- introspection -------------------------------------------------------
+
+    /// The region containing `addr`, if any.
+    pub fn region_at(&self, addr: VAddr) -> Option<&Region> {
+        self.regions
+            .range(..=addr.0)
+            .next_back()
+            .map(|(_, r)| r)
+            .filter(|r| r.contains(addr))
+    }
+
+    /// Region by id.
+    pub fn region(&self, id: RegionId) -> Option<&Region> {
+        self.regions.values().find(|r| r.id == id)
+    }
+
+    /// Number of mapped regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Number of mapped pages.
+    pub fn mapped_pages(&self) -> u64 {
+        self.table.mapped_pages()
+    }
+
+    /// Protection of the page containing `addr`, if mapped.
+    pub fn protection_at(&self, addr: VAddr) -> Option<Protection> {
+        self.table.lookup(addr.page()).map(|p| p.prot)
+    }
+
+    /// Total protection faults this address space has reported.
+    pub fn faults_observed(&self) -> u64 {
+        self.faults_observed
+    }
+
+    // ----- checked access -------------------------------------------------------
+
+    /// Verifies that `[addr, addr+len)` is mapped and permits `kind`.
+    ///
+    /// # Errors
+    /// Returns [`MmuError::Fault`] on the first protection violation (the
+    /// simulated `SIGSEGV`) or [`MmuError::Unmapped`] for holes.
+    pub fn check(&mut self, addr: VAddr, len: u64, kind: AccessKind) -> MmuResult<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        for page in pages_covering(addr, len) {
+            let pte = self.table.lookup(page).ok_or(MmuError::Unmapped(page.base()))?;
+            if !pte.prot.allows(kind) {
+                self.faults_observed += 1;
+                return Err(MmuError::Fault(Fault {
+                    addr: page.base().max(addr),
+                    kind,
+                    prot: pte.prot,
+                    region: pte.region,
+                }));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checked read: validates permissions for the whole range, then copies.
+    ///
+    /// # Errors
+    /// Propagates [`Self::check`] errors; no partial copy occurs on failure.
+    pub fn read_bytes(&mut self, addr: VAddr, out: &mut [u8]) -> MmuResult<()> {
+        self.check(addr, out.len() as u64, AccessKind::Read)?;
+        self.copy_out(addr, out)
+    }
+
+    /// Checked write: validates permissions for the whole range, then copies.
+    ///
+    /// # Errors
+    /// Propagates [`Self::check`] errors; no partial copy occurs on failure.
+    pub fn write_bytes(&mut self, addr: VAddr, src: &[u8]) -> MmuResult<()> {
+        self.check(addr, src.len() as u64, AccessKind::Write)?;
+        self.copy_in(addr, src)
+    }
+
+    /// Checked fill of `len` bytes with `value`.
+    ///
+    /// # Errors
+    /// Propagates [`Self::check`] errors; no partial fill occurs on failure.
+    pub fn fill(&mut self, addr: VAddr, value: u8, len: u64) -> MmuResult<()> {
+        self.check(addr, len, AccessKind::Write)?;
+        let mut cur = addr;
+        let mut remaining = len;
+        while remaining > 0 {
+            let page = cur.page();
+            let off = cur.page_offset() as usize;
+            let n = ((PAGE_SIZE - cur.page_offset()).min(remaining)) as usize;
+            let pte = *self.table.lookup(page).expect("checked page vanished");
+            self.frames.bytes_mut(pte.frame)[off..off + n].fill(value);
+            cur = cur + n as u64;
+            remaining -= n as u64;
+        }
+        Ok(())
+    }
+
+    /// Unchecked ("kernel-mode") read used by the runtime itself, e.g. to
+    /// stage DMA. Ignores protection but requires the range to be mapped.
+    ///
+    /// # Errors
+    /// [`MmuError::Unmapped`] for holes.
+    pub fn read_raw(&self, addr: VAddr, out: &mut [u8]) -> MmuResult<()> {
+        self.require_mapped(addr, out.len() as u64)?;
+        let mut this = self;
+        let _ = &mut this;
+        // copy_out needs &self only; reuse the same loop.
+        self.copy_out_ref(addr, out)
+    }
+
+    /// Unchecked ("kernel-mode") write used by the runtime itself, e.g. to
+    /// land DMA results. Ignores protection but requires the range mapped.
+    ///
+    /// # Errors
+    /// [`MmuError::Unmapped`] for holes.
+    pub fn write_raw(&mut self, addr: VAddr, src: &[u8]) -> MmuResult<()> {
+        self.require_mapped(addr, src.len() as u64)?;
+        self.copy_in(addr, src)
+    }
+
+    /// Convenience: raw read into a fresh buffer.
+    ///
+    /// # Errors
+    /// [`MmuError::Unmapped`] for holes.
+    pub fn gather(&self, addr: VAddr, len: u64) -> MmuResult<Vec<u8>> {
+        let mut buf = vec![0u8; len as usize];
+        self.read_raw(addr, &mut buf)?;
+        Ok(buf)
+    }
+
+    fn require_mapped(&self, addr: VAddr, len: u64) -> MmuResult<()> {
+        for page in pages_covering(addr, len) {
+            if self.table.lookup(page).is_none() {
+                return Err(MmuError::Unmapped(page.base()));
+            }
+        }
+        Ok(())
+    }
+
+    fn overlaps(&self, addr: VAddr, len: u64) -> bool {
+        let end = addr.0 + len;
+        // A region starting before `end` whose end exceeds `addr`.
+        self.regions
+            .range(..end)
+            .next_back()
+            .map(|(_, r)| r.end().0 > addr.0)
+            .unwrap_or(false)
+    }
+
+    fn copy_out(&mut self, addr: VAddr, out: &mut [u8]) -> MmuResult<()> {
+        self.copy_out_ref(addr, out)
+    }
+
+    fn copy_out_ref(&self, addr: VAddr, out: &mut [u8]) -> MmuResult<()> {
+        let mut cur = addr;
+        let mut done = 0usize;
+        while done < out.len() {
+            let page = cur.page();
+            let off = cur.page_offset() as usize;
+            let n = ((PAGE_SIZE as usize - off).min(out.len() - done)) as usize;
+            let pte = self.table.lookup(page).ok_or(MmuError::Unmapped(page.base()))?;
+            out[done..done + n].copy_from_slice(&self.frames.bytes(pte.frame)[off..off + n]);
+            cur = cur + n as u64;
+            done += n;
+        }
+        Ok(())
+    }
+
+    fn copy_in(&mut self, addr: VAddr, src: &[u8]) -> MmuResult<()> {
+        let mut cur = addr;
+        let mut done = 0usize;
+        while done < src.len() {
+            let page = cur.page();
+            let off = cur.page_offset() as usize;
+            let n = (PAGE_SIZE as usize - off).min(src.len() - done);
+            let pte = *self.table.lookup(page).ok_or(MmuError::Unmapped(page.base()))?;
+            self.frames.bytes_mut(pte.frame)[off..off + n].copy_from_slice(&src[done..done + n]);
+            cur = cur + n as u64;
+            done += n;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RW: Protection = Protection::ReadWrite;
+    const RO: Protection = Protection::ReadOnly;
+
+    #[test]
+    fn map_fixed_and_rw_roundtrip() {
+        let mut vm = AddressSpace::new();
+        let a = VAddr(0x2_0000_0000);
+        let id = vm.map_fixed(a, 8192, RW).unwrap();
+        assert_eq!(vm.region_count(), 1);
+        assert_eq!(vm.mapped_pages(), 2);
+        assert_eq!(vm.region_at(a + 100).unwrap().id, id);
+
+        vm.write_bytes(a + 4090, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap(); // straddles pages
+        let mut out = [0u8; 8];
+        vm.read_bytes(a + 4090, &mut out).unwrap();
+        assert_eq!(out, [1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn map_fixed_rejects_overlap_and_misalignment() {
+        let mut vm = AddressSpace::new();
+        let a = VAddr(0x1000_0000);
+        vm.map_fixed(a, 4 * PAGE_SIZE, RW).unwrap();
+        // Exact overlap.
+        assert!(matches!(vm.map_fixed(a, PAGE_SIZE, RW), Err(MmuError::Overlap { .. })));
+        // Partial overlap from below.
+        assert!(matches!(
+            vm.map_fixed(VAddr(a.0 - PAGE_SIZE), 2 * PAGE_SIZE, RW),
+            Err(MmuError::Overlap { .. })
+        ));
+        // Tail overlap.
+        assert!(matches!(
+            vm.map_fixed(a + 3 * PAGE_SIZE, 2 * PAGE_SIZE, RW),
+            Err(MmuError::Overlap { .. })
+        ));
+        // Adjacent is fine.
+        assert!(vm.map_fixed(a + 4 * PAGE_SIZE, PAGE_SIZE, RW).is_ok());
+        // Misaligned.
+        assert!(matches!(vm.map_fixed(VAddr(0x123), PAGE_SIZE, RW), Err(MmuError::Misaligned(_))));
+        // Zero length.
+        assert!(matches!(vm.map_fixed(VAddr(0x9000_0000), 0, RW), Err(MmuError::BadLength)));
+    }
+
+    #[test]
+    fn map_anywhere_finds_space() {
+        let mut vm = AddressSpace::new();
+        let (id1, a1) = vm.map_anywhere(10 * PAGE_SIZE, RW).unwrap();
+        let (id2, a2) = vm.map_anywhere(PAGE_SIZE, RW).unwrap();
+        assert_ne!(id1, id2);
+        assert!(a2.0 >= a1.0 + 10 * PAGE_SIZE);
+        vm.write_bytes(a2, &[9]).unwrap();
+    }
+
+    #[test]
+    fn unmap_releases_frames_and_addresses() {
+        let mut vm = AddressSpace::new();
+        let a = VAddr(0x5000_0000);
+        let id = vm.map_fixed(a, 2 * PAGE_SIZE, RW).unwrap();
+        vm.unmap_region(id).unwrap();
+        assert_eq!(vm.region_count(), 0);
+        assert_eq!(vm.mapped_pages(), 0);
+        assert!(matches!(vm.read_bytes(a, &mut [0u8; 1]), Err(MmuError::Unmapped(_))));
+        // Address can be mapped again.
+        vm.map_fixed(a, PAGE_SIZE, RW).unwrap();
+        // Unknown region id errors.
+        assert!(matches!(vm.unmap_region(RegionId(999)), Err(MmuError::InvalidRegion(_))));
+    }
+
+    #[test]
+    fn read_only_pages_fault_on_write() {
+        let mut vm = AddressSpace::new();
+        let a = VAddr(0x3000_0000);
+        vm.map_fixed(a, PAGE_SIZE, RO).unwrap();
+        // Reads fine.
+        vm.read_bytes(a, &mut [0u8; 16]).unwrap();
+        // Writes fault with the right details.
+        match vm.write_bytes(a + 8, &[1]) {
+            Err(MmuError::Fault(f)) => {
+                assert_eq!(f.addr, a + 8);
+                assert_eq!(f.kind, AccessKind::Write);
+                assert_eq!(f.prot, RO);
+            }
+            other => panic!("expected fault, got {other:?}"),
+        }
+        assert_eq!(vm.faults_observed(), 1);
+    }
+
+    #[test]
+    fn none_pages_fault_on_read_and_write() {
+        let mut vm = AddressSpace::new();
+        let a = VAddr(0x3000_0000);
+        vm.map_fixed(a, PAGE_SIZE, Protection::None).unwrap();
+        assert!(matches!(vm.read_bytes(a, &mut [0u8; 1]), Err(MmuError::Fault(_))));
+        assert!(matches!(vm.write_bytes(a, &[0]), Err(MmuError::Fault(_))));
+        assert_eq!(vm.faults_observed(), 2);
+    }
+
+    #[test]
+    fn faults_are_atomic_no_partial_write() {
+        let mut vm = AddressSpace::new();
+        let a = VAddr(0x3000_0000);
+        vm.map_fixed(a, PAGE_SIZE, RW).unwrap();
+        vm.map_fixed(a + PAGE_SIZE, PAGE_SIZE, RO).unwrap();
+        // Write spanning RW page then RO page: must fail without touching
+        // the RW page.
+        let res = vm.write_bytes(a + PAGE_SIZE - 4, &[7u8; 8]);
+        assert!(matches!(res, Err(MmuError::Fault(_))));
+        let mut probe = [0xAAu8; 4];
+        vm.read_bytes(a + PAGE_SIZE - 4, &mut probe).unwrap();
+        assert_eq!(probe, [0, 0, 0, 0], "no partial effects before the fault");
+    }
+
+    #[test]
+    fn fault_addr_is_first_offending_byte() {
+        let mut vm = AddressSpace::new();
+        let a = VAddr(0x3000_0000);
+        vm.map_fixed(a, PAGE_SIZE, RW).unwrap();
+        vm.map_fixed(a + PAGE_SIZE, PAGE_SIZE, RO).unwrap();
+        match vm.write_bytes(a + PAGE_SIZE - 4, &[7u8; 8]) {
+            Err(MmuError::Fault(f)) => assert_eq!(f.addr, a + PAGE_SIZE),
+            other => panic!("expected fault, got {other:?}"),
+        }
+        // Access starting mid-page reports the access start, not page base.
+        match vm.write_bytes(a + PAGE_SIZE + 100, &[1]) {
+            Err(MmuError::Fault(f)) => assert_eq!(f.addr, a + PAGE_SIZE + 100),
+            other => panic!("expected fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn protect_changes_permissions() {
+        let mut vm = AddressSpace::new();
+        let a = VAddr(0x4000_0000);
+        vm.map_fixed(a, 4 * PAGE_SIZE, RO).unwrap();
+        vm.protect(a + PAGE_SIZE, PAGE_SIZE, RW).unwrap();
+        assert_eq!(vm.protection_at(a).unwrap(), RO);
+        assert_eq!(vm.protection_at(a + PAGE_SIZE).unwrap(), RW);
+        vm.write_bytes(a + PAGE_SIZE, &[1]).unwrap();
+        assert!(matches!(vm.write_bytes(a, &[1]), Err(MmuError::Fault(_))));
+        // Protect of unmapped range fails atomically.
+        assert!(matches!(
+            vm.protect(a + 3 * PAGE_SIZE, 2 * PAGE_SIZE, RW),
+            Err(MmuError::Unmapped(_))
+        ));
+        assert_eq!(vm.protection_at(a + 3 * PAGE_SIZE).unwrap(), RO);
+    }
+
+    #[test]
+    fn raw_access_ignores_protection() {
+        let mut vm = AddressSpace::new();
+        let a = VAddr(0x4000_0000);
+        vm.map_fixed(a, PAGE_SIZE, Protection::None).unwrap();
+        vm.write_raw(a, &[5, 6, 7]).unwrap();
+        let mut out = [0u8; 3];
+        vm.read_raw(a, &mut out).unwrap();
+        assert_eq!(out, [5, 6, 7]);
+        assert_eq!(vm.gather(a, 3).unwrap(), vec![5, 6, 7]);
+        assert_eq!(vm.faults_observed(), 0, "raw access never faults");
+        // But raw access still requires mappings.
+        assert!(matches!(vm.write_raw(a + PAGE_SIZE, &[1]), Err(MmuError::Unmapped(_))));
+    }
+
+    #[test]
+    fn fill_respects_protection_and_page_boundaries() {
+        let mut vm = AddressSpace::new();
+        let a = VAddr(0x6000_0000);
+        vm.map_fixed(a, 2 * PAGE_SIZE, RW).unwrap();
+        vm.fill(a + 4000, 0xCC, 200).unwrap(); // crosses the boundary
+        let mut out = [0u8; 200];
+        vm.read_bytes(a + 4000, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0xCC));
+        vm.protect(a, PAGE_SIZE, RO).unwrap();
+        assert!(matches!(vm.fill(a, 0xDD, 8), Err(MmuError::Fault(_))));
+    }
+
+    #[test]
+    fn region_at_boundaries() {
+        let mut vm = AddressSpace::new();
+        let a = VAddr(0x7000_0000);
+        let id = vm.map_fixed(a, 2 * PAGE_SIZE, RW).unwrap();
+        assert_eq!(vm.region_at(a).unwrap().id, id);
+        assert_eq!(vm.region_at(a + 2 * PAGE_SIZE - 1).unwrap().id, id);
+        assert!(vm.region_at(a + 2 * PAGE_SIZE).is_none());
+        assert!(vm.region_at(VAddr(a.0 - 1)).is_none());
+        assert_eq!(vm.region(id).unwrap().len, 2 * PAGE_SIZE);
+        assert!(vm.region(RegionId(999)).is_none());
+    }
+
+    #[test]
+    fn zero_length_check_is_ok() {
+        let mut vm = AddressSpace::new();
+        assert!(vm.check(VAddr(0x123), 0, AccessKind::Write).is_ok());
+    }
+}

@@ -1,0 +1,65 @@
+//! # workloads — the paper's applications, twice each
+//!
+//! Functional re-implementations of the benchmarks the GMAC paper evaluates:
+//! the seven Parboil applications of Table 2 (`cp`, `mri-fhd`, `mri-q`,
+//! `pns`, `rpes`, `sad`, `tpacf`), the §5.2 vector-addition and §5.1
+//! 3D-stencil micro-benchmarks, and the analytic NPB bandwidth model behind
+//! Figure 2.
+//!
+//! Every application is implemented **twice over the same kernels**:
+//!
+//! * a CUDA-style baseline (explicit `cudaMalloc`/`cudaMemcpy`, double
+//!   pointers — the paper's Figure 3 pattern), and
+//! * a GMAC/ADSM version (single shared pointer, no explicit transfers —
+//!   the Figure 4 pattern).
+//!
+//! The test suite asserts the two variants produce bit-identical outputs, so
+//! any performance difference is attributable to the programming model — the
+//! comparison Figures 7, 8 and 10 make.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod common;
+pub mod cp;
+pub mod mrifhd;
+pub mod mriq;
+pub mod npb;
+pub mod pns;
+pub mod rpes;
+pub mod sad;
+pub mod stencil3d;
+pub mod tpacf;
+pub mod vecadd;
+
+pub use common::{
+    run_variant, run_variant_with, Digest, Prng, RunResult, Variant, Workload, WorkloadError,
+    WorkloadResult,
+};
+
+/// The seven Parboil workloads at their default (figure) scales, in the
+/// paper's presentation order.
+pub fn parboil_suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(cp::Cp::default()),
+        Box::new(mrifhd::MriFhd::default()),
+        Box::new(mriq::MriQ::default()),
+        Box::new(pns::Pns::default()),
+        Box::new(rpes::Rpes::default()),
+        Box::new(sad::Sad::default()),
+        Box::new(tpacf::Tpacf::default()),
+    ]
+}
+
+/// Scaled-down instances of the full suite for fast test runs.
+pub fn parboil_suite_small() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(cp::Cp::small()),
+        Box::new(mrifhd::MriFhd::small()),
+        Box::new(mriq::MriQ::small()),
+        Box::new(pns::Pns::small()),
+        Box::new(rpes::Rpes::small()),
+        Box::new(sad::Sad::small()),
+        Box::new(tpacf::Tpacf::small()),
+    ]
+}

@@ -1,0 +1,121 @@
+//! NAS Parallel Benchmark bandwidth-requirement model (paper Figure 2).
+//!
+//! The paper estimates "the average memory bandwidth requirements for the
+//! computationally intensive kernels of some NPB benchmarks, assuming an
+//! 800 MHz clock frequency for different values of IPC" and compares them
+//! against the bandwidths of PCIe, QPI, HyperTransport and the NVIDIA GTX295
+//! on-board memory. The punch line: "if all data accesses are done through a
+//! PCIe bus, the maximum achievable value of IPC is 50 for bt and 5 for ua".
+//!
+//! The model is analytic: each kernel is characterised by its average *bytes
+//! accessed per instruction* (calibrated from the paper's two anchor points),
+//! and `required_bandwidth = IPC × clock × bytes_per_instruction`.
+
+use hetsim::{BytesPerSec, LinkModel};
+
+/// Accelerator clock frequency assumed by the paper's estimate.
+pub const NPB_CLOCK_HZ: f64 = 800e6;
+
+/// An NPB kernel's memory-traffic characteristic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NpbKernel {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Average bytes of memory traffic per executed instruction.
+    pub bytes_per_instr: f64,
+}
+
+/// The five benchmarks of Figure 2.
+///
+/// `bt` and `ua` are calibrated exactly to the paper's anchors (IPC 50 and
+/// IPC 5 saturate an 8 GB/s PCIe link at 800 MHz); `ep`/`lu`/`mg` are placed
+/// by their well-known arithmetic intensities (ep is embarrassingly
+/// compute-heavy, mg is memory-bound multigrid).
+pub const NPB_KERNELS: [NpbKernel; 5] = [
+    NpbKernel { name: "bt", bytes_per_instr: 0.2 },
+    NpbKernel { name: "ep", bytes_per_instr: 0.05 },
+    NpbKernel { name: "lu", bytes_per_instr: 0.6 },
+    NpbKernel { name: "mg", bytes_per_instr: 1.1 },
+    NpbKernel { name: "ua", bytes_per_instr: 2.0 },
+];
+
+impl NpbKernel {
+    /// Kernel by name.
+    pub fn by_name(name: &str) -> Option<NpbKernel> {
+        NPB_KERNELS.iter().copied().find(|k| k.name == name)
+    }
+
+    /// Bandwidth required to sustain `ipc` at the NPB clock.
+    pub fn required_bandwidth(&self, ipc: f64) -> BytesPerSec {
+        BytesPerSec::new((ipc * NPB_CLOCK_HZ * self.bytes_per_instr).max(f64::MIN_POSITIVE))
+    }
+
+    /// Maximum IPC a link of `bw` can sustain for this kernel.
+    pub fn max_ipc(&self, bw: BytesPerSec) -> f64 {
+        bw.as_bps() / (NPB_CLOCK_HZ * self.bytes_per_instr)
+    }
+}
+
+/// The four comparison lines of Figure 2, in plot order.
+pub fn figure2_links() -> [LinkModel; 4] {
+    [
+        LinkModel::pcie(),
+        LinkModel::qpi(),
+        LinkModel::hypertransport(),
+        LinkModel::gtx295_memory(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_points_hold() {
+        // "the maximum achievable value of IPC is 50 for bt and 5 for ua"
+        // over PCIe.
+        let pcie = LinkModel::pcie().peak();
+        let bt = NpbKernel::by_name("bt").unwrap();
+        let ua = NpbKernel::by_name("ua").unwrap();
+        assert!((bt.max_ipc(pcie) - 50.0).abs() < 1.0, "bt: {}", bt.max_ipc(pcie));
+        assert!((ua.max_ipc(pcie) - 5.0).abs() < 0.2, "ua: {}", ua.max_ipc(pcie));
+    }
+
+    #[test]
+    fn required_bandwidth_is_linear_in_ipc() {
+        let mg = NpbKernel::by_name("mg").unwrap();
+        let b10 = mg.required_bandwidth(10.0).as_bps();
+        let b20 = mg.required_bandwidth(20.0).as_bps();
+        assert!((b20 / b10 - 2.0).abs() < 1e-9);
+        // IPC 10 at 1.1 B/instr and 800 MHz = 8.8 GB/s.
+        assert!((b10 - 8.8e9).abs() < 1e3);
+    }
+
+    #[test]
+    fn gpu_memory_supports_much_higher_ipc_than_pcie() {
+        // The motivating claim: on-board memory sustains far higher IPC than
+        // any host interconnect, for every benchmark.
+        let pcie = LinkModel::pcie().peak();
+        let gddr = LinkModel::gtx295_memory().peak();
+        for k in NPB_KERNELS {
+            assert!(k.max_ipc(gddr) > 10.0 * k.max_ipc(pcie), "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn kernels_ordered_by_intensity() {
+        // ep is the most compute-dense; ua the most memory-hungry.
+        let by_bpi: Vec<f64> = NPB_KERNELS.iter().map(|k| k.bytes_per_instr).collect();
+        assert!(by_bpi.iter().cloned().fold(f64::INFINITY, f64::min) == 0.05);
+        assert!(by_bpi.iter().cloned().fold(0.0, f64::max) == 2.0);
+        assert!(NpbKernel::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn figure2_has_four_lines() {
+        let links = figure2_links();
+        assert_eq!(links.len(), 4);
+        assert_eq!(links[0].name(), "PCIe");
+        assert_eq!(links[3].name(), "NVIDIA GTX295 Memory");
+    }
+}

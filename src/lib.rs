@@ -1,0 +1,33 @@
+//! # adsm — umbrella crate
+//!
+//! Re-exports the whole GMAC/ADSM stack (ASPLOS'10 reproduction) so examples
+//! and integration tests can use a single dependency.
+//!
+//! * [`hetsim`] — simulated heterogeneous platform (CPU + accelerators + PCIe
+//!   + disk + virtual clock).
+//! * [`softmmu`] — software MMU: page tables, protection, faults.
+//! * [`cudart`] — CUDA-runtime-like shim (the baseline programming model).
+//! * [`gmac`] — the ADSM runtime itself (the paper's contribution).
+//! * [`workloads`] — Parboil-like applications and micro-benchmarks.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use adsm::gmac::{Context, GmacConfig, Protocol};
+//! use adsm::hetsim::Platform;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let platform = Platform::desktop_g280();
+//! let mut ctx = Context::new(platform, GmacConfig::default().protocol(Protocol::Rolling));
+//! let v = ctx.alloc(1024 * 1024)?; // one pointer, valid on CPU *and* accelerator
+//! ctx.store::<f32>(v, 42.0)?;
+//! assert_eq!(ctx.load::<f32>(v)?, 42.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use cudart;
+pub use gmac;
+pub use hetsim;
+pub use softmmu;
+pub use workloads;

@@ -1,0 +1,97 @@
+//! Cross-crate integration: every workload produces bit-identical outputs
+//! under the CUDA baseline and all three GMAC protocols, and the platform's
+//! time accounting stays consistent throughout.
+
+use adsm::gmac::Protocol;
+use adsm::hetsim::Category;
+use adsm::workloads::{parboil_suite_small, run_variant, Variant};
+
+#[test]
+fn all_parboil_workloads_agree_across_variants() {
+    for w in parboil_suite_small() {
+        let baseline = run_variant(w.as_ref(), Variant::Cuda).unwrap();
+        for protocol in Protocol::ALL {
+            let r = run_variant(w.as_ref(), Variant::Gmac(protocol)).unwrap();
+            assert_eq!(
+                r.digest,
+                baseline.digest,
+                "{} output differs between CUDA and {protocol}",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn ledger_partitions_time_for_every_workload_and_variant() {
+    // The Figure 10 invariant: the break-down accounts for all elapsed time.
+    for w in parboil_suite_small() {
+        for variant in Variant::ALL {
+            let r = run_variant(w.as_ref(), variant).unwrap();
+            assert_eq!(
+                r.ledger.total(),
+                r.elapsed,
+                "{} under {variant}: ledger does not partition elapsed time",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_never_faults_and_detection_protocols_do() {
+    for w in parboil_suite_small() {
+        let batch = run_variant(w.as_ref(), Variant::Gmac(Protocol::Batch)).unwrap();
+        assert_eq!(
+            batch.counters.unwrap().faults(),
+            0,
+            "{}: batch-update must not use protection faults",
+            w.name()
+        );
+        let rolling = run_variant(w.as_ref(), Variant::Gmac(Protocol::Rolling)).unwrap();
+        assert!(
+            rolling.counters.unwrap().faults() > 0,
+            "{}: rolling-update should detect CPU accesses via faults",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn lazy_and_rolling_never_move_more_than_batch() {
+    for w in parboil_suite_small() {
+        let batch = run_variant(w.as_ref(), Variant::Gmac(Protocol::Batch)).unwrap();
+        for protocol in [Protocol::Lazy, Protocol::Rolling] {
+            let r = run_variant(w.as_ref(), Variant::Gmac(protocol)).unwrap();
+            assert!(
+                r.transfers.total_bytes() <= batch.transfers.total_bytes(),
+                "{} under {protocol} moved more than batch ({} > {})",
+                w.name(),
+                r.transfers.total_bytes(),
+                batch.transfers.total_bytes()
+            );
+        }
+    }
+}
+
+#[test]
+fn signal_overhead_small_across_suite() {
+    // Paper Figure 10: signal handling below 2% — allow a little slack on
+    // the scaled-down test inputs (which shrink every *other* category too).
+    for w in parboil_suite_small() {
+        let r = run_variant(w.as_ref(), Variant::Gmac(Protocol::Rolling)).unwrap();
+        let frac = r.ledger.get(Category::Signal).as_nanos() as f64
+            / r.ledger.total().as_nanos().max(1) as f64;
+        assert!(frac < 0.08, "{}: signal fraction {frac:.3} too large", w.name());
+    }
+}
+
+#[test]
+fn descriptions_match_table2() {
+    // Table 2 names all seven benchmarks.
+    let names: Vec<&str> = parboil_suite_small().iter().map(|w| w.name()).collect();
+    assert_eq!(names, ["cp", "mri-fhd", "mri-q", "pns", "rpes", "sad", "tpacf"]);
+    for w in parboil_suite_small() {
+        assert!(!w.description().is_empty());
+    }
+}
