@@ -22,8 +22,8 @@ fn ablation_tables(c: &mut Criterion) {
         let w = VecAdd { n: 512 * 1024 };
         println!("[ablation] protocol choice (vecadd 512k):");
         for protocol in Protocol::ALL {
-            let r = run_variant_with(&w, Variant::Gmac(protocol), GmacConfig::default())
-                .expect("run");
+            let r =
+                run_variant_with(&w, Variant::Gmac(protocol), GmacConfig::default()).expect("run");
             println!(
                 "[ablation]   {:<14} {:>10.3} ms  h2d {:>10} d2h {:>10}",
                 protocol.to_string(),
@@ -45,9 +45,35 @@ fn ablation_tables(c: &mut Criterion) {
             );
         }
 
-        // 3. Block size on the stencil (Figure 9 in miniature).
+        // 3. Dirty-range coalescing in the transfer planner (the dedicated
+        //    `coalescing` figure binary prints the full table).
+        println!("[ablation] transfer coalescing (stencil 64^3, rolling):");
+        let w = Stencil3d {
+            n: 64,
+            steps: 4,
+            dump_every: 4,
+        };
+        for coalescing in [true, false] {
+            let cfg = GmacConfig::default()
+                .block_size(64 << 10)
+                .coalescing(coalescing);
+            let r = run_variant_with(&w, Variant::Gmac(Protocol::Rolling), cfg).expect("run");
+            println!(
+                "[ablation]   coalescing={:<5} {:>10.3} ms  {:>6} dma jobs  {:>10} bytes",
+                coalescing,
+                r.elapsed.as_millis_f64(),
+                r.transfers.total_jobs(),
+                r.transfers.total_bytes(),
+            );
+        }
+
+        // 4. Block size on the stencil (Figure 9 in miniature).
         println!("[ablation] block size (stencil 64^3, rolling):");
-        let w = Stencil3d { n: 64, steps: 4, dump_every: 4 };
+        let w = Stencil3d {
+            n: 64,
+            steps: 4,
+            dump_every: 4,
+        };
         for bs in [16u64 << 10, 256 << 10, 4 << 20] {
             let cfg = GmacConfig::default().block_size(bs);
             let r = run_variant_with(&w, Variant::Gmac(Protocol::Rolling), cfg).expect("run");

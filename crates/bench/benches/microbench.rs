@@ -18,7 +18,9 @@ fn bench_page_table(c: &mut Criterion) {
         let mut vm = AddressSpace::new();
         let mut addr = 0x4_0000_0000u64;
         b.iter(|| {
-            let id = vm.map_fixed(VAddr(addr), PAGE_SIZE, Protection::ReadWrite).unwrap();
+            let id = vm
+                .map_fixed(VAddr(addr), PAGE_SIZE, Protection::ReadWrite)
+                .unwrap();
             vm.unmap_region(id).unwrap();
             addr += PAGE_SIZE * 2;
         });
@@ -38,7 +40,11 @@ fn bench_page_table(c: &mut Criterion) {
         vm.map_fixed(base, 1 << 20, Protection::ReadWrite).unwrap();
         let mut flip = false;
         b.iter(|| {
-            let prot = if flip { Protection::ReadOnly } else { Protection::ReadWrite };
+            let prot = if flip {
+                Protection::ReadOnly
+            } else {
+                Protection::ReadWrite
+            };
             flip = !flip;
             vm.protect(base, 64 << 10, prot).unwrap();
         });
@@ -52,20 +58,15 @@ fn bench_block_lookup(c: &mut Criterion) {
     let mut g = c.benchmark_group("manager_lookup");
     for &objects in &[16usize, 256] {
         for (label, kind) in [("tree", LookupKind::Tree), ("linear", LookupKind::Linear)] {
-            g.bench_with_input(
-                BenchmarkId::new(label, objects),
-                &objects,
-                |b, &objects| {
-                    let mut ctx = Context::new(
-                        Platform::desktop_g280(),
-                        GmacConfig::default().lookup(kind),
-                    );
-                    let ptrs: Vec<_> =
-                        (0..objects).map(|_| ctx.alloc(256 * 1024).unwrap()).collect();
-                    let probe = ptrs[objects / 2].byte_add(1234);
-                    b.iter(|| black_box(ctx.object_at(black_box(probe)).is_some()));
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(label, objects), &objects, |b, &objects| {
+                let mut ctx =
+                    Context::new(Platform::desktop_g280(), GmacConfig::default().lookup(kind));
+                let ptrs: Vec<_> = (0..objects)
+                    .map(|_| ctx.alloc(256 * 1024).unwrap())
+                    .collect();
+                let probe = ptrs[objects / 2].byte_add(1234);
+                b.iter(|| black_box(ctx.object_at(black_box(probe)).is_some()));
+            });
         }
     }
     g.finish();
@@ -78,7 +79,9 @@ fn bench_fault_path(c: &mut Criterion) {
     g.bench_function("write_fault_resolution", |b| {
         let mut ctx = Context::new(
             Platform::desktop_g280(),
-            GmacConfig::default().protocol(Protocol::Rolling).rolling_size(1_000_000),
+            GmacConfig::default()
+                .protocol(Protocol::Rolling)
+                .rolling_size(1_000_000),
         );
         let p = ctx.alloc(64 << 20).unwrap();
         let blocks = 64 << 20 >> 18; // 256 KiB blocks
@@ -123,7 +126,8 @@ fn bench_dma(c: &mut Criterion) {
             let dst = p.dev_alloc(DeviceId(0), size).unwrap();
             let src = vec![0xA5u8; size as usize];
             b.iter(|| {
-                p.copy_h2d(DeviceId(0), dst, black_box(&src), CopyMode::Sync).unwrap();
+                p.copy_h2d(DeviceId(0), dst, black_box(&src), CopyMode::Sync)
+                    .unwrap();
             });
         });
     }
@@ -151,9 +155,14 @@ fn bench_end_to_end(c: &mut Criterion) {
             let cc = ctx.alloc((n * 4) as u64).unwrap();
             ctx.store_slice(a, &vec![1.0f32; n]).unwrap();
             ctx.store_slice(bb, &vec![2.0f32; n]).unwrap();
-            let params =
-                [Param::Shared(a), Param::Shared(bb), Param::Shared(cc), Param::U64(n as u64)];
-            ctx.call("vecadd", LaunchDims::for_elements(n as u64, 256), &params).unwrap();
+            let params = [
+                Param::Shared(a),
+                Param::Shared(bb),
+                Param::Shared(cc),
+                Param::U64(n as u64),
+            ];
+            ctx.call("vecadd", LaunchDims::for_elements(n as u64, 256), &params)
+                .unwrap();
             ctx.sync().unwrap();
             black_box(ctx.load_slice::<f32>(cc, n).unwrap());
         });

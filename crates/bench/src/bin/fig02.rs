@@ -27,7 +27,13 @@ fn main() {
 
     body.push_str("\nMaximum sustainable IPC per interconnect:\n\n");
     let links = figure2_links();
-    let mut t = TextTable::new(["benchmark", "PCIe", "QPI", "HyperTransport", "GTX295 Memory"]);
+    let mut t = TextTable::new([
+        "benchmark",
+        "PCIe",
+        "QPI",
+        "HyperTransport",
+        "GTX295 Memory",
+    ]);
     for k in NPB_KERNELS {
         let mut row = vec![k.name.to_string()];
         for link in &links {

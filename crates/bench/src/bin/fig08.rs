@@ -26,7 +26,10 @@ fn main() {
         let batch = run_variant(w.as_ref(), Variant::Gmac(Protocol::Batch)).expect("batch");
         let lazy = run_variant(w.as_ref(), Variant::Gmac(Protocol::Lazy)).expect("lazy");
         let rolling = run_variant(w.as_ref(), Variant::Gmac(Protocol::Rolling)).expect("rolling");
-        let (bh, bd) = (batch.transfers.h2d_bytes.max(1), batch.transfers.d2h_bytes.max(1));
+        let (bh, bd) = (
+            batch.transfers.h2d_bytes.max(1),
+            batch.transfers.d2h_bytes.max(1),
+        );
         t.row([
             w.name().to_string(),
             fmt_bytes(batch.transfers.total_bytes()),

@@ -24,7 +24,9 @@ fn main() {
     let mut signal_max: f64 = 0.0;
     for w in &suite {
         eprintln!("[fig10] running {} ...", w.name());
-        let cfg = GmacConfig::default().protocol(Protocol::Rolling).aal(AalLayer::Driver);
+        let cfg = GmacConfig::default()
+            .protocol(Protocol::Rolling)
+            .aal(AalLayer::Driver);
         let r = run_variant_with(w.as_ref(), Variant::Gmac(Protocol::Rolling), cfg)
             .expect("rolling run");
         let total = r.ledger.total().as_nanos().max(1) as f64;

@@ -53,7 +53,9 @@ fn main() {
         platform.register_kernel(Arc::new(VecAddKernel));
         let mut ctx = Context::new(
             platform,
-            GmacConfig::default().protocol(Protocol::Rolling).block_size(bs),
+            GmacConfig::default()
+                .protocol(Protocol::Rolling)
+                .block_size(bs),
         );
         let bufs = alloc_buffers(&mut ctx, N).expect("alloc");
         let av: Vec<f32> = (0..N).map(|i| i as f32 * 0.5).collect();
@@ -69,7 +71,8 @@ fn main() {
             Param::Shared(bufs.c),
             Param::U64(N as u64),
         ];
-        ctx.call("vecadd", LaunchDims::for_elements(N as u64, 256), &params).expect("call");
+        ctx.call("vecadd", LaunchDims::for_elements(N as u64, 256), &params)
+            .expect("call");
         let h2d_time = ctx.ledger().get(Category::Copy) - copy0;
 
         ctx.sync().expect("sync");

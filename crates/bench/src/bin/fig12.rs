@@ -36,15 +36,21 @@ fn main() {
     };
     let mut body = String::new();
     body.push_str("Figure 12 — tpacf execution time vs block size and rolling size\n\n");
-    let mut t = TextTable::new(["block size", "tpacf-1", "tpacf-2", "tpacf-4", "h2d-1", "h2d-4"]);
+    let mut t = TextTable::new([
+        "block size",
+        "tpacf-1",
+        "tpacf-2",
+        "tpacf-4",
+        "h2d-1",
+        "h2d-4",
+    ]);
     for &(bs, label) in block_sizes {
         eprintln!("[fig12] block size {label} ...");
         let mut times = Vec::new();
         let mut h2d = Vec::new();
         for rolling in [1usize, 2, 4] {
             let cfg = GmacConfig::default().block_size(bs).rolling_size(rolling);
-            let r = run_variant_with(&w, Variant::Gmac(Protocol::Rolling), cfg)
-                .expect("tpacf run");
+            let r = run_variant_with(&w, Variant::Gmac(Protocol::Rolling), cfg).expect("tpacf run");
             times.push(fmt_secs(r.elapsed.as_secs_f64()));
             h2d.push(r.transfers.h2d_bytes);
         }

@@ -6,11 +6,25 @@
 use std::process::Command;
 
 fn main() {
-    let bins = ["fig02", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "porting"];
+    let bins = [
+        "fig02",
+        "fig07",
+        "fig08",
+        "fig09",
+        "fig10",
+        "fig11",
+        "fig12",
+        "porting",
+        "coalescing",
+    ];
     for bin in bins {
         eprintln!("=== {bin} ===");
-        let status = Command::new(std::env::current_exe().expect("self path").with_file_name(bin))
-            .status();
+        let status = Command::new(
+            std::env::current_exe()
+                .expect("self path")
+                .with_file_name(bin),
+        )
+        .status();
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => {

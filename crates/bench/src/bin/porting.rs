@@ -13,7 +13,9 @@ use gmac_bench::{emit, TextTable};
 /// matching from the function's opening brace.
 fn fn_lines(source: &str, fn_name: &str) -> usize {
     let needle = format!("fn {fn_name}");
-    let start = source.find(&needle).unwrap_or_else(|| panic!("{fn_name} not found"));
+    let start = source
+        .find(&needle)
+        .unwrap_or_else(|| panic!("{fn_name} not found"));
     let brace = source[start..].find('{').expect("opening brace") + start;
     let mut depth = 0usize;
     let mut end = brace;
@@ -30,7 +32,10 @@ fn fn_lines(source: &str, fn_name: &str) -> usize {
             _ => {}
         }
     }
-    source[brace..=end].lines().filter(|l| !l.trim().is_empty()).count()
+    source[brace..=end]
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .count()
 }
 
 fn main() {
@@ -43,7 +48,10 @@ fn main() {
         ("sad", include_str!("../../../workloads/src/sad.rs")),
         ("tpacf", include_str!("../../../workloads/src/tpacf.rs")),
         ("vecadd", include_str!("../../../workloads/src/vecadd.rs")),
-        ("stencil3d", include_str!("../../../workloads/src/stencil3d.rs")),
+        (
+            "stencil3d",
+            include_str!("../../../workloads/src/stencil3d.rs"),
+        ),
     ];
     let mut body = String::new();
     body.push_str("Porting effort — lines of application code per variant\n\n");

@@ -169,7 +169,10 @@ impl Context {
     pub fn free(&mut self, ptr: SharedPtr) -> GmacResult<()> {
         let free_base = self.rt.config.costs.free_base;
         self.rt.charge(Category::Free, free_base);
-        let obj = self.mgr.remove(ptr.addr()).ok_or(GmacError::NotShared(ptr.addr()))?;
+        let obj = self
+            .mgr
+            .remove(ptr.addr())
+            .ok_or(GmacError::NotShared(ptr.addr()))?;
         self.protocol.on_free(&mut self.rt, &obj)?;
         self.rt.vm.unmap_region(obj.region())?;
         self.rt.platform.dev_free(obj.device(), obj.dev_addr())?;
@@ -211,8 +214,10 @@ impl Context {
         for param in params {
             match param {
                 Param::Shared(ptr) => {
-                    let obj =
-                        self.mgr.find(ptr.addr()).ok_or(GmacError::NotShared(ptr.addr()))?;
+                    let obj = self
+                        .mgr
+                        .find(ptr.addr())
+                        .ok_or(GmacError::NotShared(ptr.addr()))?;
                     match dev {
                         None => dev = Some(obj.device()),
                         Some(d) if d == obj.device() => {}
@@ -234,10 +239,20 @@ impl Context {
                 .filter_map(|p| self.mgr.find(p.addr()).map(|o| o.addr()))
                 .collect()
         });
-        self.protocol.release(&mut self.rt, &mut self.mgr, dev, writes.as_deref())?;
+        self.protocol
+            .release(&mut self.rt, &mut self.mgr, dev, writes.as_deref())?;
+        // Explicit join point: eager evictions and the release flush run as
+        // asynchronous DMA jobs; the kernel must not start until the device
+        // holds every byte the CPU wrote.
+        self.rt.join_dma(dev)?;
 
-        self.rt.platform.launch(dev, StreamId(0), kernel, dims, &args)?;
-        self.pending = Some(Pending { dev, stream: StreamId(0) });
+        self.rt
+            .platform
+            .launch(dev, StreamId(0), kernel, dims, &args)?;
+        self.pending = Some(Pending {
+            dev,
+            stream: StreamId(0),
+        });
         Ok(())
     }
 
@@ -251,7 +266,8 @@ impl Context {
         let sync_base = self.rt.config.costs.sync_base;
         self.rt.charge(Category::Sync, sync_base);
         self.rt.platform.sync_stream(pending.dev, pending.stream)?;
-        self.protocol.acquire(&mut self.rt, &mut self.mgr, pending.dev)?;
+        self.protocol
+            .acquire(&mut self.rt, &mut self.mgr, pending.dev)?;
         Ok(())
     }
 
@@ -261,7 +277,10 @@ impl Context {
     /// # Errors
     /// [`GmacError::NotShared`] for foreign pointers.
     pub fn translate(&self, ptr: SharedPtr) -> GmacResult<DevAddr> {
-        let obj = self.mgr.find(ptr.addr()).ok_or(GmacError::NotShared(ptr.addr()))?;
+        let obj = self
+            .mgr
+            .find(ptr.addr())
+            .ok_or(GmacError::NotShared(ptr.addr()))?;
         Ok(obj.translate(ptr.addr()))
     }
 
@@ -334,47 +353,79 @@ impl Context {
     /// The "signal handler": charge delivery + lookup, then let the protocol
     /// resolve the faulting block.
     fn handle_fault(&mut self, fault_addr: VAddr, kind: AccessKind) -> GmacResult<()> {
-        let obj = self.mgr.find(fault_addr).ok_or(GmacError::NotShared(fault_addr))?;
+        let obj = self
+            .mgr
+            .find(fault_addr)
+            .ok_or(GmacError::NotShared(fault_addr))?;
         let start = obj.addr();
         let offset = fault_addr - start;
         let steps = self.mgr.lookup_steps();
         self.rt.charge_signal(steps, kind == AccessKind::Write);
         match kind {
             AccessKind::Read => {
-                self.protocol.prepare_read(&mut self.rt, &mut self.mgr, start, offset, 1)
+                self.protocol
+                    .prepare_read(&mut self.rt, &mut self.mgr, start, offset, 1)
             }
             AccessKind::Write => {
-                self.protocol.prepare_write(&mut self.rt, &mut self.mgr, start, offset, 1)
+                self.protocol
+                    .prepare_write(&mut self.rt, &mut self.mgr, start, offset, 1)
             }
         }
     }
 
-    /// Block-chunked shared read used by slice loads, bulk ops and I/O: per
-    /// touched block, pay one fault if the block is not readable, then copy.
+    /// Shared read used by slice loads, bulk ops and I/O: pay one fault per
+    /// touched block that is not readable, resolve the whole range through
+    /// the protocol in a single batched call (runs of adjacent invalid
+    /// blocks coalesce into single DMA jobs), then copy.
     pub(crate) fn shared_read(&mut self, ptr: SharedPtr, len: u64) -> GmacResult<Vec<u8>> {
-        let obj = self.mgr.find(ptr.addr()).ok_or(GmacError::NotShared(ptr.addr()))?;
+        self.resolve_read_range(ptr, len)?;
+        self.read_resolved(ptr, len)
+    }
+
+    /// Copies `[ptr, ptr+len)` out of system memory, assuming the caller
+    /// already made the range readable via [`Self::resolve_read_range`]
+    /// (the I/O interposition resolves a whole operation's extent once,
+    /// then drains it chunk by chunk through this).
+    pub(crate) fn read_resolved(&mut self, ptr: SharedPtr, len: u64) -> GmacResult<Vec<u8>> {
+        let obj = self
+            .mgr
+            .find(ptr.addr())
+            .ok_or(GmacError::NotShared(ptr.addr()))?;
+        let start = obj.addr();
+        let base_offset = ptr.addr() - start;
+        let mut out = vec![0u8; len as usize];
+        self.rt.vm.read_raw(start + base_offset, &mut out)?;
+        // The application's own CPU time to traverse the range.
+        self.rt.platform.cpu_touch(len);
+        Ok(out)
+    }
+
+    /// Makes `[ptr, ptr+len)` CPU-readable: charges one fault-equivalent per
+    /// invalid block the range touches (an element loop would fault on the
+    /// first touch of each), then lets the protocol fetch them all in one
+    /// planned, coalesced batch. Used by [`Self::shared_read`] and by the
+    /// I/O interposition to resolve an operation's full extent up front.
+    pub(crate) fn resolve_read_range(&mut self, ptr: SharedPtr, len: u64) -> GmacResult<()> {
+        let obj = self
+            .mgr
+            .find(ptr.addr())
+            .ok_or(GmacError::NotShared(ptr.addr()))?;
         let start = obj.addr();
         let base_offset = ptr.addr() - start;
         Runtime::check_bounds(obj, base_offset, len)?;
-        let blocks = obj.blocks_overlapping(base_offset, len);
-        let mut out = vec![0u8; len as usize];
-        for idx in blocks {
-            let obj = self.mgr.find(start).expect("object lives across loop");
-            let block = *obj.block(idx);
-            let lo = block.offset.max(base_offset);
-            let hi = (block.offset + block.len).min(base_offset + len);
-            if block.state == BlockState::Invalid {
-                // An element loop would fault on first touch of this block.
-                let steps = self.mgr.lookup_steps();
+        let invalid = obj
+            .blocks_overlapping(base_offset, len)
+            .filter(|&idx| obj.block(idx).state == BlockState::Invalid)
+            .count();
+        if invalid > 0 {
+            let steps = self.mgr.lookup_steps();
+            for _ in 0..invalid {
                 self.rt.charge_signal(steps, false);
-                self.protocol.prepare_read(&mut self.rt, &mut self.mgr, start, lo, hi - lo)?;
             }
-            let dst = &mut out[(lo - base_offset) as usize..(hi - base_offset) as usize];
-            self.rt.vm.read_raw(start + lo, dst)?;
-            // The application's own CPU time to traverse the chunk.
-            self.rt.platform.cpu_touch(hi - lo);
+            self.protocol
+                .prepare_read(&mut self.rt, &mut self.mgr, start, base_offset, len)?;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Block-chunked shared write used by slice stores, bulk ops and I/O:
@@ -383,7 +434,10 @@ impl Context {
     /// [`CoherenceProtocol::prepare_write`]).
     pub(crate) fn shared_write(&mut self, ptr: SharedPtr, bytes: &[u8]) -> GmacResult<()> {
         let len = bytes.len() as u64;
-        let obj = self.mgr.find(ptr.addr()).ok_or(GmacError::NotShared(ptr.addr()))?;
+        let obj = self
+            .mgr
+            .find(ptr.addr())
+            .ok_or(GmacError::NotShared(ptr.addr()))?;
         let start = obj.addr();
         let base_offset = ptr.addr() - start;
         Runtime::check_bounds(obj, base_offset, len)?;
@@ -396,7 +450,8 @@ impl Context {
             if block.state != BlockState::Dirty {
                 let steps = self.mgr.lookup_steps();
                 self.rt.charge_signal(steps, true);
-                self.protocol.prepare_write(&mut self.rt, &mut self.mgr, start, lo, hi - lo)?;
+                self.protocol
+                    .prepare_write(&mut self.rt, &mut self.mgr, start, lo, hi - lo)?;
             }
             let src = &bytes[(lo - base_offset) as usize..(hi - base_offset) as usize];
             self.rt.vm.write_raw(start + lo, src)?;

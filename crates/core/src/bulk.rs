@@ -20,7 +20,9 @@ impl Context {
     /// Fails for foreign pointers or out-of-object ranges.
     pub fn memset(&mut self, ptr: SharedPtr, value: u8, len: u64) -> GmacResult<()> {
         let (rt, mgr, protocol) = self.parts();
-        let obj = mgr.find(ptr.addr()).ok_or(crate::GmacError::NotShared(ptr.addr()))?;
+        let obj = mgr
+            .find(ptr.addr())
+            .ok_or(crate::GmacError::NotShared(ptr.addr()))?;
         let start = obj.addr();
         let offset = ptr.addr() - start;
         protocol.memset_through(rt, mgr, start, offset, len, value)
@@ -63,7 +65,9 @@ mod tests {
     fn ctx(protocol: Protocol) -> Context {
         Context::new(
             Platform::desktop_g280(),
-            GmacConfig::default().protocol(protocol).block_size(64 * 1024),
+            GmacConfig::default()
+                .protocol(protocol)
+                .block_size(64 * 1024),
         )
     }
 

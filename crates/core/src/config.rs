@@ -108,6 +108,11 @@ pub struct GmacConfig {
     /// Evict dirty blocks eagerly with asynchronous DMA (paper behaviour);
     /// `false` degrades to synchronous flush at call time (ablation).
     pub eager_eviction: bool,
+    /// Coalesce adjacent/overlapping planned ranges of an object into single
+    /// DMA jobs (fewer, larger transfers amortise the link latency — the
+    /// §5.2 aggregation lever); `false` issues one job per block (ablation
+    /// baseline matching the pre-planner behaviour).
+    pub coalescing: bool,
     /// Block-lookup structure used by the fault handler.
     pub lookup: LookupKind,
     /// Accelerator Abstraction Layer flavour.
@@ -124,6 +129,7 @@ impl Default for GmacConfig {
             rolling_factor: 2,
             rolling_size: None,
             eager_eviction: true,
+            coalescing: true,
             lookup: LookupKind::Tree,
             aal: AalLayer::Driver,
             costs: GmacCosts::default(),
@@ -150,7 +156,7 @@ impl GmacConfig {
     /// (protection is per page; see `softmmu`).
     pub fn block_size(mut self, block_size: u64) -> Self {
         assert!(
-            block_size > 0 && block_size % PAGE_SIZE == 0,
+            block_size > 0 && block_size.is_multiple_of(PAGE_SIZE),
             "block size must be a positive multiple of the {PAGE_SIZE}-byte page"
         );
         self.block_size = block_size;
@@ -176,6 +182,12 @@ impl GmacConfig {
         self
     }
 
+    /// Enables or disables dirty-range coalescing in the transfer planner.
+    pub fn coalescing(mut self, on: bool) -> Self {
+        self.coalescing = on;
+        self
+    }
+
     /// Selects the block-lookup structure.
     pub fn lookup(mut self, lookup: LookupKind) -> Self {
         self.lookup = lookup;
@@ -197,9 +209,13 @@ mod tests {
     fn default_matches_paper_defaults() {
         let c = GmacConfig::default();
         assert_eq!(c.protocol, Protocol::Rolling);
-        assert_eq!(c.rolling_factor, 2, "paper: default growth of 2 blocks per allocation");
+        assert_eq!(
+            c.rolling_factor, 2,
+            "paper: default growth of 2 blocks per allocation"
+        );
         assert_eq!(c.rolling_size, None, "adaptive by default");
         assert!(c.eager_eviction);
+        assert!(c.coalescing, "transfer coalescing is the default behaviour");
         assert_eq!(c.lookup, LookupKind::Tree);
         assert_eq!(c.block_size % PAGE_SIZE, 0);
     }
@@ -212,6 +228,7 @@ mod tests {
             .rolling_size(4)
             .rolling_factor(3)
             .eager_eviction(false)
+            .coalescing(false)
             .lookup(LookupKind::Linear)
             .aal(AalLayer::Runtime);
         assert_eq!(c.protocol, Protocol::Lazy);
@@ -219,6 +236,7 @@ mod tests {
         assert_eq!(c.rolling_size, Some(4));
         assert_eq!(c.rolling_factor, 3);
         assert!(!c.eager_eviction);
+        assert!(!c.coalescing);
         assert_eq!(c.lookup, LookupKind::Linear);
         assert_eq!(c.aal, AalLayer::Runtime);
     }

@@ -47,12 +47,13 @@ impl fmt::Display for GmacError {
             GmacError::AddressCollision(a) => {
                 write!(f, "host range at {a} already in use; use safe_alloc")
             }
-            GmacError::MixedDevices => {
-                f.write_str("kernel parameters span multiple accelerators")
-            }
+            GmacError::MixedDevices => f.write_str("kernel parameters span multiple accelerators"),
             GmacError::NothingToSync => f.write_str("no accelerator call outstanding"),
             GmacError::OutOfObjectBounds { base, offset, len } => {
-                write!(f, "access at {base}+{offset} length {len} exceeds the shared object")
+                write!(
+                    f,
+                    "access at {base}+{offset} length {len} exceeds the shared object"
+                )
             }
             GmacError::UnresolvedFault(msg) => write!(f, "unresolved protection fault: {msg}"),
             GmacError::Cuda(e) => write!(f, "accelerator error: {e}"),
@@ -104,8 +105,14 @@ mod tests {
             GmacError::NotShared(VAddr(0x10)).to_string(),
             "pointer 0x10 is not in a shared object"
         );
-        assert!(GmacError::AddressCollision(VAddr(0x2000)).to_string().contains("safe_alloc"));
-        let e = GmacError::OutOfObjectBounds { base: VAddr(0x1000), offset: 4096, len: 8 };
+        assert!(GmacError::AddressCollision(VAddr(0x2000))
+            .to_string()
+            .contains("safe_alloc"));
+        let e = GmacError::OutOfObjectBounds {
+            base: VAddr(0x1000),
+            offset: 4096,
+            len: 8,
+        };
         assert!(e.to_string().contains("0x1000+4096"));
     }
 

@@ -36,7 +36,10 @@ impl Context {
         let mut buf = vec![0u8; chunk as usize];
         while total < len {
             let n = (len - total).min(chunk) as usize;
-            let read = self.rt.platform_mut().file_read(name, file_offset + total, &mut buf[..n])?;
+            let read =
+                self.rt
+                    .platform_mut()
+                    .file_read(name, file_offset + total, &mut buf[..n])?;
             if read == 0 {
                 break; // end of file
             }
@@ -67,12 +70,20 @@ impl Context {
         ptr: SharedPtr,
         len: u64,
     ) -> GmacResult<u64> {
+        // Resolve every block of the operation's extent up front (the §4.4
+        // rule: no syscall may need restarting mid-flight). Doing it for the
+        // whole extent — not chunk by chunk — lets the transfer planner
+        // fetch runs of adjacent invalid blocks as single coalesced DMA
+        // jobs before the disk writes start.
+        self.resolve_read_range(ptr, len)?;
         let chunk = self.io_chunk_size(ptr)?;
         let mut total = 0u64;
         while total < len {
             let n = (len - total).min(chunk);
-            let bytes = self.shared_read(ptr.byte_add(total), n)?;
-            self.rt.platform_mut().file_write(name, file_offset + total, &bytes)?;
+            let bytes = self.read_resolved(ptr.byte_add(total), n)?;
+            self.rt
+                .platform_mut()
+                .file_write(name, file_offset + total, &bytes)?;
             total += n;
         }
         Ok(total)
@@ -82,7 +93,9 @@ impl Context {
     /// the object's block size (whole object for batch/lazy), as §4.4
     /// prescribes.
     fn io_chunk_size(&self, ptr: SharedPtr) -> GmacResult<u64> {
-        let obj = self.object_at(ptr).ok_or(GmacError::NotShared(ptr.addr()))?;
+        let obj = self
+            .object_at(ptr)
+            .ok_or(GmacError::NotShared(ptr.addr()))?;
         Ok(obj.block_size().min(obj.size()).max(1))
     }
 }
@@ -97,7 +110,9 @@ mod tests {
         let platform = Platform::desktop_g280();
         Context::new(
             platform,
-            GmacConfig::default().protocol(protocol).block_size(64 * 1024),
+            GmacConfig::default()
+                .protocol(protocol)
+                .block_size(64 * 1024),
         )
     }
 
@@ -108,15 +123,22 @@ mod tests {
             let data: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
             c.platform_mut().fs_mut().create("in.dat", data.clone());
             let p = c.alloc(data.len() as u64).unwrap();
-            let n = c.read_file_to_shared("in.dat", 0, p, data.len() as u64).unwrap();
+            let n = c
+                .read_file_to_shared("in.dat", 0, p, data.len() as u64)
+                .unwrap();
             assert_eq!(n, data.len() as u64, "{protocol}");
             let out = c.load_slice::<u8>(p, data.len()).unwrap();
             assert_eq!(out, data, "{protocol}");
 
-            let m = c.write_shared_to_file("out.dat", 0, p, data.len() as u64).unwrap();
+            let m = c
+                .write_shared_to_file("out.dat", 0, p, data.len() as u64)
+                .unwrap();
             assert_eq!(m, data.len() as u64);
             let mut copied = vec![0u8; data.len()];
-            c.platform_mut().fs_mut().read_at("out.dat", 0, &mut copied).unwrap();
+            c.platform_mut()
+                .fs_mut()
+                .read_at("out.dat", 0, &mut copied)
+                .unwrap();
             assert_eq!(copied, data, "{protocol}");
         }
     }
@@ -124,7 +146,9 @@ mod tests {
     #[test]
     fn short_read_at_eof() {
         let mut c = ctx(Protocol::Rolling);
-        c.platform_mut().fs_mut().create("small.dat", vec![7u8; 1000]);
+        c.platform_mut()
+            .fs_mut()
+            .create("small.dat", vec![7u8; 1000]);
         let p = c.alloc(4096).unwrap();
         let n = c.read_file_to_shared("small.dat", 0, p, 4096).unwrap();
         assert_eq!(n, 1000);
@@ -134,7 +158,9 @@ mod tests {
     #[test]
     fn io_charges_io_categories() {
         let mut c = ctx(Protocol::Rolling);
-        c.platform_mut().fs_mut().create("in.dat", vec![1u8; 256 * 1024]);
+        c.platform_mut()
+            .fs_mut()
+            .create("in.dat", vec![1u8; 256 * 1024]);
         let p = c.alloc(256 * 1024).unwrap();
         c.read_file_to_shared("in.dat", 0, p, 256 * 1024).unwrap();
         assert!(c.ledger().get(Category::IoRead).as_nanos() > 0);
@@ -156,10 +182,14 @@ mod tests {
             proto.release(rt, mgr, hetsim::DeviceId(0), None).unwrap();
         }
         let before = c.transfers().d2h_bytes;
-        c.write_shared_to_file("dump.bin", 0, p, 128 * 1024).unwrap();
+        c.write_shared_to_file("dump.bin", 0, p, 128 * 1024)
+            .unwrap();
         assert_eq!(c.transfers().d2h_bytes - before, 128 * 1024);
         let mut out = vec![0u8; 128 * 1024];
-        c.platform_mut().fs_mut().read_at("dump.bin", 0, &mut out).unwrap();
+        c.platform_mut()
+            .fs_mut()
+            .read_at("dump.bin", 0, &mut out)
+            .unwrap();
         assert!(out.iter().all(|&b| b == 9));
     }
 

@@ -71,6 +71,7 @@ pub mod runtime;
 pub mod sched;
 pub mod state;
 pub mod testutil;
+pub mod xfer;
 
 pub use api::Context;
 pub use config::{AalLayer, GmacConfig, GmacCosts, LookupKind, Protocol};
@@ -81,3 +82,4 @@ pub use report::{ObjectReport, Report};
 pub use runtime::Counters;
 pub use sched::{SchedPolicy, Scheduler};
 pub use state::BlockState;
+pub use xfer::{DmaJob, DmaQueue, Purpose, TransferPlan};

@@ -27,7 +27,13 @@ pub struct Manager {
 impl Manager {
     /// Creates an empty registry using the given lookup structure.
     pub fn new(kind: LookupKind) -> Self {
-        Manager { kind, tree: BTreeMap::new(), linear: Vec::new(), next_id: 1, total_blocks: 0 }
+        Manager {
+            kind,
+            tree: BTreeMap::new(),
+            linear: Vec::new(),
+            next_id: 1,
+            total_blocks: 0,
+        }
     }
 
     /// Allocates the next object id.
@@ -43,16 +49,38 @@ impl Manager {
     /// Panics if the object's range overlaps a registered object (the
     /// allocator guarantees disjointness; overlap is a runtime bug).
     pub fn insert(&mut self, obj: SharedObject) {
-        assert!(
-            self.find(obj.addr()).is_none() && self.find(obj.end() - 1u64).is_none(),
-            "overlapping shared objects"
-        );
+        assert!(!self.overlaps(&obj), "overlapping shared objects");
         self.total_blocks += obj.block_count();
         match self.kind {
             LookupKind::Tree => {
                 self.tree.insert(obj.addr().0, obj);
             }
             LookupKind::Linear => self.linear.push(obj),
+        }
+    }
+
+    /// True when `obj`'s range intersects any registered object. Checking
+    /// only the new range's two endpoints would miss an existing object
+    /// strictly contained inside it, so the tree variant also inspects the
+    /// first entry starting at-or-after the new start, and the linear
+    /// variant scans everything.
+    fn overlaps(&self, obj: &SharedObject) -> bool {
+        match self.kind {
+            LookupKind::Tree => {
+                // Neighbour below: contains the new start?
+                if self.find(obj.addr()).is_some() {
+                    return true;
+                }
+                // Neighbour at/above: starts before the new end?
+                self.tree
+                    .range(obj.addr().0..)
+                    .next()
+                    .is_some_and(|(&start, _)| start < obj.end().0)
+            }
+            LookupKind::Linear => self
+                .linear
+                .iter()
+                .any(|o| o.addr() < obj.end() && obj.addr() < o.end()),
         }
     }
 
@@ -172,7 +200,10 @@ mod tests {
     }
 
     fn both() -> [Manager; 2] {
-        [Manager::new(LookupKind::Tree), Manager::new(LookupKind::Linear)]
+        [
+            Manager::new(LookupKind::Tree),
+            Manager::new(LookupKind::Linear),
+        ]
     }
 
     #[test]
@@ -227,11 +258,53 @@ mod tests {
     }
 
     #[test]
+    fn insert_rejects_contained_and_partial_overlaps() {
+        // Regression: an existing object strictly inside the new range used
+        // to slip past the endpoint-only check.
+        for kind in [LookupKind::Tree, LookupKind::Linear] {
+            let contained = std::panic::catch_unwind(|| {
+                let mut m = Manager::new(kind);
+                m.insert(obj(1, 0x10_4000, 4096)); // small object in the middle
+                m.insert(obj(2, 0x10_0000, 0x10_000)); // new range strictly contains it
+            });
+            assert!(contained.is_err(), "containment must panic ({kind:?})");
+
+            let partial = std::panic::catch_unwind(|| {
+                let mut m = Manager::new(kind);
+                m.insert(obj(1, 0x10_0000, 8192));
+                m.insert(obj(2, 0x10_1000, 8192)); // overlaps the tail
+            });
+            assert!(partial.is_err(), "partial overlap must panic ({kind:?})");
+
+            let identical = std::panic::catch_unwind(|| {
+                let mut m = Manager::new(kind);
+                m.insert(obj(1, 0x10_0000, 4096));
+                m.insert(obj(2, 0x10_0000, 4096));
+            });
+            assert!(identical.is_err(), "identical range must panic ({kind:?})");
+        }
+    }
+
+    #[test]
+    fn insert_accepts_touching_neighbours() {
+        for mut m in both() {
+            m.insert(obj(1, 0x10_0000, 4096));
+            // End-exclusive: a neighbour starting exactly at the end is fine.
+            m.insert(obj(2, 0x10_1000, 4096));
+            m.insert(obj(3, 0xF_F000, 4096)); // and one ending exactly at the start
+            assert_eq!(m.len(), 3);
+        }
+    }
+
+    #[test]
     fn find_mut_allows_state_changes() {
         for mut m in both() {
             m.insert(obj(1, 0x10_0000, 4096));
             m.find_mut(VAddr(0x10_0000)).unwrap().block_mut(0).state = BlockState::Dirty;
-            assert_eq!(m.find(VAddr(0x10_0000)).unwrap().block(0).state, BlockState::Dirty);
+            assert_eq!(
+                m.find(VAddr(0x10_0000)).unwrap().block(0).state,
+                BlockState::Dirty
+            );
         }
     }
 

@@ -17,7 +17,8 @@ use crate::object::SharedObject;
 use crate::protocol::CoherenceProtocol;
 use crate::runtime::Runtime;
 use crate::state::BlockState;
-use hetsim::{CopyMode, DeviceId};
+use crate::xfer::Purpose;
+use hetsim::{CopyMode, DeviceId, Direction};
 use softmmu::VAddr;
 
 /// The batch-update protocol.
@@ -69,40 +70,49 @@ impl CoherenceProtocol for BatchUpdate {
         writes: Option<&[VAddr]>,
     ) -> GmacResult<()> {
         self.last_writes = writes.map(<[VAddr]>::to_vec);
-        // Transfer *all* objects to the accelerator, even unmodified ones —
-        // unless the host copy is itself invalid (back-to-back calls with no
-        // intervening sync: system memory was invalidated at the previous
-        // call, so there is nothing valid to push).
+        // Plan a transfer of *all* objects to the accelerator, even
+        // unmodified ones — unless the host copy is itself invalid
+        // (back-to-back calls with no intervening sync: system memory was
+        // invalidated at the previous call, so there is nothing to push).
+        let mut plan = rt.plan(Direction::HostToDevice, CopyMode::Sync, Purpose::Release);
         for addr in mgr.addrs() {
             let obj = mgr.find(addr).expect("registered object").clone();
             if obj.device() != dev {
                 continue;
             }
             if obj.block(0).state != BlockState::Invalid {
-                rt.flush_range(&obj, 0, obj.size(), CopyMode::Sync)?;
+                plan.request(&obj, 0, obj.size());
             }
-            mgr.find_mut(addr).expect("registered object").block_mut(0).state =
-                BlockState::Invalid;
+            mgr.find_mut(addr)
+                .expect("registered object")
+                .block_mut(0)
+                .state = BlockState::Invalid;
             // Pages stay read-write: batch performs no detection.
         }
+        rt.execute(&plan)?;
         Ok(())
     }
 
     fn acquire(&mut self, rt: &mut Runtime, mgr: &mut Manager, dev: DeviceId) -> GmacResult<()> {
-        // Transfer everything back (bounded by the write annotation when the
-        // caller provided one) and mark it dirty, implicitly invalidating the
-        // accelerator copy.
+        // Plan the transfer of everything back (bounded by the write
+        // annotation when the caller provided one) and mark it dirty,
+        // implicitly invalidating the accelerator copy.
         let writes = self.last_writes.clone();
+        let mut plan = rt.plan(Direction::DeviceToHost, CopyMode::Sync, Purpose::Fetch);
         for addr in mgr.addrs() {
             let obj = mgr.find(addr).expect("registered object").clone();
             if obj.device() != dev {
                 continue;
             }
             if crate::protocol::is_written(writes.as_deref(), addr) {
-                rt.fetch_range(&obj, 0, obj.size())?;
+                plan.request(&obj, 0, obj.size());
             }
-            mgr.find_mut(addr).expect("registered object").block_mut(0).state = BlockState::Dirty;
+            mgr.find_mut(addr)
+                .expect("registered object")
+                .block_mut(0)
+                .state = BlockState::Dirty;
         }
+        rt.execute(&plan)?;
         Ok(())
     }
 
@@ -134,7 +144,10 @@ impl CoherenceProtocol for BatchUpdate {
         Runtime::check_bounds(&obj, offset, len)?;
         rt.vm.fill(obj.addr() + offset, value, len)?;
         rt.platform.cpu_touch(len);
-        mgr.find_mut(addr).expect("registered object").block_mut(0).state = BlockState::Dirty;
+        mgr.find_mut(addr)
+            .expect("registered object")
+            .block_mut(0)
+            .state = BlockState::Dirty;
         Ok(())
     }
 
@@ -188,7 +201,8 @@ mod tests {
         let (mut rt, mut mgr, mut p) = harness(Protocol::Batch, &[8192, 4096]);
         let addrs = mgr.addrs();
         // Only the first object is written by the kernel.
-        p.release(&mut rt, &mut mgr, DeviceId(0), Some(&addrs[..1])).unwrap();
+        p.release(&mut rt, &mut mgr, DeviceId(0), Some(&addrs[..1]))
+            .unwrap();
         let before = rt.platform().transfers().d2h_bytes;
         p.acquire(&mut rt, &mut mgr, DeviceId(0)).unwrap();
         assert_eq!(rt.platform().transfers().d2h_bytes - before, 8192);
@@ -199,7 +213,9 @@ mod tests {
         let (mut rt, mut mgr, mut p) = harness(Protocol::Batch, &[8192]);
         let addr = mgr.addrs()[0];
         // CPU writes through the raw path (pages are RW; no faults occur).
-        rt.vm.write_bytes(addr, &[0xAB; 8192]).expect("batch pages are writable");
+        rt.vm
+            .write_bytes(addr, &[0xAB; 8192])
+            .expect("batch pages are writable");
         p.release(&mut rt, &mut mgr, DeviceId(0), None).unwrap();
         // Device received the data.
         let obj = mgr.find(addr).unwrap().clone();
@@ -213,7 +229,11 @@ mod tests {
             .to_vec();
         assert!(dev_bytes.iter().all(|&b| b == 0xAB));
         assert_eq!(rt.counters().faults(), 0);
-        assert_eq!(rt.vm().faults_observed(), 0, "batch never triggers protection faults");
+        assert_eq!(
+            rt.vm().faults_observed(),
+            0,
+            "batch never triggers protection faults"
+        );
     }
 
     #[test]

@@ -15,7 +15,8 @@ use crate::object::SharedObject;
 use crate::protocol::{is_written, CoherenceProtocol};
 use crate::runtime::Runtime;
 use crate::state::BlockState;
-use hetsim::{CopyMode, DeviceId};
+use crate::xfer::Purpose;
+use hetsim::{CopyMode, DeviceId, Direction};
 use softmmu::VAddr;
 
 /// The lazy-update protocol.
@@ -43,10 +44,15 @@ impl LazyUpdate {
         if obj.block(0).state == BlockState::Invalid {
             // Whole-object transfer: the defining cost of lazy-update
             // compared to rolling-update (Figure 9).
-            rt.fetch_range(&obj, 0, obj.size())?;
+            let mut plan = rt.plan(Direction::DeviceToHost, CopyMode::Sync, Purpose::Fetch);
+            plan.request(&obj, 0, obj.size());
+            rt.execute(&plan)?;
         }
         rt.protect_object(&obj, target)?;
-        mgr.find_mut(addr).expect("registered object").block_mut(0).state = target;
+        mgr.find_mut(addr)
+            .expect("registered object")
+            .block_mut(0)
+            .state = target;
         Ok(())
     }
 }
@@ -82,6 +88,7 @@ impl CoherenceProtocol for LazyUpdate {
         dev: DeviceId,
         writes: Option<&[VAddr]>,
     ) -> GmacResult<()> {
+        let mut plan = rt.plan(Direction::HostToDevice, CopyMode::Sync, Purpose::Release);
         for addr in mgr.addrs() {
             let obj = mgr.find(addr).expect("registered object").clone();
             if obj.device() != dev {
@@ -90,7 +97,7 @@ impl CoherenceProtocol for LazyUpdate {
             let state = obj.block(0).state;
             // Only objects modified by the CPU move (first benefit in §4.3).
             if state == BlockState::Dirty {
-                rt.flush_range(&obj, 0, obj.size(), CopyMode::Sync)?;
+                plan.request(&obj, 0, obj.size());
             }
             let new_state = if is_written(writes, addr) {
                 BlockState::Invalid
@@ -103,8 +110,12 @@ impl CoherenceProtocol for LazyUpdate {
                 }
             };
             rt.protect_object(&obj, new_state)?;
-            mgr.find_mut(addr).expect("registered object").block_mut(0).state = new_state;
+            mgr.find_mut(addr)
+                .expect("registered object")
+                .block_mut(0)
+                .state = new_state;
         }
+        rt.execute(&plan)?;
         Ok(())
     }
 
@@ -122,7 +133,11 @@ impl CoherenceProtocol for LazyUpdate {
         _offset: u64,
         _len: u64,
     ) -> GmacResult<()> {
-        let state = mgr.find(addr).ok_or(GmacError::NotShared(addr))?.block(0).state;
+        let state = mgr
+            .find(addr)
+            .ok_or(GmacError::NotShared(addr))?
+            .block(0)
+            .state;
         match state {
             BlockState::Invalid => self.make_valid(rt, mgr, addr, BlockState::ReadOnly),
             _ => Ok(()),
@@ -137,7 +152,11 @@ impl CoherenceProtocol for LazyUpdate {
         _offset: u64,
         _len: u64,
     ) -> GmacResult<()> {
-        let state = mgr.find(addr).ok_or(GmacError::NotShared(addr))?.block(0).state;
+        let state = mgr
+            .find(addr)
+            .ok_or(GmacError::NotShared(addr))?
+            .block(0)
+            .state;
         match state {
             BlockState::Dirty => Ok(()),
             // Invalid -> fetch then dirty; ReadOnly -> just dirty.
@@ -214,7 +233,11 @@ mod tests {
         let addr = mgr.addrs()[0];
         let before = rt.platform().transfers().total_bytes();
         p.prepare_write(&mut rt, &mut mgr, addr, 100, 4).unwrap();
-        assert_eq!(rt.platform().transfers().total_bytes(), before, "no data motion");
+        assert_eq!(
+            rt.platform().transfers().total_bytes(),
+            before,
+            "no data motion"
+        );
         assert_eq!(mgr.find(addr).unwrap().block(0).state, BlockState::Dirty);
     }
 
@@ -224,10 +247,17 @@ mod tests {
         let addrs = mgr.addrs();
         p.prepare_write(&mut rt, &mut mgr, addrs[1], 0, 1).unwrap();
         // Kernel writes only object 0.
-        p.release(&mut rt, &mut mgr, DEV, Some(&addrs[..1])).unwrap();
-        assert_eq!(mgr.find(addrs[0]).unwrap().block(0).state, BlockState::Invalid);
+        p.release(&mut rt, &mut mgr, DEV, Some(&addrs[..1]))
+            .unwrap();
+        assert_eq!(
+            mgr.find(addrs[0]).unwrap().block(0).state,
+            BlockState::Invalid
+        );
         // Object 1 was dirty, got flushed, and stays CPU-readable.
-        assert_eq!(mgr.find(addrs[1]).unwrap().block(0).state, BlockState::ReadOnly);
+        assert_eq!(
+            mgr.find(addrs[1]).unwrap().block(0).state,
+            BlockState::ReadOnly
+        );
         // Reading it costs no transfer.
         let before = rt.platform().transfers().d2h_bytes;
         p.prepare_read(&mut rt, &mut mgr, addrs[1], 0, 64).unwrap();

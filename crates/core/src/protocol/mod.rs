@@ -32,6 +32,12 @@ use softmmu::VAddr;
 /// after [`Self::release`] the accelerator's memory holds every byte the CPU
 /// wrote; after [`Self::acquire`] + [`Self::prepare_read`] the CPU observes
 /// every byte the kernel wrote.
+///
+/// Protocols do not move data imperatively: they *plan* the block ranges
+/// that must move ([`crate::xfer::TransferPlan`]) and hand the plan to
+/// [`Runtime::execute`], which coalesces adjacent ranges into DMA jobs.
+/// Asynchronous release flushes are joined at the `adsmCall` boundary by the
+/// caller ([`Runtime::join_dma`]), not inside the protocol.
 pub trait CoherenceProtocol: std::fmt::Debug {
     /// Which protocol this is.
     fn kind(&self) -> Protocol;
@@ -115,7 +121,9 @@ pub trait CoherenceProtocol: std::fmt::Debug {
     /// Number of blocks currently dirty (rolling-update bookkeeping; other
     /// protocols derive it from object states).
     fn dirty_blocks(&self, mgr: &Manager) -> usize {
-        mgr.iter().map(|o| o.count_in_state(BlockState::Dirty)).sum()
+        mgr.iter()
+            .map(|o| o.count_in_state(BlockState::Dirty))
+            .sum()
     }
 
     /// Interposed `memset` (paper §4.4): fill the range *device-side*
@@ -136,25 +144,49 @@ pub trait CoherenceProtocol: std::fmt::Debug {
         len: u64,
         value: u8,
     ) -> GmacResult<()> {
-        use crate::error::GmacError;
-        use hetsim::CopyMode;
-        let obj = mgr.find(addr).ok_or(GmacError::NotShared(addr))?.clone();
-        Runtime::check_bounds(&obj, offset, len)?;
-        for idx in obj.blocks_overlapping(offset, len) {
-            let block = *obj.block(idx);
-            let fully = offset <= block.offset && offset + len >= block.offset + block.len;
-            if block.state == BlockState::Dirty && !fully {
-                rt.flush_range(&obj, block.offset, block.len, CopyMode::Sync)?;
-            }
-        }
-        rt.dev_fill(&obj, offset, len, value)?;
-        for idx in obj.blocks_overlapping(offset, len) {
-            rt.protect_block(&obj, idx, BlockState::Invalid)?;
-            mgr.find_mut(addr).expect("registered object").block_mut(idx).state =
-                BlockState::Invalid;
-        }
-        Ok(())
+        memset_device_side(rt, mgr, addr, offset, len, value)
     }
+}
+
+/// The shared body of [`CoherenceProtocol::memset_through`]: plan a flush of
+/// partially-covered dirty blocks, fill the range device-side, then
+/// invalidate the covered blocks. Rolling-update wraps this with its
+/// dirty-set recount.
+pub(crate) fn memset_device_side(
+    rt: &mut Runtime,
+    mgr: &mut Manager,
+    addr: VAddr,
+    offset: u64,
+    len: u64,
+    value: u8,
+) -> GmacResult<()> {
+    use crate::error::GmacError;
+    use crate::xfer::Purpose;
+    use hetsim::{CopyMode, Direction};
+    let obj = mgr.find(addr).ok_or(GmacError::NotShared(addr))?.clone();
+    Runtime::check_bounds(&obj, offset, len)?;
+    let mut plan = rt.plan(
+        Direction::HostToDevice,
+        CopyMode::Sync,
+        Purpose::MemsetFlush,
+    );
+    for idx in obj.blocks_overlapping(offset, len) {
+        let block = *obj.block(idx);
+        let fully = offset <= block.offset && offset + len >= block.offset + block.len;
+        if block.state == BlockState::Dirty && !fully {
+            plan.request_block(&obj, idx);
+        }
+    }
+    rt.execute(&plan)?;
+    rt.dev_fill(&obj, offset, len, value)?;
+    for idx in obj.blocks_overlapping(offset, len) {
+        rt.protect_block(&obj, idx, BlockState::Invalid)?;
+        mgr.find_mut(addr)
+            .expect("registered object")
+            .block_mut(idx)
+            .state = BlockState::Invalid;
+    }
+    Ok(())
 }
 
 /// Instantiates the protocol selected by `kind`.

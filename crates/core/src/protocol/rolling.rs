@@ -15,7 +15,8 @@ use crate::object::SharedObject;
 use crate::protocol::{is_written, CoherenceProtocol};
 use crate::runtime::Runtime;
 use crate::state::BlockState;
-use hetsim::{CopyMode, DeviceId};
+use crate::xfer::Purpose;
+use hetsim::{CopyMode, DeviceId, Direction};
 use softmmu::VAddr;
 use std::collections::VecDeque;
 
@@ -41,7 +42,11 @@ impl Default for RollingUpdate {
 impl RollingUpdate {
     /// Creates the protocol with an empty dirty set.
     pub fn new() -> Self {
-        RollingUpdate { fifo: VecDeque::new(), dirty_count: 0, limit: 0 }
+        RollingUpdate {
+            fifo: VecDeque::new(),
+            dirty_count: 0,
+            limit: 0,
+        }
     }
 
     /// Current rolling size.
@@ -88,20 +93,29 @@ impl RollingUpdate {
                 continue;
             }
             let obj = obj.clone();
-            let block = *obj.block(idx);
-            let mode = if rt.config().eager_eviction { CopyMode::Async } else { CopyMode::Sync };
-            rt.flush_range(&obj, block.offset, block.len, mode)?;
+            let mode = if rt.config().eager_eviction {
+                CopyMode::Async
+            } else {
+                CopyMode::Sync
+            };
+            let mut plan = rt.plan(Direction::HostToDevice, mode, Purpose::Eviction);
+            plan.request_block(&obj, idx);
+            rt.execute(&plan)?;
             rt.protect_block(&obj, idx, BlockState::ReadOnly)?;
-            mgr.find_mut(addr).expect("registered object").block_mut(idx).state =
-                BlockState::ReadOnly;
+            mgr.find_mut(addr)
+                .expect("registered object")
+                .block_mut(idx)
+                .state = BlockState::ReadOnly;
             self.dirty_count -= 1;
         }
         Ok(())
     }
 
     fn recount_dirty(&mut self, mgr: &Manager) {
-        self.dirty_count =
-            mgr.iter().map(|o| o.count_in_state(BlockState::Dirty)).sum::<usize>();
+        self.dirty_count = mgr
+            .iter()
+            .map(|o| o.count_in_state(BlockState::Dirty))
+            .sum::<usize>();
         if self.dirty_count == 0 {
             self.fifo.clear();
         }
@@ -148,8 +162,13 @@ impl CoherenceProtocol for RollingUpdate {
         dev: DeviceId,
         writes: Option<&[VAddr]>,
     ) -> GmacResult<()> {
-        // Flush every remaining dirty block (asynchronously: they pipeline
-        // behind any in-flight eager evictions), then join the DMA engine.
+        // Plan a flush of every remaining dirty block. Adjacent dirty blocks
+        // coalesce into single DMA jobs, and the jobs are asynchronous: they
+        // pipeline behind any in-flight eager evictions. The explicit join
+        // happens at the `adsmCall` boundary ([`crate::Context::call`]), not
+        // here — callers driving the protocol directly can join through
+        // [`Runtime::join_dma`] when they need the timeline drained.
+        let mut plan = rt.plan(Direction::HostToDevice, CopyMode::Async, Purpose::Release);
         for addr in mgr.addrs() {
             let obj = mgr.find(addr).expect("registered object").clone();
             if obj.device() != dev {
@@ -157,12 +176,11 @@ impl CoherenceProtocol for RollingUpdate {
             }
             for idx in 0..obj.block_count() {
                 if obj.block(idx).state == BlockState::Dirty {
-                    let block = *obj.block(idx);
-                    rt.flush_range(&obj, block.offset, block.len, CopyMode::Async)?;
+                    plan.request_block(&obj, idx);
                 }
             }
         }
-        rt.join_h2d(dev)?;
+        rt.execute(&plan)?;
         // Invalidate (or downgrade) every block per the write annotation.
         for addr in mgr.addrs() {
             let obj = mgr.find(addr).expect("registered object").clone();
@@ -212,17 +230,25 @@ impl CoherenceProtocol for RollingUpdate {
     ) -> GmacResult<()> {
         let obj = mgr.find(addr).ok_or(GmacError::NotShared(addr))?.clone();
         Runtime::check_bounds(&obj, offset, len)?;
+        // Plan a fetch of *only the invalid blocks* — "rolling update also
+        // reduces the amount of data transferred from accelerators when the
+        // CPU reads the output kernel data in a scattered way" (§4.3). Runs
+        // of adjacent invalid blocks coalesce into single DMA jobs.
+        let mut plan = rt.plan(Direction::DeviceToHost, CopyMode::Sync, Purpose::Fetch);
+        let mut fetched = Vec::new();
         for idx in obj.blocks_overlapping(offset, len) {
             if obj.block(idx).state == BlockState::Invalid {
-                // Fetch *only this block* — "rolling update also reduces the
-                // amount of data transferred from accelerators when the CPU
-                // reads the output kernel data in a scattered way" (§4.3).
-                let block = *obj.block(idx);
-                rt.fetch_range(&obj, block.offset, block.len)?;
-                rt.protect_block(&obj, idx, BlockState::ReadOnly)?;
-                mgr.find_mut(addr).expect("registered object").block_mut(idx).state =
-                    BlockState::ReadOnly;
+                plan.request_block(&obj, idx);
+                fetched.push(idx);
             }
+        }
+        rt.execute(&plan)?;
+        for idx in fetched {
+            rt.protect_block(&obj, idx, BlockState::ReadOnly)?;
+            mgr.find_mut(addr)
+                .expect("registered object")
+                .block_mut(idx)
+                .state = BlockState::ReadOnly;
         }
         Ok(())
     }
@@ -242,9 +268,12 @@ impl CoherenceProtocol for RollingUpdate {
             if block.state == BlockState::Invalid {
                 // A partial overwrite of an invalid block must merge with the
                 // accelerator's bytes; a full overwrite needs no fetch.
-                let fully_covered = offset <= block.offset && offset + len >= block.offset + block.len;
+                let fully_covered =
+                    offset <= block.offset && offset + len >= block.offset + block.len;
                 if !fully_covered {
-                    rt.fetch_range(&obj, block.offset, block.len)?;
+                    let mut plan = rt.plan(Direction::DeviceToHost, CopyMode::Sync, Purpose::Fetch);
+                    plan.request_block(&obj, idx);
+                    rt.execute(&plan)?;
                 }
             }
             self.mark_dirty(rt, mgr, addr, idx)?;
@@ -265,21 +294,7 @@ impl CoherenceProtocol for RollingUpdate {
         len: u64,
         value: u8,
     ) -> GmacResult<()> {
-        let obj = mgr.find(addr).ok_or(GmacError::NotShared(addr))?.clone();
-        Runtime::check_bounds(&obj, offset, len)?;
-        for idx in obj.blocks_overlapping(offset, len) {
-            let block = *obj.block(idx);
-            let fully = offset <= block.offset && offset + len >= block.offset + block.len;
-            if block.state == BlockState::Dirty && !fully {
-                rt.flush_range(&obj, block.offset, block.len, CopyMode::Sync)?;
-            }
-        }
-        rt.dev_fill(&obj, offset, len, value)?;
-        for idx in obj.blocks_overlapping(offset, len) {
-            rt.protect_block(&obj, idx, BlockState::Invalid)?;
-            mgr.find_mut(addr).expect("registered object").block_mut(idx).state =
-                BlockState::Invalid;
-        }
+        crate::protocol::memset_device_side(rt, mgr, addr, offset, len, value)?;
         // Blocks forced out of Dirty must leave the rolling accounting.
         self.recount_dirty(mgr);
         Ok(())
@@ -346,7 +361,10 @@ mod tests {
 
     #[test]
     fn sync_eviction_blocks_when_eager_disabled() {
-        let cfg = GmacConfig::new().block_size(BS).rolling_size(1).eager_eviction(false);
+        let cfg = GmacConfig::new()
+            .block_size(BS)
+            .rolling_size(1)
+            .eager_eviction(false);
         let (mut rt, mut mgr, mut p) = rolling(cfg, &[BS * 4]);
         let addr = mgr.addrs()[0];
         p.prepare_write(&mut rt, &mut mgr, addr, 0, 8).unwrap();
@@ -383,7 +401,8 @@ mod tests {
         p.release(&mut rt, &mut mgr, DEV, None).unwrap();
         let before = rt.platform().transfers().d2h_bytes;
         // Read one byte in block 5: only that block comes back.
-        p.prepare_read(&mut rt, &mut mgr, addr, 5 * BS + 17, 1).unwrap();
+        p.prepare_read(&mut rt, &mut mgr, addr, 5 * BS + 17, 1)
+            .unwrap();
         assert_eq!(rt.platform().transfers().d2h_bytes - before, BS);
         let obj = mgr.find(addr).unwrap();
         assert_eq!(obj.block(5).state, BlockState::ReadOnly);
@@ -398,7 +417,11 @@ mod tests {
         p.release(&mut rt, &mut mgr, DEV, None).unwrap();
         let before_d2h = rt.platform().transfers().d2h_bytes;
         p.prepare_write(&mut rt, &mut mgr, addr, 0, BS).unwrap(); // whole block
-        assert_eq!(rt.platform().transfers().d2h_bytes, before_d2h, "no fetch needed");
+        assert_eq!(
+            rt.platform().transfers().d2h_bytes,
+            before_d2h,
+            "no fetch needed"
+        );
         // Partial overwrite of an invalid block must fetch.
         p.prepare_write(&mut rt, &mut mgr, addr, BS, 8).unwrap();
         assert_eq!(rt.platform().transfers().d2h_bytes - before_d2h, BS);
@@ -427,7 +450,8 @@ mod tests {
         let (mut rt, mut mgr, mut p) = rolling(cfg, &[BS * 2, BS * 2]);
         let addrs = mgr.addrs();
         p.prepare_write(&mut rt, &mut mgr, addrs[1], 0, 8).unwrap();
-        p.release(&mut rt, &mut mgr, DEV, Some(&addrs[..1])).unwrap();
+        p.release(&mut rt, &mut mgr, DEV, Some(&addrs[..1]))
+            .unwrap();
         let written = mgr.find(addrs[0]).unwrap();
         assert!(written.blocks().all(|b| b.state == BlockState::Invalid));
         let unwritten = mgr.find(addrs[1]).unwrap();

@@ -41,6 +41,15 @@ pub struct Report {
     pub h2d_bytes: u64,
     /// Bytes moved device-to-host.
     pub d2h_bytes: u64,
+    /// All host-to-device DMA jobs (planner-issued and direct copies alike;
+    /// the coalescing ratio below divides blocks by planner jobs only).
+    pub h2d_jobs: u64,
+    /// All device-to-host DMA jobs.
+    pub d2h_jobs: u64,
+    /// Blocks per job host-to-device (the coalescing ratio; 0 with no jobs).
+    pub h2d_coalescing: f64,
+    /// Blocks per job device-to-host.
+    pub d2h_coalescing: f64,
     /// Total elapsed virtual time.
     pub elapsed: hetsim::Nanos,
     /// (category label, share of total time) pairs, non-zero only.
@@ -83,6 +92,14 @@ impl Context {
             counters: self.counters(),
             h2d_bytes: self.transfers().h2d_bytes,
             d2h_bytes: self.transfers().d2h_bytes,
+            h2d_jobs: self.transfers().h2d_count,
+            d2h_jobs: self.transfers().d2h_count,
+            h2d_coalescing: self
+                .transfers()
+                .coalescing_ratio(hetsim::Direction::HostToDevice),
+            d2h_coalescing: self
+                .transfers()
+                .coalescing_ratio(hetsim::Direction::DeviceToHost),
             elapsed: self.platform().elapsed(),
             breakdown,
         }
@@ -91,7 +108,11 @@ impl Context {
 
 impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "GMAC context ({}) — {} elapsed", self.protocol, self.elapsed)?;
+        writeln!(
+            f,
+            "GMAC context ({}) — {} elapsed",
+            self.protocol, self.elapsed
+        )?;
         writeln!(
             f,
             "  objects: {}   dirty blocks: {}   faults: {} ({} rd / {} wr)",
@@ -103,12 +124,17 @@ impl fmt::Display for Report {
         )?;
         writeln!(
             f,
-            "  traffic: {} H2D / {} D2H   fetches: {}   flushes: {} ({} eager)",
+            "  traffic: {} H2D / {} D2H   blocks fetched: {}   flushed: {} ({} eager)",
             fmt_bytes(self.h2d_bytes),
             fmt_bytes(self.d2h_bytes),
             self.counters.blocks_fetched,
             self.counters.blocks_flushed,
             self.counters.eager_evictions,
+        )?;
+        writeln!(
+            f,
+            "  dma jobs: {} H2D (x{:.2} coalesced) / {} D2H (x{:.2} coalesced)",
+            self.h2d_jobs, self.h2d_coalescing, self.d2h_jobs, self.d2h_coalescing,
         )?;
         for o in &self.objects {
             writeln!(
@@ -141,7 +167,9 @@ mod tests {
     fn report_reflects_context_state() {
         let mut c = Context::new(
             Platform::desktop_g280(),
-            GmacConfig::default().protocol(Protocol::Rolling).block_size(4096),
+            GmacConfig::default()
+                .protocol(Protocol::Rolling)
+                .block_size(4096),
         );
         let a = c.alloc(16 * 4096).unwrap();
         let _b = c.safe_alloc(4096).unwrap();
@@ -165,6 +193,31 @@ mod tests {
         assert!(text.contains("GMAC context (GMAC Rolling)"));
         assert!(text.contains("objects: 2"));
         assert!(text.contains("blocks(inv/ro/dirty): 0/15/1"));
+        assert!(text.contains("dma jobs:"));
+    }
+
+    #[test]
+    fn report_exposes_transfer_engine_metrics() {
+        let mut c = Context::new(
+            Platform::desktop_g280(),
+            GmacConfig::default()
+                .protocol(Protocol::Rolling)
+                .block_size(4096),
+        );
+        let a = c.alloc(8 * 4096).unwrap();
+        c.store_slice::<u8>(a, &vec![5u8; 8 * 4096]).unwrap();
+        {
+            let (rt, mgr, proto) = c.parts();
+            proto.release(rt, mgr, hetsim::DeviceId(0), None).unwrap();
+        }
+        let r = c.report();
+        assert!(r.h2d_jobs > 0);
+        assert!(
+            r.h2d_coalescing >= 1.0,
+            "adjacent dirty blocks coalesce: ratio {}",
+            r.h2d_coalescing
+        );
+        assert_eq!(r.counters.bytes_flushed, r.h2d_bytes);
     }
 
     #[test]

@@ -1,15 +1,27 @@
 //! The runtime kernel of GMAC: owns the simulated platform and the software
-//! MMU, and provides the data-movement primitives the coherence protocols are
-//! built from.
+//! MMU, and executes the transfer plans the coherence protocols build.
+//!
+//! Protocols do not move data imperatively. They declare the block ranges
+//! that must move in a [`TransferPlan`]; [`Runtime::execute`] coalesces the
+//! ranges into [`crate::xfer::DmaJob`]s, schedules them onto the device's
+//! per-direction DMA engine timelines (synchronously or asynchronously) and
+//! accounts jobs, bytes and coalesced blocks in the platform's extended
+//! `TransferLedger`. Outstanding asynchronous jobs are joined explicitly
+//! through [`Runtime::join_dma`] at `adsmCall` boundaries.
 
 use crate::config::GmacConfig;
 use crate::error::{GmacError, GmacResult};
 use crate::object::SharedObject;
 use crate::state::BlockState;
-use hetsim::{Category, CopyMode, Nanos, Platform, TimePoint};
+use crate::xfer::{DmaQueue, Purpose, TransferPlan};
+use hetsim::{Category, CopyMode, Direction, Nanos, Platform, TimePoint};
 use softmmu::{AddressSpace, VAddr};
 
 /// Event counters exposed for tests and the figure harness.
+///
+/// Block counters count *protocol blocks*, not DMA jobs: a coalesced flush
+/// of four adjacent dirty blocks bumps `blocks_flushed` by four while the
+/// platform's `TransferLedger` records a single job.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counters {
     /// Protection faults resolved as reads.
@@ -20,7 +32,11 @@ pub struct Counters {
     pub blocks_fetched: u64,
     /// Blocks flushed host-to-device.
     pub blocks_flushed: u64,
-    /// Flushes that were eager (asynchronous) rolling evictions.
+    /// Bytes fetched device-to-host through transfer plans.
+    pub bytes_fetched: u64,
+    /// Bytes flushed host-to-device through transfer plans.
+    pub bytes_flushed: u64,
+    /// Rolling-update evictions issued as asynchronous (eager) DMA.
     pub eager_evictions: u64,
 }
 
@@ -38,12 +54,19 @@ pub struct Runtime {
     pub(crate) vm: AddressSpace,
     pub(crate) config: GmacConfig,
     pub(crate) counters: Counters,
+    pub(crate) queue: DmaQueue,
 }
 
 impl Runtime {
     /// Creates the runtime over a platform.
     pub fn new(platform: Platform, config: GmacConfig) -> Self {
-        Runtime { platform, vm: AddressSpace::new(), config, counters: Counters::default() }
+        Runtime {
+            platform,
+            vm: AddressSpace::new(),
+            config,
+            counters: Counters::default(),
+            queue: DmaQueue::new(),
+        }
     }
 
     /// The simulated platform.
@@ -71,52 +94,91 @@ impl Runtime {
         &self.config
     }
 
-    // ----- protocol primitives ----------------------------------------------
+    // ----- transfer planning ------------------------------------------------
 
-    /// Flushes `[offset, offset+len)` of `obj` host→device. Gathers the bytes
-    /// from system memory (raw access — the runtime is "kernel mode") and
-    /// issues DMA. Returns the DMA completion time.
-    ///
-    /// # Errors
-    /// Propagates platform/MMU failures.
-    pub fn flush_range(
-        &mut self,
-        obj: &SharedObject,
-        offset: u64,
-        len: u64,
-        mode: CopyMode,
-    ) -> GmacResult<TimePoint> {
-        let bytes = self.vm.gather(obj.addr() + offset, len)?;
-        let dst = obj.dev_addr().add(offset);
-        let end = self.platform.copy_h2d(obj.device(), dst, &bytes, mode)?;
-        self.counters.blocks_flushed += 1;
-        if mode == CopyMode::Async {
-            self.counters.eager_evictions += 1;
-        }
-        Ok(end)
+    /// Starts an empty transfer plan honouring the configured coalescing
+    /// toggle. `mode` only matters host-to-device; fetches are synchronous.
+    pub fn plan(&self, dir: Direction, mode: CopyMode, purpose: Purpose) -> TransferPlan {
+        TransferPlan::new(dir, mode, purpose, self.config.coalescing)
     }
 
-    /// Fetches `[offset, offset+len)` of `obj` device→host (synchronous;
-    /// the CPU needs the data to make progress).
+    /// Executes every job of `plan` on the simulated platform.
+    ///
+    /// Host-to-device jobs gather the bytes from system memory (raw access —
+    /// the runtime is "kernel mode") and issue DMA in the plan's copy mode;
+    /// asynchronous completions are remembered in the [`DmaQueue`] for the
+    /// next [`Self::join_dma`]. Device-to-host jobs are synchronous and land
+    /// the bytes in system memory. Returns the completion time of the last
+    /// job, if any ran.
     ///
     /// # Errors
     /// Propagates platform/MMU failures.
-    pub fn fetch_range(&mut self, obj: &SharedObject, offset: u64, len: u64) -> GmacResult<()> {
-        let src = obj.dev_addr().add(offset);
-        let mut bytes = vec![0u8; len as usize];
-        self.platform.copy_d2h(obj.device(), src, &mut bytes, CopyMode::Sync)?;
-        self.vm.write_raw(obj.addr() + offset, &bytes)?;
-        self.counters.blocks_fetched += 1;
+    pub fn execute(&mut self, plan: &TransferPlan) -> GmacResult<Option<TimePoint>> {
+        let mut last_end = None;
+        for job in plan.jobs() {
+            let end = match plan.dir() {
+                Direction::HostToDevice => {
+                    let bytes = self.vm.gather(job.addr + job.offset, job.len)?;
+                    let dst = job.dev_addr.add(job.offset);
+                    let end = self.platform.copy_h2d(job.dev, dst, &bytes, plan.mode())?;
+                    self.counters.blocks_flushed += job.blocks;
+                    self.counters.bytes_flushed += job.len;
+                    if plan.mode() == CopyMode::Async {
+                        self.queue.note(job.dev, end);
+                        if plan.purpose() == Purpose::Eviction {
+                            self.counters.eager_evictions += 1;
+                        }
+                    }
+                    end
+                }
+                Direction::DeviceToHost => {
+                    let src = job.dev_addr.add(job.offset);
+                    let mut bytes = vec![0u8; job.len as usize];
+                    let end = self
+                        .platform
+                        .copy_d2h(job.dev, src, &mut bytes, CopyMode::Sync)?;
+                    self.vm.write_raw(job.addr + job.offset, &bytes)?;
+                    self.counters.blocks_fetched += job.blocks;
+                    self.counters.bytes_fetched += job.len;
+                    end
+                }
+            };
+            self.platform
+                .transfers_mut()
+                .note_blocks(plan.dir(), job.blocks);
+            last_end = Some(last_end.map_or(end, |t: TimePoint| t.max(end)));
+        }
+        Ok(last_end)
+    }
+
+    /// Waits until all outstanding asynchronous host-to-device DMA on `dev`
+    /// has drained (the explicit join point at `adsmCall`), charging the
+    /// wait to `Copy`. A no-op when nothing is outstanding.
+    ///
+    /// # Errors
+    /// Fails for unknown devices.
+    pub fn join_dma(&mut self, dev: hetsim::DeviceId) -> GmacResult<()> {
+        if self.queue.take(dev).is_some() {
+            self.platform.join_dma(dev, Direction::HostToDevice)?;
+        }
         Ok(())
     }
+
+    // ----- protocol primitives ----------------------------------------------
 
     /// Sets the page protection of block `idx` of `obj` to match `state`.
     ///
     /// # Errors
     /// Propagates MMU failures.
-    pub fn protect_block(&mut self, obj: &SharedObject, idx: usize, state: BlockState) -> GmacResult<()> {
+    pub fn protect_block(
+        &mut self,
+        obj: &SharedObject,
+        idx: usize,
+        state: BlockState,
+    ) -> GmacResult<()> {
         let block = obj.block(idx);
-        self.vm.protect(obj.addr() + block.offset, block.len, state.protection())?;
+        self.vm
+            .protect(obj.addr() + block.offset, block.len, state.protection())?;
         Ok(())
     }
 
@@ -125,19 +187,8 @@ impl Runtime {
     /// # Errors
     /// Propagates MMU failures.
     pub fn protect_object(&mut self, obj: &SharedObject, state: BlockState) -> GmacResult<()> {
-        self.vm.protect(obj.addr(), obj.size(), state.protection())?;
-        Ok(())
-    }
-
-    /// Waits until all outstanding host→device DMA on `obj`'s device has
-    /// drained (used at `adsmCall` to join eager evictions), charging the
-    /// wait to `Copy`.
-    ///
-    /// # Errors
-    /// Fails for unknown devices.
-    pub fn join_h2d(&mut self, obj_dev: hetsim::DeviceId) -> GmacResult<()> {
-        let horizon = self.platform.device(obj_dev)?.h2d_engine().busy_until();
-        self.platform.wait_for(horizon, Category::Copy);
+        self.vm
+            .protect(obj.addr(), obj.size(), state.protection())?;
         Ok(())
     }
 
@@ -146,8 +197,15 @@ impl Runtime {
     ///
     /// # Errors
     /// Propagates platform failures.
-    pub fn dev_fill(&mut self, obj: &SharedObject, offset: u64, len: u64, value: u8) -> GmacResult<()> {
-        self.platform.dev_memset(obj.device(), obj.dev_addr().add(offset), value, len)?;
+    pub fn dev_fill(
+        &mut self,
+        obj: &SharedObject,
+        offset: u64,
+        len: u64,
+        value: u8,
+    ) -> GmacResult<()> {
+        self.platform
+            .dev_memset(obj.device(), obj.dev_addr().add(offset), value, len)?;
         Ok(())
     }
 
@@ -177,10 +235,18 @@ impl Runtime {
     /// # Errors
     /// [`GmacError::OutOfObjectBounds`] when the range spills past the end.
     pub fn check_bounds(obj: &SharedObject, offset: u64, len: u64) -> GmacResult<()> {
-        if offset.checked_add(len).map(|end| end <= obj.size()).unwrap_or(false) {
+        if offset
+            .checked_add(len)
+            .map(|end| end <= obj.size())
+            .unwrap_or(false)
+        {
             Ok(())
         } else {
-            Err(GmacError::OutOfObjectBounds { base: obj.addr(), offset, len })
+            Err(GmacError::OutOfObjectBounds {
+                base: obj.addr(),
+                offset,
+                len,
+            })
         }
     }
 
@@ -200,7 +266,8 @@ impl Runtime {
             let dst = &mut out[(lo - offset) as usize..(hi - offset) as usize];
             if block.state == BlockState::Invalid {
                 let src = obj.dev_addr().add(lo);
-                self.platform.copy_d2h(obj.device(), src, dst, CopyMode::Sync)?;
+                self.platform
+                    .copy_d2h(obj.device(), src, dst, CopyMode::Sync)?;
             } else {
                 self.vm.read_raw(obj.addr() + lo, dst)?;
             }
@@ -220,12 +287,16 @@ mod tests {
     use super::*;
     use crate::config::{GmacConfig, LookupKind};
     use crate::object::ObjectId;
-    use softmmu::Protection;
     use hetsim::DeviceId;
+    use softmmu::Protection;
 
     fn setup(size: u64, block: u64) -> (Runtime, SharedObject) {
+        setup_with(size, block, GmacConfig::default())
+    }
+
+    fn setup_with(size: u64, block: u64, config: GmacConfig) -> (Runtime, SharedObject) {
         let platform = Platform::desktop_g280();
-        let mut rt = Runtime::new(platform, GmacConfig::default());
+        let mut rt = Runtime::new(platform, config);
         let dev_addr = rt.platform.dev_alloc(DeviceId(0), size).unwrap();
         let addr = VAddr(dev_addr.0);
         let region = rt.vm.map_fixed(addr, size, Protection::ReadWrite).unwrap();
@@ -242,26 +313,49 @@ mod tests {
         (rt, obj)
     }
 
+    fn flush(rt: &mut Runtime, obj: &SharedObject, offset: u64, len: u64, mode: CopyMode) {
+        let mut plan = rt.plan(Direction::HostToDevice, mode, Purpose::Release);
+        plan.request(obj, offset, len);
+        rt.execute(&plan).unwrap();
+    }
+
+    fn fetch(rt: &mut Runtime, obj: &SharedObject, offset: u64, len: u64) {
+        let mut plan = rt.plan(Direction::DeviceToHost, CopyMode::Sync, Purpose::Fetch);
+        plan.request(obj, offset, len);
+        rt.execute(&plan).unwrap();
+    }
+
     #[test]
     fn flush_and_fetch_roundtrip() {
         let (mut rt, obj) = setup(8192, 4096);
         rt.vm.write_raw(obj.addr(), &[42u8; 8192]).unwrap();
-        rt.flush_range(&obj, 0, 8192, CopyMode::Sync).unwrap();
+        flush(&mut rt, &obj, 0, 8192, CopyMode::Sync);
         // Clobber host, fetch back.
         rt.vm.write_raw(obj.addr(), &[0u8; 8192]).unwrap();
-        rt.fetch_range(&obj, 0, 8192).unwrap();
+        fetch(&mut rt, &obj, 0, 8192);
         assert_eq!(rt.vm.gather(obj.addr(), 8192).unwrap(), vec![42u8; 8192]);
-        assert_eq!(rt.counters().blocks_flushed, 1);
-        assert_eq!(rt.counters().blocks_fetched, 1);
+        // Block counters count blocks (two 4 KiB blocks each way), and the
+        // coalesced range was one DMA job per direction.
+        assert_eq!(rt.counters().blocks_flushed, 2);
+        assert_eq!(rt.counters().blocks_fetched, 2);
+        assert_eq!(rt.counters().bytes_flushed, 8192);
+        assert_eq!(rt.counters().bytes_fetched, 8192);
+        assert_eq!(rt.platform().transfers().h2d_count, 1);
+        assert_eq!(rt.platform().transfers().d2h_count, 1);
+        assert_eq!(rt.platform().transfers().h2d_blocks, 2);
     }
 
     #[test]
     fn partial_range_transfers() {
         let (mut rt, obj) = setup(8192, 4096);
         rt.vm.write_raw(obj.addr() + 4096, &[7u8; 4096]).unwrap();
-        rt.flush_range(&obj, 4096, 4096, CopyMode::Sync).unwrap();
+        flush(&mut rt, &obj, 4096, 4096, CopyMode::Sync);
         let dev = rt.platform.device(DeviceId(0)).unwrap();
-        let on_dev = dev.mem().slice(obj.dev_addr().add(4096), 4096).unwrap().to_vec();
+        let on_dev = dev
+            .mem()
+            .slice(obj.dev_addr().add(4096), 4096)
+            .unwrap()
+            .to_vec();
         assert_eq!(on_dev, vec![7u8; 4096]);
         // First half untouched on device.
         let first = dev.mem().slice(obj.dev_addr(), 4096).unwrap().to_vec();
@@ -269,10 +363,56 @@ mod tests {
     }
 
     #[test]
+    fn plan_coalesces_adjacent_blocks_into_one_job() {
+        let (mut rt, obj) = setup(4 * 4096, 4096);
+        let mut plan = rt.plan(Direction::HostToDevice, CopyMode::Sync, Purpose::Release);
+        for idx in 0..4 {
+            plan.request_block(&obj, idx);
+        }
+        rt.execute(&plan).unwrap();
+        assert_eq!(rt.platform().transfers().h2d_count, 1, "one coalesced job");
+        assert_eq!(rt.counters().blocks_flushed, 4);
+        assert_eq!(rt.platform().transfers().h2d_bytes, 4 * 4096);
+    }
+
+    #[test]
+    fn coalescing_disabled_issues_one_job_per_block() {
+        let (mut rt, obj) = setup_with(4 * 4096, 4096, GmacConfig::default().coalescing(false));
+        let mut plan = rt.plan(Direction::HostToDevice, CopyMode::Sync, Purpose::Release);
+        for idx in 0..4 {
+            plan.request_block(&obj, idx);
+        }
+        rt.execute(&plan).unwrap();
+        assert_eq!(rt.platform().transfers().h2d_count, 4, "ablation baseline");
+        assert_eq!(rt.counters().blocks_flushed, 4);
+    }
+
+    #[test]
+    fn coalescing_saves_per_job_latency() {
+        let run = |coalescing: bool| {
+            let (mut rt, obj) =
+                setup_with(8 * 4096, 4096, GmacConfig::default().coalescing(coalescing));
+            let mut plan = rt.plan(Direction::HostToDevice, CopyMode::Sync, Purpose::Release);
+            for idx in 0..8 {
+                plan.request_block(&obj, idx);
+            }
+            rt.execute(&plan).unwrap();
+            rt.platform().elapsed()
+        };
+        assert!(
+            run(true) < run(false),
+            "merged jobs pay the link latency once"
+        );
+    }
+
+    #[test]
     fn protect_block_changes_page_permissions() {
         let (mut rt, obj) = setup(8192, 4096);
         rt.protect_block(&obj, 1, BlockState::Invalid).unwrap();
-        assert_eq!(rt.vm.protection_at(obj.addr() + 4096), Some(Protection::None));
+        assert_eq!(
+            rt.vm.protection_at(obj.addr() + 4096),
+            Some(Protection::None)
+        );
         assert_eq!(rt.vm.protection_at(obj.addr()), Some(Protection::ReadWrite));
         rt.protect_object(&obj, BlockState::ReadOnly).unwrap();
         assert_eq!(rt.vm.protection_at(obj.addr()), Some(Protection::ReadOnly));
@@ -295,8 +435,7 @@ mod tests {
         let platform = Platform::desktop_g280();
         let mut rt_tree = Runtime::new(platform, GmacConfig::default());
         let platform = Platform::desktop_g280();
-        let mut rt_lin =
-            Runtime::new(platform, GmacConfig::default().lookup(LookupKind::Linear));
+        let mut rt_lin = Runtime::new(platform, GmacConfig::default().lookup(LookupKind::Linear));
         rt_tree.charge_signal(14, true); // ~16k blocks in a tree
         rt_lin.charge_signal(8192, true); // same population, half-scan
         assert!(
@@ -330,19 +469,55 @@ mod tests {
             .unwrap();
         obj.block_mut(1).state = BlockState::Invalid;
         let bytes = rt.peek_range(&obj, 0, 8192).unwrap();
-        assert!(bytes[..4096].iter().all(|&b| b == 1), "valid block read from host");
-        assert!(bytes[4096..].iter().all(|&b| b == 2), "invalid block read from device");
+        assert!(
+            bytes[..4096].iter().all(|&b| b == 1),
+            "valid block read from host"
+        );
+        assert!(
+            bytes[4096..].iter().all(|&b| b == 2),
+            "invalid block read from device"
+        );
         // Peek never mutates state.
         assert_eq!(obj.block(1).state, BlockState::Invalid);
     }
 
     #[test]
-    fn join_h2d_waits_for_async_evictions() {
+    fn join_dma_waits_for_async_jobs() {
         let (mut rt, obj) = setup(8192, 4096);
-        let end = rt.flush_range(&obj, 0, 4096, CopyMode::Async).unwrap();
-        assert!(rt.platform.now() < end);
-        rt.join_h2d(obj.device()).unwrap();
+        let mut plan = rt.plan(Direction::HostToDevice, CopyMode::Async, Purpose::Eviction);
+        plan.request(&obj, 0, 4096);
+        let end = rt.execute(&plan).unwrap().expect("one job ran");
+        assert!(rt.platform.now() < end, "async job does not block the host");
+        assert!(!rt.queue.is_idle(obj.device()));
+        rt.join_dma(obj.device()).unwrap();
         assert!(rt.platform.now() >= end);
+        assert!(rt.queue.is_idle(obj.device()));
         assert_eq!(rt.counters().eager_evictions, 1);
+    }
+
+    #[test]
+    fn join_dma_without_pending_work_is_free() {
+        let (mut rt, obj) = setup(4096, 4096);
+        let t0 = rt.platform.now();
+        rt.join_dma(obj.device()).unwrap();
+        assert_eq!(rt.platform.now(), t0);
+    }
+
+    #[test]
+    fn release_purpose_async_jobs_are_not_eager_evictions() {
+        let (mut rt, obj) = setup(8192, 4096);
+        let mut plan = rt.plan(Direction::HostToDevice, CopyMode::Async, Purpose::Release);
+        plan.request(&obj, 0, 8192);
+        rt.execute(&plan).unwrap();
+        assert_eq!(rt.counters().eager_evictions, 0);
+        assert_eq!(rt.counters().blocks_flushed, 2);
+    }
+
+    #[test]
+    fn empty_plan_is_a_noop() {
+        let (mut rt, _obj) = setup(4096, 4096);
+        let plan = rt.plan(Direction::HostToDevice, CopyMode::Sync, Purpose::Release);
+        assert_eq!(rt.execute(&plan).unwrap(), None);
+        assert_eq!(rt.platform().transfers().total_jobs(), 0);
     }
 }

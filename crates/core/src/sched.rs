@@ -29,7 +29,11 @@ impl Scheduler {
     /// Creates a scheduler for a platform with `device_count` accelerators.
     pub fn new(policy: SchedPolicy, device_count: usize) -> Self {
         assert!(device_count > 0, "scheduler needs at least one device");
-        Scheduler { policy, device_count, next: 0 }
+        Scheduler {
+            policy,
+            device_count,
+            next: 0,
+        }
     }
 
     /// Active policy.

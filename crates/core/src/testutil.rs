@@ -45,15 +45,23 @@ pub fn alloc_object(
     size: u64,
 ) -> VAddr {
     let size = VAddr(size).page_up().0.max(softmmu::PAGE_SIZE);
-    let dev_addr = rt.platform_mut().dev_alloc(dev, size).expect("device alloc");
+    let dev_addr = rt
+        .platform_mut()
+        .dev_alloc(dev, size)
+        .expect("device alloc");
     let addr = VAddr(dev_addr.0);
     let initial = proto.initial_state();
-    let region = rt.vm.map_fixed(addr, size, Protection::None).expect("host mapping");
+    let region = rt
+        .vm
+        .map_fixed(addr, size, Protection::None)
+        .expect("host mapping");
     let block_size = proto.block_size_for(rt.config(), size);
     let id = mgr.next_id();
     let obj = SharedObject::new(id, addr, size, dev, dev_addr, region, block_size, initial);
     // Initial protection mirrors the initial state.
-    rt.vm.protect(addr, size, initial.protection()).expect("initial protection");
+    rt.vm
+        .protect(addr, size, initial.protection())
+        .expect("initial protection");
     mgr.insert(obj);
     proto.on_alloc(rt, mgr, addr).expect("on_alloc");
     addr

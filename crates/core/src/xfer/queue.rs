@@ -1,0 +1,72 @@
+//! Per-device bookkeeping of in-flight asynchronous DMA: the explicit join
+//! points that replace the old implicit `join_h2d` call.
+
+use hetsim::{DeviceId, TimePoint};
+use std::collections::BTreeMap;
+
+/// Tracks, per accelerator, the completion horizon of asynchronous
+/// host-to-device jobs issued through transfer plans. The runtime joins the
+/// queue at `adsmCall` boundaries (and whenever a protocol needs DMA
+/// drained) instead of protocols reaching into engine internals.
+#[derive(Debug, Default)]
+pub struct DmaQueue {
+    pending: BTreeMap<DeviceId, TimePoint>,
+}
+
+impl DmaQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that an async job on `dev` completes at `end`.
+    pub fn note(&mut self, dev: DeviceId, end: TimePoint) {
+        let slot = self.pending.entry(dev).or_insert(end);
+        *slot = (*slot).max(end);
+    }
+
+    /// Completion horizon of outstanding async DMA on `dev`, if any.
+    pub fn pending(&self, dev: DeviceId) -> Option<TimePoint> {
+        self.pending.get(&dev).copied()
+    }
+
+    /// True when no async DMA is outstanding on `dev`.
+    pub fn is_idle(&self, dev: DeviceId) -> bool {
+        self.pending(dev).is_none()
+    }
+
+    /// Clears and returns the horizon for `dev` (the caller is about to
+    /// block on it).
+    pub fn take(&mut self, dev: DeviceId) -> Option<TimePoint> {
+        self.pending.remove(&dev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> TimePoint {
+        TimePoint::from_nanos(ns)
+    }
+
+    #[test]
+    fn tracks_latest_horizon_per_device() {
+        let mut q = DmaQueue::new();
+        assert!(q.is_idle(DeviceId(0)));
+        q.note(DeviceId(0), t(100));
+        q.note(DeviceId(0), t(50)); // earlier completion does not regress
+        q.note(DeviceId(1), t(300));
+        assert_eq!(q.pending(DeviceId(0)), Some(t(100)));
+        assert_eq!(q.pending(DeviceId(1)), Some(t(300)));
+    }
+
+    #[test]
+    fn take_clears_the_device() {
+        let mut q = DmaQueue::new();
+        q.note(DeviceId(0), t(100));
+        assert_eq!(q.take(DeviceId(0)), Some(t(100)));
+        assert!(q.is_idle(DeviceId(0)));
+        assert_eq!(q.take(DeviceId(0)), None);
+    }
+}

@@ -36,7 +36,12 @@ impl Kernel for VecAdd {
 fn ctx(protocol: Protocol) -> Context {
     let mut platform = Platform::desktop_g280();
     platform.register_kernel(Arc::new(VecAdd));
-    Context::new(platform, GmacConfig::default().protocol(protocol).block_size(64 * 1024))
+    Context::new(
+        platform,
+        GmacConfig::default()
+            .protocol(protocol)
+            .block_size(64 * 1024),
+    )
 }
 
 const N: usize = 100_000;
@@ -57,9 +62,14 @@ fn vecadd_cycle_is_correct_under_every_protocol() {
         c.store_slice(b, &bv).unwrap();
 
         // adsmCall + adsmSync.
-        let params =
-            [Param::Shared(a), Param::Shared(b), Param::Shared(out), Param::U64(N as u64)];
-        c.call("vecadd", LaunchDims::for_elements(N as u64, 256), &params).unwrap();
+        let params = [
+            Param::Shared(a),
+            Param::Shared(b),
+            Param::Shared(out),
+            Param::U64(N as u64),
+        ];
+        c.call("vecadd", LaunchDims::for_elements(N as u64, 256), &params)
+            .unwrap();
         c.sync().unwrap();
 
         // CPU reads the result through the same pointer.
@@ -88,10 +98,15 @@ fn iterative_kernel_reuses_device_data_cheaply() {
         let out = c.alloc(bytes).unwrap();
         c.store_slice(a, &vec![1.0f32; N]).unwrap();
         c.store_slice(b, &vec![2.0f32; N]).unwrap();
-        let params =
-            [Param::Shared(a), Param::Shared(b), Param::Shared(out), Param::U64(N as u64)];
+        let params = [
+            Param::Shared(a),
+            Param::Shared(b),
+            Param::Shared(out),
+            Param::U64(N as u64),
+        ];
         for _ in 0..10 {
-            c.call("vecadd", LaunchDims::for_elements(N as u64, 256), &params).unwrap();
+            c.call("vecadd", LaunchDims::for_elements(N as u64, 256), &params)
+                .unwrap();
             c.sync().unwrap();
             // CPU peeks at one element only.
             let v: f32 = c.load(out).unwrap();
@@ -102,7 +117,10 @@ fn iterative_kernel_reuses_device_data_cheaply() {
     let batch = transfer_totals[0].1;
     let lazy = transfer_totals[1].1;
     let rolling = transfer_totals[2].1;
-    assert!(batch > lazy * 3, "batch must move far more data (batch={batch}, lazy={lazy})");
+    assert!(
+        batch > lazy * 3,
+        "batch must move far more data (batch={batch}, lazy={lazy})"
+    );
     assert!(
         rolling < lazy,
         "rolling fetches single blocks where lazy fetches objects (rolling={rolling}, lazy={lazy})"
@@ -120,7 +138,12 @@ fn write_annotation_avoids_transfer_back() {
     let out = c.alloc(bytes).unwrap();
     c.store_slice(a, &vec![1.0f32; N]).unwrap();
     c.store_slice(b, &vec![2.0f32; N]).unwrap();
-    let params = [Param::Shared(a), Param::Shared(b), Param::Shared(out), Param::U64(N as u64)];
+    let params = [
+        Param::Shared(a),
+        Param::Shared(b),
+        Param::Shared(out),
+        Param::U64(N as u64),
+    ];
     c.call_annotated(
         "vecadd",
         LaunchDims::for_elements(N as u64, 256),
@@ -154,8 +177,14 @@ fn safe_alloc_translates_and_computes() {
     assert_ne!(a.addr().0, c.translate(a).unwrap().0);
     c.store_slice(a, &vec![5.0f32; N]).unwrap();
     c.store_slice(b, &vec![7.0f32; N]).unwrap();
-    let params = [Param::Shared(a), Param::Shared(b), Param::Shared(out), Param::U64(N as u64)];
-    c.call("vecadd", LaunchDims::for_elements(N as u64, 256), &params).unwrap();
+    let params = [
+        Param::Shared(a),
+        Param::Shared(b),
+        Param::Shared(out),
+        Param::U64(N as u64),
+    ];
+    c.call("vecadd", LaunchDims::for_elements(N as u64, 256), &params)
+        .unwrap();
     c.sync().unwrap();
     assert_eq!(c.load::<f32>(out).unwrap(), 12.0);
 }
@@ -187,7 +216,11 @@ fn round_robin_spreads_objects() {
     assert_eq!(c.object_at(b).unwrap().device(), DeviceId(1));
     // Mixing them in one kernel call is rejected.
     let err = c
-        .call("vecadd", LaunchDims::default(), &[Param::Shared(a), Param::Shared(b)])
+        .call(
+            "vecadd",
+            LaunchDims::default(),
+            &[Param::Shared(a), Param::Shared(b)],
+        )
         .unwrap_err();
     assert!(matches!(err, GmacError::MixedDevices));
 }
@@ -225,8 +258,14 @@ fn signal_overhead_is_small_fraction_of_runtime() {
     let out = c.alloc(bytes).unwrap();
     c.store_slice(a, &vec![1.0f32; n]).unwrap();
     c.store_slice(b, &vec![2.0f32; n]).unwrap();
-    let params = [Param::Shared(a), Param::Shared(b), Param::Shared(out), Param::U64(n as u64)];
-    c.call("vecadd", LaunchDims::for_elements(n as u64, 256), &params).unwrap();
+    let params = [
+        Param::Shared(a),
+        Param::Shared(b),
+        Param::Shared(out),
+        Param::U64(n as u64),
+    ];
+    c.call("vecadd", LaunchDims::for_elements(n as u64, 256), &params)
+        .unwrap();
     c.sync().unwrap();
     let _ = c.load_slice::<f32>(out, n).unwrap();
     let signal = c.ledger().get(hetsim::Category::Signal).as_nanos() as f64;
@@ -241,8 +280,14 @@ fn ledger_partitions_total_time() {
     let p = c.alloc(1 << 20).unwrap();
     c.store_slice(p, &vec![1.0f32; 1000]).unwrap();
     c.platform_mut().cpu_touch(1 << 20);
-    let params = [Param::Shared(p), Param::Shared(p), Param::Shared(p), Param::U64(1000)];
-    c.call("vecadd", LaunchDims::for_elements(1000, 256), &params).unwrap();
+    let params = [
+        Param::Shared(p),
+        Param::Shared(p),
+        Param::Shared(p),
+        Param::U64(1000),
+    ];
+    c.call("vecadd", LaunchDims::for_elements(1000, 256), &params)
+        .unwrap();
     c.sync().unwrap();
     let _ = c.load::<f32>(p).unwrap();
     assert_eq!(c.ledger().total(), c.platform().elapsed());

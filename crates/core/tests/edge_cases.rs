@@ -3,9 +3,7 @@
 
 use gmac::{BlockState, Context, GmacConfig, GmacError, Param, Protocol};
 use hetsim::kernel::{read_f32_slice, write_f32_slice};
-use hetsim::{
-    Args, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult,
-};
+use hetsim::{Args, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult};
 use softmmu::PAGE_SIZE;
 use std::sync::Arc;
 
@@ -70,8 +68,10 @@ fn consecutive_calls_without_sync_pipeline_on_the_stream() {
         let p = c.alloc(n * 4).unwrap();
         c.store_slice(p, &vec![0.0f32; n as usize]).unwrap();
         let params = [Param::Shared(p), Param::U64(n)];
-        c.call("inc", LaunchDims::for_elements(n, 256), &params).unwrap();
-        c.call("inc", LaunchDims::for_elements(n, 256), &params).unwrap();
+        c.call("inc", LaunchDims::for_elements(n, 256), &params)
+            .unwrap();
+        c.call("inc", LaunchDims::for_elements(n, 256), &params)
+            .unwrap();
         assert!(c.has_pending_call());
         c.sync().unwrap();
         assert!(!c.has_pending_call());
@@ -95,7 +95,10 @@ fn free_discards_dirty_data_without_flushing() {
     // Freeing a dirty object must not crash the rolling bookkeeping.
     let mut c = Context::new(
         Platform::desktop_g280(),
-        GmacConfig::default().protocol(Protocol::Rolling).rolling_size(2).block_size(4096),
+        GmacConfig::default()
+            .protocol(Protocol::Rolling)
+            .rolling_size(2)
+            .block_size(4096),
     );
     let a = c.alloc(8 * 4096).unwrap();
     let b = c.alloc(8 * 4096).unwrap();
@@ -159,8 +162,12 @@ fn states_after_full_cycle_match_protocol_semantics() {
         let n = 4096u64;
         let p = c.alloc(n).unwrap();
         c.store::<u8>(p, 1).unwrap();
-        c.call("inc", LaunchDims::for_elements(8, 8), &[Param::Shared(p), Param::U64(8)])
-            .unwrap();
+        c.call(
+            "inc",
+            LaunchDims::for_elements(8, 8),
+            &[Param::Shared(p), Param::U64(8)],
+        )
+        .unwrap();
         c.sync().unwrap();
         let obj = c.object_at(p).unwrap();
         match protocol {
@@ -188,7 +195,8 @@ fn scalar_type_matrix_through_shared_memory() {
     assert_eq!(c.load::<i32>(p.byte_add(4)).unwrap(), i32::MIN);
     c.store::<u64>(p.byte_add(8), u64::MAX).unwrap();
     assert_eq!(c.load::<u64>(p.byte_add(8)).unwrap(), u64::MAX);
-    c.store::<f64>(p.byte_add(16), std::f64::consts::PI).unwrap();
+    c.store::<f64>(p.byte_add(16), std::f64::consts::PI)
+        .unwrap();
     assert_eq!(c.load::<f64>(p.byte_add(16)).unwrap(), std::f64::consts::PI);
 }
 

@@ -62,7 +62,10 @@ impl fmt::Display for CudaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CudaError::MemoryAllocation { requested, free } => {
-                write!(f, "cudaErrorMemoryAllocation: requested {requested} bytes, {free} free")
+                write!(
+                    f,
+                    "cudaErrorMemoryAllocation: requested {requested} bytes, {free} free"
+                )
             }
             CudaError::InvalidDevicePointer(a) => {
                 write!(f, "cudaErrorInvalidDevicePointer: {a:#x}")
@@ -191,6 +194,46 @@ impl Cuda {
         Ok(Event(p.copy_d2h(self.dev, src, dst, CopyMode::Async)?))
     }
 
+    /// Gathered upload: copies every `(dst, bytes)` segment host-to-device,
+    /// merging runs of *contiguous* segments (each starting exactly where
+    /// the previous one ended) into single DMA jobs — the bulk-memory
+    /// counterpart of the GMAC transfer planner's dirty-range coalescing.
+    /// Segments are processed in list order, so the result is byte-for-byte
+    /// identical to issuing one `cudaMemcpy` per segment. Returns the number
+    /// of DMA jobs issued.
+    ///
+    /// # Errors
+    /// [`CudaError::InvalidValue`] for out-of-bounds destination ranges.
+    pub fn memcpy_h2d_gather(
+        &self,
+        p: &mut Platform,
+        segments: &[(DevAddr, &[u8])],
+    ) -> CudaResult<u64> {
+        let mut jobs = 0u64;
+        let mut i = 0;
+        while i < segments.len() {
+            let (start, first) = segments[i];
+            // Stage lazily: an un-mergeable segment DMAs straight from the
+            // caller's slice with no allocation or copy.
+            let mut staged: Option<Vec<u8>> = None;
+            let mut run_len = first.len() as u64;
+            while let Some(&(next, bytes)) = segments.get(i + 1) {
+                if next.0 != start.0 + run_len {
+                    break;
+                }
+                staged
+                    .get_or_insert_with(|| first.to_vec())
+                    .extend_from_slice(bytes);
+                run_len += bytes.len() as u64;
+                i += 1;
+            }
+            self.memcpy_h2d(p, start, staged.as_deref().unwrap_or(first))?;
+            jobs += 1;
+            i += 1;
+        }
+        Ok(jobs)
+    }
+
     /// `cudaMemset`: device-side fill.
     ///
     /// # Errors
@@ -289,7 +332,10 @@ mod tests {
     fn wrong_device_is_invalid_device() {
         let mut p = Platform::desktop_g280();
         let cuda = Cuda::new(DeviceId(7));
-        assert!(matches!(cuda.malloc(&mut p, 64), Err(CudaError::InvalidDevice(7))));
+        assert!(matches!(
+            cuda.malloc(&mut p, 64),
+            Err(CudaError::InvalidDevice(7))
+        ));
     }
 
     #[test]
@@ -297,7 +343,9 @@ mod tests {
         let mut p = Platform::desktop_g280();
         let cuda = Cuda::new(DEV);
         let d = cuda.malloc(&mut p, 1 << 20).unwrap();
-        let ev = cuda.memcpy_h2d_async(&mut p, d, &vec![3u8; 1 << 20]).unwrap();
+        let ev = cuda
+            .memcpy_h2d_async(&mut p, d, &vec![3u8; 1 << 20])
+            .unwrap();
         let before = p.ledger().get(Category::Copy);
         cuda.event_synchronize(&mut p, ev);
         assert!(p.ledger().get(Category::Copy) > before);
@@ -327,6 +375,61 @@ mod tests {
             .launch(&mut p, StreamId(0), "missing", LaunchDims::default(), &[])
             .unwrap_err();
         assert!(matches!(err, CudaError::InvalidDeviceFunction(_)));
+    }
+
+    #[test]
+    fn gather_merges_contiguous_segments() {
+        let mut p = Platform::desktop_g280();
+        let cuda = Cuda::new(DEV);
+        let d = cuda.malloc(&mut p, 4096).unwrap();
+        // Four contiguous 4-byte segments then a distant one: 2 jobs.
+        let a = [1u8; 4];
+        let b = [2u8; 4];
+        let c = [3u8; 4];
+        let e = [4u8; 4];
+        let far = [9u8; 4];
+        let segments: Vec<(DevAddr, &[u8])> = vec![
+            (d, &a),
+            (d.add(4), &b),
+            (d.add(8), &c),
+            (d.add(12), &e),
+            (d.add(1024), &far),
+        ];
+        let before = p.transfers().h2d_count;
+        let jobs = cuda.memcpy_h2d_gather(&mut p, &segments).unwrap();
+        assert_eq!(jobs, 2);
+        assert_eq!(p.transfers().h2d_count - before, 2);
+        let mut out = vec![0u8; 16];
+        cuda.memcpy_d2h(&mut p, &mut out, d).unwrap();
+        assert_eq!(out, [[1u8; 4], [2; 4], [3; 4], [4; 4]].concat());
+        let mut far_out = vec![0u8; 4];
+        cuda.memcpy_d2h(&mut p, &mut far_out, d.add(1024)).unwrap();
+        assert_eq!(far_out, [9u8; 4]);
+    }
+
+    #[test]
+    fn gather_preserves_list_order_for_overlaps() {
+        // Non-contiguous (here: overlapping) segments are not merged, and
+        // later segments win exactly as sequential memcpys would.
+        let mut p = Platform::desktop_g280();
+        let cuda = Cuda::new(DEV);
+        let d = cuda.malloc(&mut p, 64).unwrap();
+        let first = [1u8; 8];
+        let second = [2u8; 8];
+        let segments: Vec<(DevAddr, &[u8])> = vec![(d, &first), (d.add(4), &second)];
+        let jobs = cuda.memcpy_h2d_gather(&mut p, &segments).unwrap();
+        assert_eq!(jobs, 2);
+        let mut out = vec![0u8; 12];
+        cuda.memcpy_d2h(&mut p, &mut out, d).unwrap();
+        assert_eq!(out, [1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn gather_of_nothing_is_free() {
+        let mut p = Platform::desktop_g280();
+        let cuda = Cuda::new(DEV);
+        assert_eq!(cuda.memcpy_h2d_gather(&mut p, &[]).unwrap(), 0);
+        assert_eq!(p.transfers().h2d_count, 0);
     }
 
     #[test]

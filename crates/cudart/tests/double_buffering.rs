@@ -53,7 +53,10 @@ fn double_buffered_upload_overlaps_cpu_work() {
         upload_stall < dma_busy / 2,
         "most DMA time should hide behind CPU work (stall {upload_stall}, busy {dma_busy})"
     );
-    assert!(upload_elapsed < produce_time + dma_busy, "no overlap happened at all");
+    assert!(
+        upload_elapsed < produce_time + dma_busy,
+        "no overlap happened at all"
+    );
 }
 
 #[test]
@@ -67,7 +70,8 @@ fn synchronous_uploads_do_not_overlap() {
     let start = p.now();
     for i in 0..CHUNKS {
         p.cpu_touch(CHUNK as u64);
-        cuda.memcpy_h2d(&mut p, dst.add((i * CHUNK) as u64), &data).unwrap();
+        cuda.memcpy_h2d(&mut p, dst.add((i * CHUNK) as u64), &data)
+            .unwrap();
     }
     let produce_time = p.cpu().compute_time(0.0, CHUNK as f64) * CHUNKS as u64;
     let dma_busy = p.device(DeviceId(0)).unwrap().h2d_engine().total_busy();
@@ -83,7 +87,9 @@ fn events_order_correctly_across_streams() {
     let dst = cuda.malloc(&mut p, 2 * CHUNK as u64).unwrap();
     let data = vec![1u8; CHUNK];
     let e1 = cuda.memcpy_h2d_async(&mut p, dst, &data).unwrap();
-    let e2 = cuda.memcpy_h2d_async(&mut p, dst.add(CHUNK as u64), &data).unwrap();
+    let e2 = cuda
+        .memcpy_h2d_async(&mut p, dst.add(CHUNK as u64), &data)
+        .unwrap();
     // One H2D engine: the second transfer completes after the first.
     assert!(e2 > e1);
     assert!(e1.0 > TimePoint::ZERO);

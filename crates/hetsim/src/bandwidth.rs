@@ -70,7 +70,11 @@ pub struct LinkModel {
 impl LinkModel {
     /// Creates a link model.
     pub fn new(name: &'static str, latency: Nanos, peak: BytesPerSec) -> Self {
-        LinkModel { name, latency, peak }
+        LinkModel {
+            name,
+            latency,
+            peak,
+        }
     }
 
     /// Human-readable link name (used in figure output).
@@ -111,12 +115,20 @@ impl LinkModel {
 
     /// PCIe 2.0 x16, host-to-device direction (pinned-memory DMA).
     pub fn pcie2_x16_h2d() -> Self {
-        Self::new("PCIe 2.0 x16 H2D", Nanos::from_micros(12), BytesPerSec::from_gbps(5.6))
+        Self::new(
+            "PCIe 2.0 x16 H2D",
+            Nanos::from_micros(12),
+            BytesPerSec::from_gbps(5.6),
+        )
     }
 
     /// PCIe 2.0 x16, device-to-host direction.
     pub fn pcie2_x16_d2h() -> Self {
-        Self::new("PCIe 2.0 x16 D2H", Nanos::from_micros(12), BytesPerSec::from_gbps(5.0))
+        Self::new(
+            "PCIe 2.0 x16 D2H",
+            Nanos::from_micros(12),
+            BytesPerSec::from_gbps(5.0),
+        )
     }
 
     /// Generic PCIe line used in the Figure 2 comparison.
@@ -131,19 +143,31 @@ impl LinkModel {
 
     /// AMD HyperTransport (Figure 2 line).
     pub fn hypertransport() -> Self {
-        Self::new("HyperTransport", Nanos::from_micros(1), BytesPerSec::from_gbps(20.8))
+        Self::new(
+            "HyperTransport",
+            Nanos::from_micros(1),
+            BytesPerSec::from_gbps(20.8),
+        )
     }
 
     /// NVIDIA GTX295 on-board GDDR3 memory (Figure 2 line).
     pub fn gtx295_memory() -> Self {
-        Self::new("NVIDIA GTX295 Memory", Nanos::from_nanos(400), BytesPerSec::from_gbps(223.8))
+        Self::new(
+            "NVIDIA GTX295 Memory",
+            Nanos::from_nanos(400),
+            BytesPerSec::from_gbps(223.8),
+        )
     }
 
     /// CPU and accelerator sharing one memory controller (the paper's
     /// low-cost integrated case, §3.1: Intel GMA / AMD Fusion class):
     /// "transfers" are cache-to-cache moves through shared DRAM.
     pub fn integrated_shared_memory() -> Self {
-        Self::new("Integrated shared memory", Nanos::from_nanos(300), BytesPerSec::from_gbps(6.4))
+        Self::new(
+            "Integrated shared memory",
+            Nanos::from_nanos(300),
+            BytesPerSec::from_gbps(6.4),
+        )
     }
 }
 

@@ -157,6 +157,15 @@ impl Device {
         &mut self.d2h
     }
 
+    /// DMA engine for `dir` (the per-direction timeline the transfer
+    /// planner schedules jobs onto).
+    pub fn dma_engine(&self, dir: crate::stats::Direction) -> &Engine {
+        match dir {
+            crate::stats::Direction::HostToDevice => &self.h2d,
+            crate::stats::Direction::DeviceToHost => &self.d2h,
+        }
+    }
+
     /// Kernel execution engine.
     pub fn exec_engine(&self) -> &Engine {
         &self.exec
@@ -199,7 +208,11 @@ impl Device {
 
     /// Instant at which all outstanding work (all streams, all DMA) is done.
     pub fn quiescent_at(&self) -> TimePoint {
-        let mut t = self.h2d.busy_until().max(self.d2h.busy_until()).max(self.exec.busy_until());
+        let mut t = self
+            .h2d
+            .busy_until()
+            .max(self.d2h.busy_until())
+            .max(self.exec.busy_until());
         for &s in &self.streams {
             t = t.max(s);
         }
@@ -257,9 +270,12 @@ mod tests {
     #[test]
     fn quiescent_considers_all_engines() {
         let mut d = dev();
-        d.h2d_engine_mut().reserve(TimePoint::ZERO, Nanos::from_nanos(100));
-        d.exec_engine_mut().reserve(TimePoint::ZERO, Nanos::from_nanos(300));
-        d.d2h_engine_mut().reserve(TimePoint::ZERO, Nanos::from_nanos(200));
+        d.h2d_engine_mut()
+            .reserve(TimePoint::ZERO, Nanos::from_nanos(100));
+        d.exec_engine_mut()
+            .reserve(TimePoint::ZERO, Nanos::from_nanos(300));
+        d.d2h_engine_mut()
+            .reserve(TimePoint::ZERO, Nanos::from_nanos(200));
         assert_eq!(d.quiescent_at(), TimePoint::from_nanos(300));
     }
 }

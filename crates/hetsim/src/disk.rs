@@ -27,7 +27,12 @@ pub struct Disk {
 impl Disk {
     /// Creates a disk model.
     pub fn new(seek: Nanos, read_bw: BytesPerSec, write_bw: BytesPerSec) -> Self {
-        Disk { engine: Engine::new("disk"), seek, read_bw, write_bw }
+        Disk {
+            engine: Engine::new("disk"),
+            seek,
+            read_bw,
+            write_bw,
+        }
     }
 
     /// A 7200-rpm SATA disk of the paper's era (~150 MB/s read, ~110 MB/s
@@ -161,7 +166,10 @@ mod tests {
     #[test]
     fn missing_file_is_error() {
         let fs = SimFs::new();
-        assert!(matches!(fs.read_at("nope", 0, &mut [0u8; 1]), Err(SimError::FileNotFound(_))));
+        assert!(matches!(
+            fs.read_at("nope", 0, &mut [0u8; 1]),
+            Err(SimError::FileNotFound(_))
+        ));
         assert!(matches!(fs.len("nope"), Err(SimError::FileNotFound(_))));
     }
 

@@ -41,7 +41,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::OutOfDeviceMemory { requested, free } => {
-                write!(f, "out of device memory: requested {requested} bytes, {free} free")
+                write!(
+                    f,
+                    "out of device memory: requested {requested} bytes, {free} free"
+                )
             }
             SimError::InvalidDeviceAddress(a) => write!(f, "invalid device address {a:#x}"),
             SimError::NotAnAllocation(a) => {
@@ -70,8 +73,14 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = SimError::OutOfDeviceMemory { requested: 10, free: 5 };
-        assert_eq!(e.to_string(), "out of device memory: requested 10 bytes, 5 free");
+        let e = SimError::OutOfDeviceMemory {
+            requested: 10,
+            free: 5,
+        };
+        assert_eq!(
+            e.to_string(),
+            "out of device memory: requested 10 bytes, 5 free"
+        );
         assert_eq!(SimError::NoSuchDevice(3).to_string(), "no such device: 3");
         assert_eq!(
             SimError::InvalidDeviceAddress(0xdead).to_string(),

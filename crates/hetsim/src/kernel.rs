@@ -23,7 +23,10 @@ pub struct LaunchDims {
 impl LaunchDims {
     /// One-dimensional launch: `blocks × threads`.
     pub fn linear(blocks: u32, threads: u32) -> Self {
-        LaunchDims { grid: (blocks, 1, 1), block: (threads, 1, 1) }
+        LaunchDims {
+            grid: (blocks, 1, 1),
+            block: (threads, 1, 1),
+        }
     }
 
     /// For `n` elements with `threads` per block (grid rounded up).
@@ -66,7 +69,9 @@ impl KernelArg {
     pub fn as_ptr(&self) -> SimResult<DevAddr> {
         match self {
             KernelArg::Ptr(p) => Ok(*p),
-            other => Err(SimError::BadKernelArgs(format!("expected pointer, got {other:?}"))),
+            other => Err(SimError::BadKernelArgs(format!(
+                "expected pointer, got {other:?}"
+            ))),
         }
     }
 
@@ -77,7 +82,9 @@ impl KernelArg {
     pub fn as_u64(&self) -> SimResult<u64> {
         match self {
             KernelArg::U64(v) => Ok(*v),
-            other => Err(SimError::BadKernelArgs(format!("expected u64, got {other:?}"))),
+            other => Err(SimError::BadKernelArgs(format!(
+                "expected u64, got {other:?}"
+            ))),
         }
     }
 
@@ -88,7 +95,9 @@ impl KernelArg {
     pub fn as_f64(&self) -> SimResult<f64> {
         match self {
             KernelArg::F64(v) => Ok(*v),
-            other => Err(SimError::BadKernelArgs(format!("expected f64, got {other:?}"))),
+            other => Err(SimError::BadKernelArgs(format!(
+                "expected f64, got {other:?}"
+            ))),
         }
     }
 }
@@ -187,7 +196,10 @@ pub trait Kernel: Send + Sync {
 /// Fails when the range is out of bounds.
 pub fn read_f32_slice(mem: &DeviceMemory, addr: DevAddr, n: u64) -> SimResult<Vec<f32>> {
     let bytes = mem.slice(addr, n * 4)?;
-    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
 }
 
 /// Helper: writes a `f32` slice into device memory.
@@ -219,7 +231,11 @@ mod tests {
 
     #[test]
     fn args_typed_access() {
-        let raw = [KernelArg::Ptr(DevAddr(0x100)), KernelArg::U64(7), KernelArg::F64(2.5)];
+        let raw = [
+            KernelArg::Ptr(DevAddr(0x100)),
+            KernelArg::U64(7),
+            KernelArg::F64(2.5),
+        ];
         let args = Args::new(&raw);
         assert_eq!(args.len(), 3);
         assert!(!args.is_empty());

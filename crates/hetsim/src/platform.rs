@@ -197,7 +197,9 @@ impl Platform {
     /// # Errors
     /// [`SimError::NoSuchDevice`] for out-of-range ids.
     pub fn device_mut(&mut self, id: DeviceId) -> SimResult<&mut Device> {
-        self.devices.get_mut(id.0).ok_or(SimError::NoSuchDevice(id.0))
+        self.devices
+            .get_mut(id.0)
+            .ok_or(SimError::NoSuchDevice(id.0))
     }
 
     /// Execution-time ledger (Figure 10 categories).
@@ -208,6 +210,12 @@ impl Platform {
     /// Transfer ledger (Figure 8 input).
     pub fn transfers(&self) -> &TransferLedger {
         &self.transfers
+    }
+
+    /// Transfer ledger, mutable (the transfer planner attributes coalesced
+    /// block counts to the jobs it issues).
+    pub fn transfers_mut(&mut self) -> &mut TransferLedger {
+        &mut self.transfers
     }
 
     /// Simulated filesystem (for preparing workload inputs without charging
@@ -346,7 +354,8 @@ impl Platform {
         let t = device.link_h2d().transfer_time(src.len() as u64);
         device.mem_mut().write(dst, src)?;
         let r: Reservation = device.h2d_engine_mut().reserve(now, t);
-        self.transfers.record(Direction::HostToDevice, src.len() as u64);
+        self.transfers
+            .record(Direction::HostToDevice, src.len() as u64);
         if mode == CopyMode::Sync {
             self.wait_for(r.end, Category::Copy);
         }
@@ -370,11 +379,24 @@ impl Platform {
         let t = device.link_d2h().transfer_time(out.len() as u64);
         device.mem().read(src, out)?;
         let r = device.d2h_engine_mut().reserve(now, t);
-        self.transfers.record(Direction::DeviceToHost, out.len() as u64);
+        self.transfers
+            .record(Direction::DeviceToHost, out.len() as u64);
         if mode == CopyMode::Sync {
             self.wait_for(r.end, Category::Copy);
         }
         Ok(r.end)
+    }
+
+    /// Blocks the host until the DMA engine of `dir` on `dev` has drained,
+    /// charging the waited time to `Copy`. This is the explicit join point
+    /// asynchronous transfer plans synchronise on.
+    ///
+    /// # Errors
+    /// Fails for unknown devices.
+    pub fn join_dma(&mut self, dev: DeviceId, dir: Direction) -> SimResult<()> {
+        let horizon = self.device(dev)?.dma_engine(dir).busy_until();
+        self.wait_for(horizon, Category::Copy);
+        Ok(())
     }
 
     /// Device-side memset (`cudaMemset` equivalent): fills `len` bytes at
@@ -382,7 +404,13 @@ impl Platform {
     ///
     /// # Errors
     /// Fails for unknown devices or out-of-bounds ranges.
-    pub fn dev_memset(&mut self, dev: DeviceId, addr: DevAddr, value: u8, len: u64) -> SimResult<()> {
+    pub fn dev_memset(
+        &mut self,
+        dev: DeviceId,
+        addr: DevAddr,
+        value: u8,
+        len: u64,
+    ) -> SimResult<()> {
         let now = self.now();
         let device = self.device_mut(dev)?;
         device.mem_mut().fill(addr, value, len)?;
@@ -497,7 +525,8 @@ impl PlatformBuilder {
         link_h2d: LinkModel,
         link_d2h: LinkModel,
     ) -> Self {
-        self.devices.push((spec, mem_size, base, link_h2d, link_d2h));
+        self.devices
+            .push((spec, mem_size, base, link_h2d, link_d2h));
         self
     }
 
@@ -512,7 +541,10 @@ impl PlatformBuilder {
     /// # Panics
     /// Panics if no accelerator was configured.
     pub fn build(self) -> Platform {
-        assert!(!self.devices.is_empty(), "platform needs at least one accelerator");
+        assert!(
+            !self.devices.is_empty(),
+            "platform needs at least one accelerator"
+        );
         let devices = self
             .devices
             .into_iter()
@@ -583,7 +615,8 @@ mod tests {
         let mut p = Platform::desktop_g280();
         let a = p.dev_alloc(DEV, 1 << 20).unwrap();
         let t0 = p.now();
-        p.copy_h2d(DEV, a, &vec![7u8; 1 << 20], CopyMode::Sync).unwrap();
+        p.copy_h2d(DEV, a, &vec![7u8; 1 << 20], CopyMode::Sync)
+            .unwrap();
         assert!(p.now() > t0);
         assert!(p.ledger().get(Category::Copy) > Nanos::ZERO);
         assert_eq!(p.transfers().h2d_bytes, 1 << 20);
@@ -612,9 +645,15 @@ mod tests {
         let a = p.dev_alloc(DEV, 64 << 10).unwrap();
         let buf = vec![0u8; 32 << 10];
         let end1 = p.copy_h2d(DEV, a, &buf, CopyMode::Async).unwrap();
-        let end2 = p.copy_h2d(DEV, a.add(32 << 10), &buf, CopyMode::Async).unwrap();
+        let end2 = p
+            .copy_h2d(DEV, a.add(32 << 10), &buf, CopyMode::Async)
+            .unwrap();
         let single = p.device(DEV).unwrap().link_h2d().transfer_time(32 << 10);
-        assert_eq!(end2.since(end1), single, "second transfer queues behind the first");
+        assert_eq!(
+            end2.since(end1),
+            single,
+            "second transfer queues behind the first"
+        );
     }
 
     #[test]
@@ -670,7 +709,10 @@ mod tests {
         let mut buf = vec![0u8; 4096];
         let n = p.file_read("in.dat", 0, &mut buf).unwrap();
         assert_eq!(n, 4096);
-        assert!(p.ledger().get(Category::IoRead) >= Nanos::from_micros(150), "overhead + transfer");
+        assert!(
+            p.ledger().get(Category::IoRead) >= Nanos::from_micros(150),
+            "overhead + transfer"
+        );
         p.file_write("out.dat", 0, &buf).unwrap();
         assert!(p.ledger().get(Category::IoWrite) > Nanos::ZERO);
         assert_eq!(p.file_len("out.dat").unwrap(), 4096);
@@ -690,7 +732,14 @@ mod tests {
         let mut p = Platform::desktop_g280();
         let a = p.dev_alloc(DEV, 4096).unwrap();
         p.dev_memset(DEV, a, 0x3C, 4096).unwrap();
-        assert!(p.device(DEV).unwrap().mem().slice(a, 4096).unwrap().iter().all(|&b| b == 0x3C));
+        assert!(p
+            .device(DEV)
+            .unwrap()
+            .mem()
+            .slice(a, 4096)
+            .unwrap()
+            .iter()
+            .all(|&b| b == 0x3C));
     }
 
     #[test]
@@ -701,8 +750,16 @@ mod tests {
         p.register_kernel(Arc::new(NullKernel));
         let a = p.dev_alloc(DEV, 1 << 16).unwrap();
         p.cpu_touch(1 << 16);
-        p.copy_h2d(DEV, a, &vec![1u8; 1 << 16], CopyMode::Sync).unwrap();
-        p.launch(DEV, StreamId(0), "null", LaunchDims::for_elements(1 << 16, 256), &[]).unwrap();
+        p.copy_h2d(DEV, a, &vec![1u8; 1 << 16], CopyMode::Sync)
+            .unwrap();
+        p.launch(
+            DEV,
+            StreamId(0),
+            "null",
+            LaunchDims::for_elements(1 << 16, 256),
+            &[],
+        )
+        .unwrap();
         p.sync_stream(DEV, StreamId(0)).unwrap();
         let mut out = vec![0u8; 1 << 16];
         p.copy_d2h(DEV, a, &mut out, CopyMode::Sync).unwrap();

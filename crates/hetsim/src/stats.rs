@@ -160,17 +160,32 @@ impl fmt::Display for Direction {
     }
 }
 
-/// Counts bytes and transfers per direction (Figure 8 input).
+/// Counts bytes, DMA jobs and coalesced blocks per direction (Figure 8
+/// input, extended with the transfer-planner's aggregation metrics).
+///
+/// A *job* is one DMA engine reservation (`copy_h2d`/`copy_d2h`); a *block*
+/// is one protocol-granularity range the runtime asked to move. When the
+/// transfer planner coalesces adjacent dirty blocks, several blocks ride in
+/// one job, and `blocks / jobs` (the coalescing ratio) exceeds 1.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TransferLedger {
     /// Bytes moved host-to-device.
     pub h2d_bytes: u64,
     /// Bytes moved device-to-host.
     pub d2h_bytes: u64,
-    /// Number of host-to-device transfers.
+    /// Number of host-to-device DMA jobs.
     pub h2d_count: u64,
-    /// Number of device-to-host transfers.
+    /// Number of device-to-host DMA jobs.
     pub d2h_count: u64,
+    /// Protocol blocks carried by host-to-device jobs.
+    pub h2d_blocks: u64,
+    /// Protocol blocks carried by device-to-host jobs.
+    pub d2h_blocks: u64,
+    /// Host-to-device jobs issued by the transfer planner (the subset of
+    /// `h2d_count` that carries block attribution).
+    pub h2d_planned: u64,
+    /// Device-to-host jobs issued by the transfer planner.
+    pub d2h_planned: u64,
 }
 
 impl TransferLedger {
@@ -179,7 +194,7 @@ impl TransferLedger {
         Self::default()
     }
 
-    /// Records one transfer.
+    /// Records one transfer (one DMA job).
     pub fn record(&mut self, dir: Direction, bytes: u64) {
         match dir {
             Direction::HostToDevice => {
@@ -193,9 +208,68 @@ impl TransferLedger {
         }
     }
 
+    /// Attributes `blocks` protocol blocks to one planner-issued job in
+    /// `dir` (called once per job by the transfer planner's executor; plain
+    /// `record` callers — peeks, accelerator-API baselines — leave block
+    /// accounting untouched and do not enter the coalescing ratio).
+    pub fn note_blocks(&mut self, dir: Direction, blocks: u64) {
+        match dir {
+            Direction::HostToDevice => {
+                self.h2d_blocks += blocks;
+                self.h2d_planned += 1;
+            }
+            Direction::DeviceToHost => {
+                self.d2h_blocks += blocks;
+                self.d2h_planned += 1;
+            }
+        }
+    }
+
+    /// Number of DMA jobs issued in `dir`.
+    pub fn jobs(&self, dir: Direction) -> u64 {
+        match dir {
+            Direction::HostToDevice => self.h2d_count,
+            Direction::DeviceToHost => self.d2h_count,
+        }
+    }
+
+    /// Total DMA jobs in both directions.
+    pub fn total_jobs(&self) -> u64 {
+        self.h2d_count + self.d2h_count
+    }
+
     /// Total bytes in both directions.
     pub fn total_bytes(&self) -> u64 {
         self.h2d_bytes + self.d2h_bytes
+    }
+
+    /// Protocol blocks per *planner-issued* DMA job in `dir` (1.0 when no
+    /// coalescing happened; 0 when the planner issued no jobs). Jobs
+    /// recorded outside the planner — peeks, accelerator-API baselines —
+    /// are excluded so they cannot deflate the ratio.
+    pub fn coalescing_ratio(&self, dir: Direction) -> f64 {
+        let (blocks, jobs) = match dir {
+            Direction::HostToDevice => (self.h2d_blocks, self.h2d_planned),
+            Direction::DeviceToHost => (self.d2h_blocks, self.d2h_planned),
+        };
+        if jobs == 0 {
+            0.0
+        } else {
+            blocks as f64 / jobs as f64
+        }
+    }
+
+    /// Mean bytes carried per DMA job in `dir` (0 when no jobs ran).
+    pub fn bytes_per_job(&self, dir: Direction) -> f64 {
+        let (bytes, jobs) = match dir {
+            Direction::HostToDevice => (self.h2d_bytes, self.h2d_count),
+            Direction::DeviceToHost => (self.d2h_bytes, self.d2h_count),
+        };
+        if jobs == 0 {
+            0.0
+        } else {
+            bytes as f64 / jobs as f64
+        }
     }
 
     /// Clears the ledger.
@@ -273,8 +347,44 @@ mod tests {
         assert_eq!(t.d2h_bytes, 25);
         assert_eq!(t.d2h_count, 1);
         assert_eq!(t.total_bytes(), 175);
+        assert_eq!(t.total_jobs(), 3);
         t.reset();
         assert_eq!(t, TransferLedger::default());
+    }
+
+    #[test]
+    fn coalescing_ratio_tracks_blocks_per_job() {
+        let mut t = TransferLedger::new();
+        assert_eq!(t.coalescing_ratio(Direction::HostToDevice), 0.0);
+        assert_eq!(t.bytes_per_job(Direction::HostToDevice), 0.0);
+        // One job carrying four coalesced blocks.
+        t.record(Direction::HostToDevice, 4096 * 4);
+        t.note_blocks(Direction::HostToDevice, 4);
+        // One single-block job.
+        t.record(Direction::HostToDevice, 4096);
+        t.note_blocks(Direction::HostToDevice, 1);
+        assert_eq!(t.jobs(Direction::HostToDevice), 2);
+        assert!((t.coalescing_ratio(Direction::HostToDevice) - 2.5).abs() < 1e-12);
+        assert!((t.bytes_per_job(Direction::HostToDevice) - (4096.0 * 5.0 / 2.0)).abs() < 1e-9);
+        // The other direction is unaffected.
+        assert_eq!(t.d2h_blocks, 0);
+        assert_eq!(t.coalescing_ratio(Direction::DeviceToHost), 0.0);
+    }
+
+    #[test]
+    fn non_planner_jobs_do_not_deflate_coalescing_ratio() {
+        let mut t = TransferLedger::new();
+        // One planner job carrying four coalesced blocks.
+        t.record(Direction::DeviceToHost, 4096 * 4);
+        t.note_blocks(Direction::DeviceToHost, 4);
+        // A peek-style direct copy: counted as a job, not planner-attributed.
+        t.record(Direction::DeviceToHost, 512);
+        assert_eq!(t.jobs(Direction::DeviceToHost), 2);
+        assert!((t.coalescing_ratio(Direction::DeviceToHost) - 4.0).abs() < 1e-12);
+        // Peek-only traffic reports 0, never a value below 1.
+        let mut p = TransferLedger::new();
+        p.record(Direction::DeviceToHost, 512);
+        assert_eq!(p.coalescing_ratio(Direction::DeviceToHost), 0.0);
     }
 
     #[test]

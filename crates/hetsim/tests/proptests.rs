@@ -55,7 +55,7 @@ proptest! {
                             let free = CAP - used;
                             let rounded = size.div_ceil(256) * 256;
                             prop_assert!(
-                                rounded > free || live.len() > 0,
+                                rounded > free || !live.is_empty(),
                                 "alloc of {} failed with {} free and no fragmentation",
                                 rounded, free
                             );

@@ -1,0 +1,186 @@
+//! Minimal, dependency-free stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to a crates registry, so this shim
+//! provides the subset of the criterion API the workspace's benches use and
+//! measures with plain [`std::time::Instant`]. Each benchmark routine is
+//! warmed once and then timed over a small fixed number of iterations —
+//! enough for a ballpark figure and for `cargo test`/CI to prove the bench
+//! code still compiles and runs, without criterion's statistics machinery.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Number of timed iterations per benchmark (kept small: benches double as
+/// smoke tests under `cargo test`).
+const TIMED_ITERS: u32 = 10;
+
+/// Benchmark identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `name/param`.
+    pub fn new<P: fmt::Display>(name: &str, param: P) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{param}"),
+        }
+    }
+
+    /// Creates an id from just a parameter.
+    pub fn from_parameter<P: fmt::Display>(param: P) -> Self {
+        BenchmarkId {
+            name: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Drives one benchmark routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, accumulating elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..TIMED_ITERS {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = TIMED_ITERS;
+    }
+
+    fn report(&self, label: &str) {
+        if self.iters > 0 {
+            let per = self.elapsed.as_secs_f64() / f64::from(self.iters);
+            println!("bench {label:<40} {:>12.3} us/iter", per * 1e6);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Runs one parameterised benchmark.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// The benchmark manager.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($group:ident; $($rest:tt)*) => {
+        $crate::criterion_group!($group, $($rest)*);
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routine_and_counts() {
+        let mut b = Bencher::default();
+        let mut runs = 0u32;
+        b.iter(|| runs += 1);
+        assert_eq!(runs, TIMED_ITERS + 1, "warm-up plus timed iterations");
+        assert_eq!(b.iters, TIMED_ITERS);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut ran = false;
+        g.sample_size(5)
+            .bench_function("f", |b| b.iter(|| ran = true));
+        g.bench_with_input(BenchmarkId::new("p", 42), &42, |b, &v| {
+            b.iter(|| assert_eq!(v, 42));
+        });
+        g.finish();
+        assert!(ran);
+        assert_eq!(BenchmarkId::new("x", 7).to_string(), "x/7");
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+    }
+}

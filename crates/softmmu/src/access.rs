@@ -101,7 +101,11 @@ pub fn to_bytes<T: Scalar>(values: &[T]) -> Vec<u8> {
 /// # Panics
 /// Panics if `bytes.len()` is not a multiple of the scalar size.
 pub fn from_bytes<T: Scalar>(bytes: &[u8]) -> Vec<T> {
-    assert_eq!(bytes.len() % T::SIZE, 0, "byte length not a scalar multiple");
+    assert_eq!(
+        bytes.len() % T::SIZE,
+        0,
+        "byte length not a scalar multiple"
+    );
     bytes.chunks_exact(T::SIZE).map(T::load_le).collect()
 }
 

@@ -35,7 +35,7 @@ impl VAddr {
 
     /// True when the address is page aligned.
     pub fn is_page_aligned(self) -> bool {
-        self.0 % PAGE_SIZE == 0
+        self.0.is_multiple_of(PAGE_SIZE)
     }
 
     /// The page containing this address.
@@ -117,7 +117,11 @@ impl fmt::Display for VPage {
 /// Iterates over the pages covering `[addr, addr + len)`.
 pub fn pages_covering(addr: VAddr, len: u64) -> impl Iterator<Item = VPage> {
     let first = addr.page().0;
-    let last = if len == 0 { first } else { (addr + (len - 1)).page().0 + 1 };
+    let last = if len == 0 {
+        first
+    } else {
+        (addr + (len - 1)).page().0 + 1
+    };
     (first..last).map(VPage)
 }
 

@@ -27,7 +27,11 @@ pub struct Fault {
 
 impl fmt::Display for Fault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} fault at {} (page is {})", self.kind, self.addr, self.prot)
+        write!(
+            f,
+            "{} fault at {} (page is {})",
+            self.kind, self.addr, self.prot
+        )
     }
 }
 
@@ -103,12 +107,22 @@ mod tests {
 
     #[test]
     fn error_messages() {
-        assert_eq!(MmuError::Unmapped(VAddr(0x10)).to_string(), "unmapped address 0x10");
         assert_eq!(
-            MmuError::Overlap { addr: VAddr(0x1000), len: 4096 }.to_string(),
+            MmuError::Unmapped(VAddr(0x10)).to_string(),
+            "unmapped address 0x10"
+        );
+        assert_eq!(
+            MmuError::Overlap {
+                addr: VAddr(0x1000),
+                len: 4096
+            }
+            .to_string(),
             "mapping [0x1000, +4096) overlaps an existing region"
         );
-        assert_eq!(MmuError::Misaligned(VAddr(1)).to_string(), "address 0x1 is not page aligned");
+        assert_eq!(
+            MmuError::Misaligned(VAddr(1)).to_string(),
+            "address 0x1 is not page aligned"
+        );
     }
 
     #[test]

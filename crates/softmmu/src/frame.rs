@@ -46,7 +46,9 @@ impl FrameArena {
     /// # Panics
     /// Panics on a freed or out-of-range frame id.
     pub fn bytes(&self, id: FrameId) -> &[u8] {
-        self.frames[id.0 as usize].as_deref().expect("use of freed frame")
+        self.frames[id.0 as usize]
+            .as_deref()
+            .expect("use of freed frame")
     }
 
     /// Mutable view of a frame's bytes.
@@ -54,7 +56,9 @@ impl FrameArena {
     /// # Panics
     /// Panics on a freed or out-of-range frame id.
     pub fn bytes_mut(&mut self, id: FrameId) -> &mut [u8] {
-        self.frames[id.0 as usize].as_deref_mut().expect("use of freed frame")
+        self.frames[id.0 as usize]
+            .as_deref_mut()
+            .expect("use of freed frame")
     }
 
     /// Number of live frames.

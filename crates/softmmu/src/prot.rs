@@ -40,11 +40,10 @@ pub enum Protection {
 impl Protection {
     /// Whether this protection permits `kind`.
     pub fn allows(self, kind: AccessKind) -> bool {
-        match (self, kind) {
-            (Protection::ReadWrite, _) => true,
-            (Protection::ReadOnly, AccessKind::Read) => true,
-            _ => false,
-        }
+        matches!(
+            (self, kind),
+            (Protection::ReadWrite, _) | (Protection::ReadOnly, AccessKind::Read)
+        )
     }
 }
 

@@ -103,11 +103,22 @@ impl AddressSpace {
         let id = RegionId(self.next_id);
         self.next_id += 1;
         for page in pages_covering(addr, len) {
-            let pte = Pte { frame: self.frames.alloc(), prot, region: id };
+            let pte = Pte {
+                frame: self.frames.alloc(),
+                prot,
+                region: id,
+            };
             let prev = self.table.map(page, pte);
             debug_assert!(prev.is_none(), "overlap check missed a mapped page");
         }
-        self.regions.insert(addr.0, Region { id, start: addr, len });
+        self.regions.insert(
+            addr.0,
+            Region {
+                id,
+                start: addr,
+                len,
+            },
+        );
         Ok(id)
     }
 
@@ -229,7 +240,10 @@ impl AddressSpace {
             return Ok(());
         }
         for page in pages_covering(addr, len) {
-            let pte = self.table.lookup(page).ok_or(MmuError::Unmapped(page.base()))?;
+            let pte = self
+                .table
+                .lookup(page)
+                .ok_or(MmuError::Unmapped(page.base()))?;
             if !pte.prot.allows(kind) {
                 self.faults_observed += 1;
                 return Err(MmuError::Fault(Fault {
@@ -343,8 +357,11 @@ impl AddressSpace {
         while done < out.len() {
             let page = cur.page();
             let off = cur.page_offset() as usize;
-            let n = ((PAGE_SIZE as usize - off).min(out.len() - done)) as usize;
-            let pte = self.table.lookup(page).ok_or(MmuError::Unmapped(page.base()))?;
+            let n = (PAGE_SIZE as usize - off).min(out.len() - done);
+            let pte = self
+                .table
+                .lookup(page)
+                .ok_or(MmuError::Unmapped(page.base()))?;
             out[done..done + n].copy_from_slice(&self.frames.bytes(pte.frame)[off..off + n]);
             cur = cur + n as u64;
             done += n;
@@ -359,7 +376,10 @@ impl AddressSpace {
             let page = cur.page();
             let off = cur.page_offset() as usize;
             let n = (PAGE_SIZE as usize - off).min(src.len() - done);
-            let pte = *self.table.lookup(page).ok_or(MmuError::Unmapped(page.base()))?;
+            let pte = *self
+                .table
+                .lookup(page)
+                .ok_or(MmuError::Unmapped(page.base()))?;
             self.frames.bytes_mut(pte.frame)[off..off + n].copy_from_slice(&src[done..done + n]);
             cur = cur + n as u64;
             done += n;
@@ -396,7 +416,10 @@ mod tests {
         let a = VAddr(0x1000_0000);
         vm.map_fixed(a, 4 * PAGE_SIZE, RW).unwrap();
         // Exact overlap.
-        assert!(matches!(vm.map_fixed(a, PAGE_SIZE, RW), Err(MmuError::Overlap { .. })));
+        assert!(matches!(
+            vm.map_fixed(a, PAGE_SIZE, RW),
+            Err(MmuError::Overlap { .. })
+        ));
         // Partial overlap from below.
         assert!(matches!(
             vm.map_fixed(VAddr(a.0 - PAGE_SIZE), 2 * PAGE_SIZE, RW),
@@ -410,9 +433,15 @@ mod tests {
         // Adjacent is fine.
         assert!(vm.map_fixed(a + 4 * PAGE_SIZE, PAGE_SIZE, RW).is_ok());
         // Misaligned.
-        assert!(matches!(vm.map_fixed(VAddr(0x123), PAGE_SIZE, RW), Err(MmuError::Misaligned(_))));
+        assert!(matches!(
+            vm.map_fixed(VAddr(0x123), PAGE_SIZE, RW),
+            Err(MmuError::Misaligned(_))
+        ));
         // Zero length.
-        assert!(matches!(vm.map_fixed(VAddr(0x9000_0000), 0, RW), Err(MmuError::BadLength)));
+        assert!(matches!(
+            vm.map_fixed(VAddr(0x9000_0000), 0, RW),
+            Err(MmuError::BadLength)
+        ));
     }
 
     #[test]
@@ -433,11 +462,17 @@ mod tests {
         vm.unmap_region(id).unwrap();
         assert_eq!(vm.region_count(), 0);
         assert_eq!(vm.mapped_pages(), 0);
-        assert!(matches!(vm.read_bytes(a, &mut [0u8; 1]), Err(MmuError::Unmapped(_))));
+        assert!(matches!(
+            vm.read_bytes(a, &mut [0u8; 1]),
+            Err(MmuError::Unmapped(_))
+        ));
         // Address can be mapped again.
         vm.map_fixed(a, PAGE_SIZE, RW).unwrap();
         // Unknown region id errors.
-        assert!(matches!(vm.unmap_region(RegionId(999)), Err(MmuError::InvalidRegion(_))));
+        assert!(matches!(
+            vm.unmap_region(RegionId(999)),
+            Err(MmuError::InvalidRegion(_))
+        ));
     }
 
     #[test]
@@ -464,7 +499,10 @@ mod tests {
         let mut vm = AddressSpace::new();
         let a = VAddr(0x3000_0000);
         vm.map_fixed(a, PAGE_SIZE, Protection::None).unwrap();
-        assert!(matches!(vm.read_bytes(a, &mut [0u8; 1]), Err(MmuError::Fault(_))));
+        assert!(matches!(
+            vm.read_bytes(a, &mut [0u8; 1]),
+            Err(MmuError::Fault(_))
+        ));
         assert!(matches!(vm.write_bytes(a, &[0]), Err(MmuError::Fault(_))));
         assert_eq!(vm.faults_observed(), 2);
     }
@@ -531,7 +569,10 @@ mod tests {
         assert_eq!(vm.gather(a, 3).unwrap(), vec![5, 6, 7]);
         assert_eq!(vm.faults_observed(), 0, "raw access never faults");
         // But raw access still requires mappings.
-        assert!(matches!(vm.write_raw(a + PAGE_SIZE, &[1]), Err(MmuError::Unmapped(_))));
+        assert!(matches!(
+            vm.write_raw(a + PAGE_SIZE, &[1]),
+            Err(MmuError::Unmapped(_))
+        ));
     }
 
     #[test]

@@ -29,7 +29,10 @@ struct Node<T> {
 
 impl<T> Node<T> {
     fn new() -> Self {
-        Node { children: std::iter::repeat_with(|| None).take(FANOUT).collect(), live: 0 }
+        Node {
+            children: std::iter::repeat_with(|| None).take(FANOUT).collect(),
+            live: 0,
+        }
     }
 }
 
@@ -65,7 +68,10 @@ fn indices(page: VPage) -> [usize; 4] {
 impl PageTable {
     /// Creates an empty table.
     pub fn new() -> Self {
-        PageTable { root: Node::new(), mapped: 0 }
+        PageTable {
+            root: Node::new(),
+            mapped: 0,
+        }
     }
 
     /// Number of mapped pages.
@@ -115,16 +121,22 @@ impl PageTable {
     /// Walks the table for `page`.
     pub fn lookup(&self, page: VPage) -> Option<&Pte> {
         let [i4, i3, i2, i1] = indices(page);
-        self.root.children[i4].as_ref()?.children[i3].as_ref()?.children[i2].as_ref()?.children
-            [i1]
+        self.root.children[i4].as_ref()?.children[i3]
+            .as_ref()?
+            .children[i2]
+            .as_ref()?
+            .children[i1]
             .as_ref()
     }
 
     /// Walks the table for `page`, mutably.
     pub fn lookup_mut(&mut self, page: VPage) -> Option<&mut Pte> {
         let [i4, i3, i2, i1] = indices(page);
-        self.root.children[i4].as_mut()?.children[i3].as_mut()?.children[i2].as_mut()?.children
-            [i1]
+        self.root.children[i4].as_mut()?.children[i3]
+            .as_mut()?
+            .children[i2]
+            .as_mut()?
+            .children[i1]
             .as_mut()
     }
 
@@ -151,7 +163,11 @@ mod tests {
     use crate::frame::FrameArena;
 
     fn pte(arena: &mut FrameArena, prot: Protection) -> Pte {
-        Pte { frame: arena.alloc(), prot, region: RegionId(1) }
+        Pte {
+            frame: arena.alloc(),
+            prot,
+            region: RegionId(1),
+        }
     }
 
     #[test]
@@ -173,7 +189,12 @@ mod tests {
         let mut t = PageTable::new();
         let mut a = FrameArena::new();
         // Pages in very different parts of the 48-bit space.
-        let pages = [VPage(0), VPage(0x7fff_ffff), VPage(1 << 35), VPage(0xF_FFFF_FFFF)];
+        let pages = [
+            VPage(0),
+            VPage(0x7fff_ffff),
+            VPage(1 << 35),
+            VPage(0xF_FFFF_FFFF),
+        ];
         for (i, &p) in pages.iter().enumerate() {
             let e = Pte {
                 frame: a.alloc(),

@@ -238,7 +238,11 @@ pub struct Prng(u64);
 impl Prng {
     /// Creates a generator from a seed (0 is remapped).
     pub fn new(seed: u64) -> Self {
-        Prng(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+        Prng(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
     }
 
     /// Next raw 64-bit value.

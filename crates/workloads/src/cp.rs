@@ -13,8 +13,7 @@ use cudart::Cuda;
 use gmac::{Context, Param};
 use hetsim::kernel::{read_f32_slice, write_f32_slice};
 use hetsim::{
-    Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult,
-    StreamId,
+    Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult, StreamId,
 };
 use softmmu::to_bytes;
 use std::sync::Arc;
@@ -66,7 +65,10 @@ impl Kernel for CpKernel {
         write_f32_slice(mem, args.ptr(1)?, &grid)?;
         // ~9 flops per atom-cell interaction; atoms stay in shared memory so
         // traffic is one grid write stream.
-        Ok(KernelProfile::new((natoms * n * n) as f64 * 9.0, (n * n) as f64 * 4.0))
+        Ok(KernelProfile::new(
+            (natoms * n * n) as f64 * 9.0,
+            (n * n) as f64 * 4.0,
+        ))
     }
 }
 
@@ -81,7 +83,10 @@ pub struct Cp {
 
 impl Default for Cp {
     fn default() -> Self {
-        Cp { natoms: 16384, n: 64 }
+        Cp {
+            natoms: 16384,
+            n: 64,
+        }
     }
 }
 
@@ -181,7 +186,11 @@ impl Workload for Cp {
             Param::U64(self.n as u64),
             Param::F64(Z0),
         ];
-        ctx.call("cp_energy", LaunchDims::for_elements((self.n * self.n) as u64, 128), &params)?;
+        ctx.call(
+            "cp_energy",
+            LaunchDims::for_elements((self.n * self.n) as u64, 128),
+            &params,
+        )?;
         ctx.sync()?;
         // The shared pointer goes straight to the write() call — no explicit
         // transfer in sight.
@@ -220,9 +229,14 @@ mod tests {
     #[test]
     fn variants_agree() {
         let w = Cp::small();
-        let digests: Vec<u64> =
-            Variant::ALL.iter().map(|&v| run_variant(&w, v).unwrap().digest).collect();
-        assert!(digests.windows(2).all(|d| d[0] == d[1]), "digests: {digests:?}");
+        let digests: Vec<u64> = Variant::ALL
+            .iter()
+            .map(|&v| run_variant(&w, v).unwrap().digest)
+            .collect();
+        assert!(
+            digests.windows(2).all(|d| d[0] == d[1]),
+            "digests: {digests:?}"
+        );
     }
 
     #[test]

@@ -12,8 +12,7 @@ use cudart::Cuda;
 use gmac::{Context, Param};
 use hetsim::kernel::{read_f32_slice, write_f32_slice};
 use hetsim::{
-    Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult,
-    StreamId,
+    Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult, StreamId,
 };
 use std::sync::Arc;
 
@@ -32,7 +31,8 @@ impl MriFhdKernel {
             let (mut re, mut im) = (0.0f32, 0.0f32);
             for ki in 0..k {
                 let (rr, ri) = (rho[2 * ki], rho[2 * ki + 1]);
-                let angle = 2.0 * std::f32::consts::PI
+                let angle = 2.0
+                    * std::f32::consts::PI
                     * (traj[3 * ki] * vx + traj[3 * ki + 1] * vy + traj[3 * ki + 2] * vz);
                 let (s, c) = angle.sin_cos();
                 re += rr * c + ri * s;
@@ -63,7 +63,10 @@ impl Kernel for MriFhdKernel {
         let voxels = read_f32_slice(mem, args.ptr(2)?, x * 3)?;
         let fhd = Self::reference(&traj, &rho, &voxels);
         write_f32_slice(mem, args.ptr(3)?, &fhd)?;
-        Ok(KernelProfile::new((k * x) as f64 * 16.0, (x * 8 + k * 20) as f64))
+        Ok(KernelProfile::new(
+            (k * x) as f64 * 16.0,
+            (x * 8 + k * 20) as f64,
+        ))
     }
 }
 
@@ -122,10 +125,18 @@ impl Workload for MriFhd {
         let mut rng = Prng::new(0xFD);
         let traj: Vec<f32> = (0..self.k * 3).map(|_| rng.range_f32(-0.5, 0.5)).collect();
         let rho: Vec<f32> = (0..self.k * 2).map(|_| rng.range_f32(-1.0, 1.0)).collect();
-        let voxels: Vec<f32> = (0..self.x * 3).map(|_| rng.range_f32(-16.0, 16.0)).collect();
-        platform.fs_mut().create("mrifhd-traj.bin", softmmu::to_bytes(&traj));
-        platform.fs_mut().create("mrifhd-rho.bin", softmmu::to_bytes(&rho));
-        platform.fs_mut().create("mrifhd-voxels.bin", softmmu::to_bytes(&voxels));
+        let voxels: Vec<f32> = (0..self.x * 3)
+            .map(|_| rng.range_f32(-16.0, 16.0))
+            .collect();
+        platform
+            .fs_mut()
+            .create("mrifhd-traj.bin", softmmu::to_bytes(&traj));
+        platform
+            .fs_mut()
+            .create("mrifhd-rho.bin", softmmu::to_bytes(&rho));
+        platform
+            .fs_mut()
+            .create("mrifhd-voxels.bin", softmmu::to_bytes(&voxels));
         Ok(())
     }
 
@@ -224,8 +235,13 @@ mod tests {
     #[test]
     fn variants_agree() {
         let w = MriFhd::small();
-        let digests: Vec<u64> =
-            Variant::ALL.iter().map(|&v| run_variant(&w, v).unwrap().digest).collect();
-        assert!(digests.windows(2).all(|d| d[0] == d[1]), "digests: {digests:?}");
+        let digests: Vec<u64> = Variant::ALL
+            .iter()
+            .map(|&v| run_variant(&w, v).unwrap().digest)
+            .collect();
+        assert!(
+            digests.windows(2).all(|d| d[0] == d[1]),
+            "digests: {digests:?}"
+        );
     }
 }

@@ -14,8 +14,7 @@ use cudart::Cuda;
 use gmac::{Context, Param};
 use hetsim::kernel::{read_f32_slice, write_f32_slice};
 use hetsim::{
-    Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult,
-    StreamId,
+    Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult, StreamId,
 };
 use std::sync::Arc;
 
@@ -34,7 +33,8 @@ impl MriQKernel {
             let (mut qr, mut qi) = (0.0f32, 0.0f32);
             for ki in 0..k {
                 let mag = phi[2 * ki] * phi[2 * ki] + phi[2 * ki + 1] * phi[2 * ki + 1];
-                let angle = 2.0 * std::f32::consts::PI
+                let angle = 2.0
+                    * std::f32::consts::PI
                     * (traj[3 * ki] * vx + traj[3 * ki + 1] * vy + traj[3 * ki + 2] * vz);
                 qr += mag * angle.cos();
                 qi += mag * angle.sin();
@@ -57,15 +57,18 @@ impl Kernel for MriQKernel {
         _dims: LaunchDims,
         args: Args<'_>,
     ) -> SimResult<KernelProfile> {
-        let k = args.u64(4)? as u64;
-        let x = args.u64(5)? as u64;
+        let k = args.u64(4)?;
+        let x = args.u64(5)?;
         let traj = read_f32_slice(mem, args.ptr(0)?, k * 3)?;
         let phi = read_f32_slice(mem, args.ptr(1)?, k * 2)?;
         let voxels = read_f32_slice(mem, args.ptr(2)?, x * 3)?;
         let q = Self::reference(&traj, &phi, &voxels);
         write_f32_slice(mem, args.ptr(3)?, &q)?;
         // ~14 flops (incl. sincos) per sample-voxel pair.
-        Ok(KernelProfile::new((k * x) as f64 * 14.0, (x * 8 + k * 20) as f64))
+        Ok(KernelProfile::new(
+            (k * x) as f64 * 14.0,
+            (x * 8 + k * 20) as f64,
+        ))
     }
 }
 
@@ -124,10 +127,18 @@ impl Workload for MriQ {
         let mut rng = Prng::new(0x3333);
         let traj: Vec<f32> = (0..self.k * 3).map(|_| rng.range_f32(-0.5, 0.5)).collect();
         let phi: Vec<f32> = (0..self.k * 2).map(|_| rng.range_f32(-1.0, 1.0)).collect();
-        let voxels: Vec<f32> = (0..self.x * 3).map(|_| rng.range_f32(-16.0, 16.0)).collect();
-        platform.fs_mut().create("mriq-traj.bin", softmmu::to_bytes(&traj));
-        platform.fs_mut().create("mriq-phi.bin", softmmu::to_bytes(&phi));
-        platform.fs_mut().create("mriq-voxels.bin", softmmu::to_bytes(&voxels));
+        let voxels: Vec<f32> = (0..self.x * 3)
+            .map(|_| rng.range_f32(-16.0, 16.0))
+            .collect();
+        platform
+            .fs_mut()
+            .create("mriq-traj.bin", softmmu::to_bytes(&traj));
+        platform
+            .fs_mut()
+            .create("mriq-phi.bin", softmmu::to_bytes(&phi));
+        platform
+            .fs_mut()
+            .create("mriq-voxels.bin", softmmu::to_bytes(&voxels));
         Ok(())
     }
 
@@ -155,7 +166,13 @@ impl Workload for MriQ {
             hetsim::KernelArg::U64(self.k as u64),
             hetsim::KernelArg::U64(self.x as u64),
         ];
-        cuda.launch(p, StreamId(0), "mriq_computeQ", LaunchDims::for_elements(self.x as u64, 256), &args)?;
+        cuda.launch(
+            p,
+            StreamId(0),
+            "mriq_computeQ",
+            LaunchDims::for_elements(self.x as u64, 256),
+            &args,
+        )?;
         cuda.thread_synchronize(p)?;
         let mut q = vec![0u8; self.q_bytes() as usize];
         cuda.memcpy_d2h(p, &mut q, d_q)?;
@@ -187,7 +204,11 @@ impl Workload for MriQ {
             Param::U64(self.k as u64),
             Param::U64(self.x as u64),
         ];
-        ctx.call("mriq_computeQ", LaunchDims::for_elements(self.x as u64, 256), &params)?;
+        ctx.call(
+            "mriq_computeQ",
+            LaunchDims::for_elements(self.x as u64, 256),
+            &params,
+        )?;
         ctx.sync()?;
         ctx.write_shared_to_file("mriq-out.bin", 0, s_q, self.q_bytes())?;
         let q = ctx.load_slice::<u8>(s_q, self.q_bytes() as usize)?;
@@ -219,9 +240,14 @@ mod tests {
     #[test]
     fn variants_agree() {
         let w = MriQ::small();
-        let digests: Vec<u64> =
-            Variant::ALL.iter().map(|&v| run_variant(&w, v).unwrap().digest).collect();
-        assert!(digests.windows(2).all(|d| d[0] == d[1]), "digests: {digests:?}");
+        let digests: Vec<u64> = Variant::ALL
+            .iter()
+            .map(|&v| run_variant(&w, v).unwrap().digest)
+            .collect();
+        assert!(
+            digests.windows(2).all(|d| d[0] == d[1]),
+            "digests: {digests:?}"
+        );
     }
 
     #[test]
@@ -230,6 +256,9 @@ mod tests {
         let w = MriQ::default();
         let r = run_variant(&w, Variant::Gmac(gmac::Protocol::Rolling)).unwrap();
         let io = r.ledger.get(hetsim::Category::IoRead).as_nanos() as f64;
-        assert!(io / r.elapsed.as_nanos() as f64 > 0.05, "io fraction too small");
+        assert!(
+            io / r.elapsed.as_nanos() as f64 > 0.05,
+            "io fraction too small"
+        );
     }
 }

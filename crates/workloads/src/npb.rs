@@ -32,11 +32,26 @@ pub struct NpbKernel {
 /// by their well-known arithmetic intensities (ep is embarrassingly
 /// compute-heavy, mg is memory-bound multigrid).
 pub const NPB_KERNELS: [NpbKernel; 5] = [
-    NpbKernel { name: "bt", bytes_per_instr: 0.2 },
-    NpbKernel { name: "ep", bytes_per_instr: 0.05 },
-    NpbKernel { name: "lu", bytes_per_instr: 0.6 },
-    NpbKernel { name: "mg", bytes_per_instr: 1.1 },
-    NpbKernel { name: "ua", bytes_per_instr: 2.0 },
+    NpbKernel {
+        name: "bt",
+        bytes_per_instr: 0.2,
+    },
+    NpbKernel {
+        name: "ep",
+        bytes_per_instr: 0.05,
+    },
+    NpbKernel {
+        name: "lu",
+        bytes_per_instr: 0.6,
+    },
+    NpbKernel {
+        name: "mg",
+        bytes_per_instr: 1.1,
+    },
+    NpbKernel {
+        name: "ua",
+        bytes_per_instr: 2.0,
+    },
 ];
 
 impl NpbKernel {
@@ -77,8 +92,16 @@ mod tests {
         let pcie = LinkModel::pcie().peak();
         let bt = NpbKernel::by_name("bt").unwrap();
         let ua = NpbKernel::by_name("ua").unwrap();
-        assert!((bt.max_ipc(pcie) - 50.0).abs() < 1.0, "bt: {}", bt.max_ipc(pcie));
-        assert!((ua.max_ipc(pcie) - 5.0).abs() < 0.2, "ua: {}", ua.max_ipc(pcie));
+        assert!(
+            (bt.max_ipc(pcie) - 50.0).abs() < 1.0,
+            "bt: {}",
+            bt.max_ipc(pcie)
+        );
+        assert!(
+            (ua.max_ipc(pcie) - 5.0).abs() < 0.2,
+            "ua: {}",
+            ua.max_ipc(pcie)
+        );
     }
 
     #[test]

@@ -14,8 +14,7 @@ use crate::common::{Digest, Workload, WorkloadResult};
 use cudart::Cuda;
 use gmac::{Context, Param};
 use hetsim::{
-    Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult,
-    StreamId,
+    Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult, StreamId,
 };
 use std::sync::Arc;
 
@@ -83,7 +82,10 @@ impl Kernel for PnsStepKernel {
         let status: u32 = (0..256.min(n)).map(|i| rd(buf, i)).sum();
         mem.write(status_ptr, &status.to_le_bytes())?;
         // Sparse kernel: touches n/16 places, trivial arithmetic.
-        Ok(KernelProfile::new((n / 16) as f64 * 4.0, (n / 16) as f64 * 8.0))
+        Ok(KernelProfile::new(
+            (n / 16) as f64 * 4.0,
+            (n / 16) as f64 * 8.0,
+        ))
     }
 }
 
@@ -104,14 +106,20 @@ impl Default for Pns {
     fn default() -> Self {
         // 5 MB of marking, 256 iterations: calibrated so batch-update's
         // per-iteration full re-transfer lands near the paper's 65×.
-        Pns { places: 1_280_000, steps: 512 }
+        Pns {
+            places: 1_280_000,
+            steps: 512,
+        }
     }
 }
 
 impl Pns {
     /// Scaled-down instance for unit tests.
     pub fn small() -> Self {
-        Pns { places: 4096, steps: 8 }
+        Pns {
+            places: 4096,
+            steps: 8,
+        }
     }
 
     fn places_bytes(&self) -> u64 {
@@ -119,7 +127,9 @@ impl Pns {
     }
 
     fn initial_marking(&self) -> Vec<u32> {
-        (0..self.places).map(|i| if i % 5 == 0 { 3 } else { 0 }).collect()
+        (0..self.places)
+            .map(|i| if i % 5 == 0 { 3 } else { 0 })
+            .collect()
     }
 }
 
@@ -233,20 +243,36 @@ mod tests {
     #[test]
     fn variants_agree() {
         let w = Pns::small();
-        let digests: Vec<u64> =
-            Variant::ALL.iter().map(|&v| run_variant(&w, v).unwrap().digest).collect();
-        assert!(digests.windows(2).all(|d| d[0] == d[1]), "digests: {digests:?}");
+        let digests: Vec<u64> = Variant::ALL
+            .iter()
+            .map(|&v| run_variant(&w, v).unwrap().digest)
+            .collect();
+        assert!(
+            digests.windows(2).all(|d| d[0] == d[1]),
+            "digests: {digests:?}"
+        );
     }
 
     #[test]
     fn batch_update_collapses_on_pns() {
         // The Figure 7 headline: batch-update re-transfers the marking on
         // every iteration and slows down by an order of magnitude or more.
-        let w = Pns { places: 1024 * 1024, steps: 96 };
-        let cuda = run_variant(&w, Variant::Cuda).unwrap().elapsed.as_secs_f64();
-        let batch = run_variant(&w, Variant::Gmac(Protocol::Batch)).unwrap().elapsed.as_secs_f64();
-        let rolling =
-            run_variant(&w, Variant::Gmac(Protocol::Rolling)).unwrap().elapsed.as_secs_f64();
+        let w = Pns {
+            places: 1024 * 1024,
+            steps: 96,
+        };
+        let cuda = run_variant(&w, Variant::Cuda)
+            .unwrap()
+            .elapsed
+            .as_secs_f64();
+        let batch = run_variant(&w, Variant::Gmac(Protocol::Batch))
+            .unwrap()
+            .elapsed
+            .as_secs_f64();
+        let rolling = run_variant(&w, Variant::Gmac(Protocol::Rolling))
+            .unwrap()
+            .elapsed
+            .as_secs_f64();
         assert!(batch / cuda > 25.0, "batch slowdown only {}", batch / cuda);
         assert!(rolling / cuda < 1.5, "rolling slowdown {}", rolling / cuda);
     }

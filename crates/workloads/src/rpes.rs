@@ -15,8 +15,7 @@ use cudart::Cuda;
 use gmac::{Context, Param};
 use hetsim::kernel::{read_f32_slice, write_f32_slice};
 use hetsim::{
-    Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult,
-    StreamId,
+    Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult, StreamId,
 };
 use softmmu::to_bytes;
 use std::sync::Arc;
@@ -78,7 +77,7 @@ impl Kernel for RpesKernel {
         _dims: LaunchDims,
         args: Args<'_>,
     ) -> SimResult<KernelProfile> {
-        let npairs = args.u64(4)? as u64;
+        let npairs = args.u64(4)?;
         let per_batch = args.u64(5)? as usize;
         let batch_idx = args.u64(6)?;
         let nslots = args.u64(7)? as usize;
@@ -89,7 +88,10 @@ impl Kernel for RpesKernel {
         write_f32_slice(mem, args.ptr(2)?, &out)?;
         write_f32_slice(mem, args.ptr(3)?, &[status])?;
         // ~30 flops per integral (exp + sqrt dominated).
-        Ok(KernelProfile::new(per_batch as f64 * 30.0, per_batch as f64 * 8.0))
+        Ok(KernelProfile::new(
+            per_batch as f64 * 30.0,
+            per_batch as f64 * 8.0,
+        ))
     }
 }
 
@@ -111,14 +113,24 @@ impl Default for Rpes {
         // ~4 MB of shell parameters + ~4 MB of integral slots resident on
         // the accelerator, ~100 us kernels; calibrated so batch-update lands
         // near the paper's 18.6× slow-down with <2% signal overhead.
-        Rpes { npairs: 262_144, per_batch: 3_300_000, nslots: 1_048_576, steps: 48 }
+        Rpes {
+            npairs: 262_144,
+            per_batch: 3_300_000,
+            nslots: 1_048_576,
+            steps: 48,
+        }
     }
 }
 
 impl Rpes {
     /// Scaled-down instance for unit tests.
     pub fn small() -> Self {
-        Rpes { npairs: 1024, per_batch: 2048, nslots: 2048, steps: 4 }
+        Rpes {
+            npairs: 1024,
+            per_batch: 2048,
+            nslots: 2048,
+            steps: 4,
+        }
     }
 
     fn params_bytes(&self) -> u64 {
@@ -135,11 +147,15 @@ impl Rpes {
 
     fn initial_params(&self) -> Vec<f32> {
         let mut rng = Prng::new(0x6E5);
-        (0..self.npairs * 4).map(|_| rng.range_f32(0.1, 4.0)).collect()
+        (0..self.npairs * 4)
+            .map(|_| rng.range_f32(0.1, 4.0))
+            .collect()
     }
 
     fn ctrl_for_step(step: u64) -> Vec<f32> {
-        (0..CTRL_WORDS).map(|i| (step as f32) * 0.125 + i as f32 * 0.01).collect()
+        (0..CTRL_WORDS)
+            .map(|i| (step as f32) * 0.125 + i as f32 * 0.01)
+            .collect()
     }
 }
 
@@ -269,17 +285,36 @@ mod tests {
     #[test]
     fn variants_agree() {
         let w = Rpes::small();
-        let digests: Vec<u64> =
-            Variant::ALL.iter().map(|&v| run_variant(&w, v).unwrap().digest).collect();
-        assert!(digests.windows(2).all(|d| d[0] == d[1]), "digests: {digests:?}");
+        let digests: Vec<u64> = Variant::ALL
+            .iter()
+            .map(|&v| run_variant(&w, v).unwrap().digest)
+            .collect();
+        assert!(
+            digests.windows(2).all(|d| d[0] == d[1]),
+            "digests: {digests:?}"
+        );
     }
 
     #[test]
     fn batch_is_slow_but_less_than_pns() {
-        let w = Rpes { npairs: 65_536, per_batch: 65_536, nslots: 65_536, steps: 16 };
-        let cuda = run_variant(&w, Variant::Cuda).unwrap().elapsed.as_secs_f64();
-        let batch = run_variant(&w, Variant::Gmac(Protocol::Batch)).unwrap().elapsed.as_secs_f64();
-        let lazy = run_variant(&w, Variant::Gmac(Protocol::Lazy)).unwrap().elapsed.as_secs_f64();
+        let w = Rpes {
+            npairs: 65_536,
+            per_batch: 65_536,
+            nslots: 65_536,
+            steps: 16,
+        };
+        let cuda = run_variant(&w, Variant::Cuda)
+            .unwrap()
+            .elapsed
+            .as_secs_f64();
+        let batch = run_variant(&w, Variant::Gmac(Protocol::Batch))
+            .unwrap()
+            .elapsed
+            .as_secs_f64();
+        let lazy = run_variant(&w, Variant::Gmac(Protocol::Lazy))
+            .unwrap()
+            .elapsed
+            .as_secs_f64();
         assert!(batch / cuda > 3.0, "batch slowdown only {}", batch / cuda);
         assert!(lazy / cuda < 1.5, "lazy slowdown {}", lazy / cuda);
     }

@@ -12,8 +12,7 @@ use crate::common::{Digest, Prng, Workload, WorkloadResult};
 use cudart::Cuda;
 use gmac::{Context, Param};
 use hetsim::{
-    Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult,
-    StreamId,
+    Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult, StreamId,
 };
 use std::sync::Arc;
 
@@ -105,14 +104,22 @@ pub struct Sad {
 
 impl Default for Sad {
     fn default() -> Self {
-        Sad { width: 640, height: 480, frames: 3 }
+        Sad {
+            width: 640,
+            height: 480,
+            frames: 3,
+        }
     }
 }
 
 impl Sad {
     /// Scaled-down instance for unit tests.
     pub fn small() -> Self {
-        Sad { width: 64, height: 48, frames: 2 }
+        Sad {
+            width: 64,
+            height: 48,
+            frames: 2,
+        }
     }
 
     fn frame_bytes(&self) -> u64 {
@@ -201,7 +208,10 @@ impl Workload for Sad {
                 i += 7 * 3;
             }
             // ...then runs the encoder's motion-compensation pass.
-            p.cpu_compute((self.width * self.height) as f64 * 8.0, self.frame_bytes() as f64);
+            p.cpu_compute(
+                (self.width * self.height) as f64 * 8.0,
+                self.frame_bytes() as f64,
+            );
         }
         cuda.free(p, d_ref)?;
         cuda.free(p, d_cur)?;
@@ -217,7 +227,12 @@ impl Workload for Sad {
         for f in 0..self.frames {
             // Frames flow from disk straight into shared memory.
             ctx.read_file_to_shared(&format!("frame-{f}.raw"), 0, s_ref, self.frame_bytes())?;
-            ctx.read_file_to_shared(&format!("frame-{}.raw", f + 1), 0, s_cur, self.frame_bytes())?;
+            ctx.read_file_to_shared(
+                &format!("frame-{}.raw", f + 1),
+                0,
+                s_cur,
+                self.frame_bytes(),
+            )?;
             let params = [
                 Param::Shared(s_ref),
                 Param::Shared(s_cur),
@@ -243,8 +258,10 @@ impl Workload for Sad {
                 i += 7 * 3;
             }
             // The encoder's motion-compensation pass on the CPU.
-            ctx.platform_mut()
-                .cpu_compute((self.width * self.height) as f64 * 8.0, self.frame_bytes() as f64);
+            ctx.platform_mut().cpu_compute(
+                (self.width * self.height) as f64 * 8.0,
+                self.frame_bytes() as f64,
+            );
         }
         ctx.free(s_ref)?;
         ctx.free(s_cur)?;
@@ -289,8 +306,13 @@ mod tests {
     #[test]
     fn variants_agree() {
         let w = Sad::small();
-        let digests: Vec<u64> =
-            Variant::ALL.iter().map(|&v| run_variant(&w, v).unwrap().digest).collect();
-        assert!(digests.windows(2).all(|d| d[0] == d[1]), "digests: {digests:?}");
+        let digests: Vec<u64> = Variant::ALL
+            .iter()
+            .map(|&v| run_variant(&w, v).unwrap().digest)
+            .collect();
+        assert!(
+            digests.windows(2).all(|d| d[0] == d[1]),
+            "digests: {digests:?}"
+        );
     }
 }

@@ -15,8 +15,7 @@ use cudart::Cuda;
 use gmac::{Context, Param};
 use hetsim::kernel::{read_f32_slice, write_f32_slice};
 use hetsim::{
-    Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult,
-    StreamId,
+    Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult, StreamId,
 };
 use std::sync::Arc;
 
@@ -79,19 +78,30 @@ pub struct Stencil3d {
 
 impl Default for Stencil3d {
     fn default() -> Self {
-        Stencil3d { n: 128, steps: 16, dump_every: 16 }
+        Stencil3d {
+            n: 128,
+            steps: 16,
+            dump_every: 16,
+        }
     }
 }
 
 impl Stencil3d {
     /// Instance with a specific volume size (Figure 9 sweep).
     pub fn with_volume(n: usize) -> Self {
-        Stencil3d { n, ..Self::default() }
+        Stencil3d {
+            n,
+            ..Self::default()
+        }
     }
 
     /// Scaled-down instance for unit tests.
     pub fn small() -> Self {
-        Stencil3d { n: 24, steps: 3, dump_every: 2 }
+        Stencil3d {
+            n: 24,
+            steps: 3,
+            dump_every: 2,
+        }
     }
 
     fn cells(&self) -> usize {
@@ -135,11 +145,19 @@ impl Workload for Stencil3d {
         let (mut cur, mut next) = (d_a, d_b);
         for step in 0..self.steps {
             // Source introduction: the programmer hand-copies the emitter
-            // cells to the device.
-            for (idx, v) in self.source_cells(step) {
-                p.cpu_touch(4);
-                cuda.memcpy_h2d(p, cur.add(idx as u64 * 4), &v.to_le_bytes())?;
-            }
+            // cells to the device, batching the contiguous run into one
+            // gathered upload instead of one cudaMemcpy per cell.
+            let cells = self.source_cells(step);
+            let staged: Vec<(hetsim::DevAddr, [u8; 4])> = cells
+                .iter()
+                .map(|&(idx, v)| (cur.add(idx as u64 * 4), v.to_le_bytes()))
+                .collect();
+            let segments: Vec<(hetsim::DevAddr, &[u8])> = staged
+                .iter()
+                .map(|(dst, bytes)| (*dst, bytes.as_slice()))
+                .collect();
+            p.cpu_touch(4 * cells.len() as u64);
+            cuda.memcpy_h2d_gather(p, &segments)?;
             let args = [
                 hetsim::KernelArg::Ptr(cur),
                 hetsim::KernelArg::Ptr(next),
@@ -181,8 +199,16 @@ impl Workload for Stencil3d {
             for (idx, v) in self.source_cells(step) {
                 ctx.store::<f32>(cur.byte_add(idx as u64 * 4), v)?;
             }
-            let params = [Param::Shared(cur), Param::Shared(next), Param::U64(self.n as u64)];
-            ctx.call("stencil3d", LaunchDims::for_elements(self.cells() as u64, 256), &params)?;
+            let params = [
+                Param::Shared(cur),
+                Param::Shared(next),
+                Param::U64(self.n as u64),
+            ];
+            ctx.call(
+                "stencil3d",
+                LaunchDims::for_elements(self.cells() as u64, 256),
+                &params,
+            )?;
             ctx.sync()?;
             std::mem::swap(&mut cur, &mut next);
             if (step + 1) % self.dump_every == 0 {
@@ -230,18 +256,24 @@ mod tests {
         .iter()
         .map(|&v| run_variant(&w, v).unwrap().digest)
         .collect();
-        assert!(digests.windows(2).all(|d| d[0] == d[1]), "digests: {digests:?}");
+        assert!(
+            digests.windows(2).all(|d| d[0] == d[1]),
+            "digests: {digests:?}"
+        );
     }
 
     #[test]
     fn rolling_moves_less_data_than_lazy() {
         // The Figure 9 effect: source introduction dirties one block under
         // rolling-update but the whole volume under lazy-update.
-        let w = Stencil3d { n: 48, steps: 8, dump_every: 8 };
+        let w = Stencil3d {
+            n: 48,
+            steps: 8,
+            dump_every: 8,
+        };
         let cfg = gmac::GmacConfig::default().block_size(64 * 1024);
-        let lazy =
-            crate::common::run_variant_with(&w, Variant::Gmac(Protocol::Lazy), cfg.clone())
-                .unwrap();
+        let lazy = crate::common::run_variant_with(&w, Variant::Gmac(Protocol::Lazy), cfg.clone())
+            .unwrap();
         let rolling =
             crate::common::run_variant_with(&w, Variant::Gmac(Protocol::Rolling), cfg).unwrap();
         assert!(

@@ -17,8 +17,7 @@ use cudart::Cuda;
 use gmac::{Context, Param, SharedPtr};
 use hetsim::kernel::read_f32_slice;
 use hetsim::{
-    Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult,
-    StreamId,
+    Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult, StreamId,
 };
 use softmmu::to_bytes;
 use std::sync::Arc;
@@ -140,7 +139,9 @@ impl Tpacf {
 
     fn data_points(&self) -> Vec<f32> {
         let mut rng = Prng::new(0x7ACF);
-        (0..self.ndata * 2).map(|_| rng.range_f32(-1.5, 1.5)).collect()
+        (0..self.ndata * 2)
+            .map(|_| rng.range_f32(-1.5, 1.5))
+            .collect()
     }
 
     /// Raw pass-1 values for the random-point structure.
@@ -163,8 +164,8 @@ impl Tpacf {
     fn expected_random(&self) -> Vec<f32> {
         let n = self.nrandom * 2;
         let mut buf = vec![0.0f32; n];
-        for i in 0..n {
-            buf[i] = Self::pass1_value(i);
+        for (i, v) in buf.iter_mut().enumerate() {
+            *v = Self::pass1_value(i);
         }
         for v in buf.iter_mut() {
             *v = Self::pass2(*v);
@@ -204,8 +205,8 @@ impl Workload for Tpacf {
         while pos < elems + lag2 {
             if pos < elems {
                 let hi = (pos + chunk_elems).min(elems);
-                for i in pos..hi {
-                    random[i] = Self::pass1_value(i);
+                for (i, v) in random.iter_mut().enumerate().take(hi).skip(pos) {
+                    *v = Self::pass1_value(i);
                 }
                 p.cpu_touch(((hi - pos) * 4) as u64);
             }
@@ -289,7 +290,11 @@ impl Workload for Tpacf {
                 Param::U64(self.samples as u64),
                 Param::U64(set),
             ];
-            ctx.call("tpacf_hist", LaunchDims::for_elements(self.ndata as u64, 128), &params)?;
+            ctx.call(
+                "tpacf_hist",
+                LaunchDims::for_elements(self.ndata as u64, 128),
+                &params,
+            )?;
             ctx.sync()?;
             let bins: Vec<u32> = ctx.load_slice(s_bins, BINS)?;
             for (slot, v) in accum.iter_mut().zip(&bins) {
@@ -327,7 +332,8 @@ impl Tpacf {
             if pos >= lag1 && pos - lag1 < elems {
                 let lo = pos - lag1;
                 let hi = (lo + chunk_elems).min(elems);
-                let mut vals: Vec<f32> = ctx.load_slice(s_random.byte_add(lo as u64 * 4), hi - lo)?;
+                let mut vals: Vec<f32> =
+                    ctx.load_slice(s_random.byte_add(lo as u64 * 4), hi - lo)?;
                 for v in vals.iter_mut() {
                     *v = Self::pass2(*v);
                 }
@@ -336,7 +342,8 @@ impl Tpacf {
             if pos >= lag2 && pos - lag2 < elems {
                 let lo = pos - lag2;
                 let hi = (lo + chunk_elems).min(elems);
-                let mut vals: Vec<f32> = ctx.load_slice(s_random.byte_add(lo as u64 * 4), hi - lo)?;
+                let mut vals: Vec<f32> =
+                    ctx.load_slice(s_random.byte_add(lo as u64 * 4), hi - lo)?;
                 for v in vals.iter_mut() {
                     *v = Self::pass3(*v);
                 }
@@ -370,7 +377,9 @@ mod tests {
         let platform = Platform::desktop_g280();
         let mut ctx = Context::new(
             platform,
-            GmacConfig::default().protocol(Protocol::Rolling).block_size(8 * 1024),
+            GmacConfig::default()
+                .protocol(Protocol::Rolling)
+                .block_size(8 * 1024),
         );
         let s = ctx.alloc(w.random_bytes()).unwrap();
         w.multi_pass_init(&mut ctx, s).unwrap();
@@ -381,9 +390,14 @@ mod tests {
     #[test]
     fn variants_agree() {
         let w = Tpacf::small();
-        let digests: Vec<u64> =
-            Variant::ALL.iter().map(|&v| run_variant(&w, v).unwrap().digest).collect();
-        assert!(digests.windows(2).all(|d| d[0] == d[1]), "digests: {digests:?}");
+        let digests: Vec<u64> = Variant::ALL
+            .iter()
+            .map(|&v| run_variant(&w, v).unwrap().digest)
+            .collect();
+        assert!(
+            digests.windows(2).all(|d| d[0] == d[1]),
+            "digests: {digests:?}"
+        );
     }
 
     #[test]
@@ -399,10 +413,14 @@ mod tests {
             init_chunk: 16 * 1024,
         };
         let base = GmacConfig::default().block_size(64 * 1024);
-        let r1 = run_variant_with(&w, Variant::Gmac(Protocol::Rolling), base.clone().rolling_size(1))
-            .unwrap();
-        let r4 = run_variant_with(&w, Variant::Gmac(Protocol::Rolling), base.rolling_size(4))
-            .unwrap();
+        let r1 = run_variant_with(
+            &w,
+            Variant::Gmac(Protocol::Rolling),
+            base.clone().rolling_size(1),
+        )
+        .unwrap();
+        let r4 =
+            run_variant_with(&w, Variant::Gmac(Protocol::Rolling), base.rolling_size(4)).unwrap();
         assert!(
             r1.transfers.h2d_bytes > 3 * r4.transfers.h2d_bytes,
             "rolling-1 {} vs rolling-4 {}",

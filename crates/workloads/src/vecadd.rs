@@ -10,8 +10,7 @@ use cudart::Cuda;
 use gmac::{Context, Param, SharedPtr};
 use hetsim::kernel::{read_f32_slice, write_f32_slice};
 use hetsim::{
-    Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult,
-    StreamId,
+    Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult, StreamId,
 };
 use softmmu::{from_bytes, to_bytes};
 use std::sync::Arc;
@@ -101,7 +100,13 @@ impl Workload for VecAdd {
             hetsim::KernelArg::Ptr(dc),
             hetsim::KernelArg::U64(self.n as u64),
         ];
-        cuda.launch(p, StreamId(0), "vecadd", LaunchDims::for_elements(self.n as u64, 256), &args)?;
+        cuda.launch(
+            p,
+            StreamId(0),
+            "vecadd",
+            LaunchDims::for_elements(self.n as u64, 256),
+            &args,
+        )?;
         cuda.thread_synchronize(p)?;
         let mut out = vec![0u8; self.bytes() as usize];
         cuda.memcpy_d2h(p, &mut out, dc)?;
@@ -124,9 +129,17 @@ impl Workload for VecAdd {
         let c = ctx.alloc(self.bytes())?;
         ctx.store_slice(a, &av)?;
         ctx.store_slice(b, &bv)?;
-        let params =
-            [Param::Shared(a), Param::Shared(b), Param::Shared(c), Param::U64(self.n as u64)];
-        ctx.call("vecadd", LaunchDims::for_elements(self.n as u64, 256), &params)?;
+        let params = [
+            Param::Shared(a),
+            Param::Shared(b),
+            Param::Shared(c),
+            Param::U64(self.n as u64),
+        ];
+        ctx.call(
+            "vecadd",
+            LaunchDims::for_elements(self.n as u64, 256),
+            &params,
+        )?;
         ctx.sync()?;
         let cv: Vec<f32> = ctx.load_slice(c, self.n)?;
         ctx.free(a)?;
@@ -156,7 +169,11 @@ pub struct VecAddBuffers {
 /// Propagates allocation failures.
 pub fn alloc_buffers(ctx: &mut Context, n: usize) -> Result<VecAddBuffers, gmac::GmacError> {
     let bytes = n as u64 * 4;
-    Ok(VecAddBuffers { a: ctx.alloc(bytes)?, b: ctx.alloc(bytes)?, c: ctx.alloc(bytes)? })
+    Ok(VecAddBuffers {
+        a: ctx.alloc(bytes)?,
+        b: ctx.alloc(bytes)?,
+        c: ctx.alloc(bytes)?,
+    })
 }
 
 #[cfg(test)]
@@ -171,16 +188,24 @@ mod tests {
             .iter()
             .map(|&v| run_variant(&w, v).unwrap().digest)
             .collect();
-        assert!(digests.windows(2).all(|w| w[0] == w[1]), "digests: {digests:?}");
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "digests: {digests:?}"
+        );
     }
 
     #[test]
     fn gmac_lazy_time_is_close_to_cuda() {
         // Figure 7: lazy/rolling perform on par with hand-tuned CUDA.
         let w = VecAdd::small();
-        let cuda = run_variant(&w, Variant::Cuda).unwrap().elapsed.as_secs_f64();
-        let lazy =
-            run_variant(&w, Variant::Gmac(gmac::Protocol::Lazy)).unwrap().elapsed.as_secs_f64();
+        let cuda = run_variant(&w, Variant::Cuda)
+            .unwrap()
+            .elapsed
+            .as_secs_f64();
+        let lazy = run_variant(&w, Variant::Gmac(gmac::Protocol::Lazy))
+            .unwrap()
+            .elapsed
+            .as_secs_f64();
         let ratio = lazy / cuda;
         assert!(ratio < 1.5, "lazy/cuda = {ratio}");
     }

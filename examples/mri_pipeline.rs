@@ -14,16 +14,33 @@ use adsm::workloads::{run_variant, Variant};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scan = MriQ { k: 1024, x: 16384 };
-    println!("MRI-Q reconstruction: {} k-space samples x {} voxels", scan.k, scan.x);
+    println!(
+        "MRI-Q reconstruction: {} k-space samples x {} voxels",
+        scan.k, scan.x
+    );
     println!();
 
     let cuda = run_variant(&scan, Variant::Cuda)?;
     let gmac = run_variant(&scan, Variant::Gmac(Protocol::Rolling))?;
-    assert_eq!(cuda.digest, gmac.digest, "both variants reconstruct identical images");
+    assert_eq!(
+        cuda.digest, gmac.digest,
+        "both variants reconstruct identical images"
+    );
 
     println!("{:<24} {:>12} {:>12}", "", "CUDA-style", "GMAC/ADSM");
-    println!("{:<24} {:>12} {:>12}", "total time", cuda.elapsed.to_string(), gmac.elapsed.to_string());
-    for cat in [Category::IoRead, Category::IoWrite, Category::Gpu, Category::Copy, Category::Signal] {
+    println!(
+        "{:<24} {:>12} {:>12}",
+        "total time",
+        cuda.elapsed.to_string(),
+        gmac.elapsed.to_string()
+    );
+    for cat in [
+        Category::IoRead,
+        Category::IoWrite,
+        Category::Gpu,
+        Category::Copy,
+        Category::Signal,
+    ] {
         println!(
             "{:<24} {:>12} {:>12}",
             cat.label(),

@@ -48,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Unified allocation works for the first device...
     let a = ctx.alloc_on(DeviceId(0), (N * 4) as u64)?;
-    println!("dev0 unified alloc : host {} == device {}", a, ctx.translate(a)?);
+    println!(
+        "dev0 unified alloc : host {} == device {}",
+        a,
+        ctx.translate(a)?
+    );
 
     // ...but the same range on the second device collides:
     match ctx.alloc_on(DeviceId(1), (N * 4) as u64) {
@@ -61,15 +65,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // adsmSafeAlloc recovers: CPU pointer != device address, the runtime
     // translates kernel parameters automatically (adsmSafe).
     let b = ctx.safe_alloc_on(DeviceId(1), (N * 4) as u64)?;
-    println!("dev1 safe alloc    : host {} -> device {}", b, ctx.translate(b)?);
+    println!(
+        "dev1 safe alloc    : host {} -> device {}",
+        b,
+        ctx.translate(b)?
+    );
 
     // Both objects are fully usable; kernels run on each object's device.
     ctx.store_slice(a, &vec![2.0f32; N])?;
     ctx.store_slice(b, &vec![10.0f32; N])?;
 
-    ctx.call("scale", LaunchDims::for_elements(N as u64, 256), &[Param::Shared(a), Param::U64(N as u64), Param::F64(3.0)])?;
+    ctx.call(
+        "scale",
+        LaunchDims::for_elements(N as u64, 256),
+        &[Param::Shared(a), Param::U64(N as u64), Param::F64(3.0)],
+    )?;
     ctx.sync()?;
-    ctx.call("scale", LaunchDims::for_elements(N as u64, 256), &[Param::Shared(b), Param::U64(N as u64), Param::F64(0.5)])?;
+    ctx.call(
+        "scale",
+        LaunchDims::for_elements(N as u64, 256),
+        &[Param::Shared(b), Param::U64(N as u64), Param::F64(0.5)],
+    )?;
     ctx.sync()?;
 
     let va: f32 = ctx.load(a)?;

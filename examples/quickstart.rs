@@ -7,9 +7,7 @@
 
 use adsm::gmac::{Context, GmacConfig, Param, Protocol};
 use adsm::hetsim::kernel::{read_f32_slice, write_f32_slice};
-use adsm::hetsim::{
-    Args, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult,
-};
+use adsm::hetsim::{Args, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult};
 use std::sync::Arc;
 
 /// A SAXPY kernel: `y[i] = a * x[i] + y[i]`.
@@ -60,7 +58,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // adsmCall + adsmSync: objects are released to the accelerator and
     // acquired back automatically (release consistency, §3.3).
-    let params = [Param::Shared(x), Param::Shared(y), Param::U64(N as u64), Param::F64(3.0)];
+    let params = [
+        Param::Shared(x),
+        Param::Shared(y),
+        Param::U64(N as u64),
+        Param::F64(3.0),
+    ];
     ctx.call("saxpy", LaunchDims::for_elements(N as u64, 256), &params)?;
     ctx.sync()?;
 
@@ -71,9 +74,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("saxpy({N} elements) done: y[0] = {result}");
     println!("virtual time      : {}", ctx.platform().elapsed());
-    println!("transfers         : {} H2D, {} D2H",
+    println!(
+        "transfers         : {} H2D, {} D2H",
         adsm::hetsim::stats::fmt_bytes(ctx.transfers().h2d_bytes),
-        adsm::hetsim::stats::fmt_bytes(ctx.transfers().d2h_bytes));
+        adsm::hetsim::stats::fmt_bytes(ctx.transfers().d2h_bytes)
+    );
     println!("faults handled    : {}", ctx.counters().faults());
     println!("eager evictions   : {}", ctx.counters().eager_evictions);
 

@@ -13,15 +13,30 @@ use adsm::workloads::stencil3d::Stencil3d;
 use adsm::workloads::{run_variant_with, Variant};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let sim = Stencil3d { n: 96, steps: 8, dump_every: 4 };
+    let sim = Stencil3d {
+        n: 96,
+        steps: 8,
+        dump_every: 4,
+    };
 
-    println!("3D stencil {0}x{0}x{0}, {1} steps, checkpoint every {2}:", sim.n, sim.steps, sim.dump_every);
+    println!(
+        "3D stencil {0}x{0}x{0}, {1} steps, checkpoint every {2}:",
+        sim.n, sim.steps, sim.dump_every
+    );
     println!();
 
     for (label, protocol, block) in [
         ("lazy-update (whole-object)", Protocol::Lazy, None),
-        ("rolling-update, 256 KiB blocks", Protocol::Rolling, Some(256 * 1024u64)),
-        ("rolling-update, 1 MiB blocks", Protocol::Rolling, Some(1 << 20)),
+        (
+            "rolling-update, 256 KiB blocks",
+            Protocol::Rolling,
+            Some(256 * 1024u64),
+        ),
+        (
+            "rolling-update, 1 MiB blocks",
+            Protocol::Rolling,
+            Some(1 << 20),
+        ),
     ] {
         let mut cfg = GmacConfig::default().protocol(protocol);
         if let Some(b) = block {

@@ -7,10 +7,10 @@
 //! only the platform handle changes.
 
 use adsm::gmac::{Context, GmacConfig, Param, Protocol, SharedPtr};
+use adsm::hetsim::kernel::{read_f32_slice, write_f32_slice};
 use adsm::hetsim::{
     Args, Category, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult,
 };
-use adsm::hetsim::kernel::{read_f32_slice, write_f32_slice};
 use std::sync::Arc;
 
 const N: usize = 512 * 1024;
@@ -42,11 +42,13 @@ impl Kernel for Square {
 /// The application: written once against the ADSM API, no platform detail.
 fn app(mut ctx: Context) -> (u64, Context) {
     let v: SharedPtr = ctx.alloc((N * 4) as u64).unwrap();
-    ctx.store_slice(v, &(0..N).map(|i| (i % 100) as f32).collect::<Vec<_>>()).unwrap();
-    ctx.call("square", LaunchDims::for_elements(N as u64, 256), &[
-        Param::Shared(v),
-        Param::U64(N as u64),
-    ])
+    ctx.store_slice(v, &(0..N).map(|i| (i % 100) as f32).collect::<Vec<_>>())
+        .unwrap();
+    ctx.call(
+        "square",
+        LaunchDims::for_elements(N as u64, 256),
+        &[Param::Shared(v), Param::U64(N as u64)],
+    )
     .unwrap();
     ctx.sync().unwrap();
     let out: Vec<f32> = ctx.load_slice(v, N).unwrap();
@@ -93,11 +95,15 @@ fn protocols_behave_identically_on_fused_platform() {
     for protocol in Protocol::ALL {
         let mut fused = Platform::fused_apu();
         fused.register_kernel(Arc::new(Square));
-        let (digest, _) =
-            app(Context::new(fused, GmacConfig::default().protocol(protocol)));
+        let (digest, _) = app(Context::new(
+            fused,
+            GmacConfig::default().protocol(protocol),
+        ));
         let mut reference = adsm::workloads::Digest::new();
         reference.update_f32(
-            &(0..N).map(|i| ((i % 100) * (i % 100)) as f32).collect::<Vec<_>>(),
+            &(0..N)
+                .map(|i| ((i % 100) * (i % 100)) as f32)
+                .collect::<Vec<_>>(),
         );
         assert_eq!(digest, reference.finish(), "{protocol}");
     }

@@ -3,9 +3,7 @@
 //! protocol, including ranges that straddle block boundaries.
 
 use adsm::gmac::{Context, GmacConfig, Param, Protocol};
-use adsm::hetsim::{
-    Args, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult,
-};
+use adsm::hetsim::{Args, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult};
 use std::sync::Arc;
 
 /// Kernel: byte-wise `out[i] = in[i] XOR key`.
@@ -38,8 +36,10 @@ fn pipeline(protocol: Protocol, size: u64, block: u64) {
     let data: Vec<u8> = (0..size).map(|i| (i % 241) as u8).collect();
     platform.fs_mut().create("input.bin", data.clone());
 
-    let mut ctx =
-        Context::new(platform, GmacConfig::default().protocol(protocol).block_size(block));
+    let mut ctx = Context::new(
+        platform,
+        GmacConfig::default().protocol(protocol).block_size(block),
+    );
     let src = ctx.alloc(size).unwrap();
     let dst = ctx.alloc(size).unwrap();
 
@@ -48,16 +48,26 @@ fn pipeline(protocol: Protocol, size: u64, block: u64) {
     assert_eq!(n, size);
 
     // Kernel transforms src into dst.
-    let params = [Param::Shared(src), Param::Shared(dst), Param::U64(size), Param::U64(0x77)];
-    ctx.call("xor", LaunchDims::for_elements(size, 256), &params).unwrap();
+    let params = [
+        Param::Shared(src),
+        Param::Shared(dst),
+        Param::U64(size),
+        Param::U64(0x77),
+    ];
+    ctx.call("xor", LaunchDims::for_elements(size, 256), &params)
+        .unwrap();
     ctx.sync().unwrap();
 
     // Shared memory straight back to disk.
-    ctx.write_shared_to_file("output.bin", 0, dst, size).unwrap();
+    ctx.write_shared_to_file("output.bin", 0, dst, size)
+        .unwrap();
 
     // Validate the file contents against the expected transform.
     let mut out = vec![0u8; size as usize];
-    ctx.platform_mut().fs_mut().read_at("output.bin", 0, &mut out).unwrap();
+    ctx.platform_mut()
+        .fs_mut()
+        .read_at("output.bin", 0, &mut out)
+        .unwrap();
     let expected: Vec<u8> = data.iter().map(|b| b ^ 0x77).collect();
     assert_eq!(out, expected, "{protocol} pipeline corrupted data");
 }
@@ -88,15 +98,21 @@ fn partial_file_reads_and_offsets() {
 
     // Read a window from the middle of the file to an offset inside the
     // object (straddling several 8 KiB blocks).
-    let n = ctx.read_file_to_shared("in.bin", 50_000, obj.byte_add(1000), 30_000).unwrap();
+    let n = ctx
+        .read_file_to_shared("in.bin", 50_000, obj.byte_add(1000), 30_000)
+        .unwrap();
     assert_eq!(n, 30_000);
     let got: Vec<u8> = ctx.load_slice(obj.byte_add(1000), 30_000).unwrap();
     assert_eq!(&got[..], &data[50_000..80_000]);
 
     // Write a window back at a file offset.
-    ctx.write_shared_to_file("out.bin", 7, obj.byte_add(1000), 30_000).unwrap();
+    ctx.write_shared_to_file("out.bin", 7, obj.byte_add(1000), 30_000)
+        .unwrap();
     let mut out = vec![0u8; 30_007];
-    ctx.platform_mut().fs_mut().read_at("out.bin", 0, &mut out).unwrap();
+    ctx.platform_mut()
+        .fs_mut()
+        .read_at("out.bin", 0, &mut out)
+        .unwrap();
     assert_eq!(&out[7..], &data[50_000..80_000]);
     assert!(out[..7].iter().all(|&b| b == 0));
 }
@@ -109,7 +125,9 @@ fn shared_to_shared_memcpy_across_devices_is_host_mediated() {
     platform.register_kernel(Arc::new(XorKernel));
     let mut ctx = Context::new(platform, GmacConfig::default());
     let a = ctx.alloc_on(adsm::hetsim::DeviceId(0), 32 * 1024).unwrap();
-    let b = ctx.safe_alloc_on(adsm::hetsim::DeviceId(1), 32 * 1024).unwrap();
+    let b = ctx
+        .safe_alloc_on(adsm::hetsim::DeviceId(1), 32 * 1024)
+        .unwrap();
     ctx.store_slice(a, &vec![0x42u8; 32 * 1024]).unwrap();
     ctx.memcpy(b, a, 32 * 1024).unwrap();
     let got: Vec<u8> = ctx.load_slice(b, 32 * 1024).unwrap();

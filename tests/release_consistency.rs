@@ -5,9 +5,7 @@
 //! write; after `adsmSync` the CPU sees every kernel write).
 
 use adsm::gmac::{Context, GmacConfig, Param, Protocol, SharedPtr};
-use adsm::hetsim::{
-    Args, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult,
-};
+use adsm::hetsim::{Args, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -36,18 +34,31 @@ impl Kernel for Mutate {
         for byte in mem.slice_mut(b, OBJ_SIZE as u64)?.iter_mut() {
             *byte ^= 0x5A;
         }
-        Ok(KernelProfile::new(OBJ_SIZE as f64 * 2.0, OBJ_SIZE as f64 * 4.0))
+        Ok(KernelProfile::new(
+            OBJ_SIZE as f64 * 2.0,
+            OBJ_SIZE as f64 * 4.0,
+        ))
     }
 }
 
 #[derive(Debug, Clone)]
 enum Op {
     /// Write `len` deterministic bytes at `off` of object `obj`.
-    Write { obj: usize, off: usize, len: usize, seed: u8 },
+    Write {
+        obj: usize,
+        off: usize,
+        len: usize,
+        seed: u8,
+    },
     /// Read `len` bytes at `off` of object `obj` and compare to the model.
     Read { obj: usize, off: usize, len: usize },
     /// Interposed memset.
-    Memset { obj: usize, off: usize, len: usize, value: u8 },
+    Memset {
+        obj: usize,
+        off: usize,
+        len: usize,
+        value: u8,
+    },
     /// adsmCall + adsmSync of the mutate kernel.
     KernelRound,
 }
@@ -55,18 +66,29 @@ enum Op {
 fn op_strategy() -> impl Strategy<Value = Op> {
     let r = 0usize..OBJ_SIZE;
     prop_oneof![
-        (0usize..2, r.clone(), 1usize..4096, any::<u8>())
-            .prop_map(|(obj, off, len, seed)| Op::Write { obj, off, len, seed }),
-        (0usize..2, r.clone(), 1usize..4096)
-            .prop_map(|(obj, off, len)| Op::Read { obj, off, len }),
-        (0usize..2, r, 1usize..8192, any::<u8>())
-            .prop_map(|(obj, off, len, value)| Op::Memset { obj, off, len, value }),
+        (0usize..2, r.clone(), 1usize..4096, any::<u8>()).prop_map(|(obj, off, len, seed)| {
+            Op::Write {
+                obj,
+                off,
+                len,
+                seed,
+            }
+        }),
+        (0usize..2, r.clone(), 1usize..4096).prop_map(|(obj, off, len)| Op::Read { obj, off, len }),
+        (0usize..2, r, 1usize..8192, any::<u8>()).prop_map(|(obj, off, len, value)| Op::Memset {
+            obj,
+            off,
+            len,
+            value
+        }),
         Just(Op::KernelRound),
     ]
 }
 
 fn fill_pattern(seed: u8, len: usize) -> Vec<u8> {
-    (0..len).map(|i| seed.wrapping_add(i as u8).wrapping_mul(31)).collect()
+    (0..len)
+        .map(|i| seed.wrapping_add(i as u8).wrapping_mul(31))
+        .collect()
 }
 
 fn run_oracle(protocol: Protocol, block_size: u64, ops: &[Op]) {
@@ -74,27 +96,37 @@ fn run_oracle(protocol: Protocol, block_size: u64, ops: &[Op]) {
     platform.register_kernel(Arc::new(Mutate));
     let mut ctx = Context::new(
         platform,
-        GmacConfig::default().protocol(protocol).block_size(block_size),
+        GmacConfig::default()
+            .protocol(protocol)
+            .block_size(block_size),
     );
-    let objs: [SharedPtr; 2] =
-        [ctx.alloc(OBJ_SIZE as u64).unwrap(), ctx.alloc(OBJ_SIZE as u64).unwrap()];
+    let objs: [SharedPtr; 2] = [
+        ctx.alloc(OBJ_SIZE as u64).unwrap(),
+        ctx.alloc(OBJ_SIZE as u64).unwrap(),
+    ];
     // Reference model: always-coherent flat buffers.
     let mut model = [vec![0u8; OBJ_SIZE], vec![0u8; OBJ_SIZE]];
     // Both start zeroed (frames and device memory are zero-initialised);
     // make it explicit anyway.
-    for o in 0..2 {
-        ctx.memset(objs[o], 0, OBJ_SIZE as u64).unwrap();
+    for obj in &objs {
+        ctx.memset(*obj, 0, OBJ_SIZE as u64).unwrap();
     }
 
     for op in ops {
         match *op {
-            Op::Write { obj, off, len, seed } => {
+            Op::Write {
+                obj,
+                off,
+                len,
+                seed,
+            } => {
                 let len = len.min(OBJ_SIZE - off);
                 if len == 0 {
                     continue;
                 }
                 let data = fill_pattern(seed, len);
-                ctx.store_slice(objs[obj].byte_add(off as u64), &data).unwrap();
+                ctx.store_slice(objs[obj].byte_add(off as u64), &data)
+                    .unwrap();
                 model[obj][off..off + len].copy_from_slice(&data);
             }
             Op::Read { obj, off, len } => {
@@ -102,26 +134,35 @@ fn run_oracle(protocol: Protocol, block_size: u64, ops: &[Op]) {
                 if len == 0 {
                     continue;
                 }
-                let got: Vec<u8> =
-                    ctx.load_slice(objs[obj].byte_add(off as u64), len).unwrap();
+                let got: Vec<u8> = ctx.load_slice(objs[obj].byte_add(off as u64), len).unwrap();
                 assert_eq!(
                     got,
                     &model[obj][off..off + len],
                     "{protocol} read mismatch at obj {obj} off {off} len {len}"
                 );
             }
-            Op::Memset { obj, off, len, value } => {
+            Op::Memset {
+                obj,
+                off,
+                len,
+                value,
+            } => {
                 let len = len.min(OBJ_SIZE - off);
                 if len == 0 {
                     continue;
                 }
-                ctx.memset(objs[obj].byte_add(off as u64), value, len as u64).unwrap();
+                ctx.memset(objs[obj].byte_add(off as u64), value, len as u64)
+                    .unwrap();
                 model[obj][off..off + len].fill(value);
             }
             Op::KernelRound => {
                 let params = [Param::Shared(objs[0]), Param::Shared(objs[1])];
-                ctx.call("mutate", LaunchDims::for_elements(OBJ_SIZE as u64, 256), &params)
-                    .unwrap();
+                ctx.call(
+                    "mutate",
+                    LaunchDims::for_elements(OBJ_SIZE as u64, 256),
+                    &params,
+                )
+                .unwrap();
                 ctx.sync().unwrap();
                 for byte in model[0].iter_mut() {
                     *byte = byte.wrapping_add(1);
@@ -136,7 +177,10 @@ fn run_oracle(protocol: Protocol, block_size: u64, ops: &[Op]) {
     // Final full readback must match exactly.
     for o in 0..2 {
         let got: Vec<u8> = ctx.load_slice(objs[o], OBJ_SIZE).unwrap();
-        assert_eq!(got, model[o], "{protocol} final state mismatch on object {o}");
+        assert_eq!(
+            got, model[o],
+            "{protocol} final state mismatch on object {o}"
+        );
     }
 }
 
@@ -177,20 +221,31 @@ fn run_oracle_pinned(ops: &[Op]) {
     platform.register_kernel(Arc::new(Mutate));
     let mut ctx = Context::new(
         platform,
-        GmacConfig::default().protocol(Protocol::Rolling).block_size(4096).rolling_size(1),
+        GmacConfig::default()
+            .protocol(Protocol::Rolling)
+            .block_size(4096)
+            .rolling_size(1),
     );
-    let objs: [SharedPtr; 2] =
-        [ctx.alloc(OBJ_SIZE as u64).unwrap(), ctx.alloc(OBJ_SIZE as u64).unwrap()];
+    let objs: [SharedPtr; 2] = [
+        ctx.alloc(OBJ_SIZE as u64).unwrap(),
+        ctx.alloc(OBJ_SIZE as u64).unwrap(),
+    ];
     let mut model = [vec![0u8; OBJ_SIZE], vec![0u8; OBJ_SIZE]];
     for op in ops {
         match *op {
-            Op::Write { obj, off, len, seed } => {
+            Op::Write {
+                obj,
+                off,
+                len,
+                seed,
+            } => {
                 let len = len.min(OBJ_SIZE - off);
                 if len == 0 {
                     continue;
                 }
                 let data = fill_pattern(seed, len);
-                ctx.store_slice(objs[obj].byte_add(off as u64), &data).unwrap();
+                ctx.store_slice(objs[obj].byte_add(off as u64), &data)
+                    .unwrap();
                 model[obj][off..off + len].copy_from_slice(&data);
             }
             Op::Read { obj, off, len } => {
@@ -198,22 +253,31 @@ fn run_oracle_pinned(ops: &[Op]) {
                 if len == 0 {
                     continue;
                 }
-                let got: Vec<u8> =
-                    ctx.load_slice(objs[obj].byte_add(off as u64), len).unwrap();
+                let got: Vec<u8> = ctx.load_slice(objs[obj].byte_add(off as u64), len).unwrap();
                 assert_eq!(got, &model[obj][off..off + len]);
             }
-            Op::Memset { obj, off, len, value } => {
+            Op::Memset {
+                obj,
+                off,
+                len,
+                value,
+            } => {
                 let len = len.min(OBJ_SIZE - off);
                 if len == 0 {
                     continue;
                 }
-                ctx.memset(objs[obj].byte_add(off as u64), value, len as u64).unwrap();
+                ctx.memset(objs[obj].byte_add(off as u64), value, len as u64)
+                    .unwrap();
                 model[obj][off..off + len].fill(value);
             }
             Op::KernelRound => {
                 let params = [Param::Shared(objs[0]), Param::Shared(objs[1])];
-                ctx.call("mutate", LaunchDims::for_elements(OBJ_SIZE as u64, 256), &params)
-                    .unwrap();
+                ctx.call(
+                    "mutate",
+                    LaunchDims::for_elements(OBJ_SIZE as u64, 256),
+                    &params,
+                )
+                .unwrap();
                 ctx.sync().unwrap();
                 for byte in model[0].iter_mut() {
                     *byte = byte.wrapping_add(1);
@@ -226,6 +290,9 @@ fn run_oracle_pinned(ops: &[Op]) {
     }
     for o in 0..2 {
         let got: Vec<u8> = ctx.load_slice(objs[o], OBJ_SIZE).unwrap();
-        assert_eq!(got, model[o], "pinned-rolling final state mismatch on object {o}");
+        assert_eq!(
+            got, model[o],
+            "pinned-rolling final state mismatch on object {o}"
+        );
     }
 }

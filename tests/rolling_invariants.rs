@@ -76,7 +76,9 @@ fn adaptive_rolling_size_grows_with_allocations() {
     // give a bound of 10 dirty blocks; an 11-block write pattern must evict.
     let mut ctx = Context::new(
         Platform::desktop_g280(),
-        GmacConfig::default().protocol(Protocol::Rolling).block_size(BLOCK),
+        GmacConfig::default()
+            .protocol(Protocol::Rolling)
+            .block_size(BLOCK),
     );
     let objs: Vec<_> = (0..5).map(|_| ctx.alloc(16 * BLOCK).unwrap()).collect();
     for (i, obj) in objs.iter().enumerate() {

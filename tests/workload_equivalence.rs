@@ -82,7 +82,11 @@ fn signal_overhead_small_across_suite() {
         let r = run_variant(w.as_ref(), Variant::Gmac(Protocol::Rolling)).unwrap();
         let frac = r.ledger.get(Category::Signal).as_nanos() as f64
             / r.ledger.total().as_nanos().max(1) as f64;
-        assert!(frac < 0.08, "{}: signal fraction {frac:.3} too large", w.name());
+        assert!(
+            frac < 0.08,
+            "{}: signal fraction {frac:.3} too large",
+            w.name()
+        );
     }
 }
 
@@ -90,7 +94,10 @@ fn signal_overhead_small_across_suite() {
 fn descriptions_match_table2() {
     // Table 2 names all seven benchmarks.
     let names: Vec<&str> = parboil_suite_small().iter().map(|w| w.name()).collect();
-    assert_eq!(names, ["cp", "mri-fhd", "mri-q", "pns", "rpes", "sad", "tpacf"]);
+    assert_eq!(
+        names,
+        ["cp", "mri-fhd", "mri-q", "pns", "rpes", "sad", "tpacf"]
+    );
     for w in parboil_suite_small() {
         assert!(!w.description().is_empty());
     }
