@@ -6,7 +6,7 @@
 //! page table, the device allocator and the DMA timeline engine.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gmac::{Context, GmacConfig, LookupKind, Protocol};
+use gmac::{Gmac, GmacConfig, LookupKind, Protocol};
 use hetsim::{CopyMode, DeviceId, Platform};
 use softmmu::{AddressSpace, Protection, VAddr, PAGE_SIZE};
 use std::hint::black_box;
@@ -59,8 +59,8 @@ fn bench_block_lookup(c: &mut Criterion) {
     for &objects in &[16usize, 256] {
         for (label, kind) in [("tree", LookupKind::Tree), ("linear", LookupKind::Linear)] {
             g.bench_with_input(BenchmarkId::new(label, objects), &objects, |b, &objects| {
-                let mut ctx =
-                    Context::new(Platform::desktop_g280(), GmacConfig::default().lookup(kind));
+                let ctx = Gmac::new(Platform::desktop_g280(), GmacConfig::default().lookup(kind))
+                    .session();
                 let ptrs: Vec<_> = (0..objects)
                     .map(|_| ctx.alloc(256 * 1024).unwrap())
                     .collect();
@@ -77,12 +77,13 @@ fn bench_block_lookup(c: &mut Criterion) {
 fn bench_fault_path(c: &mut Criterion) {
     let mut g = c.benchmark_group("fault_path");
     g.bench_function("write_fault_resolution", |b| {
-        let mut ctx = Context::new(
+        let ctx = Gmac::new(
             Platform::desktop_g280(),
             GmacConfig::default()
                 .protocol(Protocol::Rolling)
                 .rolling_size(1_000_000),
-        );
+        )
+        .session();
         let p = ctx.alloc(64 << 20).unwrap();
         let blocks = 64 << 20 >> 18; // 256 KiB blocks
         let mut i = 0u64;
@@ -94,7 +95,7 @@ fn bench_fault_path(c: &mut Criterion) {
         });
     });
     g.bench_function("store_no_fault", |b| {
-        let mut ctx = Context::new(Platform::desktop_g280(), GmacConfig::default());
+        let ctx = Gmac::new(Platform::desktop_g280(), GmacConfig::default()).session();
         let p = ctx.alloc(4096).unwrap();
         ctx.store::<u32>(p, 1).unwrap(); // now dirty: no more faults
         b.iter(|| ctx.store::<u32>(black_box(p), black_box(9)).unwrap());
@@ -148,7 +149,7 @@ fn bench_end_to_end(c: &mut Criterion) {
         b.iter(|| {
             let mut platform = Platform::desktop_g280();
             platform.register_kernel(Arc::new(VecAddKernel));
-            let mut ctx = Context::new(platform, GmacConfig::default());
+            let ctx = Gmac::new(platform, GmacConfig::default()).session();
             let n = 256 * 1024usize;
             let a = ctx.alloc((n * 4) as u64).unwrap();
             let bb = ctx.alloc((n * 4) as u64).unwrap();

@@ -9,7 +9,7 @@
 //! again for huge blocks that forfeit the overlap (nothing is evicted before
 //! the call).
 
-use gmac::{Context, GmacConfig, Param, Protocol};
+use gmac::{Gmac, GmacConfig, Param, Protocol};
 use gmac_bench::{emit, fmt_secs, TextTable};
 use hetsim::{Category, LaunchDims, Platform};
 use std::sync::Arc;
@@ -51,13 +51,14 @@ fn main() {
         eprintln!("[fig11] block size {} ...", gmac_bench::fmt_bytes(bs));
         let mut platform = Platform::desktop_g280();
         platform.register_kernel(Arc::new(VecAddKernel));
-        let mut ctx = Context::new(
+        let gmac = Gmac::new(
             platform,
             GmacConfig::default()
                 .protocol(Protocol::Rolling)
                 .block_size(bs),
         );
-        let bufs = alloc_buffers(&mut ctx, N).expect("alloc");
+        let ctx = gmac.session();
+        let bufs = alloc_buffers(&ctx, N).expect("alloc");
         let av: Vec<f32> = (0..N).map(|i| i as f32 * 0.5).collect();
         let bv: Vec<f32> = (0..N).map(|i| i as f32 * 0.25).collect();
 
@@ -87,7 +88,7 @@ fn main() {
             gmac_bench::fmt_bytes(bs),
             fmt_secs(h2d_time.as_secs_f64()),
             fmt_secs(d2h_time.as_secs_f64()),
-            fmt_secs(ctx.platform().elapsed().as_secs_f64()),
+            fmt_secs(ctx.elapsed().as_secs_f64()),
             link_h2d.attained_bandwidth(bs).to_string(),
             link_d2h.attained_bandwidth(bs).to_string(),
             ctx.counters().faults().to_string(),

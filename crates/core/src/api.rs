@@ -1,205 +1,108 @@
-//! The GMAC application-programming interface (paper Table 1 plus the
-//! `adsmSafeAlloc`/`adsmSafe` extension of §4.2).
+//! Deprecated single-threaded compatibility shim over the redesigned
+//! [`Gmac`](crate::Gmac)/[`Session`](crate::Session) API.
 //!
-//! | paper call | method |
-//! |---|---|
-//! | `adsmAlloc(size)` | [`Context::alloc`] |
-//! | `adsmFree(addr)` | [`Context::free`] |
-//! | `adsmCall(kernel)` | [`Context::call`] |
-//! | `adsmSync()` | [`Context::sync`] |
-//! | `adsmSafeAlloc(size)` | [`Context::safe_alloc`] |
-//! | `adsmSafe(address)` | [`Context::translate`] |
+//! [`Context`] predates the split of the runtime into a shared [`Gmac`]
+//! plus per-thread [`Session`] handles: it owns a private runtime and acts
+//! as its single session, so every legacy call forwards 1:1 (see the
+//! migration table in the README). New code should create a `Gmac` and
+//! sessions instead — a `Context` can never be shared across threads and
+//! cannot hand out typed [`Shared<T>`](crate::Shared) buffers.
+//!
+//! [`Gmac`]: crate::Gmac
+//! [`Session`]: crate::Session
 
-use crate::config::{AalLayer, GmacConfig};
-use crate::error::{GmacError, GmacResult};
+#![allow(deprecated)]
+
+use crate::config::GmacConfig;
+use crate::error::GmacResult;
+use crate::gmac::State;
 use crate::manager::Manager;
 use crate::object::SharedObject;
-use crate::protocol::{make, CoherenceProtocol};
+use crate::protocol::CoherenceProtocol;
 use crate::ptr::{Param, SharedPtr};
 use crate::runtime::{Counters, Runtime};
-use crate::sched::{SchedPolicy, Scheduler};
-use crate::state::BlockState;
-use hetsim::{
-    Category, DevAddr, DeviceId, KernelArg, LaunchDims, Platform, StreamId, TimeLedger,
-    TransferLedger,
-};
-use softmmu::{AccessKind, MmuError, Scalar, VAddr};
+use crate::sched::SchedPolicy;
+use crate::session::{SessionId, SessionView};
+use hetsim::{DevAddr, DeviceId, LaunchDims, Platform, TimeLedger, TransferLedger};
+use softmmu::{Scalar, VAddr};
 
-/// An outstanding accelerator call awaiting [`Context::sync`].
-#[derive(Debug, Clone, Copy)]
-struct Pending {
-    dev: DeviceId,
-    stream: StreamId,
-}
-
-/// A GMAC context: one shared logical address space between the host CPU and
-/// all accelerators of a platform.
+/// A GMAC context: one privately-owned runtime plus its single session.
 ///
-/// The context owns the simulated platform, the software MMU and the
-/// coherence protocol; applications interact exclusively through shared
-/// pointers and the Table 1 calls.
+/// Deprecated compatibility shim — use [`crate::Gmac`] +
+/// [`crate::Session`]; see the README migration guide.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Gmac::new(..)` and per-thread `Session` handles (README migration guide)"
+)]
 #[derive(Debug)]
 pub struct Context {
-    pub(crate) rt: Runtime,
-    pub(crate) mgr: Manager,
-    pub(crate) protocol: Box<dyn CoherenceProtocol>,
-    scheduler: Scheduler,
-    pending: Option<Pending>,
-    cuda_initialized: bool,
+    state: State,
+    view: SessionView,
 }
 
 impl Context {
     /// Creates a context over `platform` with the given configuration.
     pub fn new(platform: Platform, config: GmacConfig) -> Self {
-        let device_count = platform.device_count();
-        let protocol = make(config.protocol);
-        let mgr = Manager::new(config.lookup);
+        let mut state = State::new(platform, config);
+        let id = state.next_session_id();
         Context {
-            rt: Runtime::new(platform, config),
-            mgr,
-            protocol,
-            scheduler: Scheduler::new(SchedPolicy::Fixed(DeviceId(0)), device_count),
-            pending: None,
-            cuda_initialized: false,
+            state,
+            view: SessionView { id, affinity: None },
         }
     }
 
-    fn ensure_cuda_init(&mut self) {
-        if !self.cuda_initialized {
-            self.cuda_initialized = true;
-            if self.rt.config.aal == AalLayer::Runtime {
-                // The CUDA run-time layer pays a one-time context
-                // initialisation; the driver layer lets us "discard CUDA
-                // initialization time" (paper §5).
-                let cost = self.rt.config.costs.cuda_init;
-                self.rt.charge(Category::CudaMalloc, cost);
-            }
-        }
-    }
-
-    // ----- allocation (Table 1) --------------------------------------------
-
-    /// `adsmAlloc(size)`: allocates a shared object and returns the single
-    /// pointer valid on both the CPU and the accelerator.
+    /// Compat for [`crate::Session::alloc`] (`adsmAlloc`).
     ///
     /// # Errors
-    /// [`GmacError::AddressCollision`] when the host virtual range matching
-    /// the accelerator range is taken (use [`Self::safe_alloc`]); propagates
-    /// device out-of-memory.
+    /// See [`crate::Session::alloc`].
     pub fn alloc(&mut self, size: u64) -> GmacResult<SharedPtr> {
-        let dev = self.scheduler.device_for_alloc();
-        self.alloc_on(dev, size)
+        self.state.alloc(self.view, size)
     }
 
-    /// [`Self::alloc`] pinned to a specific accelerator.
+    /// Compat for [`crate::Session::alloc_on`].
     ///
     /// # Errors
-    /// Same as [`Self::alloc`].
+    /// See [`crate::Session::alloc_on`].
     pub fn alloc_on(&mut self, dev: DeviceId, size: u64) -> GmacResult<SharedPtr> {
-        self.ensure_cuda_init();
-        let alloc_base = self.rt.config.costs.alloc_base;
-        self.rt.charge(Category::Malloc, alloc_base);
-        let size = VAddr(size.max(1)).page_up().0;
-        // 1. Accelerator memory first (its allocator dictates the address).
-        let dev_addr = self.rt.platform.dev_alloc(dev, size)?;
-        // 2. Mirror the same numeric range in system memory — the paper's
-        //    fixed-address mmap trick (§4.2).
-        let addr = VAddr(dev_addr.0);
-        let initial = self.protocol.initial_state();
-        let region = match self.rt.vm.map_fixed(addr, size, initial.protection()) {
-            Ok(region) => region,
-            Err(MmuError::Overlap { .. }) => {
-                self.rt.platform.dev_free(dev, dev_addr)?;
-                return Err(GmacError::AddressCollision(addr));
-            }
-            Err(e) => return Err(e.into()),
-        };
-        self.finish_alloc(dev, dev_addr, addr, size, region, initial)
+        self.state.alloc_on(dev, size)
     }
 
-    /// `adsmSafeAlloc(size)`: allocates a shared object whose CPU pointer is
-    /// *not* numerically equal to the accelerator address — the fallback for
-    /// platforms where device ranges collide (multi-GPU, §4.2). Kernels need
-    /// [`Self::translate`] (the runtime performs it automatically for
-    /// [`Param::Shared`] parameters).
+    /// Compat for [`crate::Session::safe_alloc`] (`adsmSafeAlloc`).
     ///
     /// # Errors
-    /// Propagates device out-of-memory and MMU failures.
+    /// See [`crate::Session::safe_alloc`].
     pub fn safe_alloc(&mut self, size: u64) -> GmacResult<SharedPtr> {
-        let dev = self.scheduler.device_for_alloc();
-        self.safe_alloc_on(dev, size)
+        self.state.safe_alloc(self.view, size)
     }
 
-    /// [`Self::safe_alloc`] pinned to a specific accelerator.
+    /// Compat for [`crate::Session::safe_alloc_on`].
     ///
     /// # Errors
-    /// Same as [`Self::safe_alloc`].
+    /// See [`crate::Session::safe_alloc_on`].
     pub fn safe_alloc_on(&mut self, dev: DeviceId, size: u64) -> GmacResult<SharedPtr> {
-        self.ensure_cuda_init();
-        let alloc_base = self.rt.config.costs.alloc_base;
-        self.rt.charge(Category::Malloc, alloc_base);
-        let size = VAddr(size.max(1)).page_up().0;
-        let dev_addr = self.rt.platform.dev_alloc(dev, size)?;
-        let initial = self.protocol.initial_state();
-        let (region, addr) = self.rt.vm.map_anywhere(size, initial.protection())?;
-        self.finish_alloc(dev, dev_addr, addr, size, region, initial)
+        self.state.safe_alloc_on(dev, size)
     }
 
-    fn finish_alloc(
-        &mut self,
-        dev: DeviceId,
-        dev_addr: DevAddr,
-        addr: VAddr,
-        size: u64,
-        region: softmmu::RegionId,
-        initial: BlockState,
-    ) -> GmacResult<SharedPtr> {
-        let block_size = self.protocol.block_size_for(&self.rt.config, size);
-        let id = self.mgr.next_id();
-        let obj = SharedObject::new(id, addr, size, dev, dev_addr, region, block_size, initial);
-        self.mgr.insert(obj);
-        self.protocol.on_alloc(&mut self.rt, &mut self.mgr, addr)?;
-        Ok(SharedPtr::new(addr))
-    }
-
-    /// `adsmFree(addr)`: releases a shared object.
+    /// Compat for [`crate::Session::free`] (`adsmFree`).
     ///
     /// # Errors
-    /// [`GmacError::NotShared`] if `ptr` is not a live shared object.
+    /// See [`crate::Session::free`].
     pub fn free(&mut self, ptr: SharedPtr) -> GmacResult<()> {
-        let free_base = self.rt.config.costs.free_base;
-        self.rt.charge(Category::Free, free_base);
-        let obj = self
-            .mgr
-            .remove(ptr.addr())
-            .ok_or(GmacError::NotShared(ptr.addr()))?;
-        self.protocol.on_free(&mut self.rt, &obj)?;
-        self.rt.vm.unmap_region(obj.region())?;
-        self.rt.platform.dev_free(obj.device(), obj.dev_addr())?;
-        Ok(())
+        self.state.free(ptr)
     }
 
-    // ----- kernel execution (Table 1) ----------------------------------------
-
-    /// `adsmCall(kernel)`: releases shared objects to the accelerator and
-    /// launches `kernel` asynchronously. Shared-pointer parameters are
-    /// translated to device addresses automatically.
+    /// Compat for [`crate::Session::call`] (`adsmCall`).
     ///
     /// # Errors
-    /// Fails for unknown kernels, foreign pointers, or parameters whose
-    /// objects live on different accelerators.
+    /// See [`crate::Session::call`].
     pub fn call(&mut self, kernel: &str, dims: LaunchDims, params: &[Param]) -> GmacResult<()> {
         self.call_annotated(kernel, dims, params, None)
     }
 
-    /// [`Self::call`] with the §4.3 write-set annotation: `writes` names the
-    /// shared objects the kernel may write. Objects *not* listed keep a
-    /// CPU-valid state across the call, so reading them after [`Self::sync`]
-    /// costs no transfer (the paper's suggested interprocedural-analysis /
-    /// programmer-annotation optimisation).
+    /// Compat for [`crate::Session::call_annotated`].
     ///
     /// # Errors
-    /// Same as [`Self::call`].
+    /// See [`crate::Session::call_annotated`].
     pub fn call_annotated(
         &mut self,
         kernel: &str,
@@ -207,331 +110,254 @@ impl Context {
         params: &[Param],
         writes: Option<&[SharedPtr]>,
     ) -> GmacResult<()> {
-        self.ensure_cuda_init();
-        // Resolve the target accelerator from the parameter objects.
-        let mut dev: Option<DeviceId> = None;
-        let mut args = Vec::with_capacity(params.len());
-        for param in params {
-            match param {
-                Param::Shared(ptr) => {
-                    let obj = self
-                        .mgr
-                        .find(ptr.addr())
-                        .ok_or(GmacError::NotShared(ptr.addr()))?;
-                    match dev {
-                        None => dev = Some(obj.device()),
-                        Some(d) if d == obj.device() => {}
-                        Some(_) => return Err(GmacError::MixedDevices),
-                    }
-                    args.push(KernelArg::Ptr(obj.translate(ptr.addr())));
-                }
-                scalar => args.push(scalar.to_scalar_arg().expect("scalar param")),
-            }
-        }
-        let dev = dev.unwrap_or_else(|| self.scheduler.default_device());
-
-        // Release-consistency: the CPU releases shared objects at the call
-        // boundary (§3.3).
-        let call_cost = self.rt.config.costs.call_per_object * self.mgr.len() as u64;
-        self.rt.charge(Category::Launch, call_cost);
-        let writes: Option<Vec<VAddr>> = writes.map(|ptrs| {
-            ptrs.iter()
-                .filter_map(|p| self.mgr.find(p.addr()).map(|o| o.addr()))
-                .collect()
-        });
-        self.protocol
-            .release(&mut self.rt, &mut self.mgr, dev, writes.as_deref())?;
-        // Explicit join point: eager evictions and the release flush run as
-        // asynchronous DMA jobs; the kernel must not start until the device
-        // holds every byte the CPU wrote.
-        self.rt.join_dma(dev)?;
-
-        self.rt
-            .platform
-            .launch(dev, StreamId(0), kernel, dims, &args)?;
-        self.pending = Some(Pending {
-            dev,
-            stream: StreamId(0),
-        });
-        Ok(())
+        self.state
+            .call_annotated(self.view, kernel, dims, params, writes)
     }
 
-    /// `adsmSync()`: blocks until the outstanding accelerator call finishes
-    /// and acquires the shared objects back for the CPU.
+    /// Compat for [`crate::Session::sync`] (`adsmSync`).
     ///
     /// # Errors
-    /// [`GmacError::NothingToSync`] when no call is outstanding.
+    /// See [`crate::Session::sync`].
     pub fn sync(&mut self) -> GmacResult<()> {
-        let pending = self.pending.take().ok_or(GmacError::NothingToSync)?;
-        let sync_base = self.rt.config.costs.sync_base;
-        self.rt.charge(Category::Sync, sync_base);
-        self.rt.platform.sync_stream(pending.dev, pending.stream)?;
-        self.protocol
-            .acquire(&mut self.rt, &mut self.mgr, pending.dev)?;
-        Ok(())
+        self.state.sync(self.view)
     }
 
-    /// `adsmSafe(address)`: translates a shared pointer to the accelerator
-    /// address space (identity for unified allocations).
+    /// Compat for [`crate::Session::translate`] (`adsmSafe`).
     ///
     /// # Errors
-    /// [`GmacError::NotShared`] for foreign pointers.
+    /// See [`crate::Session::translate`].
     pub fn translate(&self, ptr: SharedPtr) -> GmacResult<DevAddr> {
-        let obj = self
-            .mgr
-            .find(ptr.addr())
-            .ok_or(GmacError::NotShared(ptr.addr()))?;
-        Ok(obj.translate(ptr.addr()))
+        self.state.translate(ptr)
     }
 
-    // ----- transparent CPU access ---------------------------------------------
-
-    /// Typed load through the shared address space. Faults are resolved by
-    /// the coherence protocol exactly like the paper's `SIGSEGV` handler.
+    /// Compat for [`crate::Session::load`].
     ///
     /// # Errors
-    /// [`GmacError::NotShared`] for foreign pointers; propagates transfer
-    /// failures.
+    /// See [`crate::Session::load`].
     pub fn load<T: Scalar>(&mut self, ptr: SharedPtr) -> GmacResult<T> {
-        self.access_checked(ptr, T::SIZE as u64, AccessKind::Read)?;
-        self.rt.platform.cpu_touch(T::SIZE as u64);
-        Ok(self.rt.vm.load::<T>(ptr.addr())?)
+        self.state.load(ptr)
     }
 
-    /// Typed store through the shared address space.
+    /// Compat for [`crate::Session::store`].
     ///
     /// # Errors
-    /// Same as [`Self::load`].
+    /// See [`crate::Session::store`].
     pub fn store<T: Scalar>(&mut self, ptr: SharedPtr, value: T) -> GmacResult<()> {
-        self.access_checked(ptr, T::SIZE as u64, AccessKind::Write)?;
-        self.rt.platform.cpu_touch(T::SIZE as u64);
-        Ok(self.rt.vm.store(ptr.addr(), value)?)
+        self.state.store(ptr, value)
     }
 
-    /// Loads `n` consecutive scalars. Equivalent to an element loop on the
-    /// CPU: the first touch of each invalid block faults once and fetches
-    /// that block.
+    /// Compat for [`crate::Session::load_slice`].
     ///
     /// # Errors
-    /// Same as [`Self::load`].
+    /// See [`crate::Session::load_slice`].
     pub fn load_slice<T: Scalar>(&mut self, ptr: SharedPtr, n: usize) -> GmacResult<Vec<T>> {
-        let bytes = self.shared_read(ptr, n as u64 * T::SIZE as u64)?;
-        Ok(softmmu::from_bytes(&bytes))
+        self.state.load_slice(ptr, n)
     }
 
-    /// Stores consecutive scalars. Equivalent to an element loop on the CPU:
-    /// the first touch of each non-dirty block faults once.
+    /// Compat for [`crate::Session::store_slice`].
     ///
     /// # Errors
-    /// Same as [`Self::load`].
+    /// See [`crate::Session::store_slice`].
     pub fn store_slice<T: Scalar>(&mut self, ptr: SharedPtr, values: &[T]) -> GmacResult<()> {
-        self.shared_write(ptr, &softmmu::to_bytes(values))
+        self.state.store_slice(ptr, values)
     }
 
-    /// Single checked access with the fault-retry loop (the paper's signal
-    /// handler protocol, §4.3).
-    fn access_checked(&mut self, ptr: SharedPtr, len: u64, kind: AccessKind) -> GmacResult<()> {
-        // One fault can occur per block the access spans; anything beyond
-        // that means the protocol failed to make progress.
-        let mut budget = 4 + len / softmmu::PAGE_SIZE;
-        loop {
-            match self.rt.vm.check(ptr.addr(), len, kind) {
-                Ok(()) => return Ok(()),
-                Err(MmuError::Fault(fault)) => {
-                    if budget == 0 {
-                        return Err(GmacError::UnresolvedFault(fault.to_string()));
-                    }
-                    budget -= 1;
-                    self.handle_fault(fault.addr, kind)?;
-                }
-                Err(MmuError::Unmapped(a)) => return Err(GmacError::NotShared(a)),
-                Err(e) => return Err(e.into()),
-            }
-        }
+    /// Compat for [`crate::Session::memset`].
+    ///
+    /// # Errors
+    /// See [`crate::Session::memset`].
+    pub fn memset(&mut self, ptr: SharedPtr, value: u8, len: u64) -> GmacResult<()> {
+        self.state.memset(ptr, value, len)
     }
 
-    /// The "signal handler": charge delivery + lookup, then let the protocol
-    /// resolve the faulting block.
-    fn handle_fault(&mut self, fault_addr: VAddr, kind: AccessKind) -> GmacResult<()> {
-        let obj = self
-            .mgr
-            .find(fault_addr)
-            .ok_or(GmacError::NotShared(fault_addr))?;
-        let start = obj.addr();
-        let offset = fault_addr - start;
-        let steps = self.mgr.lookup_steps();
-        self.rt.charge_signal(steps, kind == AccessKind::Write);
-        match kind {
-            AccessKind::Read => {
-                self.protocol
-                    .prepare_read(&mut self.rt, &mut self.mgr, start, offset, 1)
-            }
-            AccessKind::Write => {
-                self.protocol
-                    .prepare_write(&mut self.rt, &mut self.mgr, start, offset, 1)
-            }
-        }
+    /// Compat for [`crate::Session::memcpy_in`].
+    ///
+    /// # Errors
+    /// See [`crate::Session::memcpy_in`].
+    pub fn memcpy_in(&mut self, dst: SharedPtr, src: &[u8]) -> GmacResult<()> {
+        self.state.memcpy_in(dst, src)
     }
 
-    /// Shared read used by slice loads, bulk ops and I/O: pay one fault per
-    /// touched block that is not readable, resolve the whole range through
-    /// the protocol in a single batched call (runs of adjacent invalid
-    /// blocks coalesce into single DMA jobs), then copy.
-    pub(crate) fn shared_read(&mut self, ptr: SharedPtr, len: u64) -> GmacResult<Vec<u8>> {
-        self.resolve_read_range(ptr, len)?;
-        self.read_resolved(ptr, len)
+    /// Compat for [`crate::Session::memcpy_out`].
+    ///
+    /// # Errors
+    /// See [`crate::Session::memcpy_out`].
+    pub fn memcpy_out(&mut self, dst: &mut [u8], src: SharedPtr) -> GmacResult<()> {
+        self.state.memcpy_out(dst, src)
     }
 
-    /// Copies `[ptr, ptr+len)` out of system memory, assuming the caller
-    /// already made the range readable via [`Self::resolve_read_range`]
-    /// (the I/O interposition resolves a whole operation's extent once,
-    /// then drains it chunk by chunk through this).
-    pub(crate) fn read_resolved(&mut self, ptr: SharedPtr, len: u64) -> GmacResult<Vec<u8>> {
-        let obj = self
-            .mgr
-            .find(ptr.addr())
-            .ok_or(GmacError::NotShared(ptr.addr()))?;
-        let start = obj.addr();
-        let base_offset = ptr.addr() - start;
-        let mut out = vec![0u8; len as usize];
-        self.rt.vm.read_raw(start + base_offset, &mut out)?;
-        // The application's own CPU time to traverse the range.
-        self.rt.platform.cpu_touch(len);
-        Ok(out)
+    /// Compat for [`crate::Session::memcpy`].
+    ///
+    /// # Errors
+    /// See [`crate::Session::memcpy`].
+    pub fn memcpy(&mut self, dst: SharedPtr, src: SharedPtr, len: u64) -> GmacResult<()> {
+        self.state.memcpy(dst, src, len)
     }
 
-    /// Makes `[ptr, ptr+len)` CPU-readable: charges one fault-equivalent per
-    /// invalid block the range touches (an element loop would fault on the
-    /// first touch of each), then lets the protocol fetch them all in one
-    /// planned, coalesced batch. Used by [`Self::shared_read`] and by the
-    /// I/O interposition to resolve an operation's full extent up front.
-    pub(crate) fn resolve_read_range(&mut self, ptr: SharedPtr, len: u64) -> GmacResult<()> {
-        let obj = self
-            .mgr
-            .find(ptr.addr())
-            .ok_or(GmacError::NotShared(ptr.addr()))?;
-        let start = obj.addr();
-        let base_offset = ptr.addr() - start;
-        Runtime::check_bounds(obj, base_offset, len)?;
-        let invalid = obj
-            .blocks_overlapping(base_offset, len)
-            .filter(|&idx| obj.block(idx).state == BlockState::Invalid)
-            .count();
-        if invalid > 0 {
-            let steps = self.mgr.lookup_steps();
-            for _ in 0..invalid {
-                self.rt.charge_signal(steps, false);
-            }
-            self.protocol
-                .prepare_read(&mut self.rt, &mut self.mgr, start, base_offset, len)?;
-        }
-        Ok(())
+    /// Compat for [`crate::Session::read_file_to_shared`].
+    ///
+    /// # Errors
+    /// See [`crate::Session::read_file_to_shared`].
+    pub fn read_file_to_shared(
+        &mut self,
+        name: &str,
+        file_offset: u64,
+        ptr: SharedPtr,
+        len: u64,
+    ) -> GmacResult<u64> {
+        self.state.read_file_to_shared(name, file_offset, ptr, len)
     }
 
-    /// Block-chunked shared write used by slice stores, bulk ops and I/O:
-    /// per touched block, pay one fault if the block is not writable,
-    /// prepare it, then immediately land the bytes (required ordering — see
-    /// [`CoherenceProtocol::prepare_write`]).
-    pub(crate) fn shared_write(&mut self, ptr: SharedPtr, bytes: &[u8]) -> GmacResult<()> {
-        let len = bytes.len() as u64;
-        let obj = self
-            .mgr
-            .find(ptr.addr())
-            .ok_or(GmacError::NotShared(ptr.addr()))?;
-        let start = obj.addr();
-        let base_offset = ptr.addr() - start;
-        Runtime::check_bounds(obj, base_offset, len)?;
-        let blocks = obj.blocks_overlapping(base_offset, len);
-        for idx in blocks {
-            let obj = self.mgr.find(start).expect("object lives across loop");
-            let block = *obj.block(idx);
-            let lo = block.offset.max(base_offset);
-            let hi = (block.offset + block.len).min(base_offset + len);
-            if block.state != BlockState::Dirty {
-                let steps = self.mgr.lookup_steps();
-                self.rt.charge_signal(steps, true);
-                self.protocol
-                    .prepare_write(&mut self.rt, &mut self.mgr, start, lo, hi - lo)?;
-            }
-            let src = &bytes[(lo - base_offset) as usize..(hi - base_offset) as usize];
-            self.rt.vm.write_raw(start + lo, src)?;
-            // The application's own CPU time to produce/copy the chunk.
-            self.rt.platform.cpu_touch(hi - lo);
-        }
-        Ok(())
+    /// Compat for [`crate::Session::write_shared_to_file`].
+    ///
+    /// # Errors
+    /// See [`crate::Session::write_shared_to_file`].
+    pub fn write_shared_to_file(
+        &mut self,
+        name: &str,
+        file_offset: u64,
+        ptr: SharedPtr,
+        len: u64,
+    ) -> GmacResult<u64> {
+        self.state.write_shared_to_file(name, file_offset, ptr, len)
     }
 
-    // ----- introspection --------------------------------------------------------
+    // ----- introspection ----------------------------------------------------
 
     /// The simulated platform (clock, devices, filesystem).
     pub fn platform(&self) -> &Platform {
-        self.rt.platform()
+        self.state.rt.platform()
     }
 
     /// The simulated platform, mutable (kernel registration, file setup).
     pub fn platform_mut(&mut self) -> &mut Platform {
-        self.rt.platform_mut()
+        self.state.rt.platform_mut()
     }
 
     /// Consumes the context, returning the platform (final measurements).
     pub fn into_platform(self) -> Platform {
-        self.rt.platform
+        self.state.rt.platform
     }
 
     /// Execution-time ledger (Figure 10 categories).
     pub fn ledger(&self) -> &TimeLedger {
-        self.rt.platform().ledger()
+        self.state.rt.platform().ledger()
     }
 
     /// Transfer ledger (Figure 8 input).
     pub fn transfers(&self) -> &TransferLedger {
-        self.rt.platform().transfers()
+        self.state.rt.platform().transfers()
     }
 
     /// Runtime event counters (faults, fetches, evictions).
     pub fn counters(&self) -> Counters {
-        self.rt.counters()
+        self.state.counters()
     }
 
     /// Active configuration.
     pub fn config(&self) -> &GmacConfig {
-        self.rt.config()
+        self.state.config()
     }
 
     /// Number of live shared objects.
     pub fn object_count(&self) -> usize {
-        self.mgr.len()
+        self.state.object_count()
     }
 
     /// The shared object containing `ptr` (diagnostics/tests).
     pub fn object_at(&self, ptr: SharedPtr) -> Option<&SharedObject> {
-        self.mgr.find(ptr.addr())
+        self.state.object_at(ptr)
     }
 
     /// Start addresses of all live shared objects, in address order.
     pub fn object_addrs(&self) -> Vec<VAddr> {
-        self.mgr.addrs()
+        self.state.object_addrs()
     }
 
     /// Number of blocks currently dirty, per the protocol's bookkeeping.
     pub fn dirty_block_count(&self) -> usize {
-        self.protocol.dirty_blocks(&self.mgr)
+        self.state.dirty_block_count()
     }
 
     /// Changes the allocation-placement policy.
     pub fn set_sched_policy(&mut self, policy: SchedPolicy) {
-        self.scheduler.set_policy(policy);
+        self.state.scheduler.set_policy(policy);
     }
 
     /// Whether an accelerator call is outstanding.
     pub fn has_pending_call(&self) -> bool {
-        self.pending.is_some()
+        self.state.has_pending_call(self.view)
+    }
+
+    /// This context's session identity (it owns exactly one).
+    pub fn session_id(&self) -> SessionId {
+        self.view.id
     }
 
     /// Direct access to runtime internals (protocol ablation harnesses and
     /// tests). Not part of the stable API.
     #[doc(hidden)]
     pub fn parts(&mut self) -> (&mut Runtime, &mut Manager, &mut dyn CoherenceProtocol) {
-        (&mut self.rt, &mut self.mgr, self.protocol.as_mut())
+        let State {
+            rt, mgr, protocol, ..
+        } = &mut self.state;
+        (rt, mgr, protocol.as_mut())
+    }
+
+    pub(crate) fn state_ref(&self) -> &State {
+        &self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Protocol;
+    use crate::error::GmacError;
+    use crate::testutil::NopKernel;
+    use hetsim::Category;
+    use std::sync::Arc;
+
+    fn ctx() -> Context {
+        Context::new(Platform::desktop_g280(), GmacConfig::default())
+    }
+
+    #[test]
+    fn compat_shim_preserves_table1_flow() {
+        let mut platform = Platform::desktop_g280();
+        platform.register_kernel(Arc::new(NopKernel));
+        let mut c = Context::new(platform, GmacConfig::default().protocol(Protocol::Rolling));
+        let p = c.alloc(64 * 1024).unwrap();
+        c.store_slice::<u32>(p, &[1, 2, 3]).unwrap();
+        assert_eq!(c.load_slice::<u32>(p, 3).unwrap(), vec![1, 2, 3]);
+        c.call("nop", LaunchDims::for_elements(1, 1), &[Param::Shared(p)])
+            .unwrap();
+        assert!(c.has_pending_call());
+        c.sync().unwrap();
+        assert!(!c.has_pending_call());
+        assert_eq!(c.translate(p).unwrap().0, p.addr().0, "unified alloc");
+        c.free(p).unwrap();
+        assert_eq!(c.object_count(), 0);
+        assert!(matches!(c.sync(), Err(GmacError::NothingToSync)));
+    }
+
+    #[test]
+    fn failed_free_charges_nothing_through_compat_path() {
+        let mut c = ctx();
+        let p = c.alloc(4096).unwrap();
+        c.free(p).unwrap();
+        let before = c.ledger().get(Category::Free);
+        assert!(c.free(p).is_err());
+        assert_eq!(c.ledger().get(Category::Free), before);
+    }
+
+    #[test]
+    fn context_owns_its_runtime() {
+        let mut a = ctx();
+        let mut b = ctx();
+        let pa = a.alloc(4096).unwrap();
+        assert_eq!(b.object_count(), 0, "contexts do not share state");
+        let pb = b.alloc(4096).unwrap();
+        assert_eq!(pa.addr(), pb.addr(), "identical private address spaces");
     }
 }

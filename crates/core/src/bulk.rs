@@ -6,51 +6,43 @@
 //! fault-equivalent) and streams the bytes, instead of faulting page by page.
 //! Operations on private memory are forwarded verbatim (in Rust terms: plain
 //! slice operations — nothing to interpose).
+//!
+//! The public surface lives on [`crate::Session`] (and the deprecated
+//! [`crate::Context`] shim); this module holds the shared implementation.
 
-use crate::api::Context;
 use crate::error::GmacResult;
+use crate::gmac::State;
 use crate::ptr::SharedPtr;
 
-impl Context {
+impl State {
     /// Interposed `memset(ptr, value, len)` over shared memory: performed
     /// device-side (`cudaMemset`), exactly as the paper's overloaded memset
     /// (§4.4) — no page faults, no host staging copy.
-    ///
-    /// # Errors
-    /// Fails for foreign pointers or out-of-object ranges.
-    pub fn memset(&mut self, ptr: SharedPtr, value: u8, len: u64) -> GmacResult<()> {
-        let (rt, mgr, protocol) = self.parts();
-        let obj = mgr
+    pub(crate) fn memset(&mut self, ptr: SharedPtr, value: u8, len: u64) -> GmacResult<()> {
+        let obj = self
+            .mgr
             .find(ptr.addr())
             .ok_or(crate::GmacError::NotShared(ptr.addr()))?;
         let start = obj.addr();
         let offset = ptr.addr() - start;
-        protocol.memset_through(rt, mgr, start, offset, len, value)
+        self.protocol
+            .memset_through(&mut self.rt, &mut self.mgr, start, offset, len, value)
     }
 
     /// Interposed `memcpy` from private host memory into shared memory.
-    ///
-    /// # Errors
-    /// Fails for foreign pointers or out-of-object ranges.
-    pub fn memcpy_in(&mut self, dst: SharedPtr, src: &[u8]) -> GmacResult<()> {
+    pub(crate) fn memcpy_in(&mut self, dst: SharedPtr, src: &[u8]) -> GmacResult<()> {
         self.shared_write(dst, src)
     }
 
     /// Interposed `memcpy` from shared memory into private host memory.
-    ///
-    /// # Errors
-    /// Fails for foreign pointers or out-of-object ranges.
-    pub fn memcpy_out(&mut self, dst: &mut [u8], src: SharedPtr) -> GmacResult<()> {
+    pub(crate) fn memcpy_out(&mut self, dst: &mut [u8], src: SharedPtr) -> GmacResult<()> {
         let bytes = self.shared_read(src, dst.len() as u64)?;
         dst.copy_from_slice(&bytes);
         Ok(())
     }
 
     /// Interposed shared-to-shared `memcpy` (possibly across objects).
-    ///
-    /// # Errors
-    /// Fails for foreign pointers or out-of-object ranges.
-    pub fn memcpy(&mut self, dst: SharedPtr, src: SharedPtr, len: u64) -> GmacResult<()> {
+    pub(crate) fn memcpy(&mut self, dst: SharedPtr, src: SharedPtr, len: u64) -> GmacResult<()> {
         let bytes = self.shared_read(src, len)?;
         self.shared_write(dst, &bytes)
     }
@@ -59,25 +51,26 @@ impl Context {
 #[cfg(test)]
 mod tests {
     use crate::config::{GmacConfig, Protocol};
-    use crate::Context;
+    use crate::{Gmac, Session};
     use hetsim::Platform;
 
-    fn ctx(protocol: Protocol) -> Context {
-        Context::new(
+    fn session(protocol: Protocol) -> Session {
+        Gmac::new(
             Platform::desktop_g280(),
             GmacConfig::default()
                 .protocol(protocol)
                 .block_size(64 * 1024),
         )
+        .session()
     }
 
     #[test]
     fn memset_fills_shared_memory() {
         for protocol in Protocol::ALL {
-            let mut c = ctx(protocol);
-            let p = c.alloc(200_000).unwrap();
-            c.memset(p, 0xEE, 200_000).unwrap();
-            let out = c.load_slice::<u8>(p, 200_000).unwrap();
+            let s = session(protocol);
+            let p = s.alloc(200_000).unwrap();
+            s.memset(p, 0xEE, 200_000).unwrap();
+            let out = s.load_slice::<u8>(p, 200_000).unwrap();
             assert!(out.iter().all(|&b| b == 0xEE), "{protocol}");
         }
     }
@@ -85,33 +78,33 @@ mod tests {
     #[test]
     fn memcpy_in_out_roundtrip() {
         for protocol in Protocol::ALL {
-            let mut c = ctx(protocol);
-            let p = c.alloc(100_000).unwrap();
+            let s = session(protocol);
+            let p = s.alloc(100_000).unwrap();
             let data: Vec<u8> = (0..100_000u32).map(|i| (i % 253) as u8).collect();
-            c.memcpy_in(p, &data).unwrap();
+            s.memcpy_in(p, &data).unwrap();
             let mut out = vec![0u8; 100_000];
-            c.memcpy_out(&mut out, p).unwrap();
+            s.memcpy_out(&mut out, p).unwrap();
             assert_eq!(out, data, "{protocol}");
         }
     }
 
     #[test]
     fn shared_to_shared_copy_across_objects() {
-        let mut c = ctx(Protocol::Rolling);
-        let a = c.alloc(128 * 1024).unwrap();
-        let b = c.alloc(128 * 1024).unwrap();
-        c.memset(a, 0x3D, 128 * 1024).unwrap();
-        c.memcpy(b, a, 128 * 1024).unwrap();
-        let out = c.load_slice::<u8>(b, 128 * 1024).unwrap();
+        let s = session(Protocol::Rolling);
+        let a = s.alloc(128 * 1024).unwrap();
+        let b = s.alloc(128 * 1024).unwrap();
+        s.memset(a, 0x3D, 128 * 1024).unwrap();
+        s.memcpy(b, a, 128 * 1024).unwrap();
+        let out = s.load_slice::<u8>(b, 128 * 1024).unwrap();
         assert!(out.iter().all(|&x| x == 0x3D));
     }
 
     #[test]
     fn bulk_ops_fault_once_per_block_not_per_page() {
-        let mut c = ctx(Protocol::Rolling); // 64 KiB blocks = 16 pages each
-        let p = c.alloc(256 * 1024).unwrap(); // 4 blocks, 64 pages
-        c.memcpy_in(p, &vec![1u8; 256 * 1024]).unwrap();
-        let faults = c.counters().faults();
+        let s = session(Protocol::Rolling); // 64 KiB blocks = 16 pages each
+        let p = s.alloc(256 * 1024).unwrap(); // 4 blocks, 64 pages
+        s.memcpy_in(p, &vec![1u8; 256 * 1024]).unwrap();
+        let faults = s.counters().faults();
         assert_eq!(faults, 4, "one fault-equivalent per block, not 64 per page");
     }
 
@@ -119,35 +112,35 @@ mod tests {
     fn memset_is_device_side_and_fault_free() {
         // The §4.4 interposition: memset becomes cudaMemset — no page
         // faults, no host->device payload transfer.
-        let mut c = ctx(Protocol::Rolling);
-        let p = c.alloc(256 * 1024).unwrap();
-        c.memset(p, 0x7F, 256 * 1024).unwrap();
-        assert_eq!(c.counters().faults(), 0);
-        assert_eq!(c.transfers().h2d_bytes, 0);
+        let s = session(Protocol::Rolling);
+        let p = s.alloc(256 * 1024).unwrap();
+        s.memset(p, 0x7F, 256 * 1024).unwrap();
+        assert_eq!(s.counters().faults(), 0);
+        assert_eq!(s.transfers().h2d_bytes, 0);
         // Blocks are invalid: the first CPU read fetches the fill back.
-        let v: u8 = c.load(p).unwrap();
+        let v: u8 = s.load(p).unwrap();
         assert_eq!(v, 0x7F);
-        assert!(c.transfers().d2h_bytes > 0);
+        assert!(s.transfers().d2h_bytes > 0);
     }
 
     #[test]
     fn misaligned_subrange_copy() {
-        let mut c = ctx(Protocol::Rolling);
-        let p = c.alloc(256 * 1024).unwrap();
+        let s = session(Protocol::Rolling);
+        let p = s.alloc(256 * 1024).unwrap();
         let data: Vec<u8> = (0..1000u32).map(|i| (i % 91) as u8).collect();
         // Straddles a block boundary at 64 KiB.
         let off = 64 * 1024 - 500;
-        c.memcpy_in(p.byte_add(off), &data).unwrap();
+        s.memcpy_in(p.byte_add(off), &data).unwrap();
         let mut out = vec![0u8; 1000];
-        c.memcpy_out(&mut out, p.byte_add(off)).unwrap();
+        s.memcpy_out(&mut out, p.byte_add(off)).unwrap();
         assert_eq!(out, data);
     }
 
     #[test]
     fn out_of_bounds_rejected() {
-        let mut c = ctx(Protocol::Rolling);
-        let p = c.alloc(4096).unwrap();
-        assert!(c.memset(p, 0, 8192).is_err());
-        assert!(c.memcpy_in(p.byte_add(4000), &[0u8; 200]).is_err());
+        let s = session(Protocol::Rolling);
+        let p = s.alloc(4096).unwrap();
+        assert!(s.memset(p, 0, 8192).is_err());
+        assert!(s.memcpy_in(p.byte_add(4000), &[0u8; 200]).is_err());
     }
 }

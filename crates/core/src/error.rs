@@ -1,7 +1,8 @@
 //! Error type for the GMAC runtime.
 
+use crate::session::SessionId;
 use cudart::CudaError;
-use hetsim::SimError;
+use hetsim::{DeviceId, SimError};
 use softmmu::{MmuError, VAddr};
 use std::error::Error;
 use std::fmt;
@@ -20,6 +21,24 @@ pub enum GmacError {
     MixedDevices,
     /// `sync()` called with no outstanding accelerator call.
     NothingToSync,
+    /// A kernel call targeted a device that already has a call in flight
+    /// from a *different* session; each accelerator runs at most one
+    /// un-synced call at a time, so the owner must sync first.
+    DeviceBusy {
+        /// The busy accelerator.
+        dev: DeviceId,
+        /// The session whose call is in flight.
+        owner: SessionId,
+    },
+    /// `free()` targeted a shared object referenced by a still-pending
+    /// accelerator call. Freeing it would tear the mapping out from under
+    /// the kernel (and desynchronise the time ledger); sync first.
+    ObjectInUse {
+        /// Start address of the object.
+        addr: VAddr,
+        /// Device running the pending call that references it.
+        dev: DeviceId,
+    },
     /// An access spans beyond the end of a shared object.
     OutOfObjectBounds {
         /// Object start.
@@ -49,6 +68,21 @@ impl fmt::Display for GmacError {
             }
             GmacError::MixedDevices => f.write_str("kernel parameters span multiple accelerators"),
             GmacError::NothingToSync => f.write_str("no accelerator call outstanding"),
+            GmacError::DeviceBusy { dev, owner } => {
+                write!(
+                    f,
+                    "device {} already has a call in flight from {owner}; sync it first",
+                    dev.0
+                )
+            }
+            GmacError::ObjectInUse { addr, dev } => {
+                write!(
+                    f,
+                    "shared object at {addr} is referenced by the call in flight on device {}; \
+                     sync before freeing",
+                    dev.0
+                )
+            }
             GmacError::OutOfObjectBounds { base, offset, len } => {
                 write!(
                     f,
@@ -128,5 +162,53 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<GmacError>();
+    }
+
+    #[test]
+    fn session_variant_displays() {
+        let e = GmacError::DeviceBusy {
+            dev: DeviceId(1),
+            owner: SessionId(3),
+        };
+        assert_eq!(
+            e.to_string(),
+            "device 1 already has a call in flight from session #3; sync it first"
+        );
+        let e = GmacError::ObjectInUse {
+            addr: VAddr(0x2_0000_0000),
+            dev: DeviceId(0),
+        };
+        assert!(e.to_string().contains("sync before freeing"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn every_variant_has_a_nonempty_display() {
+        let variants = [
+            GmacError::NotShared(VAddr(1)),
+            GmacError::AddressCollision(VAddr(1)),
+            GmacError::MixedDevices,
+            GmacError::NothingToSync,
+            GmacError::DeviceBusy {
+                dev: DeviceId(0),
+                owner: SessionId(1),
+            },
+            GmacError::ObjectInUse {
+                addr: VAddr(1),
+                dev: DeviceId(0),
+            },
+            GmacError::OutOfObjectBounds {
+                base: VAddr(1),
+                offset: 0,
+                len: 1,
+            },
+            GmacError::UnresolvedFault("x".into()),
+            GmacError::Cuda(CudaError::InvalidDevice(9)),
+            GmacError::Sim(SimError::NoSuchDevice(9)),
+            GmacError::Mmu(MmuError::BadLength),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty(), "{v:?}");
+        }
     }
 }

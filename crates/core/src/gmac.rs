@@ -1,0 +1,769 @@
+//! The process-wide GMAC runtime.
+//!
+//! [`Gmac`] owns the simulated platform, the software MMU, the shared-object
+//! manager and the coherence protocol behind one interior lock. Host threads
+//! never touch it directly for data access: they create cheap per-thread
+//! [`Session`] handles via [`Gmac::session`] /
+//! [`Gmac::session_on`], and each session carries its own scheduler affinity
+//! and pending-call identity. Kernel calls are tracked **per device** (a
+//! `DeviceId -> PendingCall` map instead of the old single global slot), so
+//! sessions driving different accelerators each hold an un-synced call at
+//! the same time and join independently at their `sync`/`adsmCall`
+//! boundaries through the existing DMA-join machinery.
+
+use crate::config::{AalLayer, GmacConfig};
+use crate::error::{GmacError, GmacResult};
+use crate::manager::Manager;
+use crate::object::SharedObject;
+use crate::protocol::{make, CoherenceProtocol};
+use crate::ptr::{Param, SharedPtr};
+use crate::runtime::{Counters, Runtime};
+use crate::sched::{SchedPolicy, Scheduler};
+use crate::session::{Session, SessionId, SessionView};
+use crate::state::BlockState;
+use hetsim::{
+    Category, DevAddr, DeviceId, KernelArg, LaunchDims, Platform, StreamId, TimeLedger,
+    TransferLedger,
+};
+use softmmu::{AccessKind, MmuError, Scalar, VAddr};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// An outstanding accelerator call awaiting a `sync`.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingCall {
+    /// Session that issued the call (only it may sync or stack more calls).
+    pub(crate) session: SessionId,
+    /// Stream the kernel was launched on.
+    pub(crate) stream: StreamId,
+    /// Start addresses of the shared objects the call references; `free` on
+    /// any of them fails with [`GmacError::ObjectInUse`] until the sync.
+    pub(crate) objects: Vec<VAddr>,
+}
+
+/// The shared runtime state behind the [`Gmac`] lock: everything the old
+/// monolithic `Context` owned, plus the per-device pending-call map.
+#[derive(Debug)]
+pub(crate) struct State {
+    pub(crate) rt: Runtime,
+    pub(crate) mgr: Manager,
+    pub(crate) protocol: Box<dyn CoherenceProtocol>,
+    pub(crate) scheduler: Scheduler,
+    /// In-flight accelerator calls, one at most per device.
+    pub(crate) pending: BTreeMap<DeviceId, PendingCall>,
+    cuda_initialized: bool,
+    next_session: u64,
+}
+
+impl State {
+    pub(crate) fn new(platform: Platform, config: GmacConfig) -> Self {
+        let device_count = platform.device_count();
+        let protocol = make(config.protocol);
+        let mgr = Manager::new(config.lookup);
+        State {
+            rt: Runtime::new(platform, config),
+            mgr,
+            protocol,
+            scheduler: Scheduler::new(SchedPolicy::Fixed(DeviceId(0)), device_count),
+            pending: BTreeMap::new(),
+            cuda_initialized: false,
+            next_session: 0,
+        }
+    }
+
+    /// Allocates the next session identity.
+    pub(crate) fn next_session_id(&mut self) -> SessionId {
+        let id = SessionId(self.next_session);
+        self.next_session += 1;
+        id
+    }
+
+    fn ensure_cuda_init(&mut self) {
+        if !self.cuda_initialized {
+            self.cuda_initialized = true;
+            if self.rt.config.aal == AalLayer::Runtime {
+                // The CUDA run-time layer pays a one-time context
+                // initialisation; the driver layer lets us "discard CUDA
+                // initialization time" (paper §5).
+                let cost = self.rt.config.costs.cuda_init;
+                self.rt.charge(Category::CudaMalloc, cost);
+            }
+        }
+    }
+
+    // ----- allocation (Table 1) --------------------------------------------
+
+    /// `adsmAlloc(size)`: session affinity overrides the scheduler's
+    /// placement policy.
+    pub(crate) fn alloc(&mut self, view: SessionView, size: u64) -> GmacResult<SharedPtr> {
+        let dev = view
+            .affinity
+            .unwrap_or_else(|| self.scheduler.device_for_alloc());
+        self.alloc_on(dev, size)
+    }
+
+    pub(crate) fn alloc_on(&mut self, dev: DeviceId, size: u64) -> GmacResult<SharedPtr> {
+        // Validate the device before any charge: a bogus id (an unchecked
+        // session affinity) must not desync the time ledger.
+        self.rt.platform.device(dev)?;
+        self.ensure_cuda_init();
+        let alloc_base = self.rt.config.costs.alloc_base;
+        self.rt.charge(Category::Malloc, alloc_base);
+        let size = VAddr(size.max(1)).page_up().0;
+        // 1. Accelerator memory first (its allocator dictates the address).
+        let dev_addr = self.rt.platform.dev_alloc(dev, size)?;
+        // 2. Mirror the same numeric range in system memory — the paper's
+        //    fixed-address mmap trick (§4.2).
+        let addr = VAddr(dev_addr.0);
+        let initial = self.protocol.initial_state();
+        let region = match self.rt.vm.map_fixed(addr, size, initial.protection()) {
+            Ok(region) => region,
+            Err(MmuError::Overlap { .. }) => {
+                self.rt.platform.dev_free(dev, dev_addr)?;
+                return Err(GmacError::AddressCollision(addr));
+            }
+            Err(e) => return Err(e.into()),
+        };
+        self.finish_alloc(dev, dev_addr, addr, size, region, initial)
+    }
+
+    pub(crate) fn safe_alloc(&mut self, view: SessionView, size: u64) -> GmacResult<SharedPtr> {
+        let dev = view
+            .affinity
+            .unwrap_or_else(|| self.scheduler.device_for_alloc());
+        self.safe_alloc_on(dev, size)
+    }
+
+    pub(crate) fn safe_alloc_on(&mut self, dev: DeviceId, size: u64) -> GmacResult<SharedPtr> {
+        self.rt.platform.device(dev)?;
+        self.ensure_cuda_init();
+        let alloc_base = self.rt.config.costs.alloc_base;
+        self.rt.charge(Category::Malloc, alloc_base);
+        let size = VAddr(size.max(1)).page_up().0;
+        let dev_addr = self.rt.platform.dev_alloc(dev, size)?;
+        let initial = self.protocol.initial_state();
+        let (region, addr) = self.rt.vm.map_anywhere(size, initial.protection())?;
+        self.finish_alloc(dev, dev_addr, addr, size, region, initial)
+    }
+
+    fn finish_alloc(
+        &mut self,
+        dev: DeviceId,
+        dev_addr: DevAddr,
+        addr: VAddr,
+        size: u64,
+        region: softmmu::RegionId,
+        initial: BlockState,
+    ) -> GmacResult<SharedPtr> {
+        let block_size = self.protocol.block_size_for(&self.rt.config, size);
+        let id = self.mgr.next_id();
+        let obj = SharedObject::new(id, addr, size, dev, dev_addr, region, block_size, initial);
+        self.mgr.insert(obj);
+        self.protocol.on_alloc(&mut self.rt, &mut self.mgr, addr)?;
+        Ok(SharedPtr::new(addr))
+    }
+
+    /// `adsmFree(addr)`.
+    ///
+    /// Failure paths charge **nothing**: the old code charged the free cost
+    /// before looking the object up, so a failed free silently desynced the
+    /// time ledger. Objects referenced by a still-pending call are rejected
+    /// with [`GmacError::ObjectInUse`] instead of being torn down under the
+    /// kernel.
+    pub(crate) fn free(&mut self, ptr: SharedPtr) -> GmacResult<()> {
+        let addr = self
+            .mgr
+            .find(ptr.addr())
+            .ok_or(GmacError::NotShared(ptr.addr()))?
+            .addr();
+        for (&dev, call) in &self.pending {
+            if call.objects.contains(&addr) {
+                return Err(GmacError::ObjectInUse { addr, dev });
+            }
+        }
+        let free_base = self.rt.config.costs.free_base;
+        self.rt.charge(Category::Free, free_base);
+        let obj = self.mgr.remove(addr).expect("object found above");
+        self.protocol.on_free(&mut self.rt, &obj)?;
+        self.rt.vm.unmap_region(obj.region())?;
+        self.rt.platform.dev_free(obj.device(), obj.dev_addr())?;
+        Ok(())
+    }
+
+    /// [`Self::free`] gated on allocation identity: frees only if the
+    /// object at `ptr` is still the allocation `id` names. RAII handles
+    /// ([`crate::Shared`]) use this so that a manually-freed-and-reused
+    /// address (the device allocator is first-fit) cannot make a late drop
+    /// tear down a stranger's object.
+    pub(crate) fn free_exact(&mut self, ptr: SharedPtr, id: crate::ObjectId) -> GmacResult<()> {
+        match self.mgr.find(ptr.addr()) {
+            Some(obj) if obj.id() == id => self.free(ptr),
+            _ => Err(GmacError::NotShared(ptr.addr())),
+        }
+    }
+
+    // ----- kernel execution (Table 1) --------------------------------------
+
+    /// `adsmCall(kernel)` with the §4.3 write-set annotation.
+    pub(crate) fn call_annotated(
+        &mut self,
+        view: SessionView,
+        kernel: &str,
+        dims: LaunchDims,
+        params: &[Param],
+        writes: Option<&[SharedPtr]>,
+    ) -> GmacResult<()> {
+        self.ensure_cuda_init();
+        // Resolve the target accelerator from the parameter objects.
+        let mut dev: Option<DeviceId> = None;
+        let mut objects = Vec::new();
+        let mut args = Vec::with_capacity(params.len());
+        for param in params {
+            match param {
+                Param::Shared(ptr) => {
+                    let obj = self
+                        .mgr
+                        .find(ptr.addr())
+                        .ok_or(GmacError::NotShared(ptr.addr()))?;
+                    match dev {
+                        None => dev = Some(obj.device()),
+                        Some(d) if d == obj.device() => {}
+                        Some(_) => return Err(GmacError::MixedDevices),
+                    }
+                    objects.push(obj.addr());
+                    args.push(KernelArg::Ptr(obj.translate(ptr.addr())));
+                }
+                scalar => args.push(scalar.to_scalar_arg().expect("scalar param")),
+            }
+        }
+        let dev = dev
+            .or(view.affinity)
+            .unwrap_or_else(|| self.scheduler.default_device());
+
+        // Validate device and kernel before any charge or release: a failed
+        // call must neither desync the time ledger nor half-run the release
+        // side of the consistency protocol.
+        self.rt.platform.device(dev)?;
+        self.rt.platform.kernel(kernel)?;
+
+        // One un-synced call per accelerator: a different session's call in
+        // flight on this device is a hard error, not an implicit join.
+        if let Some(call) = self.pending.get(&dev) {
+            if call.session != view.id {
+                return Err(GmacError::DeviceBusy {
+                    dev,
+                    owner: call.session,
+                });
+            }
+        }
+
+        // Release-consistency: the CPU releases shared objects at the call
+        // boundary (§3.3).
+        let call_cost = self.rt.config.costs.call_per_object * self.mgr.len() as u64;
+        self.rt.charge(Category::Launch, call_cost);
+        let writes: Option<Vec<VAddr>> = writes.map(|ptrs| {
+            ptrs.iter()
+                .filter_map(|p| self.mgr.find(p.addr()).map(|o| o.addr()))
+                .collect()
+        });
+        self.protocol
+            .release(&mut self.rt, &mut self.mgr, dev, writes.as_deref())?;
+        // Explicit join point: eager evictions and the release flush run as
+        // asynchronous DMA jobs; the kernel must not start until the device
+        // holds every byte the CPU wrote.
+        self.rt.join_dma(dev)?;
+
+        let stream = StreamId(0);
+        self.rt.platform.launch(dev, stream, kernel, dims, &args)?;
+        // Same-session back-to-back calls on one device stack on the stream
+        // (it serialises them); the pending entry accumulates the union of
+        // referenced objects so `free` stays guarded for all of them.
+        let entry = self.pending.entry(dev).or_insert(PendingCall {
+            session: view.id,
+            stream,
+            objects: Vec::new(),
+        });
+        for addr in objects {
+            if !entry.objects.contains(&addr) {
+                entry.objects.push(addr);
+            }
+        }
+        Ok(())
+    }
+
+    /// `adsmSync()`: joins every call in flight that belongs to `view`'s
+    /// session, acquiring the shared objects of each device back for the
+    /// CPU.
+    pub(crate) fn sync(&mut self, view: SessionView) -> GmacResult<()> {
+        let devices: Vec<DeviceId> = self
+            .pending
+            .iter()
+            .filter(|(_, call)| call.session == view.id)
+            .map(|(&dev, _)| dev)
+            .collect();
+        if devices.is_empty() {
+            return Err(GmacError::NothingToSync);
+        }
+        for dev in devices {
+            self.sync_one(dev)?;
+        }
+        Ok(())
+    }
+
+    /// Joins the pending call on a single device (session-checked).
+    pub(crate) fn sync_device(&mut self, view: SessionView, dev: DeviceId) -> GmacResult<()> {
+        match self.pending.get(&dev) {
+            Some(call) if call.session == view.id => self.sync_one(dev),
+            _ => Err(GmacError::NothingToSync),
+        }
+    }
+
+    fn sync_one(&mut self, dev: DeviceId) -> GmacResult<()> {
+        let call = self.pending.remove(&dev).ok_or(GmacError::NothingToSync)?;
+        let sync_base = self.rt.config.costs.sync_base;
+        self.rt.charge(Category::Sync, sync_base);
+        self.rt.platform.sync_stream(dev, call.stream)?;
+        self.protocol.acquire(&mut self.rt, &mut self.mgr, dev)?;
+        Ok(())
+    }
+
+    /// `adsmSafe(address)`.
+    pub(crate) fn translate(&self, ptr: SharedPtr) -> GmacResult<DevAddr> {
+        let obj = self
+            .mgr
+            .find(ptr.addr())
+            .ok_or(GmacError::NotShared(ptr.addr()))?;
+        Ok(obj.translate(ptr.addr()))
+    }
+
+    // ----- transparent CPU access -------------------------------------------
+
+    pub(crate) fn load<T: Scalar>(&mut self, ptr: SharedPtr) -> GmacResult<T> {
+        self.access_checked(ptr, T::SIZE as u64, AccessKind::Read)?;
+        self.rt.platform.cpu_touch(T::SIZE as u64);
+        Ok(self.rt.vm.load::<T>(ptr.addr())?)
+    }
+
+    pub(crate) fn store<T: Scalar>(&mut self, ptr: SharedPtr, value: T) -> GmacResult<()> {
+        self.access_checked(ptr, T::SIZE as u64, AccessKind::Write)?;
+        self.rt.platform.cpu_touch(T::SIZE as u64);
+        Ok(self.rt.vm.store(ptr.addr(), value)?)
+    }
+
+    pub(crate) fn load_slice<T: Scalar>(&mut self, ptr: SharedPtr, n: usize) -> GmacResult<Vec<T>> {
+        let bytes = self.shared_read(ptr, n as u64 * T::SIZE as u64)?;
+        Ok(softmmu::from_bytes(&bytes))
+    }
+
+    pub(crate) fn store_slice<T: Scalar>(
+        &mut self,
+        ptr: SharedPtr,
+        values: &[T],
+    ) -> GmacResult<()> {
+        self.shared_write(ptr, &softmmu::to_bytes(values))
+    }
+
+    /// Single checked access with the fault-retry loop (the paper's signal
+    /// handler protocol, §4.3).
+    fn access_checked(&mut self, ptr: SharedPtr, len: u64, kind: AccessKind) -> GmacResult<()> {
+        // One fault can occur per block the access spans; anything beyond
+        // that means the protocol failed to make progress.
+        let mut budget = 4 + len / softmmu::PAGE_SIZE;
+        loop {
+            match self.rt.vm.check(ptr.addr(), len, kind) {
+                Ok(()) => return Ok(()),
+                Err(MmuError::Fault(fault)) => {
+                    if budget == 0 {
+                        return Err(GmacError::UnresolvedFault(fault.to_string()));
+                    }
+                    budget -= 1;
+                    self.handle_fault(fault.addr, kind)?;
+                }
+                Err(MmuError::Unmapped(a)) => return Err(GmacError::NotShared(a)),
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// The "signal handler": charge delivery + lookup, then let the protocol
+    /// resolve the faulting block.
+    fn handle_fault(&mut self, fault_addr: VAddr, kind: AccessKind) -> GmacResult<()> {
+        let obj = self
+            .mgr
+            .find(fault_addr)
+            .ok_or(GmacError::NotShared(fault_addr))?;
+        let start = obj.addr();
+        let offset = fault_addr - start;
+        let steps = self.mgr.lookup_steps();
+        self.rt.charge_signal(steps, kind == AccessKind::Write);
+        match kind {
+            AccessKind::Read => {
+                self.protocol
+                    .prepare_read(&mut self.rt, &mut self.mgr, start, offset, 1)
+            }
+            AccessKind::Write => {
+                self.protocol
+                    .prepare_write(&mut self.rt, &mut self.mgr, start, offset, 1)
+            }
+        }
+    }
+
+    /// Shared read used by slice loads, bulk ops and I/O: pay one fault per
+    /// touched block that is not readable, resolve the whole range through
+    /// the protocol in a single batched call (runs of adjacent invalid
+    /// blocks coalesce into single DMA jobs), then copy.
+    pub(crate) fn shared_read(&mut self, ptr: SharedPtr, len: u64) -> GmacResult<Vec<u8>> {
+        self.resolve_read_range(ptr, len)?;
+        self.read_resolved(ptr, len)
+    }
+
+    /// Copies `[ptr, ptr+len)` out of system memory, assuming the caller
+    /// already made the range readable via [`Self::resolve_read_range`]
+    /// (the I/O interposition resolves a whole operation's extent once,
+    /// then drains it chunk by chunk through this).
+    pub(crate) fn read_resolved(&mut self, ptr: SharedPtr, len: u64) -> GmacResult<Vec<u8>> {
+        let obj = self
+            .mgr
+            .find(ptr.addr())
+            .ok_or(GmacError::NotShared(ptr.addr()))?;
+        let start = obj.addr();
+        let base_offset = ptr.addr() - start;
+        let mut out = vec![0u8; len as usize];
+        self.rt.vm.read_raw(start + base_offset, &mut out)?;
+        // The application's own CPU time to traverse the range.
+        self.rt.platform.cpu_touch(len);
+        Ok(out)
+    }
+
+    /// Makes `[ptr, ptr+len)` CPU-readable: charges one fault-equivalent per
+    /// invalid block the range touches (an element loop would fault on the
+    /// first touch of each), then lets the protocol fetch them all in one
+    /// planned, coalesced batch.
+    pub(crate) fn resolve_read_range(&mut self, ptr: SharedPtr, len: u64) -> GmacResult<()> {
+        let obj = self
+            .mgr
+            .find(ptr.addr())
+            .ok_or(GmacError::NotShared(ptr.addr()))?;
+        let start = obj.addr();
+        let base_offset = ptr.addr() - start;
+        Runtime::check_bounds(obj, base_offset, len)?;
+        let invalid = obj
+            .blocks_overlapping(base_offset, len)
+            .filter(|&idx| obj.block(idx).state == BlockState::Invalid)
+            .count();
+        if invalid > 0 {
+            let steps = self.mgr.lookup_steps();
+            for _ in 0..invalid {
+                self.rt.charge_signal(steps, false);
+            }
+            self.protocol
+                .prepare_read(&mut self.rt, &mut self.mgr, start, base_offset, len)?;
+        }
+        Ok(())
+    }
+
+    /// Block-chunked shared write used by slice stores, bulk ops and I/O:
+    /// per touched block, pay one fault if the block is not writable,
+    /// prepare it, then immediately land the bytes (required ordering — see
+    /// [`CoherenceProtocol::prepare_write`]).
+    pub(crate) fn shared_write(&mut self, ptr: SharedPtr, bytes: &[u8]) -> GmacResult<()> {
+        let len = bytes.len() as u64;
+        let obj = self
+            .mgr
+            .find(ptr.addr())
+            .ok_or(GmacError::NotShared(ptr.addr()))?;
+        let start = obj.addr();
+        let base_offset = ptr.addr() - start;
+        Runtime::check_bounds(obj, base_offset, len)?;
+        let blocks = obj.blocks_overlapping(base_offset, len);
+        for idx in blocks {
+            let obj = self.mgr.find(start).expect("object lives across loop");
+            let block = *obj.block(idx);
+            let lo = block.offset.max(base_offset);
+            let hi = (block.offset + block.len).min(base_offset + len);
+            if block.state != BlockState::Dirty {
+                let steps = self.mgr.lookup_steps();
+                self.rt.charge_signal(steps, true);
+                self.protocol
+                    .prepare_write(&mut self.rt, &mut self.mgr, start, lo, hi - lo)?;
+            }
+            let src = &bytes[(lo - base_offset) as usize..(hi - base_offset) as usize];
+            self.rt.vm.write_raw(start + lo, src)?;
+            // The application's own CPU time to produce/copy the chunk.
+            self.rt.platform.cpu_touch(hi - lo);
+        }
+        Ok(())
+    }
+
+    // ----- introspection ----------------------------------------------------
+
+    pub(crate) fn counters(&self) -> Counters {
+        self.rt.counters()
+    }
+
+    pub(crate) fn config(&self) -> &GmacConfig {
+        self.rt.config()
+    }
+
+    pub(crate) fn object_count(&self) -> usize {
+        self.mgr.len()
+    }
+
+    pub(crate) fn object_at(&self, ptr: SharedPtr) -> Option<&SharedObject> {
+        self.mgr.find(ptr.addr())
+    }
+
+    pub(crate) fn object_addrs(&self) -> Vec<VAddr> {
+        self.mgr.addrs()
+    }
+
+    pub(crate) fn dirty_block_count(&self) -> usize {
+        self.protocol.dirty_blocks(&self.mgr)
+    }
+
+    /// True when `view`'s session has at least one call in flight.
+    pub(crate) fn has_pending_call(&self, view: SessionView) -> bool {
+        self.pending.values().any(|c| c.session == view.id)
+    }
+
+    /// Devices with any call in flight, in id order.
+    pub(crate) fn pending_devices(&self) -> Vec<DeviceId> {
+        self.pending.keys().copied().collect()
+    }
+}
+
+/// Lock helper: a poisoned lock (a panicking test thread) still yields the
+/// state — the simulator has no invariants that a panic can half-apply
+/// worse than losing the whole process.
+pub(crate) fn lock(inner: &Mutex<State>) -> MutexGuard<'_, State> {
+    inner
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The process-wide GMAC runtime: one shared logical address space between
+/// the host CPU and all accelerators of a platform, shareable across host
+/// threads.
+///
+/// `Gmac` is the owner; threads interact through per-thread
+/// [`Session`] handles. All interior state (platform clock, software MMU,
+/// object registry, coherence protocol, per-device pending calls) lives
+/// behind one lock, so `Gmac` is `Send + Sync` and cloning it is cheap
+/// (reference-counted).
+///
+/// ```
+/// use gmac::{Gmac, GmacConfig, Protocol};
+/// use hetsim::Platform;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let gmac = Gmac::new(
+///     Platform::desktop_g280(),
+///     GmacConfig::default().protocol(Protocol::Rolling),
+/// );
+/// let session = gmac.session();
+/// let v = session.alloc_typed::<f32>(1024)?; // one pointer, CPU *and* GPU
+/// v.write(0, 42.0)?;
+/// assert_eq!(v.read(0)?, 42.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gmac {
+    inner: Arc<Mutex<State>>,
+}
+
+impl Gmac {
+    /// Creates the runtime over a simulated platform.
+    pub fn new(platform: Platform, config: GmacConfig) -> Self {
+        Gmac {
+            inner: Arc::new(Mutex::new(State::new(platform, config))),
+        }
+    }
+
+    /// Re-wraps shared state (the [`Session::gmac`] accessor).
+    pub(crate) fn from_state(inner: Arc<Mutex<State>>) -> Self {
+        Gmac { inner }
+    }
+
+    /// Opens a new session with no device affinity: allocations follow the
+    /// scheduler policy, kernels follow their data.
+    pub fn session(&self) -> Session {
+        self.session_with(None)
+    }
+
+    /// Opens a session pinned to accelerator `dev`: its allocations land on
+    /// `dev` and data-free kernels default to it. The paper's "execution
+    /// thread attached to an accelerator" view (§3.2).
+    pub fn session_on(&self, dev: DeviceId) -> Session {
+        self.session_with(Some(dev))
+    }
+
+    fn session_with(&self, affinity: Option<DeviceId>) -> Session {
+        let id = lock(&self.inner).next_session_id();
+        Session::new(Arc::clone(&self.inner), SessionView { id, affinity })
+    }
+
+    /// Runs `f` over the simulated platform (kernel registration, file
+    /// setup, clock queries) under the runtime lock.
+    ///
+    /// The runtime lock is **held for the duration of `f` and is not
+    /// reentrant**: calling any `Gmac`/`Session`/`Shared` method (including
+    /// dropping a `Shared<T>` buffer) inside the closure deadlocks.
+    pub fn with_platform<R>(&self, f: impl FnOnce(&mut Platform) -> R) -> R {
+        f(lock(&self.inner).rt.platform_mut())
+    }
+
+    /// Execution-time ledger snapshot (Figure 10 categories).
+    pub fn ledger(&self) -> TimeLedger {
+        lock(&self.inner).rt.platform().ledger().clone()
+    }
+
+    /// Transfer-ledger snapshot (Figure 8 input).
+    pub fn transfers(&self) -> TransferLedger {
+        *lock(&self.inner).rt.platform().transfers()
+    }
+
+    /// Runtime event counters (faults, fetches, evictions).
+    pub fn counters(&self) -> Counters {
+        lock(&self.inner).counters()
+    }
+
+    /// Active configuration (clone).
+    pub fn config(&self) -> GmacConfig {
+        lock(&self.inner).config().clone()
+    }
+
+    /// Virtual time elapsed since platform start.
+    pub fn elapsed(&self) -> hetsim::Nanos {
+        lock(&self.inner).rt.platform().elapsed()
+    }
+
+    /// Number of live shared objects.
+    pub fn object_count(&self) -> usize {
+        lock(&self.inner).object_count()
+    }
+
+    /// Number of accelerators on the platform.
+    pub fn device_count(&self) -> usize {
+        lock(&self.inner).scheduler.device_count()
+    }
+
+    /// Number of blocks currently dirty, per the protocol's bookkeeping.
+    pub fn dirty_block_count(&self) -> usize {
+        lock(&self.inner).dirty_block_count()
+    }
+
+    /// Devices with a call in flight (any session), in id order.
+    pub fn pending_devices(&self) -> Vec<DeviceId> {
+        lock(&self.inner).pending_devices()
+    }
+
+    /// Changes the allocation-placement policy for sessions without
+    /// affinity.
+    pub fn set_sched_policy(&self, policy: SchedPolicy) {
+        lock(&self.inner).scheduler.set_policy(policy);
+    }
+
+    /// Consumes the runtime, returning the platform for final measurements.
+    ///
+    /// Fails (returns `self`) while other handles — clones, sessions or
+    /// typed buffers — are still alive.
+    pub fn try_into_platform(self) -> Result<Platform, Gmac> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(mutex) => Ok(mutex
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .rt
+                .platform),
+            Err(inner) => Err(Gmac { inner }),
+        }
+    }
+
+    /// [`Self::try_into_platform`], panicking variant.
+    ///
+    /// # Panics
+    /// Panics when sessions, typed buffers or clones of the runtime are
+    /// still alive.
+    pub fn into_platform(self) -> Platform {
+        self.try_into_platform()
+            .map_err(|_| "Gmac::into_platform with live sessions/buffers/clones")
+            .unwrap()
+    }
+
+    pub(crate) fn state(&self) -> &Arc<Mutex<State>> {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Protocol;
+
+    fn gmac() -> Gmac {
+        Gmac::new(Platform::desktop_g280(), GmacConfig::default())
+    }
+
+    #[test]
+    fn runtime_and_session_are_sendable() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        fn assert_send<T: Send>() {}
+        assert_send_sync::<Gmac>();
+        assert_send_sync::<Session>();
+        assert_send::<crate::typed::Shared<f32>>();
+    }
+
+    #[test]
+    fn sessions_get_distinct_ids() {
+        let g = gmac();
+        let a = g.session();
+        let b = g.session_on(DeviceId(0));
+        assert_ne!(a.id(), b.id());
+        assert_eq!(b.affinity(), Some(DeviceId(0)));
+        assert_eq!(a.affinity(), None);
+    }
+
+    #[test]
+    fn into_platform_requires_unique_handle() {
+        let g = gmac();
+        let s = g.session();
+        let g = g.try_into_platform().expect_err("session still alive");
+        drop(s);
+        let p = g.try_into_platform().expect("now unique");
+        assert_eq!(p.device_count(), 1);
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let g = Gmac::new(
+            Platform::desktop_g280(),
+            GmacConfig::default().protocol(Protocol::Lazy),
+        );
+        let g2 = g.clone();
+        let s = g.session();
+        let p = s.alloc(4096).unwrap();
+        assert_eq!(g2.object_count(), 1);
+        s.free(p).unwrap();
+        assert_eq!(g2.object_count(), 0);
+    }
+
+    #[test]
+    fn threads_share_the_runtime() {
+        let g = gmac();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = g.session();
+                std::thread::spawn(move || {
+                    let p = s.alloc(8192).unwrap();
+                    s.store::<u32>(p, 7).unwrap();
+                    assert_eq!(s.load::<u32>(p).unwrap(), 7);
+                    s.free(p).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(g.object_count(), 0);
+    }
+}

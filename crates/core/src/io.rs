@@ -9,22 +9,22 @@
 //! mechanism gives the *illusion of peer DMA*: applications pass shared
 //! pointers straight to `read`/`write`, while the implementation stages
 //! through system memory (as the paper's implementation also does).
+//!
+//! The public surface lives on [`crate::Session`] (and the deprecated
+//! [`crate::Context`] shim); this module holds the shared implementation.
 
-use crate::api::Context;
 use crate::error::{GmacError, GmacResult};
+use crate::gmac::State;
 use crate::ptr::SharedPtr;
 
-impl Context {
+impl State {
     /// Interposed `read()`: reads up to `len` bytes from the simulated file
     /// `name` at `file_offset` directly into shared memory at `ptr`.
     /// Returns the number of bytes read (short at end-of-file).
     ///
     /// Disk time is charged to `IORead`; block-state resolution follows the
     /// coherence protocol exactly as CPU stores would.
-    ///
-    /// # Errors
-    /// Fails for unknown files or foreign pointers.
-    pub fn read_file_to_shared(
+    pub(crate) fn read_file_to_shared(
         &mut self,
         name: &str,
         file_offset: u64,
@@ -60,10 +60,7 @@ impl Context {
     /// like any CPU read). Returns bytes written.
     ///
     /// Disk time is charged to `IOWrite`.
-    ///
-    /// # Errors
-    /// Fails for foreign pointers or platform errors.
-    pub fn write_shared_to_file(
+    pub(crate) fn write_shared_to_file(
         &mut self,
         name: &str,
         file_offset: u64,
@@ -103,41 +100,39 @@ impl Context {
 #[cfg(test)]
 mod tests {
     use crate::config::{GmacConfig, Protocol};
-    use crate::Context;
+    use crate::{Gmac, Session};
     use hetsim::{Category, Platform};
 
-    fn ctx(protocol: Protocol) -> Context {
-        let platform = Platform::desktop_g280();
-        Context::new(
-            platform,
+    fn session(protocol: Protocol) -> Session {
+        Gmac::new(
+            Platform::desktop_g280(),
             GmacConfig::default()
                 .protocol(protocol)
                 .block_size(64 * 1024),
         )
+        .session()
     }
 
     #[test]
     fn file_roundtrip_through_shared_memory() {
         for protocol in Protocol::ALL {
-            let mut c = ctx(protocol);
+            let s = session(protocol);
             let data: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
-            c.platform_mut().fs_mut().create("in.dat", data.clone());
-            let p = c.alloc(data.len() as u64).unwrap();
-            let n = c
+            s.with_platform(|p| p.fs_mut().create("in.dat", data.clone()));
+            let p = s.alloc(data.len() as u64).unwrap();
+            let n = s
                 .read_file_to_shared("in.dat", 0, p, data.len() as u64)
                 .unwrap();
             assert_eq!(n, data.len() as u64, "{protocol}");
-            let out = c.load_slice::<u8>(p, data.len()).unwrap();
+            let out = s.load_slice::<u8>(p, data.len()).unwrap();
             assert_eq!(out, data, "{protocol}");
 
-            let m = c
+            let m = s
                 .write_shared_to_file("out.dat", 0, p, data.len() as u64)
                 .unwrap();
             assert_eq!(m, data.len() as u64);
             let mut copied = vec![0u8; data.len()];
-            c.platform_mut()
-                .fs_mut()
-                .read_at("out.dat", 0, &mut copied)
+            s.with_platform(|pf| pf.fs_mut().read_at("out.dat", 0, &mut copied))
                 .unwrap();
             assert_eq!(copied, data, "{protocol}");
         }
@@ -145,59 +140,51 @@ mod tests {
 
     #[test]
     fn short_read_at_eof() {
-        let mut c = ctx(Protocol::Rolling);
-        c.platform_mut()
-            .fs_mut()
-            .create("small.dat", vec![7u8; 1000]);
-        let p = c.alloc(4096).unwrap();
-        let n = c.read_file_to_shared("small.dat", 0, p, 4096).unwrap();
+        let s = session(Protocol::Rolling);
+        s.with_platform(|p| p.fs_mut().create("small.dat", vec![7u8; 1000]));
+        let p = s.alloc(4096).unwrap();
+        let n = s.read_file_to_shared("small.dat", 0, p, 4096).unwrap();
         assert_eq!(n, 1000);
-        assert_eq!(c.load_slice::<u8>(p, 1000).unwrap(), vec![7u8; 1000]);
+        assert_eq!(s.load_slice::<u8>(p, 1000).unwrap(), vec![7u8; 1000]);
     }
 
     #[test]
     fn io_charges_io_categories() {
-        let mut c = ctx(Protocol::Rolling);
-        c.platform_mut()
-            .fs_mut()
-            .create("in.dat", vec![1u8; 256 * 1024]);
-        let p = c.alloc(256 * 1024).unwrap();
-        c.read_file_to_shared("in.dat", 0, p, 256 * 1024).unwrap();
-        assert!(c.ledger().get(Category::IoRead).as_nanos() > 0);
-        c.write_shared_to_file("out.dat", 0, p, 256 * 1024).unwrap();
-        assert!(c.ledger().get(Category::IoWrite).as_nanos() > 0);
+        let s = session(Protocol::Rolling);
+        s.with_platform(|p| p.fs_mut().create("in.dat", vec![1u8; 256 * 1024]));
+        let p = s.alloc(256 * 1024).unwrap();
+        s.read_file_to_shared("in.dat", 0, p, 256 * 1024).unwrap();
+        assert!(s.ledger().get(Category::IoRead).as_nanos() > 0);
+        s.write_shared_to_file("out.dat", 0, p, 256 * 1024).unwrap();
+        assert!(s.ledger().get(Category::IoWrite).as_nanos() > 0);
     }
 
     #[test]
     fn write_of_kernel_output_fetches_from_device() {
         // After a call, blocks are invalid; writing them to disk must pull
         // the kernel's bytes, not stale host bytes.
-        let mut c = ctx(Protocol::Rolling);
-        let p = c.alloc(128 * 1024).unwrap();
-        c.store_slice::<u8>(p, &vec![9u8; 128 * 1024]).unwrap();
+        let s = session(Protocol::Rolling);
+        let p = s.alloc(128 * 1024).unwrap();
+        s.store_slice::<u8>(p, &vec![9u8; 128 * 1024]).unwrap();
         // Pretend a kernel ran: release everything (no kernel registered, so
         // drive the protocol directly through a store-free path).
-        {
-            let (rt, mgr, proto) = c.parts();
-            proto.release(rt, mgr, hetsim::DeviceId(0), None).unwrap();
-        }
-        let before = c.transfers().d2h_bytes;
-        c.write_shared_to_file("dump.bin", 0, p, 128 * 1024)
+        s.with_parts(|rt, mgr, proto| proto.release(rt, mgr, hetsim::DeviceId(0), None))
             .unwrap();
-        assert_eq!(c.transfers().d2h_bytes - before, 128 * 1024);
+        let before = s.transfers().d2h_bytes;
+        s.write_shared_to_file("dump.bin", 0, p, 128 * 1024)
+            .unwrap();
+        assert_eq!(s.transfers().d2h_bytes - before, 128 * 1024);
         let mut out = vec![0u8; 128 * 1024];
-        c.platform_mut()
-            .fs_mut()
-            .read_at("dump.bin", 0, &mut out)
+        s.with_platform(|pf| pf.fs_mut().read_at("dump.bin", 0, &mut out))
             .unwrap();
         assert!(out.iter().all(|&b| b == 9));
     }
 
     #[test]
     fn foreign_pointer_rejected() {
-        let mut c = ctx(Protocol::Rolling);
-        let p = c.alloc(4096).unwrap();
-        c.free(p).unwrap();
-        assert!(c.read_file_to_shared("x", 0, p, 16).is_err());
+        let s = session(Protocol::Rolling);
+        let p = s.alloc(4096).unwrap();
+        s.free(p).unwrap();
+        assert!(s.read_file_to_shared("x", 0, p, 16).is_err());
     }
 }

@@ -12,32 +12,42 @@
 //!
 //! ## The API (paper Table 1)
 //!
+//! The runtime is split in two: a process-wide [`Gmac`] (platform + software
+//! MMU + object registry + coherence protocol behind one lock) and cheap
+//! per-thread [`Session`] handles that carry the Table 1 calls. Kernel calls
+//! are tracked per accelerator, so sessions driving different devices each
+//! keep a call in flight.
+//!
 //! ```
-//! use gmac::{Context, GmacConfig, Protocol};
+//! use gmac::{Gmac, GmacConfig, Protocol};
 //! use hetsim::Platform;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let mut ctx = Context::new(
+//! let gmac = Gmac::new(
 //!     Platform::desktop_g280(),
 //!     GmacConfig::default().protocol(Protocol::Rolling),
 //! );
+//! let session = gmac.session();
 //!
-//! // adsmAlloc: ONE pointer, valid on CPU and accelerator.
-//! let v = ctx.alloc(1 << 20)?;
+//! // adsmAlloc, typed: ONE pointer, valid on CPU and accelerator.
+//! let v = session.alloc_typed::<f32>(1024)?;
 //!
 //! // The CPU initialises the object directly — no cudaMemcpy anywhere.
-//! ctx.store_slice::<f32>(v, &vec![1.0; 1024])?;
+//! v.write_slice(&vec![1.0; 1024])?;
+//! assert_eq!(v.read(17)?, 1.0);
 //!
-//! // adsmFree releases it.
-//! ctx.free(v)?;
+//! // adsmFree on drop (or explicitly):
+//! v.free()?;
 //! # Ok(())
 //! # }
 //! ```
 //!
-//! Kernels are launched with [`Context::call`] (`adsmCall`) and joined with
-//! [`Context::sync`] (`adsmSync`); shared objects are released to the
+//! Kernels are launched with [`Session::call`] (`adsmCall`) and joined with
+//! [`Session::sync`] (`adsmSync`); shared objects are released to the
 //! accelerator at the call and acquired back by the CPU at the sync — the
-//! implicit release consistency of §3.3.
+//! implicit release consistency of §3.3. The deprecated [`Context`] shim
+//! keeps the old single-threaded surface compiling (see the README
+//! migration guide).
 //!
 //! ## Coherence protocols
 //!
@@ -61,6 +71,7 @@ pub mod api;
 pub mod bulk;
 pub mod config;
 pub mod error;
+pub mod gmac;
 pub mod io;
 pub mod manager;
 pub mod object;
@@ -69,17 +80,23 @@ pub mod ptr;
 pub mod report;
 pub mod runtime;
 pub mod sched;
+pub mod session;
 pub mod state;
 pub mod testutil;
+pub mod typed;
 pub mod xfer;
 
+#[allow(deprecated)]
 pub use api::Context;
 pub use config::{AalLayer, GmacConfig, GmacCosts, LookupKind, Protocol};
 pub use error::{GmacError, GmacResult};
+pub use gmac::Gmac;
 pub use object::{ObjectId, SharedObject};
 pub use ptr::{Param, SharedPtr};
 pub use report::{ObjectReport, Report};
 pub use runtime::Counters;
 pub use sched::{SchedPolicy, Scheduler};
+pub use session::{Session, SessionId};
 pub use state::BlockState;
+pub use typed::Shared;
 pub use xfer::{DmaJob, DmaQueue, Purpose, TransferPlan};

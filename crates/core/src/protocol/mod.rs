@@ -38,7 +38,13 @@ use softmmu::VAddr;
 /// [`Runtime::execute`], which coalesces adjacent ranges into DMA jobs.
 /// Asynchronous release flushes are joined at the `adsmCall` boundary by the
 /// caller ([`Runtime::join_dma`]), not inside the protocol.
-pub trait CoherenceProtocol: std::fmt::Debug {
+///
+/// Release/acquire are *per-device* views: a call boundary on one
+/// accelerator must not disturb objects hosted on another, so that sessions
+/// driving different devices can each hold an un-synced call (the
+/// [`crate::Gmac`]/[`crate::Session`] concurrency model). Protocols are
+/// `Send` because they live inside the shared runtime's interior lock.
+pub trait CoherenceProtocol: std::fmt::Debug + Send {
     /// Which protocol this is.
     fn kind(&self) -> Protocol;
 

@@ -1,9 +1,11 @@
-//! Runtime diagnostics: a structured snapshot of a [`Context`]'s state —
-//! live objects, per-state block counts, traffic, fault counters and the
-//! execution-time break-down — renderable as text. The `gmacProfile`-style
-//! observability a released runtime ships with.
+//! Runtime diagnostics: a structured snapshot of the runtime's state —
+//! live objects, per-state block counts, traffic, fault counters, pending
+//! calls and the execution-time break-down — renderable as text. The
+//! `gmacProfile`-style observability a released runtime ships with.
+//! Available from [`crate::Gmac::report`], [`crate::Session::report`] and
+//! the deprecated `Context::report`.
 
-use crate::api::Context;
+use crate::gmac::State;
 use crate::state::BlockState;
 use hetsim::stats::fmt_bytes;
 use hetsim::Category;
@@ -26,7 +28,7 @@ pub struct ObjectReport {
     pub blocks: (usize, usize, usize),
 }
 
-/// Full context snapshot.
+/// Full runtime snapshot.
 #[derive(Debug, Clone)]
 pub struct Report {
     /// Protocol in use.
@@ -35,6 +37,8 @@ pub struct Report {
     pub objects: Vec<ObjectReport>,
     /// Total dirty blocks according to the protocol's own bookkeeping.
     pub dirty_blocks: usize,
+    /// Devices with an accelerator call in flight, in id order.
+    pub pending_devices: Vec<usize>,
     /// Event counters.
     pub counters: crate::runtime::Counters,
     /// Bytes moved host-to-device.
@@ -56,9 +60,9 @@ pub struct Report {
     pub breakdown: Vec<(&'static str, f64)>,
 }
 
-impl Context {
-    /// Takes a diagnostic snapshot of the context.
-    pub fn report(&self) -> Report {
+impl State {
+    /// Takes a diagnostic snapshot of the runtime.
+    pub(crate) fn report(&self) -> Report {
         let objects = self
             .object_addrs()
             .into_iter()
@@ -76,7 +80,9 @@ impl Context {
                 ),
             })
             .collect();
-        let ledger = self.ledger();
+        let platform = self.rt.platform();
+        let ledger = platform.ledger();
+        let transfers = platform.transfers();
         let total = ledger.total().as_nanos().max(1) as f64;
         let breakdown = Category::ALL
             .iter()
@@ -89,20 +95,39 @@ impl Context {
             protocol: self.config().protocol,
             objects,
             dirty_blocks: self.dirty_block_count(),
+            pending_devices: self.pending_devices().iter().map(|d| d.0).collect(),
             counters: self.counters(),
-            h2d_bytes: self.transfers().h2d_bytes,
-            d2h_bytes: self.transfers().d2h_bytes,
-            h2d_jobs: self.transfers().h2d_count,
-            d2h_jobs: self.transfers().d2h_count,
-            h2d_coalescing: self
-                .transfers()
-                .coalescing_ratio(hetsim::Direction::HostToDevice),
-            d2h_coalescing: self
-                .transfers()
-                .coalescing_ratio(hetsim::Direction::DeviceToHost),
-            elapsed: self.platform().elapsed(),
+            h2d_bytes: transfers.h2d_bytes,
+            d2h_bytes: transfers.d2h_bytes,
+            h2d_jobs: transfers.h2d_count,
+            d2h_jobs: transfers.d2h_count,
+            h2d_coalescing: transfers.coalescing_ratio(hetsim::Direction::HostToDevice),
+            d2h_coalescing: transfers.coalescing_ratio(hetsim::Direction::DeviceToHost),
+            elapsed: platform.elapsed(),
             breakdown,
         }
+    }
+}
+
+impl crate::Gmac {
+    /// Takes a diagnostic snapshot of the runtime.
+    pub fn report(&self) -> Report {
+        crate::gmac::lock(self.state()).report()
+    }
+}
+
+impl crate::Session {
+    /// Takes a diagnostic snapshot of the shared runtime.
+    pub fn report(&self) -> Report {
+        crate::gmac::lock(self.state()).report()
+    }
+}
+
+#[allow(deprecated)]
+impl crate::Context {
+    /// Takes a diagnostic snapshot of the context.
+    pub fn report(&self) -> Report {
+        self.state_ref().report()
     }
 }
 
@@ -110,7 +135,7 @@ impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "GMAC context ({}) — {} elapsed",
+            "GMAC runtime ({}) — {} elapsed",
             self.protocol, self.elapsed
         )?;
         writeln!(
@@ -122,6 +147,17 @@ impl fmt::Display for Report {
             self.counters.faults_read,
             self.counters.faults_write,
         )?;
+        if !self.pending_devices.is_empty() {
+            writeln!(
+                f,
+                "  in flight: {}",
+                self.pending_devices
+                    .iter()
+                    .map(|d| format!("gpu{d}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )?;
+        }
         writeln!(
             f,
             "  traffic: {} H2D / {} D2H   blocks fetched: {}   flushed: {} ({} eager)",
@@ -160,22 +196,26 @@ impl fmt::Display for Report {
 #[cfg(test)]
 mod tests {
     use crate::config::{GmacConfig, Protocol};
-    use crate::Context;
+    use crate::Gmac;
     use hetsim::Platform;
 
+    fn gmac(cfg: GmacConfig) -> Gmac {
+        Gmac::new(Platform::desktop_g280(), cfg)
+    }
+
     #[test]
-    fn report_reflects_context_state() {
-        let mut c = Context::new(
-            Platform::desktop_g280(),
+    fn report_reflects_runtime_state() {
+        let g = gmac(
             GmacConfig::default()
                 .protocol(Protocol::Rolling)
                 .block_size(4096),
         );
-        let a = c.alloc(16 * 4096).unwrap();
-        let _b = c.safe_alloc(4096).unwrap();
-        c.store::<u32>(a, 7).unwrap();
+        let s = g.session();
+        let a = s.alloc(16 * 4096).unwrap();
+        let _b = s.safe_alloc(4096).unwrap();
+        s.store::<u32>(a, 7).unwrap();
 
-        let r = c.report();
+        let r = g.report();
         assert_eq!(r.protocol, Protocol::Rolling);
         assert_eq!(r.objects.len(), 2);
         assert!(
@@ -184,33 +224,34 @@ mod tests {
         );
         assert_eq!(r.dirty_blocks, 1);
         assert_eq!(r.counters.faults_write, 1);
+        assert!(r.pending_devices.is_empty());
         // One object has 16 blocks: 15 read-only + 1 dirty.
         let big = r.objects.iter().find(|o| o.size == 16 * 4096).unwrap();
         assert_eq!(big.blocks, (0, 15, 1));
         assert!(r.elapsed.as_nanos() > 0);
 
         let text = r.to_string();
-        assert!(text.contains("GMAC context (GMAC Rolling)"));
+        assert!(text.contains("GMAC runtime (GMAC Rolling)"));
         assert!(text.contains("objects: 2"));
         assert!(text.contains("blocks(inv/ro/dirty): 0/15/1"));
         assert!(text.contains("dma jobs:"));
+        // Session snapshot agrees with the runtime snapshot.
+        assert_eq!(s.report().objects.len(), 2);
     }
 
     #[test]
     fn report_exposes_transfer_engine_metrics() {
-        let mut c = Context::new(
-            Platform::desktop_g280(),
+        let g = gmac(
             GmacConfig::default()
                 .protocol(Protocol::Rolling)
                 .block_size(4096),
         );
-        let a = c.alloc(8 * 4096).unwrap();
-        c.store_slice::<u8>(a, &vec![5u8; 8 * 4096]).unwrap();
-        {
-            let (rt, mgr, proto) = c.parts();
-            proto.release(rt, mgr, hetsim::DeviceId(0), None).unwrap();
-        }
-        let r = c.report();
+        let s = g.session();
+        let a = s.alloc(8 * 4096).unwrap();
+        s.store_slice::<u8>(a, &vec![5u8; 8 * 4096]).unwrap();
+        s.with_parts(|rt, mgr, proto| proto.release(rt, mgr, hetsim::DeviceId(0), None))
+            .unwrap();
+        let r = g.report();
         assert!(r.h2d_jobs > 0);
         assert!(
             r.h2d_coalescing >= 1.0,
@@ -221,19 +262,34 @@ mod tests {
     }
 
     #[test]
+    fn report_shows_pending_devices() {
+        let g = gmac(GmacConfig::default());
+        g.with_platform(|p| p.register_kernel(std::sync::Arc::new(crate::testutil::NopKernel)));
+        let s = g.session();
+        s.call("nop", hetsim::LaunchDims::for_elements(1, 1), &[])
+            .unwrap();
+        let r = g.report();
+        assert_eq!(r.pending_devices, vec![0]);
+        assert!(r.to_string().contains("in flight: gpu0"));
+        s.sync().unwrap();
+        assert!(g.report().pending_devices.is_empty());
+    }
+
+    #[test]
     fn breakdown_fractions_sum_to_one() {
-        let mut c = Context::new(Platform::desktop_g280(), GmacConfig::default());
-        let p = c.alloc(4096).unwrap();
-        c.store::<u8>(p, 1).unwrap();
-        let r = c.report();
+        let g = gmac(GmacConfig::default());
+        let s = g.session();
+        let p = s.alloc(4096).unwrap();
+        s.store::<u8>(p, 1).unwrap();
+        let r = g.report();
         let sum: f64 = r.breakdown.iter().map(|(_, f)| f).sum();
         assert!((sum - 1.0).abs() < 1e-9, "fractions sum to {sum}");
     }
 
     #[test]
-    fn empty_context_report_is_wellformed() {
-        let c = Context::new(Platform::desktop_g280(), GmacConfig::default());
-        let r = c.report();
+    fn empty_runtime_report_is_wellformed() {
+        let g = gmac(GmacConfig::default());
+        let r = g.report();
         assert!(r.objects.is_empty());
         assert_eq!(r.dirty_blocks, 0);
         assert!(!r.to_string().is_empty());

@@ -2,7 +2,7 @@
 //!
 //! The paper's kernel scheduler "selects the most appropriate accelerator for
 //! execution of a given kernel" (§4.1) and defers detailed policies to
-//! Jimenez et al. [29]. This module provides the two policies the
+//! Jimenez et al. \[29\]. This module provides the two policies the
 //! experiments need: pinning everything to one device (the single-GPU
 //! platform of §5) and round-robin placement for multi-accelerator tests.
 
@@ -39,6 +39,14 @@ impl Scheduler {
     /// Active policy.
     pub fn policy(&self) -> SchedPolicy {
         self.policy
+    }
+
+    /// Number of accelerators the scheduler places across (surfaced as
+    /// [`crate::Gmac::device_count`]). Session affinities bypass the
+    /// policy; a bogus affinity device surfaces as `NoSuchDevice` at the
+    /// first allocation or call, charged nothing.
+    pub fn device_count(&self) -> usize {
+        self.device_count
     }
 
     /// Replaces the policy.

@@ -8,8 +8,29 @@ use crate::manager::Manager;
 use crate::object::SharedObject;
 use crate::protocol::{make, CoherenceProtocol};
 use crate::runtime::Runtime;
-use hetsim::{DeviceId, Platform};
+use hetsim::{
+    Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult,
+};
 use softmmu::{Protection, VAddr};
+
+/// A kernel that does nothing (pending-call and scheduling tests).
+#[derive(Debug)]
+pub struct NopKernel;
+
+impl Kernel for NopKernel {
+    fn name(&self) -> &str {
+        "nop"
+    }
+
+    fn execute(
+        &self,
+        _mem: &mut DeviceMemory,
+        _dims: LaunchDims,
+        _args: Args<'_>,
+    ) -> SimResult<KernelProfile> {
+        Ok(KernelProfile::new(1.0, 0.0))
+    }
+}
 
 /// Builds a runtime + manager + protocol with one shared object per entry of
 /// `sizes` (bytes, page-multiples), mimicking what `Context::alloc` does.

@@ -1,7 +1,7 @@
 //! Edge cases of the GMAC API surface: degenerate sizes, repeated calls,
 //! object lifetime corner cases, and cross-protocol state checks.
 
-use gmac::{BlockState, Context, GmacConfig, GmacError, Param, Protocol};
+use gmac::{BlockState, Gmac, GmacConfig, GmacError, Param, Protocol, Session};
 use hetsim::kernel::{read_f32_slice, write_f32_slice};
 use hetsim::{Args, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult};
 use softmmu::PAGE_SIZE;
@@ -31,15 +31,15 @@ impl Kernel for Inc {
     }
 }
 
-fn ctx(protocol: Protocol) -> Context {
+fn session(protocol: Protocol) -> Session {
     let mut platform = Platform::desktop_g280();
     platform.register_kernel(Arc::new(Inc));
-    Context::new(platform, GmacConfig::default().protocol(protocol))
+    Gmac::new(platform, GmacConfig::default().protocol(protocol)).session()
 }
 
 #[test]
 fn one_byte_alloc_rounds_to_a_page() {
-    let mut c = ctx(Protocol::Rolling);
+    let c = session(Protocol::Rolling);
     let p = c.alloc(1).unwrap();
     let obj = c.object_at(p).unwrap();
     assert_eq!(obj.size(), PAGE_SIZE);
@@ -52,7 +52,7 @@ fn one_byte_alloc_rounds_to_a_page() {
 
 #[test]
 fn zero_size_alloc_also_rounds_up() {
-    let mut c = ctx(Protocol::Rolling);
+    let c = session(Protocol::Rolling);
     let p = c.alloc(0).unwrap();
     assert_eq!(c.object_at(p).unwrap().size(), PAGE_SIZE);
     c.free(p).unwrap();
@@ -63,7 +63,7 @@ fn consecutive_calls_without_sync_pipeline_on_the_stream() {
     // Two calls back-to-back: the stream serialises them; one sync joins
     // both, and the data reflects both kernels.
     for protocol in Protocol::ALL {
-        let mut c = ctx(protocol);
+        let c = session(protocol);
         let n = 1024u64;
         let p = c.alloc(n * 4).unwrap();
         c.store_slice(p, &vec![0.0f32; n as usize]).unwrap();
@@ -84,7 +84,7 @@ fn consecutive_calls_without_sync_pipeline_on_the_stream() {
 
 #[test]
 fn double_free_is_reported() {
-    let mut c = ctx(Protocol::Rolling);
+    let c = session(Protocol::Rolling);
     let p = c.alloc(4096).unwrap();
     c.free(p).unwrap();
     assert!(matches!(c.free(p), Err(GmacError::NotShared(_))));
@@ -93,13 +93,14 @@ fn double_free_is_reported() {
 #[test]
 fn free_discards_dirty_data_without_flushing() {
     // Freeing a dirty object must not crash the rolling bookkeeping.
-    let mut c = Context::new(
+    let c = Gmac::new(
         Platform::desktop_g280(),
         GmacConfig::default()
             .protocol(Protocol::Rolling)
             .rolling_size(2)
             .block_size(4096),
-    );
+    )
+    .session();
     let a = c.alloc(8 * 4096).unwrap();
     let b = c.alloc(8 * 4096).unwrap();
     for i in 0..4u64 {
@@ -109,13 +110,12 @@ fn free_discards_dirty_data_without_flushing() {
     c.free(a).unwrap();
     // The other object still works; the dirty bound still holds.
     c.store::<u8>(b.byte_add(5 * 4096), 3).unwrap();
-    let (_, mgr, protocol) = c.parts();
-    assert!(protocol.dirty_blocks(mgr) <= 2);
+    assert!(c.with_parts(|_, mgr, protocol| protocol.dirty_blocks(mgr)) <= 2);
 }
 
 #[test]
 fn alloc_after_free_reuses_device_memory() {
-    let mut c = ctx(Protocol::Lazy);
+    let c = session(Protocol::Lazy);
     let first = c.alloc(1 << 20).unwrap();
     let addr1 = first.addr();
     c.free(first).unwrap();
@@ -129,7 +129,7 @@ fn alloc_after_free_reuses_device_memory() {
 
 #[test]
 fn load_slice_beyond_object_end_is_rejected() {
-    let mut c = ctx(Protocol::Rolling);
+    let c = session(Protocol::Rolling);
     let p = c.alloc(4096).unwrap();
     assert!(matches!(
         c.load_slice::<f32>(p, 2000),
@@ -141,7 +141,7 @@ fn load_slice_beyond_object_end_is_rejected() {
 
 #[test]
 fn device_memory_exhaustion_is_clean() {
-    let mut c = ctx(Protocol::Rolling);
+    let c = session(Protocol::Rolling);
     // 1 GiB device: two 400 MiB objects fit, the third does not.
     let a = c.alloc(400 << 20).unwrap();
     let _b = c.alloc(400 << 20).unwrap();
@@ -158,7 +158,7 @@ fn device_memory_exhaustion_is_clean() {
 #[test]
 fn states_after_full_cycle_match_protocol_semantics() {
     for protocol in Protocol::ALL {
-        let mut c = ctx(protocol);
+        let c = session(protocol);
         let n = 4096u64;
         let p = c.alloc(n).unwrap();
         c.store::<u8>(p, 1).unwrap();
@@ -185,7 +185,7 @@ fn states_after_full_cycle_match_protocol_semantics() {
 
 #[test]
 fn scalar_type_matrix_through_shared_memory() {
-    let mut c = ctx(Protocol::Rolling);
+    let c = session(Protocol::Rolling);
     let p = c.alloc(4096).unwrap();
     c.store::<i8>(p, -5).unwrap();
     assert_eq!(c.load::<i8>(p).unwrap(), -5);
@@ -202,7 +202,7 @@ fn scalar_type_matrix_through_shared_memory() {
 
 #[test]
 fn many_small_objects_stress_the_registry() {
-    let mut c = ctx(Protocol::Rolling);
+    let c = session(Protocol::Rolling);
     let ptrs: Vec<_> = (0..200).map(|_| c.alloc(PAGE_SIZE).unwrap()).collect();
     assert_eq!(c.object_count(), 200);
     for (i, p) in ptrs.iter().enumerate() {

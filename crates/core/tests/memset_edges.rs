@@ -2,16 +2,17 @@
 //! flush-before-fill, unaligned offsets and lengths, and fills spanning the
 //! short tail block of an object.
 
-use gmac::{Context, GmacConfig, Protocol};
+use gmac::{Gmac, GmacConfig, Protocol, Session};
 use hetsim::Platform;
 
 const BLOCK: u64 = 16 * 1024;
 
-fn ctx(protocol: Protocol) -> Context {
-    Context::new(
+fn session(protocol: Protocol) -> Session {
+    Gmac::new(
         Platform::desktop_g280(),
         GmacConfig::default().protocol(protocol).block_size(BLOCK),
     )
+    .session()
 }
 
 #[test]
@@ -20,7 +21,7 @@ fn partial_dirty_block_is_flushed_before_fill() {
     // survive: the protocol flushes the block to the device before the
     // device-side fill lands, and a later read merges both.
     for protocol in Protocol::ALL {
-        let mut c = ctx(protocol);
+        let c = session(protocol);
         let p = c.alloc(4 * BLOCK).unwrap();
         // Dirty the whole second block.
         c.store_slice::<u8>(p.byte_add(BLOCK), &vec![0xAA; BLOCK as usize])
@@ -48,7 +49,7 @@ fn partial_dirty_block_is_flushed_before_fill() {
 #[test]
 fn unaligned_offset_and_len_spanning_block_boundary() {
     for protocol in Protocol::ALL {
-        let mut c = ctx(protocol);
+        let c = session(protocol);
         let p = c.alloc(4 * BLOCK).unwrap();
         c.store_slice::<u8>(p, &vec![0x11; (4 * BLOCK) as usize])
             .unwrap();
@@ -78,7 +79,7 @@ fn fill_spanning_object_tail() {
     // Page-sized allocations keep the requested size, so a 2.5-block object
     // has a short tail block; a fill running to the very end must cover it.
     for protocol in Protocol::ALL {
-        let mut c = ctx(protocol);
+        let c = session(protocol);
         let size = 2 * BLOCK + 8192; // page-multiple, short third block
         let p = c.alloc(size).unwrap();
         c.store_slice::<u8>(p, &vec![0x22; size as usize]).unwrap();
@@ -97,7 +98,7 @@ fn fill_spanning_object_tail() {
 #[test]
 fn fill_past_object_end_rejected_without_side_effects() {
     for protocol in Protocol::ALL {
-        let mut c = ctx(protocol);
+        let c = session(protocol);
         let p = c.alloc(BLOCK).unwrap();
         c.store_slice::<u8>(p, &vec![0x33; BLOCK as usize]).unwrap();
         assert!(c.memset(p.byte_add(10), 0xFF, BLOCK).is_err(), "{protocol}");
@@ -113,14 +114,12 @@ fn fill_past_object_end_rejected_without_side_effects() {
 fn whole_object_fill_after_kernel_style_invalidation() {
     // memset over fully-invalid blocks must not fetch anything: the fill is
     // device-side and the blocks just flip to invalid.
-    let mut c = ctx(Protocol::Rolling);
+    let c = session(Protocol::Rolling);
     let p = c.alloc(4 * BLOCK).unwrap();
     c.store_slice::<u8>(p, &vec![1u8; (4 * BLOCK) as usize])
         .unwrap();
-    {
-        let (rt, mgr, proto) = c.parts();
-        proto.release(rt, mgr, hetsim::DeviceId(0), None).unwrap();
-    }
+    c.with_parts(|rt, mgr, proto| proto.release(rt, mgr, hetsim::DeviceId(0), None))
+        .unwrap();
     let before = c.transfers().d2h_bytes;
     c.memset(p, 0x42, 4 * BLOCK).unwrap();
     assert_eq!(

@@ -1,8 +1,8 @@
-//! End-to-end tests of the GMAC context: the full adsmAlloc → CPU init →
-//! adsmCall → adsmSync → CPU read cycle with a real kernel, under every
+//! End-to-end tests of the GMAC session API: the full adsmAlloc → CPU init
+//! → adsmCall → adsmSync → CPU read cycle with a real kernel, under every
 //! coherence protocol.
 
-use gmac::{Context, GmacConfig, GmacError, Param, Protocol, SchedPolicy};
+use gmac::{Gmac, GmacConfig, GmacError, Param, Protocol, SchedPolicy, Session};
 use hetsim::kernel::{read_f32_slice, write_f32_slice};
 use hetsim::{
     Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult,
@@ -33,15 +33,16 @@ impl Kernel for VecAdd {
     }
 }
 
-fn ctx(protocol: Protocol) -> Context {
+fn session(protocol: Protocol) -> Session {
     let mut platform = Platform::desktop_g280();
     platform.register_kernel(Arc::new(VecAdd));
-    Context::new(
+    Gmac::new(
         platform,
         GmacConfig::default()
             .protocol(protocol)
             .block_size(64 * 1024),
     )
+    .session()
 }
 
 const N: usize = 100_000;
@@ -49,7 +50,7 @@ const N: usize = 100_000;
 #[test]
 fn vecadd_cycle_is_correct_under_every_protocol() {
     for protocol in Protocol::ALL {
-        let mut c = ctx(protocol);
+        let c = session(protocol);
         let bytes = (N * 4) as u64;
         let a = c.alloc(bytes).unwrap();
         let b = c.alloc(bytes).unwrap();
@@ -91,7 +92,7 @@ fn iterative_kernel_reuses_device_data_cheaply() {
     // after the first call; batch moves everything every time.
     let mut transfer_totals = Vec::new();
     for protocol in [Protocol::Batch, Protocol::Lazy, Protocol::Rolling] {
-        let mut c = ctx(protocol);
+        let c = session(protocol);
         let bytes = (N * 4) as u64;
         let a = c.alloc(bytes).unwrap();
         let b = c.alloc(bytes).unwrap();
@@ -131,7 +132,7 @@ fn iterative_kernel_reuses_device_data_cheaply() {
 fn write_annotation_avoids_transfer_back() {
     // Paper §4.3: annotating the kernel's write set lets read-only inputs
     // stay valid on the CPU across calls.
-    let mut c = ctx(Protocol::Rolling);
+    let c = session(Protocol::Rolling);
     let bytes = (N * 4) as u64;
     let a = c.alloc(bytes).unwrap();
     let b = c.alloc(bytes).unwrap();
@@ -168,7 +169,7 @@ fn safe_alloc_translates_and_computes() {
     // translates parameters.
     let mut platform = Platform::desktop_multi_gpu(2);
     platform.register_kernel(Arc::new(VecAdd));
-    let mut c = Context::new(platform, GmacConfig::default());
+    let c = Gmac::new(platform, GmacConfig::default()).session();
     let bytes = (N * 4) as u64;
     let a = c.safe_alloc(bytes).unwrap();
     let b = c.safe_alloc(bytes).unwrap();
@@ -196,7 +197,7 @@ fn unified_alloc_collides_on_second_gpu_then_safe_alloc_recovers() {
     // device address must collide.
     let mut platform = Platform::desktop_multi_gpu(2);
     platform.register_kernel(Arc::new(VecAdd));
-    let mut c = Context::new(platform, GmacConfig::default());
+    let c = Gmac::new(platform, GmacConfig::default()).session();
     let _a = c.alloc_on(DeviceId(0), 1 << 20).unwrap();
     let err = c.alloc_on(DeviceId(1), 1 << 20).unwrap_err();
     assert!(matches!(err, GmacError::AddressCollision(_)));
@@ -208,8 +209,9 @@ fn unified_alloc_collides_on_second_gpu_then_safe_alloc_recovers() {
 #[test]
 fn round_robin_spreads_objects() {
     let platform = Platform::desktop_multi_gpu(2);
-    let mut c = Context::new(platform, GmacConfig::default());
-    c.set_sched_policy(SchedPolicy::RoundRobin);
+    let gmac = Gmac::new(platform, GmacConfig::default());
+    let c = gmac.session();
+    gmac.set_sched_policy(SchedPolicy::RoundRobin);
     let a = c.alloc(4096).unwrap(); // dev 0, unified
     let b = c.safe_alloc(4096).unwrap(); // dev 1 via rotation
     assert_eq!(c.object_at(a).unwrap().device(), DeviceId(0));
@@ -227,14 +229,14 @@ fn round_robin_spreads_objects() {
 
 #[test]
 fn sync_without_call_is_an_error() {
-    let mut c = ctx(Protocol::Rolling);
+    let c = session(Protocol::Rolling);
     assert!(matches!(c.sync(), Err(GmacError::NothingToSync)));
     assert!(!c.has_pending_call());
 }
 
 #[test]
 fn load_store_scalar_roundtrip_with_faults() {
-    let mut c = ctx(Protocol::Rolling);
+    let c = session(Protocol::Rolling);
     let p = c.alloc(4096).unwrap();
     c.store::<f64>(p, 3.25).unwrap();
     assert_eq!(c.load::<f64>(p).unwrap(), 3.25);
@@ -250,7 +252,7 @@ fn signal_overhead_is_small_fraction_of_runtime() {
     // Paper Figure 10: signal handling stays below 2% of execution time.
     let mut platform = Platform::desktop_g280();
     platform.register_kernel(Arc::new(VecAdd));
-    let mut c = Context::new(platform, GmacConfig::default()); // default 256 KiB blocks
+    let c = Gmac::new(platform, GmacConfig::default()).session(); // default 256 KiB blocks
     let n = 1_000_000usize;
     let bytes = (n * 4) as u64;
     let a = c.alloc(bytes).unwrap();
@@ -276,10 +278,10 @@ fn signal_overhead_is_small_fraction_of_runtime() {
 #[test]
 fn ledger_partitions_total_time() {
     // Fig 10 invariant: category totals account for all elapsed time.
-    let mut c = ctx(Protocol::Rolling);
+    let c = session(Protocol::Rolling);
     let p = c.alloc(1 << 20).unwrap();
     c.store_slice(p, &vec![1.0f32; 1000]).unwrap();
-    c.platform_mut().cpu_touch(1 << 20);
+    c.with_platform(|p| p.cpu_touch(1 << 20));
     let params = [
         Param::Shared(p),
         Param::Shared(p),
@@ -290,5 +292,5 @@ fn ledger_partitions_total_time() {
         .unwrap();
     c.sync().unwrap();
     let _ = c.load::<f32>(p).unwrap();
-    assert_eq!(c.ledger().total(), c.platform().elapsed());
+    assert_eq!(c.ledger().total(), c.elapsed());
 }

@@ -298,6 +298,17 @@ mod tests {
     const DEV: DeviceId = DeviceId(0);
 
     #[test]
+    fn handles_and_errors_are_send_sync() {
+        // Per-thread GMAC sessions (and baseline workloads running beside
+        // them) carry `Cuda` handles and surface `CudaError` across thread
+        // boundaries.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Cuda>();
+        assert_send_sync::<CudaError>();
+        assert_send_sync::<Event>();
+    }
+
+    #[test]
     fn malloc_memcpy_roundtrip_like_figure3() {
         // The explicit-transfer flow of the paper's Figure 3.
         let mut p = Platform::desktop_g280();

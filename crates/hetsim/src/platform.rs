@@ -591,6 +591,15 @@ mod tests {
     }
 
     #[test]
+    fn platform_is_send() {
+        // The GMAC runtime shares one Platform across host threads behind a
+        // lock; kernels are registered as `Arc<dyn Kernel>` with
+        // `Kernel: Send + Sync`, so the whole platform must stay `Send`.
+        fn assert_send<T: Send>() {}
+        assert_send::<Platform>();
+    }
+
+    #[test]
     fn desktop_platform_shape() {
         let p = Platform::desktop_g280();
         assert_eq!(p.device_count(), 1);

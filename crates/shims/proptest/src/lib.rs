@@ -76,7 +76,7 @@ macro_rules! proptest {
     };
 }
 
-/// `prop_assert!`: like `assert!` but returns a [`TestCaseError`] so the
+/// `prop_assert!`: like `assert!` but returns a [`test_runner::TestCaseError`] so the
 /// runner can report the failing case.
 #[macro_export]
 macro_rules! prop_assert {
@@ -92,7 +92,7 @@ macro_rules! prop_assert {
     };
 }
 
-/// `prop_assert_eq!`: equality assertion returning a [`TestCaseError`].
+/// `prop_assert_eq!`: equality assertion returning a [`test_runner::TestCaseError`].
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($left:expr, $right:expr) => {{

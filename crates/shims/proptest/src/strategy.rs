@@ -117,6 +117,31 @@ macro_rules! range_strategy {
 
 range_strategy!(u8, u16, u32, u64, usize);
 
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    // 53 uniform mantissa bits scaled into [start, end).
+                    let unit = rng.u64_in(0..(1u64 << 53)) as f64 / (1u64 << 53) as f64;
+                    let v = self.start + (self.end - self.start) * unit as $t;
+                    // Rounding in the narrower type can land exactly on
+                    // `end`; keep the Range contract half-open.
+                    if v >= self.end {
+                        self.start
+                    } else {
+                        v
+                    }
+                }
+            }
+        )*
+    };
+}
+
+float_range_strategy!(f32, f64);
+
 macro_rules! tuple_strategy {
     ($(($($name:ident),+))*) => {
         $(

@@ -4,7 +4,7 @@
 //! kernels, so outputs are bit-identical and performance differences are
 //! purely the programming model's.
 
-use gmac::{Context, GmacConfig, GmacError, Protocol};
+use gmac::{Gmac, GmacConfig, GmacError, Protocol, Session};
 use hetsim::{Nanos, Platform, SimError, TimeLedger, TransferLedger};
 use std::error::Error;
 use std::fmt;
@@ -39,6 +39,7 @@ impl Variant {
 
 /// Errors from workload execution.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum WorkloadError {
     /// GMAC runtime failure.
     Gmac(GmacError),
@@ -61,7 +62,16 @@ impl fmt::Display for WorkloadError {
     }
 }
 
-impl Error for WorkloadError {}
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorkloadError::Gmac(e) => Some(e),
+            WorkloadError::Cuda(e) => Some(e),
+            WorkloadError::Sim(e) => Some(e),
+            WorkloadError::Validation(_) => None,
+        }
+    }
+}
 
 impl From<GmacError> for WorkloadError {
     fn from(e: GmacError) -> Self {
@@ -127,11 +137,12 @@ pub trait Workload {
     /// Propagates platform/shim failures.
     fn run_cuda(&self, platform: &mut Platform) -> WorkloadResult<u64>;
 
-    /// Runs the ADSM version; returns the output digest.
+    /// Runs the ADSM version through a session handle; returns the output
+    /// digest.
     ///
     /// # Errors
     /// Propagates runtime failures.
-    fn run_gmac(&self, ctx: &mut Context) -> WorkloadResult<u64>;
+    fn run_gmac(&self, ctx: &Session) -> WorkloadResult<u64>;
 }
 
 /// Runs one variant of a workload on a fresh default platform.
@@ -169,10 +180,12 @@ pub fn run_variant_with(
             })
         }
         Variant::Gmac(protocol) => {
-            let mut ctx = Context::new(platform, gmac_config.protocol(protocol));
-            let digest = w.run_gmac(&mut ctx)?;
-            let counters = ctx.counters();
-            let platform = ctx.into_platform();
+            let gmac = Gmac::new(platform, gmac_config.protocol(protocol));
+            let session = gmac.session();
+            let digest = w.run_gmac(&session)?;
+            let counters = gmac.counters();
+            drop(session);
+            let platform = gmac.into_platform();
             Ok(RunResult {
                 name: w.name(),
                 variant,

@@ -10,7 +10,7 @@
 
 use crate::common::{Digest, Prng, Workload, WorkloadResult};
 use cudart::Cuda;
-use gmac::{Context, Param};
+use gmac::{Param, Session};
 use hetsim::kernel::{read_f32_slice, write_f32_slice};
 use hetsim::{
     Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult, StreamId,
@@ -173,9 +173,9 @@ impl Workload for Cp {
         Ok(d.finish())
     }
 
-    fn run_gmac(&self, ctx: &mut Context) -> WorkloadResult<u64> {
+    fn run_gmac(&self, ctx: &Session) -> WorkloadResult<u64> {
         let atoms = self.atoms();
-        self.charge_atom_generation(ctx.platform_mut());
+        ctx.with_platform(|p| self.charge_atom_generation(p));
         let s_atoms = ctx.alloc(self.atoms_bytes())?;
         let s_grid = ctx.alloc(self.grid_bytes())?;
         ctx.store_slice(s_atoms, &atoms)?;

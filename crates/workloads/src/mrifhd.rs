@@ -9,7 +9,7 @@
 
 use crate::common::{Digest, Prng, Workload, WorkloadResult};
 use cudart::Cuda;
-use gmac::{Context, Param};
+use gmac::{Param, Session};
 use hetsim::kernel::{read_f32_slice, write_f32_slice};
 use hetsim::{
     Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult, StreamId,
@@ -183,7 +183,7 @@ impl Workload for MriFhd {
         Ok(digest.finish())
     }
 
-    fn run_gmac(&self, ctx: &mut Context) -> WorkloadResult<u64> {
+    fn run_gmac(&self, ctx: &Session) -> WorkloadResult<u64> {
         let s_traj = ctx.alloc(self.traj_bytes())?;
         let s_rho = ctx.alloc(self.rho_bytes())?;
         let s_vox = ctx.alloc(self.voxel_bytes())?;

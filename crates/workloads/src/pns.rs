@@ -12,7 +12,7 @@
 
 use crate::common::{Digest, Workload, WorkloadResult};
 use cudart::Cuda;
-use gmac::{Context, Param};
+use gmac::{Param, Session};
 use hetsim::{
     Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult, StreamId,
 };
@@ -187,7 +187,7 @@ impl Workload for Pns {
         Ok(digest.finish())
     }
 
-    fn run_gmac(&self, ctx: &mut Context) -> WorkloadResult<u64> {
+    fn run_gmac(&self, ctx: &Session) -> WorkloadResult<u64> {
         let marking = self.initial_marking();
         let s_places = ctx.alloc(self.places_bytes())?;
         let s_status = ctx.alloc(4)?;

@@ -12,7 +12,7 @@
 
 use crate::common::{Digest, Prng, Workload, WorkloadResult};
 use cudart::Cuda;
-use gmac::{Context, Param};
+use gmac::{Param, Session};
 use hetsim::kernel::{read_f32_slice, write_f32_slice};
 use hetsim::{
     Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult, StreamId,
@@ -220,7 +220,7 @@ impl Workload for Rpes {
         Ok(digest.finish())
     }
 
-    fn run_gmac(&self, ctx: &mut Context) -> WorkloadResult<u64> {
+    fn run_gmac(&self, ctx: &Session) -> WorkloadResult<u64> {
         let params_v = self.initial_params();
         let s_params = ctx.alloc(self.params_bytes())?;
         let s_ctrl = ctx.alloc(self.ctrl_bytes())?;

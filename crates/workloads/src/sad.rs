@@ -10,7 +10,7 @@
 
 use crate::common::{Digest, Prng, Workload, WorkloadResult};
 use cudart::Cuda;
-use gmac::{Context, Param};
+use gmac::{Param, Session};
 use hetsim::{
     Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult, StreamId,
 };
@@ -219,7 +219,7 @@ impl Workload for Sad {
         Ok(digest.finish())
     }
 
-    fn run_gmac(&self, ctx: &mut Context) -> WorkloadResult<u64> {
+    fn run_gmac(&self, ctx: &Session) -> WorkloadResult<u64> {
         let s_ref = ctx.alloc(self.frame_bytes())?;
         let s_cur = ctx.alloc(self.frame_bytes())?;
         let s_mv = ctx.alloc(self.mv_bytes())?;
@@ -258,10 +258,12 @@ impl Workload for Sad {
                 i += 7 * 3;
             }
             // The encoder's motion-compensation pass on the CPU.
-            ctx.platform_mut().cpu_compute(
-                (self.width * self.height) as f64 * 8.0,
-                self.frame_bytes() as f64,
-            );
+            ctx.with_platform(|p| {
+                p.cpu_compute(
+                    (self.width * self.height) as f64 * 8.0,
+                    self.frame_bytes() as f64,
+                )
+            });
         }
         ctx.free(s_ref)?;
         ctx.free(s_cur)?;

@@ -12,7 +12,7 @@
 
 use crate::common::{Digest, Workload, WorkloadResult};
 use cudart::Cuda;
-use gmac::{Context, Param};
+use gmac::{Param, Session};
 use hetsim::kernel::{read_f32_slice, write_f32_slice};
 use hetsim::{
     Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult, StreamId,
@@ -185,7 +185,7 @@ impl Workload for Stencil3d {
         Ok(digest.finish())
     }
 
-    fn run_gmac(&self, ctx: &mut Context) -> WorkloadResult<u64> {
+    fn run_gmac(&self, ctx: &Session) -> WorkloadResult<u64> {
         let bytes = self.bytes();
         let mut digest = Digest::new();
         let a = ctx.alloc(bytes)?;

@@ -14,7 +14,7 @@
 
 use crate::common::{Digest, Prng, Workload, WorkloadResult};
 use cudart::Cuda;
-use gmac::{Context, Param, SharedPtr};
+use gmac::{Param, Session, SharedPtr};
 use hetsim::kernel::read_f32_slice;
 use hetsim::{
     Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult, StreamId,
@@ -271,7 +271,7 @@ impl Workload for Tpacf {
         Ok(digest.finish())
     }
 
-    fn run_gmac(&self, ctx: &mut Context) -> WorkloadResult<u64> {
+    fn run_gmac(&self, ctx: &Session) -> WorkloadResult<u64> {
         let data = self.data_points();
         let s_data = ctx.alloc(self.data_bytes())?;
         let s_random = ctx.alloc(self.random_bytes())?;
@@ -317,7 +317,7 @@ impl Tpacf {
     /// so up to three distant blocks are dirtied in close succession. With a
     /// rolling size below the stream count the oldest block is evicted and
     /// immediately re-dirtied: continuous transfers (Figure 12).
-    pub fn multi_pass_init(&self, ctx: &mut Context, s_random: SharedPtr) -> WorkloadResult<()> {
+    pub fn multi_pass_init(&self, ctx: &Session, s_random: SharedPtr) -> WorkloadResult<()> {
         let elems = self.nrandom * 2;
         let chunk_elems = self.init_chunk / 4;
         let lag1 = (self.pass_lags[0] / 4) as usize;
@@ -375,14 +375,15 @@ mod tests {
     fn multi_pass_init_matches_reference_buffer() {
         let w = Tpacf::small();
         let platform = Platform::desktop_g280();
-        let mut ctx = Context::new(
+        let ctx = gmac::Gmac::new(
             platform,
             GmacConfig::default()
                 .protocol(Protocol::Rolling)
                 .block_size(8 * 1024),
-        );
+        )
+        .session();
         let s = ctx.alloc(w.random_bytes()).unwrap();
-        w.multi_pass_init(&mut ctx, s).unwrap();
+        w.multi_pass_init(&ctx, s).unwrap();
         let got: Vec<f32> = ctx.load_slice(s, w.nrandom * 2).unwrap();
         assert_eq!(got, w.expected_random());
     }

@@ -7,7 +7,7 @@
 
 use crate::common::{Digest, Workload, WorkloadResult};
 use cudart::Cuda;
-use gmac::{Context, Param, SharedPtr};
+use gmac::{Param, Session, SharedPtr};
 use hetsim::kernel::{read_f32_slice, write_f32_slice};
 use hetsim::{
     Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult, StreamId,
@@ -121,18 +121,19 @@ impl Workload for VecAdd {
         Ok(d.finish())
     }
 
-    fn run_gmac(&self, ctx: &mut Context) -> WorkloadResult<u64> {
+    fn run_gmac(&self, ctx: &Session) -> WorkloadResult<u64> {
         let (av, bv) = self.inputs();
-        // Single allocation call, single pointer — Figure 4.
-        let a = ctx.alloc(self.bytes())?;
-        let b = ctx.alloc(self.bytes())?;
-        let c = ctx.alloc(self.bytes())?;
-        ctx.store_slice(a, &av)?;
-        ctx.store_slice(b, &bv)?;
+        // Single typed allocation, single pointer — Figure 4. The element
+        // count lives on the buffer; no byte math at the call site.
+        let a = ctx.alloc_typed::<f32>(self.n)?;
+        let b = ctx.alloc_typed::<f32>(self.n)?;
+        let c = ctx.alloc_typed::<f32>(self.n)?;
+        a.write_slice(&av)?;
+        b.write_slice(&bv)?;
         let params = [
-            Param::Shared(a),
-            Param::Shared(b),
-            Param::Shared(c),
+            Param::from(&a),
+            Param::from(&b),
+            Param::from(&c),
             Param::U64(self.n as u64),
         ];
         ctx.call(
@@ -141,10 +142,10 @@ impl Workload for VecAdd {
             &params,
         )?;
         ctx.sync()?;
-        let cv: Vec<f32> = ctx.load_slice(c, self.n)?;
-        ctx.free(a)?;
-        ctx.free(b)?;
-        ctx.free(c)?;
+        let cv = c.read_slice()?;
+        a.free()?;
+        b.free()?;
+        c.free()?;
         let mut d = Digest::new();
         d.update_f32(&cv);
         Ok(d.finish())
@@ -167,7 +168,7 @@ pub struct VecAddBuffers {
 ///
 /// # Errors
 /// Propagates allocation failures.
-pub fn alloc_buffers(ctx: &mut Context, n: usize) -> Result<VecAddBuffers, gmac::GmacError> {
+pub fn alloc_buffers(ctx: &Session, n: usize) -> Result<VecAddBuffers, gmac::GmacError> {
     let bytes = n as u64 * 4;
     Ok(VecAddBuffers {
         a: ctx.alloc(bytes)?,

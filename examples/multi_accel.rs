@@ -1,10 +1,13 @@
 //! Multiple accelerators with overlapping memory windows: the §4.2 scenario
 //! where the unified-address mmap trick *fails* and `adsmSafeAlloc` +
-//! `adsmSafe` (translation) take over.
+//! `adsmSafe` (translation) take over — driven through two per-device
+//! [`Session`] handles whose kernel calls are in flight **simultaneously**.
 //!
 //! Run with: `cargo run --example multi_accel`
+//!
+//! [`Session`]: adsm::gmac::Session
 
-use adsm::gmac::{Context, GmacConfig, GmacError, Param};
+use adsm::gmac::{Gmac, GmacConfig, GmacError, Param};
 use adsm::hetsim::kernel::{read_f32_slice, write_f32_slice};
 use adsm::hetsim::{
     Args, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult,
@@ -44,18 +47,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // different GPUs are likely to return overlapping memory address ranges".
     let mut platform = Platform::desktop_multi_gpu(2);
     platform.register_kernel(Arc::new(Scale));
-    let mut ctx = Context::new(platform, GmacConfig::default());
+    let gmac = Gmac::new(platform, GmacConfig::default());
+
+    // One session per accelerator: each carries its own affinity and its
+    // own pending-call state.
+    let s0 = gmac.session_on(DeviceId(0));
+    let s1 = gmac.session_on(DeviceId(1));
 
     // Unified allocation works for the first device...
-    let a = ctx.alloc_on(DeviceId(0), (N * 4) as u64)?;
+    let a = s0.alloc((N * 4) as u64)?;
     println!(
         "dev0 unified alloc : host {} == device {}",
         a,
-        ctx.translate(a)?
+        s0.translate(a)?
     );
 
     // ...but the same range on the second device collides:
-    match ctx.alloc_on(DeviceId(1), (N * 4) as u64) {
+    match s1.alloc((N * 4) as u64) {
         Err(GmacError::AddressCollision(addr)) => {
             println!("dev1 unified alloc : collision at {addr} (as §4.2 predicts)");
         }
@@ -64,32 +72,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // adsmSafeAlloc recovers: CPU pointer != device address, the runtime
     // translates kernel parameters automatically (adsmSafe).
-    let b = ctx.safe_alloc_on(DeviceId(1), (N * 4) as u64)?;
+    let b = s1.safe_alloc((N * 4) as u64)?;
     println!(
         "dev1 safe alloc    : host {} -> device {}",
         b,
-        ctx.translate(b)?
+        s1.translate(b)?
     );
 
-    // Both objects are fully usable; kernels run on each object's device.
-    ctx.store_slice(a, &vec![2.0f32; N])?;
-    ctx.store_slice(b, &vec![10.0f32; N])?;
+    // Both objects are fully usable; each session launches on its own
+    // accelerator and the two kernels are in flight at the same time.
+    s0.store_slice(a, &vec![2.0f32; N])?;
+    s1.store_slice(b, &vec![10.0f32; N])?;
 
-    ctx.call(
+    s0.call(
         "scale",
         LaunchDims::for_elements(N as u64, 256),
         &[Param::Shared(a), Param::U64(N as u64), Param::F64(3.0)],
     )?;
-    ctx.sync()?;
-    ctx.call(
+    s1.call(
         "scale",
         LaunchDims::for_elements(N as u64, 256),
         &[Param::Shared(b), Param::U64(N as u64), Param::F64(0.5)],
     )?;
-    ctx.sync()?;
+    assert!(s0.has_pending_call() && s1.has_pending_call());
+    println!(
+        "in flight          : gpus {:?} (two un-synced calls at once)",
+        gmac.pending_devices()
+    );
+    s0.sync()?;
+    s1.sync()?;
 
-    let va: f32 = ctx.load(a)?;
-    let vb: f32 = ctx.load(b)?;
+    let va: f32 = s0.load(a)?;
+    let vb: f32 = s1.load(b)?;
     assert_eq!(va, 6.0);
     assert_eq!(vb, 5.0);
     println!("results            : a[0] = {va} (dev0), b[0] = {vb} (dev1)");

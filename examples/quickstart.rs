@@ -2,10 +2,16 @@
 //!
 //! Compare with the paper's Figure 3 (CUDA: double pointers, explicit
 //! `cudaMemcpy`) vs Figure 4 (ADSM: one pointer, zero explicit transfers).
+//! The runtime is a process-wide [`Gmac`]; each host thread talks to it
+//! through a cheap [`Session`] handle, and typed `Shared<f32>` buffers
+//! replace raw pointer arithmetic.
 //!
 //! Run with: `cargo run --example quickstart`
+//!
+//! [`Gmac`]: adsm::gmac::Gmac
+//! [`Session`]: adsm::gmac::Session
 
-use adsm::gmac::{Context, GmacConfig, Param, Protocol};
+use adsm::gmac::{Gmac, GmacConfig, Param, Protocol};
 use adsm::hetsim::kernel::{read_f32_slice, write_f32_slice};
 use adsm::hetsim::{Args, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult};
 use std::sync::Arc;
@@ -45,48 +51,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut platform = Platform::desktop_g280();
     platform.register_kernel(Arc::new(Saxpy));
 
-    // GMAC context with the rolling-update protocol (the paper's best).
-    let mut ctx = Context::new(platform, GmacConfig::default().protocol(Protocol::Rolling));
+    // The shared GMAC runtime with the rolling-update protocol (the paper's
+    // best), and this thread's session handle on it.
+    let gmac = Gmac::new(platform, GmacConfig::default().protocol(Protocol::Rolling));
+    let session = gmac.session();
 
-    // adsmAlloc: ONE pointer, valid on the CPU *and* the accelerator.
-    let x = ctx.alloc((N * 4) as u64)?;
-    let y = ctx.alloc((N * 4) as u64)?;
+    // adsmAlloc, typed: ONE buffer handle, valid on the CPU *and* the
+    // accelerator, element count included.
+    let x = session.alloc_typed::<f32>(N)?;
+    let y = session.alloc_typed::<f32>(N)?;
 
     // The CPU initialises shared objects directly — no cudaMemcpy anywhere.
-    ctx.store_slice(x, &vec![1.0f32; N])?;
-    ctx.store_slice(y, &vec![2.0f32; N])?;
+    x.write_slice(&vec![1.0f32; N])?;
+    y.write_slice(&vec![2.0f32; N])?;
 
     // adsmCall + adsmSync: objects are released to the accelerator and
     // acquired back automatically (release consistency, §3.3).
     let params = [
-        Param::Shared(x),
-        Param::Shared(y),
+        Param::from(&x),
+        Param::from(&y),
         Param::U64(N as u64),
         Param::F64(3.0),
     ];
-    ctx.call("saxpy", LaunchDims::for_elements(N as u64, 256), &params)?;
-    ctx.sync()?;
+    session.call("saxpy", LaunchDims::for_elements(N as u64, 256), &params)?;
+    session.sync()?;
 
-    // Read the result through the same pointer. The first touch of each
+    // Read the result through the same handle. The first touch of each
     // block faults, fetches, and the access retries — invisible here.
-    let result: f32 = ctx.load(y)?;
+    let result = y.read(0)?;
     assert_eq!(result, 2.0 + 3.0 * 1.0);
 
     println!("saxpy({N} elements) done: y[0] = {result}");
-    println!("virtual time      : {}", ctx.platform().elapsed());
+    println!("virtual time      : {}", gmac.elapsed());
     println!(
         "transfers         : {} H2D, {} D2H",
-        adsm::hetsim::stats::fmt_bytes(ctx.transfers().h2d_bytes),
-        adsm::hetsim::stats::fmt_bytes(ctx.transfers().d2h_bytes)
+        adsm::hetsim::stats::fmt_bytes(gmac.transfers().h2d_bytes),
+        adsm::hetsim::stats::fmt_bytes(gmac.transfers().d2h_bytes)
     );
-    println!("faults handled    : {}", ctx.counters().faults());
-    println!("eager evictions   : {}", ctx.counters().eager_evictions);
+    println!("faults handled    : {}", gmac.counters().faults());
+    println!("eager evictions   : {}", gmac.counters().eager_evictions);
 
     // Structured diagnostics (gmacProfile-style observability).
     println!();
-    print!("{}", ctx.report());
+    print!("{}", gmac.report());
 
-    ctx.free(x)?;
-    ctx.free(y)?;
+    // adsmFree: explicit here; dropping the handles would free them too.
+    x.free()?;
+    y.free()?;
     Ok(())
 }

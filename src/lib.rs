@@ -13,15 +13,16 @@
 //! ## Quickstart
 //!
 //! ```rust
-//! use adsm::gmac::{Context, GmacConfig, Protocol};
+//! use adsm::gmac::{Gmac, GmacConfig, Protocol};
 //! use adsm::hetsim::Platform;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let platform = Platform::desktop_g280();
-//! let mut ctx = Context::new(platform, GmacConfig::default().protocol(Protocol::Rolling));
-//! let v = ctx.alloc(1024 * 1024)?; // one pointer, valid on CPU *and* accelerator
-//! ctx.store::<f32>(v, 42.0)?;
-//! assert_eq!(ctx.load::<f32>(v)?, 42.0);
+//! let gmac = Gmac::new(platform, GmacConfig::default().protocol(Protocol::Rolling));
+//! let session = gmac.session(); // one cheap handle per host thread
+//! let v = session.alloc_typed::<f32>(256 * 1024)?; // one pointer, CPU *and* accelerator
+//! v.write(0, 42.0)?;
+//! assert_eq!(v.read(0)?, 42.0);
 //! # Ok(())
 //! # }
 //! ```

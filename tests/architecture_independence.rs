@@ -6,7 +6,7 @@
 //! The same unmodified application code runs on both simulated platforms;
 //! only the platform handle changes.
 
-use adsm::gmac::{Context, GmacConfig, Param, Protocol, SharedPtr};
+use adsm::gmac::{Gmac, GmacConfig, Param, Protocol, SharedPtr};
 use adsm::hetsim::kernel::{read_f32_slice, write_f32_slice};
 use adsm::hetsim::{
     Args, Category, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult,
@@ -40,7 +40,8 @@ impl Kernel for Square {
 }
 
 /// The application: written once against the ADSM API, no platform detail.
-fn app(mut ctx: Context) -> (u64, Context) {
+fn app(gmac: &Gmac) -> u64 {
+    let ctx = gmac.session();
     let v: SharedPtr = ctx.alloc((N * 4) as u64).unwrap();
     ctx.store_slice(v, &(0..N).map(|i| (i % 100) as f32).collect::<Vec<_>>())
         .unwrap();
@@ -54,7 +55,7 @@ fn app(mut ctx: Context) -> (u64, Context) {
     let out: Vec<f32> = ctx.load_slice(v, N).unwrap();
     let mut digest = adsm::workloads::Digest::new();
     digest.update_f32(&out);
-    (digest.finish(), ctx)
+    digest.finish()
 }
 
 #[test]
@@ -64,16 +65,18 @@ fn same_code_runs_on_discrete_and_integrated_platforms() {
     let mut fused = Platform::fused_apu();
     fused.register_kernel(Arc::new(Square));
 
-    let (d1, ctx1) = app(Context::new(discrete, GmacConfig::default()));
-    let (d2, ctx2) = app(Context::new(fused, GmacConfig::default()));
+    let g1 = Gmac::new(discrete, GmacConfig::default());
+    let g2 = Gmac::new(fused, GmacConfig::default());
+    let d1 = app(&g1);
+    let d2 = app(&g2);
 
     // Identical results, unchanged source.
     assert_eq!(d1, d2);
 
     // The integrated platform's "transfers" cross shared DRAM: far cheaper
     // per byte-moved than PCIe DMA (no 12 us doorbell per block).
-    let pcie_copy = ctx1.ledger().get(Category::Copy);
-    let shared_copy = ctx2.ledger().get(Category::Copy);
+    let pcie_copy = g1.ledger().get(Category::Copy);
+    let shared_copy = g2.ledger().get(Category::Copy);
     assert!(
         shared_copy < pcie_copy,
         "integrated copies ({shared_copy}) should be cheaper than PCIe ({pcie_copy})"
@@ -95,10 +98,7 @@ fn protocols_behave_identically_on_fused_platform() {
     for protocol in Protocol::ALL {
         let mut fused = Platform::fused_apu();
         fused.register_kernel(Arc::new(Square));
-        let (digest, _) = app(Context::new(
-            fused,
-            GmacConfig::default().protocol(protocol),
-        ));
+        let digest = app(&Gmac::new(fused, GmacConfig::default().protocol(protocol)));
         let mut reference = adsm::workloads::Digest::new();
         reference.update_f32(
             &(0..N)

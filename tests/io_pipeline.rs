@@ -2,7 +2,7 @@
 //! shared memory → disk, exercising the §4.4 interposition under every
 //! protocol, including ranges that straddle block boundaries.
 
-use adsm::gmac::{Context, GmacConfig, Param, Protocol};
+use adsm::gmac::{Gmac, GmacConfig, Param, Protocol};
 use adsm::hetsim::{Args, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult};
 use std::sync::Arc;
 
@@ -36,10 +36,11 @@ fn pipeline(protocol: Protocol, size: u64, block: u64) {
     let data: Vec<u8> = (0..size).map(|i| (i % 241) as u8).collect();
     platform.fs_mut().create("input.bin", data.clone());
 
-    let mut ctx = Context::new(
+    let ctx = Gmac::new(
         platform,
         GmacConfig::default().protocol(protocol).block_size(block),
-    );
+    )
+    .session();
     let src = ctx.alloc(size).unwrap();
     let dst = ctx.alloc(size).unwrap();
 
@@ -64,9 +65,7 @@ fn pipeline(protocol: Protocol, size: u64, block: u64) {
 
     // Validate the file contents against the expected transform.
     let mut out = vec![0u8; size as usize];
-    ctx.platform_mut()
-        .fs_mut()
-        .read_at("output.bin", 0, &mut out)
+    ctx.with_platform(|p| p.fs_mut().read_at("output.bin", 0, &mut out))
         .unwrap();
     let expected: Vec<u8> = data.iter().map(|b| b ^ 0x77).collect();
     assert_eq!(out, expected, "{protocol} pipeline corrupted data");
@@ -93,7 +92,7 @@ fn partial_file_reads_and_offsets() {
     platform.register_kernel(Arc::new(XorKernel));
     let data: Vec<u8> = (0..100_000u32).map(|i| (i % 199) as u8).collect();
     platform.fs_mut().create("in.bin", data.clone());
-    let mut ctx = Context::new(platform, GmacConfig::default().block_size(8192));
+    let ctx = Gmac::new(platform, GmacConfig::default().block_size(8192)).session();
     let obj = ctx.alloc(64 * 1024).unwrap();
 
     // Read a window from the middle of the file to an offset inside the
@@ -109,9 +108,7 @@ fn partial_file_reads_and_offsets() {
     ctx.write_shared_to_file("out.bin", 7, obj.byte_add(1000), 30_000)
         .unwrap();
     let mut out = vec![0u8; 30_007];
-    ctx.platform_mut()
-        .fs_mut()
-        .read_at("out.bin", 0, &mut out)
+    ctx.with_platform(|p| p.fs_mut().read_at("out.bin", 0, &mut out))
         .unwrap();
     assert_eq!(&out[7..], &data[50_000..80_000]);
     assert!(out[..7].iter().all(|&b| b == 0));
@@ -123,7 +120,7 @@ fn shared_to_shared_memcpy_across_devices_is_host_mediated() {
     // through system memory and stays correct.
     let mut platform = Platform::desktop_multi_gpu(2);
     platform.register_kernel(Arc::new(XorKernel));
-    let mut ctx = Context::new(platform, GmacConfig::default());
+    let ctx = Gmac::new(platform, GmacConfig::default()).session();
     let a = ctx.alloc_on(adsm::hetsim::DeviceId(0), 32 * 1024).unwrap();
     let b = ctx
         .safe_alloc_on(adsm::hetsim::DeviceId(1), 32 * 1024)

@@ -4,7 +4,7 @@
 //! protocol (paper §3.3: after `adsmCall` the accelerator sees every CPU
 //! write; after `adsmSync` the CPU sees every kernel write).
 
-use adsm::gmac::{Context, GmacConfig, Param, Protocol, SharedPtr};
+use adsm::gmac::{Gmac, GmacConfig, Param, Protocol, SharedPtr};
 use adsm::hetsim::{Args, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult};
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -94,12 +94,13 @@ fn fill_pattern(seed: u8, len: usize) -> Vec<u8> {
 fn run_oracle(protocol: Protocol, block_size: u64, ops: &[Op]) {
     let mut platform = Platform::desktop_g280();
     platform.register_kernel(Arc::new(Mutate));
-    let mut ctx = Context::new(
+    let ctx = Gmac::new(
         platform,
         GmacConfig::default()
             .protocol(protocol)
             .block_size(block_size),
-    );
+    )
+    .session();
     let objs: [SharedPtr; 2] = [
         ctx.alloc(OBJ_SIZE as u64).unwrap(),
         ctx.alloc(OBJ_SIZE as u64).unwrap(),
@@ -219,13 +220,14 @@ proptest! {
 fn run_oracle_pinned(ops: &[Op]) {
     let mut platform = Platform::desktop_g280();
     platform.register_kernel(Arc::new(Mutate));
-    let mut ctx = Context::new(
+    let ctx = Gmac::new(
         platform,
         GmacConfig::default()
             .protocol(Protocol::Rolling)
             .block_size(4096)
             .rolling_size(1),
-    );
+    )
+    .session();
     let objs: [SharedPtr; 2] = [
         ctx.alloc(OBJ_SIZE as u64).unwrap(),
         ctx.alloc(OBJ_SIZE as u64).unwrap(),

@@ -3,7 +3,7 @@
 //! (paper §4.3 — "this protocol only allows a fixed number of blocks to be
 //! in the dirty state on the CPU").
 
-use adsm::gmac::{Context, GmacConfig, Protocol};
+use adsm::gmac::{Gmac, GmacConfig, Protocol};
 use adsm::hetsim::Platform;
 use proptest::prelude::*;
 
@@ -17,20 +17,20 @@ proptest! {
         rolling_size in 1usize..6,
         writes in proptest::collection::vec((0u64..64, 1u64..2 * BLOCK), 1..120),
     ) {
-        let mut ctx = Context::new(
+        let ctx = Gmac::new(
             Platform::desktop_g280(),
             GmacConfig::default()
                 .protocol(Protocol::Rolling)
                 .block_size(BLOCK)
                 .rolling_size(rolling_size),
-        );
+        )
+        .session();
         let obj = ctx.alloc(64 * BLOCK).unwrap();
         for (block_idx, len) in writes {
             let off = block_idx * BLOCK;
             let len = len.min(64 * BLOCK - off);
             ctx.store_slice(obj.byte_add(off), &vec![0xABu8; len as usize]).unwrap();
-            let (_, mgr, protocol) = ctx.parts();
-            let dirty = protocol.dirty_blocks(mgr);
+            let dirty = ctx.with_parts(|_, mgr, protocol| protocol.dirty_blocks(mgr));
             prop_assert!(
                 dirty <= rolling_size,
                 "dirty {} exceeds rolling size {}",
@@ -46,13 +46,14 @@ proptest! {
     ) {
         // With rolling size 1, every second write evicts a block; the
         // evicted (read-only) block's device copy must equal the host copy.
-        let mut ctx = Context::new(
+        let ctx = Gmac::new(
             Platform::desktop_g280(),
             GmacConfig::default()
                 .protocol(Protocol::Rolling)
                 .block_size(BLOCK)
                 .rolling_size(1),
-        );
+        )
+        .session();
         let obj = ctx.alloc(16 * BLOCK).unwrap();
         let mut model = vec![0u8; (16 * BLOCK) as usize];
         for (block_idx, value) in writes {
@@ -61,10 +62,8 @@ proptest! {
             model[off..off + BLOCK as usize].fill(value);
         }
         // Force everything to the device, then read it all back.
-        {
-            let (rt, mgr, protocol) = ctx.parts();
-            protocol.release(rt, mgr, adsm::hetsim::DeviceId(0), None).unwrap();
-        }
+        ctx.with_parts(|rt, mgr, protocol| protocol.release(rt, mgr, adsm::hetsim::DeviceId(0), None))
+            .unwrap();
         let got: Vec<u8> = ctx.load_slice(obj, (16 * BLOCK) as usize).unwrap();
         prop_assert_eq!(got, model);
     }
@@ -74,12 +73,13 @@ proptest! {
 fn adaptive_rolling_size_grows_with_allocations() {
     // Default config: rolling size += 2 per allocation. Five allocations
     // give a bound of 10 dirty blocks; an 11-block write pattern must evict.
-    let mut ctx = Context::new(
+    let ctx = Gmac::new(
         Platform::desktop_g280(),
         GmacConfig::default()
             .protocol(Protocol::Rolling)
             .block_size(BLOCK),
-    );
+    )
+    .session();
     let objs: Vec<_> = (0..5).map(|_| ctx.alloc(16 * BLOCK).unwrap()).collect();
     for (i, obj) in objs.iter().enumerate() {
         for b in 0..3u64 {
@@ -87,8 +87,7 @@ fn adaptive_rolling_size_grows_with_allocations() {
         }
     }
     // 15 blocks dirtied; bound is 10.
-    let (_, mgr, protocol) = ctx.parts();
-    let dirty = protocol.dirty_blocks(mgr);
+    let dirty = ctx.with_parts(|_, mgr, protocol| protocol.dirty_blocks(mgr));
     assert!(dirty <= 10, "adaptive bound violated: {dirty}");
     assert!(dirty > 0);
 }
