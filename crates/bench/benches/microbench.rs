@@ -107,7 +107,7 @@ fn bench_fault_path(c: &mut Criterion) {
 fn bench_devmem(c: &mut Criterion) {
     let mut g = c.benchmark_group("devmem");
     g.bench_function("alloc_free_churn", |b| {
-        let mut p = Platform::desktop_g280();
+        let p = Platform::desktop_g280();
         b.iter(|| {
             let a = p.dev_alloc(DeviceId(0), 1 << 16).unwrap();
             let bb = p.dev_alloc(DeviceId(0), 1 << 20).unwrap();
@@ -123,7 +123,7 @@ fn bench_dma(c: &mut Criterion) {
     let mut g = c.benchmark_group("dma_engine");
     for &size in &[4096u64, 1 << 20] {
         g.bench_with_input(BenchmarkId::new("copy_h2d", size), &size, |b, &size| {
-            let mut p = Platform::desktop_g280();
+            let p = Platform::desktop_g280();
             let dst = p.dev_alloc(DeviceId(0), size).unwrap();
             let src = vec![0xA5u8; size as usize];
             b.iter(|| {
@@ -147,7 +147,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.sample_size(20);
     g.bench_function("vecadd_256k_rolling", |b| {
         b.iter(|| {
-            let mut platform = Platform::desktop_g280();
+            let platform = Platform::desktop_g280();
             platform.register_kernel(Arc::new(VecAddKernel));
             let ctx = Gmac::new(platform, GmacConfig::default()).session();
             let n = 256 * 1024usize;

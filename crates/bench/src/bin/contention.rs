@@ -1,0 +1,67 @@
+//! Lock-contention ablation: N OS threads × N accelerators, vecadd rounds.
+//!
+//! Measures **wall-clock** time (not virtual time) for the same fixed
+//! workload under the two runtime lock modes:
+//!
+//! * `sharded` — the default per-device shard locks: each thread's
+//!   allocations, transfers and kernel executions take only its own
+//!   device's locks, so threads genuinely overlap;
+//! * `global`  — `GmacConfig::sharding(false)`: every operation additionally
+//!   serialises on one process-wide mutex, reproducing the pre-shard
+//!   `Mutex<State>` runtime.
+//!
+//! Both modes run identical code paths, so the per-device output digests
+//! must match exactly; only wall-clock concurrency differs. The
+//! `contention_ablation` integration test asserts the ≥1.5× speedup and
+//! digest equality; this binary prints the table.
+//!
+//! Usage: `contention [--quick] [devices] [elements] [reps]`
+
+use gmac_bench::contention::run_mode;
+use gmac_bench::TextTable;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let nums: Vec<usize> = args.iter().filter_map(|a| a.parse().ok()).collect();
+    let devices = nums.first().copied().unwrap_or(2);
+    let n = nums
+        .get(1)
+        .copied()
+        .unwrap_or(if quick { 256 * 1024 } else { 1 << 20 });
+    let reps = nums.get(2).copied().unwrap_or(if quick { 2 } else { 4 });
+
+    println!(
+        "contention ablation: {devices} threads x {devices} devices, vecadd n={n}, reps={reps}"
+    );
+    println!("(wall-clock; output digests are identical between modes)\n");
+
+    // Warm-up (allocator, page frames, thread spawn) outside the measurement.
+    run_mode(true, devices, n.min(64 * 1024), 1);
+
+    let sharded = run_mode(true, devices, n, reps);
+    let global = run_mode(false, devices, n, reps);
+    assert_eq!(
+        sharded.digests, global.digests,
+        "lock mode must never change results"
+    );
+
+    let mut table = TextTable::new(["mode", "wall-clock", "digests"]);
+    table.row([
+        "sharded".to_string(),
+        gmac_bench::fmt_secs(sharded.wall_secs),
+        format!("{:016x?}", sharded.digests),
+    ]);
+    table.row([
+        "global".to_string(),
+        gmac_bench::fmt_secs(global.wall_secs),
+        format!("{:016x?}", global.digests),
+    ]);
+    gmac_bench::emit("contention", &table.render());
+
+    println!(
+        "speedup (global/sharded): {:.2}x on {} available cores",
+        global.wall_secs / sharded.wall_secs,
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
+    );
+}

@@ -49,7 +49,7 @@ fn main() {
     let link_d2h = hetsim::LinkModel::pcie2_x16_d2h();
     for &bs in block_sizes {
         eprintln!("[fig11] block size {} ...", gmac_bench::fmt_bytes(bs));
-        let mut platform = Platform::desktop_g280();
+        let platform = Platform::desktop_g280();
         platform.register_kernel(Arc::new(VecAddKernel));
         let gmac = Gmac::new(
             platform,

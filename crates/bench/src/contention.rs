@@ -1,0 +1,98 @@
+//! Shared harness for the lock-contention ablation: N OS threads × N
+//! accelerators running vecadd rounds, timed in **wall-clock** (not virtual)
+//! time under the sharded runtime vs. the global-lock ablation mode
+//! ([`GmacConfig::sharding`]). Used by the `contention` binary and the
+//! `contention_ablation` integration test.
+
+use gmac::{Gmac, GmacConfig, Param};
+use hetsim::{DeviceId, LaunchDims, Platform};
+use std::sync::Arc;
+use std::time::Instant;
+use workloads::vecadd::VecAddKernel;
+use workloads::Digest;
+
+/// One device's deterministic inputs (distinct per device so a swapped
+/// buffer cannot digest equal).
+fn inputs(dev: usize, n: usize) -> (Vec<f32>, Vec<f32>) {
+    let a: Vec<f32> = (0..n)
+        .map(|i| ((i + dev * 131) % 9973) as f32 * 0.25)
+        .collect();
+    let b: Vec<f32> = (0..n)
+        .map(|i| ((i + dev * 17) % 7919) as f32 * 0.5)
+        .collect();
+    (a, b)
+}
+
+/// Runs `reps` vecadd rounds on `dev` through one session, returning the
+/// digest of all outputs.
+pub fn device_round(gmac: &Gmac, dev: usize, n: usize, reps: usize) -> u64 {
+    let session = gmac.session_on(DeviceId(dev));
+    let (va, vb) = inputs(dev, n);
+    let mut digest = Digest::new();
+    for _ in 0..reps {
+        let a = session.safe_alloc_typed::<f32>(n).expect("alloc a");
+        let b = session.safe_alloc_typed::<f32>(n).expect("alloc b");
+        let c = session.safe_alloc_typed::<f32>(n).expect("alloc c");
+        a.write_slice(&va).expect("write a");
+        b.write_slice(&vb).expect("write b");
+        session
+            .call(
+                "vecadd",
+                LaunchDims::for_elements(n as u64, 256),
+                &[
+                    Param::from(&a),
+                    Param::from(&b),
+                    Param::from(&c),
+                    Param::U64(n as u64),
+                ],
+            )
+            .expect("call");
+        session.sync().expect("sync");
+        let out = c.read_slice().expect("read c");
+        digest.update_f32(&out);
+    }
+    digest.finish()
+}
+
+/// Result of one mode's run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModeResult {
+    /// Wall-clock seconds for the whole round (spawn to last join).
+    pub wall_secs: f64,
+    /// Per-device output digests (index = device id).
+    pub digests: Vec<u64>,
+    /// Total *virtual* time the platform clock advanced.
+    pub virtual_elapsed: hetsim::Nanos,
+}
+
+/// Spawns one OS thread per device, each running [`device_round`] through
+/// its own session, and measures wall-clock time spawn-to-join.
+pub fn run_mode(sharding: bool, devices: usize, n: usize, reps: usize) -> ModeResult {
+    let platform = Platform::desktop_multi_gpu(devices);
+    platform.register_kernel(Arc::new(VecAddKernel));
+    let gmac = Gmac::new(platform, GmacConfig::default().sharding(sharding));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..devices)
+        .map(|dev| {
+            let gmac = gmac.clone();
+            std::thread::spawn(move || device_round(&gmac, dev, n, reps))
+        })
+        .collect();
+    let digests: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let wall_secs = start.elapsed().as_secs_f64();
+    ModeResult {
+        wall_secs,
+        digests,
+        virtual_elapsed: gmac.elapsed(),
+    }
+}
+
+/// Single-threaded single-device run (the byte-identical baseline the
+/// ablation test compares across lock modes).
+pub fn run_single(sharding: bool, n: usize, reps: usize) -> (u64, hetsim::Nanos) {
+    let platform = Platform::desktop_g280();
+    platform.register_kernel(Arc::new(VecAddKernel));
+    let gmac = Gmac::new(platform, GmacConfig::default().sharding(sharding));
+    let digest = device_round(&gmac, 0, n, reps);
+    (digest, gmac.elapsed())
+}

@@ -8,6 +8,8 @@
 
 #![warn(missing_docs)]
 
+pub mod contention;
+
 use std::fmt::Write as _;
 use std::fs;
 use std::io::Write as _;

@@ -15,12 +15,10 @@
 
 use crate::config::GmacConfig;
 use crate::error::GmacResult;
-use crate::gmac::State;
-use crate::manager::Manager;
+use crate::gmac::Inner;
 use crate::object::SharedObject;
-use crate::protocol::CoherenceProtocol;
 use crate::ptr::{Param, SharedPtr};
-use crate::runtime::{Counters, Runtime};
+use crate::runtime::Counters;
 use crate::sched::SchedPolicy;
 use crate::session::{SessionId, SessionView};
 use hetsim::{DevAddr, DeviceId, LaunchDims, Platform, TimeLedger, TransferLedger};
@@ -36,17 +34,17 @@ use softmmu::{Scalar, VAddr};
 )]
 #[derive(Debug)]
 pub struct Context {
-    state: State,
+    inner: Inner,
     view: SessionView,
 }
 
 impl Context {
     /// Creates a context over `platform` with the given configuration.
     pub fn new(platform: Platform, config: GmacConfig) -> Self {
-        let mut state = State::new(platform, config);
-        let id = state.next_session_id();
+        let inner = Inner::new(platform, config);
+        let id = inner.next_session_id();
         Context {
-            state,
+            inner,
             view: SessionView { id, affinity: None },
         }
     }
@@ -56,7 +54,7 @@ impl Context {
     /// # Errors
     /// See [`crate::Session::alloc`].
     pub fn alloc(&mut self, size: u64) -> GmacResult<SharedPtr> {
-        self.state.alloc(self.view, size)
+        self.inner.alloc(self.view, size)
     }
 
     /// Compat for [`crate::Session::alloc_on`].
@@ -64,7 +62,7 @@ impl Context {
     /// # Errors
     /// See [`crate::Session::alloc_on`].
     pub fn alloc_on(&mut self, dev: DeviceId, size: u64) -> GmacResult<SharedPtr> {
-        self.state.alloc_on(dev, size)
+        self.inner.alloc_on(dev, size)
     }
 
     /// Compat for [`crate::Session::safe_alloc`] (`adsmSafeAlloc`).
@@ -72,7 +70,7 @@ impl Context {
     /// # Errors
     /// See [`crate::Session::safe_alloc`].
     pub fn safe_alloc(&mut self, size: u64) -> GmacResult<SharedPtr> {
-        self.state.safe_alloc(self.view, size)
+        self.inner.safe_alloc(self.view, size)
     }
 
     /// Compat for [`crate::Session::safe_alloc_on`].
@@ -80,7 +78,7 @@ impl Context {
     /// # Errors
     /// See [`crate::Session::safe_alloc_on`].
     pub fn safe_alloc_on(&mut self, dev: DeviceId, size: u64) -> GmacResult<SharedPtr> {
-        self.state.safe_alloc_on(dev, size)
+        self.inner.safe_alloc_on(dev, size)
     }
 
     /// Compat for [`crate::Session::free`] (`adsmFree`).
@@ -88,7 +86,7 @@ impl Context {
     /// # Errors
     /// See [`crate::Session::free`].
     pub fn free(&mut self, ptr: SharedPtr) -> GmacResult<()> {
-        self.state.free(ptr)
+        self.inner.free(ptr)
     }
 
     /// Compat for [`crate::Session::call`] (`adsmCall`).
@@ -110,7 +108,7 @@ impl Context {
         params: &[Param],
         writes: Option<&[SharedPtr]>,
     ) -> GmacResult<()> {
-        self.state
+        self.inner
             .call_annotated(self.view, kernel, dims, params, writes)
     }
 
@@ -119,7 +117,7 @@ impl Context {
     /// # Errors
     /// See [`crate::Session::sync`].
     pub fn sync(&mut self) -> GmacResult<()> {
-        self.state.sync(self.view)
+        self.inner.sync(self.view)
     }
 
     /// Compat for [`crate::Session::translate`] (`adsmSafe`).
@@ -127,7 +125,7 @@ impl Context {
     /// # Errors
     /// See [`crate::Session::translate`].
     pub fn translate(&self, ptr: SharedPtr) -> GmacResult<DevAddr> {
-        self.state.translate(ptr)
+        self.inner.translate(ptr)
     }
 
     /// Compat for [`crate::Session::load`].
@@ -135,7 +133,7 @@ impl Context {
     /// # Errors
     /// See [`crate::Session::load`].
     pub fn load<T: Scalar>(&mut self, ptr: SharedPtr) -> GmacResult<T> {
-        self.state.load(ptr)
+        self.inner.load(ptr)
     }
 
     /// Compat for [`crate::Session::store`].
@@ -143,7 +141,7 @@ impl Context {
     /// # Errors
     /// See [`crate::Session::store`].
     pub fn store<T: Scalar>(&mut self, ptr: SharedPtr, value: T) -> GmacResult<()> {
-        self.state.store(ptr, value)
+        self.inner.store(ptr, value)
     }
 
     /// Compat for [`crate::Session::load_slice`].
@@ -151,7 +149,7 @@ impl Context {
     /// # Errors
     /// See [`crate::Session::load_slice`].
     pub fn load_slice<T: Scalar>(&mut self, ptr: SharedPtr, n: usize) -> GmacResult<Vec<T>> {
-        self.state.load_slice(ptr, n)
+        self.inner.load_slice(ptr, n)
     }
 
     /// Compat for [`crate::Session::store_slice`].
@@ -159,7 +157,7 @@ impl Context {
     /// # Errors
     /// See [`crate::Session::store_slice`].
     pub fn store_slice<T: Scalar>(&mut self, ptr: SharedPtr, values: &[T]) -> GmacResult<()> {
-        self.state.store_slice(ptr, values)
+        self.inner.store_slice(ptr, values)
     }
 
     /// Compat for [`crate::Session::memset`].
@@ -167,7 +165,7 @@ impl Context {
     /// # Errors
     /// See [`crate::Session::memset`].
     pub fn memset(&mut self, ptr: SharedPtr, value: u8, len: u64) -> GmacResult<()> {
-        self.state.memset(ptr, value, len)
+        self.inner.memset(ptr, value, len)
     }
 
     /// Compat for [`crate::Session::memcpy_in`].
@@ -175,7 +173,7 @@ impl Context {
     /// # Errors
     /// See [`crate::Session::memcpy_in`].
     pub fn memcpy_in(&mut self, dst: SharedPtr, src: &[u8]) -> GmacResult<()> {
-        self.state.memcpy_in(dst, src)
+        self.inner.memcpy_in(dst, src)
     }
 
     /// Compat for [`crate::Session::memcpy_out`].
@@ -183,7 +181,7 @@ impl Context {
     /// # Errors
     /// See [`crate::Session::memcpy_out`].
     pub fn memcpy_out(&mut self, dst: &mut [u8], src: SharedPtr) -> GmacResult<()> {
-        self.state.memcpy_out(dst, src)
+        self.inner.memcpy_out(dst, src)
     }
 
     /// Compat for [`crate::Session::memcpy`].
@@ -191,7 +189,7 @@ impl Context {
     /// # Errors
     /// See [`crate::Session::memcpy`].
     pub fn memcpy(&mut self, dst: SharedPtr, src: SharedPtr, len: u64) -> GmacResult<()> {
-        self.state.memcpy(dst, src, len)
+        self.inner.memcpy(dst, src, len)
     }
 
     /// Compat for [`crate::Session::read_file_to_shared`].
@@ -205,7 +203,7 @@ impl Context {
         ptr: SharedPtr,
         len: u64,
     ) -> GmacResult<u64> {
-        self.state.read_file_to_shared(name, file_offset, ptr, len)
+        self.inner.read_file_to_shared(name, file_offset, ptr, len)
     }
 
     /// Compat for [`crate::Session::write_shared_to_file`].
@@ -219,74 +217,76 @@ impl Context {
         ptr: SharedPtr,
         len: u64,
     ) -> GmacResult<u64> {
-        self.state.write_shared_to_file(name, file_offset, ptr, len)
+        self.inner.write_shared_to_file(name, file_offset, ptr, len)
     }
 
     // ----- introspection ----------------------------------------------------
 
-    /// The simulated platform (clock, devices, filesystem).
+    /// The simulated platform (clock, devices, filesystem, kernel registry;
+    /// internally thread-safe, so `&self` access suffices for mutation too).
     pub fn platform(&self) -> &Platform {
-        self.state.rt.platform()
+        &self.inner.platform
     }
 
-    /// The simulated platform, mutable (kernel registration, file setup).
-    pub fn platform_mut(&mut self) -> &mut Platform {
-        self.state.rt.platform_mut()
+    /// Compat alias for [`Self::platform`] (the platform's interior locks
+    /// made `&mut` access unnecessary).
+    pub fn platform_mut(&mut self) -> &Platform {
+        &self.inner.platform
     }
 
     /// Consumes the context, returning the platform (final measurements).
     pub fn into_platform(self) -> Platform {
-        self.state.rt.platform
+        self.inner.into_platform()
     }
 
-    /// Execution-time ledger (Figure 10 categories).
-    pub fn ledger(&self) -> &TimeLedger {
-        self.state.rt.platform().ledger()
+    /// Execution-time ledger snapshot (Figure 10 categories).
+    pub fn ledger(&self) -> TimeLedger {
+        self.inner.platform.ledger().clone()
     }
 
-    /// Transfer ledger (Figure 8 input).
-    pub fn transfers(&self) -> &TransferLedger {
-        self.state.rt.platform().transfers()
+    /// Transfer-ledger snapshot (Figure 8 input).
+    pub fn transfers(&self) -> TransferLedger {
+        *self.inner.platform.transfers()
     }
 
     /// Runtime event counters (faults, fetches, evictions).
     pub fn counters(&self) -> Counters {
-        self.state.counters()
+        self.inner.counters()
     }
 
     /// Active configuration.
     pub fn config(&self) -> &GmacConfig {
-        self.state.config()
+        self.inner.config()
     }
 
     /// Number of live shared objects.
     pub fn object_count(&self) -> usize {
-        self.state.object_count()
+        self.inner.object_count()
     }
 
-    /// The shared object containing `ptr` (diagnostics/tests).
-    pub fn object_at(&self, ptr: SharedPtr) -> Option<&SharedObject> {
-        self.state.object_at(ptr)
+    /// Snapshot of the shared object containing `ptr` (diagnostics/tests).
+    pub fn object_at(&self, ptr: SharedPtr) -> Option<SharedObject> {
+        self.inner.object_at(ptr)
     }
 
     /// Start addresses of all live shared objects, in address order.
     pub fn object_addrs(&self) -> Vec<VAddr> {
-        self.state.object_addrs()
+        self.inner.object_addrs()
     }
 
     /// Number of blocks currently dirty, per the protocol's bookkeeping.
     pub fn dirty_block_count(&self) -> usize {
-        self.state.dirty_block_count()
+        self.inner.dirty_block_count()
     }
 
     /// Changes the allocation-placement policy.
     pub fn set_sched_policy(&mut self, policy: SchedPolicy) {
-        self.state.scheduler.set_policy(policy);
+        self.inner.set_sched_policy(policy);
     }
 
     /// Whether an accelerator call is outstanding.
     pub fn has_pending_call(&self) -> bool {
-        self.state.has_pending_call(self.view)
+        self.inner.has_pending_call(self.view)
     }
 
     /// This context's session identity (it owns exactly one).
@@ -294,18 +294,27 @@ impl Context {
         self.view.id
     }
 
-    /// Direct access to runtime internals (protocol ablation harnesses and
-    /// tests). Not part of the stable API.
+    /// Direct access to the runtime internals of the device-0 shard
+    /// (protocol ablation harnesses and tests). Not part of the stable API.
+    /// The shard lock is held for the duration of `f` and is not reentrant.
     #[doc(hidden)]
-    pub fn parts(&mut self) -> (&mut Runtime, &mut Manager, &mut dyn CoherenceProtocol) {
-        let State {
+    pub fn with_parts<R>(
+        &mut self,
+        f: impl FnOnce(
+            &mut crate::runtime::Runtime,
+            &mut crate::manager::Manager,
+            &mut dyn crate::protocol::CoherenceProtocol,
+        ) -> R,
+    ) -> R {
+        let mut shard = self.inner.shard(DeviceId(0));
+        let crate::shard::DeviceShard {
             rt, mgr, protocol, ..
-        } = &mut self.state;
-        (rt, mgr, protocol.as_mut())
+        } = &mut *shard;
+        f(rt, mgr, protocol.as_mut())
     }
 
-    pub(crate) fn state_ref(&self) -> &State {
-        &self.state
+    pub(crate) fn state_ref(&self) -> &Inner {
+        &self.inner
     }
 }
 
@@ -324,7 +333,7 @@ mod tests {
 
     #[test]
     fn compat_shim_preserves_table1_flow() {
-        let mut platform = Platform::desktop_g280();
+        let platform = Platform::desktop_g280();
         platform.register_kernel(Arc::new(NopKernel));
         let mut c = Context::new(platform, GmacConfig::default().protocol(Protocol::Rolling));
         let p = c.alloc(64 * 1024).unwrap();

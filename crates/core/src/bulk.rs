@@ -11,14 +11,16 @@
 //! [`crate::Context`] shim); this module holds the shared implementation.
 
 use crate::error::GmacResult;
-use crate::gmac::State;
 use crate::ptr::SharedPtr;
+use crate::shard::DeviceShard;
 
-impl State {
+impl DeviceShard {
     /// Interposed `memset(ptr, value, len)` over shared memory: performed
     /// device-side (`cudaMemset`), exactly as the paper's overloaded memset
-    /// (§4.4) — no page faults, no host staging copy.
-    pub(crate) fn memset(&mut self, ptr: SharedPtr, value: u8, len: u64) -> GmacResult<()> {
+    /// (§4.4) — no page faults, no host staging copy. Runs under this
+    /// shard's lock; the `memcpy` family lives on [`crate::gmac::Inner`]
+    /// because a shared-to-shared copy may span two shards.
+    pub(crate) fn memset_locked(&mut self, ptr: SharedPtr, value: u8, len: u64) -> GmacResult<()> {
         let obj = self
             .mgr
             .find(ptr.addr())
@@ -27,24 +29,6 @@ impl State {
         let offset = ptr.addr() - start;
         self.protocol
             .memset_through(&mut self.rt, &mut self.mgr, start, offset, len, value)
-    }
-
-    /// Interposed `memcpy` from private host memory into shared memory.
-    pub(crate) fn memcpy_in(&mut self, dst: SharedPtr, src: &[u8]) -> GmacResult<()> {
-        self.shared_write(dst, src)
-    }
-
-    /// Interposed `memcpy` from shared memory into private host memory.
-    pub(crate) fn memcpy_out(&mut self, dst: &mut [u8], src: SharedPtr) -> GmacResult<()> {
-        let bytes = self.shared_read(src, dst.len() as u64)?;
-        dst.copy_from_slice(&bytes);
-        Ok(())
-    }
-
-    /// Interposed shared-to-shared `memcpy` (possibly across objects).
-    pub(crate) fn memcpy(&mut self, dst: SharedPtr, src: SharedPtr, len: u64) -> GmacResult<()> {
-        let bytes = self.shared_read(src, len)?;
-        self.shared_write(dst, &bytes)
     }
 }
 

@@ -117,6 +117,14 @@ pub struct GmacConfig {
     pub lookup: LookupKind,
     /// Accelerator Abstraction Layer flavour.
     pub aal: AalLayer,
+    /// Shard the runtime per accelerator (the default): sessions driving
+    /// different devices take independent locks and genuinely overlap in
+    /// wall-clock time. `false` restores the PR-2-era *global-lock* mode —
+    /// every operation additionally serialises on one process-wide mutex —
+    /// kept as the ablation baseline for the contention benchmark. The two
+    /// modes run identical code paths, so results are byte-identical; only
+    /// wall-clock concurrency differs.
+    pub sharding: bool,
     /// Library bookkeeping costs.
     pub costs: GmacCosts,
 }
@@ -132,6 +140,7 @@ impl Default for GmacConfig {
             coalescing: true,
             lookup: LookupKind::Tree,
             aal: AalLayer::Driver,
+            sharding: true,
             costs: GmacCosts::default(),
         }
     }
@@ -199,6 +208,13 @@ impl GmacConfig {
         self.aal = aal;
         self
     }
+
+    /// Enables or disables the per-device sharded runtime (`false` =
+    /// global-lock ablation mode; see [`GmacConfig::sharding`]).
+    pub fn sharding(mut self, on: bool) -> Self {
+        self.sharding = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +232,7 @@ mod tests {
         assert_eq!(c.rolling_size, None, "adaptive by default");
         assert!(c.eager_eviction);
         assert!(c.coalescing, "transfer coalescing is the default behaviour");
+        assert!(c.sharding, "per-device sharding is the default behaviour");
         assert_eq!(c.lookup, LookupKind::Tree);
         assert_eq!(c.block_size % PAGE_SIZE, 0);
     }
@@ -230,7 +247,9 @@ mod tests {
             .eager_eviction(false)
             .coalescing(false)
             .lookup(LookupKind::Linear)
-            .aal(AalLayer::Runtime);
+            .aal(AalLayer::Runtime)
+            .sharding(false);
+        assert!(!c.sharding);
         assert_eq!(c.protocol, Protocol::Lazy);
         assert_eq!(c.block_size, 64 * 1024);
         assert_eq!(c.rolling_size, Some(4));

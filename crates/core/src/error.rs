@@ -38,6 +38,8 @@ pub enum GmacError {
         addr: VAddr,
         /// Device running the pending call that references it.
         dev: DeviceId,
+        /// Session whose call holds the object (the one that must sync).
+        owner: SessionId,
     },
     /// An access spans beyond the end of a shared object.
     OutOfObjectBounds {
@@ -71,16 +73,14 @@ impl fmt::Display for GmacError {
             GmacError::DeviceBusy { dev, owner } => {
                 write!(
                     f,
-                    "device {} already has a call in flight from {owner}; sync it first",
-                    dev.0
+                    "device {dev} already has a call in flight from {owner}; sync it first"
                 )
             }
-            GmacError::ObjectInUse { addr, dev } => {
+            GmacError::ObjectInUse { addr, dev, owner } => {
                 write!(
                     f,
-                    "shared object at {addr} is referenced by the call in flight on device {}; \
-                     sync before freeing",
-                    dev.0
+                    "shared object at {addr} is referenced by {owner}'s call in flight on \
+                     device {dev}; sync before freeing"
                 )
             }
             GmacError::OutOfObjectBounds { base, offset, len } => {
@@ -172,13 +172,19 @@ mod tests {
         };
         assert_eq!(
             e.to_string(),
-            "device 1 already has a call in flight from session #3; sync it first"
+            "device gpu1 already has a call in flight from session #3; sync it first"
         );
         let e = GmacError::ObjectInUse {
             addr: VAddr(0x2_0000_0000),
             dev: DeviceId(0),
+            owner: SessionId(7),
         };
-        assert!(e.to_string().contains("sync before freeing"));
+        let text = e.to_string();
+        assert!(text.contains("sync before freeing"));
+        assert!(
+            text.contains("session #7") && text.contains("gpu0"),
+            "ObjectInUse must name the owning session and device: {text}"
+        );
         assert!(e.source().is_none());
     }
 
@@ -196,6 +202,7 @@ mod tests {
             GmacError::ObjectInUse {
                 addr: VAddr(1),
                 dev: DeviceId(0),
+                owner: SessionId(0),
             },
             GmacError::OutOfObjectBounds {
                 base: VAddr(1),

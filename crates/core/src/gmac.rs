@@ -1,92 +1,159 @@
 //! The process-wide GMAC runtime.
 //!
 //! [`Gmac`] owns the simulated platform, the software MMU, the shared-object
-//! manager and the coherence protocol behind one interior lock. Host threads
-//! never touch it directly for data access: they create cheap per-thread
-//! [`Session`] handles via [`Gmac::session`] /
-//! [`Gmac::session_on`], and each session carries its own scheduler affinity
-//! and pending-call identity. Kernel calls are tracked **per device** (a
-//! `DeviceId -> PendingCall` map instead of the old single global slot), so
-//! sessions driving different accelerators each hold an un-synced call at
-//! the same time and join independently at their `sync`/`adsmCall`
-//! boundaries through the existing DMA-join machinery.
+//! registry and the coherence machinery. Host threads never touch it
+//! directly for data access: they create cheap per-thread
+//! [`Session`] handles via [`Gmac::session`] / [`Gmac::session_on`], and each
+//! session carries its own scheduler affinity and pending-call identity.
+//!
+//! # Sharded locking (this runtime's concurrency model)
+//!
+//! Since the shard redesign the runtime no longer funnels every operation
+//! through one `Mutex<State>`. Its state is split into independently
+//! lockable pieces:
+//!
+//! * a read-mostly registry (`RwLock`) mapping host address ranges to their
+//!   home accelerator — the only cross-device structure on the
+//!   translate/load/store paths;
+//! * one [`DeviceShard`] mutex **per
+//!   accelerator**, owning that device's objects (with their block states),
+//!   host MMU regions, protocol instance, pending call, DMA queue and
+//!   counters;
+//! * a small control mutex for the allocation scheduler;
+//! * the thread-safe [`Platform`] underneath (per-device mutexes + lock-free
+//!   clock).
+//!
+//! Lock order: registry → (one) shard → platform leaves; shard locks never
+//! nest (see [`crate::shard`] for the full invariant). Cross-device
+//! operations (`memcpy` between objects homed on different accelerators,
+//! `sync` over all devices) are multi-shard transactions acquiring shards
+//! one at a time in device-id order.
+//!
+//! [`GmacConfig::sharding`]`(false)` restores the previous global-lock mode
+//! for ablation: every public operation additionally serialises on one
+//! process-wide mutex, running the *same* code paths, so results are
+//! byte-identical between modes — only wall-clock concurrency differs (see
+//! the `contention` benchmark).
 
 use crate::config::{AalLayer, GmacConfig};
 use crate::error::{GmacError, GmacResult};
-use crate::manager::Manager;
-use crate::object::SharedObject;
-use crate::protocol::{make, CoherenceProtocol};
+use crate::object::ObjectId;
 use crate::ptr::{Param, SharedPtr};
-use crate::runtime::{Counters, Runtime};
+use crate::registry::Registry;
+use crate::runtime::Counters;
 use crate::sched::{SchedPolicy, Scheduler};
 use crate::session::{Session, SessionId, SessionView};
-use crate::state::BlockState;
+use crate::shard::DeviceShard;
 use hetsim::{
     Category, DevAddr, DeviceId, KernelArg, LaunchDims, Platform, StreamId, TimeLedger,
     TransferLedger,
 };
-use softmmu::{AccessKind, MmuError, Scalar, VAddr};
-use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex, MutexGuard};
+use softmmu::VAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
-/// An outstanding accelerator call awaiting a `sync`.
-#[derive(Debug, Clone)]
-pub(crate) struct PendingCall {
-    /// Session that issued the call (only it may sync or stack more calls).
-    pub(crate) session: SessionId,
-    /// Stream the kernel was launched on.
-    pub(crate) stream: StreamId,
-    /// Start addresses of the shared objects the call references; `free` on
-    /// any of them fails with [`GmacError::ObjectInUse`] until the sync.
-    pub(crate) objects: Vec<VAddr>,
-}
-
-/// The shared runtime state behind the [`Gmac`] lock: everything the old
-/// monolithic `Context` owned, plus the per-device pending-call map.
+/// Mutable cross-device odds and ends: the allocation scheduler and the
+/// one-time CUDA-context flag.
 #[derive(Debug)]
-pub(crate) struct State {
-    pub(crate) rt: Runtime,
-    pub(crate) mgr: Manager,
-    pub(crate) protocol: Box<dyn CoherenceProtocol>,
+pub(crate) struct Control {
     pub(crate) scheduler: Scheduler,
-    /// In-flight accelerator calls, one at most per device.
-    pub(crate) pending: BTreeMap<DeviceId, PendingCall>,
     cuda_initialized: bool,
-    next_session: u64,
 }
 
-impl State {
+/// Lock helper: a poisoned lock (a panicking test thread) still yields the
+/// state — the simulator has no invariants that a panic can half-apply
+/// worse than losing the whole process.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The shared runtime state behind [`Gmac`]: registry + per-device shards +
+/// control, replacing the old monolithic `State` behind one mutex.
+#[derive(Debug)]
+pub(crate) struct Inner {
+    pub(crate) platform: Arc<Platform>,
+    pub(crate) config: GmacConfig,
+    pub(crate) registry: RwLock<Registry>,
+    pub(crate) shards: Vec<Mutex<DeviceShard>>,
+    pub(crate) control: Mutex<Control>,
+    /// `Some` in global-lock ablation mode ([`GmacConfig::sharding`] off):
+    /// held across every public operation, recreating the old
+    /// one-`Mutex<State>` serialization on top of the same code paths.
+    serial: Option<Mutex<()>>,
+    next_session: AtomicU64,
+    next_object: AtomicU64,
+}
+
+impl Inner {
     pub(crate) fn new(platform: Platform, config: GmacConfig) -> Self {
+        let platform = Arc::new(platform);
         let device_count = platform.device_count();
-        let protocol = make(config.protocol);
-        let mgr = Manager::new(config.lookup);
-        State {
-            rt: Runtime::new(platform, config),
-            mgr,
-            protocol,
-            scheduler: Scheduler::new(SchedPolicy::Fixed(DeviceId(0)), device_count),
-            pending: BTreeMap::new(),
-            cuda_initialized: false,
-            next_session: 0,
+        let shards = (0..device_count)
+            .map(|i| {
+                Mutex::new(DeviceShard::new(
+                    DeviceId(i),
+                    Arc::clone(&platform),
+                    &config,
+                ))
+            })
+            .collect();
+        let serial = (!config.sharding).then(|| Mutex::new(()));
+        Inner {
+            platform,
+            registry: RwLock::new(Registry::new()),
+            shards,
+            control: Mutex::new(Control {
+                scheduler: Scheduler::new(SchedPolicy::Fixed(DeviceId(0)), device_count),
+                cuda_initialized: false,
+            }),
+            serial,
+            next_session: AtomicU64::new(0),
+            next_object: AtomicU64::new(1),
+            config,
         }
     }
 
-    /// Allocates the next session identity.
-    pub(crate) fn next_session_id(&mut self) -> SessionId {
-        let id = SessionId(self.next_session);
-        self.next_session += 1;
-        id
+    /// Serial gate: a no-op in sharded mode, the big lock in ablation mode.
+    /// Public operations take it exactly once at their entry point.
+    pub(crate) fn gate(&self) -> Option<MutexGuard<'_, ()>> {
+        self.serial.as_ref().map(lock)
     }
 
-    fn ensure_cuda_init(&mut self) {
-        if !self.cuda_initialized {
-            self.cuda_initialized = true;
-            if self.rt.config.aal == AalLayer::Runtime {
+    /// Allocates the next session identity.
+    pub(crate) fn next_session_id(&self) -> SessionId {
+        SessionId(self.next_session.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn next_object_id(&self) -> ObjectId {
+        ObjectId(self.next_object.fetch_add(1, Ordering::Relaxed))
+    }
+
+    // ----- routing (registry read path) -------------------------------------
+
+    /// Home device + object start for a shared pointer.
+    fn route(&self, addr: VAddr) -> GmacResult<(VAddr, DeviceId)> {
+        self.registry
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .route(addr)
+            .ok_or(GmacError::NotShared(addr))
+    }
+
+    /// Locks the shard of `dev` (which must be a valid device id).
+    pub(crate) fn shard(&self, dev: DeviceId) -> MutexGuard<'_, DeviceShard> {
+        lock(&self.shards[dev.0])
+    }
+
+    fn ensure_cuda_init(&self) {
+        let mut control = lock(&self.control);
+        if !control.cuda_initialized {
+            control.cuda_initialized = true;
+            if self.config.aal == AalLayer::Runtime {
                 // The CUDA run-time layer pays a one-time context
                 // initialisation; the driver layer lets us "discard CUDA
                 // initialization time" (paper §5).
-                let cost = self.rt.config.costs.cuda_init;
-                self.rt.charge(Category::CudaMalloc, cost);
+                self.platform
+                    .spend(Category::CudaMalloc, self.config.costs.cuda_init);
             }
         }
     }
@@ -95,160 +162,180 @@ impl State {
 
     /// `adsmAlloc(size)`: session affinity overrides the scheduler's
     /// placement policy.
-    pub(crate) fn alloc(&mut self, view: SessionView, size: u64) -> GmacResult<SharedPtr> {
+    pub(crate) fn alloc(&self, view: SessionView, size: u64) -> GmacResult<SharedPtr> {
+        let _g = self.gate();
         let dev = view
             .affinity
-            .unwrap_or_else(|| self.scheduler.device_for_alloc());
-        self.alloc_on(dev, size)
+            .unwrap_or_else(|| lock(&self.control).scheduler.device_for_alloc());
+        self.alloc_on_impl(dev, size).map(|(ptr, _)| ptr)
     }
 
-    pub(crate) fn alloc_on(&mut self, dev: DeviceId, size: u64) -> GmacResult<SharedPtr> {
+    pub(crate) fn alloc_on(&self, dev: DeviceId, size: u64) -> GmacResult<SharedPtr> {
+        let _g = self.gate();
+        self.alloc_on_impl(dev, size).map(|(ptr, _)| ptr)
+    }
+
+    /// Typed-allocation entry: like [`Self::alloc`] but also returns the
+    /// allocation identity the RAII handle gates its free on.
+    pub(crate) fn alloc_typed_raw(
+        &self,
+        view: SessionView,
+        size: u64,
+        safe: bool,
+    ) -> GmacResult<(SharedPtr, ObjectId)> {
+        let _g = self.gate();
+        let dev = view
+            .affinity
+            .unwrap_or_else(|| lock(&self.control).scheduler.device_for_alloc());
+        if safe {
+            self.safe_alloc_on_impl(dev, size)
+        } else {
+            self.alloc_on_impl(dev, size)
+        }
+    }
+
+    fn alloc_on_impl(&self, dev: DeviceId, size: u64) -> GmacResult<(SharedPtr, ObjectId)> {
         // Validate the device before any charge: a bogus id (an unchecked
         // session affinity) must not desync the time ledger.
-        self.rt.platform.device(dev)?;
+        self.platform.device(dev)?;
         self.ensure_cuda_init();
-        let alloc_base = self.rt.config.costs.alloc_base;
-        self.rt.charge(Category::Malloc, alloc_base);
+        self.platform
+            .spend(Category::Malloc, self.config.costs.alloc_base);
         let size = VAddr(size.max(1)).page_up().0;
         // 1. Accelerator memory first (its allocator dictates the address).
-        let dev_addr = self.rt.platform.dev_alloc(dev, size)?;
+        let dev_addr = self.platform.dev_alloc(dev, size)?;
         // 2. Mirror the same numeric range in system memory — the paper's
-        //    fixed-address mmap trick (§4.2).
+        //    fixed-address mmap trick (§4.2). The registry is the global
+        //    arbiter of host ranges (per-shard MMUs only see their own).
         let addr = VAddr(dev_addr.0);
-        let initial = self.protocol.initial_state();
-        let region = match self.rt.vm.map_fixed(addr, size, initial.protection()) {
-            Ok(region) => region,
-            Err(MmuError::Overlap { .. }) => {
-                self.rt.platform.dev_free(dev, dev_addr)?;
-                return Err(GmacError::AddressCollision(addr));
-            }
-            Err(e) => return Err(e.into()),
-        };
-        self.finish_alloc(dev, dev_addr, addr, size, region, initial)
+        let claimed = self
+            .registry
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .claim_fixed(addr, size, dev);
+        if !claimed {
+            self.platform.dev_free(dev, dev_addr)?;
+            return Err(GmacError::AddressCollision(addr));
+        }
+        self.install(dev, dev_addr, addr, size)
     }
 
-    pub(crate) fn safe_alloc(&mut self, view: SessionView, size: u64) -> GmacResult<SharedPtr> {
+    pub(crate) fn safe_alloc(&self, view: SessionView, size: u64) -> GmacResult<SharedPtr> {
+        let _g = self.gate();
         let dev = view
             .affinity
-            .unwrap_or_else(|| self.scheduler.device_for_alloc());
-        self.safe_alloc_on(dev, size)
+            .unwrap_or_else(|| lock(&self.control).scheduler.device_for_alloc());
+        self.safe_alloc_on_impl(dev, size).map(|(ptr, _)| ptr)
     }
 
-    pub(crate) fn safe_alloc_on(&mut self, dev: DeviceId, size: u64) -> GmacResult<SharedPtr> {
-        self.rt.platform.device(dev)?;
+    pub(crate) fn safe_alloc_on(&self, dev: DeviceId, size: u64) -> GmacResult<SharedPtr> {
+        let _g = self.gate();
+        self.safe_alloc_on_impl(dev, size).map(|(ptr, _)| ptr)
+    }
+
+    fn safe_alloc_on_impl(&self, dev: DeviceId, size: u64) -> GmacResult<(SharedPtr, ObjectId)> {
+        self.platform.device(dev)?;
         self.ensure_cuda_init();
-        let alloc_base = self.rt.config.costs.alloc_base;
-        self.rt.charge(Category::Malloc, alloc_base);
+        self.platform
+            .spend(Category::Malloc, self.config.costs.alloc_base);
         let size = VAddr(size.max(1)).page_up().0;
-        let dev_addr = self.rt.platform.dev_alloc(dev, size)?;
-        let initial = self.protocol.initial_state();
-        let (region, addr) = self.rt.vm.map_anywhere(size, initial.protection())?;
-        self.finish_alloc(dev, dev_addr, addr, size, region, initial)
+        let dev_addr = self.platform.dev_alloc(dev, size)?;
+        let addr = self
+            .registry
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .claim_anywhere(size, dev)
+            .ok_or(GmacError::Mmu(softmmu::MmuError::OutOfVirtualSpace))?;
+        self.install(dev, dev_addr, addr, size)
     }
 
-    fn finish_alloc(
-        &mut self,
+    fn install(
+        &self,
         dev: DeviceId,
         dev_addr: DevAddr,
         addr: VAddr,
         size: u64,
-        region: softmmu::RegionId,
-        initial: BlockState,
-    ) -> GmacResult<SharedPtr> {
-        let block_size = self.protocol.block_size_for(&self.rt.config, size);
-        let id = self.mgr.next_id();
-        let obj = SharedObject::new(id, addr, size, dev, dev_addr, region, block_size, initial);
-        self.mgr.insert(obj);
-        self.protocol.on_alloc(&mut self.rt, &mut self.mgr, addr)?;
-        Ok(SharedPtr::new(addr))
+    ) -> GmacResult<(SharedPtr, ObjectId)> {
+        let id = self.next_object_id();
+        let ptr = self.shard(dev).install_object(id, dev_addr, addr, size)?;
+        Ok((ptr, id))
     }
 
-    /// `adsmFree(addr)`.
-    ///
-    /// Failure paths charge **nothing**: the old code charged the free cost
-    /// before looking the object up, so a failed free silently desynced the
-    /// time ledger. Objects referenced by a still-pending call are rejected
-    /// with [`GmacError::ObjectInUse`] instead of being torn down under the
-    /// kernel.
-    pub(crate) fn free(&mut self, ptr: SharedPtr) -> GmacResult<()> {
-        let addr = self
-            .mgr
-            .find(ptr.addr())
-            .ok_or(GmacError::NotShared(ptr.addr()))?
-            .addr();
-        for (&dev, call) in &self.pending {
-            if call.objects.contains(&addr) {
-                return Err(GmacError::ObjectInUse { addr, dev });
-            }
-        }
-        let free_base = self.rt.config.costs.free_base;
-        self.rt.charge(Category::Free, free_base);
-        let obj = self.mgr.remove(addr).expect("object found above");
-        self.protocol.on_free(&mut self.rt, &obj)?;
-        self.rt.vm.unmap_region(obj.region())?;
-        self.rt.platform.dev_free(obj.device(), obj.dev_addr())?;
+    /// `adsmFree(addr)` (with optional allocation-identity gate for the
+    /// RAII [`crate::Shared`] path).
+    pub(crate) fn free(&self, ptr: SharedPtr) -> GmacResult<()> {
+        let _g = self.gate();
+        self.free_impl(ptr, None)
+    }
+
+    pub(crate) fn free_exact(&self, ptr: SharedPtr, id: ObjectId) -> GmacResult<()> {
+        let _g = self.gate();
+        self.free_impl(ptr, Some(id))
+    }
+
+    fn free_impl(&self, ptr: SharedPtr, id: Option<ObjectId>) -> GmacResult<()> {
+        let (_, dev) = self.route(ptr.addr())?;
+        let (start, dev_addr) = self.shard(dev).free_locked(ptr, id)?;
+        // Release the host claim *before* returning the device range to its
+        // first-fit allocator: a concurrent alloc that is handed the same
+        // device address must find the claim gone, not collide with it.
+        self.registry
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .release(start);
+        self.platform.dev_free(dev, dev_addr)?;
         Ok(())
-    }
-
-    /// [`Self::free`] gated on allocation identity: frees only if the
-    /// object at `ptr` is still the allocation `id` names. RAII handles
-    /// ([`crate::Shared`]) use this so that a manually-freed-and-reused
-    /// address (the device allocator is first-fit) cannot make a late drop
-    /// tear down a stranger's object.
-    pub(crate) fn free_exact(&mut self, ptr: SharedPtr, id: crate::ObjectId) -> GmacResult<()> {
-        match self.mgr.find(ptr.addr()) {
-            Some(obj) if obj.id() == id => self.free(ptr),
-            _ => Err(GmacError::NotShared(ptr.addr())),
-        }
     }
 
     // ----- kernel execution (Table 1) --------------------------------------
 
     /// `adsmCall(kernel)` with the §4.3 write-set annotation.
     pub(crate) fn call_annotated(
-        &mut self,
+        &self,
         view: SessionView,
         kernel: &str,
         dims: LaunchDims,
         params: &[Param],
         writes: Option<&[SharedPtr]>,
     ) -> GmacResult<()> {
+        let _g = self.gate();
         self.ensure_cuda_init();
-        // Resolve the target accelerator from the parameter objects.
+        // Resolve the target accelerator from the parameter objects (the
+        // registry routes each shared pointer to its home device).
         let mut dev: Option<DeviceId> = None;
-        let mut objects = Vec::new();
-        let mut args = Vec::with_capacity(params.len());
-        for param in params {
-            match param {
-                Param::Shared(ptr) => {
-                    let obj = self
-                        .mgr
-                        .find(ptr.addr())
+        {
+            let reg = self
+                .registry
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for param in params {
+                if let Param::Shared(ptr) = param {
+                    let (_, d) = reg
+                        .route(ptr.addr())
                         .ok_or(GmacError::NotShared(ptr.addr()))?;
                     match dev {
-                        None => dev = Some(obj.device()),
-                        Some(d) if d == obj.device() => {}
+                        None => dev = Some(d),
+                        Some(prev) if prev == d => {}
                         Some(_) => return Err(GmacError::MixedDevices),
                     }
-                    objects.push(obj.addr());
-                    args.push(KernelArg::Ptr(obj.translate(ptr.addr())));
                 }
-                scalar => args.push(scalar.to_scalar_arg().expect("scalar param")),
             }
         }
         let dev = dev
             .or(view.affinity)
-            .unwrap_or_else(|| self.scheduler.default_device());
+            .unwrap_or_else(|| lock(&self.control).scheduler.default_device());
 
         // Validate device and kernel before any charge or release: a failed
         // call must neither desync the time ledger nor half-run the release
         // side of the consistency protocol.
-        self.rt.platform.device(dev)?;
-        self.rt.platform.kernel(kernel)?;
+        self.platform.device(dev)?;
+        self.platform.kernel(kernel)?;
+
+        let mut shard = self.shard(dev);
 
         // One un-synced call per accelerator: a different session's call in
         // flight on this device is a hard error, not an implicit join.
-        if let Some(call) = self.pending.get(&dev) {
+        if let Some(call) = &shard.pending {
             if call.session != view.id {
                 return Err(GmacError::DeviceBusy {
                     dev,
@@ -257,288 +344,284 @@ impl State {
             }
         }
 
+        // Build the argument list (device-address translation) under the
+        // shard lock; a pointer freed since routing surfaces as NotShared.
+        let mut objects = Vec::new();
+        let mut args = Vec::with_capacity(params.len());
+        for param in params {
+            match param {
+                Param::Shared(ptr) => {
+                    let obj = shard
+                        .mgr
+                        .find(ptr.addr())
+                        .ok_or(GmacError::NotShared(ptr.addr()))?;
+                    objects.push(obj.addr());
+                    args.push(KernelArg::Ptr(obj.translate(ptr.addr())));
+                }
+                scalar => args.push(scalar.to_scalar_arg().expect("scalar param")),
+            }
+        }
+
         // Release-consistency: the CPU releases shared objects at the call
-        // boundary (§3.3).
-        let call_cost = self.rt.config.costs.call_per_object * self.mgr.len() as u64;
-        self.rt.charge(Category::Launch, call_cost);
+        // boundary (§3.3). The scan cost covers this shard's objects — the
+        // other accelerators' shards are untouched (and unlocked).
+        let call_cost = self.config.costs.call_per_object * shard.mgr.len() as u64;
+        shard.rt.charge(Category::Launch, call_cost);
         let writes: Option<Vec<VAddr>> = writes.map(|ptrs| {
             ptrs.iter()
-                .filter_map(|p| self.mgr.find(p.addr()).map(|o| o.addr()))
+                .filter_map(|p| shard.mgr.find(p.addr()).map(|o| o.addr()))
                 .collect()
         });
-        self.protocol
-            .release(&mut self.rt, &mut self.mgr, dev, writes.as_deref())?;
+        {
+            let DeviceShard {
+                rt, mgr, protocol, ..
+            } = &mut *shard;
+            protocol.release(rt, mgr, dev, writes.as_deref())?;
+        }
         // Explicit join point: eager evictions and the release flush run as
         // asynchronous DMA jobs; the kernel must not start until the device
         // holds every byte the CPU wrote.
-        self.rt.join_dma(dev)?;
+        shard.rt.join_dma(dev)?;
 
         let stream = StreamId(0);
-        self.rt.platform.launch(dev, stream, kernel, dims, &args)?;
-        // Same-session back-to-back calls on one device stack on the stream
-        // (it serialises them); the pending entry accumulates the union of
-        // referenced objects so `free` stays guarded for all of them.
-        let entry = self.pending.entry(dev).or_insert(PendingCall {
-            session: view.id,
-            stream,
-            objects: Vec::new(),
-        });
-        for addr in objects {
-            if !entry.objects.contains(&addr) {
-                entry.objects.push(addr);
-            }
-        }
+        shard.rt.platform.launch(dev, stream, kernel, dims, &args)?;
+        shard.note_pending(view, stream, objects);
         Ok(())
     }
 
     /// `adsmSync()`: joins every call in flight that belongs to `view`'s
-    /// session, acquiring the shared objects of each device back for the
-    /// CPU.
-    pub(crate) fn sync(&mut self, view: SessionView) -> GmacResult<()> {
-        let devices: Vec<DeviceId> = self
-            .pending
-            .iter()
-            .filter(|(_, call)| call.session == view.id)
-            .map(|(&dev, _)| dev)
-            .collect();
-        if devices.is_empty() {
-            return Err(GmacError::NothingToSync);
+    /// session. A multi-shard transaction: shards are visited one at a time
+    /// in device-id order, never holding two at once.
+    pub(crate) fn sync(&self, view: SessionView) -> GmacResult<()> {
+        let _g = self.gate();
+        let mut synced_any = false;
+        for slot in &self.shards {
+            let mut shard = lock(slot);
+            if shard
+                .pending
+                .as_ref()
+                .is_some_and(|call| call.session == view.id)
+            {
+                shard.sync_one()?;
+                synced_any = true;
+            }
         }
-        for dev in devices {
-            self.sync_one(dev)?;
+        if synced_any {
+            Ok(())
+        } else {
+            Err(GmacError::NothingToSync)
         }
-        Ok(())
     }
 
     /// Joins the pending call on a single device (session-checked).
-    pub(crate) fn sync_device(&mut self, view: SessionView, dev: DeviceId) -> GmacResult<()> {
-        match self.pending.get(&dev) {
-            Some(call) if call.session == view.id => self.sync_one(dev),
+    pub(crate) fn sync_device(&self, view: SessionView, dev: DeviceId) -> GmacResult<()> {
+        let _g = self.gate();
+        let Some(slot) = self.shards.get(dev.0) else {
+            return Err(GmacError::NothingToSync);
+        };
+        let mut shard = lock(slot);
+        match &shard.pending {
+            Some(call) if call.session == view.id => shard.sync_one(),
             _ => Err(GmacError::NothingToSync),
         }
     }
 
-    fn sync_one(&mut self, dev: DeviceId) -> GmacResult<()> {
-        let call = self.pending.remove(&dev).ok_or(GmacError::NothingToSync)?;
-        let sync_base = self.rt.config.costs.sync_base;
-        self.rt.charge(Category::Sync, sync_base);
-        self.rt.platform.sync_stream(dev, call.stream)?;
-        self.protocol.acquire(&mut self.rt, &mut self.mgr, dev)?;
-        Ok(())
-    }
-
     /// `adsmSafe(address)`.
     pub(crate) fn translate(&self, ptr: SharedPtr) -> GmacResult<DevAddr> {
-        let obj = self
-            .mgr
-            .find(ptr.addr())
-            .ok_or(GmacError::NotShared(ptr.addr()))?;
-        Ok(obj.translate(ptr.addr()))
+        let _g = self.gate();
+        let (_, dev) = self.route(ptr.addr())?;
+        self.shard(dev).translate(ptr)
     }
 
     // ----- transparent CPU access -------------------------------------------
 
-    pub(crate) fn load<T: Scalar>(&mut self, ptr: SharedPtr) -> GmacResult<T> {
-        self.access_checked(ptr, T::SIZE as u64, AccessKind::Read)?;
-        self.rt.platform.cpu_touch(T::SIZE as u64);
-        Ok(self.rt.vm.load::<T>(ptr.addr())?)
+    pub(crate) fn load<T: softmmu::Scalar>(&self, ptr: SharedPtr) -> GmacResult<T> {
+        let _g = self.gate();
+        let (_, dev) = self.route(ptr.addr())?;
+        self.shard(dev).load(ptr)
     }
 
-    pub(crate) fn store<T: Scalar>(&mut self, ptr: SharedPtr, value: T) -> GmacResult<()> {
-        self.access_checked(ptr, T::SIZE as u64, AccessKind::Write)?;
-        self.rt.platform.cpu_touch(T::SIZE as u64);
-        Ok(self.rt.vm.store(ptr.addr(), value)?)
+    pub(crate) fn store<T: softmmu::Scalar>(&self, ptr: SharedPtr, value: T) -> GmacResult<()> {
+        let _g = self.gate();
+        let (_, dev) = self.route(ptr.addr())?;
+        self.shard(dev).store(ptr, value)
     }
 
-    pub(crate) fn load_slice<T: Scalar>(&mut self, ptr: SharedPtr, n: usize) -> GmacResult<Vec<T>> {
-        let bytes = self.shared_read(ptr, n as u64 * T::SIZE as u64)?;
-        Ok(softmmu::from_bytes(&bytes))
+    pub(crate) fn load_slice<T: softmmu::Scalar>(
+        &self,
+        ptr: SharedPtr,
+        n: usize,
+    ) -> GmacResult<Vec<T>> {
+        let _g = self.gate();
+        let (_, dev) = self.route(ptr.addr())?;
+        self.shard(dev).load_slice(ptr, n)
     }
 
-    pub(crate) fn store_slice<T: Scalar>(
-        &mut self,
+    pub(crate) fn store_slice<T: softmmu::Scalar>(
+        &self,
         ptr: SharedPtr,
         values: &[T],
     ) -> GmacResult<()> {
-        self.shared_write(ptr, &softmmu::to_bytes(values))
+        let _g = self.gate();
+        let (_, dev) = self.route(ptr.addr())?;
+        self.shard(dev).store_slice(ptr, values)
     }
 
-    /// Single checked access with the fault-retry loop (the paper's signal
-    /// handler protocol, §4.3).
-    fn access_checked(&mut self, ptr: SharedPtr, len: u64, kind: AccessKind) -> GmacResult<()> {
-        // One fault can occur per block the access spans; anything beyond
-        // that means the protocol failed to make progress.
-        let mut budget = 4 + len / softmmu::PAGE_SIZE;
-        loop {
-            match self.rt.vm.check(ptr.addr(), len, kind) {
-                Ok(()) => return Ok(()),
-                Err(MmuError::Fault(fault)) => {
-                    if budget == 0 {
-                        return Err(GmacError::UnresolvedFault(fault.to_string()));
-                    }
-                    budget -= 1;
-                    self.handle_fault(fault.addr, kind)?;
-                }
-                Err(MmuError::Unmapped(a)) => return Err(GmacError::NotShared(a)),
-                Err(e) => return Err(e.into()),
-            }
-        }
+    // ----- bulk-memory interposition (§4.4) ---------------------------------
+
+    pub(crate) fn memset(&self, ptr: SharedPtr, value: u8, len: u64) -> GmacResult<()> {
+        let _g = self.gate();
+        let (_, dev) = self.route(ptr.addr())?;
+        self.shard(dev).memset_locked(ptr, value, len)
     }
 
-    /// The "signal handler": charge delivery + lookup, then let the protocol
-    /// resolve the faulting block.
-    fn handle_fault(&mut self, fault_addr: VAddr, kind: AccessKind) -> GmacResult<()> {
-        let obj = self
-            .mgr
-            .find(fault_addr)
-            .ok_or(GmacError::NotShared(fault_addr))?;
-        let start = obj.addr();
-        let offset = fault_addr - start;
-        let steps = self.mgr.lookup_steps();
-        self.rt.charge_signal(steps, kind == AccessKind::Write);
-        match kind {
-            AccessKind::Read => {
-                self.protocol
-                    .prepare_read(&mut self.rt, &mut self.mgr, start, offset, 1)
-            }
-            AccessKind::Write => {
-                self.protocol
-                    .prepare_write(&mut self.rt, &mut self.mgr, start, offset, 1)
-            }
-        }
+    pub(crate) fn memcpy_in(&self, dst: SharedPtr, src: &[u8]) -> GmacResult<()> {
+        let _g = self.gate();
+        let (_, dev) = self.route(dst.addr())?;
+        self.shard(dev).shared_write(dst, src)
     }
 
-    /// Shared read used by slice loads, bulk ops and I/O: pay one fault per
-    /// touched block that is not readable, resolve the whole range through
-    /// the protocol in a single batched call (runs of adjacent invalid
-    /// blocks coalesce into single DMA jobs), then copy.
-    pub(crate) fn shared_read(&mut self, ptr: SharedPtr, len: u64) -> GmacResult<Vec<u8>> {
-        self.resolve_read_range(ptr, len)?;
-        self.read_resolved(ptr, len)
-    }
-
-    /// Copies `[ptr, ptr+len)` out of system memory, assuming the caller
-    /// already made the range readable via [`Self::resolve_read_range`]
-    /// (the I/O interposition resolves a whole operation's extent once,
-    /// then drains it chunk by chunk through this).
-    pub(crate) fn read_resolved(&mut self, ptr: SharedPtr, len: u64) -> GmacResult<Vec<u8>> {
-        let obj = self
-            .mgr
-            .find(ptr.addr())
-            .ok_or(GmacError::NotShared(ptr.addr()))?;
-        let start = obj.addr();
-        let base_offset = ptr.addr() - start;
-        let mut out = vec![0u8; len as usize];
-        self.rt.vm.read_raw(start + base_offset, &mut out)?;
-        // The application's own CPU time to traverse the range.
-        self.rt.platform.cpu_touch(len);
-        Ok(out)
-    }
-
-    /// Makes `[ptr, ptr+len)` CPU-readable: charges one fault-equivalent per
-    /// invalid block the range touches (an element loop would fault on the
-    /// first touch of each), then lets the protocol fetch them all in one
-    /// planned, coalesced batch.
-    pub(crate) fn resolve_read_range(&mut self, ptr: SharedPtr, len: u64) -> GmacResult<()> {
-        let obj = self
-            .mgr
-            .find(ptr.addr())
-            .ok_or(GmacError::NotShared(ptr.addr()))?;
-        let start = obj.addr();
-        let base_offset = ptr.addr() - start;
-        Runtime::check_bounds(obj, base_offset, len)?;
-        let invalid = obj
-            .blocks_overlapping(base_offset, len)
-            .filter(|&idx| obj.block(idx).state == BlockState::Invalid)
-            .count();
-        if invalid > 0 {
-            let steps = self.mgr.lookup_steps();
-            for _ in 0..invalid {
-                self.rt.charge_signal(steps, false);
-            }
-            self.protocol
-                .prepare_read(&mut self.rt, &mut self.mgr, start, base_offset, len)?;
-        }
+    pub(crate) fn memcpy_out(&self, dst: &mut [u8], src: SharedPtr) -> GmacResult<()> {
+        let _g = self.gate();
+        let (_, dev) = self.route(src.addr())?;
+        let bytes = self.shard(dev).shared_read(src, dst.len() as u64)?;
+        dst.copy_from_slice(&bytes);
         Ok(())
     }
 
-    /// Block-chunked shared write used by slice stores, bulk ops and I/O:
-    /// per touched block, pay one fault if the block is not writable,
-    /// prepare it, then immediately land the bytes (required ordering — see
-    /// [`CoherenceProtocol::prepare_write`]).
-    pub(crate) fn shared_write(&mut self, ptr: SharedPtr, bytes: &[u8]) -> GmacResult<()> {
-        let len = bytes.len() as u64;
-        let obj = self
-            .mgr
-            .find(ptr.addr())
-            .ok_or(GmacError::NotShared(ptr.addr()))?;
-        let start = obj.addr();
-        let base_offset = ptr.addr() - start;
-        Runtime::check_bounds(obj, base_offset, len)?;
-        let blocks = obj.blocks_overlapping(base_offset, len);
-        for idx in blocks {
-            let obj = self.mgr.find(start).expect("object lives across loop");
-            let block = *obj.block(idx);
-            let lo = block.offset.max(base_offset);
-            let hi = (block.offset + block.len).min(base_offset + len);
-            if block.state != BlockState::Dirty {
-                let steps = self.mgr.lookup_steps();
-                self.rt.charge_signal(steps, true);
-                self.protocol
-                    .prepare_write(&mut self.rt, &mut self.mgr, start, lo, hi - lo)?;
-            }
-            let src = &bytes[(lo - base_offset) as usize..(hi - base_offset) as usize];
-            self.rt.vm.write_raw(start + lo, src)?;
-            // The application's own CPU time to produce/copy the chunk.
-            self.rt.platform.cpu_touch(hi - lo);
+    /// Interposed shared-to-shared `memcpy`. When source and destination are
+    /// homed on different accelerators this is a **multi-shard
+    /// transaction**: the source shard is locked, read and released before
+    /// the destination shard is taken (never nested), staging through a
+    /// host buffer exactly like the paper's implementation stages peer
+    /// transfers through system memory.
+    pub(crate) fn memcpy(&self, dst: SharedPtr, src: SharedPtr, len: u64) -> GmacResult<()> {
+        let _g = self.gate();
+        let (_, src_dev) = self.route(src.addr())?;
+        let (_, dst_dev) = self.route(dst.addr())?;
+        if src_dev == dst_dev {
+            let mut shard = self.shard(src_dev);
+            let bytes = shard.shared_read(src, len)?;
+            shard.shared_write(dst, &bytes)
+        } else {
+            let bytes = self.shard(src_dev).shared_read(src, len)?;
+            self.shard(dst_dev).shared_write(dst, &bytes)
         }
-        Ok(())
+    }
+
+    // ----- I/O interposition (§4.4) -----------------------------------------
+
+    pub(crate) fn read_file_to_shared(
+        &self,
+        name: &str,
+        file_offset: u64,
+        ptr: SharedPtr,
+        len: u64,
+    ) -> GmacResult<u64> {
+        let _g = self.gate();
+        let (_, dev) = self.route(ptr.addr())?;
+        self.shard(dev)
+            .read_file_to_shared_locked(name, file_offset, ptr, len)
+    }
+
+    pub(crate) fn write_shared_to_file(
+        &self,
+        name: &str,
+        file_offset: u64,
+        ptr: SharedPtr,
+        len: u64,
+    ) -> GmacResult<u64> {
+        let _g = self.gate();
+        let (_, dev) = self.route(ptr.addr())?;
+        self.shard(dev)
+            .write_shared_to_file_locked(name, file_offset, ptr, len)
     }
 
     // ----- introspection ----------------------------------------------------
 
     pub(crate) fn counters(&self) -> Counters {
-        self.rt.counters()
+        let _g = self.gate();
+        let mut total = Counters::default();
+        for slot in &self.shards {
+            total.merge(&lock(slot).rt.counters());
+        }
+        total
     }
 
     pub(crate) fn config(&self) -> &GmacConfig {
-        self.rt.config()
+        &self.config
     }
 
     pub(crate) fn object_count(&self) -> usize {
-        self.mgr.len()
+        self.registry
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
-    pub(crate) fn object_at(&self, ptr: SharedPtr) -> Option<&SharedObject> {
-        self.mgr.find(ptr.addr())
+    pub(crate) fn object_at(&self, ptr: SharedPtr) -> Option<crate::object::SharedObject> {
+        let _g = self.gate();
+        let (_, dev) = self.route(ptr.addr()).ok()?;
+        self.shard(dev).mgr.find(ptr.addr()).cloned()
     }
 
     pub(crate) fn object_addrs(&self) -> Vec<VAddr> {
-        self.mgr.addrs()
+        self.registry
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .addrs()
     }
 
     pub(crate) fn dirty_block_count(&self) -> usize {
-        self.protocol.dirty_blocks(&self.mgr)
+        let _g = self.gate();
+        self.shards
+            .iter()
+            .map(|slot| lock(slot).dirty_block_count())
+            .sum()
     }
 
     /// True when `view`'s session has at least one call in flight.
     pub(crate) fn has_pending_call(&self, view: SessionView) -> bool {
-        self.pending.values().any(|c| c.session == view.id)
+        let _g = self.gate();
+        self.shards.iter().any(|slot| {
+            lock(slot)
+                .pending
+                .as_ref()
+                .is_some_and(|c| c.session == view.id)
+        })
     }
 
     /// Devices with any call in flight, in id order.
     pub(crate) fn pending_devices(&self) -> Vec<DeviceId> {
-        self.pending.keys().copied().collect()
+        let _g = self.gate();
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| lock(slot).pending.is_some())
+            .map(|(i, _)| DeviceId(i))
+            .collect()
     }
-}
 
-/// Lock helper: a poisoned lock (a panicking test thread) still yields the
-/// state — the simulator has no invariants that a panic can half-apply
-/// worse than losing the whole process.
-pub(crate) fn lock(inner: &Mutex<State>) -> MutexGuard<'_, State> {
-    inner
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    pub(crate) fn device_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub(crate) fn set_sched_policy(&self, policy: SchedPolicy) {
+        let _g = self.gate();
+        lock(&self.control).scheduler.set_policy(policy);
+    }
+
+    /// Tears the runtime down to the bare platform (final measurements).
+    /// Caller must own the only handle.
+    pub(crate) fn into_platform(self) -> Platform {
+        let Inner {
+            platform, shards, ..
+        } = self;
+        drop(shards); // each shard's runtime holds a platform handle
+        Arc::try_unwrap(platform)
+            .map_err(|_| "platform handles escaped the runtime")
+            .unwrap()
+    }
 }
 
 /// The process-wide GMAC runtime: one shared logical address space between
@@ -546,9 +629,11 @@ pub(crate) fn lock(inner: &Mutex<State>) -> MutexGuard<'_, State> {
 /// threads.
 ///
 /// `Gmac` is the owner; threads interact through per-thread
-/// [`Session`] handles. All interior state (platform clock, software MMU,
-/// object registry, coherence protocol, per-device pending calls) lives
-/// behind one lock, so `Gmac` is `Send + Sync` and cloning it is cheap
+/// [`Session`] handles. Interior state is **sharded per accelerator** (see
+/// the [module docs](self)): sessions driving different devices take
+/// independent locks and overlap in wall-clock time, while
+/// [`GmacConfig::sharding`]`(false)` restores the old single-global-lock
+/// behaviour for ablation. `Gmac` is `Send + Sync` and cloning it is cheap
 /// (reference-counted).
 ///
 /// ```
@@ -569,19 +654,19 @@ pub(crate) fn lock(inner: &Mutex<State>) -> MutexGuard<'_, State> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Gmac {
-    inner: Arc<Mutex<State>>,
+    inner: Arc<Inner>,
 }
 
 impl Gmac {
     /// Creates the runtime over a simulated platform.
     pub fn new(platform: Platform, config: GmacConfig) -> Self {
         Gmac {
-            inner: Arc::new(Mutex::new(State::new(platform, config))),
+            inner: Arc::new(Inner::new(platform, config)),
         }
     }
 
     /// Re-wraps shared state (the [`Session::gmac`] accessor).
-    pub(crate) fn from_state(inner: Arc<Mutex<State>>) -> Self {
+    pub(crate) fn from_state(inner: Arc<Inner>) -> Self {
         Gmac { inner }
     }
 
@@ -599,69 +684,71 @@ impl Gmac {
     }
 
     fn session_with(&self, affinity: Option<DeviceId>) -> Session {
-        let id = lock(&self.inner).next_session_id();
+        let id = self.inner.next_session_id();
         Session::new(Arc::clone(&self.inner), SessionView { id, affinity })
     }
 
     /// Runs `f` over the simulated platform (kernel registration, file
-    /// setup, clock queries) under the runtime lock.
-    ///
-    /// The runtime lock is **held for the duration of `f` and is not
-    /// reentrant**: calling any `Gmac`/`Session`/`Shared` method (including
-    /// dropping a `Shared<T>` buffer) inside the closure deadlocks.
-    pub fn with_platform<R>(&self, f: impl FnOnce(&mut Platform) -> R) -> R {
-        f(lock(&self.inner).rt.platform_mut())
+    /// setup, clock queries). The platform is internally thread-safe, so no
+    /// runtime lock is held — but in global-lock ablation mode the closure
+    /// must still not call back into `Gmac`/`Session`/`Shared` methods
+    /// (including dropping a `Shared<T>` buffer), which would deadlock on
+    /// the serial gate.
+    pub fn with_platform<R>(&self, f: impl FnOnce(&Platform) -> R) -> R {
+        f(&self.inner.platform)
     }
 
     /// Execution-time ledger snapshot (Figure 10 categories).
     pub fn ledger(&self) -> TimeLedger {
-        lock(&self.inner).rt.platform().ledger().clone()
+        self.inner.platform.ledger().clone()
     }
 
     /// Transfer-ledger snapshot (Figure 8 input).
     pub fn transfers(&self) -> TransferLedger {
-        *lock(&self.inner).rt.platform().transfers()
+        *self.inner.platform.transfers()
     }
 
-    /// Runtime event counters (faults, fetches, evictions).
+    /// Runtime event counters (faults, fetches, evictions), summed over all
+    /// device shards.
     pub fn counters(&self) -> Counters {
-        lock(&self.inner).counters()
+        self.inner.counters()
     }
 
     /// Active configuration (clone).
     pub fn config(&self) -> GmacConfig {
-        lock(&self.inner).config().clone()
+        self.inner.config().clone()
     }
 
     /// Virtual time elapsed since platform start.
     pub fn elapsed(&self) -> hetsim::Nanos {
-        lock(&self.inner).rt.platform().elapsed()
+        self.inner.platform.elapsed()
     }
 
     /// Number of live shared objects.
     pub fn object_count(&self) -> usize {
-        lock(&self.inner).object_count()
+        self.inner.object_count()
     }
 
     /// Number of accelerators on the platform.
     pub fn device_count(&self) -> usize {
-        lock(&self.inner).scheduler.device_count()
+        self.inner.device_count()
     }
 
-    /// Number of blocks currently dirty, per the protocol's bookkeeping.
+    /// Number of blocks currently dirty, per the protocols' bookkeeping
+    /// (summed over all device shards).
     pub fn dirty_block_count(&self) -> usize {
-        lock(&self.inner).dirty_block_count()
+        self.inner.dirty_block_count()
     }
 
     /// Devices with a call in flight (any session), in id order.
     pub fn pending_devices(&self) -> Vec<DeviceId> {
-        lock(&self.inner).pending_devices()
+        self.inner.pending_devices()
     }
 
     /// Changes the allocation-placement policy for sessions without
     /// affinity.
     pub fn set_sched_policy(&self, policy: SchedPolicy) {
-        lock(&self.inner).scheduler.set_policy(policy);
+        self.inner.set_sched_policy(policy);
     }
 
     /// Consumes the runtime, returning the platform for final measurements.
@@ -670,11 +757,7 @@ impl Gmac {
     /// typed buffers — are still alive.
     pub fn try_into_platform(self) -> Result<Platform, Gmac> {
         match Arc::try_unwrap(self.inner) {
-            Ok(mutex) => Ok(mutex
-                .into_inner()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .rt
-                .platform),
+            Ok(inner) => Ok(inner.into_platform()),
             Err(inner) => Err(Gmac { inner }),
         }
     }
@@ -690,7 +773,7 @@ impl Gmac {
             .unwrap()
     }
 
-    pub(crate) fn state(&self) -> &Arc<Mutex<State>> {
+    pub(crate) fn state(&self) -> &Arc<Inner> {
         &self.inner
     }
 }
@@ -765,5 +848,27 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(g.object_count(), 0);
+    }
+
+    #[test]
+    fn global_lock_mode_matches_sharded_mode() {
+        // The ablation toggle runs the same code paths behind one big lock:
+        // a single-session flow must be byte-identical between modes.
+        let run = |sharding: bool| {
+            let g = Gmac::new(
+                Platform::desktop_g280(),
+                GmacConfig::default().sharding(sharding),
+            );
+            let s = g.session();
+            let p = s.alloc(64 * 1024).unwrap();
+            s.store_slice::<u32>(p, &(0..1024).collect::<Vec<_>>())
+                .unwrap();
+            let data: Vec<u32> = s.load_slice(p, 1024).unwrap();
+            s.free(p).unwrap();
+            drop(s);
+            let elapsed = g.elapsed();
+            (data, elapsed)
+        };
+        assert_eq!(run(true), run(false));
     }
 }

@@ -14,17 +14,19 @@
 //! [`crate::Context`] shim); this module holds the shared implementation.
 
 use crate::error::{GmacError, GmacResult};
-use crate::gmac::State;
 use crate::ptr::SharedPtr;
+use crate::shard::DeviceShard;
 
-impl State {
+impl DeviceShard {
     /// Interposed `read()`: reads up to `len` bytes from the simulated file
     /// `name` at `file_offset` directly into shared memory at `ptr`.
     /// Returns the number of bytes read (short at end-of-file).
     ///
     /// Disk time is charged to `IORead`; block-state resolution follows the
-    /// coherence protocol exactly as CPU stores would.
-    pub(crate) fn read_file_to_shared(
+    /// coherence protocol exactly as CPU stores would. Runs under this
+    /// shard's lock; the disk itself is a platform-level leaf mutex shared
+    /// by all shards (it is a single physical resource).
+    pub(crate) fn read_file_to_shared_locked(
         &mut self,
         name: &str,
         file_offset: u64,
@@ -36,10 +38,10 @@ impl State {
         let mut buf = vec![0u8; chunk as usize];
         while total < len {
             let n = (len - total).min(chunk) as usize;
-            let read =
-                self.rt
-                    .platform_mut()
-                    .file_read(name, file_offset + total, &mut buf[..n])?;
+            let read = self
+                .rt
+                .platform
+                .file_read(name, file_offset + total, &mut buf[..n])?;
             if read == 0 {
                 break; // end of file
             }
@@ -60,7 +62,7 @@ impl State {
     /// like any CPU read). Returns bytes written.
     ///
     /// Disk time is charged to `IOWrite`.
-    pub(crate) fn write_shared_to_file(
+    pub(crate) fn write_shared_to_file_locked(
         &mut self,
         name: &str,
         file_offset: u64,
@@ -79,7 +81,7 @@ impl State {
             let n = (len - total).min(chunk);
             let bytes = self.read_resolved(ptr.byte_add(total), n)?;
             self.rt
-                .platform_mut()
+                .platform
                 .file_write(name, file_offset + total, &bytes)?;
             total += n;
         }
@@ -91,7 +93,8 @@ impl State {
     /// prescribes.
     fn io_chunk_size(&self, ptr: SharedPtr) -> GmacResult<u64> {
         let obj = self
-            .object_at(ptr)
+            .mgr
+            .find(ptr.addr())
             .ok_or(GmacError::NotShared(ptr.addr()))?;
         Ok(obj.block_size().min(obj.size()).max(1))
     }

@@ -13,10 +13,12 @@
 //! ## The API (paper Table 1)
 //!
 //! The runtime is split in two: a process-wide [`Gmac`] (platform + software
-//! MMU + object registry + coherence protocol behind one lock) and cheap
-//! per-thread [`Session`] handles that carry the Table 1 calls. Kernel calls
-//! are tracked per accelerator, so sessions driving different devices each
-//! keep a call in flight.
+//! MMU + object registry + coherence machinery, **sharded per accelerator**
+//! — see [`shard`]) and cheap per-thread [`Session`] handles that carry the
+//! Table 1 calls. Kernel calls, protocol state and MMU regions are owned per
+//! device shard, so sessions driving different devices each keep a call in
+//! flight *and* overlap in wall-clock time; [`GmacConfig::sharding`] turns
+//! the old global-lock mode back on for ablation.
 //!
 //! ```
 //! use gmac::{Gmac, GmacConfig, Protocol};
@@ -77,10 +79,12 @@ pub mod manager;
 pub mod object;
 pub mod protocol;
 pub mod ptr;
+pub(crate) mod registry;
 pub mod report;
 pub mod runtime;
 pub mod sched;
 pub mod session;
+pub mod shard;
 pub mod state;
 pub mod testutil;
 pub mod typed;
@@ -97,6 +101,7 @@ pub use report::{ObjectReport, Report};
 pub use runtime::Counters;
 pub use sched::{SchedPolicy, Scheduler};
 pub use session::{Session, SessionId};
+pub use shard::DeviceShard;
 pub use state::BlockState;
 pub use typed::Shared;
 pub use xfer::{DmaJob, DmaQueue, Purpose, TransferPlan};

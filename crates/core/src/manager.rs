@@ -6,6 +6,14 @@
 //! structures are implemented here — the ordered-tree registry (default) and
 //! a linear scan (ablation baseline) — selected by
 //! [`crate::config::LookupKind`].
+//!
+//! Since the shard redesign the runtime keeps **one manager per device
+//! shard** ([`crate::shard::DeviceShard`]), holding only the objects homed
+//! on that accelerator; cross-device routing happens in the runtime's
+//! read-mostly registry before a shard (and its manager) is locked. The
+//! fault-handler lookup-cost model ([`Manager::lookup_steps`]) therefore
+//! walks the per-device tree — faults on one accelerator's objects pay for
+//! that device's population, not the whole platform's.
 
 use crate::config::LookupKind;
 use crate::object::{ObjectId, SharedObject};

@@ -20,16 +20,18 @@ use crate::state::BlockState;
 use crate::xfer::Purpose;
 use hetsim::{CopyMode, DeviceId, Direction};
 use softmmu::VAddr;
-use std::collections::HashMap;
 
 /// The batch-update protocol.
 #[derive(Debug, Default)]
 pub struct BatchUpdate {
-    /// Annotation from the last release *per device*; bounds the
-    /// acquire-side fetch. Keyed by device so overlapping calls on
-    /// different accelerators (concurrent sessions) do not clobber each
-    /// other's write sets.
-    last_writes: HashMap<DeviceId, Option<Vec<VAddr>>>,
+    /// Annotation from the last release; bounds the acquire-side fetch.
+    /// One protocol instance exists **per device shard** (see
+    /// [`crate::shard::DeviceShard`]), so a single slot replaces the old
+    /// cross-device `HashMap<DeviceId, _>` — overlapping calls on different
+    /// accelerators live in different instances and cannot clobber each
+    /// other's write sets. `None` means "no release yet / no annotation":
+    /// the conservative fetch-everything acquire.
+    last_writes: Option<Vec<VAddr>>,
 }
 
 impl BatchUpdate {
@@ -73,7 +75,7 @@ impl CoherenceProtocol for BatchUpdate {
         dev: DeviceId,
         writes: Option<&[VAddr]>,
     ) -> GmacResult<()> {
-        self.last_writes.insert(dev, writes.map(<[VAddr]>::to_vec));
+        self.last_writes = writes.map(<[VAddr]>::to_vec);
         // Plan a transfer of *all* objects to the accelerator, even
         // unmodified ones — unless the host copy is itself invalid
         // (back-to-back calls with no intervening sync: system memory was
@@ -101,7 +103,7 @@ impl CoherenceProtocol for BatchUpdate {
         // Plan the transfer of everything back (bounded by the write
         // annotation when the caller provided one) and mark it dirty,
         // implicitly invalidating the accelerator copy.
-        let writes = self.last_writes.remove(&dev).flatten();
+        let writes = self.last_writes.take();
         let mut plan = rt.plan(Direction::DeviceToHost, CopyMode::Sync, Purpose::Fetch);
         for addr in mgr.addrs() {
             let obj = mgr.find(addr).expect("registered object").clone();

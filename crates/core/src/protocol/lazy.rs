@@ -7,6 +7,10 @@
 //! invalidated and those in the dirty state are transferred from system
 //! memory to accelerator memory. On kernel return no data transfer is done."
 //! — §4.3
+//!
+//! Lazy-update keeps no protocol-level state of its own: all per-object
+//! state lives in the object's block records, which since the shard redesign
+//! are owned by the home device's shard (one protocol instance per shard).
 
 use crate::config::{GmacConfig, Protocol};
 use crate::error::{GmacError, GmacResult};

@@ -39,11 +39,15 @@ use softmmu::VAddr;
 /// Asynchronous release flushes are joined at the `adsmCall` boundary by the
 /// caller ([`Runtime::join_dma`]), not inside the protocol.
 ///
-/// Release/acquire are *per-device* views: a call boundary on one
-/// accelerator must not disturb objects hosted on another, so that sessions
-/// driving different devices can each hold an un-synced call (the
-/// [`crate::Gmac`]/[`crate::Session`] concurrency model). Protocols are
-/// `Send` because they live inside the shared runtime's interior lock.
+/// Since the shard redesign the runtime instantiates **one protocol per
+/// device shard** ([`crate::shard::DeviceShard`]): the manager passed in
+/// holds only that device's objects, rolling-update's dirty FIFO and
+/// adaptive rolling size are per-accelerator, and batch-update's release
+/// annotation needs no cross-device keying. The `dev` parameter of
+/// [`Self::release`]/[`Self::acquire`] therefore always names the owning
+/// shard's device; standalone harnesses driving one instance across several
+/// devices must partition their managers the same way. Protocols are `Send`
+/// because they live behind their shard's mutex.
 pub trait CoherenceProtocol: std::fmt::Debug + Send {
     /// Which protocol this is.
     fn kind(&self) -> Protocol;

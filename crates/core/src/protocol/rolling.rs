@@ -7,6 +7,11 @@
 //! accelerator and downgraded to read-only, overlapping DMA with ongoing CPU
 //! computation. The rolling size grows adaptively by a fixed factor (default
 //! 2 blocks) on every allocation (§4.3).
+//!
+//! One instance exists per device shard, so the dirty FIFO, the dirty count
+//! and the adaptive rolling size are all **per-accelerator** state: heavy
+//! write traffic against one device neither evicts nor grows the rolling
+//! window of another.
 
 use crate::config::{GmacConfig, Protocol};
 use crate::error::{GmacError, GmacResult};

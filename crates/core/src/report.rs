@@ -5,7 +5,7 @@
 //! Available from [`crate::Gmac::report`], [`crate::Session::report`] and
 //! the deprecated `Context::report`.
 
-use crate::gmac::State;
+use crate::gmac::{lock, Inner};
 use crate::state::BlockState;
 use hetsim::stats::fmt_bytes;
 use hetsim::Category;
@@ -33,6 +33,9 @@ pub struct ObjectReport {
 pub struct Report {
     /// Protocol in use.
     pub protocol: crate::config::Protocol,
+    /// Whether the runtime runs sharded per device (`false` = global-lock
+    /// ablation mode).
+    pub sharded: bool,
     /// Live objects, in address order.
     pub objects: Vec<ObjectReport>,
     /// Total dirty blocks according to the protocol's own bookkeeping.
@@ -60,29 +63,41 @@ pub struct Report {
     pub breakdown: Vec<(&'static str, f64)>,
 }
 
-impl State {
-    /// Takes a diagnostic snapshot of the runtime.
+impl Inner {
+    /// Takes a diagnostic snapshot of the runtime, visiting shards one at a
+    /// time in device-id order (the standard multi-shard transaction — see
+    /// [`crate::shard`]).
     pub(crate) fn report(&self) -> Report {
-        let objects = self
-            .object_addrs()
-            .into_iter()
-            .filter_map(|a| self.object_at(crate::ptr::SharedPtr::new(a)))
-            .map(|o| ObjectReport {
-                addr: o.addr().0,
-                size: o.size(),
-                device: o.device().0,
-                unified: o.is_unified(),
-                block_size: o.block_size(),
-                blocks: (
-                    o.count_in_state(BlockState::Invalid),
-                    o.count_in_state(BlockState::ReadOnly),
-                    o.count_in_state(BlockState::Dirty),
-                ),
-            })
-            .collect();
-        let platform = self.rt.platform();
-        let ledger = platform.ledger();
-        let transfers = platform.transfers();
+        let _g = self.gate();
+        let mut objects: Vec<ObjectReport> = Vec::new();
+        let mut dirty_blocks = 0usize;
+        let mut pending_devices = Vec::new();
+        let mut counters = crate::runtime::Counters::default();
+        for (i, slot) in self.shards.iter().enumerate() {
+            let shard = lock(slot);
+            for o in shard.mgr.iter() {
+                objects.push(ObjectReport {
+                    addr: o.addr().0,
+                    size: o.size(),
+                    device: o.device().0,
+                    unified: o.is_unified(),
+                    block_size: o.block_size(),
+                    blocks: (
+                        o.count_in_state(BlockState::Invalid),
+                        o.count_in_state(BlockState::ReadOnly),
+                        o.count_in_state(BlockState::Dirty),
+                    ),
+                });
+            }
+            dirty_blocks += shard.dirty_block_count();
+            if shard.pending.is_some() {
+                pending_devices.push(i);
+            }
+            counters.merge(&shard.rt.counters());
+        }
+        objects.sort_by_key(|o| o.addr);
+        let ledger = self.platform.ledger().clone();
+        let transfers = *self.platform.transfers();
         let total = ledger.total().as_nanos().max(1) as f64;
         let breakdown = Category::ALL
             .iter()
@@ -93,17 +108,18 @@ impl State {
             .collect();
         Report {
             protocol: self.config().protocol,
+            sharded: self.config().sharding,
             objects,
-            dirty_blocks: self.dirty_block_count(),
-            pending_devices: self.pending_devices().iter().map(|d| d.0).collect(),
-            counters: self.counters(),
+            dirty_blocks,
+            pending_devices,
+            counters,
             h2d_bytes: transfers.h2d_bytes,
             d2h_bytes: transfers.d2h_bytes,
             h2d_jobs: transfers.h2d_count,
             d2h_jobs: transfers.d2h_count,
             h2d_coalescing: transfers.coalescing_ratio(hetsim::Direction::HostToDevice),
             d2h_coalescing: transfers.coalescing_ratio(hetsim::Direction::DeviceToHost),
-            elapsed: platform.elapsed(),
+            elapsed: self.platform.elapsed(),
             breakdown,
         }
     }
@@ -112,14 +128,14 @@ impl State {
 impl crate::Gmac {
     /// Takes a diagnostic snapshot of the runtime.
     pub fn report(&self) -> Report {
-        crate::gmac::lock(self.state()).report()
+        self.state().report()
     }
 }
 
 impl crate::Session {
     /// Takes a diagnostic snapshot of the shared runtime.
     pub fn report(&self) -> Report {
-        crate::gmac::lock(self.state()).report()
+        self.state().report()
     }
 }
 
@@ -135,8 +151,10 @@ impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "GMAC runtime ({}) — {} elapsed",
-            self.protocol, self.elapsed
+            "GMAC runtime ({}) — {} elapsed{}",
+            self.protocol,
+            self.elapsed,
+            if self.sharded { "" } else { "  [global-lock]" }
         )?;
         writeln!(
             f,

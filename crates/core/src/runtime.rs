@@ -45,12 +45,40 @@ impl Counters {
     pub fn faults(&self) -> u64 {
         self.faults_read + self.faults_write
     }
+
+    /// Adds another counter set into this one (the per-shard → runtime-wide
+    /// aggregation). Destructures exhaustively so a new counter field cannot
+    /// be forgotten here.
+    pub fn merge(&mut self, other: &Counters) {
+        let Counters {
+            faults_read,
+            faults_write,
+            blocks_fetched,
+            blocks_flushed,
+            bytes_fetched,
+            bytes_flushed,
+            eager_evictions,
+        } = *other;
+        self.faults_read += faults_read;
+        self.faults_write += faults_write;
+        self.blocks_fetched += blocks_fetched;
+        self.blocks_flushed += blocks_flushed;
+        self.bytes_fetched += bytes_fetched;
+        self.bytes_flushed += bytes_flushed;
+        self.eager_evictions += eager_evictions;
+    }
 }
 
 /// Platform + MMU + configuration bundle threaded through the runtime.
+///
+/// Since the sharded redesign there is one `Runtime` **per device shard**:
+/// each owns its slice of the host address space (the regions of objects
+/// homed on its device), its own event counters and DMA queue, and a shared
+/// handle on the thread-safe [`Platform`]. Protocols keep driving it exactly
+/// as before — the platform's interior locks make concurrent shards safe.
 #[derive(Debug)]
 pub struct Runtime {
-    pub(crate) platform: Platform,
+    pub(crate) platform: std::sync::Arc<Platform>,
     pub(crate) vm: AddressSpace,
     pub(crate) config: GmacConfig,
     pub(crate) counters: Counters,
@@ -58,8 +86,15 @@ pub struct Runtime {
 }
 
 impl Runtime {
-    /// Creates the runtime over a platform.
+    /// Creates a runtime owning a fresh platform handle (standalone
+    /// harnesses and tests).
     pub fn new(platform: Platform, config: GmacConfig) -> Self {
+        Self::from_shared(std::sync::Arc::new(platform), config)
+    }
+
+    /// Creates a runtime over an already-shared platform (one per device
+    /// shard).
+    pub(crate) fn from_shared(platform: std::sync::Arc<Platform>, config: GmacConfig) -> Self {
         Runtime {
             platform,
             vm: AddressSpace::new(),
@@ -72,11 +107,6 @@ impl Runtime {
     /// The simulated platform.
     pub fn platform(&self) -> &Platform {
         &self.platform
-    }
-
-    /// The simulated platform, mutable.
-    pub fn platform_mut(&mut self) -> &mut Platform {
-        &mut self.platform
     }
 
     /// The software MMU.

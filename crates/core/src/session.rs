@@ -13,14 +13,16 @@
 //!
 //! A [`Session`] is the ADSM "execution thread" view (§3.2): each host
 //! thread holds its own handle, with its own accelerator affinity and its
-//! own pending-call identity, while the runtime below tracks in-flight
-//! kernels **per device**. Two sessions driving two accelerators therefore
-//! overlap freely; two sessions racing for one accelerator get a clean
+//! own pending-call identity. The runtime below is **sharded per device**
+//! (see [`crate::shard`]): an operation routes its pointer through the
+//! read-mostly registry and locks only the home accelerator's shard, so two
+//! sessions driving two accelerators overlap in wall-clock terms, not just
+//! in virtual time. Two sessions racing for one accelerator get a clean
 //! [`crate::GmacError::DeviceBusy`] instead of silent serialization.
 
 use crate::config::GmacConfig;
 use crate::error::GmacResult;
-use crate::gmac::{lock, State};
+use crate::gmac::Inner;
 use crate::object::SharedObject;
 use crate::ptr::{Param, SharedPtr};
 use crate::runtime::Counters;
@@ -28,7 +30,7 @@ use crate::typed::Shared;
 use hetsim::{DevAddr, DeviceId, LaunchDims, Platform, TimeLedger, TransferLedger};
 use softmmu::Scalar;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Identity of a session: allocated by the runtime, carried by every
 /// pending call so syncs and busy-device errors can be attributed.
@@ -53,8 +55,8 @@ pub(crate) struct SessionView {
 ///
 /// Sessions are cheap (one `Arc` + two words) and `Send`: create one per
 /// host thread with [`crate::Gmac::session`] or pin one to an accelerator
-/// with [`crate::Gmac::session_on`]. All methods take `&self`; the runtime
-/// serialises internally.
+/// with [`crate::Gmac::session_on`]. All methods take `&self`; operations
+/// lock only the device shard they touch.
 ///
 /// ```
 /// use gmac::{Gmac, GmacConfig};
@@ -74,22 +76,22 @@ pub(crate) struct SessionView {
 /// ```
 #[derive(Debug)]
 pub struct Session {
-    inner: Arc<Mutex<State>>,
+    inner: Arc<Inner>,
     view: SessionView,
 }
 
 impl Session {
-    pub(crate) fn new(inner: Arc<Mutex<State>>, view: SessionView) -> Self {
+    pub(crate) fn new(inner: Arc<Inner>, view: SessionView) -> Self {
         Session { inner, view }
     }
 
-    pub(crate) fn state(&self) -> &Arc<Mutex<State>> {
+    pub(crate) fn state(&self) -> &Arc<Inner> {
         &self.inner
     }
 
     /// A runtime handle sharing this session's state — the single home of
     /// the introspection surface (the `Session` mirrors below are
-    /// conveniences forwarding to the same lock).
+    /// conveniences forwarding to the same runtime).
     pub fn gmac(&self) -> crate::Gmac {
         crate::Gmac::from_state(Arc::clone(&self.inner))
     }
@@ -115,7 +117,7 @@ impl Session {
     /// the accelerator range is taken (use [`Self::safe_alloc`]); propagates
     /// device out-of-memory.
     pub fn alloc(&self, size: u64) -> GmacResult<SharedPtr> {
-        lock(&self.inner).alloc(self.view, size)
+        self.inner.alloc(self.view, size)
     }
 
     /// [`Self::alloc`] pinned to a specific accelerator.
@@ -123,7 +125,7 @@ impl Session {
     /// # Errors
     /// Same as [`Self::alloc`].
     pub fn alloc_on(&self, dev: DeviceId, size: u64) -> GmacResult<SharedPtr> {
-        lock(&self.inner).alloc_on(dev, size)
+        self.inner.alloc_on(dev, size)
     }
 
     /// `adsmSafeAlloc(size)`: allocates a shared object whose CPU pointer is
@@ -135,7 +137,7 @@ impl Session {
     /// # Errors
     /// Propagates device out-of-memory and MMU failures.
     pub fn safe_alloc(&self, size: u64) -> GmacResult<SharedPtr> {
-        lock(&self.inner).safe_alloc(self.view, size)
+        self.inner.safe_alloc(self.view, size)
     }
 
     /// [`Self::safe_alloc`] pinned to a specific accelerator.
@@ -143,7 +145,7 @@ impl Session {
     /// # Errors
     /// Same as [`Self::safe_alloc`].
     pub fn safe_alloc_on(&self, dev: DeviceId, size: u64) -> GmacResult<SharedPtr> {
-        lock(&self.inner).safe_alloc_on(dev, size)
+        self.inner.safe_alloc_on(dev, size)
     }
 
     /// Typed `adsmAlloc`: `n` elements of `T`, wrapped in a RAII
@@ -152,10 +154,9 @@ impl Session {
     /// # Errors
     /// Same as [`Self::alloc`].
     pub fn alloc_typed<T: Scalar>(&self, n: usize) -> GmacResult<Shared<T>> {
-        let mut st = lock(&self.inner);
-        let ptr = st.alloc(self.view, (n as u64) * T::SIZE as u64)?;
-        let id = st.object_at(ptr).expect("just allocated").id();
-        drop(st);
+        let (ptr, id) =
+            self.inner
+                .alloc_typed_raw(self.view, (n as u64) * T::SIZE as u64, false)?;
         Ok(Shared::new(Arc::clone(&self.inner), ptr, n, id))
     }
 
@@ -165,10 +166,9 @@ impl Session {
     /// # Errors
     /// Same as [`Self::safe_alloc`].
     pub fn safe_alloc_typed<T: Scalar>(&self, n: usize) -> GmacResult<Shared<T>> {
-        let mut st = lock(&self.inner);
-        let ptr = st.safe_alloc(self.view, (n as u64) * T::SIZE as u64)?;
-        let id = st.object_at(ptr).expect("just allocated").id();
-        drop(st);
+        let (ptr, id) = self
+            .inner
+            .alloc_typed_raw(self.view, (n as u64) * T::SIZE as u64, true)?;
         Ok(Shared::new(Arc::clone(&self.inner), ptr, n, id))
     }
 
@@ -179,7 +179,7 @@ impl Session {
     /// [`crate::GmacError::ObjectInUse`] if a still-pending call references it
     /// (sync first). Failed frees charge no simulated time.
     pub fn free(&self, ptr: SharedPtr) -> GmacResult<()> {
-        lock(&self.inner).free(ptr)
+        self.inner.free(ptr)
     }
 
     // ----- kernel execution (Table 1) --------------------------------------
@@ -212,7 +212,8 @@ impl Session {
         params: &[Param],
         writes: Option<&[SharedPtr]>,
     ) -> GmacResult<()> {
-        lock(&self.inner).call_annotated(self.view, kernel, dims, params, writes)
+        self.inner
+            .call_annotated(self.view, kernel, dims, params, writes)
     }
 
     /// `adsmSync()`: blocks until every accelerator call this session has in
@@ -222,7 +223,7 @@ impl Session {
     /// [`crate::GmacError::NothingToSync`] when this session has no call
     /// outstanding.
     pub fn sync(&self) -> GmacResult<()> {
-        lock(&self.inner).sync(self.view)
+        self.inner.sync(self.view)
     }
 
     /// Joins only the call in flight on `dev` (which must belong to this
@@ -232,7 +233,7 @@ impl Session {
     /// [`crate::GmacError::NothingToSync`] when this session has no call pending on
     /// `dev`.
     pub fn sync_device(&self, dev: DeviceId) -> GmacResult<()> {
-        lock(&self.inner).sync_device(self.view, dev)
+        self.inner.sync_device(self.view, dev)
     }
 
     /// `adsmSafe(address)`: translates a shared pointer to the accelerator
@@ -241,7 +242,7 @@ impl Session {
     /// # Errors
     /// [`crate::GmacError::NotShared`] for foreign pointers.
     pub fn translate(&self, ptr: SharedPtr) -> GmacResult<DevAddr> {
-        lock(&self.inner).translate(ptr)
+        self.inner.translate(ptr)
     }
 
     // ----- transparent CPU access -------------------------------------------
@@ -253,7 +254,7 @@ impl Session {
     /// [`crate::GmacError::NotShared`] for foreign pointers; propagates transfer
     /// failures.
     pub fn load<T: Scalar>(&self, ptr: SharedPtr) -> GmacResult<T> {
-        lock(&self.inner).load(ptr)
+        self.inner.load(ptr)
     }
 
     /// Typed store through the shared address space.
@@ -261,7 +262,7 @@ impl Session {
     /// # Errors
     /// Same as [`Self::load`].
     pub fn store<T: Scalar>(&self, ptr: SharedPtr, value: T) -> GmacResult<()> {
-        lock(&self.inner).store(ptr, value)
+        self.inner.store(ptr, value)
     }
 
     /// Loads `n` consecutive scalars. Equivalent to an element loop on the
@@ -271,7 +272,7 @@ impl Session {
     /// # Errors
     /// Same as [`Self::load`].
     pub fn load_slice<T: Scalar>(&self, ptr: SharedPtr, n: usize) -> GmacResult<Vec<T>> {
-        lock(&self.inner).load_slice(ptr, n)
+        self.inner.load_slice(ptr, n)
     }
 
     /// Stores consecutive scalars. Equivalent to an element loop on the CPU:
@@ -280,7 +281,7 @@ impl Session {
     /// # Errors
     /// Same as [`Self::load`].
     pub fn store_slice<T: Scalar>(&self, ptr: SharedPtr, values: &[T]) -> GmacResult<()> {
-        lock(&self.inner).store_slice(ptr, values)
+        self.inner.store_slice(ptr, values)
     }
 
     // ----- bulk-memory interposition (§4.4) ---------------------------------
@@ -291,7 +292,7 @@ impl Session {
     /// # Errors
     /// Fails for foreign pointers or out-of-object ranges.
     pub fn memset(&self, ptr: SharedPtr, value: u8, len: u64) -> GmacResult<()> {
-        lock(&self.inner).memset(ptr, value, len)
+        self.inner.memset(ptr, value, len)
     }
 
     /// Interposed `memcpy` from private host memory into shared memory.
@@ -299,7 +300,7 @@ impl Session {
     /// # Errors
     /// Fails for foreign pointers or out-of-object ranges.
     pub fn memcpy_in(&self, dst: SharedPtr, src: &[u8]) -> GmacResult<()> {
-        lock(&self.inner).memcpy_in(dst, src)
+        self.inner.memcpy_in(dst, src)
     }
 
     /// Interposed `memcpy` from shared memory into private host memory.
@@ -307,15 +308,18 @@ impl Session {
     /// # Errors
     /// Fails for foreign pointers or out-of-object ranges.
     pub fn memcpy_out(&self, dst: &mut [u8], src: SharedPtr) -> GmacResult<()> {
-        lock(&self.inner).memcpy_out(dst, src)
+        self.inner.memcpy_out(dst, src)
     }
 
-    /// Interposed shared-to-shared `memcpy` (possibly across objects).
+    /// Interposed shared-to-shared `memcpy` (possibly across objects — and,
+    /// since the shard redesign, across accelerators: objects homed on
+    /// different devices are copied through an explicit two-shard
+    /// transaction staged in host memory).
     ///
     /// # Errors
     /// Fails for foreign pointers or out-of-object ranges.
     pub fn memcpy(&self, dst: SharedPtr, src: SharedPtr, len: u64) -> GmacResult<()> {
-        lock(&self.inner).memcpy(dst, src, len)
+        self.inner.memcpy(dst, src, len)
     }
 
     // ----- I/O interposition (§4.4) -----------------------------------------
@@ -333,7 +337,7 @@ impl Session {
         ptr: SharedPtr,
         len: u64,
     ) -> GmacResult<u64> {
-        lock(&self.inner).read_file_to_shared(name, file_offset, ptr, len)
+        self.inner.read_file_to_shared(name, file_offset, ptr, len)
     }
 
     /// Interposed `write()`: writes `len` bytes of shared memory at `ptr`
@@ -349,7 +353,7 @@ impl Session {
         ptr: SharedPtr,
         len: u64,
     ) -> GmacResult<u64> {
-        lock(&self.inner).write_shared_to_file(name, file_offset, ptr, len)
+        self.inner.write_shared_to_file(name, file_offset, ptr, len)
     }
 
     // ----- introspection ----------------------------------------------------
@@ -357,63 +361,65 @@ impl Session {
     /// Whether this session has an accelerator call outstanding (on any
     /// device).
     pub fn has_pending_call(&self) -> bool {
-        lock(&self.inner).has_pending_call(self.view)
+        self.inner.has_pending_call(self.view)
     }
 
-    /// Runs `f` over the simulated platform under the runtime lock (kernel
-    /// registration, file setup, clock queries).
-    ///
-    /// The runtime lock is **held for the duration of `f` and is not
-    /// reentrant**: calling any `Gmac`/`Session`/`Shared` method (including
-    /// dropping a `Shared<T>` buffer) inside the closure deadlocks.
-    pub fn with_platform<R>(&self, f: impl FnOnce(&mut Platform) -> R) -> R {
-        f(lock(&self.inner).rt.platform_mut())
+    /// Runs `f` over the simulated platform (kernel registration, file
+    /// setup, clock queries). The platform is internally thread-safe; in
+    /// global-lock ablation mode the closure must not call back into the
+    /// session API (serial-gate deadlock).
+    pub fn with_platform<R>(&self, f: impl FnOnce(&Platform) -> R) -> R {
+        f(&self.inner.platform)
     }
 
     /// Execution-time ledger snapshot (Figure 10 categories).
     pub fn ledger(&self) -> TimeLedger {
-        lock(&self.inner).rt.platform().ledger().clone()
+        self.inner.platform.ledger().clone()
     }
 
     /// Transfer-ledger snapshot (Figure 8 input).
     pub fn transfers(&self) -> TransferLedger {
-        *lock(&self.inner).rt.platform().transfers()
+        *self.inner.platform.transfers()
     }
 
-    /// Runtime event counters (faults, fetches, evictions).
+    /// Runtime event counters (faults, fetches, evictions), summed over all
+    /// device shards.
     pub fn counters(&self) -> Counters {
-        lock(&self.inner).counters()
+        self.inner.counters()
     }
 
     /// Active configuration (clone).
     pub fn config(&self) -> GmacConfig {
-        lock(&self.inner).config().clone()
+        self.inner.config().clone()
     }
 
     /// Virtual time elapsed since platform start.
     pub fn elapsed(&self) -> hetsim::Nanos {
-        lock(&self.inner).rt.platform().elapsed()
+        self.inner.platform.elapsed()
     }
 
     /// Number of live shared objects (all sessions).
     pub fn object_count(&self) -> usize {
-        lock(&self.inner).object_count()
+        self.inner.object_count()
     }
 
     /// Snapshot of the shared object containing `ptr` (diagnostics/tests).
     pub fn object_at(&self, ptr: SharedPtr) -> Option<SharedObject> {
-        lock(&self.inner).object_at(ptr).cloned()
+        self.inner.object_at(ptr)
     }
 
-    /// Number of blocks currently dirty, per the protocol's bookkeeping.
+    /// Number of blocks currently dirty, per the protocols' bookkeeping
+    /// (summed over all device shards).
     pub fn dirty_block_count(&self) -> usize {
-        lock(&self.inner).dirty_block_count()
+        self.inner.dirty_block_count()
     }
 
-    /// Direct access to runtime internals (protocol ablation harnesses and
-    /// tests). Not part of the stable API. The runtime lock is held for the
-    /// duration of `f` and is not reentrant — do not call back into the
-    /// session API (or drop `Shared` buffers) inside the closure.
+    /// Direct access to the runtime internals of **one device shard**
+    /// (protocol ablation harnesses and tests). Not part of the stable API.
+    /// Operates on the session's affinity device (device 0 without
+    /// affinity); the shard lock is held for the duration of `f` and is not
+    /// reentrant — do not call back into the session API (or drop `Shared`
+    /// buffers) inside the closure.
     #[doc(hidden)]
     pub fn with_parts<R>(
         &self,
@@ -423,10 +429,11 @@ impl Session {
             &mut dyn crate::protocol::CoherenceProtocol,
         ) -> R,
     ) -> R {
-        let mut st = lock(&self.inner);
-        let State {
+        let dev = self.view.affinity.unwrap_or(DeviceId(0));
+        let mut shard = self.inner.shard(dev);
+        let crate::shard::DeviceShard {
             rt, mgr, protocol, ..
-        } = &mut *st;
+        } = &mut *shard;
         f(rt, mgr, protocol.as_mut())
     }
 }
@@ -502,7 +509,10 @@ mod tests {
         .unwrap();
         let ledger_before = g.ledger().total();
         match s.free(p) {
-            Err(GmacError::ObjectInUse { dev, .. }) => assert_eq!(dev, DeviceId(0)),
+            Err(GmacError::ObjectInUse { dev, owner, .. }) => {
+                assert_eq!(dev, DeviceId(0));
+                assert_eq!(owner, s.id(), "error names the session that must sync");
+            }
             other => panic!("expected ObjectInUse, got {other:?}"),
         }
         assert_eq!(

@@ -1,0 +1,370 @@
+//! Per-device runtime shards.
+//!
+//! A [`DeviceShard`] owns **everything the runtime mutates on behalf of one
+//! accelerator**: the manager slice holding that device's shared objects
+//! (including per-block coherence state), the host-side MMU regions
+//! mirroring those objects, the device's own coherence-protocol instance
+//! (rolling-update's dirty FIFO, batch-update's write-set annotation), the
+//! pending kernel call, the asynchronous-DMA queue and the event counters.
+//!
+//! The ADSM model makes this split sound: coherence work happens only at
+//! acquire/release boundaries driven by the host thread attached to the
+//! accelerator (paper §3.2/§3.3), and a kernel's parameters must all live on
+//! its own device ([`crate::GmacError::MixedDevices`]), so between
+//! boundaries the state of two shards is independent. Cross-device
+//! operations (`memcpy` between objects homed on different accelerators,
+//! `sync` across all devices) are explicit multi-shard transactions that
+//! lock shards **one at a time, in device-id order** — see the lock-order
+//! invariant below.
+//!
+//! # Lock-order invariant
+//!
+//! The sharded runtime has three lock families, acquired strictly in this
+//! order:
+//!
+//! 1. the **registry** `RwLock` (address → home-device routing; read-mostly),
+//! 2. at most **one shard** mutex at a time (never shard → shard),
+//! 3. platform-internal leaf locks (device mutexes, clock, ledgers) below
+//!    any shard lock.
+//!
+//! In practice the registry guard is dropped *before* the shard mutex is
+//! taken (routing returns plain values), so no gmac-level locks ever nest;
+//! multi-shard transactions stage data through host buffers between shard
+//! acquisitions instead of holding two shards at once.
+
+use crate::config::GmacConfig;
+use crate::error::{GmacError, GmacResult};
+use crate::manager::Manager;
+use crate::object::{ObjectId, SharedObject};
+use crate::protocol::{make, CoherenceProtocol};
+use crate::ptr::SharedPtr;
+use crate::runtime::Runtime;
+use crate::session::{SessionId, SessionView};
+use crate::state::BlockState;
+use hetsim::{Category, DevAddr, DeviceId, Platform, StreamId};
+use softmmu::{AccessKind, MmuError, Scalar, VAddr};
+use std::sync::Arc;
+
+/// An outstanding accelerator call awaiting a `sync`.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingCall {
+    /// Session that issued the call (only it may sync or stack more calls).
+    pub(crate) session: SessionId,
+    /// Stream the kernel was launched on.
+    pub(crate) stream: StreamId,
+    /// Start addresses of the shared objects the call references; `free` on
+    /// any of them fails with [`GmacError::ObjectInUse`] until the sync.
+    pub(crate) objects: Vec<VAddr>,
+}
+
+/// The independently-lockable runtime state of one accelerator.
+///
+/// One `DeviceShard` exists per platform device, each behind its own mutex
+/// inside the shared [`crate::Gmac`] runtime. An operation acquires exactly
+/// the shards it names (almost always one, found by routing the pointer
+/// through the read-mostly registry), so sessions driving different
+/// accelerators run concurrently in wall-clock terms — the property the
+/// `contention` benchmark measures against the global-lock ablation mode
+/// ([`crate::GmacConfig::sharding`]).
+///
+/// See the [module docs](self) for the lock-order invariant.
+#[derive(Debug)]
+pub struct DeviceShard {
+    pub(crate) dev: DeviceId,
+    /// Per-shard runtime: shared platform handle + this shard's MMU regions,
+    /// DMA queue and counters.
+    pub(crate) rt: Runtime,
+    /// Registry slice: the shared objects homed on this device, including
+    /// their per-block coherence state.
+    pub(crate) mgr: Manager,
+    /// This device's own protocol instance (per-device dirty FIFO, rolling
+    /// size, release annotations).
+    pub(crate) protocol: Box<dyn CoherenceProtocol>,
+    /// The at-most-one un-synced kernel call on this accelerator.
+    pub(crate) pending: Option<PendingCall>,
+}
+
+impl DeviceShard {
+    pub(crate) fn new(dev: DeviceId, platform: Arc<Platform>, config: &GmacConfig) -> Self {
+        DeviceShard {
+            dev,
+            rt: Runtime::from_shared(platform, config.clone()),
+            mgr: Manager::new(config.lookup),
+            protocol: make(config.protocol),
+            pending: None,
+        }
+    }
+
+    // ----- allocation -------------------------------------------------------
+
+    /// Maps and registers a freshly device-allocated object (the tail of
+    /// `adsmAlloc`/`adsmSafeAlloc`; the registry claim already succeeded).
+    pub(crate) fn install_object(
+        &mut self,
+        id: ObjectId,
+        dev_addr: DevAddr,
+        addr: VAddr,
+        size: u64,
+    ) -> GmacResult<SharedPtr> {
+        let initial = self.protocol.initial_state();
+        let region = self.rt.vm.map_fixed(addr, size, initial.protection())?;
+        let block_size = self.protocol.block_size_for(&self.rt.config, size);
+        let obj = SharedObject::new(
+            id, addr, size, self.dev, dev_addr, region, block_size, initial,
+        );
+        self.mgr.insert(obj);
+        self.protocol.on_alloc(&mut self.rt, &mut self.mgr, addr)?;
+        Ok(SharedPtr::new(addr))
+    }
+
+    /// `adsmFree` under this shard's lock. `id` gates the free on allocation
+    /// identity (the RAII [`crate::Shared`] path). Returns the freed start
+    /// address and device range **without** returning the latter to the
+    /// device allocator: the caller must release the registry claim first
+    /// and only then `dev_free` the returned range, so a concurrent alloc
+    /// can never be handed a first-fit device address whose host claim is
+    /// still registered (a spurious `AddressCollision`).
+    ///
+    /// Failure paths charge **nothing** (a failed free must not desync the
+    /// time ledger), and objects referenced by a still-pending call are
+    /// rejected with [`GmacError::ObjectInUse`].
+    pub(crate) fn free_locked(
+        &mut self,
+        ptr: SharedPtr,
+        id: Option<ObjectId>,
+    ) -> GmacResult<(VAddr, DevAddr)> {
+        let obj = self
+            .mgr
+            .find(ptr.addr())
+            .ok_or(GmacError::NotShared(ptr.addr()))?;
+        if let Some(expect) = id {
+            if obj.id() != expect {
+                return Err(GmacError::NotShared(ptr.addr()));
+            }
+        }
+        let addr = obj.addr();
+        if let Some(call) = &self.pending {
+            if call.objects.contains(&addr) {
+                return Err(GmacError::ObjectInUse {
+                    addr,
+                    dev: self.dev,
+                    owner: call.session,
+                });
+            }
+        }
+        let free_base = self.rt.config.costs.free_base;
+        self.rt.charge(Category::Free, free_base);
+        let obj = self.mgr.remove(addr).expect("object found above");
+        self.protocol.on_free(&mut self.rt, &obj)?;
+        self.rt.vm.unmap_region(obj.region())?;
+        Ok((addr, obj.dev_addr()))
+    }
+
+    // ----- kernel execution -------------------------------------------------
+
+    /// Joins the pending call on this shard (session already checked).
+    pub(crate) fn sync_one(&mut self) -> GmacResult<()> {
+        let call = self.pending.take().ok_or(GmacError::NothingToSync)?;
+        let sync_base = self.rt.config.costs.sync_base;
+        self.rt.charge(Category::Sync, sync_base);
+        self.rt.platform.sync_stream(self.dev, call.stream)?;
+        self.protocol
+            .acquire(&mut self.rt, &mut self.mgr, self.dev)?;
+        Ok(())
+    }
+
+    /// Records a launched call (stacking same-session calls: the pending
+    /// entry accumulates the union of referenced objects so `free` stays
+    /// guarded for all of them).
+    pub(crate) fn note_pending(
+        &mut self,
+        view: SessionView,
+        stream: StreamId,
+        objects: Vec<VAddr>,
+    ) {
+        let entry = self.pending.get_or_insert(PendingCall {
+            session: view.id,
+            stream,
+            objects: Vec::new(),
+        });
+        for addr in objects {
+            if !entry.objects.contains(&addr) {
+                entry.objects.push(addr);
+            }
+        }
+    }
+
+    /// `adsmSafe(address)`.
+    pub(crate) fn translate(&self, ptr: SharedPtr) -> GmacResult<DevAddr> {
+        let obj = self
+            .mgr
+            .find(ptr.addr())
+            .ok_or(GmacError::NotShared(ptr.addr()))?;
+        Ok(obj.translate(ptr.addr()))
+    }
+
+    // ----- transparent CPU access -------------------------------------------
+
+    pub(crate) fn load<T: Scalar>(&mut self, ptr: SharedPtr) -> GmacResult<T> {
+        self.access_checked(ptr, T::SIZE as u64, AccessKind::Read)?;
+        self.rt.platform.cpu_touch(T::SIZE as u64);
+        Ok(self.rt.vm.load::<T>(ptr.addr())?)
+    }
+
+    pub(crate) fn store<T: Scalar>(&mut self, ptr: SharedPtr, value: T) -> GmacResult<()> {
+        self.access_checked(ptr, T::SIZE as u64, AccessKind::Write)?;
+        self.rt.platform.cpu_touch(T::SIZE as u64);
+        Ok(self.rt.vm.store(ptr.addr(), value)?)
+    }
+
+    pub(crate) fn load_slice<T: Scalar>(&mut self, ptr: SharedPtr, n: usize) -> GmacResult<Vec<T>> {
+        let bytes = self.shared_read(ptr, n as u64 * T::SIZE as u64)?;
+        Ok(softmmu::from_bytes(&bytes))
+    }
+
+    pub(crate) fn store_slice<T: Scalar>(
+        &mut self,
+        ptr: SharedPtr,
+        values: &[T],
+    ) -> GmacResult<()> {
+        self.shared_write(ptr, &softmmu::to_bytes(values))
+    }
+
+    /// Single checked access with the fault-retry loop (the paper's signal
+    /// handler protocol, §4.3).
+    fn access_checked(&mut self, ptr: SharedPtr, len: u64, kind: AccessKind) -> GmacResult<()> {
+        // One fault can occur per block the access spans; anything beyond
+        // that means the protocol failed to make progress.
+        let mut budget = 4 + len / softmmu::PAGE_SIZE;
+        loop {
+            match self.rt.vm.check(ptr.addr(), len, kind) {
+                Ok(()) => return Ok(()),
+                Err(MmuError::Fault(fault)) => {
+                    if budget == 0 {
+                        return Err(GmacError::UnresolvedFault(fault.to_string()));
+                    }
+                    budget -= 1;
+                    self.handle_fault(fault.addr, kind)?;
+                }
+                Err(MmuError::Unmapped(a)) => return Err(GmacError::NotShared(a)),
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// The "signal handler": charge delivery + lookup, then let the protocol
+    /// resolve the faulting block.
+    fn handle_fault(&mut self, fault_addr: VAddr, kind: AccessKind) -> GmacResult<()> {
+        let obj = self
+            .mgr
+            .find(fault_addr)
+            .ok_or(GmacError::NotShared(fault_addr))?;
+        let start = obj.addr();
+        let offset = fault_addr - start;
+        let steps = self.mgr.lookup_steps();
+        self.rt.charge_signal(steps, kind == AccessKind::Write);
+        match kind {
+            AccessKind::Read => {
+                self.protocol
+                    .prepare_read(&mut self.rt, &mut self.mgr, start, offset, 1)
+            }
+            AccessKind::Write => {
+                self.protocol
+                    .prepare_write(&mut self.rt, &mut self.mgr, start, offset, 1)
+            }
+        }
+    }
+
+    /// Shared read used by slice loads, bulk ops and I/O: pay one fault per
+    /// touched block that is not readable, resolve the whole range through
+    /// the protocol in a single batched call (runs of adjacent invalid
+    /// blocks coalesce into single DMA jobs), then copy.
+    pub(crate) fn shared_read(&mut self, ptr: SharedPtr, len: u64) -> GmacResult<Vec<u8>> {
+        self.resolve_read_range(ptr, len)?;
+        self.read_resolved(ptr, len)
+    }
+
+    /// Copies `[ptr, ptr+len)` out of system memory, assuming the caller
+    /// already made the range readable via [`Self::resolve_read_range`]
+    /// (the I/O interposition resolves a whole operation's extent once,
+    /// then drains it chunk by chunk through this).
+    pub(crate) fn read_resolved(&mut self, ptr: SharedPtr, len: u64) -> GmacResult<Vec<u8>> {
+        let obj = self
+            .mgr
+            .find(ptr.addr())
+            .ok_or(GmacError::NotShared(ptr.addr()))?;
+        let start = obj.addr();
+        let base_offset = ptr.addr() - start;
+        let mut out = vec![0u8; len as usize];
+        self.rt.vm.read_raw(start + base_offset, &mut out)?;
+        // The application's own CPU time to traverse the range.
+        self.rt.platform.cpu_touch(len);
+        Ok(out)
+    }
+
+    /// Makes `[ptr, ptr+len)` CPU-readable: charges one fault-equivalent per
+    /// invalid block the range touches (an element loop would fault on the
+    /// first touch of each), then lets the protocol fetch them all in one
+    /// planned, coalesced batch.
+    pub(crate) fn resolve_read_range(&mut self, ptr: SharedPtr, len: u64) -> GmacResult<()> {
+        let obj = self
+            .mgr
+            .find(ptr.addr())
+            .ok_or(GmacError::NotShared(ptr.addr()))?;
+        let start = obj.addr();
+        let base_offset = ptr.addr() - start;
+        Runtime::check_bounds(obj, base_offset, len)?;
+        let invalid = obj
+            .blocks_overlapping(base_offset, len)
+            .filter(|&idx| obj.block(idx).state == BlockState::Invalid)
+            .count();
+        if invalid > 0 {
+            let steps = self.mgr.lookup_steps();
+            for _ in 0..invalid {
+                self.rt.charge_signal(steps, false);
+            }
+            self.protocol
+                .prepare_read(&mut self.rt, &mut self.mgr, start, base_offset, len)?;
+        }
+        Ok(())
+    }
+
+    /// Block-chunked shared write used by slice stores, bulk ops and I/O:
+    /// per touched block, pay one fault if the block is not writable,
+    /// prepare it, then immediately land the bytes (required ordering — see
+    /// [`CoherenceProtocol::prepare_write`]).
+    pub(crate) fn shared_write(&mut self, ptr: SharedPtr, bytes: &[u8]) -> GmacResult<()> {
+        let len = bytes.len() as u64;
+        let obj = self
+            .mgr
+            .find(ptr.addr())
+            .ok_or(GmacError::NotShared(ptr.addr()))?;
+        let start = obj.addr();
+        let base_offset = ptr.addr() - start;
+        Runtime::check_bounds(obj, base_offset, len)?;
+        let blocks = obj.blocks_overlapping(base_offset, len);
+        for idx in blocks {
+            let obj = self.mgr.find(start).expect("object lives across loop");
+            let block = *obj.block(idx);
+            let lo = block.offset.max(base_offset);
+            let hi = (block.offset + block.len).min(base_offset + len);
+            if block.state != BlockState::Dirty {
+                let steps = self.mgr.lookup_steps();
+                self.rt.charge_signal(steps, true);
+                self.protocol
+                    .prepare_write(&mut self.rt, &mut self.mgr, start, lo, hi - lo)?;
+            }
+            let src = &bytes[(lo - base_offset) as usize..(hi - base_offset) as usize];
+            self.rt.vm.write_raw(start + lo, src)?;
+            // The application's own CPU time to produce/copy the chunk.
+            self.rt.platform.cpu_touch(hi - lo);
+        }
+        Ok(())
+    }
+
+    // ----- introspection ----------------------------------------------------
+
+    pub(crate) fn dirty_block_count(&self) -> usize {
+        self.protocol.dirty_blocks(&self.mgr)
+    }
+}

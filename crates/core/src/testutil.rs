@@ -66,10 +66,7 @@ pub fn alloc_object(
     size: u64,
 ) -> VAddr {
     let size = VAddr(size).page_up().0.max(softmmu::PAGE_SIZE);
-    let dev_addr = rt
-        .platform_mut()
-        .dev_alloc(dev, size)
-        .expect("device alloc");
+    let dev_addr = rt.platform().dev_alloc(dev, size).expect("device alloc");
     let addr = VAddr(dev_addr.0);
     let initial = proto.initial_state();
     let region = rt

@@ -10,13 +10,13 @@
 //! memory system.
 
 use crate::error::GmacResult;
-use crate::gmac::{lock, State};
+use crate::gmac::Inner;
 use crate::object::ObjectId;
 use crate::ptr::{Param, SharedPtr};
 use softmmu::Scalar;
 use std::fmt;
 use std::marker::PhantomData;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// An owned, typed shared buffer of `len` elements of `T`.
 ///
@@ -46,7 +46,7 @@ pub struct Shared<T: Scalar> {
     /// `Some` while the handle owns the object; taken by [`Self::free`] /
     /// [`Self::into_raw`] so `Drop` neither double-frees nor leaks the
     /// runtime reference count.
-    inner: Option<Arc<Mutex<State>>>,
+    inner: Option<Arc<Inner>>,
     ptr: SharedPtr,
     len: usize,
     /// Allocation identity: frees are gated on it so a manually-freed and
@@ -67,7 +67,7 @@ impl<T: Scalar> fmt::Debug for Shared<T> {
 }
 
 impl<T: Scalar> Shared<T> {
-    pub(crate) fn new(inner: Arc<Mutex<State>>, ptr: SharedPtr, len: usize, id: ObjectId) -> Self {
+    pub(crate) fn new(inner: Arc<Inner>, ptr: SharedPtr, len: usize, id: ObjectId) -> Self {
         Shared {
             inner: Some(inner),
             ptr,
@@ -77,7 +77,7 @@ impl<T: Scalar> Shared<T> {
         }
     }
 
-    fn state(&self) -> &Arc<Mutex<State>> {
+    fn state(&self) -> &Arc<Inner> {
         self.inner.as_ref().expect("handle live until consumed")
     }
 
@@ -119,7 +119,7 @@ impl<T: Scalar> Shared<T> {
     /// Panics when `i >= len`.
     pub fn read(&self, i: usize) -> GmacResult<T> {
         assert!(i < self.len, "element {i} out of {} elements", self.len);
-        lock(self.state()).load(self.element(i))
+        self.state().load(self.element(i))
     }
 
     /// Writes element `i` through the coherence protocol.
@@ -131,7 +131,7 @@ impl<T: Scalar> Shared<T> {
     /// Panics when `i >= len`.
     pub fn write(&self, i: usize, value: T) -> GmacResult<()> {
         assert!(i < self.len, "element {i} out of {} elements", self.len);
-        lock(self.state()).store(self.element(i), value)
+        self.state().store(self.element(i), value)
     }
 
     /// Reads the whole buffer.
@@ -139,7 +139,7 @@ impl<T: Scalar> Shared<T> {
     /// # Errors
     /// Propagates fault/transfer failures.
     pub fn read_slice(&self) -> GmacResult<Vec<T>> {
-        lock(self.state()).load_slice(self.ptr, self.len)
+        self.state().load_slice(self.ptr, self.len)
     }
 
     /// Reads `n` elements starting at element `start`.
@@ -156,7 +156,7 @@ impl<T: Scalar> Shared<T> {
             start + n,
             self.len
         );
-        lock(self.state()).load_slice(self.element(start), n)
+        self.state().load_slice(self.element(start), n)
     }
 
     /// Writes `values` starting at element 0.
@@ -186,7 +186,7 @@ impl<T: Scalar> Shared<T> {
             start + values.len(),
             self.len
         );
-        lock(self.state()).store_slice(self.element(start), values)
+        self.state().store_slice(self.element(start), values)
     }
 
     /// Explicitly frees the buffer (`adsmFree`), surfacing errors the RAII
@@ -202,8 +202,7 @@ impl<T: Scalar> Shared<T> {
         // One attempt only: on failure the object stays alive (nothing was
         // charged) and Drop sees a disarmed handle, so there is no racy
         // second free against a possibly-reused address.
-        let result = lock(&inner).free_exact(self.ptr, self.id);
-        result
+        inner.free_exact(self.ptr, self.id)
     }
 
     /// Releases ownership without freeing: returns the raw pointer and
@@ -221,7 +220,7 @@ impl<T: Scalar> Drop for Shared<T> {
         // already freed through a raw alias) is left as-is: `State::free`
         // charges nothing on failure, so the ledger stays consistent.
         if let Some(inner) = self.inner.take() {
-            let _ = lock(&inner).free_exact(self.ptr, self.id);
+            let _ = inner.free_exact(self.ptr, self.id);
         }
     }
 }

@@ -8,6 +8,11 @@ use std::collections::BTreeMap;
 /// host-to-device jobs issued through transfer plans. The runtime joins the
 /// queue at `adsmCall` boundaries (and whenever a protocol needs DMA
 /// drained) instead of protocols reaching into engine internals.
+///
+/// Since the shard redesign one queue lives inside each
+/// [`crate::shard::DeviceShard`]'s runtime, so in practice it only ever
+/// holds its own device's horizon — the map form is kept for standalone
+/// harnesses that drive one `Runtime` across several devices.
 #[derive(Debug, Default)]
 pub struct DmaQueue {
     pending: BTreeMap<DeviceId, TimePoint>,

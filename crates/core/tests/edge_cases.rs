@@ -32,7 +32,7 @@ impl Kernel for Inc {
 }
 
 fn session(protocol: Protocol) -> Session {
-    let mut platform = Platform::desktop_g280();
+    let platform = Platform::desktop_g280();
     platform.register_kernel(Arc::new(Inc));
     Gmac::new(platform, GmacConfig::default().protocol(protocol)).session()
 }

@@ -34,7 +34,7 @@ impl Kernel for VecAdd {
 }
 
 fn session(protocol: Protocol) -> Session {
-    let mut platform = Platform::desktop_g280();
+    let platform = Platform::desktop_g280();
     platform.register_kernel(Arc::new(VecAdd));
     Gmac::new(
         platform,
@@ -167,7 +167,7 @@ fn safe_alloc_translates_and_computes() {
     // Multi-GPU platforms expose overlapping device ranges; safe_alloc is
     // the paper's fallback. The kernel still works because the runtime
     // translates parameters.
-    let mut platform = Platform::desktop_multi_gpu(2);
+    let platform = Platform::desktop_multi_gpu(2);
     platform.register_kernel(Arc::new(VecAdd));
     let c = Gmac::new(platform, GmacConfig::default()).session();
     let bytes = (N * 4) as u64;
@@ -195,7 +195,7 @@ fn unified_alloc_collides_on_second_gpu_then_safe_alloc_recovers() {
     // Two G280s share the same memory window: the first unified allocation
     // takes the host range, an allocation on the *other* device at the same
     // device address must collide.
-    let mut platform = Platform::desktop_multi_gpu(2);
+    let platform = Platform::desktop_multi_gpu(2);
     platform.register_kernel(Arc::new(VecAdd));
     let c = Gmac::new(platform, GmacConfig::default()).session();
     let _a = c.alloc_on(DeviceId(0), 1 << 20).unwrap();
@@ -250,7 +250,7 @@ fn load_store_scalar_roundtrip_with_faults() {
 #[test]
 fn signal_overhead_is_small_fraction_of_runtime() {
     // Paper Figure 10: signal handling stays below 2% of execution time.
-    let mut platform = Platform::desktop_g280();
+    let platform = Platform::desktop_g280();
     platform.register_kernel(Arc::new(VecAdd));
     let c = Gmac::new(platform, GmacConfig::default()).session(); // default 256 KiB blocks
     let n = 1_000_000usize;

@@ -50,6 +50,9 @@ pub use disk::{Disk, SimFs};
 pub use engine::Engine;
 pub use error::{SimError, SimResult};
 pub use kernel::{Args, Kernel, KernelArg, KernelProfile, LaunchDims};
-pub use platform::{CopyMode, CpuSpec, Platform, PlatformBuilder, DEFAULT_DEVICE_BASE};
+pub use platform::{
+    CopyMode, CpuSpec, DeviceRef, FsRef, LedgerRef, Platform, PlatformBuilder, TransfersRef,
+    DEFAULT_DEVICE_BASE,
+};
 pub use stats::{Category, Direction, TimeLedger, TransferLedger};
 pub use time::{Clock, Nanos, TimePoint};

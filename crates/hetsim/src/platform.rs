@@ -2,6 +2,26 @@
 //! disk + virtual clock + accounting, corresponding to the paper's reference
 //! architecture (Figure 1: CPUs and accelerators with separate physical
 //! memories joined by a PCIe-class interconnect).
+//!
+//! # Locking architecture
+//!
+//! The platform is internally sharded so that host threads driving
+//! *different accelerators* never serialise on a platform-wide lock:
+//!
+//! * the virtual [`Clock`] is lock-free (atomic add / atomic max), so every
+//!   charge still corresponds exactly to the clock movement it caused;
+//! * each [`Device`] (memory, DMA engines, execution engine, streams) sits
+//!   behind its **own** mutex — a kernel executing on `gpu0` holds only
+//!   `gpu0`'s lock while `gpu1` copies data concurrently;
+//! * the [`TimeLedger`], [`TransferLedger`] and disk/filesystem are leaf
+//!   mutexes with tiny critical sections;
+//! * the kernel registry is a read-mostly `RwLock`.
+//!
+//! **Lock order:** a device mutex may be held while touching the clock or a
+//! ledger (leaf locks); leaf locks are never held while acquiring a device;
+//! two device mutexes are never held at once. All methods take `&self`, so
+//! the platform is `Send + Sync` and can be shared (e.g. in an `Arc`) by the
+//! per-device shards of the GMAC runtime.
 
 use crate::bandwidth::{BytesPerSec, LinkModel};
 use crate::device::{Device, DeviceId, GpuSpec, StreamId};
@@ -13,7 +33,8 @@ use crate::kernel::{Args, Kernel, KernelArg, LaunchDims};
 use crate::stats::{Category, Direction, TimeLedger, TransferLedger};
 use crate::time::{Clock, Nanos, TimePoint};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 /// Host CPU specification.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,16 +88,91 @@ pub enum CopyMode {
 /// `adsmSafeAlloc` fallback.
 pub const DEFAULT_DEVICE_BASE: u64 = 0x2_0000_0000;
 
+/// Disk + simulated filesystem behind one mutex (the disk is a single
+/// physical resource; contention on it is contention in the modelled system
+/// too).
+#[derive(Debug)]
+struct IoSubsys {
+    disk: Disk,
+    fs: SimFs,
+}
+
+fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Guard giving (mutable) access to one [`Device`]. Holding it keeps only
+/// that device's mutex — other devices, the clock and the ledgers stay free.
+#[derive(Debug)]
+pub struct DeviceRef<'a>(MutexGuard<'a, Device>);
+
+impl Deref for DeviceRef<'_> {
+    type Target = Device;
+    fn deref(&self) -> &Device {
+        &self.0
+    }
+}
+
+impl DerefMut for DeviceRef<'_> {
+    fn deref_mut(&mut self) -> &mut Device {
+        &mut self.0
+    }
+}
+
+/// Guard giving read access to the execution-time ledger.
+#[derive(Debug)]
+pub struct LedgerRef<'a>(MutexGuard<'a, TimeLedger>);
+
+impl Deref for LedgerRef<'_> {
+    type Target = TimeLedger;
+    fn deref(&self) -> &TimeLedger {
+        &self.0
+    }
+}
+
+/// Guard giving access to the transfer ledger.
+#[derive(Debug)]
+pub struct TransfersRef<'a>(MutexGuard<'a, TransferLedger>);
+
+impl Deref for TransfersRef<'_> {
+    type Target = TransferLedger;
+    fn deref(&self) -> &TransferLedger {
+        &self.0
+    }
+}
+
+impl DerefMut for TransfersRef<'_> {
+    fn deref_mut(&mut self) -> &mut TransferLedger {
+        &mut self.0
+    }
+}
+
+/// Guard giving access to the simulated filesystem.
+#[derive(Debug)]
+pub struct FsRef<'a>(MutexGuard<'a, IoSubsys>);
+
+impl Deref for FsRef<'_> {
+    type Target = SimFs;
+    fn deref(&self) -> &SimFs {
+        &self.0.fs
+    }
+}
+
+impl DerefMut for FsRef<'_> {
+    fn deref_mut(&mut self) -> &mut SimFs {
+        &mut self.0.fs
+    }
+}
+
 /// The simulated platform.
 pub struct Platform {
     clock: Clock,
     cpu: CpuSpec,
-    devices: Vec<Device>,
-    disk: Disk,
-    fs: SimFs,
-    ledger: TimeLedger,
-    transfers: TransferLedger,
-    kernels: HashMap<String, Arc<dyn Kernel>>,
+    devices: Vec<Mutex<Device>>,
+    io: Mutex<IoSubsys>,
+    ledger: Mutex<TimeLedger>,
+    transfers: Mutex<TransferLedger>,
+    kernels: RwLock<HashMap<String, Arc<dyn Kernel>>>,
 }
 
 impl std::fmt::Debug for Platform {
@@ -85,7 +181,14 @@ impl std::fmt::Debug for Platform {
             .field("now", &self.clock.now())
             .field("cpu", &self.cpu.name)
             .field("devices", &self.devices.len())
-            .field("kernels", &self.kernels.len())
+            .field(
+                "kernels",
+                &self
+                    .kernels
+                    .read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len(),
+            )
             .finish_non_exhaustive()
     }
 }
@@ -150,25 +253,31 @@ impl Platform {
     }
 
     /// Advances the clock by `dur`, charging it to `cat`.
-    pub fn spend(&mut self, cat: Category, dur: Nanos) {
+    pub fn spend(&self, cat: Category, dur: Nanos) {
         self.clock.advance(dur);
-        self.ledger.charge(cat, dur);
+        lock_ok(&self.ledger).charge(cat, dur);
     }
 
     /// Blocks the host until `t`, charging the waited time to `cat`.
-    pub fn wait_for(&mut self, t: TimePoint, cat: Category) {
+    ///
+    /// With concurrent shards the clock may already have moved past `t`
+    /// (another device's thread advanced it); exactly the movement *this*
+    /// call caused is charged, so the ledger always partitions elapsed time.
+    pub fn wait_for(&self, t: TimePoint, cat: Category) {
         let waited = self.clock.wait_until(t);
-        self.ledger.charge(cat, waited);
+        if !waited.is_zero() {
+            lock_ok(&self.ledger).charge(cat, waited);
+        }
     }
 
     /// Charges application CPU compute: a roofline over `flops` and `bytes`.
-    pub fn cpu_compute(&mut self, flops: f64, bytes: f64) {
+    pub fn cpu_compute(&self, flops: f64, bytes: f64) {
         let dur = self.cpu.compute_time(flops, bytes);
         self.spend(Category::Cpu, dur);
     }
 
     /// Charges the CPU for streaming over `bytes` of memory.
-    pub fn cpu_touch(&mut self, bytes: u64) {
+    pub fn cpu_touch(&self, bytes: u64) {
         self.cpu_compute(0.0, bytes as f64);
     }
 
@@ -184,56 +293,64 @@ impl Platform {
         self.devices.len()
     }
 
-    /// Accelerator by id.
-    ///
-    /// # Errors
-    /// [`SimError::NoSuchDevice`] for out-of-range ids.
-    pub fn device(&self, id: DeviceId) -> SimResult<&Device> {
-        self.devices.get(id.0).ok_or(SimError::NoSuchDevice(id.0))
-    }
-
-    /// Accelerator by id, mutable.
-    ///
-    /// # Errors
-    /// [`SimError::NoSuchDevice`] for out-of-range ids.
-    pub fn device_mut(&mut self, id: DeviceId) -> SimResult<&mut Device> {
+    fn lock_device(&self, id: DeviceId) -> SimResult<MutexGuard<'_, Device>> {
         self.devices
-            .get_mut(id.0)
+            .get(id.0)
+            .map(lock_ok)
             .ok_or(SimError::NoSuchDevice(id.0))
     }
 
+    /// Accelerator by id (a guard holding that device's mutex).
+    ///
+    /// # Errors
+    /// [`SimError::NoSuchDevice`] for out-of-range ids.
+    pub fn device(&self, id: DeviceId) -> SimResult<DeviceRef<'_>> {
+        Ok(DeviceRef(self.lock_device(id)?))
+    }
+
+    /// Accelerator by id, mutable (same guard as [`Self::device`]).
+    ///
+    /// # Errors
+    /// [`SimError::NoSuchDevice`] for out-of-range ids.
+    pub fn device_mut(&self, id: DeviceId) -> SimResult<DeviceRef<'_>> {
+        Ok(DeviceRef(self.lock_device(id)?))
+    }
+
     /// Execution-time ledger (Figure 10 categories).
-    pub fn ledger(&self) -> &TimeLedger {
-        &self.ledger
+    pub fn ledger(&self) -> LedgerRef<'_> {
+        LedgerRef(lock_ok(&self.ledger))
     }
 
     /// Transfer ledger (Figure 8 input).
-    pub fn transfers(&self) -> &TransferLedger {
-        &self.transfers
+    pub fn transfers(&self) -> TransfersRef<'_> {
+        TransfersRef(lock_ok(&self.transfers))
     }
 
     /// Transfer ledger, mutable (the transfer planner attributes coalesced
     /// block counts to the jobs it issues).
-    pub fn transfers_mut(&mut self) -> &mut TransferLedger {
-        &mut self.transfers
+    pub fn transfers_mut(&self) -> TransfersRef<'_> {
+        TransfersRef(lock_ok(&self.transfers))
     }
 
     /// Simulated filesystem (for preparing workload inputs without charging
     /// simulated time).
-    pub fn fs(&self) -> &SimFs {
-        &self.fs
+    pub fn fs(&self) -> FsRef<'_> {
+        FsRef(lock_ok(&self.io))
     }
 
     /// Simulated filesystem, mutable.
-    pub fn fs_mut(&mut self) -> &mut SimFs {
-        &mut self.fs
+    pub fn fs_mut(&self) -> FsRef<'_> {
+        FsRef(lock_ok(&self.io))
     }
 
     // ----- kernels ----------------------------------------------------------
 
     /// Registers a kernel for launching by name.
-    pub fn register_kernel(&mut self, kernel: Arc<dyn Kernel>) {
-        self.kernels.insert(kernel.name().to_string(), kernel);
+    pub fn register_kernel(&self, kernel: Arc<dyn Kernel>) {
+        self.kernels
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(kernel.name().to_string(), kernel);
     }
 
     /// Looks up a registered kernel.
@@ -242,6 +359,8 @@ impl Platform {
     /// [`SimError::UnknownKernel`] when not registered.
     pub fn kernel(&self, name: &str) -> SimResult<Arc<dyn Kernel>> {
         self.kernels
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(name)
             .cloned()
             .ok_or_else(|| SimError::UnknownKernel(name.to_string()))
@@ -253,7 +372,7 @@ impl Platform {
     /// # Errors
     /// Fails for unknown devices/kernels/streams or kernel-side errors.
     pub fn launch(
-        &mut self,
+        &self,
         dev: DeviceId,
         stream: StreamId,
         kernel_name: &str,
@@ -266,20 +385,24 @@ impl Platform {
 
     /// Launches a kernel object directly (no registry lookup).
     ///
+    /// The kernel body executes under the target device's mutex only, so
+    /// kernels on different accelerators run concurrently in wall-clock
+    /// terms.
+    ///
     /// # Errors
     /// Fails for unknown devices/streams or kernel-side errors.
     pub fn launch_direct(
-        &mut self,
+        &self,
         dev: DeviceId,
         stream: StreamId,
         kernel: &dyn Kernel,
         dims: LaunchDims,
         args: &[KernelArg],
     ) -> SimResult<TimePoint> {
-        let launch_cost = self.device(dev)?.spec().launch_cost;
+        let launch_cost = self.lock_device(dev)?.spec().launch_cost;
         self.spend(Category::CudaLaunch, launch_cost);
         let now = self.now();
-        let device = self.device_mut(dev)?;
+        let mut device = self.lock_device(dev)?;
         let profile = kernel.execute(device.mem_mut(), dims, Args::new(args))?;
         let ktime = device.spec().kernel_time(profile);
         let after = device.stream_horizon(stream)?;
@@ -293,10 +416,10 @@ impl Platform {
     ///
     /// # Errors
     /// Fails for unknown devices or streams.
-    pub fn sync_stream(&mut self, dev: DeviceId, stream: StreamId) -> SimResult<()> {
-        let sync_cost = self.device(dev)?.spec().sync_cost;
+    pub fn sync_stream(&self, dev: DeviceId, stream: StreamId) -> SimResult<()> {
+        let sync_cost = self.lock_device(dev)?.spec().sync_cost;
         self.spend(Category::Sync, sync_cost);
-        let horizon = self.device(dev)?.stream_horizon(stream)?;
+        let horizon = self.lock_device(dev)?.stream_horizon(stream)?;
         self.wait_for(horizon, Category::Gpu);
         Ok(())
     }
@@ -305,10 +428,10 @@ impl Platform {
     ///
     /// # Errors
     /// Fails for unknown devices.
-    pub fn sync_device(&mut self, dev: DeviceId) -> SimResult<()> {
-        let sync_cost = self.device(dev)?.spec().sync_cost;
+    pub fn sync_device(&self, dev: DeviceId) -> SimResult<()> {
+        let sync_cost = self.lock_device(dev)?.spec().sync_cost;
         self.spend(Category::Sync, sync_cost);
-        let horizon = self.device(dev)?.quiescent_at();
+        let horizon = self.lock_device(dev)?.quiescent_at();
         self.wait_for(horizon, Category::Gpu);
         Ok(())
     }
@@ -319,20 +442,22 @@ impl Platform {
     ///
     /// # Errors
     /// Fails for unknown devices or when device memory is exhausted.
-    pub fn dev_alloc(&mut self, dev: DeviceId, size: u64) -> SimResult<DevAddr> {
-        let cost = self.device(dev)?.spec().malloc_cost;
+    pub fn dev_alloc(&self, dev: DeviceId, size: u64) -> SimResult<DevAddr> {
+        let mut device = self.lock_device(dev)?;
+        let cost = device.spec().malloc_cost;
         self.spend(Category::CudaMalloc, cost);
-        self.device_mut(dev)?.mem_mut().alloc(size)
+        device.mem_mut().alloc(size)
     }
 
     /// Frees device memory, charging the accelerator-API cost.
     ///
     /// # Errors
     /// Fails for unknown devices or non-allocation addresses.
-    pub fn dev_free(&mut self, dev: DeviceId, addr: DevAddr) -> SimResult<()> {
-        let cost = self.device(dev)?.spec().free_cost;
+    pub fn dev_free(&self, dev: DeviceId, addr: DevAddr) -> SimResult<()> {
+        let mut device = self.lock_device(dev)?;
+        let cost = device.spec().free_cost;
         self.spend(Category::CudaFree, cost);
-        self.device_mut(dev)?.mem_mut().free(addr)
+        device.mem_mut().free(addr)
     }
 
     // ----- transfers ---------------------------------------------------------
@@ -343,19 +468,20 @@ impl Platform {
     /// # Errors
     /// Fails for unknown devices or out-of-bounds destination ranges.
     pub fn copy_h2d(
-        &mut self,
+        &self,
         dev: DeviceId,
         dst: DevAddr,
         src: &[u8],
         mode: CopyMode,
     ) -> SimResult<TimePoint> {
         let now = self.now();
-        let device = self.device_mut(dev)?;
-        let t = device.link_h2d().transfer_time(src.len() as u64);
-        device.mem_mut().write(dst, src)?;
-        let r: Reservation = device.h2d_engine_mut().reserve(now, t);
-        self.transfers
-            .record(Direction::HostToDevice, src.len() as u64);
+        let r: Reservation = {
+            let mut device = self.lock_device(dev)?;
+            let t = device.link_h2d().transfer_time(src.len() as u64);
+            device.mem_mut().write(dst, src)?;
+            device.h2d_engine_mut().reserve(now, t)
+        };
+        lock_ok(&self.transfers).record(Direction::HostToDevice, src.len() as u64);
         if mode == CopyMode::Sync {
             self.wait_for(r.end, Category::Copy);
         }
@@ -368,19 +494,20 @@ impl Platform {
     /// # Errors
     /// Fails for unknown devices or out-of-bounds source ranges.
     pub fn copy_d2h(
-        &mut self,
+        &self,
         dev: DeviceId,
         src: DevAddr,
         out: &mut [u8],
         mode: CopyMode,
     ) -> SimResult<TimePoint> {
         let now = self.now();
-        let device = self.device_mut(dev)?;
-        let t = device.link_d2h().transfer_time(out.len() as u64);
-        device.mem().read(src, out)?;
-        let r = device.d2h_engine_mut().reserve(now, t);
-        self.transfers
-            .record(Direction::DeviceToHost, out.len() as u64);
+        let r = {
+            let mut device = self.lock_device(dev)?;
+            let t = device.link_d2h().transfer_time(out.len() as u64);
+            device.mem().read(src, out)?;
+            device.d2h_engine_mut().reserve(now, t)
+        };
+        lock_ok(&self.transfers).record(Direction::DeviceToHost, out.len() as u64);
         if mode == CopyMode::Sync {
             self.wait_for(r.end, Category::Copy);
         }
@@ -393,8 +520,8 @@ impl Platform {
     ///
     /// # Errors
     /// Fails for unknown devices.
-    pub fn join_dma(&mut self, dev: DeviceId, dir: Direction) -> SimResult<()> {
-        let horizon = self.device(dev)?.dma_engine(dir).busy_until();
+    pub fn join_dma(&self, dev: DeviceId, dir: Direction) -> SimResult<()> {
+        let horizon = self.lock_device(dev)?.dma_engine(dir).busy_until();
         self.wait_for(horizon, Category::Copy);
         Ok(())
     }
@@ -404,19 +531,15 @@ impl Platform {
     ///
     /// # Errors
     /// Fails for unknown devices or out-of-bounds ranges.
-    pub fn dev_memset(
-        &mut self,
-        dev: DeviceId,
-        addr: DevAddr,
-        value: u8,
-        len: u64,
-    ) -> SimResult<()> {
+    pub fn dev_memset(&self, dev: DeviceId, addr: DevAddr, value: u8, len: u64) -> SimResult<()> {
         let now = self.now();
-        let device = self.device_mut(dev)?;
-        device.mem_mut().fill(addr, value, len)?;
-        let t = device.spec().kernel_overhead
-            + Nanos::from_secs_f64(len as f64 / device.spec().mem_bw.as_bps());
-        let r = device.exec_engine_mut().reserve(now, t);
+        let r = {
+            let mut device = self.lock_device(dev)?;
+            device.mem_mut().fill(addr, value, len)?;
+            let t = device.spec().kernel_overhead
+                + Nanos::from_secs_f64(len as f64 / device.spec().mem_bw.as_bps());
+            device.exec_engine_mut().reserve(now, t)
+        };
         self.wait_for(r.end, Category::Copy);
         Ok(())
     }
@@ -428,11 +551,15 @@ impl Platform {
     ///
     /// # Errors
     /// [`SimError::FileNotFound`] when the file does not exist.
-    pub fn file_read(&mut self, name: &str, offset: u64, out: &mut [u8]) -> SimResult<usize> {
-        let n = self.fs.read_at(name, offset, out)?;
+    pub fn file_read(&self, name: &str, offset: u64, out: &mut [u8]) -> SimResult<usize> {
         let now = self.now();
-        let t = self.disk.read_time(n as u64);
-        let r = self.disk.engine_mut().reserve(now, t);
+        let (n, r) = {
+            let mut io = lock_ok(&self.io);
+            let n = io.fs.read_at(name, offset, out)?;
+            let t = io.disk.read_time(n as u64);
+            let r = io.disk.engine_mut().reserve(now, t);
+            (n, r)
+        };
         self.wait_for(r.end, Category::IoRead);
         Ok(n)
     }
@@ -442,11 +569,15 @@ impl Platform {
     ///
     /// # Errors
     /// Propagates filesystem errors.
-    pub fn file_write(&mut self, name: &str, offset: u64, src: &[u8]) -> SimResult<usize> {
-        let n = self.fs.write_at(name, offset, src)?;
+    pub fn file_write(&self, name: &str, offset: u64, src: &[u8]) -> SimResult<usize> {
         let now = self.now();
-        let t = self.disk.write_time(n as u64);
-        let r = self.disk.engine_mut().reserve(now, t);
+        let (n, r) = {
+            let mut io = lock_ok(&self.io);
+            let n = io.fs.write_at(name, offset, src)?;
+            let t = io.disk.write_time(n as u64);
+            let r = io.disk.engine_mut().reserve(now, t);
+            (n, r)
+        };
         self.wait_for(r.end, Category::IoWrite);
         Ok(n)
     }
@@ -456,7 +587,7 @@ impl Platform {
     /// # Errors
     /// [`SimError::FileNotFound`] when the file does not exist.
     pub fn file_len(&self, name: &str) -> SimResult<u64> {
-        self.fs.len(name)
+        lock_ok(&self.io).fs.len(name)
     }
 }
 
@@ -550,18 +681,20 @@ impl PlatformBuilder {
             .into_iter()
             .enumerate()
             .map(|(i, (spec, size, base, h2d, d2h))| {
-                Device::new(DeviceId(i), spec, base, size, h2d, d2h)
+                Mutex::new(Device::new(DeviceId(i), spec, base, size, h2d, d2h))
             })
             .collect();
         Platform {
             clock: Clock::new(),
             cpu: self.cpu,
             devices,
-            disk: self.disk,
-            fs: SimFs::new(),
-            ledger: TimeLedger::new(),
-            transfers: TransferLedger::new(),
-            kernels: HashMap::new(),
+            io: Mutex::new(IoSubsys {
+                disk: self.disk,
+                fs: SimFs::new(),
+            }),
+            ledger: Mutex::new(TimeLedger::new()),
+            transfers: Mutex::new(TransferLedger::new()),
+            kernels: RwLock::new(HashMap::new()),
         }
     }
 }
@@ -591,12 +724,12 @@ mod tests {
     }
 
     #[test]
-    fn platform_is_send() {
-        // The GMAC runtime shares one Platform across host threads behind a
-        // lock; kernels are registered as `Arc<dyn Kernel>` with
-        // `Kernel: Send + Sync`, so the whole platform must stay `Send`.
-        fn assert_send<T: Send>() {}
-        assert_send::<Platform>();
+    fn platform_is_send_and_sync() {
+        // The GMAC runtime shares one Platform across per-device shards
+        // behind an `Arc`; every method takes `&self` over interior locks,
+        // so the whole platform must be `Send + Sync`.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Platform>();
     }
 
     #[test]
@@ -621,7 +754,7 @@ mod tests {
 
     #[test]
     fn sync_copy_blocks_and_charges_copy() {
-        let mut p = Platform::desktop_g280();
+        let p = Platform::desktop_g280();
         let a = p.dev_alloc(DEV, 1 << 20).unwrap();
         let t0 = p.now();
         p.copy_h2d(DEV, a, &vec![7u8; 1 << 20], CopyMode::Sync)
@@ -637,7 +770,7 @@ mod tests {
 
     #[test]
     fn async_copy_does_not_block() {
-        let mut p = Platform::desktop_g280();
+        let p = Platform::desktop_g280();
         let a = p.dev_alloc(DEV, 4096).unwrap();
         let before = p.now();
         let done = p.copy_h2d(DEV, a, &[1u8; 4096], CopyMode::Async).unwrap();
@@ -650,7 +783,7 @@ mod tests {
 
     #[test]
     fn overlapping_async_copies_pipeline_on_the_engine() {
-        let mut p = Platform::desktop_g280();
+        let p = Platform::desktop_g280();
         let a = p.dev_alloc(DEV, 64 << 10).unwrap();
         let buf = vec![0u8; 32 << 10];
         let end1 = p.copy_h2d(DEV, a, &buf, CopyMode::Async).unwrap();
@@ -667,7 +800,7 @@ mod tests {
 
     #[test]
     fn kernel_launch_is_async_and_sync_waits() {
-        let mut p = Platform::desktop_g280();
+        let p = Platform::desktop_g280();
         p.register_kernel(Arc::new(NullKernel));
         let dims = LaunchDims::for_elements(1 << 20, 256);
         let end = p.launch(DEV, StreamId(0), "null", dims, &[]).unwrap();
@@ -680,7 +813,7 @@ mod tests {
 
     #[test]
     fn stream_ordering_serialises_kernels() {
-        let mut p = Platform::desktop_g280();
+        let p = Platform::desktop_g280();
         p.register_kernel(Arc::new(NullKernel));
         let dims = LaunchDims::for_elements(1 << 20, 256);
         let end1 = p.launch(DEV, StreamId(0), "null", dims, &[]).unwrap();
@@ -695,7 +828,7 @@ mod tests {
 
     #[test]
     fn unknown_kernel_is_error() {
-        let mut p = Platform::desktop_g280();
+        let p = Platform::desktop_g280();
         assert!(matches!(
             p.launch(DEV, StreamId(0), "nope", LaunchDims::default(), &[]),
             Err(SimError::UnknownKernel(_))
@@ -704,7 +837,7 @@ mod tests {
 
     #[test]
     fn dev_alloc_charges_api_cost() {
-        let mut p = Platform::desktop_g280();
+        let p = Platform::desktop_g280();
         let a = p.dev_alloc(DEV, 4096).unwrap();
         assert!(p.ledger().get(Category::CudaMalloc) > Nanos::ZERO);
         p.dev_free(DEV, a).unwrap();
@@ -713,7 +846,7 @@ mod tests {
 
     #[test]
     fn file_io_charges_io_categories() {
-        let mut p = Platform::desktop_g280();
+        let p = Platform::desktop_g280();
         p.fs_mut().create("in.dat", vec![5u8; 4096]);
         let mut buf = vec![0u8; 4096];
         let n = p.file_read("in.dat", 0, &mut buf).unwrap();
@@ -729,7 +862,7 @@ mod tests {
 
     #[test]
     fn cpu_compute_charges_cpu_category() {
-        let mut p = Platform::desktop_g280();
+        let p = Platform::desktop_g280();
         p.cpu_compute(6e9, 0.0); // one second of flops
         assert!((p.ledger().get(Category::Cpu).as_secs_f64() - 1.0).abs() < 1e-6);
         p.cpu_touch(4_000_000_000); // one second of streaming at 4 GB/s
@@ -738,7 +871,7 @@ mod tests {
 
     #[test]
     fn dev_memset_fills_and_charges() {
-        let mut p = Platform::desktop_g280();
+        let p = Platform::desktop_g280();
         let a = p.dev_alloc(DEV, 4096).unwrap();
         p.dev_memset(DEV, a, 0x3C, 4096).unwrap();
         assert!(p
@@ -755,7 +888,7 @@ mod tests {
     fn ledger_partitions_elapsed_time() {
         // Every charge the platform makes corresponds to clock movement, so
         // the ledger total equals elapsed virtual time.
-        let mut p = Platform::desktop_g280();
+        let p = Platform::desktop_g280();
         p.register_kernel(Arc::new(NullKernel));
         let a = p.dev_alloc(DEV, 1 << 16).unwrap();
         p.cpu_touch(1 << 16);
@@ -774,5 +907,35 @@ mod tests {
         p.copy_d2h(DEV, a, &mut out, CopyMode::Sync).unwrap();
         p.dev_free(DEV, a).unwrap();
         assert_eq!(p.ledger().total(), p.elapsed());
+    }
+
+    #[test]
+    fn concurrent_device_traffic_keeps_the_ledger_partitioned() {
+        // Two threads each hammer their own device; the lock-free clock
+        // guarantees that the sum of all charges still equals total elapsed
+        // virtual time (every charge is exactly the movement it caused).
+        let p = Arc::new(Platform::desktop_multi_gpu(2));
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                let p = Arc::clone(&p);
+                std::thread::spawn(move || {
+                    let dev = DeviceId(i);
+                    let a = p.dev_alloc(dev, 1 << 18).unwrap();
+                    let buf = vec![i as u8; 1 << 18];
+                    for _ in 0..8 {
+                        p.copy_h2d(dev, a, &buf, CopyMode::Sync).unwrap();
+                        let mut out = vec![0u8; 1 << 18];
+                        p.copy_d2h(dev, a, &mut out, CopyMode::Sync).unwrap();
+                        assert!(out.iter().all(|&b| b == i as u8));
+                    }
+                    p.dev_free(dev, a).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(p.ledger().total(), p.elapsed());
+        assert_eq!(p.transfers().h2d_bytes, 2 * 8 * (1 << 18));
     }
 }

@@ -211,9 +211,25 @@ impl fmt::Display for TimePoint {
 
 /// The simulation clock: tracks "now" from the perspective of the host CPU,
 /// which in ADSM drives every coherence action.
-#[derive(Debug, Clone, Default)]
+///
+/// The clock is lock-free and shareable between host threads: `advance` is an
+/// atomic add and `wait_until` an atomic max, so **every charge corresponds
+/// exactly to the clock movement it caused** even when several threads (one
+/// per accelerator shard) advance virtual time concurrently. Under a single
+/// thread the behaviour is bit-identical to the old `&mut self` clock.
+#[derive(Debug, Default)]
 pub struct Clock {
-    now: TimePoint,
+    ns: std::sync::atomic::AtomicU64,
+}
+
+impl Clone for Clock {
+    fn clone(&self) -> Self {
+        Clock {
+            ns: std::sync::atomic::AtomicU64::new(
+                self.ns.load(std::sync::atomic::Ordering::SeqCst),
+            ),
+        }
+    }
 }
 
 impl Clock {
@@ -224,22 +240,29 @@ impl Clock {
 
     /// Current virtual instant.
     pub fn now(&self) -> TimePoint {
-        self.now
+        TimePoint::from_nanos(self.ns.load(std::sync::atomic::Ordering::SeqCst))
     }
 
     /// Advances the clock by `dur` and returns the new instant.
-    pub fn advance(&mut self, dur: Nanos) -> TimePoint {
-        self.now += dur;
-        self.now
+    pub fn advance(&self, dur: Nanos) -> TimePoint {
+        let prev = self
+            .ns
+            .fetch_add(dur.as_nanos(), std::sync::atomic::Ordering::SeqCst);
+        TimePoint::from_nanos(prev + dur.as_nanos())
     }
 
     /// Moves the clock forward to `t` if `t` is in the future; returns the
     /// amount of time actually waited (zero if `t` already passed).
-    pub fn wait_until(&mut self, t: TimePoint) -> Nanos {
-        if t > self.now {
-            let waited = t.since(self.now);
-            self.now = t;
-            waited
+    ///
+    /// The atomic-max implementation returns exactly the clock movement this
+    /// call caused: if another thread advanced the clock past `t` first, the
+    /// wait is free.
+    pub fn wait_until(&self, t: TimePoint) -> Nanos {
+        let prev = self
+            .ns
+            .fetch_max(t.as_nanos(), std::sync::atomic::Ordering::SeqCst);
+        if t.as_nanos() > prev {
+            Nanos::from_nanos(t.as_nanos() - prev)
         } else {
             Nanos::ZERO
         }
@@ -303,7 +326,7 @@ mod tests {
 
     #[test]
     fn clock_advance_and_wait() {
-        let mut c = Clock::new();
+        let c = Clock::new();
         assert_eq!(c.now(), TimePoint::ZERO);
         c.advance(Nanos::from_micros(10));
         assert_eq!(c.now().as_nanos(), 10_000);

@@ -45,7 +45,7 @@ pub mod space;
 pub mod table;
 
 pub use access::{from_bytes, to_bytes, Scalar};
-pub use addr::{pages_covering, VAddr, VPage, PAGE_SHIFT, PAGE_SIZE};
+pub use addr::{pages_covering, VAddr, VPage, PAGE_SHIFT, PAGE_SIZE, VADDR_LIMIT};
 pub use fault::{Fault, MmuError, MmuResult};
 pub use prot::{AccessKind, Protection};
 pub use space::{AddressSpace, Region, RegionId};

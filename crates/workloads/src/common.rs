@@ -169,12 +169,14 @@ pub fn run_variant_with(
     match variant {
         Variant::Cuda => {
             let digest = w.run_cuda(&mut platform)?;
+            let ledger = platform.ledger().clone();
+            let transfers = *platform.transfers();
             Ok(RunResult {
                 name: w.name(),
                 variant,
                 elapsed: platform.elapsed(),
-                ledger: platform.ledger().clone(),
-                transfers: *platform.transfers(),
+                ledger,
+                transfers,
                 counters: None,
                 digest,
             })
@@ -186,12 +188,14 @@ pub fn run_variant_with(
             let counters = gmac.counters();
             drop(session);
             let platform = gmac.into_platform();
+            let ledger = platform.ledger().clone();
+            let transfers = *platform.transfers();
             Ok(RunResult {
                 name: w.name(),
                 variant,
                 elapsed: platform.elapsed(),
-                ledger: platform.ledger().clone(),
-                transfers: *platform.transfers(),
+                ledger,
+                transfers,
                 counters: Some(counters),
                 digest,
             })

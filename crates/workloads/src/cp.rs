@@ -120,7 +120,7 @@ impl Cp {
     }
 
     /// CPU cost of generating the atom set.
-    fn charge_atom_generation(&self, p: &mut Platform) {
+    fn charge_atom_generation(&self, p: &Platform) {
         p.cpu_compute(self.natoms as f64 * 24.0, self.atoms_bytes() as f64);
     }
 }

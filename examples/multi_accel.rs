@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two G280s whose device windows share the same base address — exactly
     // the situation the paper warns about: "calls to cudaMalloc() for
     // different GPUs are likely to return overlapping memory address ranges".
-    let mut platform = Platform::desktop_multi_gpu(2);
+    let platform = Platform::desktop_multi_gpu(2);
     platform.register_kernel(Arc::new(Scale));
     let gmac = Gmac::new(platform, GmacConfig::default());
 

@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A simulated desktop: Opteron host + NVIDIA G280 on PCIe 2.0 (the
     // paper's experimental platform).
-    let mut platform = Platform::desktop_g280();
+    let platform = Platform::desktop_g280();
     platform.register_kernel(Arc::new(Saxpy));
 
     // The shared GMAC runtime with the rolling-update protocol (the paper's

@@ -60,9 +60,9 @@ fn app(gmac: &Gmac) -> u64 {
 
 #[test]
 fn same_code_runs_on_discrete_and_integrated_platforms() {
-    let mut discrete = Platform::desktop_g280();
+    let discrete = Platform::desktop_g280();
     discrete.register_kernel(Arc::new(Square));
-    let mut fused = Platform::fused_apu();
+    let fused = Platform::fused_apu();
     fused.register_kernel(Arc::new(Square));
 
     let g1 = Gmac::new(discrete, GmacConfig::default());
@@ -96,7 +96,7 @@ fn fused_platform_shape() {
 #[test]
 fn protocols_behave_identically_on_fused_platform() {
     for protocol in Protocol::ALL {
-        let mut fused = Platform::fused_apu();
+        let fused = Platform::fused_apu();
         fused.register_kernel(Arc::new(Square));
         let digest = app(&Gmac::new(fused, GmacConfig::default().protocol(protocol)));
         let mut reference = adsm::workloads::Digest::new();

@@ -43,7 +43,7 @@ impl Kernel for Affine {
 }
 
 fn platform() -> Platform {
-    let mut p = Platform::desktop_multi_gpu(2);
+    let p = Platform::desktop_multi_gpu(2);
     p.register_kernel(Arc::new(Affine));
     p
 }

@@ -31,7 +31,7 @@ impl Kernel for XorKernel {
 }
 
 fn pipeline(protocol: Protocol, size: u64, block: u64) {
-    let mut platform = Platform::desktop_g280();
+    let platform = Platform::desktop_g280();
     platform.register_kernel(Arc::new(XorKernel));
     let data: Vec<u8> = (0..size).map(|i| (i % 241) as u8).collect();
     platform.fs_mut().create("input.bin", data.clone());
@@ -88,7 +88,7 @@ fn pipeline_with_odd_sizes_and_tiny_blocks() {
 
 #[test]
 fn partial_file_reads_and_offsets() {
-    let mut platform = Platform::desktop_g280();
+    let platform = Platform::desktop_g280();
     platform.register_kernel(Arc::new(XorKernel));
     let data: Vec<u8> = (0..100_000u32).map(|i| (i % 199) as u8).collect();
     platform.fs_mut().create("in.bin", data.clone());
@@ -118,7 +118,7 @@ fn partial_file_reads_and_offsets() {
 fn shared_to_shared_memcpy_across_devices_is_host_mediated() {
     // Two devices: copying between objects on different accelerators goes
     // through system memory and stays correct.
-    let mut platform = Platform::desktop_multi_gpu(2);
+    let platform = Platform::desktop_multi_gpu(2);
     platform.register_kernel(Arc::new(XorKernel));
     let ctx = Gmac::new(platform, GmacConfig::default()).session();
     let a = ctx.alloc_on(adsm::hetsim::DeviceId(0), 32 * 1024).unwrap();

@@ -92,7 +92,7 @@ fn fill_pattern(seed: u8, len: usize) -> Vec<u8> {
 }
 
 fn run_oracle(protocol: Protocol, block_size: u64, ops: &[Op]) {
-    let mut platform = Platform::desktop_g280();
+    let platform = Platform::desktop_g280();
     platform.register_kernel(Arc::new(Mutate));
     let ctx = Gmac::new(
         platform,
@@ -209,7 +209,7 @@ proptest! {
     ) {
         // Rolling size 1 maximises evictions: the hardest case for the
         // dirty-set bookkeeping.
-        let mut platform = Platform::desktop_g280();
+        let platform = Platform::desktop_g280();
         platform.register_kernel(Arc::new(Mutate));
         let _ = platform;
         // Reuse the oracle with a pinned rolling size via a custom run.
@@ -218,7 +218,7 @@ proptest! {
 }
 
 fn run_oracle_pinned(ops: &[Op]) {
-    let mut platform = Platform::desktop_g280();
+    let platform = Platform::desktop_g280();
     platform.register_kernel(Arc::new(Mutate));
     let ctx = Gmac::new(
         platform,
