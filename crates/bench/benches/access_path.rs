@@ -1,0 +1,28 @@
+//! Criterion bench over the access fast path: scalar-loop, slice and
+//! fault-storm access patterns with the fast path ([`gmac::GmacConfig::tlb`])
+//! on vs off. The `hotpath` binary is the JSON-emitting companion; this
+//! bench gives per-scenario us/iter under the criterion harness (and doubles
+//! as a smoke test that the scenarios keep running).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gmac_bench::hotpath::{fault_storm, scalar_loop, slice, Scale};
+
+fn access_path(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let mut group = c.benchmark_group("access_path");
+    group.sample_size(10);
+    for tlb in [true, false] {
+        let label = if tlb { "tlb_on" } else { "tlb_off" };
+        group.bench_function(&format!("scalar_loop/{label}"), |b| {
+            b.iter(|| scalar_loop(tlb, scale))
+        });
+        group.bench_function(&format!("slice/{label}"), |b| b.iter(|| slice(tlb, scale)));
+        group.bench_function(&format!("fault_storm/{label}"), |b| {
+            b.iter(|| fault_storm(tlb, scale))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, access_path);
+criterion_main!(benches);

@@ -1,0 +1,233 @@
+//! Shared harness for the access-fast-path ablation: the same element-wise,
+//! slice and fault-storm workloads timed in **wall-clock** nanoseconds per
+//! operation under [`GmacConfig::tlb`] on (software TLB, shard object memo
+//! and session route memo) vs. off (full radix walk, manager search and
+//! registry route per access). Virtual-time results are byte-identical
+//! between modes — only host time differs — which the `hotpath_ablation`
+//! integration test enforces across all nine workloads.
+//!
+//! Used by the `hotpath` binary (which writes `results/BENCH_hotpath.json`)
+//! and the `access_path` criterion bench.
+
+use gmac::{Gmac, GmacConfig, Protocol, Session};
+use hetsim::Platform;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Problem sizes for one run.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Elements touched by the scalar loop (per pass).
+    pub scalar_elems: usize,
+    /// Scalar-loop passes.
+    pub scalar_passes: usize,
+    /// Bytes moved per slice op.
+    pub slice_bytes: usize,
+    /// Slice passes.
+    pub slice_passes: usize,
+    /// Blocks faulted per storm round.
+    pub storm_blocks: usize,
+    /// Fault-storm rounds.
+    pub storm_rounds: usize,
+}
+
+impl Scale {
+    /// Full measurement scale.
+    pub fn full() -> Self {
+        Scale {
+            scalar_elems: 64 * 1024,
+            scalar_passes: 12,
+            slice_bytes: 4 << 20,
+            slice_passes: 12,
+            storm_blocks: 512,
+            storm_rounds: 24,
+        }
+    }
+
+    /// CI smoke scale (`--quick`).
+    pub fn quick() -> Self {
+        Scale {
+            scalar_elems: 16 * 1024,
+            scalar_passes: 3,
+            slice_bytes: 1 << 20,
+            slice_passes: 3,
+            storm_blocks: 128,
+            storm_rounds: 4,
+        }
+    }
+}
+
+/// Wall-clock result of one scenario in one mode.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Operations performed.
+    pub ops: u64,
+    /// Total wall-clock nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl Sample {
+    /// Nanoseconds per operation.
+    pub fn ns_per_op(&self) -> f64 {
+        self.wall_ns as f64 / self.ops.max(1) as f64
+    }
+}
+
+/// One scenario measured in both modes.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioResult {
+    /// Scenario name (`scalar_loop`, `slice`, `fault_storm`).
+    pub name: &'static str,
+    /// Fast path on.
+    pub tlb_on: Sample,
+    /// Fast path off.
+    pub tlb_off: Sample,
+}
+
+impl ScenarioResult {
+    /// Wall-clock speedup of the fast path (off / on).
+    pub fn speedup(&self) -> f64 {
+        self.tlb_off.ns_per_op() / self.tlb_on.ns_per_op().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Live objects kept in the registry/manager besides the measured one,
+/// so routing and lookup structures have realistic depth (the paper's
+/// workloads keep several shared objects live at once).
+const BACKGROUND_OBJECTS: usize = 32;
+
+fn session(tlb: bool) -> (Gmac, Session) {
+    let gmac = Gmac::new(
+        Platform::desktop_g280(),
+        GmacConfig::default()
+            .protocol(Protocol::Rolling)
+            .block_size(4096)
+            .tlb(tlb),
+    );
+    let session = gmac.session();
+    for _ in 0..BACKGROUND_OBJECTS {
+        session.alloc(64 * 1024).expect("background alloc");
+    }
+    (gmac, session)
+}
+
+/// Element-wise loop: one `store` + one `load` per element per pass — the
+/// paper's transparent CPU access pattern, dominated by per-access
+/// translation cost once the first pass has resolved all faults.
+pub fn scalar_loop(tlb: bool, scale: Scale) -> Sample {
+    let (_g, s) = session(tlb);
+    let v = s.alloc_typed::<u32>(scale.scalar_elems).expect("alloc");
+    // Warm pass: resolve every first-touch fault outside the measurement.
+    for i in 0..scale.scalar_elems {
+        v.write(i, i as u32).expect("warm write");
+    }
+    let start = Instant::now();
+    let mut acc = 0u32;
+    for _ in 0..scale.scalar_passes {
+        for i in 0..scale.scalar_elems {
+            v.write(i, acc).expect("write");
+            acc = acc.wrapping_add(v.read(i).expect("read"));
+        }
+    }
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    std::hint::black_box(acc);
+    Sample {
+        ops: (scale.scalar_passes * scale.scalar_elems * 2) as u64,
+        wall_ns,
+    }
+}
+
+/// Bulk slice ops: `store_slice` + `load_slice` of a multi-MB buffer per
+/// pass (translation once per page, copy bandwidth bound).
+pub fn slice(tlb: bool, scale: Scale) -> Sample {
+    let (_g, s) = session(tlb);
+    let p = s.alloc(scale.slice_bytes as u64).expect("alloc");
+    let data = vec![0xA5u8; scale.slice_bytes];
+    s.store_slice::<u8>(p, &data).expect("warm store");
+    let start = Instant::now();
+    for _ in 0..scale.slice_passes {
+        s.store_slice::<u8>(p, &data).expect("store");
+        std::hint::black_box(s.load_slice::<u8>(p, scale.slice_bytes).expect("load"));
+    }
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    Sample {
+        ops: (scale.slice_passes * 2) as u64, // whole-buffer ops
+        wall_ns,
+    }
+}
+
+/// Fault storm: every round invalidates the object (a protocol release,
+/// i.e. a batched mprotect) and then touches one element per block, paying
+/// one fault + fetch per block — the signal-handler path of §4.3.
+pub fn fault_storm(tlb: bool, scale: Scale) -> Sample {
+    let (_g, s) = session(tlb);
+    let p = s.alloc(scale.storm_blocks as u64 * 4096).expect("alloc");
+    let start = Instant::now();
+    for _ in 0..scale.storm_rounds {
+        s.with_parts(|rt, mgr, proto| {
+            proto.release(rt, mgr, hetsim::DeviceId(0), None)?;
+            rt.join_dma(hetsim::DeviceId(0))
+        })
+        .expect("release");
+        for b in 0..scale.storm_blocks {
+            std::hint::black_box(s.load::<u32>(p.byte_add(b as u64 * 4096)).expect("load"));
+        }
+    }
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    Sample {
+        ops: (scale.storm_rounds * scale.storm_blocks) as u64,
+        wall_ns,
+    }
+}
+
+/// Best-of-`rounds` measurement: returns the sample with the lowest
+/// ns/op — the standard minimum-noise estimator for microbenchmarks (OS
+/// scheduling and cache pollution only ever add time).
+pub fn best_of(rounds: usize, mut f: impl FnMut() -> Sample) -> Sample {
+    (0..rounds.max(1))
+        .map(|_| f())
+        .min_by(|a, b| a.ns_per_op().total_cmp(&b.ns_per_op()))
+        .expect("at least one round")
+}
+
+/// Runs all scenarios in both modes (best of three rounds each).
+pub fn run_all(scale: Scale) -> Vec<ScenarioResult> {
+    let mut results = Vec::new();
+    for (name, f) in [
+        ("scalar_loop", scalar_loop as fn(bool, Scale) -> Sample),
+        ("slice", slice as fn(bool, Scale) -> Sample),
+        ("fault_storm", fault_storm as fn(bool, Scale) -> Sample),
+    ] {
+        let tlb_on = best_of(3, || f(true, scale));
+        let tlb_off = best_of(3, || f(false, scale));
+        results.push(ScenarioResult {
+            name,
+            tlb_on,
+            tlb_off,
+        });
+    }
+    results
+}
+
+/// Renders the results as the `BENCH_hotpath.json` document (hand-rolled:
+/// the container has no serde). `scale` labels the measurement so a CI
+/// `--quick` artifact is never mistaken for a full-scale trajectory point.
+pub fn to_json(scale: &str, results: &[ScenarioResult]) -> String {
+    let mut out = format!(
+        "{{\n  \"bench\": \"hotpath\",\n  \"scale\": \"{scale}\",\n  \"unit\": \"ns/op\",\n  \"scenarios\": [\n"
+    );
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"ops\": {}, \"tlb_on_ns_per_op\": {:.2}, \"tlb_off_ns_per_op\": {:.2}, \"speedup\": {:.3}}}",
+            r.name,
+            r.tlb_on.ops,
+            r.tlb_on.ns_per_op(),
+            r.tlb_off.ns_per_op(),
+            r.speedup(),
+        );
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

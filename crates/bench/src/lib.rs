@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod contention;
+pub mod hotpath;
 
 use std::fmt::Write as _;
 use std::fs;

@@ -1,0 +1,94 @@
+//! The access-fast-path ablation the TLB was built for: with
+//! `GmacConfig::tlb(false)` every access pays the full radix walk, manager
+//! search and registry route; with the fast path on those are cached. The
+//! two modes must be **byte-identical** in everything the simulation
+//! observes — output digests, virtual times, per-category ledgers, fault
+//! counts and transfer traffic — across all nine workloads; only wall-clock
+//! time may differ, and the release-mode scalar-loop microbench must show
+//! the fast path at least 1.5x faster.
+
+use gmac::{GmacConfig, Protocol};
+use gmac_bench::hotpath::{best_of, scalar_loop, Scale};
+use hetsim::Category;
+use workloads::stencil3d::Stencil3d;
+use workloads::vecadd::VecAdd;
+use workloads::{parboil_suite_small, run_variant_with, RunResult, Variant, Workload};
+
+/// The nine workloads: the seven Parboil applications plus the two
+/// micro-benchmarks (§5.1/§5.2).
+fn nine_workloads() -> Vec<Box<dyn Workload>> {
+    let mut all = parboil_suite_small();
+    all.push(Box::new(VecAdd::small()));
+    all.push(Box::new(Stencil3d::small()));
+    all
+}
+
+fn run(w: &dyn Workload, tlb: bool) -> RunResult {
+    let cfg = GmacConfig::default().tlb(tlb);
+    run_variant_with(w, Variant::Gmac(Protocol::Rolling), cfg).expect("workload run")
+}
+
+#[test]
+fn tlb_modes_are_byte_identical_on_all_nine_workloads() {
+    for w in nine_workloads() {
+        let on = run(w.as_ref(), true);
+        let off = run(w.as_ref(), false);
+        let name = w.name();
+        assert_eq!(on.digest, off.digest, "{name}: digest");
+        assert_eq!(on.elapsed, off.elapsed, "{name}: virtual time");
+        assert_eq!(
+            on.ledger.total(),
+            off.ledger.total(),
+            "{name}: ledger total"
+        );
+        for cat in Category::ALL {
+            assert_eq!(
+                on.ledger.get(cat),
+                off.ledger.get(cat),
+                "{name}: ledger category {cat}"
+            );
+        }
+        let (onc, offc) = (on.counters.unwrap(), off.counters.unwrap());
+        assert_eq!(onc.faults_read, offc.faults_read, "{name}: read faults");
+        assert_eq!(onc.faults_write, offc.faults_write, "{name}: write faults");
+        assert_eq!(onc.blocks_fetched, offc.blocks_fetched, "{name}");
+        assert_eq!(onc.blocks_flushed, offc.blocks_flushed, "{name}");
+        assert_eq!(on.transfers.h2d_bytes, off.transfers.h2d_bytes, "{name}");
+        assert_eq!(on.transfers.d2h_bytes, off.transfers.d2h_bytes, "{name}");
+        assert_eq!(
+            on.transfers.total_jobs(),
+            off.transfers.total_jobs(),
+            "{name}: job shape"
+        );
+        // The fast path actually engaged (TLB exercised) in on-mode and
+        // stayed cold in off-mode.
+        assert!(onc.tlb_hits > 0, "{name}: fast path engaged");
+        assert_eq!(offc.tlb_hits + offc.tlb_misses, 0, "{name}: ablation cold");
+        assert_eq!(offc.obj_memo_hits, 0, "{name}: memo disabled");
+    }
+}
+
+#[test]
+fn scalar_loop_speedup_with_tlb_on() {
+    // Wall-clock assertion: only meaningful with optimizations (mirrors the
+    // contention benchmark's release gate) — debug tier-1 CI must not flake
+    // on timing.
+    if cfg!(debug_assertions) {
+        eprintln!("skipping wall-clock speedup assertion in debug build");
+        return;
+    }
+    let scale = Scale::full();
+    // Warm-up, then best-of-3 per mode (minimum-noise estimator: scheduler
+    // preemption and cache pollution only ever add time).
+    scalar_loop(true, Scale::quick());
+    scalar_loop(false, Scale::quick());
+    let on = best_of(3, || scalar_loop(true, scale));
+    let off = best_of(3, || scalar_loop(false, scale));
+    let speedup = off.ns_per_op() / on.ns_per_op();
+    assert!(
+        speedup >= 1.5,
+        "scalar loop: tlb on {:.1} ns/op vs off {:.1} ns/op = {speedup:.2}x (need >= 1.5x)",
+        on.ns_per_op(),
+        off.ns_per_op()
+    );
+}

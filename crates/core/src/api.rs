@@ -15,7 +15,7 @@
 
 use crate::config::GmacConfig;
 use crate::error::GmacResult;
-use crate::gmac::Inner;
+use crate::gmac::{Inner, RouteCache};
 use crate::object::SharedObject;
 use crate::ptr::{Param, SharedPtr};
 use crate::runtime::Counters;
@@ -36,6 +36,7 @@ use softmmu::{Scalar, VAddr};
 pub struct Context {
     inner: Inner,
     view: SessionView,
+    routes: RouteCache,
 }
 
 impl Context {
@@ -46,6 +47,7 @@ impl Context {
         Context {
             inner,
             view: SessionView { id, affinity: None },
+            routes: RouteCache::default(),
         }
     }
 
@@ -125,7 +127,7 @@ impl Context {
     /// # Errors
     /// See [`crate::Session::translate`].
     pub fn translate(&self, ptr: SharedPtr) -> GmacResult<DevAddr> {
-        self.inner.translate(ptr)
+        self.inner.translate(&self.routes, ptr)
     }
 
     /// Compat for [`crate::Session::load`].
@@ -133,7 +135,7 @@ impl Context {
     /// # Errors
     /// See [`crate::Session::load`].
     pub fn load<T: Scalar>(&mut self, ptr: SharedPtr) -> GmacResult<T> {
-        self.inner.load(ptr)
+        self.inner.load(&self.routes, ptr)
     }
 
     /// Compat for [`crate::Session::store`].
@@ -141,7 +143,7 @@ impl Context {
     /// # Errors
     /// See [`crate::Session::store`].
     pub fn store<T: Scalar>(&mut self, ptr: SharedPtr, value: T) -> GmacResult<()> {
-        self.inner.store(ptr, value)
+        self.inner.store(&self.routes, ptr, value)
     }
 
     /// Compat for [`crate::Session::load_slice`].
@@ -149,7 +151,7 @@ impl Context {
     /// # Errors
     /// See [`crate::Session::load_slice`].
     pub fn load_slice<T: Scalar>(&mut self, ptr: SharedPtr, n: usize) -> GmacResult<Vec<T>> {
-        self.inner.load_slice(ptr, n)
+        self.inner.load_slice(&self.routes, ptr, n)
     }
 
     /// Compat for [`crate::Session::store_slice`].
@@ -157,7 +159,7 @@ impl Context {
     /// # Errors
     /// See [`crate::Session::store_slice`].
     pub fn store_slice<T: Scalar>(&mut self, ptr: SharedPtr, values: &[T]) -> GmacResult<()> {
-        self.inner.store_slice(ptr, values)
+        self.inner.store_slice(&self.routes, ptr, values)
     }
 
     /// Compat for [`crate::Session::memset`].
@@ -165,7 +167,7 @@ impl Context {
     /// # Errors
     /// See [`crate::Session::memset`].
     pub fn memset(&mut self, ptr: SharedPtr, value: u8, len: u64) -> GmacResult<()> {
-        self.inner.memset(ptr, value, len)
+        self.inner.memset(&self.routes, ptr, value, len)
     }
 
     /// Compat for [`crate::Session::memcpy_in`].
@@ -173,7 +175,7 @@ impl Context {
     /// # Errors
     /// See [`crate::Session::memcpy_in`].
     pub fn memcpy_in(&mut self, dst: SharedPtr, src: &[u8]) -> GmacResult<()> {
-        self.inner.memcpy_in(dst, src)
+        self.inner.memcpy_in(&self.routes, dst, src)
     }
 
     /// Compat for [`crate::Session::memcpy_out`].
@@ -181,7 +183,7 @@ impl Context {
     /// # Errors
     /// See [`crate::Session::memcpy_out`].
     pub fn memcpy_out(&mut self, dst: &mut [u8], src: SharedPtr) -> GmacResult<()> {
-        self.inner.memcpy_out(dst, src)
+        self.inner.memcpy_out(&self.routes, dst, src)
     }
 
     /// Compat for [`crate::Session::memcpy`].
@@ -189,7 +191,7 @@ impl Context {
     /// # Errors
     /// See [`crate::Session::memcpy`].
     pub fn memcpy(&mut self, dst: SharedPtr, src: SharedPtr, len: u64) -> GmacResult<()> {
-        self.inner.memcpy(dst, src, len)
+        self.inner.memcpy(&self.routes, dst, src, len)
     }
 
     /// Compat for [`crate::Session::read_file_to_shared`].
@@ -203,7 +205,8 @@ impl Context {
         ptr: SharedPtr,
         len: u64,
     ) -> GmacResult<u64> {
-        self.inner.read_file_to_shared(name, file_offset, ptr, len)
+        self.inner
+            .read_file_to_shared(&self.routes, name, file_offset, ptr, len)
     }
 
     /// Compat for [`crate::Session::write_shared_to_file`].
@@ -217,7 +220,8 @@ impl Context {
         ptr: SharedPtr,
         len: u64,
     ) -> GmacResult<u64> {
-        self.inner.write_shared_to_file(name, file_offset, ptr, len)
+        self.inner
+            .write_shared_to_file(&self.routes, name, file_offset, ptr, len)
     }
 
     // ----- introspection ----------------------------------------------------
@@ -241,7 +245,7 @@ impl Context {
 
     /// Execution-time ledger snapshot (Figure 10 categories).
     pub fn ledger(&self) -> TimeLedger {
-        self.inner.platform.ledger().clone()
+        self.inner.platform.ledger()
     }
 
     /// Transfer-ledger snapshot (Figure 8 input).

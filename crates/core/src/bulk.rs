@@ -21,11 +21,7 @@ impl DeviceShard {
     /// shard's lock; the `memcpy` family lives on [`crate::gmac::Inner`]
     /// because a shared-to-shared copy may span two shards.
     pub(crate) fn memset_locked(&mut self, ptr: SharedPtr, value: u8, len: u64) -> GmacResult<()> {
-        let obj = self
-            .mgr
-            .find(ptr.addr())
-            .ok_or(crate::GmacError::NotShared(ptr.addr()))?;
-        let start = obj.addr();
+        let (start, _) = self.locate(ptr.addr())?;
         let offset = ptr.addr() - start;
         self.protocol
             .memset_through(&mut self.rt, &mut self.mgr, start, offset, len, value)

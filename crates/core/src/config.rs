@@ -125,6 +125,14 @@ pub struct GmacConfig {
     /// modes run identical code paths, so results are byte-identical; only
     /// wall-clock concurrency differs.
     pub sharding: bool,
+    /// Enable the access fast path (the default): the softmmu's
+    /// direct-mapped TLB, each shard's one-entry object memo and the
+    /// per-session route memo. `false` is the ablation baseline paying a
+    /// full radix-table walk, manager search and registry route on every
+    /// access. The caches are wall-clock-only: digests, virtual times and
+    /// ledgers are **byte-identical** between modes (the `hotpath` bench and
+    /// ablation test enforce this), mirroring [`GmacConfig::sharding`].
+    pub tlb: bool,
     /// Library bookkeeping costs.
     pub costs: GmacCosts,
 }
@@ -141,6 +149,7 @@ impl Default for GmacConfig {
             lookup: LookupKind::Tree,
             aal: AalLayer::Driver,
             sharding: true,
+            tlb: true,
             costs: GmacCosts::default(),
         }
     }
@@ -215,6 +224,14 @@ impl GmacConfig {
         self.sharding = on;
         self
     }
+
+    /// Enables or disables the access fast path — software TLB, shard
+    /// object memo and session route memo (`false` = slow-path ablation
+    /// mode; see [`GmacConfig::tlb`]).
+    pub fn tlb(mut self, on: bool) -> Self {
+        self.tlb = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +250,7 @@ mod tests {
         assert!(c.eager_eviction);
         assert!(c.coalescing, "transfer coalescing is the default behaviour");
         assert!(c.sharding, "per-device sharding is the default behaviour");
+        assert!(c.tlb, "the access fast path is the default behaviour");
         assert_eq!(c.lookup, LookupKind::Tree);
         assert_eq!(c.block_size % PAGE_SIZE, 0);
     }
@@ -248,8 +266,10 @@ mod tests {
             .coalescing(false)
             .lookup(LookupKind::Linear)
             .aal(AalLayer::Runtime)
-            .sharding(false);
+            .sharding(false)
+            .tlb(false);
         assert!(!c.sharding);
+        assert!(!c.tlb);
         assert_eq!(c.protocol, Protocol::Lazy);
         assert_eq!(c.block_size, 64 * 1024);
         assert_eq!(c.rolling_size, Some(4));

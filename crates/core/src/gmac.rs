@@ -67,6 +67,90 @@ pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// One memoized route: `[start, end)` of a claim, its home device, and the
+/// registry epoch it was read at.
+#[derive(Debug, Clone, Copy)]
+struct RouteMemo {
+    epoch: u64,
+    start: VAddr,
+    end: u64,
+    dev: DeviceId,
+}
+
+/// A per-handle route memo ([`Session`], [`crate::Shared`] and the
+/// deprecated `Context` each own one): caches the last `addr → (object
+/// start, home device)` resolution so tight access loops skip the registry
+/// `RwLock` and its B-tree walk entirely.
+///
+/// Implemented as a **seqlock** (version counter + plain atomic fields)
+/// rather than a mutex: the hit path is a handful of relaxed loads with no
+/// read-side RMW, and since each handle is effectively thread-private the
+/// writer never contends. A torn read (odd or changed version) simply
+/// reports a miss.
+///
+/// # Epoch invariant
+///
+/// The memo is keyed on [`Inner::route_epoch`], which every registry
+/// **release** bumps (claims are disjoint from all live claims and cannot
+/// stale a memo); a memo from an older epoch never hits. Even the benign race — epoch read just before a concurrent
+/// free's bump — cannot produce wrong data: the shard's manager re-validates
+/// the pointer under its own lock, so a stale route surfaces as
+/// [`GmacError::NotShared`], exactly what an un-memoized racing access could
+/// observe. Disabled (always-miss) when [`GmacConfig::tlb`] is off.
+#[derive(Debug, Default)]
+pub(crate) struct RouteCache {
+    /// Seqlock version: odd while a store is in flight, bumped twice per
+    /// store. Zero means "never filled".
+    seq: AtomicU64,
+    epoch: AtomicU64,
+    start: AtomicU64,
+    end: AtomicU64,
+    dev: AtomicU64,
+}
+
+impl RouteCache {
+    fn lookup(&self, epoch: u64, addr: VAddr) -> Option<(VAddr, DeviceId)> {
+        let seq = self.seq.load(Ordering::Acquire);
+        if seq == 0 || seq & 1 == 1 {
+            return None;
+        }
+        let (m_epoch, start, end, dev) = (
+            self.epoch.load(Ordering::Relaxed),
+            self.start.load(Ordering::Relaxed),
+            self.end.load(Ordering::Relaxed),
+            self.dev.load(Ordering::Relaxed),
+        );
+        // Seqlock read-side validation: the fields are only coherent if no
+        // store intervened.
+        std::sync::atomic::fence(Ordering::Acquire);
+        if self.seq.load(Ordering::Relaxed) != seq {
+            return None;
+        }
+        (m_epoch == epoch && addr.0 >= start && addr.0 < end)
+            .then_some((VAddr(start), DeviceId(dev as usize)))
+    }
+
+    fn store(&self, memo: RouteMemo) {
+        // Writer-side lock: claim the odd version via CAS. Sessions are
+        // `Sync`, so two threads may race to fill one handle's memo —
+        // losing the race just skips this fill (the cache is advisory).
+        let seq = self.seq.load(Ordering::Relaxed);
+        if seq & 1 == 1
+            || self
+                .seq
+                .compare_exchange(seq, seq | 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
+            return;
+        }
+        self.epoch.store(memo.epoch, Ordering::Relaxed);
+        self.start.store(memo.start.0, Ordering::Relaxed);
+        self.end.store(memo.end, Ordering::Relaxed);
+        self.dev.store(memo.dev.0 as u64, Ordering::Relaxed);
+        self.seq.store((seq | 1).wrapping_add(1), Ordering::Release);
+    }
+}
+
 /// The shared runtime state behind [`Gmac`]: registry + per-device shards +
 /// control, replacing the old monolithic `State` behind one mutex.
 #[derive(Debug)]
@@ -80,6 +164,10 @@ pub(crate) struct Inner {
     /// held across every public operation, recreating the old
     /// one-`Mutex<State>` serialization on top of the same code paths.
     serial: Option<Mutex<()>>,
+    /// Bumped by every registry release (claims are disjoint and cannot
+    /// stale a memo); route memos from older epochs never hit (see
+    /// [`RouteCache`]).
+    route_epoch: AtomicU64,
     next_session: AtomicU64,
     next_object: AtomicU64,
 }
@@ -107,6 +195,7 @@ impl Inner {
                 cuda_initialized: false,
             }),
             serial,
+            route_epoch: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
             next_object: AtomicU64::new(1),
             config,
@@ -137,6 +226,40 @@ impl Inner {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .route(addr)
             .ok_or(GmacError::NotShared(addr))
+    }
+
+    /// Memoized route: epoch-validated memo hit, or registry search + memo
+    /// fill. Falls back to the plain registry path with the fast path
+    /// disabled ([`GmacConfig::tlb`] off).
+    fn route_cached(&self, cache: &RouteCache, addr: VAddr) -> GmacResult<(VAddr, DeviceId)> {
+        if !self.config.tlb {
+            return self.route(addr);
+        }
+        let epoch = self.route_epoch.load(Ordering::Acquire);
+        if let Some(hit) = cache.lookup(epoch, addr) {
+            return Ok(hit);
+        }
+        let (start, end, dev) = self
+            .registry
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .route_full(addr)
+            .ok_or(GmacError::NotShared(addr))?;
+        cache.store(RouteMemo {
+            epoch,
+            start,
+            end,
+            dev,
+        });
+        Ok((start, dev))
+    }
+
+    /// Epoch-bump half of the route-memo invariant: every **release** in
+    /// the registry must be followed by one of these before the mutating
+    /// operation returns. Claims need no bump — a new claim is disjoint
+    /// from all existing ones, so it cannot be covered by any live memo.
+    fn bump_route_epoch(&self) {
+        self.route_epoch.fetch_add(1, Ordering::Release);
     }
 
     /// Locks the shard of `dev` (which must be a valid device id).
@@ -217,6 +340,9 @@ impl Inner {
             self.platform.dev_free(dev, dev_addr)?;
             return Err(GmacError::AddressCollision(addr));
         }
+        // No epoch bump: the new claim is disjoint from every existing one
+        // (the registry is the collision arbiter), so no live route memo can
+        // cover any of its addresses — existing memos stay valid.
         self.install(dev, dev_addr, addr, size)
     }
 
@@ -246,6 +372,8 @@ impl Inner {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .claim_anywhere(size, dev)
             .ok_or(GmacError::Mmu(softmmu::MmuError::OutOfVirtualSpace))?;
+        // No epoch bump: fresh claims cannot invalidate existing memos (see
+        // alloc_on_impl).
         self.install(dev, dev_addr, addr, size)
     }
 
@@ -283,6 +411,7 @@ impl Inner {
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .release(start);
+        self.bump_route_epoch();
         self.platform.dev_free(dev, dev_addr)?;
         Ok(())
     }
@@ -427,63 +556,90 @@ impl Inner {
     }
 
     /// `adsmSafe(address)`.
-    pub(crate) fn translate(&self, ptr: SharedPtr) -> GmacResult<DevAddr> {
+    pub(crate) fn translate(&self, cache: &RouteCache, ptr: SharedPtr) -> GmacResult<DevAddr> {
         let _g = self.gate();
-        let (_, dev) = self.route(ptr.addr())?;
+        let (_, dev) = self.route_cached(cache, ptr.addr())?;
         self.shard(dev).translate(ptr)
     }
 
     // ----- transparent CPU access -------------------------------------------
 
-    pub(crate) fn load<T: softmmu::Scalar>(&self, ptr: SharedPtr) -> GmacResult<T> {
+    pub(crate) fn load<T: softmmu::Scalar>(
+        &self,
+        cache: &RouteCache,
+        ptr: SharedPtr,
+    ) -> GmacResult<T> {
         let _g = self.gate();
-        let (_, dev) = self.route(ptr.addr())?;
+        let (_, dev) = self.route_cached(cache, ptr.addr())?;
         self.shard(dev).load(ptr)
     }
 
-    pub(crate) fn store<T: softmmu::Scalar>(&self, ptr: SharedPtr, value: T) -> GmacResult<()> {
+    pub(crate) fn store<T: softmmu::Scalar>(
+        &self,
+        cache: &RouteCache,
+        ptr: SharedPtr,
+        value: T,
+    ) -> GmacResult<()> {
         let _g = self.gate();
-        let (_, dev) = self.route(ptr.addr())?;
+        let (_, dev) = self.route_cached(cache, ptr.addr())?;
         self.shard(dev).store(ptr, value)
     }
 
     pub(crate) fn load_slice<T: softmmu::Scalar>(
         &self,
+        cache: &RouteCache,
         ptr: SharedPtr,
         n: usize,
     ) -> GmacResult<Vec<T>> {
         let _g = self.gate();
-        let (_, dev) = self.route(ptr.addr())?;
+        let (_, dev) = self.route_cached(cache, ptr.addr())?;
         self.shard(dev).load_slice(ptr, n)
     }
 
     pub(crate) fn store_slice<T: softmmu::Scalar>(
         &self,
+        cache: &RouteCache,
         ptr: SharedPtr,
         values: &[T],
     ) -> GmacResult<()> {
         let _g = self.gate();
-        let (_, dev) = self.route(ptr.addr())?;
+        let (_, dev) = self.route_cached(cache, ptr.addr())?;
         self.shard(dev).store_slice(ptr, values)
     }
 
     // ----- bulk-memory interposition (§4.4) ---------------------------------
 
-    pub(crate) fn memset(&self, ptr: SharedPtr, value: u8, len: u64) -> GmacResult<()> {
+    pub(crate) fn memset(
+        &self,
+        cache: &RouteCache,
+        ptr: SharedPtr,
+        value: u8,
+        len: u64,
+    ) -> GmacResult<()> {
         let _g = self.gate();
-        let (_, dev) = self.route(ptr.addr())?;
+        let (_, dev) = self.route_cached(cache, ptr.addr())?;
         self.shard(dev).memset_locked(ptr, value, len)
     }
 
-    pub(crate) fn memcpy_in(&self, dst: SharedPtr, src: &[u8]) -> GmacResult<()> {
+    pub(crate) fn memcpy_in(
+        &self,
+        cache: &RouteCache,
+        dst: SharedPtr,
+        src: &[u8],
+    ) -> GmacResult<()> {
         let _g = self.gate();
-        let (_, dev) = self.route(dst.addr())?;
+        let (_, dev) = self.route_cached(cache, dst.addr())?;
         self.shard(dev).shared_write(dst, src)
     }
 
-    pub(crate) fn memcpy_out(&self, dst: &mut [u8], src: SharedPtr) -> GmacResult<()> {
+    pub(crate) fn memcpy_out(
+        &self,
+        cache: &RouteCache,
+        dst: &mut [u8],
+        src: SharedPtr,
+    ) -> GmacResult<()> {
         let _g = self.gate();
-        let (_, dev) = self.route(src.addr())?;
+        let (_, dev) = self.route_cached(cache, src.addr())?;
         let bytes = self.shard(dev).shared_read(src, dst.len() as u64)?;
         dst.copy_from_slice(&bytes);
         Ok(())
@@ -495,9 +651,20 @@ impl Inner {
     /// the destination shard is taken (never nested), staging through a
     /// host buffer exactly like the paper's implementation stages peer
     /// transfers through system memory.
-    pub(crate) fn memcpy(&self, dst: SharedPtr, src: SharedPtr, len: u64) -> GmacResult<()> {
+    pub(crate) fn memcpy(
+        &self,
+        cache: &RouteCache,
+        dst: SharedPtr,
+        src: SharedPtr,
+        len: u64,
+    ) -> GmacResult<()> {
         let _g = self.gate();
-        let (_, src_dev) = self.route(src.addr())?;
+        // Only the source goes through the one-entry memo: routing both
+        // operands of a two-object copy loop through it would evict each
+        // other every call (0% hit rate); this way the memo stays pinned on
+        // `src` and the destination pays the plain registry route it always
+        // did.
+        let (_, src_dev) = self.route_cached(cache, src.addr())?;
         let (_, dst_dev) = self.route(dst.addr())?;
         if src_dev == dst_dev {
             let mut shard = self.shard(src_dev);
@@ -513,26 +680,28 @@ impl Inner {
 
     pub(crate) fn read_file_to_shared(
         &self,
+        cache: &RouteCache,
         name: &str,
         file_offset: u64,
         ptr: SharedPtr,
         len: u64,
     ) -> GmacResult<u64> {
         let _g = self.gate();
-        let (_, dev) = self.route(ptr.addr())?;
+        let (_, dev) = self.route_cached(cache, ptr.addr())?;
         self.shard(dev)
             .read_file_to_shared_locked(name, file_offset, ptr, len)
     }
 
     pub(crate) fn write_shared_to_file(
         &self,
+        cache: &RouteCache,
         name: &str,
         file_offset: u64,
         ptr: SharedPtr,
         len: u64,
     ) -> GmacResult<u64> {
         let _g = self.gate();
-        let (_, dev) = self.route(ptr.addr())?;
+        let (_, dev) = self.route_cached(cache, ptr.addr())?;
         self.shard(dev)
             .write_shared_to_file_locked(name, file_offset, ptr, len)
     }
@@ -700,7 +869,7 @@ impl Gmac {
 
     /// Execution-time ledger snapshot (Figure 10 categories).
     pub fn ledger(&self) -> TimeLedger {
-        self.inner.platform.ledger().clone()
+        self.inner.platform.ledger()
     }
 
     /// Transfer-ledger snapshot (Figure 8 input).

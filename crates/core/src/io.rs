@@ -13,7 +13,7 @@
 //! The public surface lives on [`crate::Session`] (and the deprecated
 //! [`crate::Context`] shim); this module holds the shared implementation.
 
-use crate::error::{GmacError, GmacResult};
+use crate::error::GmacResult;
 use crate::ptr::SharedPtr;
 use crate::shard::DeviceShard;
 
@@ -91,11 +91,9 @@ impl DeviceShard {
     /// Chunk size used for interposed I/O on the object containing `ptr`:
     /// the object's block size (whole object for batch/lazy), as §4.4
     /// prescribes.
-    fn io_chunk_size(&self, ptr: SharedPtr) -> GmacResult<u64> {
-        let obj = self
-            .mgr
-            .find(ptr.addr())
-            .ok_or(GmacError::NotShared(ptr.addr()))?;
+    fn io_chunk_size(&mut self, ptr: SharedPtr) -> GmacResult<u64> {
+        let (_, slot) = self.locate(ptr.addr())?;
+        let obj = self.mgr.by_slot(slot).expect("located slot is live");
         Ok(obj.block_size().min(obj.size()).max(1))
     }
 }

@@ -14,6 +14,14 @@
 //! fault-handler lookup-cost model ([`Manager::lookup_steps`]) therefore
 //! walks the per-device tree — faults on one accelerator's objects pay for
 //! that device's population, not the whole platform's.
+//!
+//! Objects live in a **slab** (`Vec<Option<SharedObject>>`) indexed by a
+//! stable slot id; the tree/linear structures only map start addresses to
+//! slots. [`Manager::locate`] performs the O(log n) search once, and
+//! [`Manager::by_slot`] re-reaches the object in O(1) — the access-fast-path
+//! memo in [`crate::shard::DeviceShard`] caches `(range, slot)` so tight
+//! loops skip the search entirely. Slots are reused after removal, so a memo
+//! must be invalidated whenever an object is inserted or removed.
 
 use crate::config::LookupKind;
 use crate::object::{ObjectId, SharedObject};
@@ -24,10 +32,14 @@ use std::collections::BTreeMap;
 #[derive(Debug)]
 pub struct Manager {
     kind: LookupKind,
-    /// Tree variant: start address -> object.
-    tree: BTreeMap<u64, SharedObject>,
-    /// Linear variant: unsorted vector.
-    linear: Vec<SharedObject>,
+    /// Slab of objects; `None` marks a free slot awaiting reuse.
+    slots: Vec<Option<SharedObject>>,
+    /// Free-slot indices for reuse.
+    free: Vec<usize>,
+    /// Tree variant: start address -> slot.
+    tree: BTreeMap<u64, usize>,
+    /// Linear variant: unsorted (start, slot) pairs.
+    linear: Vec<(u64, usize)>,
     next_id: u64,
     total_blocks: usize,
 }
@@ -37,6 +49,8 @@ impl Manager {
     pub fn new(kind: LookupKind) -> Self {
         Manager {
             kind,
+            slots: Vec::new(),
+            free: Vec::new(),
             tree: BTreeMap::new(),
             linear: Vec::new(),
             next_id: 1,
@@ -51,20 +65,33 @@ impl Manager {
         id
     }
 
-    /// Registers an object.
+    /// Registers an object, returning its slab slot (stable until the
+    /// object is removed; see [`Self::by_slot`]).
     ///
     /// # Panics
     /// Panics if the object's range overlaps a registered object (the
     /// allocator guarantees disjointness; overlap is a runtime bug).
-    pub fn insert(&mut self, obj: SharedObject) {
+    pub fn insert(&mut self, obj: SharedObject) -> usize {
         assert!(!self.overlaps(&obj), "overlapping shared objects");
         self.total_blocks += obj.block_count();
+        let start = obj.addr().0;
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot] = Some(obj);
+                slot
+            }
+            None => {
+                self.slots.push(Some(obj));
+                self.slots.len() - 1
+            }
+        };
         match self.kind {
             LookupKind::Tree => {
-                self.tree.insert(obj.addr().0, obj);
+                self.tree.insert(start, slot);
             }
-            LookupKind::Linear => self.linear.push(obj),
+            LookupKind::Linear => self.linear.push((start, slot)),
         }
+        slot
     }
 
     /// True when `obj`'s range intersects any registered object. Checking
@@ -86,7 +113,6 @@ impl Manager {
                     .is_some_and(|(&start, _)| start < obj.end().0)
             }
             LookupKind::Linear => self
-                .linear
                 .iter()
                 .any(|o| o.addr() < obj.end() && obj.addr() < o.end()),
         }
@@ -94,42 +120,63 @@ impl Manager {
 
     /// Removes the object containing `addr`, returning it.
     pub fn remove(&mut self, addr: VAddr) -> Option<SharedObject> {
-        let start = self.find(addr)?.addr().0;
-        let obj = match self.kind {
-            LookupKind::Tree => self.tree.remove(&start),
-            LookupKind::Linear => {
-                let idx = self.linear.iter().position(|o| o.addr().0 == start)?;
-                Some(self.linear.swap_remove(idx))
+        let slot = self.locate(addr)?;
+        let start = self.slots[slot].as_ref()?.addr().0;
+        match self.kind {
+            LookupKind::Tree => {
+                self.tree.remove(&start);
             }
-        }?;
+            LookupKind::Linear => {
+                let idx = self.linear.iter().position(|&(s, _)| s == start)?;
+                self.linear.swap_remove(idx);
+            }
+        }
+        let obj = self.slots[slot].take()?;
+        self.free.push(slot);
         self.total_blocks -= obj.block_count();
         Some(obj)
     }
 
-    /// The object containing `addr`, if any.
-    pub fn find(&self, addr: VAddr) -> Option<&SharedObject> {
+    /// Slab slot of the object containing `addr` — the O(log n) (tree) or
+    /// O(n) (linear) search the fault-handler cost model charges for.
+    /// [`Self::by_slot`] then reaches the object in O(1); the shard-level
+    /// memo caches the result to skip this search in tight loops.
+    pub fn locate(&self, addr: VAddr) -> Option<usize> {
         match self.kind {
             LookupKind::Tree => self
                 .tree
                 .range(..=addr.0)
                 .next_back()
-                .map(|(_, o)| o)
-                .filter(|o| o.contains(addr)),
-            LookupKind::Linear => self.linear.iter().find(|o| o.contains(addr)),
+                .map(|(_, &slot)| slot)
+                .filter(|&slot| self.slots[slot].as_ref().is_some_and(|o| o.contains(addr))),
+            LookupKind::Linear => self
+                .linear
+                .iter()
+                .find(|&&(_, slot)| self.slots[slot].as_ref().is_some_and(|o| o.contains(addr)))
+                .map(|&(_, slot)| slot),
         }
+    }
+
+    /// Object in slab slot `slot`, if live. O(1).
+    pub fn by_slot(&self, slot: usize) -> Option<&SharedObject> {
+        self.slots.get(slot)?.as_ref()
+    }
+
+    /// Object in slab slot `slot`, mutable. O(1).
+    pub fn by_slot_mut(&mut self, slot: usize) -> Option<&mut SharedObject> {
+        self.slots.get_mut(slot)?.as_mut()
+    }
+
+    /// The object containing `addr`, if any.
+    pub fn find(&self, addr: VAddr) -> Option<&SharedObject> {
+        let slot = self.locate(addr)?;
+        self.slots[slot].as_ref()
     }
 
     /// The object containing `addr`, mutable.
     pub fn find_mut(&mut self, addr: VAddr) -> Option<&mut SharedObject> {
-        match self.kind {
-            LookupKind::Tree => self
-                .tree
-                .range_mut(..=addr.0)
-                .next_back()
-                .map(|(_, o)| o)
-                .filter(|o| o.contains(addr)),
-            LookupKind::Linear => self.linear.iter_mut().find(|o| o.contains(addr)),
-        }
+        let slot = self.locate(addr)?;
+        self.slots[slot].as_mut()
     }
 
     /// Number of live objects.
@@ -153,6 +200,11 @@ impl Manager {
 
     /// Number of steps the configured lookup structure needs to locate a
     /// block among `total_blocks` entries.
+    ///
+    /// This models the *paper's* fault-handler walk and is charged to
+    /// virtual time on every fault-equivalent, whether or not the wall-clock
+    /// search was skipped by the shard memo — the fast path changes how fast
+    /// the simulator runs, never what it simulates.
     pub fn lookup_steps(&self) -> u64 {
         let n = self.total_blocks.max(1) as u64;
         match self.kind {
@@ -166,21 +218,24 @@ impl Manager {
     /// Iterates over all objects (address order for the tree variant).
     pub fn iter(&self) -> Box<dyn Iterator<Item = &SharedObject> + '_> {
         match self.kind {
-            LookupKind::Tree => Box::new(self.tree.values()),
-            LookupKind::Linear => Box::new(self.linear.iter()),
-        }
-    }
-
-    /// Iterates over all objects, mutable.
-    pub fn iter_mut(&mut self) -> Box<dyn Iterator<Item = &mut SharedObject> + '_> {
-        match self.kind {
-            LookupKind::Tree => Box::new(self.tree.values_mut()),
-            LookupKind::Linear => Box::new(self.linear.iter_mut()),
+            LookupKind::Tree => Box::new(
+                self.tree
+                    .values()
+                    .filter_map(|&slot| self.slots[slot].as_ref()),
+            ),
+            LookupKind::Linear => Box::new(
+                self.linear
+                    .iter()
+                    .filter_map(|&(_, slot)| self.slots[slot].as_ref()),
+            ),
         }
     }
 
     /// Start addresses of all objects (snapshot, avoids borrow conflicts in
-    /// protocol loops).
+    /// protocol loops; address order for the tree variant). For mutation
+    /// loops, iterate this snapshot and go through [`Self::find_mut`] — a
+    /// slab-backed `iter_mut` would yield slot order, silently diverging
+    /// from [`Self::iter`]'s address order.
     pub fn addrs(&self) -> Vec<VAddr> {
         self.iter().map(|o| o.addr()).collect()
     }
@@ -238,6 +293,26 @@ mod tests {
             assert!(m.is_empty());
             assert_eq!(m.total_blocks(), 0);
             assert!(m.remove(VAddr(0x10_0000)).is_none());
+        }
+    }
+
+    #[test]
+    fn locate_and_by_slot_reach_the_same_object() {
+        for mut m in both() {
+            let s1 = m.insert(obj(1, 0x10_0000, 8192));
+            let s2 = m.insert(obj(2, 0x20_0000, 4096));
+            assert_ne!(s1, s2);
+            assert_eq!(m.locate(VAddr(0x10_1000)), Some(s1));
+            assert_eq!(m.by_slot(s1).unwrap().id(), ObjectId(1));
+            assert_eq!(m.by_slot_mut(s2).unwrap().id(), ObjectId(2));
+            assert_eq!(m.locate(VAddr(0x30_0000)), None);
+            // Removal frees the slot; a stale slot id observes None.
+            m.remove(VAddr(0x10_0000)).unwrap();
+            assert!(m.by_slot(s1).is_none());
+            assert_eq!(m.locate(VAddr(0x10_0000)), None);
+            // The freed slot is reused by the next insert.
+            let s3 = m.insert(obj(3, 0x40_0000, 4096));
+            assert_eq!(s3, s1, "slab reuses freed slots");
         }
     }
 
@@ -308,9 +383,11 @@ mod tests {
     fn find_mut_allows_state_changes() {
         for mut m in both() {
             m.insert(obj(1, 0x10_0000, 4096));
-            m.find_mut(VAddr(0x10_0000)).unwrap().block_mut(0).state = BlockState::Dirty;
+            m.find_mut(VAddr(0x10_0000))
+                .unwrap()
+                .set_state(0, BlockState::Dirty);
             assert_eq!(
-                m.find(VAddr(0x10_0000)).unwrap().block(0).state,
+                m.find(VAddr(0x10_0000)).unwrap().state(0),
                 BlockState::Dirty
             );
         }

@@ -5,18 +5,29 @@
 //! memory manager "keeps a list of the starting address and size of allocated
 //! shared memory objects"; rolling-update extends each entry with "a list of
 //! the starting addresses and sizes of the memory blocks composing the
-//! object" (paper §4.3) — that per-block list is [`SharedObject::blocks`].
+//! object" (paper §4.3).
+//!
+//! Since block geometry is fully determined by the object size and the
+//! protocol block size, the per-block list is stored as a **compact parallel
+//! vector of states** ([`SharedObject::states`], one byte per block) rather
+//! than a vector of `(offset, len, state)` records: [`SharedObject::block`]
+//! derives the geometry on demand, and [`SharedObject::runs_in`] iterates
+//! maximal **runs of equal state**, which is what every flush/fetch path
+//! actually wants — a single coalesced request per run instead of one
+//! per-block round trip.
 
 use crate::state::BlockState;
 use hetsim::{DevAddr, DeviceId};
 use softmmu::{RegionId, VAddr};
+use std::ops::Range;
 
 /// Identifies a shared object within a context.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ObjectId(pub u64);
 
 /// One fixed-size block of a shared object (the last block may be shorter,
-/// exactly as the paper specifies).
+/// exactly as the paper specifies). Returned **by value** — geometry is
+/// derived from the block index, only the state is stored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Block {
     /// Byte offset of the block within the object.
@@ -25,6 +36,66 @@ pub struct Block {
     pub len: u64,
     /// Coherence state.
     pub state: BlockState,
+}
+
+/// A maximal run of adjacent blocks sharing one coherence state, as yielded
+/// by [`SharedObject::runs_in`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateRun {
+    /// The state every block of the run is in.
+    pub state: BlockState,
+    /// Block indices of the run.
+    pub blocks: Range<usize>,
+    /// First byte of the run within the object.
+    pub start: u64,
+    /// One past the last byte of the run (clamped to the object size for
+    /// the short tail block).
+    pub end: u64,
+}
+
+impl StateRun {
+    /// Run length in bytes.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True for degenerate zero-byte runs (never yielded by `runs_in`).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Iterator over maximal equal-state runs (see [`SharedObject::runs_in`]).
+#[derive(Debug)]
+pub struct StateRuns<'a> {
+    states: &'a [BlockState],
+    block_size: u64,
+    size: u64,
+    next: usize,
+    end: usize,
+}
+
+impl Iterator for StateRuns<'_> {
+    type Item = StateRun;
+
+    fn next(&mut self) -> Option<StateRun> {
+        if self.next >= self.end {
+            return None;
+        }
+        let first = self.next;
+        let state = self.states[first];
+        let mut i = first + 1;
+        while i < self.end && self.states[i] == state {
+            i += 1;
+        }
+        self.next = i;
+        Some(StateRun {
+            state,
+            blocks: first..i,
+            start: first as u64 * self.block_size,
+            end: (i as u64 * self.block_size).min(self.size),
+        })
+    }
 }
 
 /// A live shared allocation.
@@ -37,7 +108,9 @@ pub struct SharedObject {
     dev_addr: DevAddr,
     region: RegionId,
     block_size: u64,
-    blocks: Vec<Block>,
+    /// Per-block coherence states (block `i` covers
+    /// `[i * block_size, min((i+1) * block_size, size))`).
+    states: Vec<BlockState>,
 }
 
 impl SharedObject {
@@ -49,7 +122,7 @@ impl SharedObject {
     /// # Panics
     /// Panics if `size` or `block_size` is zero.
     // The argument list is the paper's object descriptor verbatim; a builder
-    // would only obscure the one construction site in `Context`.
+    // would only obscure the one construction site in the shard.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         id: ObjectId,
@@ -63,17 +136,7 @@ impl SharedObject {
     ) -> Self {
         assert!(size > 0, "zero-size shared object");
         assert!(block_size > 0, "zero block size");
-        let mut blocks = Vec::with_capacity(size.div_ceil(block_size) as usize);
-        let mut offset = 0;
-        while offset < size {
-            let len = block_size.min(size - offset);
-            blocks.push(Block {
-                offset,
-                len,
-                state: initial,
-            });
-            offset += len;
-        }
+        let states = vec![initial; size.div_ceil(block_size) as usize];
         SharedObject {
             id,
             addr,
@@ -82,7 +145,7 @@ impl SharedObject {
             dev_addr,
             region,
             block_size,
-            blocks,
+            states,
         }
     }
 
@@ -149,17 +212,43 @@ impl SharedObject {
 
     /// Number of blocks.
     pub fn block_count(&self) -> usize {
-        self.blocks.len()
+        self.states.len()
     }
 
-    /// Block by index.
-    pub fn block(&self, idx: usize) -> &Block {
-        &self.blocks[idx]
+    /// Block by index (geometry derived, state read from the compact
+    /// vector).
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds.
+    pub fn block(&self, idx: usize) -> Block {
+        let offset = idx as u64 * self.block_size;
+        Block {
+            offset,
+            len: self.block_size.min(self.size - offset),
+            state: self.states[idx],
+        }
     }
 
-    /// Block by index, mutable.
-    pub fn block_mut(&mut self, idx: usize) -> &mut Block {
-        &mut self.blocks[idx]
+    /// Coherence state of block `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds.
+    pub fn state(&self, idx: usize) -> BlockState {
+        self.states[idx]
+    }
+
+    /// Sets the coherence state of block `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds.
+    pub fn set_state(&mut self, idx: usize, state: BlockState) {
+        self.states[idx] = state;
+    }
+
+    /// The compact per-block state vector (cheap to snapshot: one byte per
+    /// block).
+    pub fn states(&self) -> &[BlockState] {
+        &self.states
     }
 
     /// Index of the block containing byte `offset`.
@@ -172,7 +261,7 @@ impl SharedObject {
     }
 
     /// Indices of the blocks overlapping `[offset, offset + len)`.
-    pub fn blocks_overlapping(&self, offset: u64, len: u64) -> std::ops::Range<usize> {
+    pub fn blocks_overlapping(&self, offset: u64, len: u64) -> Range<usize> {
         if len == 0 || offset >= self.size {
             return 0..0;
         }
@@ -182,24 +271,34 @@ impl SharedObject {
         first..last + 1
     }
 
-    /// Iterator over all blocks.
-    pub fn blocks(&self) -> impl Iterator<Item = &Block> {
-        self.blocks.iter()
+    /// Iterates the maximal equal-state runs among the blocks overlapping
+    /// `[offset, offset + len)`. Flush/fetch paths use this to issue one
+    /// request per contiguous run instead of one per block; run byte bounds
+    /// are block-aligned (callers clamp to their access window).
+    pub fn runs_in(&self, offset: u64, len: u64) -> StateRuns<'_> {
+        let range = self.blocks_overlapping(offset, len);
+        StateRuns {
+            states: &self.states,
+            block_size: self.block_size,
+            size: self.size,
+            next: range.start,
+            end: range.end,
+        }
     }
 
-    /// Iterator over all blocks, mutable.
-    pub fn blocks_mut(&mut self) -> impl Iterator<Item = &mut Block> {
-        self.blocks.iter_mut()
+    /// Iterator over all blocks (values; see [`Self::block`]).
+    pub fn blocks(&self) -> impl Iterator<Item = Block> + '_ {
+        (0..self.block_count()).map(|i| self.block(i))
     }
 
     /// Number of blocks currently in `state`.
     pub fn count_in_state(&self, state: BlockState) -> usize {
-        self.blocks.iter().filter(|b| b.state == state).count()
+        self.states.iter().filter(|&&s| s == state).count()
     }
 
     /// Unified-space address of block `idx`.
     pub fn block_addr(&self, idx: usize) -> VAddr {
-        self.addr + self.blocks[idx].offset
+        self.addr + idx as u64 * self.block_size
     }
 }
 
@@ -291,9 +390,48 @@ mod tests {
     fn state_counting() {
         let mut o = obj(12288, 4096);
         assert_eq!(o.count_in_state(BlockState::ReadOnly), 3);
-        o.block_mut(1).state = BlockState::Dirty;
+        o.set_state(1, BlockState::Dirty);
         assert_eq!(o.count_in_state(BlockState::Dirty), 1);
         assert_eq!(o.count_in_state(BlockState::ReadOnly), 2);
         assert_eq!(o.block_addr(1), VAddr(0x10_1000));
+        assert_eq!(o.state(1), BlockState::Dirty);
+        assert_eq!(o.states()[1], BlockState::Dirty);
+    }
+
+    #[test]
+    fn runs_merge_adjacent_equal_states() {
+        let mut o = obj(8 * 4096, 4096);
+        // States: R R D D D R I I
+        o.set_state(2, BlockState::Dirty);
+        o.set_state(3, BlockState::Dirty);
+        o.set_state(4, BlockState::Dirty);
+        o.set_state(6, BlockState::Invalid);
+        o.set_state(7, BlockState::Invalid);
+        let runs: Vec<StateRun> = o.runs_in(0, o.size()).collect();
+        assert_eq!(runs.len(), 4);
+        assert_eq!(runs[0].state, BlockState::ReadOnly);
+        assert_eq!(runs[0].blocks, 0..2);
+        assert_eq!((runs[0].start, runs[0].end), (0, 2 * 4096));
+        assert_eq!(runs[1].state, BlockState::Dirty);
+        assert_eq!(runs[1].blocks, 2..5);
+        assert_eq!(runs[1].len(), 3 * 4096);
+        assert!(!runs[1].is_empty());
+        assert_eq!(runs[2].blocks, 5..6);
+        assert_eq!(runs[3].state, BlockState::Invalid);
+        assert_eq!(runs[3].blocks, 6..8);
+    }
+
+    #[test]
+    fn runs_respect_the_window_and_tail() {
+        let mut o = obj(2 * 4096 + 100, 4096); // short tail block
+        o.set_state(2, BlockState::Invalid);
+        // Window covering only blocks 1..3.
+        let runs: Vec<StateRun> = o.runs_in(4097, 2 * 4096).collect();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].blocks, 1..2);
+        assert_eq!(runs[1].blocks, 2..3);
+        assert_eq!(runs[1].end, o.size(), "tail run clamped to object size");
+        // Empty window yields nothing.
+        assert_eq!(o.runs_in(0, 0).count(), 0);
     }
 }

@@ -86,13 +86,12 @@ impl CoherenceProtocol for BatchUpdate {
             if obj.device() != dev {
                 continue;
             }
-            if obj.block(0).state != BlockState::Invalid {
+            if obj.state(0) != BlockState::Invalid {
                 plan.request(&obj, 0, obj.size());
             }
             mgr.find_mut(addr)
                 .expect("registered object")
-                .block_mut(0)
-                .state = BlockState::Invalid;
+                .set_state(0, BlockState::Invalid);
             // Pages stay read-write: batch performs no detection.
         }
         rt.execute(&plan)?;
@@ -115,8 +114,7 @@ impl CoherenceProtocol for BatchUpdate {
             }
             mgr.find_mut(addr)
                 .expect("registered object")
-                .block_mut(0)
-                .state = BlockState::Dirty;
+                .set_state(0, BlockState::Dirty);
         }
         rt.execute(&plan)?;
         Ok(())
@@ -152,8 +150,7 @@ impl CoherenceProtocol for BatchUpdate {
         rt.platform.cpu_touch(len);
         mgr.find_mut(addr)
             .expect("registered object")
-            .block_mut(0)
-            .state = BlockState::Dirty;
+            .set_state(0, BlockState::Dirty);
         Ok(())
     }
 
@@ -167,7 +164,7 @@ impl CoherenceProtocol for BatchUpdate {
     ) -> GmacResult<()> {
         // Writing makes the (single) block dirty again after a call.
         if let Some(obj) = mgr.find_mut(addr) {
-            obj.block_mut(0).state = BlockState::Dirty;
+            obj.set_state(0, BlockState::Dirty);
         }
         Ok(())
     }
@@ -186,7 +183,7 @@ mod tests {
         let moved = rt.platform().transfers().h2d_bytes - before;
         assert_eq!(moved, 8192 + 4096, "all objects move, modified or not");
         for obj in mgr.iter() {
-            assert_eq!(obj.block(0).state, BlockState::Invalid);
+            assert_eq!(obj.state(0), BlockState::Invalid);
         }
     }
 
@@ -198,7 +195,7 @@ mod tests {
         p.acquire(&mut rt, &mut mgr, DeviceId(0)).unwrap();
         assert_eq!(rt.platform().transfers().d2h_bytes - before, 8192);
         for obj in mgr.iter() {
-            assert_eq!(obj.block(0).state, BlockState::Dirty);
+            assert_eq!(obj.state(0), BlockState::Dirty);
         }
     }
 

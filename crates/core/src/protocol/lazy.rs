@@ -45,7 +45,7 @@ impl LazyUpdate {
         target: BlockState,
     ) -> GmacResult<()> {
         let obj = mgr.find(addr).ok_or(GmacError::NotShared(addr))?.clone();
-        if obj.block(0).state == BlockState::Invalid {
+        if obj.state(0) == BlockState::Invalid {
             // Whole-object transfer: the defining cost of lazy-update
             // compared to rolling-update (Figure 9).
             let mut plan = rt.plan(Direction::DeviceToHost, CopyMode::Sync, Purpose::Fetch);
@@ -55,8 +55,7 @@ impl LazyUpdate {
         rt.protect_object(&obj, target)?;
         mgr.find_mut(addr)
             .expect("registered object")
-            .block_mut(0)
-            .state = target;
+            .set_state(0, target);
         Ok(())
     }
 }
@@ -98,7 +97,7 @@ impl CoherenceProtocol for LazyUpdate {
             if obj.device() != dev {
                 continue;
             }
-            let state = obj.block(0).state;
+            let state = obj.state(0);
             // Only objects modified by the CPU move (first benefit in §4.3).
             if state == BlockState::Dirty {
                 plan.request(&obj, 0, obj.size());
@@ -116,8 +115,7 @@ impl CoherenceProtocol for LazyUpdate {
             rt.protect_object(&obj, new_state)?;
             mgr.find_mut(addr)
                 .expect("registered object")
-                .block_mut(0)
-                .state = new_state;
+                .set_state(0, new_state);
         }
         rt.execute(&plan)?;
         Ok(())
@@ -137,11 +135,7 @@ impl CoherenceProtocol for LazyUpdate {
         _offset: u64,
         _len: u64,
     ) -> GmacResult<()> {
-        let state = mgr
-            .find(addr)
-            .ok_or(GmacError::NotShared(addr))?
-            .block(0)
-            .state;
+        let state = mgr.find(addr).ok_or(GmacError::NotShared(addr))?.state(0);
         match state {
             BlockState::Invalid => self.make_valid(rt, mgr, addr, BlockState::ReadOnly),
             _ => Ok(()),
@@ -156,11 +150,7 @@ impl CoherenceProtocol for LazyUpdate {
         _offset: u64,
         _len: u64,
     ) -> GmacResult<()> {
-        let state = mgr
-            .find(addr)
-            .ok_or(GmacError::NotShared(addr))?
-            .block(0)
-            .state;
+        let state = mgr.find(addr).ok_or(GmacError::NotShared(addr))?.state(0);
         match state {
             BlockState::Dirty => Ok(()),
             // Invalid -> fetch then dirty; ReadOnly -> just dirty.
@@ -190,7 +180,7 @@ mod tests {
             "clean object not transferred (first benefit of lazy-update)"
         );
         for obj in mgr.iter() {
-            assert_eq!(obj.block(0).state, BlockState::Invalid);
+            assert_eq!(obj.state(0), BlockState::Invalid);
         }
     }
 
@@ -212,7 +202,7 @@ mod tests {
         // CPU touches one byte: lazy fetches the *entire* object.
         p.prepare_read(&mut rt, &mut mgr, addr, 5, 1).unwrap();
         assert_eq!(rt.platform().transfers().d2h_bytes - before, 16384);
-        assert_eq!(mgr.find(addr).unwrap().block(0).state, BlockState::ReadOnly);
+        assert_eq!(mgr.find(addr).unwrap().state(0), BlockState::ReadOnly);
         // Subsequent reads are free.
         let before = rt.platform().transfers().d2h_bytes;
         p.prepare_read(&mut rt, &mut mgr, addr, 6000, 64).unwrap();
@@ -225,7 +215,7 @@ mod tests {
         let addr = mgr.addrs()[0];
         p.release(&mut rt, &mut mgr, DEV, None).unwrap();
         p.prepare_write(&mut rt, &mut mgr, addr, 0, 4).unwrap();
-        assert_eq!(mgr.find(addr).unwrap().block(0).state, BlockState::Dirty);
+        assert_eq!(mgr.find(addr).unwrap().state(0), BlockState::Dirty);
         assert_eq!(rt.counters().blocks_fetched, 1);
         // Host pages are now read-write: stores succeed.
         rt.vm.write_bytes(addr, &[1, 2, 3, 4]).unwrap();
@@ -242,7 +232,7 @@ mod tests {
             before,
             "no data motion"
         );
-        assert_eq!(mgr.find(addr).unwrap().block(0).state, BlockState::Dirty);
+        assert_eq!(mgr.find(addr).unwrap().state(0), BlockState::Dirty);
     }
 
     #[test]
@@ -253,15 +243,9 @@ mod tests {
         // Kernel writes only object 0.
         p.release(&mut rt, &mut mgr, DEV, Some(&addrs[..1]))
             .unwrap();
-        assert_eq!(
-            mgr.find(addrs[0]).unwrap().block(0).state,
-            BlockState::Invalid
-        );
+        assert_eq!(mgr.find(addrs[0]).unwrap().state(0), BlockState::Invalid);
         // Object 1 was dirty, got flushed, and stays CPU-readable.
-        assert_eq!(
-            mgr.find(addrs[1]).unwrap().block(0).state,
-            BlockState::ReadOnly
-        );
+        assert_eq!(mgr.find(addrs[1]).unwrap().state(0), BlockState::ReadOnly);
         // Reading it costs no transfer.
         let before = rt.platform().transfers().d2h_bytes;
         p.prepare_read(&mut rt, &mut mgr, addrs[1], 0, 64).unwrap();

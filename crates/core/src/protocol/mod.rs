@@ -181,7 +181,7 @@ pub(crate) fn memset_device_side(
         Purpose::MemsetFlush,
     );
     for idx in obj.blocks_overlapping(offset, len) {
-        let block = *obj.block(idx);
+        let block = obj.block(idx);
         let fully = offset <= block.offset && offset + len >= block.offset + block.len;
         if block.state == BlockState::Dirty && !fully {
             plan.request_block(&obj, idx);
@@ -189,12 +189,15 @@ pub(crate) fn memset_device_side(
     }
     rt.execute(&plan)?;
     rt.dev_fill(&obj, offset, len, value)?;
-    for idx in obj.blocks_overlapping(offset, len) {
-        rt.protect_block(&obj, idx, BlockState::Invalid)?;
-        mgr.find_mut(addr)
-            .expect("registered object")
-            .block_mut(idx)
-            .state = BlockState::Invalid;
+    // The covered blocks form one contiguous span: one mprotect + one state
+    // sweep instead of a per-block loop.
+    let covered = obj.blocks_overlapping(offset, len);
+    let span_lo = covered.start as u64 * obj.block_size();
+    let span_hi = (covered.end as u64 * obj.block_size()).min(obj.size());
+    rt.protect_range(&obj, span_lo, span_hi, BlockState::Invalid)?;
+    let target = mgr.find_mut(addr).expect("registered object");
+    for idx in covered {
+        target.set_state(idx, BlockState::Invalid);
     }
     Ok(())
 }

@@ -70,10 +70,10 @@ impl RollingUpdate {
     ) -> GmacResult<()> {
         {
             let obj = mgr.find_mut(addr).ok_or(GmacError::NotShared(addr))?;
-            if obj.block(idx).state == BlockState::Dirty {
+            if obj.state(idx) == BlockState::Dirty {
                 return Ok(());
             }
-            obj.block_mut(idx).state = BlockState::Dirty;
+            obj.set_state(idx, BlockState::Dirty);
             let obj = mgr.find(addr).expect("registered object").clone();
             rt.protect_block(&obj, idx, BlockState::Dirty)?;
         }
@@ -94,7 +94,7 @@ impl RollingUpdate {
             // Lazy deletion: the entry may be stale (block already evicted,
             // invalidated at a call, or its object freed).
             let Some(obj) = mgr.find(addr) else { continue };
-            if obj.block(idx).state != BlockState::Dirty {
+            if obj.state(idx) != BlockState::Dirty {
                 continue;
             }
             let obj = obj.clone();
@@ -109,8 +109,7 @@ impl RollingUpdate {
             rt.protect_block(&obj, idx, BlockState::ReadOnly)?;
             mgr.find_mut(addr)
                 .expect("registered object")
-                .block_mut(idx)
-                .state = BlockState::ReadOnly;
+                .set_state(idx, BlockState::ReadOnly);
             self.dirty_count -= 1;
         }
         Ok(())
@@ -179,9 +178,10 @@ impl CoherenceProtocol for RollingUpdate {
             if obj.device() != dev {
                 continue;
             }
-            for idx in 0..obj.block_count() {
-                if obj.block(idx).state == BlockState::Dirty {
-                    plan.request_block(&obj, idx);
+            // Runs of adjacent dirty blocks flush as single requests.
+            for run in obj.runs_in(0, obj.size()) {
+                if run.state == BlockState::Dirty {
+                    plan.request(&obj, run.start, run.len());
                 }
             }
         }
@@ -192,27 +192,24 @@ impl CoherenceProtocol for RollingUpdate {
             if obj.device() != dev {
                 continue;
             }
-            let new_state = if is_written(writes, addr) {
-                BlockState::Invalid
-            } else {
-                BlockState::ReadOnly
-            };
             let target = mgr.find_mut(addr).expect("registered object");
-            for idx in 0..target.block_count() {
-                let b = target.block_mut(idx);
-                b.state = match (new_state, b.state) {
-                    (BlockState::Invalid, _) => BlockState::Invalid,
-                    // Unwritten objects: dirty blocks were flushed above.
-                    (_, BlockState::Dirty) => BlockState::ReadOnly,
-                    (_, s) => s,
-                };
-            }
-            let snapshot = target.clone();
             if is_written(writes, addr) {
+                for idx in 0..target.block_count() {
+                    target.set_state(idx, BlockState::Invalid);
+                }
+                let snapshot = target.clone();
                 rt.protect_object(&snapshot, BlockState::Invalid)?;
             } else {
-                for idx in 0..snapshot.block_count() {
-                    rt.protect_block(&snapshot, idx, snapshot.block(idx).state)?;
+                // Unwritten objects: dirty blocks were flushed above.
+                for idx in 0..target.block_count() {
+                    if target.state(idx) == BlockState::Dirty {
+                        target.set_state(idx, BlockState::ReadOnly);
+                    }
+                }
+                // One mprotect per equal-state run, not one per block.
+                let snapshot = target.clone();
+                for run in snapshot.runs_in(0, snapshot.size()) {
+                    rt.protect_range(&snapshot, run.start, run.end, run.state)?;
                 }
             }
         }
@@ -238,22 +235,22 @@ impl CoherenceProtocol for RollingUpdate {
         // Plan a fetch of *only the invalid blocks* — "rolling update also
         // reduces the amount of data transferred from accelerators when the
         // CPU reads the output kernel data in a scattered way" (§4.3). Runs
-        // of adjacent invalid blocks coalesce into single DMA jobs.
+        // of adjacent invalid blocks fetch as single requests.
         let mut plan = rt.plan(Direction::DeviceToHost, CopyMode::Sync, Purpose::Fetch);
         let mut fetched = Vec::new();
-        for idx in obj.blocks_overlapping(offset, len) {
-            if obj.block(idx).state == BlockState::Invalid {
-                plan.request_block(&obj, idx);
-                fetched.push(idx);
+        for run in obj.runs_in(offset, len) {
+            if run.state == BlockState::Invalid {
+                plan.request(&obj, run.start, run.len());
+                fetched.push(run);
             }
         }
         rt.execute(&plan)?;
-        for idx in fetched {
-            rt.protect_block(&obj, idx, BlockState::ReadOnly)?;
-            mgr.find_mut(addr)
-                .expect("registered object")
-                .block_mut(idx)
-                .state = BlockState::ReadOnly;
+        for run in fetched {
+            rt.protect_range(&obj, run.start, run.end, BlockState::ReadOnly)?;
+            let target = mgr.find_mut(addr).expect("registered object");
+            for idx in run.blocks.clone() {
+                target.set_state(idx, BlockState::ReadOnly);
+            }
         }
         Ok(())
     }
@@ -269,7 +266,7 @@ impl CoherenceProtocol for RollingUpdate {
         let obj = mgr.find(addr).ok_or(GmacError::NotShared(addr))?.clone();
         Runtime::check_bounds(&obj, offset, len)?;
         for idx in obj.blocks_overlapping(offset, len) {
-            let block = *obj.block(idx);
+            let block = obj.block(idx);
             if block.state == BlockState::Invalid {
                 // A partial overwrite of an invalid block must merge with the
                 // accelerator's bytes; a full overwrite needs no fetch.

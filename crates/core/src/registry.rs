@@ -56,11 +56,17 @@ impl Registry {
 
     /// The claim containing `addr`: `(object start, home device)`.
     pub(crate) fn route(&self, addr: VAddr) -> Option<(VAddr, DeviceId)> {
+        self.route_full(addr).map(|(start, _, dev)| (start, dev))
+    }
+
+    /// [`Self::route`] plus the claim's end — what a route memo needs to
+    /// answer interior-pointer hits without re-searching.
+    pub(crate) fn route_full(&self, addr: VAddr) -> Option<(VAddr, u64, DeviceId)> {
         self.claims
             .range(..=addr.0)
             .next_back()
             .filter(|(&start, c)| addr.0 >= start && addr.0 < c.end)
-            .map(|(&start, c)| (VAddr(start), c.dev))
+            .map(|(&start, c)| (VAddr(start), c.end, c.dev))
     }
 
     /// True when `[addr, addr+len)` intersects an existing claim.

@@ -57,6 +57,12 @@ pub struct Report {
     pub h2d_coalescing: f64,
     /// Blocks per job device-to-host.
     pub d2h_coalescing: f64,
+    /// Software-TLB hit rate over all shards (0 with the fast path off or
+    /// no accesses).
+    pub tlb_hit_rate: f64,
+    /// Shard object-memo hit rate (memo hits / all pointer→object
+    /// resolutions).
+    pub memo_hit_rate: f64,
     /// Total elapsed virtual time.
     pub elapsed: hetsim::Nanos,
     /// (category label, share of total time) pairs, non-zero only.
@@ -96,7 +102,7 @@ impl Inner {
             counters.merge(&shard.rt.counters());
         }
         objects.sort_by_key(|o| o.addr);
-        let ledger = self.platform.ledger().clone();
+        let ledger = self.platform.ledger();
         let transfers = *self.platform.transfers();
         let total = ledger.total().as_nanos().max(1) as f64;
         let breakdown = Category::ALL
@@ -106,12 +112,24 @@ impl Inner {
                 (ns > 0).then(|| (c.label(), ns as f64 / total))
             })
             .collect();
+        let ratio = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
         Report {
             protocol: self.config().protocol,
             sharded: self.config().sharding,
             objects,
             dirty_blocks,
             pending_devices,
+            tlb_hit_rate: ratio(counters.tlb_hits, counters.tlb_hits + counters.tlb_misses),
+            memo_hit_rate: ratio(
+                counters.obj_memo_hits,
+                counters.obj_memo_hits + counters.obj_lookups,
+            ),
             counters,
             h2d_bytes: transfers.h2d_bytes,
             d2h_bytes: transfers.d2h_bytes,
@@ -190,6 +208,16 @@ impl fmt::Display for Report {
             "  dma jobs: {} H2D (x{:.2} coalesced) / {} D2H (x{:.2} coalesced)",
             self.h2d_jobs, self.h2d_coalescing, self.d2h_jobs, self.d2h_coalescing,
         )?;
+        writeln!(
+            f,
+            "  fast path: tlb {}/{} hit/miss ({:.1}%)   obj memo {} hits / {} walks ({:.1}%)",
+            self.counters.tlb_hits,
+            self.counters.tlb_misses,
+            self.tlb_hit_rate * 100.0,
+            self.counters.obj_memo_hits,
+            self.counters.obj_lookups,
+            self.memo_hit_rate * 100.0,
+        )?;
         for o in &self.objects {
             writeln!(
                 f,
@@ -253,6 +281,7 @@ mod tests {
         assert!(text.contains("objects: 2"));
         assert!(text.contains("blocks(inv/ro/dirty): 0/15/1"));
         assert!(text.contains("dma jobs:"));
+        assert!(text.contains("fast path: tlb"));
         // Session snapshot agrees with the runtime snapshot.
         assert_eq!(s.report().objects.len(), 2);
     }
@@ -267,6 +296,8 @@ mod tests {
         let s = g.session();
         let a = s.alloc(8 * 4096).unwrap();
         s.store_slice::<u8>(a, &vec![5u8; 8 * 4096]).unwrap();
+        // Second resolution of the same object: served by the shard memo.
+        s.store_slice::<u8>(a, &vec![5u8; 8 * 4096]).unwrap();
         s.with_parts(|rt, mgr, proto| proto.release(rt, mgr, hetsim::DeviceId(0), None))
             .unwrap();
         let r = g.report();
@@ -277,6 +308,15 @@ mod tests {
             r.h2d_coalescing
         );
         assert_eq!(r.counters.bytes_flushed, r.h2d_bytes);
+        assert!(
+            r.counters.tlb_hits + r.counters.tlb_misses > 0,
+            "accesses exercised the TLB"
+        );
+        assert!(r.tlb_hit_rate > 0.0, "slice stores hit the TLB");
+        assert!(
+            r.memo_hit_rate > 0.0,
+            "repeated resolutions hit the shard memo"
+        );
     }
 
     #[test]

@@ -38,6 +38,18 @@ pub struct Counters {
     pub bytes_flushed: u64,
     /// Rolling-update evictions issued as asynchronous (eager) DMA.
     pub eager_evictions: u64,
+    /// Pointer→object resolutions that had to search the manager (B-tree or
+    /// linear scan). Wall-clock bookkeeping only: the virtual-time cost of a
+    /// fault-handler lookup is charged per fault regardless.
+    pub obj_lookups: u64,
+    /// Pointer→object resolutions served by the shard's one-entry memo
+    /// (no search; zero with [`crate::GmacConfig::tlb`] off).
+    pub obj_memo_hits: u64,
+    /// Software-TLB translations served without a radix-table walk.
+    pub tlb_hits: u64,
+    /// Software-TLB translations that walked the radix table (zero with the
+    /// TLB disabled).
+    pub tlb_misses: u64,
 }
 
 impl Counters {
@@ -58,6 +70,10 @@ impl Counters {
             bytes_fetched,
             bytes_flushed,
             eager_evictions,
+            obj_lookups,
+            obj_memo_hits,
+            tlb_hits,
+            tlb_misses,
         } = *other;
         self.faults_read += faults_read;
         self.faults_write += faults_write;
@@ -66,6 +82,10 @@ impl Counters {
         self.bytes_fetched += bytes_fetched;
         self.bytes_flushed += bytes_flushed;
         self.eager_evictions += eager_evictions;
+        self.obj_lookups += obj_lookups;
+        self.obj_memo_hits += obj_memo_hits;
+        self.tlb_hits += tlb_hits;
+        self.tlb_misses += tlb_misses;
     }
 }
 
@@ -95,9 +115,13 @@ impl Runtime {
     /// Creates a runtime over an already-shared platform (one per device
     /// shard).
     pub(crate) fn from_shared(platform: std::sync::Arc<Platform>, config: GmacConfig) -> Self {
+        let mut vm = AddressSpace::new();
+        // The ablation toggle disables every access-fast-path cache,
+        // including the softmmu TLB.
+        vm.set_tlb_enabled(config.tlb);
         Runtime {
             platform,
-            vm: AddressSpace::new(),
+            vm,
             config,
             counters: Counters::default(),
             queue: DmaQueue::new(),
@@ -114,9 +138,13 @@ impl Runtime {
         &self.vm
     }
 
-    /// Event counters.
+    /// Event counters (TLB hit/miss totals are pulled from this runtime's
+    /// address space at snapshot time).
     pub fn counters(&self) -> Counters {
-        self.counters
+        let mut c = self.counters;
+        c.tlb_hits = self.vm.tlb_hits();
+        c.tlb_misses = self.vm.tlb_misses();
+        c
     }
 
     /// Active configuration.
@@ -222,6 +250,27 @@ impl Runtime {
         Ok(())
     }
 
+    /// Sets the protection of `[lo, hi)` of `obj` to match `state` — the
+    /// run-length companion to [`Self::protect_block`]: one `mprotect` (and
+    /// one TLB generation bump) per contiguous equal-state run instead of
+    /// one per block. `lo` must be block-aligned (runs always are).
+    ///
+    /// # Errors
+    /// Propagates MMU failures.
+    pub fn protect_range(
+        &mut self,
+        obj: &SharedObject,
+        lo: u64,
+        hi: u64,
+        state: BlockState,
+    ) -> GmacResult<()> {
+        if lo < hi {
+            self.vm
+                .protect(obj.addr() + lo, hi - lo, state.protection())?;
+        }
+        Ok(())
+    }
+
     /// Device-side fill of an object range (`cudaMemset` path of the §4.4
     /// bulk-memory interposition).
     ///
@@ -289,12 +338,13 @@ impl Runtime {
     pub fn peek_range(&mut self, obj: &SharedObject, offset: u64, len: u64) -> GmacResult<Vec<u8>> {
         Self::check_bounds(obj, offset, len)?;
         let mut out = vec![0u8; len as usize];
-        for idx in obj.blocks_overlapping(offset, len) {
-            let block = *obj.block(idx);
-            let lo = block.offset.max(offset);
-            let hi = (block.offset + block.len).min(offset + len);
+        // Runs of equal state read as single spans: one device copy or one
+        // host gather per run instead of one per block.
+        for run in obj.runs_in(offset, len) {
+            let lo = run.start.max(offset);
+            let hi = run.end.min(offset + len);
             let dst = &mut out[(lo - offset) as usize..(hi - offset) as usize];
-            if block.state == BlockState::Invalid {
+            if run.state == BlockState::Invalid {
                 let src = obj.dev_addr().add(lo);
                 self.platform
                     .copy_d2h(obj.device(), src, dst, CopyMode::Sync)?;
@@ -497,7 +547,7 @@ mod tests {
             .mem_mut()
             .write(obj.dev_addr(), &[2u8; 8192])
             .unwrap();
-        obj.block_mut(1).state = BlockState::Invalid;
+        obj.set_state(1, BlockState::Invalid);
         let bytes = rt.peek_range(&obj, 0, 8192).unwrap();
         assert!(
             bytes[..4096].iter().all(|&b| b == 1),

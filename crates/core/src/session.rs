@@ -22,7 +22,7 @@
 
 use crate::config::GmacConfig;
 use crate::error::GmacResult;
-use crate::gmac::Inner;
+use crate::gmac::{Inner, RouteCache};
 use crate::object::SharedObject;
 use crate::ptr::{Param, SharedPtr};
 use crate::runtime::Counters;
@@ -78,11 +78,18 @@ pub(crate) struct SessionView {
 pub struct Session {
     inner: Arc<Inner>,
     view: SessionView,
+    /// Per-session route memo (see [`crate::GmacConfig::tlb`]): tight
+    /// access loops skip the registry `RwLock` + B-tree walk entirely.
+    routes: RouteCache,
 }
 
 impl Session {
     pub(crate) fn new(inner: Arc<Inner>, view: SessionView) -> Self {
-        Session { inner, view }
+        Session {
+            inner,
+            view,
+            routes: RouteCache::default(),
+        }
     }
 
     pub(crate) fn state(&self) -> &Arc<Inner> {
@@ -242,7 +249,7 @@ impl Session {
     /// # Errors
     /// [`crate::GmacError::NotShared`] for foreign pointers.
     pub fn translate(&self, ptr: SharedPtr) -> GmacResult<DevAddr> {
-        self.inner.translate(ptr)
+        self.inner.translate(&self.routes, ptr)
     }
 
     // ----- transparent CPU access -------------------------------------------
@@ -254,7 +261,7 @@ impl Session {
     /// [`crate::GmacError::NotShared`] for foreign pointers; propagates transfer
     /// failures.
     pub fn load<T: Scalar>(&self, ptr: SharedPtr) -> GmacResult<T> {
-        self.inner.load(ptr)
+        self.inner.load(&self.routes, ptr)
     }
 
     /// Typed store through the shared address space.
@@ -262,7 +269,7 @@ impl Session {
     /// # Errors
     /// Same as [`Self::load`].
     pub fn store<T: Scalar>(&self, ptr: SharedPtr, value: T) -> GmacResult<()> {
-        self.inner.store(ptr, value)
+        self.inner.store(&self.routes, ptr, value)
     }
 
     /// Loads `n` consecutive scalars. Equivalent to an element loop on the
@@ -272,7 +279,7 @@ impl Session {
     /// # Errors
     /// Same as [`Self::load`].
     pub fn load_slice<T: Scalar>(&self, ptr: SharedPtr, n: usize) -> GmacResult<Vec<T>> {
-        self.inner.load_slice(ptr, n)
+        self.inner.load_slice(&self.routes, ptr, n)
     }
 
     /// Stores consecutive scalars. Equivalent to an element loop on the CPU:
@@ -281,7 +288,7 @@ impl Session {
     /// # Errors
     /// Same as [`Self::load`].
     pub fn store_slice<T: Scalar>(&self, ptr: SharedPtr, values: &[T]) -> GmacResult<()> {
-        self.inner.store_slice(ptr, values)
+        self.inner.store_slice(&self.routes, ptr, values)
     }
 
     // ----- bulk-memory interposition (§4.4) ---------------------------------
@@ -292,7 +299,7 @@ impl Session {
     /// # Errors
     /// Fails for foreign pointers or out-of-object ranges.
     pub fn memset(&self, ptr: SharedPtr, value: u8, len: u64) -> GmacResult<()> {
-        self.inner.memset(ptr, value, len)
+        self.inner.memset(&self.routes, ptr, value, len)
     }
 
     /// Interposed `memcpy` from private host memory into shared memory.
@@ -300,7 +307,7 @@ impl Session {
     /// # Errors
     /// Fails for foreign pointers or out-of-object ranges.
     pub fn memcpy_in(&self, dst: SharedPtr, src: &[u8]) -> GmacResult<()> {
-        self.inner.memcpy_in(dst, src)
+        self.inner.memcpy_in(&self.routes, dst, src)
     }
 
     /// Interposed `memcpy` from shared memory into private host memory.
@@ -308,7 +315,7 @@ impl Session {
     /// # Errors
     /// Fails for foreign pointers or out-of-object ranges.
     pub fn memcpy_out(&self, dst: &mut [u8], src: SharedPtr) -> GmacResult<()> {
-        self.inner.memcpy_out(dst, src)
+        self.inner.memcpy_out(&self.routes, dst, src)
     }
 
     /// Interposed shared-to-shared `memcpy` (possibly across objects — and,
@@ -319,7 +326,7 @@ impl Session {
     /// # Errors
     /// Fails for foreign pointers or out-of-object ranges.
     pub fn memcpy(&self, dst: SharedPtr, src: SharedPtr, len: u64) -> GmacResult<()> {
-        self.inner.memcpy(dst, src, len)
+        self.inner.memcpy(&self.routes, dst, src, len)
     }
 
     // ----- I/O interposition (§4.4) -----------------------------------------
@@ -337,7 +344,8 @@ impl Session {
         ptr: SharedPtr,
         len: u64,
     ) -> GmacResult<u64> {
-        self.inner.read_file_to_shared(name, file_offset, ptr, len)
+        self.inner
+            .read_file_to_shared(&self.routes, name, file_offset, ptr, len)
     }
 
     /// Interposed `write()`: writes `len` bytes of shared memory at `ptr`
@@ -353,7 +361,8 @@ impl Session {
         ptr: SharedPtr,
         len: u64,
     ) -> GmacResult<u64> {
-        self.inner.write_shared_to_file(name, file_offset, ptr, len)
+        self.inner
+            .write_shared_to_file(&self.routes, name, file_offset, ptr, len)
     }
 
     // ----- introspection ----------------------------------------------------
@@ -374,7 +383,7 @@ impl Session {
 
     /// Execution-time ledger snapshot (Figure 10 categories).
     pub fn ledger(&self) -> TimeLedger {
-        self.inner.platform.ledger().clone()
+        self.inner.platform.ledger()
     }
 
     /// Transfer-ledger snapshot (Figure 8 input).

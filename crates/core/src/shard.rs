@@ -57,6 +57,25 @@ pub(crate) struct PendingCall {
     pub(crate) objects: Vec<VAddr>,
 }
 
+/// One-entry object memo: the last successfully routed `(range, slab slot)`
+/// of this shard's manager. A hit turns the per-access B-tree search into a
+/// range compare + O(1) slab access.
+///
+/// # Invalidation invariant
+///
+/// The memo MUST be cleared whenever the manager's population changes
+/// (object installed or freed): slab slots are reused, so a stale memo
+/// could otherwise route an old range to a stranger's object. Block-*state*
+/// changes never move objects, so protocol transitions need no
+/// invalidation. Gated by [`crate::GmacConfig::tlb`] like every access
+/// fast-path cache.
+#[derive(Debug, Clone, Copy)]
+struct ObjMemo {
+    start: VAddr,
+    end: u64,
+    slot: usize,
+}
+
 /// The independently-lockable runtime state of one accelerator.
 ///
 /// One `DeviceShard` exists per platform device, each behind its own mutex
@@ -82,6 +101,8 @@ pub struct DeviceShard {
     pub(crate) protocol: Box<dyn CoherenceProtocol>,
     /// The at-most-one un-synced kernel call on this accelerator.
     pub(crate) pending: Option<PendingCall>,
+    /// Access-fast-path memo (see [`ObjMemo`]).
+    obj_memo: Option<ObjMemo>,
 }
 
 impl DeviceShard {
@@ -92,7 +113,43 @@ impl DeviceShard {
             mgr: Manager::new(config.lookup),
             protocol: make(config.protocol),
             pending: None,
+            obj_memo: None,
         }
+    }
+
+    // ----- object routing (the shard-level fast path) -----------------------
+
+    /// Resolves `addr` to `(object start, slab slot)`: memo hit when the
+    /// fast path is enabled and `addr` falls in the last routed range,
+    /// otherwise one counted manager search (`Counters::obj_lookups`).
+    ///
+    /// The wall-clock saving never touches virtual time: the simulated
+    /// fault-handler lookup cost is charged per fault via
+    /// [`Manager::lookup_steps`] regardless of how the host found the
+    /// object.
+    pub(crate) fn locate(&mut self, addr: VAddr) -> GmacResult<(VAddr, usize)> {
+        if self.rt.config.tlb {
+            if let Some(memo) = self.obj_memo {
+                if addr >= memo.start && addr.0 < memo.end {
+                    self.rt.counters.obj_memo_hits += 1;
+                    return Ok((memo.start, memo.slot));
+                }
+            }
+        }
+        self.rt.counters.obj_lookups += 1;
+        let slot = self.mgr.locate(addr).ok_or(GmacError::NotShared(addr))?;
+        let obj = self.mgr.by_slot(slot).expect("located slot is live");
+        let (start, end) = (obj.addr(), obj.end().0);
+        if self.rt.config.tlb {
+            self.obj_memo = Some(ObjMemo { start, end, slot });
+        }
+        Ok((start, slot))
+    }
+
+    /// Invalidation half of the memo invariant: called on every insert or
+    /// remove in this shard's manager.
+    fn invalidate_memo(&mut self) {
+        self.obj_memo = None;
     }
 
     // ----- allocation -------------------------------------------------------
@@ -113,6 +170,7 @@ impl DeviceShard {
             id, addr, size, self.dev, dev_addr, region, block_size, initial,
         );
         self.mgr.insert(obj);
+        self.invalidate_memo();
         self.protocol.on_alloc(&mut self.rt, &mut self.mgr, addr)?;
         Ok(SharedPtr::new(addr))
     }
@@ -155,6 +213,7 @@ impl DeviceShard {
         let free_base = self.rt.config.costs.free_base;
         self.rt.charge(Category::Free, free_base);
         let obj = self.mgr.remove(addr).expect("object found above");
+        self.invalidate_memo();
         self.protocol.on_free(&mut self.rt, &obj)?;
         self.rt.vm.unmap_region(obj.region())?;
         Ok((addr, obj.dev_addr()))
@@ -195,26 +254,67 @@ impl DeviceShard {
     }
 
     /// `adsmSafe(address)`.
-    pub(crate) fn translate(&self, ptr: SharedPtr) -> GmacResult<DevAddr> {
-        let obj = self
-            .mgr
-            .find(ptr.addr())
-            .ok_or(GmacError::NotShared(ptr.addr()))?;
+    pub(crate) fn translate(&mut self, ptr: SharedPtr) -> GmacResult<DevAddr> {
+        let (_, slot) = self.locate(ptr.addr())?;
+        let obj = self.mgr.by_slot(slot).expect("located slot is live");
         Ok(obj.translate(ptr.addr()))
     }
 
     // ----- transparent CPU access -------------------------------------------
 
+    /// Scalar load with the fault-retry loop (the paper's signal-handler
+    /// protocol, §4.3): the access itself *is* the protection check — on a
+    /// TLB hit it is a single probe + frame copy; a fault is resolved by
+    /// the protocol and the access retried, exactly like re-executing the
+    /// faulting instruction.
     pub(crate) fn load<T: Scalar>(&mut self, ptr: SharedPtr) -> GmacResult<T> {
-        self.access_checked(ptr, T::SIZE as u64, AccessKind::Read)?;
-        self.rt.platform.cpu_touch(T::SIZE as u64);
-        Ok(self.rt.vm.load::<T>(ptr.addr())?)
+        let mut budget = Self::fault_budget(T::SIZE as u64);
+        loop {
+            match self.rt.vm.load::<T>(ptr.addr()) {
+                Ok(value) => {
+                    self.rt.platform.cpu_touch(T::SIZE as u64);
+                    return Ok(value);
+                }
+                Err(e) => self.retry_fault(e, AccessKind::Read, &mut budget)?,
+            }
+        }
     }
 
+    /// Scalar store, mirroring [`Self::load`].
     pub(crate) fn store<T: Scalar>(&mut self, ptr: SharedPtr, value: T) -> GmacResult<()> {
-        self.access_checked(ptr, T::SIZE as u64, AccessKind::Write)?;
-        self.rt.platform.cpu_touch(T::SIZE as u64);
-        Ok(self.rt.vm.store(ptr.addr(), value)?)
+        let mut budget = Self::fault_budget(T::SIZE as u64);
+        loop {
+            match self.rt.vm.store(ptr.addr(), value) {
+                Ok(()) => {
+                    self.rt.platform.cpu_touch(T::SIZE as u64);
+                    return Ok(());
+                }
+                Err(e) => self.retry_fault(e, AccessKind::Write, &mut budget)?,
+            }
+        }
+    }
+
+    /// One fault can occur per block an access spans; anything beyond that
+    /// means the protocol failed to make progress.
+    fn fault_budget(len: u64) -> u64 {
+        4 + len / softmmu::PAGE_SIZE
+    }
+
+    /// Shared fault-resolution step of the scalar retry loops: resolve a
+    /// protection fault through the protocol (spending `budget`), translate
+    /// MMU errors, propagate everything else.
+    fn retry_fault(&mut self, err: MmuError, kind: AccessKind, budget: &mut u64) -> GmacResult<()> {
+        match err {
+            MmuError::Fault(fault) => {
+                if *budget == 0 {
+                    return Err(GmacError::UnresolvedFault(fault.to_string()));
+                }
+                *budget -= 1;
+                self.handle_fault(fault.addr, kind)
+            }
+            MmuError::Unmapped(a) => Err(GmacError::NotShared(a)),
+            e => Err(e.into()),
+        }
     }
 
     pub(crate) fn load_slice<T: Scalar>(&mut self, ptr: SharedPtr, n: usize) -> GmacResult<Vec<T>> {
@@ -230,36 +330,12 @@ impl DeviceShard {
         self.shared_write(ptr, &softmmu::to_bytes(values))
     }
 
-    /// Single checked access with the fault-retry loop (the paper's signal
-    /// handler protocol, §4.3).
-    fn access_checked(&mut self, ptr: SharedPtr, len: u64, kind: AccessKind) -> GmacResult<()> {
-        // One fault can occur per block the access spans; anything beyond
-        // that means the protocol failed to make progress.
-        let mut budget = 4 + len / softmmu::PAGE_SIZE;
-        loop {
-            match self.rt.vm.check(ptr.addr(), len, kind) {
-                Ok(()) => return Ok(()),
-                Err(MmuError::Fault(fault)) => {
-                    if budget == 0 {
-                        return Err(GmacError::UnresolvedFault(fault.to_string()));
-                    }
-                    budget -= 1;
-                    self.handle_fault(fault.addr, kind)?;
-                }
-                Err(MmuError::Unmapped(a)) => return Err(GmacError::NotShared(a)),
-                Err(e) => return Err(e.into()),
-            }
-        }
-    }
-
     /// The "signal handler": charge delivery + lookup, then let the protocol
-    /// resolve the faulting block.
+    /// resolve the faulting block. The charge models the paper's
+    /// balanced-tree walk and is identical whether the host-side resolution
+    /// came from the memo or a real search.
     fn handle_fault(&mut self, fault_addr: VAddr, kind: AccessKind) -> GmacResult<()> {
-        let obj = self
-            .mgr
-            .find(fault_addr)
-            .ok_or(GmacError::NotShared(fault_addr))?;
-        let start = obj.addr();
+        let (start, _) = self.locate(fault_addr)?;
         let offset = fault_addr - start;
         let steps = self.mgr.lookup_steps();
         self.rt.charge_signal(steps, kind == AccessKind::Write);
@@ -287,16 +363,16 @@ impl DeviceShard {
     /// Copies `[ptr, ptr+len)` out of system memory, assuming the caller
     /// already made the range readable via [`Self::resolve_read_range`]
     /// (the I/O interposition resolves a whole operation's extent once,
-    /// then drains it chunk by chunk through this).
+    /// then drains it chunk by chunk through this). The copy lands in the
+    /// vector's spare capacity — no zero-fill pass, so a multi-MB read
+    /// touches each destination byte once, not twice.
     pub(crate) fn read_resolved(&mut self, ptr: SharedPtr, len: u64) -> GmacResult<Vec<u8>> {
-        let obj = self
-            .mgr
-            .find(ptr.addr())
-            .ok_or(GmacError::NotShared(ptr.addr()))?;
-        let start = obj.addr();
+        let (start, _) = self.locate(ptr.addr())?;
         let base_offset = ptr.addr() - start;
-        let mut out = vec![0u8; len as usize];
-        self.rt.vm.read_raw(start + base_offset, &mut out)?;
+        let mut out = Vec::with_capacity(len as usize);
+        self.rt
+            .vm
+            .read_raw_into(start + base_offset, len, &mut out)?;
         // The application's own CPU time to traverse the range.
         self.rt.platform.cpu_touch(len);
         Ok(out)
@@ -305,19 +381,19 @@ impl DeviceShard {
     /// Makes `[ptr, ptr+len)` CPU-readable: charges one fault-equivalent per
     /// invalid block the range touches (an element loop would fault on the
     /// first touch of each), then lets the protocol fetch them all in one
-    /// planned, coalesced batch.
+    /// planned, coalesced batch. Counts invalid blocks by iterating state
+    /// runs, not per-block indices.
     pub(crate) fn resolve_read_range(&mut self, ptr: SharedPtr, len: u64) -> GmacResult<()> {
-        let obj = self
-            .mgr
-            .find(ptr.addr())
-            .ok_or(GmacError::NotShared(ptr.addr()))?;
-        let start = obj.addr();
+        let (start, slot) = self.locate(ptr.addr())?;
         let base_offset = ptr.addr() - start;
-        Runtime::check_bounds(obj, base_offset, len)?;
-        let invalid = obj
-            .blocks_overlapping(base_offset, len)
-            .filter(|&idx| obj.block(idx).state == BlockState::Invalid)
-            .count();
+        let invalid = {
+            let obj = self.mgr.by_slot(slot).expect("located slot is live");
+            Runtime::check_bounds(obj, base_offset, len)?;
+            obj.runs_in(base_offset, len)
+                .filter(|run| run.state == BlockState::Invalid)
+                .map(|run| run.blocks.len() as u64)
+                .sum::<u64>()
+        };
         if invalid > 0 {
             let steps = self.mgr.lookup_steps();
             for _ in 0..invalid {
@@ -329,35 +405,94 @@ impl DeviceShard {
         Ok(())
     }
 
-    /// Block-chunked shared write used by slice stores, bulk ops and I/O:
-    /// per touched block, pay one fault if the block is not writable,
-    /// prepare it, then immediately land the bytes (required ordering — see
-    /// [`CoherenceProtocol::prepare_write`]).
+    /// Run-chunked shared write used by slice stores, bulk ops and I/O.
+    ///
+    /// The object is resolved **once** (the historical per-block
+    /// `mgr.find` re-lookup is gone — `Counters::obj_lookups` proves it);
+    /// the loop then walks equal-state runs of a snapshot of the compact
+    /// state vector:
+    ///
+    /// * **dirty runs** land their bytes in one raw write — no protocol
+    ///   interaction at all;
+    /// * **non-dirty runs** keep the strict per-block `fault → prepare →
+    ///   write` ordering, because rolling-update's `prepare_write` may evict
+    ///   older dirty blocks *within the same call* — bytes must be landed
+    ///   before the next block is prepared (see
+    ///   [`CoherenceProtocol::prepare_write`]).
+    ///
+    /// The snapshot is refreshed whenever the protocol flushed anything
+    /// (`blocks_flushed` moved): an eviction downgrades some Dirty block —
+    /// possibly one still ahead of the cursor — to ReadOnly, and writing it
+    /// without re-dirtying would strand the bytes on the host.
     pub(crate) fn shared_write(&mut self, ptr: SharedPtr, bytes: &[u8]) -> GmacResult<()> {
         let len = bytes.len() as u64;
-        let obj = self
-            .mgr
-            .find(ptr.addr())
-            .ok_or(GmacError::NotShared(ptr.addr()))?;
-        let start = obj.addr();
+        let (start, slot) = self.locate(ptr.addr())?;
         let base_offset = ptr.addr() - start;
-        Runtime::check_bounds(obj, base_offset, len)?;
-        let blocks = obj.blocks_overlapping(base_offset, len);
-        for idx in blocks {
-            let obj = self.mgr.find(start).expect("object lives across loop");
-            let block = *obj.block(idx);
-            let lo = block.offset.max(base_offset);
-            let hi = (block.offset + block.len).min(base_offset + len);
-            if block.state != BlockState::Dirty {
-                let steps = self.mgr.lookup_steps();
-                self.rt.charge_signal(steps, true);
-                self.protocol
-                    .prepare_write(&mut self.rt, &mut self.mgr, start, lo, hi - lo)?;
+        let (block_size, size, touched) = {
+            let obj = self.mgr.by_slot(slot).expect("located slot is live");
+            Runtime::check_bounds(obj, base_offset, len)?;
+            (
+                obj.block_size(),
+                obj.size(),
+                obj.blocks_overlapping(base_offset, len),
+            )
+        };
+        if touched.is_empty() {
+            return Ok(());
+        }
+        let steps = self.mgr.lookup_steps();
+        let clamp = |blocks: std::ops::Range<usize>| {
+            let lo = (blocks.start as u64 * block_size).max(base_offset);
+            let hi = (blocks.end as u64 * block_size)
+                .min(size)
+                .min(base_offset + len);
+            (lo, hi)
+        };
+        // One snapshot of the touched window; refreshes re-read only the
+        // blocks still ahead of the cursor (evictions can't matter behind
+        // it), so an eviction-heavy write stays O(blocks), not O(blocks²).
+        let mut states = self
+            .mgr
+            .by_slot(slot)
+            .expect("located slot is live")
+            .states()[touched.clone()]
+        .to_vec();
+        let mut flush_mark = self.rt.counters.blocks_flushed;
+        let mut idx = touched.start;
+        while idx < touched.end {
+            if self.rt.counters.blocks_flushed != flush_mark {
+                let live = self
+                    .mgr
+                    .by_slot(slot)
+                    .expect("located slot is live")
+                    .states();
+                let ahead = idx - touched.start;
+                states[ahead..].copy_from_slice(&live[idx..touched.end]);
+                flush_mark = self.rt.counters.blocks_flushed;
             }
-            let src = &bytes[(lo - base_offset) as usize..(hi - base_offset) as usize];
-            self.rt.vm.write_raw(start + lo, src)?;
-            // The application's own CPU time to produce/copy the chunk.
-            self.rt.platform.cpu_touch(hi - lo);
+            let dirty = states[idx - touched.start] == BlockState::Dirty;
+            let mut end = idx + 1;
+            while end < touched.end && (states[end - touched.start] == BlockState::Dirty) == dirty {
+                end += 1;
+            }
+            if dirty {
+                let (lo, hi) = clamp(idx..end);
+                let src = &bytes[(lo - base_offset) as usize..(hi - base_offset) as usize];
+                self.rt.vm.write_raw(start + lo, src)?;
+                // The application's own CPU time to produce/copy the chunk.
+                self.rt.platform.cpu_touch(hi - lo);
+            } else {
+                for block in idx..end {
+                    let (lo, hi) = clamp(block..block + 1);
+                    self.rt.charge_signal(steps, true);
+                    self.protocol
+                        .prepare_write(&mut self.rt, &mut self.mgr, start, lo, hi - lo)?;
+                    let src = &bytes[(lo - base_offset) as usize..(hi - base_offset) as usize];
+                    self.rt.vm.write_raw(start + lo, src)?;
+                    self.rt.platform.cpu_touch(hi - lo);
+                }
+            }
+            idx = end;
         }
         Ok(())
     }

@@ -10,7 +10,7 @@
 //! memory system.
 
 use crate::error::GmacResult;
-use crate::gmac::Inner;
+use crate::gmac::{Inner, RouteCache};
 use crate::object::ObjectId;
 use crate::ptr::{Param, SharedPtr};
 use softmmu::Scalar;
@@ -53,6 +53,9 @@ pub struct Shared<T: Scalar> {
     /// address-reused pointer cannot make this handle free a stranger's
     /// object.
     id: ObjectId,
+    /// Per-buffer route memo: every access targets the same object, so this
+    /// hits on all but the first (see [`crate::GmacConfig::tlb`]).
+    routes: RouteCache,
     _elem: PhantomData<fn() -> T>,
 }
 
@@ -73,6 +76,7 @@ impl<T: Scalar> Shared<T> {
             ptr,
             len,
             id,
+            routes: RouteCache::default(),
             _elem: PhantomData,
         }
     }
@@ -119,7 +123,7 @@ impl<T: Scalar> Shared<T> {
     /// Panics when `i >= len`.
     pub fn read(&self, i: usize) -> GmacResult<T> {
         assert!(i < self.len, "element {i} out of {} elements", self.len);
-        self.state().load(self.element(i))
+        self.state().load(&self.routes, self.element(i))
     }
 
     /// Writes element `i` through the coherence protocol.
@@ -131,7 +135,7 @@ impl<T: Scalar> Shared<T> {
     /// Panics when `i >= len`.
     pub fn write(&self, i: usize, value: T) -> GmacResult<()> {
         assert!(i < self.len, "element {i} out of {} elements", self.len);
-        self.state().store(self.element(i), value)
+        self.state().store(&self.routes, self.element(i), value)
     }
 
     /// Reads the whole buffer.
@@ -139,7 +143,7 @@ impl<T: Scalar> Shared<T> {
     /// # Errors
     /// Propagates fault/transfer failures.
     pub fn read_slice(&self) -> GmacResult<Vec<T>> {
-        self.state().load_slice(self.ptr, self.len)
+        self.state().load_slice(&self.routes, self.ptr, self.len)
     }
 
     /// Reads `n` elements starting at element `start`.
@@ -156,7 +160,8 @@ impl<T: Scalar> Shared<T> {
             start + n,
             self.len
         );
-        self.state().load_slice(self.element(start), n)
+        self.state()
+            .load_slice(&self.routes, self.element(start), n)
     }
 
     /// Writes `values` starting at element 0.
@@ -186,7 +191,8 @@ impl<T: Scalar> Shared<T> {
             start + values.len(),
             self.len
         );
-        self.state().store_slice(self.element(start), values)
+        self.state()
+            .store_slice(&self.routes, self.element(start), values)
     }
 
     /// Explicitly frees the buffer (`adsmFree`), surfacing errors the RAII

@@ -117,10 +117,33 @@ impl TransferPlan {
 
     /// Requests `[offset, offset+len)` of `obj`. The block count attributed
     /// to the range is the number of protocol blocks it overlaps.
+    ///
+    /// With coalescing **disabled** (the ablation baseline: "one DMA job per
+    /// protocol block") a multi-block range is split into its per-block
+    /// subranges, so protocols may request whole equal-state runs without
+    /// changing the baseline's job shape. Object-granular protocols
+    /// (batch/lazy) are untouched: their block size *is* the object size,
+    /// so a whole-object request is a single block either way.
     pub fn request(&mut self, obj: &SharedObject, offset: u64, len: u64) {
         if len == 0 {
             return;
         }
+        if !self.coalescing {
+            let block_size = obj.block_size();
+            let end = offset + len;
+            let mut lo = offset;
+            while lo < end {
+                let block_end = (lo / block_size + 1) * block_size;
+                let hi = block_end.min(end);
+                self.push_range(obj, lo, hi - lo);
+                lo = hi;
+            }
+            return;
+        }
+        self.push_range(obj, offset, len);
+    }
+
+    fn push_range(&mut self, obj: &SharedObject, offset: u64, len: u64) {
         self.ranges.push(PlannedRange {
             addr: obj.addr(),
             dev: obj.device(),
@@ -133,7 +156,7 @@ impl TransferPlan {
 
     /// Requests exactly block `idx` of `obj`.
     pub fn request_block(&mut self, obj: &SharedObject, idx: usize) {
-        let block = *obj.block(idx);
+        let block = obj.block(idx);
         self.request(obj, block.offset, block.len);
     }
 

@@ -51,7 +51,7 @@ pub use engine::Engine;
 pub use error::{SimError, SimResult};
 pub use kernel::{Args, Kernel, KernelArg, KernelProfile, LaunchDims};
 pub use platform::{
-    CopyMode, CpuSpec, DeviceRef, FsRef, LedgerRef, Platform, PlatformBuilder, TransfersRef,
+    CopyMode, CpuSpec, DeviceRef, FsRef, Platform, PlatformBuilder, TransfersRef,
     DEFAULT_DEVICE_BASE,
 };
 pub use stats::{Category, Direction, TimeLedger, TransferLedger};

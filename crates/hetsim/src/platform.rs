@@ -68,6 +68,15 @@ impl CpuSpec {
         let m = bytes.max(0.0) / self.touch_bw.as_bps();
         Nanos::from_secs_f64(c.max(m))
     }
+
+    /// [`Self::compute_time`] specialised to pure memory traffic. For
+    /// non-negative `bytes` the roofline's compute leg is exactly `0.0` and
+    /// `0.0f64.max(m) == m`, so this is bit-identical to
+    /// `compute_time(0.0, bytes)` while skipping a division on the
+    /// element-wise access hot path.
+    pub fn touch_time(&self, bytes: f64) -> Nanos {
+        Nanos::from_secs_f64(bytes.max(0.0) / self.touch_bw.as_bps())
+    }
 }
 
 /// Whether a platform data transfer blocks the host.
@@ -119,17 +128,6 @@ impl DerefMut for DeviceRef<'_> {
     }
 }
 
-/// Guard giving read access to the execution-time ledger.
-#[derive(Debug)]
-pub struct LedgerRef<'a>(MutexGuard<'a, TimeLedger>);
-
-impl Deref for LedgerRef<'_> {
-    type Target = TimeLedger;
-    fn deref(&self) -> &TimeLedger {
-        &self.0
-    }
-}
-
 /// Guard giving access to the transfer ledger.
 #[derive(Debug)]
 pub struct TransfersRef<'a>(MutexGuard<'a, TransferLedger>);
@@ -170,7 +168,7 @@ pub struct Platform {
     cpu: CpuSpec,
     devices: Vec<Mutex<Device>>,
     io: Mutex<IoSubsys>,
-    ledger: Mutex<TimeLedger>,
+    ledger: crate::stats::AtomicTimeLedger,
     transfers: Mutex<TransferLedger>,
     kernels: RwLock<HashMap<String, Arc<dyn Kernel>>>,
 }
@@ -255,7 +253,7 @@ impl Platform {
     /// Advances the clock by `dur`, charging it to `cat`.
     pub fn spend(&self, cat: Category, dur: Nanos) {
         self.clock.advance(dur);
-        lock_ok(&self.ledger).charge(cat, dur);
+        self.ledger.charge(cat, dur);
     }
 
     /// Blocks the host until `t`, charging the waited time to `cat`.
@@ -266,7 +264,7 @@ impl Platform {
     pub fn wait_for(&self, t: TimePoint, cat: Category) {
         let waited = self.clock.wait_until(t);
         if !waited.is_zero() {
-            lock_ok(&self.ledger).charge(cat, waited);
+            self.ledger.charge(cat, waited);
         }
     }
 
@@ -278,7 +276,8 @@ impl Platform {
 
     /// Charges the CPU for streaming over `bytes` of memory.
     pub fn cpu_touch(&self, bytes: u64) {
-        self.cpu_compute(0.0, bytes as f64);
+        let dur = self.cpu.touch_time(bytes as f64);
+        self.spend(Category::Cpu, dur);
     }
 
     // ----- introspection ----------------------------------------------------
@@ -317,8 +316,8 @@ impl Platform {
     }
 
     /// Execution-time ledger (Figure 10 categories).
-    pub fn ledger(&self) -> LedgerRef<'_> {
-        LedgerRef(lock_ok(&self.ledger))
+    pub fn ledger(&self) -> TimeLedger {
+        self.ledger.snapshot()
     }
 
     /// Transfer ledger (Figure 8 input).
@@ -692,7 +691,7 @@ impl PlatformBuilder {
                 disk: self.disk,
                 fs: SimFs::new(),
             }),
-            ledger: Mutex::new(TimeLedger::new()),
+            ledger: crate::stats::AtomicTimeLedger::default(),
             transfers: Mutex::new(TransferLedger::new()),
             kernels: RwLock::new(HashMap::new()),
         }

@@ -93,6 +93,31 @@ pub struct TimeLedger {
     per: [Nanos; 13],
 }
 
+/// Lock-free companion of [`TimeLedger`]: per-category atomic counters, so
+/// the platform's hot `spend` path (every `cpu_touch` of an element-wise
+/// access loop charges here) is a single relaxed `fetch_add` instead of a
+/// mutex round trip. Snapshots materialize an ordinary [`TimeLedger`].
+#[derive(Debug, Default)]
+pub(crate) struct AtomicTimeLedger {
+    per: [std::sync::atomic::AtomicU64; 13],
+}
+
+impl AtomicTimeLedger {
+    /// Adds `dur` to `cat` (relaxed: counters carry no synchronization).
+    pub(crate) fn charge(&self, cat: Category, dur: Nanos) {
+        self.per[cat as usize].fetch_add(dur.as_nanos(), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Materializes the current totals.
+    pub(crate) fn snapshot(&self) -> TimeLedger {
+        let mut ledger = TimeLedger::new();
+        for (i, cell) in self.per.iter().enumerate() {
+            ledger.per[i] = Nanos::from_nanos(cell.load(std::sync::atomic::Ordering::Relaxed));
+        }
+        ledger
+    }
+}
+
 impl TimeLedger {
     /// Creates an empty ledger.
     pub fn new() -> Self {

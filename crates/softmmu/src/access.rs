@@ -7,6 +7,7 @@
 
 use crate::addr::VAddr;
 use crate::fault::MmuResult;
+use crate::prot::AccessKind;
 use crate::space::AddressSpace;
 
 /// A plain-old-data scalar that can cross the softmmu boundary.
@@ -44,20 +45,33 @@ impl_scalar!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
 impl AddressSpace {
     /// Checked typed load at `addr`.
     ///
+    /// On a TLB hit the load is a single probe + frame copy; misses,
+    /// page-straddling accesses and protection denials fall back to the
+    /// checked slow path (which reports faults and refills the TLB).
+    ///
     /// # Errors
     /// Propagates protection faults and unmapped-page errors.
     pub fn load<T: Scalar>(&mut self, addr: VAddr) -> MmuResult<T> {
+        if let Some(pte) = self.fast_translate(addr, T::SIZE, AccessKind::Read) {
+            let off = addr.page_offset() as usize;
+            return Ok(T::load_le(&self.frame_bytes(pte)[off..off + T::SIZE]));
+        }
         let mut buf = [0u8; 8];
         let buf = &mut buf[..T::SIZE];
         self.read_bytes(addr, buf)?;
         Ok(T::load_le(buf))
     }
 
-    /// Checked typed store at `addr`.
+    /// Checked typed store at `addr` (TLB fast path like [`Self::load`]).
     ///
     /// # Errors
     /// Propagates protection faults and unmapped-page errors.
     pub fn store<T: Scalar>(&mut self, addr: VAddr, value: T) -> MmuResult<()> {
+        if let Some(pte) = self.fast_translate(addr, T::SIZE, AccessKind::Write) {
+            let off = addr.page_offset() as usize;
+            value.store_le(&mut self.frame_bytes_mut(pte)[off..off + T::SIZE]);
+            return Ok(());
+        }
         let mut buf = [0u8; 8];
         let buf = &mut buf[..T::SIZE];
         value.store_le(buf);

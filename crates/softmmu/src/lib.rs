@@ -15,7 +15,20 @@
 //!   the fault (protocol transition + permission change) and retries, exactly
 //!   like the paper's signal handler,
 //! * raw ("kernel-mode") access paths the runtime uses to stage DMA without
-//!   tripping its own protection.
+//!   tripping its own protection,
+//! * a direct-mapped software **TLB** caching page → (frame, protection)
+//!   translations, so hot access paths skip the 4-level radix walk.
+//!
+//! ## TLB generation invariant
+//!
+//! Every page-table mutation (`map_fixed`, `map_anywhere`, `unmap_region`,
+//! `protect`) bumps an internal generation counter; TLB entries are stamped
+//! at fill time and only hit while their stamp matches. A stale entry after
+//! an `mprotect` downgrade therefore never lets an access slip through: the
+//! probe misses, the radix walk observes the new permissions, and the access
+//! faults exactly as it would uncached. `AddressSpace::set_tlb_enabled(false)`
+//! turns the cache off entirely (the GMAC ablation mode); behaviour is
+//! bit-identical either way, only wall-clock time differs.
 //!
 //! ```
 //! use softmmu::{AddressSpace, Protection, VAddr, MmuError};

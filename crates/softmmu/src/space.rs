@@ -1,11 +1,12 @@
 //! The simulated host address space: region bookkeeping (`mmap`-like),
 //! per-page protection (`mprotect`-like) and checked access paths.
 
-use crate::addr::{pages_covering, VAddr, PAGE_SIZE, VADDR_LIMIT};
+use crate::addr::{pages_covering, VAddr, VPage, PAGE_SIZE, VADDR_LIMIT};
 use crate::fault::{Fault, MmuError, MmuResult};
 use crate::frame::FrameArena;
 use crate::prot::{AccessKind, Protection};
 use crate::table::{PageTable, Pte};
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -46,7 +47,94 @@ impl Region {
 /// from the device windows used by the unified-address trick.
 const MMAP_BASE: u64 = 0x7000_0000_0000;
 
-/// The software MMU: page table + frames + region registry.
+/// Number of entries in the software TLB (direct-mapped, power of two).
+const TLB_ENTRIES: usize = 64;
+
+/// One cached translation: a page's PTE plus the generation it was filled
+/// at. An entry whose stamp trails [`Tlb::generation`] is stale and never
+/// hits, so a single counter bump invalidates the whole TLB in O(1).
+#[derive(Debug, Clone, Copy)]
+struct TlbEntry {
+    page: VPage,
+    pte: Pte,
+    stamp: u64,
+}
+
+/// A direct-mapped software TLB over the radix page table.
+///
+/// # Generation-counter invariant
+///
+/// Every mutation of the page table — `map_fixed`, `unmap_region`,
+/// `protect` — MUST bump [`Tlb::generation`] before returning. A probe
+/// compares the entry's fill stamp against the current generation, so any
+/// entry cached before the mutation stops hitting immediately: a stale
+/// translation after an `mprotect` downgrade still walks the table and
+/// faults exactly like the uncached path. Entries are filled through
+/// [`Cell`]s so read-only ("kernel-mode") paths can warm the cache; the
+/// address space is therefore `Send` but not `Sync`, which is fine — it
+/// always lives behind its device shard's mutex.
+#[derive(Debug)]
+struct Tlb {
+    entries: [Cell<Option<TlbEntry>>; TLB_ENTRIES],
+    /// Bumped by every page-table mutation (see invariant above).
+    generation: u64,
+    enabled: bool,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl Tlb {
+    fn new() -> Self {
+        Tlb {
+            entries: std::array::from_fn(|_| Cell::new(None)),
+            generation: 0,
+            enabled: true,
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
+    }
+
+    #[inline]
+    fn slot(page: VPage) -> usize {
+        page.0 as usize & (TLB_ENTRIES - 1)
+    }
+
+    /// Hit-only probe: no walk, no fill, no counting (callers count a hit
+    /// only when the translation is actually used, so a protection-denied
+    /// fast-path probe followed by the slow path's re-probe is not counted
+    /// twice).
+    #[inline]
+    fn probe_uncounted(&self, page: VPage) -> Option<Pte> {
+        if !self.enabled {
+            return None;
+        }
+        let entry = self.entries[Self::slot(page)].get()?;
+        (entry.page == page && entry.stamp == self.generation).then_some(entry.pte)
+    }
+
+    #[inline]
+    fn count_hit(&self) {
+        self.hits.set(self.hits.get() + 1);
+    }
+
+    #[inline]
+    fn fill(&self, page: VPage, pte: Pte) {
+        if self.enabled {
+            self.entries[Self::slot(page)].set(Some(TlbEntry {
+                page,
+                pte,
+                stamp: self.generation,
+            }));
+        }
+    }
+
+    /// O(1) whole-TLB invalidation (the generation bump).
+    fn invalidate(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+    }
+}
+
+/// The software MMU: page table + frames + region registry + TLB.
 #[derive(Debug)]
 pub struct AddressSpace {
     table: PageTable,
@@ -55,6 +143,7 @@ pub struct AddressSpace {
     next_id: u64,
     mmap_cursor: u64,
     faults_observed: u64,
+    tlb: Tlb,
 }
 
 impl Default for AddressSpace {
@@ -64,7 +153,7 @@ impl Default for AddressSpace {
 }
 
 impl AddressSpace {
-    /// Creates an empty address space.
+    /// Creates an empty address space (TLB enabled).
     pub fn new() -> Self {
         AddressSpace {
             table: PageTable::new(),
@@ -73,7 +162,88 @@ impl AddressSpace {
             next_id: 1,
             mmap_cursor: MMAP_BASE,
             faults_observed: 0,
+            tlb: Tlb::new(),
         }
+    }
+
+    // ----- TLB ---------------------------------------------------------------
+
+    /// Enables or disables the software TLB (the ablation toggle). Disabling
+    /// also drops all cached translations.
+    pub fn set_tlb_enabled(&mut self, on: bool) {
+        self.tlb.enabled = on;
+        self.tlb.invalidate();
+    }
+
+    /// Whether the TLB is enabled.
+    pub fn tlb_enabled(&self) -> bool {
+        self.tlb.enabled
+    }
+
+    /// Translations served from the TLB without walking the radix table.
+    pub fn tlb_hits(&self) -> u64 {
+        self.tlb.hits.get()
+    }
+
+    /// Translations that had to walk the radix table (unmapped pages count
+    /// as misses too; with the TLB disabled neither counter moves).
+    pub fn tlb_misses(&self) -> u64 {
+        self.tlb.misses.get()
+    }
+
+    /// Current TLB generation (bumped by every `map`/`protect`/`unmap`; test
+    /// hook for the invalidation invariant).
+    pub fn tlb_generation(&self) -> u64 {
+        self.tlb.generation
+    }
+
+    /// Cached page translation: TLB probe first, radix walk + fill on a
+    /// miss. Every checked and raw access path funnels through here, so the
+    /// table is walked at most once per page per generation.
+    #[inline]
+    fn lookup_pte(&self, page: VPage) -> Option<Pte> {
+        if let Some(pte) = self.tlb.probe_uncounted(page) {
+            self.tlb.count_hit();
+            return Some(pte);
+        }
+        if self.tlb.enabled {
+            self.tlb.misses.set(self.tlb.misses.get() + 1);
+        }
+        let pte = *self.table.lookup(page)?;
+        self.tlb.fill(page, pte);
+        Some(pte)
+    }
+
+    /// TLB-hit-only fast translation for an access fully contained in one
+    /// page: returns the PTE when a *current* cached entry permits `kind`.
+    /// Misses, page-straddling accesses and protection denials all return
+    /// `None` and must take the slow (checked, fault-reporting) path.
+    #[inline]
+    pub(crate) fn fast_translate(&self, addr: VAddr, len: usize, kind: AccessKind) -> Option<Pte> {
+        if len as u64 > PAGE_SIZE - addr.page_offset() {
+            return None;
+        }
+        let pte = self.tlb.probe_uncounted(addr.page())?;
+        if pte.prot.allows(kind) {
+            // Only a *used* translation counts: a protection-denied probe
+            // falls to the slow path, which does its own (single) counting.
+            self.tlb.count_hit();
+            Some(pte)
+        } else {
+            None
+        }
+    }
+
+    /// Frame bytes for the scalar fast path (crate-internal).
+    #[inline]
+    pub(crate) fn frame_bytes(&self, pte: Pte) -> &[u8] {
+        self.frames.bytes(pte.frame)
+    }
+
+    /// Mutable frame bytes for the scalar fast path (crate-internal).
+    #[inline]
+    pub(crate) fn frame_bytes_mut(&mut self, pte: Pte) -> &mut [u8] {
+        self.frames.bytes_mut(pte.frame)
     }
 
     // ----- mapping -----------------------------------------------------------
@@ -119,6 +289,8 @@ impl AddressSpace {
                 len,
             },
         );
+        // TLB invariant: any page-table mutation bumps the generation.
+        self.tlb.invalidate();
         Ok(id)
     }
 
@@ -168,6 +340,10 @@ impl AddressSpace {
             let pte = self.table.unmap(page).expect("region page not mapped");
             self.frames.free(pte.frame);
         }
+        // TLB invariant: cached translations into the region must die now —
+        // the frames just returned to the arena may be handed to a new
+        // mapping immediately.
+        self.tlb.invalidate();
         Ok(())
     }
 
@@ -189,6 +365,10 @@ impl AddressSpace {
         for page in pages_covering(addr, len) {
             self.table.protect(page, prot);
         }
+        // TLB invariant: a stale cached protection after `mprotect` must
+        // never hit — the generation bump guarantees the next access walks
+        // the table and observes (or faults on) the new permissions.
+        self.tlb.invalidate();
         Ok(())
     }
 
@@ -241,8 +421,7 @@ impl AddressSpace {
         }
         for page in pages_covering(addr, len) {
             let pte = self
-                .table
-                .lookup(page)
+                .lookup_pte(page)
                 .ok_or(MmuError::Unmapped(page.base()))?;
             if !pte.prot.allows(kind) {
                 self.faults_observed += 1;
@@ -287,7 +466,7 @@ impl AddressSpace {
             let page = cur.page();
             let off = cur.page_offset() as usize;
             let n = ((PAGE_SIZE - cur.page_offset()).min(remaining)) as usize;
-            let pte = *self.table.lookup(page).expect("checked page vanished");
+            let pte = self.lookup_pte(page).expect("checked page vanished");
             self.frames.bytes_mut(pte.frame)[off..off + n].fill(value);
             cur = cur + n as u64;
             remaining -= n as u64;
@@ -302,9 +481,6 @@ impl AddressSpace {
     /// [`MmuError::Unmapped`] for holes.
     pub fn read_raw(&self, addr: VAddr, out: &mut [u8]) -> MmuResult<()> {
         self.require_mapped(addr, out.len() as u64)?;
-        let mut this = self;
-        let _ = &mut this;
-        // copy_out needs &self only; reuse the same loop.
         self.copy_out_ref(addr, out)
     }
 
@@ -318,19 +494,43 @@ impl AddressSpace {
         self.copy_in(addr, src)
     }
 
+    /// Raw ("kernel-mode") read appending exactly `len` bytes to `out`'s
+    /// spare capacity — no zero-fill pass over the destination, unlike
+    /// reading into a pre-zeroed buffer (the multi-MB `read_resolved` path
+    /// would otherwise touch every byte twice).
+    ///
+    /// # Errors
+    /// [`MmuError::Unmapped`] for holes; nothing is appended on failure.
+    pub fn read_raw_into(&self, addr: VAddr, len: u64, out: &mut Vec<u8>) -> MmuResult<()> {
+        self.require_mapped(addr, len)?;
+        out.reserve(len as usize);
+        let mut cur = addr;
+        let mut remaining = len as usize;
+        while remaining > 0 {
+            let page = cur.page();
+            let off = cur.page_offset() as usize;
+            let n = (PAGE_SIZE as usize - off).min(remaining);
+            let pte = self.lookup_pte(page).expect("mapped page vanished");
+            out.extend_from_slice(&self.frames.bytes(pte.frame)[off..off + n]);
+            cur = cur + n as u64;
+            remaining -= n;
+        }
+        Ok(())
+    }
+
     /// Convenience: raw read into a fresh buffer.
     ///
     /// # Errors
     /// [`MmuError::Unmapped`] for holes.
     pub fn gather(&self, addr: VAddr, len: u64) -> MmuResult<Vec<u8>> {
-        let mut buf = vec![0u8; len as usize];
-        self.read_raw(addr, &mut buf)?;
+        let mut buf = Vec::with_capacity(len as usize);
+        self.read_raw_into(addr, len, &mut buf)?;
         Ok(buf)
     }
 
     fn require_mapped(&self, addr: VAddr, len: u64) -> MmuResult<()> {
         for page in pages_covering(addr, len) {
-            if self.table.lookup(page).is_none() {
+            if self.lookup_pte(page).is_none() {
                 return Err(MmuError::Unmapped(page.base()));
             }
         }
@@ -359,8 +559,7 @@ impl AddressSpace {
             let off = cur.page_offset() as usize;
             let n = (PAGE_SIZE as usize - off).min(out.len() - done);
             let pte = self
-                .table
-                .lookup(page)
+                .lookup_pte(page)
                 .ok_or(MmuError::Unmapped(page.base()))?;
             out[done..done + n].copy_from_slice(&self.frames.bytes(pte.frame)[off..off + n]);
             cur = cur + n as u64;
@@ -376,9 +575,8 @@ impl AddressSpace {
             let page = cur.page();
             let off = cur.page_offset() as usize;
             let n = (PAGE_SIZE as usize - off).min(src.len() - done);
-            let pte = *self
-                .table
-                .lookup(page)
+            let pte = self
+                .lookup_pte(page)
                 .ok_or(MmuError::Unmapped(page.base()))?;
             self.frames.bytes_mut(pte.frame)[off..off + n].copy_from_slice(&src[done..done + n]);
             cur = cur + n as u64;
@@ -605,5 +803,95 @@ mod tests {
     fn zero_length_check_is_ok() {
         let mut vm = AddressSpace::new();
         assert!(vm.check(VAddr(0x123), 0, AccessKind::Write).is_ok());
+    }
+
+    #[test]
+    fn tlb_hits_after_first_walk() {
+        let mut vm = AddressSpace::new();
+        let a = VAddr(0x2_0000_0000);
+        vm.map_fixed(a, PAGE_SIZE, RW).unwrap();
+        assert!(vm.tlb_enabled());
+        vm.check(a, 4, AccessKind::Read).unwrap(); // miss + fill
+        let (h0, m0) = (vm.tlb_hits(), vm.tlb_misses());
+        assert_eq!(m0, 1);
+        vm.check(a, 4, AccessKind::Read).unwrap(); // hit
+        vm.check(a + 8, 4, AccessKind::Write).unwrap(); // same page, hit
+        assert_eq!(vm.tlb_hits(), h0 + 2);
+        assert_eq!(vm.tlb_misses(), m0);
+    }
+
+    #[test]
+    fn tlb_stale_entry_after_protect_still_faults() {
+        // The generation-counter invariant: a cached ReadWrite translation
+        // must not let a store slip past a later mprotect downgrade.
+        let mut vm = AddressSpace::new();
+        let a = VAddr(0x2_0000_0000);
+        vm.map_fixed(a, PAGE_SIZE, RW).unwrap();
+        vm.write_bytes(a, &[1]).unwrap(); // caches the RW translation
+        let gen_before = vm.tlb_generation();
+        vm.protect(a, PAGE_SIZE, RO).unwrap();
+        assert!(vm.tlb_generation() > gen_before, "protect bumps generation");
+        assert!(matches!(vm.write_bytes(a, &[2]), Err(MmuError::Fault(_))));
+        assert_eq!(vm.faults_observed(), 1);
+        // And a stale entry after unmap must report Unmapped, not read a
+        // recycled frame.
+        let id = vm.region_at(a).unwrap().id;
+        vm.read_bytes(a, &mut [0u8; 1]).unwrap(); // cache the RO translation
+        vm.unmap_region(id).unwrap();
+        assert!(matches!(
+            vm.read_bytes(a, &mut [0u8; 1]),
+            Err(MmuError::Unmapped(_))
+        ));
+    }
+
+    #[test]
+    fn tlb_disabled_behaves_identically_without_counters() {
+        let mut vm = AddressSpace::new();
+        vm.set_tlb_enabled(false);
+        let a = VAddr(0x2_0000_0000);
+        vm.map_fixed(a, 2 * PAGE_SIZE, RW).unwrap();
+        vm.write_bytes(a + 4090, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        let mut out = [0u8; 8];
+        vm.read_bytes(a + 4090, &mut out).unwrap();
+        assert_eq!(out, [1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(vm.tlb_hits(), 0);
+        assert_eq!(vm.tlb_misses(), 0);
+    }
+
+    #[test]
+    fn tlb_direct_mapped_conflicts_evict() {
+        // Pages 64 entries apart share a TLB slot; both still translate
+        // correctly through eviction churn.
+        let mut vm = AddressSpace::new();
+        let a = VAddr(0x2_0000_0000);
+        vm.map_fixed(a, 65 * PAGE_SIZE, RW).unwrap();
+        let conflicting = a + 64 * PAGE_SIZE; // same direct-mapped slot
+        vm.write_bytes(a, &[0xAA]).unwrap();
+        vm.write_bytes(conflicting, &[0xBB]).unwrap();
+        let mut x = [0u8; 1];
+        vm.read_bytes(a, &mut x).unwrap();
+        assert_eq!(x, [0xAA]);
+        vm.read_bytes(conflicting, &mut x).unwrap();
+        assert_eq!(x, [0xBB]);
+    }
+
+    #[test]
+    fn read_raw_into_appends_without_zero_fill() {
+        let mut vm = AddressSpace::new();
+        let a = VAddr(0x2_0000_0000);
+        vm.map_fixed(a, 2 * PAGE_SIZE, RW).unwrap();
+        vm.write_raw(a, &[7u8; 8192]).unwrap();
+        let mut out = vec![0xEEu8; 4]; // pre-existing bytes must survive
+        vm.read_raw_into(a + 100, 5000, &mut out).unwrap();
+        assert_eq!(out.len(), 5004);
+        assert_eq!(&out[..4], &[0xEE; 4]);
+        assert!(out[4..].iter().all(|&b| b == 7));
+        // Failure appends nothing.
+        let before = out.len();
+        assert!(matches!(
+            vm.read_raw_into(a + 2 * PAGE_SIZE - 4, 16, &mut out),
+            Err(MmuError::Unmapped(_))
+        ));
+        assert_eq!(out.len(), before, "no partial append on error");
     }
 }

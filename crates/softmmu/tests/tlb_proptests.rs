@@ -1,0 +1,150 @@
+//! TLB-equivalence property tests: an [`AddressSpace`] with the software
+//! TLB enabled must be observationally identical to one with it disabled
+//! under arbitrary map / protect / access / unmap sequences — same data,
+//! same errors, same fault counts. In particular a stale TLB entry after an
+//! `mprotect` downgrade must still fault (the generation-counter invariant).
+
+use proptest::prelude::*;
+use softmmu::{AddressSpace, MmuError, Protection, VAddr, PAGE_SIZE};
+
+const BASE: u64 = 0x2_0000_0000;
+const PAGES: u64 = 8;
+
+/// One step of the mirrored workload. Offsets are confined to a small
+/// 8-page window so protects, accesses and remaps collide constantly.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Map `pages` pages at page index `page` (may overlap -> error).
+    Map(u64, u64, Protection),
+    /// Unmap the region containing page `page`, if any.
+    Unmap(u64),
+    /// mprotect one page.
+    Protect(u64, Protection),
+    /// Checked write of `len` bytes at `off`.
+    Write(u64, u8, u64),
+    /// Checked read of `len` bytes at `off`.
+    Read(u64, u64),
+    /// Typed store + load roundtrip at `off`.
+    Scalar(u64, u32),
+    /// Raw (kernel-mode) read at `off`.
+    RawRead(u64, u64),
+    /// Checked fill.
+    Fill(u64, u8, u64),
+}
+
+fn prot_strategy() -> impl Strategy<Value = Protection> {
+    prop_oneof![
+        Just(Protection::None),
+        Just(Protection::ReadOnly),
+        Just(Protection::ReadWrite),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let page = 0u64..PAGES;
+    let off = 0u64..PAGES * PAGE_SIZE - 64;
+    prop_oneof![
+        (page.clone(), 1u64..4, prot_strategy()).prop_map(|(p, n, pr)| Op::Map(p, n, pr)),
+        page.clone().prop_map(Op::Unmap),
+        (page, prot_strategy()).prop_map(|(p, pr)| Op::Protect(p, pr)),
+        (off.clone(), any::<u8>(), 1u64..64).prop_map(|(o, v, n)| Op::Write(o, v, n)),
+        (off.clone(), 1u64..64).prop_map(|(o, n)| Op::Read(o, n)),
+        (off.clone(), any::<u32>()).prop_map(|(o, v)| Op::Scalar(o, v)),
+        (off.clone(), 1u64..64).prop_map(|(o, n)| Op::RawRead(o, n)),
+        (off, any::<u8>(), 1u64..64).prop_map(|(o, v, n)| Op::Fill(o, v, n)),
+    ]
+}
+
+/// Collapses an operation result to a comparable token (error *kind* plus
+/// any bytes produced).
+fn token(res: Result<Vec<u8>, MmuError>) -> (u8, Vec<u8>) {
+    match res {
+        Ok(bytes) => (0, bytes),
+        Err(MmuError::Fault(f)) => (1, f.addr.0.to_le_bytes().to_vec()),
+        Err(MmuError::Unmapped(a)) => (2, a.0.to_le_bytes().to_vec()),
+        Err(MmuError::Overlap { addr, len }) => {
+            let mut v = addr.0.to_le_bytes().to_vec();
+            v.extend_from_slice(&len.to_le_bytes());
+            (3, v)
+        }
+        Err(_) => (4, Vec::new()),
+    }
+}
+
+fn apply(vm: &mut AddressSpace, op: &Op) -> (u8, Vec<u8>) {
+    match *op {
+        Op::Map(page, pages, prot) => token(
+            vm.map_fixed(VAddr(BASE + page * PAGE_SIZE), pages * PAGE_SIZE, prot)
+                .map(|id| id.0.to_le_bytes().to_vec()),
+        ),
+        Op::Unmap(page) => {
+            let id = vm.region_at(VAddr(BASE + page * PAGE_SIZE)).map(|r| r.id);
+            match id {
+                Some(id) => token(vm.unmap_region(id).map(|()| Vec::new())),
+                None => (9, Vec::new()),
+            }
+        }
+        Op::Protect(page, prot) => token(
+            vm.protect(VAddr(BASE + page * PAGE_SIZE), PAGE_SIZE, prot)
+                .map(|()| Vec::new()),
+        ),
+        Op::Write(off, value, len) => token(
+            vm.write_bytes(VAddr(BASE + off), &vec![value; len as usize])
+                .map(|()| Vec::new()),
+        ),
+        Op::Read(off, len) => {
+            let mut buf = vec![0u8; len as usize];
+            token(vm.read_bytes(VAddr(BASE + off), &mut buf).map(|()| buf))
+        }
+        Op::Scalar(off, value) => {
+            let stored = vm.store::<u32>(VAddr(BASE + off), value);
+            let loaded = vm.load::<u32>(VAddr(BASE + off));
+            token(stored.and(loaded).map(|v: u32| v.to_le_bytes().to_vec()))
+        }
+        Op::RawRead(off, len) => {
+            let mut buf = vec![0u8; len as usize];
+            token(vm.read_raw(VAddr(BASE + off), &mut buf).map(|()| buf))
+        }
+        Op::Fill(off, value, len) => {
+            token(vm.fill(VAddr(BASE + off), value, len).map(|()| Vec::new()))
+        }
+    }
+}
+
+proptest! {
+    /// The full observable behaviour — data, error kinds, fault counts and
+    /// region bookkeeping — matches between TLB-on and TLB-off across random
+    /// operation sequences.
+    #[test]
+    fn tlb_on_and_off_are_observationally_identical(
+        ops in proptest::collection::vec(op_strategy(), 1..150),
+    ) {
+        let mut with_tlb = AddressSpace::new();
+        let mut without_tlb = AddressSpace::new();
+        without_tlb.set_tlb_enabled(false);
+
+        for op in &ops {
+            let a = apply(&mut with_tlb, op);
+            let b = apply(&mut without_tlb, op);
+            prop_assert_eq!(a, b, "divergence on {:?}", op);
+            prop_assert_eq!(with_tlb.faults_observed(), without_tlb.faults_observed());
+            prop_assert_eq!(with_tlb.mapped_pages(), without_tlb.mapped_pages());
+            prop_assert_eq!(with_tlb.region_count(), without_tlb.region_count());
+        }
+
+        // Final full readback of every mapped page agrees byte for byte.
+        for page in 0..PAGES {
+            let addr = VAddr(BASE + page * PAGE_SIZE);
+            let a = with_tlb.protection_at(addr).is_some();
+            let b = without_tlb.protection_at(addr).is_some();
+            prop_assert_eq!(a, b);
+            if a {
+                let mut x = vec![0u8; PAGE_SIZE as usize];
+                let mut y = vec![0u8; PAGE_SIZE as usize];
+                with_tlb.read_raw(addr, &mut x).unwrap();
+                without_tlb.read_raw(addr, &mut y).unwrap();
+                prop_assert_eq!(x, y, "page {} bytes diverged", page);
+            }
+        }
+    }
+}

@@ -169,7 +169,7 @@ pub fn run_variant_with(
     match variant {
         Variant::Cuda => {
             let digest = w.run_cuda(&mut platform)?;
-            let ledger = platform.ledger().clone();
+            let ledger = platform.ledger();
             let transfers = *platform.transfers();
             Ok(RunResult {
                 name: w.name(),
@@ -188,7 +188,7 @@ pub fn run_variant_with(
             let counters = gmac.counters();
             drop(session);
             let platform = gmac.into_platform();
-            let ledger = platform.ledger().clone();
+            let ledger = platform.ledger();
             let transfers = *platform.transfers();
             Ok(RunResult {
                 name: w.name(),
