@@ -10,6 +10,7 @@
 
 pub mod contention;
 pub mod hotpath;
+pub mod overlap;
 
 use std::fmt::Write as _;
 use std::fs;

@@ -1,0 +1,57 @@
+//! The wall-clock half of the async-DMA ablation contract (the virtual-time
+//! half — byte-identical digests, ledgers and fault counts across the
+//! toggle — lives in the core crate's `async_dma` integration test).
+//!
+//! Digest equality across modes is asserted unconditionally; the overlap
+//! *ratio* assertion needs optimized code and a second core to park the
+//! worker on, so it is gated like the other wall-clock benchmarks.
+
+use gmac_bench::overlap::{best_of, run_all, write_stream, Scale};
+
+#[test]
+fn overlap_modes_produce_identical_bytes() {
+    // run_all asserts digest equality internally for every scenario.
+    let results = run_all(Scale::quick());
+    assert_eq!(results.len(), 2);
+    for r in &results {
+        assert!(r.async_on.wall_ns > 0 && r.async_off.wall_ns > 0, "timed");
+        assert_eq!(
+            r.async_off.jobs_overlapped, 0,
+            "{}: inline mode must never overlap",
+            r.name
+        );
+    }
+}
+
+#[test]
+fn write_stream_overlap_beats_serial_with_two_cores() {
+    // Wall-clock assertion: only meaningful with optimizations and a core
+    // for the worker thread — debug or single-core CI must not flake.
+    if cfg!(debug_assertions) {
+        eprintln!("skipping wall-clock overlap assertion in debug build");
+        return;
+    }
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    if cores < 2 {
+        eprintln!("skipping wall-clock overlap assertion on a single core");
+        return;
+    }
+    let scale = Scale::full();
+    // Warm-up, then best-of-3 per mode.
+    write_stream(true, Scale::quick());
+    write_stream(false, Scale::quick());
+    let on = best_of(3, || write_stream(true, scale));
+    let off = best_of(3, || write_stream(false, scale));
+    let ratio = on.wall_ns as f64 / off.wall_ns as f64;
+    assert!(
+        ratio <= 0.75,
+        "streaming wall-clock must approach max(compute, transfer): \
+         on {} ns vs off {} ns = {ratio:.3} (need <= 0.75)",
+        on.wall_ns,
+        off.wall_ns
+    );
+    assert!(
+        on.jobs_overlapped > 0,
+        "the engine actually overlapped jobs"
+    );
+}

@@ -133,6 +133,16 @@ pub struct GmacConfig {
     /// ledgers are **byte-identical** between modes (the `hotpath` bench and
     /// ablation test enforce this), mirroring [`GmacConfig::sharding`].
     pub tlb: bool,
+    /// Execute host-to-device DMA jobs on background worker threads (the
+    /// default): transfer plans are built and virtually charged under the
+    /// shard lock, but the wall-clock byte landing happens on a per-device
+    /// worker, so CPU produce genuinely overlaps transfer execution.
+    /// `false` is the ablation baseline executing every job inline over the
+    /// same plan code paths. The engine is wall-clock-only: digests, virtual
+    /// times and ledgers are **byte-identical** between modes (the `overlap`
+    /// bench and the `async_dma` ablation test enforce this), mirroring
+    /// [`GmacConfig::sharding`] and [`GmacConfig::tlb`].
+    pub async_dma: bool,
     /// Library bookkeeping costs.
     pub costs: GmacCosts,
 }
@@ -150,6 +160,7 @@ impl Default for GmacConfig {
             aal: AalLayer::Driver,
             sharding: true,
             tlb: true,
+            async_dma: true,
             costs: GmacCosts::default(),
         }
     }
@@ -232,6 +243,13 @@ impl GmacConfig {
         self.tlb = on;
         self
     }
+
+    /// Enables or disables the background DMA engine (`false` = synchronous
+    /// inline ablation mode; see [`GmacConfig::async_dma`]).
+    pub fn async_dma(mut self, on: bool) -> Self {
+        self.async_dma = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +269,7 @@ mod tests {
         assert!(c.coalescing, "transfer coalescing is the default behaviour");
         assert!(c.sharding, "per-device sharding is the default behaviour");
         assert!(c.tlb, "the access fast path is the default behaviour");
+        assert!(c.async_dma, "the background DMA engine is the default");
         assert_eq!(c.lookup, LookupKind::Tree);
         assert_eq!(c.block_size % PAGE_SIZE, 0);
     }
@@ -267,9 +286,11 @@ mod tests {
             .lookup(LookupKind::Linear)
             .aal(AalLayer::Runtime)
             .sharding(false)
-            .tlb(false);
+            .tlb(false)
+            .async_dma(false);
         assert!(!c.sharding);
         assert!(!c.tlb);
+        assert!(!c.async_dma);
         assert_eq!(c.protocol, Protocol::Lazy);
         assert_eq!(c.block_size, 64 * 1024);
         assert_eq!(c.rolling_size, Some(4));

@@ -23,11 +23,15 @@
 //! * the thread-safe [`Platform`] underneath (per-device mutexes + lock-free
 //!   clock).
 //!
-//! Lock order: registry → (one) shard → platform leaves; shard locks never
-//! nest (see [`crate::shard`] for the full invariant). Cross-device
-//! operations (`memcpy` between objects homed on different accelerators,
-//! `sync` over all devices) are multi-shard transactions acquiring shards
-//! one at a time in device-id order.
+//! Lock order: registry → (one) shard → DMA-engine queues → platform
+//! leaves; shard locks never nest (see [`crate::shard`] for the full
+//! invariant). Cross-device operations (`memcpy` between objects homed on
+//! different accelerators, `sync` over all devices) are multi-shard
+//! transactions acquiring shards one at a time in device-id order. The
+//! background [`crate::xfer::DmaEngine`] (with [`GmacConfig::async_dma`] on)
+//! sits between the shard tier and the platform leaves: shards submit and
+//! join under their own lock, while engine workers take only queue mutexes
+//! and one device mutex — never a shard.
 //!
 //! [`GmacConfig::sharding`]`(false)` restores the previous global-lock mode
 //! for ablation: every public operation additionally serialises on one
@@ -43,7 +47,8 @@ use crate::registry::Registry;
 use crate::runtime::Counters;
 use crate::sched::{SchedPolicy, Scheduler};
 use crate::session::{Session, SessionId, SessionView};
-use crate::shard::DeviceShard;
+use crate::shard::{lock_shard, DeviceShard, ShardGuard};
+use crate::xfer::DmaEngine;
 use hetsim::{
     Category, DevAddr, DeviceId, KernelArg, LaunchDims, Platform, StreamId, TimeLedger,
     TransferLedger,
@@ -159,6 +164,11 @@ pub(crate) struct Inner {
     pub(crate) config: GmacConfig,
     pub(crate) registry: RwLock<Registry>,
     pub(crate) shards: Vec<Mutex<DeviceShard>>,
+    /// Background DMA engine shared by every shard (`None` with
+    /// [`GmacConfig::async_dma`] off). Dropped after the shards in
+    /// [`Self::into_platform`] so worker threads release their platform
+    /// handles before the unwrap.
+    pub(crate) engine: Option<Arc<DmaEngine>>,
     pub(crate) control: Mutex<Control>,
     /// `Some` in global-lock ablation mode ([`GmacConfig::sharding`] off):
     /// held across every public operation, recreating the old
@@ -176,12 +186,16 @@ impl Inner {
     pub(crate) fn new(platform: Platform, config: GmacConfig) -> Self {
         let platform = Arc::new(platform);
         let device_count = platform.device_count();
+        let engine = config
+            .async_dma
+            .then(|| Arc::new(DmaEngine::new(Arc::clone(&platform))));
         let shards = (0..device_count)
             .map(|i| {
                 Mutex::new(DeviceShard::new(
                     DeviceId(i),
                     Arc::clone(&platform),
                     &config,
+                    engine.clone(),
                 ))
             })
             .collect();
@@ -190,6 +204,7 @@ impl Inner {
             platform,
             registry: RwLock::new(Registry::new()),
             shards,
+            engine,
             control: Mutex::new(Control {
                 scheduler: Scheduler::new(SchedPolicy::Fixed(DeviceId(0)), device_count),
                 cuda_initialized: false,
@@ -262,9 +277,11 @@ impl Inner {
         self.route_epoch.fetch_add(1, Ordering::Release);
     }
 
-    /// Locks the shard of `dev` (which must be a valid device id).
-    pub(crate) fn shard(&self, dev: DeviceId) -> MutexGuard<'_, DeviceShard> {
-        lock(&self.shards[dev.0])
+    /// Locks the shard of `dev` (which must be a valid device id). Goes
+    /// through [`lock_shard`] so the per-thread held count backing the DMA
+    /// worker's lock-order assertion stays accurate.
+    pub(crate) fn shard(&self, dev: DeviceId) -> ShardGuard<'_> {
+        lock_shard(&self.shards[dev.0])
     }
 
     fn ensure_cuda_init(&self) {
@@ -525,7 +542,7 @@ impl Inner {
         let _g = self.gate();
         let mut synced_any = false;
         for slot in &self.shards {
-            let mut shard = lock(slot);
+            let mut shard = lock_shard(slot);
             if shard
                 .pending
                 .as_ref()
@@ -548,7 +565,7 @@ impl Inner {
         let Some(slot) = self.shards.get(dev.0) else {
             return Err(GmacError::NothingToSync);
         };
-        let mut shard = lock(slot);
+        let mut shard = lock_shard(slot);
         match &shard.pending {
             Some(call) if call.session == view.id => shard.sync_one(),
             _ => Err(GmacError::NothingToSync),
@@ -712,7 +729,7 @@ impl Inner {
         let _g = self.gate();
         let mut total = Counters::default();
         for slot in &self.shards {
-            total.merge(&lock(slot).rt.counters());
+            total.merge(&lock_shard(slot).rt.counters());
         }
         total
     }
@@ -745,7 +762,7 @@ impl Inner {
         let _g = self.gate();
         self.shards
             .iter()
-            .map(|slot| lock(slot).dirty_block_count())
+            .map(|slot| lock_shard(slot).dirty_block_count())
             .sum()
     }
 
@@ -753,7 +770,7 @@ impl Inner {
     pub(crate) fn has_pending_call(&self, view: SessionView) -> bool {
         let _g = self.gate();
         self.shards.iter().any(|slot| {
-            lock(slot)
+            lock_shard(slot)
                 .pending
                 .as_ref()
                 .is_some_and(|c| c.session == view.id)
@@ -766,7 +783,7 @@ impl Inner {
         self.shards
             .iter()
             .enumerate()
-            .filter(|(_, slot)| lock(slot).pending.is_some())
+            .filter(|(_, slot)| lock_shard(slot).pending.is_some())
             .map(|(i, _)| DeviceId(i))
             .collect()
     }
@@ -784,9 +801,15 @@ impl Inner {
     /// Caller must own the only handle.
     pub(crate) fn into_platform(self) -> Platform {
         let Inner {
-            platform, shards, ..
+            platform,
+            shards,
+            engine,
+            ..
         } = self;
         drop(shards); // each shard's runtime holds a platform handle
+                      // Last engine handle: dropping it drains the queues and joins the
+                      // worker threads, releasing their platform handles.
+        drop(engine);
         Arc::try_unwrap(platform)
             .map_err(|_| "platform handles escaped the runtime")
             .unwrap()

@@ -5,7 +5,8 @@
 //! Available from [`crate::Gmac::report`], [`crate::Session::report`] and
 //! the deprecated `Context::report`.
 
-use crate::gmac::{lock, Inner};
+use crate::gmac::Inner;
+use crate::shard::lock_shard;
 use crate::state::BlockState;
 use hetsim::stats::fmt_bytes;
 use hetsim::Category;
@@ -57,6 +58,13 @@ pub struct Report {
     pub h2d_coalescing: f64,
     /// Blocks per job device-to-host.
     pub d2h_coalescing: f64,
+    /// Whether the background transfer engine is running (`false` = inline
+    /// ablation mode; the engine fields below are then zero).
+    pub async_dma: bool,
+    /// H2D jobs queued on the engine but not yet landed in device memory.
+    pub dma_in_flight: u64,
+    /// Deepest any per-device engine queue has been since start-up.
+    pub dma_queue_high_water: u64,
     /// Software-TLB hit rate over all shards (0 with the fast path off or
     /// no accesses).
     pub tlb_hit_rate: f64,
@@ -80,7 +88,7 @@ impl Inner {
         let mut pending_devices = Vec::new();
         let mut counters = crate::runtime::Counters::default();
         for (i, slot) in self.shards.iter().enumerate() {
-            let shard = lock(slot);
+            let shard = lock_shard(slot);
             for o in shard.mgr.iter() {
                 objects.push(ObjectReport {
                     addr: o.addr().0,
@@ -119,9 +127,13 @@ impl Inner {
                 num as f64 / den as f64
             }
         };
+        let engine_stats = self.engine.as_deref().map(crate::xfer::DmaEngine::stats);
         Report {
             protocol: self.config().protocol,
             sharded: self.config().sharding,
+            async_dma: engine_stats.is_some(),
+            dma_in_flight: engine_stats.map_or(0, |s| s.in_flight()),
+            dma_queue_high_water: engine_stats.map_or(0, |s| s.depth_high_water),
             objects,
             dirty_blocks,
             pending_devices,
@@ -208,6 +220,18 @@ impl fmt::Display for Report {
             "  dma jobs: {} H2D (x{:.2} coalesced) / {} D2H (x{:.2} coalesced)",
             self.h2d_jobs, self.h2d_coalescing, self.d2h_jobs, self.d2h_coalescing,
         )?;
+        if self.async_dma {
+            writeln!(
+                f,
+                "  engine: {} in flight / queue high-water {}   join wait {:.3} ms ({} jobs overlapped)",
+                self.dma_in_flight,
+                self.dma_queue_high_water,
+                self.counters.dma_wait_ns as f64 / 1e6,
+                self.counters.jobs_overlapped,
+            )?;
+        } else {
+            writeln!(f, "  engine: inline (async_dma off)")?;
+        }
         writeln!(
             f,
             "  fast path: tlb {}/{} hit/miss ({:.1}%)   obj memo {} hits / {} walks ({:.1}%)",
@@ -317,6 +341,34 @@ mod tests {
             r.memo_hit_rate > 0.0,
             "repeated resolutions hit the shard memo"
         );
+    }
+
+    #[test]
+    fn report_exposes_background_engine_state() {
+        // Async on (the default): the engine section is present and the
+        // queue high-water reflects the flush that just ran.
+        let g = gmac(
+            GmacConfig::default()
+                .protocol(Protocol::Rolling)
+                .block_size(4096),
+        );
+        let s = g.session();
+        let a = s.alloc(8 * 4096).unwrap();
+        s.store_slice::<u8>(a, &vec![9u8; 8 * 4096]).unwrap();
+        s.with_parts(|rt, mgr, proto| proto.release(rt, mgr, hetsim::DeviceId(0), None))
+            .unwrap();
+        let r = g.report();
+        assert!(r.async_dma);
+        assert!(r.dma_queue_high_water >= 1, "the flush queued jobs");
+        assert!(r.to_string().contains("engine:"));
+
+        // Ablation mode: no engine, inline marker instead of stats.
+        let g2 = gmac(GmacConfig::default().async_dma(false));
+        let r2 = g2.report();
+        assert!(!r2.async_dma);
+        assert_eq!(r2.dma_in_flight, 0);
+        assert_eq!(r2.counters.dma_wait_ns, 0);
+        assert!(r2.to_string().contains("inline (async_dma off)"));
     }
 
     #[test]

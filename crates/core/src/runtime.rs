@@ -13,9 +13,11 @@ use crate::config::GmacConfig;
 use crate::error::{GmacError, GmacResult};
 use crate::object::SharedObject;
 use crate::state::BlockState;
-use crate::xfer::{DmaQueue, Purpose, TransferPlan};
-use hetsim::{Category, CopyMode, Direction, Nanos, Platform, TimePoint};
+use crate::xfer::{DmaEngine, DmaQueue, Purpose, TransferPlan};
+use hetsim::{Category, CopyMode, DeviceId, Direction, Nanos, Platform, TimePoint};
 use softmmu::{AddressSpace, VAddr};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Event counters exposed for tests and the figure harness.
 ///
@@ -50,6 +52,17 @@ pub struct Counters {
     /// Software-TLB translations that walked the radix table (zero with the
     /// TLB disabled).
     pub tlb_misses: u64,
+    /// Wall-clock nanoseconds this runtime spent blocked on the background
+    /// DMA engine (joins before kernel launches, device reads, fills and
+    /// frees). Wall-clock bookkeeping only — virtual time charges the DMA
+    /// wait through the engine timelines regardless; zero with
+    /// [`crate::GmacConfig::async_dma`] off.
+    pub dma_wait_ns: u64,
+    /// Background DMA jobs that had already retired when their device was
+    /// next joined — jobs whose execution genuinely overlapped CPU progress.
+    /// Wall-clock bookkeeping only; zero with
+    /// [`crate::GmacConfig::async_dma`] off.
+    pub jobs_overlapped: u64,
 }
 
 impl Counters {
@@ -74,6 +87,8 @@ impl Counters {
             obj_memo_hits,
             tlb_hits,
             tlb_misses,
+            dma_wait_ns,
+            jobs_overlapped,
         } = *other;
         self.faults_read += faults_read;
         self.faults_write += faults_write;
@@ -86,6 +101,8 @@ impl Counters {
         self.obj_memo_hits += obj_memo_hits;
         self.tlb_hits += tlb_hits;
         self.tlb_misses += tlb_misses;
+        self.dma_wait_ns += dma_wait_ns;
+        self.jobs_overlapped += jobs_overlapped;
     }
 }
 
@@ -98,23 +115,32 @@ impl Counters {
 /// as before — the platform's interior locks make concurrent shards safe.
 #[derive(Debug)]
 pub struct Runtime {
-    pub(crate) platform: std::sync::Arc<Platform>,
+    pub(crate) platform: Arc<Platform>,
     pub(crate) vm: AddressSpace,
     pub(crate) config: GmacConfig,
     pub(crate) counters: Counters,
     pub(crate) queue: DmaQueue,
+    /// Background DMA execution engine, shared across shards. `None` in
+    /// standalone harnesses (and with [`GmacConfig::async_dma`] off): jobs
+    /// then execute inline at issue, exactly as before the engine existed.
+    pub(crate) engine: Option<Arc<DmaEngine>>,
 }
 
 impl Runtime {
     /// Creates a runtime owning a fresh platform handle (standalone
-    /// harnesses and tests).
+    /// harnesses and tests); transfers execute inline.
     pub fn new(platform: Platform, config: GmacConfig) -> Self {
-        Self::from_shared(std::sync::Arc::new(platform), config)
+        Self::from_shared(Arc::new(platform), config, None)
     }
 
     /// Creates a runtime over an already-shared platform (one per device
-    /// shard).
-    pub(crate) fn from_shared(platform: std::sync::Arc<Platform>, config: GmacConfig) -> Self {
+    /// shard), submitting host-to-device byte landings to `engine` when one
+    /// is given.
+    pub(crate) fn from_shared(
+        platform: Arc<Platform>,
+        config: GmacConfig,
+        engine: Option<Arc<DmaEngine>>,
+    ) -> Self {
         let mut vm = AddressSpace::new();
         // The ablation toggle disables every access-fast-path cache,
         // including the softmmu TLB.
@@ -125,6 +151,7 @@ impl Runtime {
             config,
             counters: Counters::default(),
             queue: DmaQueue::new(),
+            engine,
         }
     }
 
@@ -163,11 +190,17 @@ impl Runtime {
     /// Executes every job of `plan` on the simulated platform.
     ///
     /// Host-to-device jobs gather the bytes from system memory (raw access —
-    /// the runtime is "kernel mode") and issue DMA in the plan's copy mode;
-    /// asynchronous completions are remembered in the [`DmaQueue`] for the
-    /// next [`Self::join_dma`]. Device-to-host jobs are synchronous and land
-    /// the bytes in system memory. Returns the completion time of the last
-    /// job, if any ran.
+    /// the runtime is "kernel mode"; the snapshot is what pins the job
+    /// against later CPU writes) and issue DMA in the plan's copy mode.
+    /// With the background engine the virtual timeline is reserved here —
+    /// every clock and ledger charge happens at issue, keeping virtual time
+    /// byte-identical to the inline mode — while the wall-clock byte landing
+    /// is queued to the device's worker. Asynchronous completions are
+    /// remembered in the [`DmaQueue`] for the next [`Self::join_dma`].
+    /// Device-to-host jobs are synchronous and land the bytes in system
+    /// memory, after draining any queued landings for the object so they
+    /// never read a stale device range. Returns the completion time of the
+    /// last job, if any ran.
     ///
     /// # Errors
     /// Propagates platform/MMU failures.
@@ -178,7 +211,15 @@ impl Runtime {
                 Direction::HostToDevice => {
                     let bytes = self.vm.gather(job.addr + job.offset, job.len)?;
                     let dst = job.dev_addr.add(job.offset);
-                    let end = self.platform.copy_h2d(job.dev, dst, &bytes, plan.mode())?;
+                    let end = if let Some(engine) = &self.engine {
+                        let end = self
+                            .platform
+                            .reserve_h2d(job.dev, dst, job.len, plan.mode())?;
+                        engine.submit(job.dev, job.addr, dst, bytes);
+                        end
+                    } else {
+                        self.platform.copy_h2d(job.dev, dst, &bytes, plan.mode())?
+                    };
                     self.counters.blocks_flushed += job.blocks;
                     self.counters.bytes_flushed += job.len;
                     if plan.mode() == CopyMode::Async {
@@ -190,6 +231,7 @@ impl Runtime {
                     end
                 }
                 Direction::DeviceToHost => {
+                    self.join_object(job.dev, job.addr)?;
                     let src = job.dev_addr.add(job.offset);
                     let mut bytes = vec![0u8; job.len as usize];
                     let end = self
@@ -209,15 +251,50 @@ impl Runtime {
         Ok(last_end)
     }
 
-    /// Waits until all outstanding asynchronous host-to-device DMA on `dev`
-    /// has drained (the explicit join point at `adsmCall`), charging the
-    /// wait to `Copy`. A no-op when nothing is outstanding.
+    /// Joins all outstanding host-to-device DMA on `dev` — the explicit join
+    /// point at `adsmCall`. Two waits happen here:
+    ///
+    /// * **virtual**: if asynchronous jobs were issued since the last join,
+    ///   the host blocks until the device's H2D engine timeline drains,
+    ///   charging the waited virtual time to `Copy` (unchanged semantics);
+    /// * **wall-clock**: with the background engine enabled, genuinely waits
+    ///   until every queued byte landing for `dev` has committed to device
+    ///   memory, accounting the blocked time in [`Counters::dma_wait_ns`]
+    ///   and the jobs that had already retired in
+    ///   [`Counters::jobs_overlapped`].
+    ///
+    /// Since the engine refactor this is therefore a *real* join, not pure
+    /// bookkeeping: after it returns, the device holds every flushed byte.
+    /// A no-op when nothing is outstanding.
     ///
     /// # Errors
-    /// Fails for unknown devices.
-    pub fn join_dma(&mut self, dev: hetsim::DeviceId) -> GmacResult<()> {
+    /// Fails for unknown devices; surfaces worker-side platform failures.
+    pub fn join_dma(&mut self, dev: DeviceId) -> GmacResult<()> {
         if self.queue.take(dev).is_some() {
             self.platform.join_dma(dev, Direction::HostToDevice)?;
+        }
+        if let Some(engine) = &self.engine {
+            let t0 = Instant::now();
+            let overlapped = engine.wait_device(dev)?;
+            self.counters.dma_wait_ns += t0.elapsed().as_nanos() as u64;
+            self.counters.jobs_overlapped += overlapped;
+        }
+        Ok(())
+    }
+
+    /// Wall-clock join of the background engine for one object: blocks until
+    /// every queued byte landing owned by the object starting at `addr` on
+    /// `dev` has committed. Charges nothing virtual — the object's timeline
+    /// was reserved at issue. Used before device-memory reads, fills and
+    /// frees; a no-op without the engine.
+    ///
+    /// # Errors
+    /// Surfaces worker-side platform failures.
+    pub fn join_object(&mut self, dev: DeviceId, addr: VAddr) -> GmacResult<()> {
+        if let Some(engine) = &self.engine {
+            let t0 = Instant::now();
+            engine.wait_object(dev, addr)?;
+            self.counters.dma_wait_ns += t0.elapsed().as_nanos() as u64;
         }
         Ok(())
     }
@@ -283,6 +360,10 @@ impl Runtime {
         len: u64,
         value: u8,
     ) -> GmacResult<()> {
+        // A queued flush of this object must land before the fill, or the
+        // stale bytes would overwrite it (virtual time already orders the
+        // two through the engine timelines).
+        self.join_object(obj.device(), obj.addr())?;
         self.platform
             .dev_memset(obj.device(), obj.dev_addr().add(offset), value, len)?;
         Ok(())
@@ -337,6 +418,9 @@ impl Runtime {
     /// Propagates platform/MMU failures.
     pub fn peek_range(&mut self, obj: &SharedObject, offset: u64, len: u64) -> GmacResult<Vec<u8>> {
         Self::check_bounds(obj, offset, len)?;
+        // Invalid runs read device memory directly below; queued landings
+        // for this object must commit first.
+        self.join_object(obj.device(), obj.addr())?;
         let mut out = vec![0u8; len as usize];
         // Runs of equal state read as single spans: one device copy or one
         // host gather per run instead of one per block.

@@ -19,18 +19,24 @@
 //!
 //! # Lock-order invariant
 //!
-//! The sharded runtime has three lock families, acquired strictly in this
+//! The sharded runtime has four lock families, acquired strictly in this
 //! order:
 //!
 //! 1. the **registry** `RwLock` (address → home-device routing; read-mostly),
 //! 2. at most **one shard** mutex at a time (never shard → shard),
-//! 3. platform-internal leaf locks (device mutexes, clock, ledgers) below
-//!    any shard lock.
+//! 3. the **DMA engine** queue mutexes ([`crate::xfer::DmaEngine`]) — a
+//!    shard may submit to or join the engine while locked; engine workers
+//!    never take a shard lock (debug-asserted in the worker path via
+//!    `shard_locks_held`),
+//! 4. platform-internal leaf locks (device mutexes, clock, ledgers) below
+//!    any shard or engine lock.
 //!
 //! In practice the registry guard is dropped *before* the shard mutex is
 //! taken (routing returns plain values), so no gmac-level locks ever nest;
 //! multi-shard transactions stage data through host buffers between shard
-//! acquisitions instead of holding two shards at once.
+//! acquisitions instead of holding two shards at once. Every shard-mutex
+//! acquisition goes through `lock_shard`, which maintains the per-thread
+//! held count backing the worker-path assertion.
 
 use crate::config::GmacConfig;
 use crate::error::{GmacError, GmacResult};
@@ -41,9 +47,58 @@ use crate::ptr::SharedPtr;
 use crate::runtime::Runtime;
 use crate::session::{SessionId, SessionView};
 use crate::state::BlockState;
+use crate::xfer::DmaEngine;
 use hetsim::{Category, DevAddr, DeviceId, Platform, StreamId};
 use softmmu::{AccessKind, MmuError, Scalar, VAddr};
-use std::sync::Arc;
+use std::cell::Cell;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+thread_local! {
+    /// How many [`DeviceShard`] mutexes the current thread holds. Backs the
+    /// debug assertion that no shard lock is held while a DMA worker
+    /// executes a job (tier 3 of the lock order never re-enters tier 2).
+    static SHARD_LOCKS_HELD: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Shard mutexes held by the current thread (see [`SHARD_LOCKS_HELD`]).
+pub(crate) fn shard_locks_held() -> u32 {
+    SHARD_LOCKS_HELD.with(Cell::get)
+}
+
+/// Guard for a [`DeviceShard`] mutex that keeps the per-thread held count
+/// accurate. All shard acquisitions must go through [`lock_shard`] so the
+/// count — and the lock-order assertion built on it — stays trustworthy.
+#[derive(Debug)]
+pub(crate) struct ShardGuard<'a>(MutexGuard<'a, DeviceShard>);
+
+impl Deref for ShardGuard<'_> {
+    type Target = DeviceShard;
+    fn deref(&self) -> &DeviceShard {
+        &self.0
+    }
+}
+
+impl DerefMut for ShardGuard<'_> {
+    fn deref_mut(&mut self) -> &mut DeviceShard {
+        &mut self.0
+    }
+}
+
+impl Drop for ShardGuard<'_> {
+    fn drop(&mut self) {
+        SHARD_LOCKS_HELD.with(|c| c.set(c.get() - 1));
+    }
+}
+
+/// Acquires a shard mutex (poison-tolerant) and counts the hold.
+pub(crate) fn lock_shard(slot: &Mutex<DeviceShard>) -> ShardGuard<'_> {
+    let guard = slot
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    SHARD_LOCKS_HELD.with(|c| c.set(c.get() + 1));
+    ShardGuard(guard)
+}
 
 /// An outstanding accelerator call awaiting a `sync`.
 #[derive(Debug, Clone)]
@@ -106,10 +161,15 @@ pub struct DeviceShard {
 }
 
 impl DeviceShard {
-    pub(crate) fn new(dev: DeviceId, platform: Arc<Platform>, config: &GmacConfig) -> Self {
+    pub(crate) fn new(
+        dev: DeviceId,
+        platform: Arc<Platform>,
+        config: &GmacConfig,
+        engine: Option<Arc<DmaEngine>>,
+    ) -> Self {
         DeviceShard {
             dev,
-            rt: Runtime::from_shared(platform, config.clone()),
+            rt: Runtime::from_shared(platform, config.clone(), engine),
             mgr: Manager::new(config.lookup),
             protocol: make(config.protocol),
             pending: None,
@@ -210,6 +270,12 @@ impl DeviceShard {
                 });
             }
         }
+        // Wall-clock pin: queued engine jobs may still target this object's
+        // device range. Let them land before the range can be unmapped and
+        // handed back to the allocator — a realloc must never race a stale
+        // byte landing. (The staging buffers are engine-owned, so there is
+        // no use-after-free either way; this gates the device range.)
+        self.rt.join_object(self.dev, addr)?;
         let free_base = self.rt.config.costs.free_base;
         self.rt.charge(Category::Free, free_base);
         let obj = self.mgr.remove(addr).expect("object found above");

@@ -1,0 +1,373 @@
+//! The background DMA execution engine: per-device worker threads that land
+//! queued host-to-device bytes in device memory *after* the issuing shard
+//! lock has been released.
+//!
+//! The split mirrors the paper's §5.3 rolling-update premise — dirty blocks
+//! stream to the accelerator *while* the CPU keeps producing. Virtual time
+//! already modelled that overlap (DMA engine timelines are reserved at
+//! issue); this engine makes it real in wall-clock terms too:
+//!
+//! ```text
+//!  protocol release/evict (shard lock held)
+//!      │ plan + gather bytes + Platform::reserve_h2d  — all virtual charges
+//!      ▼
+//!  DmaEngine::submit ──► per-device FIFO queue (engine mutex, leaf tier)
+//!      │                      │ worker thread pops, holding NO shard lock
+//!      ▼                      ▼
+//!  shard lock drops     Platform::commit_h2d  — device mutex only
+//!                            │
+//!                            ▼
+//!                       completion table (tickets + per-object counts)
+//! ```
+//!
+//! Because [`hetsim::Platform::reserve_h2d`] performs every clock and ledger
+//! charge at submission, a run with the engine enabled is byte-identical in
+//! digests, virtual times and fault counts to the inline ablation baseline
+//! ([`crate::GmacConfig::async_dma`] = `false`); only wall-clock overlap
+//! differs.
+//!
+//! **Lock tier:** the engine's queue mutexes sit *below* the shard mutexes
+//! and *above* nothing — workers take only a queue mutex and then platform
+//! leaf locks (one device mutex). Submitting or joining under a shard lock
+//! is therefore safe, and a worker can never deadlock against a shard.
+
+use crate::error::GmacResult;
+use hetsim::{DevAddr, DeviceId, Platform, SimError};
+use softmmu::VAddr;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One queued byte landing: the staging buffer gathered under the shard lock
+/// plus its destination. The engine owns the staging bytes outright, so a
+/// concurrent `free`/`realloc` of the source object can never invalidate a
+/// job mid-flight — joins only gate the *device* range.
+#[derive(Debug)]
+struct WorkItem {
+    /// Start address of the owning shared object (completion-table key).
+    obj: VAddr,
+    /// Destination in device memory.
+    dst: DevAddr,
+    /// Snapshot of the host bytes at issue time.
+    bytes: Vec<u8>,
+}
+
+/// Mutable queue state of one device, behind the engine-tier mutex.
+#[derive(Debug, Default)]
+struct DeviceQueue {
+    jobs: VecDeque<WorkItem>,
+    /// Tickets issued (monotonic job count).
+    submitted: u64,
+    /// Tickets retired, in FIFO order (single worker per device).
+    completed: u64,
+    /// `completed` as of the last device-wide join; jobs retired since then
+    /// finished while the CPU made progress — the structural overlap count.
+    overlap_mark: u64,
+    /// Jobs currently queued or executing, per owning object.
+    inflight_per_object: HashMap<VAddr, u64>,
+    /// Deepest the queue has ever been (jobs waiting + executing).
+    depth_high_water: u64,
+    /// First failure from a worker, surfaced at the next join.
+    error: Option<SimError>,
+    shutdown: bool,
+}
+
+#[derive(Debug)]
+struct DeviceState {
+    queue: Mutex<DeviceQueue>,
+    cv: Condvar,
+}
+
+/// Engine statistics for [`crate::Report`] (wall-clock bookkeeping only).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Jobs handed to the engine since creation.
+    pub submitted: u64,
+    /// Jobs whose bytes have landed in device memory.
+    pub completed: u64,
+    /// Deepest any per-device queue has been.
+    pub depth_high_water: u64,
+}
+
+impl EngineStats {
+    /// Jobs queued or executing right now.
+    pub fn in_flight(&self) -> u64 {
+        self.submitted - self.completed
+    }
+}
+
+/// Per-device background workers draining queued DMA byte landings.
+///
+/// One engine is shared by every shard of a [`crate::Gmac`] runtime; each
+/// device has its own FIFO queue and worker thread, so landings for
+/// different accelerators proceed concurrently and landings for one device
+/// retire in submission order (a later flush of the same range can never be
+/// overtaken by an earlier one).
+#[derive(Debug)]
+pub struct DmaEngine {
+    devices: Arc<Vec<DeviceState>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl DmaEngine {
+    /// Spawns one worker per platform device.
+    pub fn new(platform: Arc<Platform>) -> Self {
+        let devices: Arc<Vec<DeviceState>> = Arc::new(
+            (0..platform.device_count())
+                .map(|_| DeviceState {
+                    queue: Mutex::new(DeviceQueue::default()),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+        );
+        let workers = (0..platform.device_count())
+            .map(|i| {
+                let devices = Arc::clone(&devices);
+                let platform = Arc::clone(&platform);
+                std::thread::Builder::new()
+                    .name(format!("gmac-dma-{i}"))
+                    .spawn(move || worker_loop(&platform, DeviceId(i), &devices[i]))
+                    .expect("spawn DMA worker")
+            })
+            .collect();
+        DmaEngine { devices, workers }
+    }
+
+    fn state(&self, dev: DeviceId) -> &DeviceState {
+        &self.devices[dev.0]
+    }
+
+    /// Queues a byte landing for `dev`. The caller has already reserved the
+    /// virtual DMA timeline ([`hetsim::Platform::reserve_h2d`]) and owns no
+    /// claim on `bytes` afterwards.
+    pub fn submit(&self, dev: DeviceId, obj: VAddr, dst: DevAddr, bytes: Vec<u8>) {
+        let state = self.state(dev);
+        let mut q = lock_ok(&state.queue);
+        q.jobs.push_back(WorkItem { obj, dst, bytes });
+        q.submitted += 1;
+        *q.inflight_per_object.entry(obj).or_insert(0) += 1;
+        let depth = q.submitted - q.completed;
+        q.depth_high_water = q.depth_high_water.max(depth);
+        state.cv.notify_all();
+    }
+
+    /// Blocks (wall-clock) until every job submitted to `dev` has landed.
+    /// Returns the number of jobs that had already retired since the last
+    /// device join — jobs whose execution overlapped CPU progress.
+    ///
+    /// # Errors
+    /// Surfaces the first worker-side platform failure, if any.
+    pub fn wait_device(&self, dev: DeviceId) -> GmacResult<u64> {
+        let state = self.state(dev);
+        let mut q = lock_ok(&state.queue);
+        let overlapped = q.completed.saturating_sub(q.overlap_mark);
+        while q.completed < q.submitted {
+            q = state
+                .cv
+                .wait(q)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        q.overlap_mark = q.completed;
+        if let Some(e) = q.error.take() {
+            return Err(e.into());
+        }
+        Ok(overlapped)
+    }
+
+    /// Blocks (wall-clock) until every job owned by the object starting at
+    /// `obj` on `dev` has landed. Used before device-memory reads, fills and
+    /// frees of that object; unrelated objects keep streaming.
+    ///
+    /// # Errors
+    /// Surfaces the first worker-side platform failure, if any.
+    pub fn wait_object(&self, dev: DeviceId, obj: VAddr) -> GmacResult<()> {
+        let state = self.state(dev);
+        let mut q = lock_ok(&state.queue);
+        while q.inflight_per_object.contains_key(&obj) {
+            q = state
+                .cv
+                .wait(q)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if let Some(e) = q.error.take() {
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
+    /// True when `dev` has jobs queued or executing.
+    pub fn is_busy(&self, dev: DeviceId) -> bool {
+        let q = lock_ok(&self.state(dev).queue);
+        q.completed < q.submitted
+    }
+
+    /// Aggregate statistics across all devices.
+    pub fn stats(&self) -> EngineStats {
+        let mut s = EngineStats::default();
+        for state in self.devices.iter() {
+            let q = lock_ok(&state.queue);
+            s.submitted += q.submitted;
+            s.completed += q.completed;
+            s.depth_high_water = s.depth_high_water.max(q.depth_high_water);
+        }
+        s
+    }
+}
+
+impl Drop for DmaEngine {
+    /// Shuts down cleanly: workers drain whatever is queued, then exit.
+    /// Dropping a `Gmac` with a non-empty queue therefore never deadlocks
+    /// and never abandons a staged byte landing.
+    fn drop(&mut self) {
+        for state in self.devices.iter() {
+            lock_ok(&state.queue).shutdown = true;
+            state.cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(platform: &Platform, dev: DeviceId, state: &DeviceState) {
+    loop {
+        let item = {
+            let mut q = lock_ok(&state.queue);
+            loop {
+                if let Some(item) = q.jobs.pop_front() {
+                    break item;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = state
+                    .cv
+                    .wait(q)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        // The whole point of the engine: a DmaJob executes with no shard
+        // mutex held. Structural on a dedicated worker thread; assert it so
+        // a refactor routing execution through a borrowed caller thread
+        // trips immediately.
+        debug_assert_eq!(
+            crate::shard::shard_locks_held(),
+            0,
+            "DMA worker must not hold a shard lock while executing a job"
+        );
+        let result = platform.commit_h2d(dev, item.dst, &item.bytes);
+        let mut q = lock_ok(&state.queue);
+        q.completed += 1;
+        if let Some(n) = q.inflight_per_object.get_mut(&item.obj) {
+            *n -= 1;
+            if *n == 0 {
+                q.inflight_per_object.remove(&item.obj);
+            }
+        }
+        if let Err(e) = result {
+            q.error.get_or_insert(e);
+        }
+        state.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::CopyMode;
+
+    const DEV: DeviceId = DeviceId(0);
+
+    fn platform() -> Arc<Platform> {
+        Arc::new(Platform::desktop_g280())
+    }
+
+    #[test]
+    fn submitted_bytes_land_on_the_device() {
+        let p = platform();
+        let a = p.dev_alloc(DEV, 8192).unwrap();
+        let engine = DmaEngine::new(Arc::clone(&p));
+        p.reserve_h2d(DEV, a, 8192, CopyMode::Sync).unwrap();
+        engine.submit(DEV, VAddr(0x1000), a, vec![5u8; 8192]);
+        engine.wait_device(DEV).unwrap();
+        let dev = p.device(DEV).unwrap();
+        assert_eq!(dev.mem().slice(a, 8192).unwrap(), &[5u8; 8192][..]);
+        let s = engine.stats();
+        assert_eq!((s.submitted, s.completed, s.in_flight()), (1, 1, 0));
+        assert!(s.depth_high_water >= 1);
+    }
+
+    #[test]
+    fn fifo_order_within_a_device() {
+        // A later landing of the same range must win.
+        let p = platform();
+        let a = p.dev_alloc(DEV, 4096).unwrap();
+        let engine = DmaEngine::new(Arc::clone(&p));
+        for v in 1..=32u8 {
+            engine.submit(DEV, VAddr(0x1000), a, vec![v; 4096]);
+        }
+        engine.wait_device(DEV).unwrap();
+        let dev = p.device(DEV).unwrap();
+        assert_eq!(dev.mem().slice(a, 4096).unwrap(), &[32u8; 4096][..]);
+    }
+
+    #[test]
+    fn wait_object_gates_only_that_object() {
+        let p = platform();
+        let a = p.dev_alloc(DEV, 4096).unwrap();
+        let engine = DmaEngine::new(Arc::clone(&p));
+        engine.submit(DEV, VAddr(0x1000), a, vec![1u8; 4096]);
+        engine.wait_object(DEV, VAddr(0x1000)).unwrap();
+        // Never-submitted objects are trivially complete.
+        engine.wait_object(DEV, VAddr(0x9000)).unwrap();
+        engine.wait_device(DEV).unwrap();
+    }
+
+    #[test]
+    fn overlap_counts_jobs_retired_between_joins() {
+        let p = platform();
+        let a = p.dev_alloc(DEV, 4096).unwrap();
+        let engine = DmaEngine::new(Arc::clone(&p));
+        engine.submit(DEV, VAddr(0x1000), a, vec![1u8; 4096]);
+        // Give the worker a chance to retire the job before the join; the
+        // count is `>= 0` either way, and a second join with no new work
+        // reports zero.
+        engine.wait_device(DEV).unwrap();
+        assert_eq!(engine.wait_device(DEV).unwrap(), 0);
+        assert!(!engine.is_busy(DEV));
+    }
+
+    #[test]
+    fn drop_with_queued_jobs_drains_and_joins() {
+        let p = platform();
+        let a = p.dev_alloc(DEV, 4096).unwrap();
+        let engine = DmaEngine::new(Arc::clone(&p));
+        for v in 0..16u8 {
+            engine.submit(DEV, VAddr(0x1000), a, vec![v; 4096]);
+        }
+        drop(engine); // must not deadlock; drains the queue
+        let dev = p.device(DEV).unwrap();
+        assert_eq!(dev.mem().slice(a, 4096).unwrap(), &[15u8; 4096][..]);
+    }
+
+    #[test]
+    fn worker_errors_surface_at_the_next_join() {
+        let p = platform();
+        let engine = DmaEngine::new(Arc::clone(&p));
+        // Off-window destination: reserve_h2d would normally reject this at
+        // issue; simulate a worker-side failure by submitting it directly.
+        let cap = p.device(DEV).unwrap().mem().capacity();
+        let base = p.device(DEV).unwrap().mem().base();
+        engine.submit(DEV, VAddr(0x1000), base.add(cap), vec![0u8; 64]);
+        assert!(engine.wait_device(DEV).is_err());
+        // The error is consumed; the engine keeps working afterwards.
+        let a = p.dev_alloc(DEV, 64).unwrap();
+        engine.submit(DEV, VAddr(0x1000), a, vec![3u8; 64]);
+        engine.wait_device(DEV).unwrap();
+    }
+}

@@ -17,16 +17,25 @@
 //!      ▼
 //!  Runtime::execute ──► hetsim DMA engine timelines (sync or async)
 //!      │                                    — jobs/bytes/blocks recorded in
-//!      ▼                                      the extended TransferLedger
-//!  DmaQueue ──► explicit join points at the adsmCall boundary
+//!      │                                      the extended TransferLedger
+//!      ├──► DmaQueue   — virtual-time horizons, joined at adsmCall
+//!      ▼
+//!  DmaEngine ──► per-device worker threads land the bytes in device
+//!                memory outside the shard lock (wall-clock overlap);
+//!                join_dma waits on the completion table
 //! ```
 //!
 //! Coalescing is controlled by [`crate::GmacConfig::coalescing`]; with it
 //! disabled the planner degrades to one job per requested range — the
-//! ablation baseline matching the pre-planner behaviour.
+//! ablation baseline matching the pre-planner behaviour. The background
+//! engine is controlled by [`crate::GmacConfig::async_dma`]; with it
+//! disabled jobs execute inline at issue, inside the shard lock, exactly as
+//! before.
 
+pub mod engine;
 pub mod plan;
 pub mod queue;
 
+pub use engine::{DmaEngine, EngineStats};
 pub use plan::{DmaJob, Purpose, TransferPlan};
 pub use queue::DmaQueue;

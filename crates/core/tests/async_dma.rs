@@ -1,0 +1,200 @@
+//! The async-DMA ablation contract: `GmacConfig::async_dma(false)` runs the
+//! exact same transfer plans inline, so the two modes must be
+//! **byte-identical** in everything the simulation observes — output
+//! digests, virtual times, per-category ledgers, fault counts and transfer
+//! traffic — across the full workload suite and across randomly generated
+//! access sequences. Only the wall-clock bookkeeping counters
+//! (`dma_wait_ns`, `jobs_overlapped`) may differ.
+//!
+//! Also the engine's lifecycle hazards: freeing an object whose flush is
+//! still in flight must join (or fail with `ObjectInUse` under a pending
+//! call), never use-after-free; and dropping the runtime with a non-empty
+//! queue must drain and join the workers, never deadlock.
+
+use gmac::{Gmac, GmacConfig, GmacError, Param, Protocol};
+use hetsim::{Category, DeviceId, LaunchDims, Platform};
+use proptest::prelude::*;
+use workloads::stencil3d::Stencil3d;
+use workloads::stream::StreamPipeline;
+use workloads::vecadd::VecAdd;
+use workloads::{parboil_suite_small, run_variant_with, RunResult, Variant, Workload};
+
+/// The nine standard workloads plus the streaming pipeline the engine was
+/// built for.
+fn ten_workloads() -> Vec<Box<dyn Workload>> {
+    let mut all = parboil_suite_small();
+    all.push(Box::new(VecAdd::small()));
+    all.push(Box::new(Stencil3d::small()));
+    all.push(Box::new(StreamPipeline::small()));
+    all
+}
+
+fn run(w: &dyn Workload, async_dma: bool) -> RunResult {
+    let cfg = GmacConfig::default().async_dma(async_dma);
+    run_variant_with(w, Variant::Gmac(Protocol::Rolling), cfg).expect("workload run")
+}
+
+#[test]
+fn async_modes_are_byte_identical_on_all_workloads() {
+    for w in ten_workloads() {
+        let on = run(w.as_ref(), true);
+        let off = run(w.as_ref(), false);
+        let name = w.name();
+        assert_eq!(on.digest, off.digest, "{name}: digest");
+        assert_eq!(on.elapsed, off.elapsed, "{name}: virtual time");
+        for cat in Category::ALL {
+            assert_eq!(
+                on.ledger.get(cat),
+                off.ledger.get(cat),
+                "{name}: ledger category {cat}"
+            );
+        }
+        let (onc, offc) = (on.counters.unwrap(), off.counters.unwrap());
+        assert_eq!(onc.faults_read, offc.faults_read, "{name}: read faults");
+        assert_eq!(onc.faults_write, offc.faults_write, "{name}: write faults");
+        assert_eq!(onc.blocks_fetched, offc.blocks_fetched, "{name}");
+        assert_eq!(onc.blocks_flushed, offc.blocks_flushed, "{name}");
+        assert_eq!(onc.bytes_fetched, offc.bytes_fetched, "{name}");
+        assert_eq!(onc.bytes_flushed, offc.bytes_flushed, "{name}");
+        assert_eq!(onc.eager_evictions, offc.eager_evictions, "{name}");
+        assert_eq!(on.transfers.h2d_bytes, off.transfers.h2d_bytes, "{name}");
+        assert_eq!(on.transfers.d2h_bytes, off.transfers.d2h_bytes, "{name}");
+        assert_eq!(
+            on.transfers.total_jobs(),
+            off.transfers.total_jobs(),
+            "{name}: job shape"
+        );
+        // Inline mode never touches the engine bookkeeping.
+        assert_eq!(offc.dma_wait_ns, 0, "{name}: no engine waits inline");
+        assert_eq!(offc.jobs_overlapped, 0, "{name}: no overlap inline");
+    }
+}
+
+#[test]
+fn streaming_workload_overlaps_jobs_with_the_engine() {
+    let on = run(&StreamPipeline::small(), true);
+    let c = on.counters.unwrap();
+    assert!(
+        c.jobs_overlapped > 0,
+        "double-buffered streaming must retire jobs between joins (got {})",
+        c.jobs_overlapped
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..Default::default() })]
+    fn random_sequences_identical_across_modes(
+        proto_pick in 0u8..3,
+        block_pow in 12u32..17,
+        ops in proptest::collection::vec((0u64..60, 1u64..4097, 0u64..256), 1..16),
+    ) {
+        let protocol = match proto_pick {
+            0 => Protocol::Batch,
+            1 => Protocol::Lazy,
+            _ => Protocol::Rolling,
+        };
+        const SIZE: u64 = 64 * 1024;
+        let run = |async_dma: bool| -> (u64, hetsim::Nanos, u64, u64, u64) {
+            let cfg = GmacConfig::default()
+                .protocol(protocol)
+                .block_size(1 << block_pow)
+                .async_dma(async_dma);
+            let g = Gmac::new(Platform::desktop_g280(), cfg);
+            let s = g.session();
+            let p = s.alloc(SIZE).expect("alloc");
+            for &(off_kib, len, value) in &ops {
+                let offset = off_kib * 1024;
+                let len = len.min(SIZE - offset) as usize;
+                s.store_slice::<u8>(p.byte_add(offset), &vec![value as u8; len])
+                    .expect("store");
+            }
+            // Flush to the device (queues engine jobs in async mode), then
+            // read everything back through the fault path.
+            s.with_parts(|rt, mgr, proto| proto.release(rt, mgr, DeviceId(0), None))
+                .expect("release");
+            let bytes = s.load_slice::<u8>(p, SIZE as usize).expect("load");
+            let mut digest = 0xcbf2_9ce4_8422_2325u64;
+            for b in bytes {
+                digest ^= b as u64;
+                digest = digest.wrapping_mul(0x100_0000_01b3);
+            }
+            let r = g.report();
+            let c = r.counters;
+            (digest, r.elapsed, c.faults_read + c.faults_write, c.bytes_flushed, c.bytes_fetched)
+        };
+        let on = run(true);
+        let off = run(false);
+        prop_assert_eq!(on, off);
+    }
+}
+
+#[test]
+fn free_while_a_flush_is_in_flight_joins_and_succeeds() {
+    // Rolling + small blocks: the write eagerly queues flush jobs on the
+    // engine; the free must join the object's jobs before unmapping so no
+    // worker lands bytes into a recycled device range.
+    let g = Gmac::new(
+        Platform::desktop_g280(),
+        GmacConfig::default()
+            .protocol(Protocol::Rolling)
+            .block_size(4096),
+    );
+    let s = g.session();
+    let p = s.alloc(4 << 20).unwrap();
+    s.store_slice::<u8>(p, &vec![0xA5; 4 << 20]).unwrap();
+    s.with_parts(|rt, mgr, proto| proto.release(rt, mgr, DeviceId(0), None))
+        .unwrap();
+    s.free(p).unwrap();
+    // The device range is immediately reusable: a fresh object over the
+    // same memory round-trips its own bytes.
+    let q = s.alloc(4 << 20).unwrap();
+    s.store_slice::<u8>(q, &vec![0x3C; 4 << 20]).unwrap();
+    s.with_parts(|rt, mgr, proto| proto.release(rt, mgr, DeviceId(0), None))
+        .unwrap();
+    let back = s.load_slice::<u8>(q, 4 << 20).unwrap();
+    assert!(back.iter().all(|&b| b == 0x3C), "recycled range corrupted");
+}
+
+#[test]
+fn free_under_a_pending_call_is_object_in_use() {
+    let g = Gmac::new(Platform::desktop_g280(), GmacConfig::default());
+    g.with_platform(|p| p.register_kernel(std::sync::Arc::new(gmac::testutil::NopKernel)));
+    let s = g.session();
+    let p = s.alloc(64 * 1024).unwrap();
+    s.store_slice::<u8>(p, &[1u8; 1024]).unwrap();
+    s.call("nop", LaunchDims::for_elements(1, 1), &[Param::Shared(p)])
+        .unwrap();
+    // In flight: never a use-after-free, always a clean error.
+    assert!(matches!(s.free(p), Err(GmacError::ObjectInUse { .. })));
+    s.sync().unwrap();
+    s.free(p).unwrap();
+}
+
+#[test]
+fn dropping_gmac_with_queued_jobs_drains_and_never_deadlocks() {
+    // Watchdog pattern: the whole lifecycle runs on a helper thread; if
+    // engine shutdown deadlocks (worker waiting on a notify that never
+    // comes, or Drop joining a parked worker) the recv below times out
+    // instead of hanging the suite.
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let g = Gmac::new(
+            Platform::desktop_g280(),
+            GmacConfig::default()
+                .protocol(Protocol::Rolling)
+                .block_size(4096),
+        );
+        let s = g.session();
+        let p = s.alloc(8 << 20).unwrap();
+        s.store_slice::<u8>(p, &vec![7u8; 8 << 20]).unwrap();
+        // Queue a burst of flush jobs and drop everything immediately:
+        // session, shards, then the engine with whatever is still queued.
+        s.with_parts(|rt, mgr, proto| proto.release(rt, mgr, DeviceId(0), None))
+            .unwrap();
+        drop(s);
+        drop(g);
+        tx.send(()).unwrap();
+    });
+    rx.recv_timeout(std::time::Duration::from_secs(60))
+        .expect("engine shutdown deadlocked");
+}

@@ -5,10 +5,34 @@
 //! rolling-update automates.
 
 use cudart::Cuda;
-use hetsim::{Category, DeviceId, Platform, TimePoint};
+use hetsim::{
+    Args, Category, DeviceId, DeviceMemory, Kernel, KernelProfile, LaunchDims, Platform, SimResult,
+    StreamId, TimePoint,
+};
+use std::sync::Arc;
 
 const CHUNK: usize = 256 * 1024;
 const CHUNKS: usize = 8;
+
+/// A kernel whose virtual duration (~1 ms) dwarfs a chunk upload (~tens of
+/// µs), so transfer/compute ordering is unambiguous.
+#[derive(Debug)]
+struct SpinKernel;
+
+impl Kernel for SpinKernel {
+    fn name(&self) -> &str {
+        "spin"
+    }
+
+    fn execute(
+        &self,
+        _mem: &mut DeviceMemory,
+        _dims: LaunchDims,
+        _args: Args<'_>,
+    ) -> SimResult<KernelProfile> {
+        Ok(KernelProfile::new(1e9, 0.0))
+    }
+}
 
 #[test]
 fn double_buffered_upload_overlaps_cpu_work() {
@@ -78,6 +102,56 @@ fn synchronous_uploads_do_not_overlap() {
     let elapsed = p.now().since(start);
     // Serial: elapsed covers both terms (within the malloc epsilon).
     assert!(elapsed >= produce_time + dma_busy - hetsim::Nanos::from_micros(1));
+}
+
+#[test]
+fn second_chunk_upload_issues_before_first_kernel_completes() {
+    // The heart of double buffering: while chunk 1's kernel runs, chunk 2's
+    // H2D must already be in flight — the DMA and exec engines are
+    // independent timelines, not serialized behind one another.
+    let mut p = Platform::desktop_g280();
+    p.register_kernel(Arc::new(SpinKernel));
+    let cuda = Cuda::new(DeviceId(0));
+    let bufs = [
+        cuda.malloc(&mut p, CHUNK as u64).unwrap(),
+        cuda.malloc(&mut p, CHUNK as u64).unwrap(),
+    ];
+    let data = vec![7u8; CHUNK];
+
+    // Chunk 1: upload, then launch its (long) kernel.
+    let up1 = cuda.memcpy_h2d_async(&mut p, bufs[0], &data).unwrap();
+    cuda.event_synchronize(&mut p, up1);
+    let k1 = cuda
+        .launch(
+            &mut p,
+            StreamId(0),
+            "spin",
+            LaunchDims::for_elements(CHUNK as u64, 256),
+            &[],
+        )
+        .unwrap();
+
+    // Chunk 2's H2D is issued immediately — the launch returned without
+    // waiting for the kernel.
+    let issue = p.now();
+    let up2 = cuda.memcpy_h2d_async(&mut p, bufs[1], &data).unwrap();
+    assert!(
+        issue < k1.0,
+        "chunk 2's H2D must be issued while chunk 1's kernel is still running \
+         (issued {issue:?}, kernel completes {:?})",
+        k1.0
+    );
+    // With a kernel this long, the upload even *completes* under it: full
+    // transfer/compute overlap, not just pipelined issue.
+    assert!(
+        up2.0 < k1.0,
+        "chunk 2's upload should complete under chunk 1's kernel \
+         (upload done {:?}, kernel done {:?})",
+        up2.0,
+        k1.0
+    );
+    cuda.event_synchronize(&mut p, k1);
+    assert!(p.now() >= k1.0);
 }
 
 #[test]

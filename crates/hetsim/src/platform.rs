@@ -22,6 +22,12 @@
 //! two device mutexes are never held at once. All methods take `&self`, so
 //! the platform is `Send + Sync` and can be shared (e.g. in an `Arc`) by the
 //! per-device shards of the GMAC runtime.
+//!
+//! For background transfer engines the H2D copy path is additionally split
+//! into [`Platform::reserve_h2d`] (all virtual-time charging, called at
+//! issue) and [`Platform::commit_h2d`] (the wall-clock byte landing, called
+//! later from a worker thread). Both halves take only the device mutex and
+//! leaf locks, so workers never need any caller-side lock.
 
 use crate::bandwidth::{BytesPerSec, LinkModel};
 use crate::device::{Device, DeviceId, GpuSpec, StreamId};
@@ -487,6 +493,54 @@ impl Platform {
         Ok(r.end)
     }
 
+    /// First half of [`Self::copy_h2d`], split out for background transfer
+    /// engines: validates the destination range, reserves the H2D DMA
+    /// timeline, records the job in the transfer ledger and — for
+    /// [`CopyMode::Sync`] — charges the virtual wait, exactly as `copy_h2d`
+    /// does. The *only* thing it does not do is land the bytes in device
+    /// memory; the caller must follow up with [`Self::commit_h2d`] carrying
+    /// the same byte count before anything reads the destination range.
+    ///
+    /// Splitting reservation from commit lets a worker thread perform the
+    /// wall-clock memory write later without perturbing virtual time: all
+    /// clock and ledger charges happen here, at issue, so a run using the
+    /// split is byte-identical in virtual time to one using `copy_h2d`.
+    ///
+    /// # Errors
+    /// Fails for unknown devices or out-of-bounds destination ranges.
+    pub fn reserve_h2d(
+        &self,
+        dev: DeviceId,
+        dst: DevAddr,
+        len: u64,
+        mode: CopyMode,
+    ) -> SimResult<TimePoint> {
+        let now = self.now();
+        let r: Reservation = {
+            let mut device = self.lock_device(dev)?;
+            device.mem().slice(dst, len)?; // surface bounds errors at issue, not in the worker
+            let t = device.link_h2d().transfer_time(len);
+            device.h2d_engine_mut().reserve(now, t)
+        };
+        lock_ok(&self.transfers).record(Direction::HostToDevice, len);
+        if mode == CopyMode::Sync {
+            self.wait_for(r.end, Category::Copy);
+        }
+        Ok(r.end)
+    }
+
+    /// Second half of the [`Self::reserve_h2d`] split: lands `src` at `dst`
+    /// in device memory with **no** virtual-time side effects (the
+    /// reservation already paid for the transfer). Takes only the device
+    /// mutex, so it is safe to call from a background worker thread that
+    /// holds no caller-side locks.
+    ///
+    /// # Errors
+    /// Fails for unknown devices or out-of-bounds destination ranges.
+    pub fn commit_h2d(&self, dev: DeviceId, dst: DevAddr, src: &[u8]) -> SimResult<()> {
+        self.lock_device(dev)?.mem_mut().write(dst, src)
+    }
+
     /// Copies device memory at `src` into `out`. Returns the transfer
     /// completion time. Synchronous copies block and charge `Copy`.
     ///
@@ -765,6 +819,45 @@ mod tests {
         p.copy_d2h(DEV, a, &mut out, CopyMode::Sync).unwrap();
         assert!(out.iter().all(|&b| b == 7));
         assert_eq!(p.transfers().d2h_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn reserve_commit_split_matches_copy_h2d() {
+        // Two identical platforms: one uses the monolithic copy, the other
+        // the reserve/commit split a background worker would use. Virtual
+        // time, ledgers and final device bytes must be indistinguishable.
+        let mono = Platform::desktop_g280();
+        let split = Platform::desktop_g280();
+        let src = vec![9u8; 1 << 20];
+        let a = mono.dev_alloc(DEV, 1 << 20).unwrap();
+        let b = split.dev_alloc(DEV, 1 << 20).unwrap();
+        let t1 = mono.copy_h2d(DEV, a, &src, CopyMode::Sync).unwrap();
+        let t2 = split.reserve_h2d(DEV, b, 1 << 20, CopyMode::Sync).unwrap();
+        split.commit_h2d(DEV, b, &src).unwrap();
+        assert_eq!(t1, t2);
+        assert_eq!(mono.now(), split.now());
+        for cat in Category::ALL {
+            assert_eq!(mono.ledger().get(cat), split.ledger().get(cat), "{cat:?}");
+        }
+        assert_eq!(*mono.transfers(), *split.transfers());
+        let mut out = vec![0u8; 1 << 20];
+        split.device(DEV).unwrap().mem().read(b, &mut out).unwrap();
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn reserve_h2d_surfaces_bounds_errors_at_issue() {
+        let p = Platform::desktop_g280();
+        let (base, cap) = {
+            let d = p.device(DEV).unwrap();
+            (d.mem().base(), d.mem().capacity())
+        };
+        // A range running off the end of the memory window: the reservation
+        // (not the later commit) reports the overrun, so a worker thread
+        // never sees it.
+        let tail = base.add(cap - 16);
+        assert!(p.reserve_h2d(DEV, tail, 4096, CopyMode::Async).is_err());
+        assert!(p.commit_h2d(DEV, tail, &[0u8; 4096]).is_err());
     }
 
     #[test]

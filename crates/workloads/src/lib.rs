@@ -3,8 +3,8 @@
 //! Functional re-implementations of the benchmarks the GMAC paper evaluates:
 //! the seven Parboil applications of Table 2 (`cp`, `mri-fhd`, `mri-q`,
 //! `pns`, `rpes`, `sad`, `tpacf`), the §5.2 vector-addition and §5.1
-//! 3D-stencil micro-benchmarks, and the analytic NPB bandwidth model behind
-//! Figure 2.
+//! 3D-stencil micro-benchmarks, the §2.2 double-buffered streaming pipeline
+//! ([`stream`]), and the analytic NPB bandwidth model behind Figure 2.
 //!
 //! Every application is implemented **twice over the same kernels**:
 //!
@@ -29,6 +29,7 @@ pub mod pns;
 pub mod rpes;
 pub mod sad;
 pub mod stencil3d;
+pub mod stream;
 pub mod tpacf;
 pub mod vecadd;
 

@@ -1,0 +1,65 @@
+//! Chunked streaming pipeline: process a stream larger than device memory
+//! through two chunk-sized buffers (the paper's §2.2 double-buffering
+//! motivation as a full workload).
+//!
+//! Demonstrates the background DMA engine: with `async_dma` on, the worker
+//! thread lands flushed blocks in device memory while the CPU produces the
+//! next chunk, so wall-clock time approaches max(compute, transfer) instead
+//! of their sum. The `async_dma(false)` row is the inline ablation over the
+//! exact same transfer plans — virtual time is byte-identical, only the
+//! wall-clock overlap disappears.
+//!
+//! Run with: `cargo run --release --example stream_pipeline`
+
+use adsm::gmac::{GmacConfig, Protocol};
+use adsm::workloads::stream::StreamPipeline;
+use adsm::workloads::{run_variant_with, Variant};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A quarter of the default stream keeps the demo snappy; pass `--full`
+    // for the full larger-than-device-memory run.
+    let full = std::env::args().any(|a| a == "--full");
+    let w = if full {
+        StreamPipeline::default()
+    } else {
+        StreamPipeline {
+            chunk: 2 * 1024 * 1024,
+            chunks: 40,
+        }
+    };
+
+    println!(
+        "streaming {} through two {} device buffers ({} chunks):",
+        adsm::hetsim::stats::fmt_bytes(w.total_bytes()),
+        adsm::hetsim::stats::fmt_bytes(w.chunk_bytes()),
+        w.chunks,
+    );
+    println!();
+
+    for (label, async_dma) in [
+        ("background DMA engine (async_dma on)", true),
+        ("inline transfers     (async_dma off)", false),
+    ] {
+        let cfg = GmacConfig::default()
+            .protocol(Protocol::Rolling)
+            .async_dma(async_dma);
+        let wall = Instant::now();
+        let r = run_variant_with(&w, Variant::Gmac(Protocol::Rolling), cfg)?;
+        let wall = wall.elapsed();
+        let c = r.counters.as_ref().expect("gmac run has counters");
+        println!(
+            "{label}   wall {:>8.1?}   virtual {:>10}   {} jobs overlapped, {:.1} ms join wait",
+            wall,
+            r.elapsed.to_string(),
+            c.jobs_overlapped,
+            c.dma_wait_ns as f64 / 1e6,
+        );
+    }
+
+    println!();
+    println!("virtual time and transfer bytes are identical across the two rows by");
+    println!("construction: the engine only moves the wall-clock byte landing off the");
+    println!("issuing thread. See results/BENCH_overlap.json for the measured ratio.");
+    Ok(())
+}
