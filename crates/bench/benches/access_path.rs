@@ -1,24 +1,29 @@
 //! Criterion bench over the access fast path: scalar-loop, slice and
-//! fault-storm access patterns with the fast path ([`gmac::GmacConfig::tlb`])
-//! on vs off. The `hotpath` binary is the JSON-emitting companion; this
+//! fault-storm access patterns across the three backing/lookup modes
+//! (mmap + fast path, frame arena + software fast path, instrumented
+//! baseline). The `hotpath` binary is the JSON-emitting companion; this
 //! bench gives per-scenario us/iter under the criterion harness (and doubles
 //! as a smoke test that the scenarios keep running).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gmac_bench::hotpath::{fault_storm, scalar_loop, slice, Scale};
+use gmac_bench::hotpath::{fault_storm, scalar_loop, slice, Mode, Scale};
 
 fn access_path(c: &mut Criterion) {
     let scale = Scale::quick();
     let mut group = c.benchmark_group("access_path");
     group.sample_size(10);
-    for tlb in [true, false] {
-        let label = if tlb { "tlb_on" } else { "tlb_off" };
+    for mode in Mode::ALL {
+        let label = match mode {
+            Mode::Mmap => "mmap",
+            Mode::TableWalk => "tlb_on",
+            Mode::Baseline => "tlb_off",
+        };
         group.bench_function(&format!("scalar_loop/{label}"), |b| {
-            b.iter(|| scalar_loop(tlb, scale))
+            b.iter(|| scalar_loop(mode, scale))
         });
-        group.bench_function(&format!("slice/{label}"), |b| b.iter(|| slice(tlb, scale)));
+        group.bench_function(&format!("slice/{label}"), |b| b.iter(|| slice(mode, scale)));
         group.bench_function(&format!("fault_storm/{label}"), |b| {
-            b.iter(|| fault_storm(tlb, scale))
+            b.iter(|| fault_storm(mode, scale))
         });
     }
     group.finish();

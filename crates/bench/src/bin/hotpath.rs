@@ -1,44 +1,56 @@
 //! Access-fast-path ablation: wall-clock ns/op for the element-wise,
-//! slice and fault-storm access patterns with the fast path
-//! ([`gmac::GmacConfig::tlb`]: software TLB + shard object memo + session
-//! route memo) on vs. off.
+//! slice and fault-storm access patterns across the three backing/lookup
+//! modes — mmap backing + fast path (raw host load/store on the hit
+//! path), frame arena + software fast path (TLB/memos), and the fully
+//! instrumented baseline. One invocation measures **both backings**, so
+//! the ablation is always recorded pairwise.
 //!
 //! Virtual-time results are byte-identical between modes (asserted by the
-//! `hotpath_ablation` integration test across all nine workloads); this
-//! binary measures and records the wall-clock difference, seeding the
-//! repository's performance trajectory in `results/BENCH_hotpath.json`.
+//! `hotpath_ablation` and `mmap_backing` integration tests across the
+//! workload suite); this binary measures and records the wall-clock
+//! difference, seeding the repository's performance trajectory in
+//! `results/BENCH_hotpath.json`.
 //!
 //! Usage: `hotpath [--quick]`
 
-use gmac_bench::hotpath::{run_all, to_json, Scale};
+use gmac_bench::hotpath::{run_all, to_json, HostInfo, Scale};
 use gmac_bench::TextTable;
 use std::io::Write as _;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let scale = if quick { Scale::quick() } else { Scale::full() };
+    let host = HostInfo::detect();
     println!(
-        "access fast-path ablation ({} scale): wall-clock ns/op, tlb on vs off\n",
-        if quick { "quick" } else { "full" }
+        "access fast-path ablation ({} scale): wall-clock ns/op\n\
+         backend: {} | host page size: {} B | cores: {}\n",
+        if quick { "quick" } else { "full" },
+        host.backend,
+        host.host_page_size,
+        host.cores
     );
 
-    // Warm-up run (allocator, frame arena, code paths) outside the numbers.
+    // Warm-up run (allocator, mappings, code paths) outside the numbers.
     run_all(Scale::quick());
     let results = run_all(scale);
 
-    let mut table = TextTable::new(["scenario", "ops", "tlb on", "tlb off", "speedup"]);
+    let mut table = TextTable::new([
+        "scenario", "ops", "mmap", "tlb on", "tlb off", "mmap spd", "tlb spd",
+    ]);
     for r in &results {
         table.row([
             r.name.to_string(),
-            r.tlb_on.ops.to_string(),
+            r.mmap.ops.to_string(),
+            format!("{:.1} ns/op", r.mmap.ns_per_op()),
             format!("{:.1} ns/op", r.tlb_on.ns_per_op()),
             format!("{:.1} ns/op", r.tlb_off.ns_per_op()),
-            gmac_bench::fmt_ratio(r.speedup()),
+            gmac_bench::fmt_ratio(r.speedup_mmap()),
+            gmac_bench::fmt_ratio(r.speedup_tlb()),
         ]);
     }
     gmac_bench::emit("hotpath", &table.render());
 
-    let json = to_json(if quick { "quick" } else { "full" }, &results);
+    let json = to_json(if quick { "quick" } else { "full" }, &host, &results);
     if std::fs::create_dir_all("results").is_ok() {
         if let Ok(mut f) = std::fs::File::create("results/BENCH_hotpath.json") {
             let _ = f.write_all(json.as_bytes());

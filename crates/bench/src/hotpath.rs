@@ -1,10 +1,19 @@
 //! Shared harness for the access-fast-path ablation: the same element-wise,
 //! slice and fault-storm workloads timed in **wall-clock** nanoseconds per
-//! operation under [`GmacConfig::tlb`] on (software TLB, shard object memo
-//! and session route memo) vs. off (full radix walk, manager search and
-//! registry route per access). Virtual-time results are byte-identical
-//! between modes — only host time differs — which the `hotpath_ablation`
-//! integration test enforces across all nine workloads.
+//! operation across three backing/lookup modes:
+//!
+//! * [`Mode::Mmap`] — real reserve/commit backing ([`GmacConfig::mmap_backing`])
+//!   plus the software fast path: an accessible-block scalar access is a raw
+//!   host load/store against the mapping, zero instrumentation on the hit path.
+//! * [`Mode::TableWalk`] — frame-arena backing with the software fast path
+//!   ([`GmacConfig::tlb`]: TLB + shard object memo + session route memo).
+//! * [`Mode::Baseline`] — frame-arena backing, fast path off: full radix
+//!   walk, manager search and registry route per access.
+//!
+//! Virtual-time results are byte-identical between all modes — only host
+//! time differs — which the `hotpath_ablation` (tlb toggle) and
+//! `mmap_backing` (backing toggle) integration tests enforce across the
+//! workload suite.
 //!
 //! Used by the `hotpath` binary (which writes `results/BENCH_hotpath.json`)
 //! and the `access_path` criterion bench.
@@ -57,6 +66,33 @@ impl Scale {
     }
 }
 
+/// One backing/lookup configuration under measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// mmap backing + fast path: raw host load/store on the hit path.
+    Mmap,
+    /// Frame-arena backing + software fast path (TLB/memos).
+    TableWalk,
+    /// Frame-arena backing, fast path off: the instrumented baseline.
+    Baseline,
+}
+
+impl Mode {
+    /// All modes, in headline-first order.
+    pub const ALL: [Mode; 3] = [Mode::Mmap, Mode::TableWalk, Mode::Baseline];
+
+    fn config(self) -> GmacConfig {
+        let base = GmacConfig::default()
+            .protocol(Protocol::Rolling)
+            .block_size(4096);
+        match self {
+            Mode::Mmap => base.mmap_backing(true).tlb(true),
+            Mode::TableWalk => base.mmap_backing(false).tlb(true),
+            Mode::Baseline => base.mmap_backing(false).tlb(false),
+        }
+    }
+}
+
 /// Wall-clock result of one scenario in one mode.
 #[derive(Debug, Clone, Copy)]
 pub struct Sample {
@@ -73,21 +109,61 @@ impl Sample {
     }
 }
 
-/// One scenario measured in both modes.
+/// One scenario measured in all three modes.
 #[derive(Debug, Clone, Copy)]
 pub struct ScenarioResult {
     /// Scenario name (`scalar_loop`, `slice`, `fault_storm`).
     pub name: &'static str,
-    /// Fast path on.
+    /// mmap backing + fast path (the headline configuration).
+    pub mmap: Sample,
+    /// Frame arena + software fast path.
     pub tlb_on: Sample,
-    /// Fast path off.
+    /// Frame arena, fast path off (instrumented baseline).
     pub tlb_off: Sample,
 }
 
 impl ScenarioResult {
-    /// Wall-clock speedup of the fast path (off / on).
-    pub fn speedup(&self) -> f64 {
+    /// Wall-clock speedup of the mmap hit path over the instrumented
+    /// baseline (off / mmap).
+    pub fn speedup_mmap(&self) -> f64 {
+        self.tlb_off.ns_per_op() / self.mmap.ns_per_op().max(f64::MIN_POSITIVE)
+    }
+
+    /// Wall-clock speedup of the software fast path alone (off / on).
+    pub fn speedup_tlb(&self) -> f64 {
         self.tlb_off.ns_per_op() / self.tlb_on.ns_per_op().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Host facts recorded alongside the numbers so a `BENCH_hotpath.json`
+/// artifact is interpretable away from the machine that produced it.
+#[derive(Debug, Clone)]
+pub struct HostInfo {
+    /// Backing the default config actually got (`"mmap"`, or
+    /// `"table-walk"` when the reservation was refused and the runtime
+    /// degraded).
+    pub backend: &'static str,
+    /// Host page size in bytes (0 if the sysconf probe failed).
+    pub host_page_size: u64,
+    /// Available hardware parallelism.
+    pub cores: usize,
+}
+
+impl HostInfo {
+    /// Probes the host: builds a default-config runtime and reports which
+    /// backend it actually got, plus page size and core count.
+    pub fn detect() -> Self {
+        let probe = Gmac::new(Platform::desktop_g280(), GmacConfig::default());
+        let backend = if probe.report().mmap_backing {
+            "mmap"
+        } else {
+            "table-walk"
+        };
+        HostInfo {
+            backend,
+            host_page_size: softmmu::sys::page_size().unwrap_or(0),
+            cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
     }
 }
 
@@ -96,14 +172,8 @@ impl ScenarioResult {
 /// workloads keep several shared objects live at once).
 const BACKGROUND_OBJECTS: usize = 32;
 
-fn session(tlb: bool) -> (Gmac, Session) {
-    let gmac = Gmac::new(
-        Platform::desktop_g280(),
-        GmacConfig::default()
-            .protocol(Protocol::Rolling)
-            .block_size(4096)
-            .tlb(tlb),
-    );
+fn session(mode: Mode) -> (Gmac, Session) {
+    let gmac = Gmac::new(Platform::desktop_g280(), mode.config());
     let session = gmac.session();
     for _ in 0..BACKGROUND_OBJECTS {
         session.alloc(64 * 1024).expect("background alloc");
@@ -111,11 +181,12 @@ fn session(tlb: bool) -> (Gmac, Session) {
     (gmac, session)
 }
 
-/// Element-wise loop: one `store` + one `load` per element per pass — the
+/// Element-wise loop: one `write` + one `read` per element per pass — the
 /// paper's transparent CPU access pattern, dominated by per-access
-/// translation cost once the first pass has resolved all faults.
-pub fn scalar_loop(tlb: bool, scale: Scale) -> Sample {
-    let (_g, s) = session(tlb);
+/// translation cost once the first pass has resolved all faults. On
+/// [`Mode::Mmap`] each access is a raw host load/store.
+pub fn scalar_loop(mode: Mode, scale: Scale) -> Sample {
+    let (_g, s) = session(mode);
     let v = s.alloc_typed::<u32>(scale.scalar_elems).expect("alloc");
     // Warm pass: resolve every first-touch fault outside the measurement.
     for i in 0..scale.scalar_elems {
@@ -138,9 +209,10 @@ pub fn scalar_loop(tlb: bool, scale: Scale) -> Sample {
 }
 
 /// Bulk slice ops: `store_slice` + `load_slice` of a multi-MB buffer per
-/// pass (translation once per page, copy bandwidth bound).
-pub fn slice(tlb: bool, scale: Scale) -> Sample {
-    let (_g, s) = session(tlb);
+/// pass (translation once per page, copy bandwidth bound; on
+/// [`Mode::Mmap`] each accessible span collapses to one `memcpy`).
+pub fn slice(mode: Mode, scale: Scale) -> Sample {
+    let (_g, s) = session(mode);
     let p = s.alloc(scale.slice_bytes as u64).expect("alloc");
     let data = vec![0xA5u8; scale.slice_bytes];
     s.store_slice::<u8>(p, &data).expect("warm store");
@@ -159,8 +231,8 @@ pub fn slice(tlb: bool, scale: Scale) -> Sample {
 /// Fault storm: every round invalidates the object (a protocol release,
 /// i.e. a batched mprotect) and then touches one element per block, paying
 /// one fault + fetch per block — the signal-handler path of §4.3.
-pub fn fault_storm(tlb: bool, scale: Scale) -> Sample {
-    let (_g, s) = session(tlb);
+pub fn fault_storm(mode: Mode, scale: Scale) -> Sample {
+    let (_g, s) = session(mode);
     let p = s.alloc(scale.storm_blocks as u64 * 4096).expect("alloc");
     let start = Instant::now();
     for _ in 0..scale.storm_rounds {
@@ -190,18 +262,20 @@ pub fn best_of(rounds: usize, mut f: impl FnMut() -> Sample) -> Sample {
         .expect("at least one round")
 }
 
-/// Runs all scenarios in both modes (best of three rounds each).
+/// Runs all scenarios in all three modes (best of three rounds each).
 pub fn run_all(scale: Scale) -> Vec<ScenarioResult> {
     let mut results = Vec::new();
     for (name, f) in [
-        ("scalar_loop", scalar_loop as fn(bool, Scale) -> Sample),
-        ("slice", slice as fn(bool, Scale) -> Sample),
-        ("fault_storm", fault_storm as fn(bool, Scale) -> Sample),
+        ("scalar_loop", scalar_loop as fn(Mode, Scale) -> Sample),
+        ("slice", slice as fn(Mode, Scale) -> Sample),
+        ("fault_storm", fault_storm as fn(Mode, Scale) -> Sample),
     ] {
-        let tlb_on = best_of(3, || f(true, scale));
-        let tlb_off = best_of(3, || f(false, scale));
+        let mmap = best_of(3, || f(Mode::Mmap, scale));
+        let tlb_on = best_of(3, || f(Mode::TableWalk, scale));
+        let tlb_off = best_of(3, || f(Mode::Baseline, scale));
         results.push(ScenarioResult {
             name,
+            mmap,
             tlb_on,
             tlb_off,
         });
@@ -211,20 +285,28 @@ pub fn run_all(scale: Scale) -> Vec<ScenarioResult> {
 
 /// Renders the results as the `BENCH_hotpath.json` document (hand-rolled:
 /// the container has no serde). `scale` labels the measurement so a CI
-/// `--quick` artifact is never mistaken for a full-scale trajectory point.
-pub fn to_json(scale: &str, results: &[ScenarioResult]) -> String {
+/// `--quick` artifact is never mistaken for a full-scale trajectory point;
+/// `host` pins the backend, page size and core count the numbers were
+/// produced under.
+pub fn to_json(scale: &str, host: &HostInfo, results: &[ScenarioResult]) -> String {
     let mut out = format!(
-        "{{\n  \"bench\": \"hotpath\",\n  \"scale\": \"{scale}\",\n  \"unit\": \"ns/op\",\n  \"scenarios\": [\n"
+        "{{\n  \"bench\": \"hotpath\",\n  \"scale\": \"{scale}\",\n  \"unit\": \"ns/op\",\n  \
+         \"backend\": \"{}\",\n  \"host_page_size\": {},\n  \"cores\": {},\n  \"scenarios\": [\n",
+        host.backend, host.host_page_size, host.cores
     );
     for (i, r) in results.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"name\": \"{}\", \"ops\": {}, \"tlb_on_ns_per_op\": {:.2}, \"tlb_off_ns_per_op\": {:.2}, \"speedup\": {:.3}}}",
+            "    {{\"name\": \"{}\", \"ops\": {}, \"mmap_ns_per_op\": {:.2}, \
+             \"tlb_on_ns_per_op\": {:.2}, \"tlb_off_ns_per_op\": {:.2}, \
+             \"speedup_mmap\": {:.3}, \"speedup_tlb\": {:.3}}}",
             r.name,
-            r.tlb_on.ops,
+            r.mmap.ops,
+            r.mmap.ns_per_op(),
             r.tlb_on.ns_per_op(),
             r.tlb_off.ns_per_op(),
-            r.speedup(),
+            r.speedup_mmap(),
+            r.speedup_tlb(),
         );
         out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }

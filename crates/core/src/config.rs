@@ -143,6 +143,27 @@ pub struct GmacConfig {
     /// bench and the `async_dma` ablation test enforce this), mirroring
     /// [`GmacConfig::sharding`] and [`GmacConfig::tlb`].
     pub async_dma: bool,
+    /// Back the unified address space with a real anonymous host mapping
+    /// (the default, Linux): each shard's softmmu reserves
+    /// [`GmacConfig::mmap_reserve`] bytes `PROT_NONE` up front, commits
+    /// pages and applies block protection with real `mprotect`, and hands
+    /// out raw host pointers so a typed access on an accessible block is a
+    /// plain load/store with **zero instrumentation** on the hit path (the
+    /// paper's actual §4.2 mechanism). `false` is the portable table-walk
+    /// ablation baseline (one boxed frame per page, every access
+    /// software-checked). If the host reservation fails (non-Linux, no
+    /// address space), the runtime **degrades gracefully** to table-walk
+    /// and reports it via [`crate::Report::backing_downgraded`] — it never
+    /// panics. The backend is wall-clock-only: digests, virtual times and
+    /// ledgers are **byte-identical** between modes (the `hotpath` bench
+    /// and the `mmap_backing` ablation test enforce this), mirroring
+    /// [`GmacConfig::sharding`], [`GmacConfig::tlb`] and
+    /// [`GmacConfig::async_dma`].
+    pub mmap_backing: bool,
+    /// Host virtual address space (bytes) each shard's mmap backing reserves
+    /// up front (committed lazily, 1 GiB chunks). Only consulted with
+    /// [`GmacConfig::mmap_backing`] on.
+    pub mmap_reserve: u64,
     /// Library bookkeeping costs.
     pub costs: GmacCosts,
 }
@@ -161,6 +182,8 @@ impl Default for GmacConfig {
             sharding: true,
             tlb: true,
             async_dma: true,
+            mmap_backing: true,
+            mmap_reserve: 64 << 30,
             costs: GmacCosts::default(),
         }
     }
@@ -250,6 +273,19 @@ impl GmacConfig {
         self.async_dma = on;
         self
     }
+
+    /// Enables or disables the mmap-backed address space (`false` =
+    /// table-walk ablation mode; see [`GmacConfig::mmap_backing`]).
+    pub fn mmap_backing(mut self, on: bool) -> Self {
+        self.mmap_backing = on;
+        self
+    }
+
+    /// Sets the per-shard host reservation size for the mmap backing.
+    pub fn mmap_reserve(mut self, bytes: u64) -> Self {
+        self.mmap_reserve = bytes;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +306,11 @@ mod tests {
         assert!(c.sharding, "per-device sharding is the default behaviour");
         assert!(c.tlb, "the access fast path is the default behaviour");
         assert!(c.async_dma, "the background DMA engine is the default");
+        assert!(
+            c.mmap_backing,
+            "the mmap-backed address space is the default"
+        );
+        assert_eq!(c.mmap_reserve, 64 << 30);
         assert_eq!(c.lookup, LookupKind::Tree);
         assert_eq!(c.block_size % PAGE_SIZE, 0);
     }
@@ -287,10 +328,14 @@ mod tests {
             .aal(AalLayer::Runtime)
             .sharding(false)
             .tlb(false)
-            .async_dma(false);
+            .async_dma(false)
+            .mmap_backing(false)
+            .mmap_reserve(8 << 30);
         assert!(!c.sharding);
         assert!(!c.tlb);
         assert!(!c.async_dma);
+        assert!(!c.mmap_backing);
+        assert_eq!(c.mmap_reserve, 8 << 30);
         assert_eq!(c.protocol, Protocol::Lazy);
         assert_eq!(c.block_size, 64 * 1024);
         assert_eq!(c.rolling_size, Some(4));

@@ -1,0 +1,167 @@
+//! Thread-local deferred virtual-time charging for the mmap fast path.
+//!
+//! The zero-instrumentation hit path ([`crate::fastview::ObjFastView`])
+//! performs a raw host load/store without taking any runtime lock — but the
+//! simulated platform still has to be charged the same per-access CPU touch
+//! time the checked path charges ([`hetsim::Platform::cpu_touch`]), or the
+//! two backends would diverge in virtual time. Paying that charge inline
+//! would cost two atomic RMWs (clock + ledger) per access and dominate the
+//! hit path; instead each access **accumulates** its pre-rounded charge in a
+//! thread-local counter, and the total is settled with one
+//! [`hetsim::Platform::spend`] at the next runtime entry point.
+//!
+//! # Flush points (the byte-identity argument)
+//!
+//! Ledger categories and the clock are commutative sums (`fetch_add`), so
+//! deferring N charges and settling them as one changes no total — *as long
+//! as* the settle happens before any other interaction with the clock
+//! (a DMA reservation reads `now`; a fault charge must observe the touches
+//! that preceded it). Three flush points guarantee that:
+//!
+//! * every runtime entry point — [`crate::gmac::Inner::gate`] runs a flush
+//!   first, so faults, allocs, calls, syncs and bulk ops settle before they
+//!   touch the clock;
+//! * the ungated introspection reads (`ledger`/`elapsed`/`transfers`/
+//!   `with_platform`) flush explicitly;
+//! * thread exit — the destructor of the thread-local settles whatever is
+//!   left, so joining a worker thread makes its touches visible.
+//!
+//! The counter is keyed by platform identity: a thread touching objects of
+//! two runtimes settles the first runtime's balance before accumulating for
+//! the second.
+
+use hetsim::{Category, Nanos, Platform};
+use std::cell::{Cell, RefCell};
+use std::sync::{Arc, Weak};
+
+/// Per-thread pending CPU-touch nanoseconds for one platform.
+struct PendingTouch {
+    /// Identity of the platform the balance belongs to
+    /// (`Arc::as_ptr as usize`); 0 = empty.
+    key: Cell<usize>,
+    /// Accumulated charge, in integer nanoseconds (each access adds its
+    /// already-rounded `touch_time`, so the settled sum is bit-identical to
+    /// per-access charging).
+    nanos: Cell<u64>,
+    /// Keeps the settle possible from the thread-local destructor without
+    /// keeping the platform alive.
+    platform: RefCell<Weak<Platform>>,
+}
+
+impl PendingTouch {
+    /// Settles the current balance against its platform, if any survives.
+    fn settle(&self) {
+        let pending = self.nanos.replace(0);
+        if pending == 0 {
+            return;
+        }
+        if let Some(platform) = self.platform.borrow().upgrade() {
+            platform.spend(Category::Cpu, Nanos::from_nanos(pending));
+        }
+    }
+}
+
+impl Drop for PendingTouch {
+    fn drop(&mut self) {
+        self.settle();
+    }
+}
+
+thread_local! {
+    static PENDING: PendingTouch = const {
+        PendingTouch {
+            key: Cell::new(0),
+            nanos: Cell::new(0),
+            platform: RefCell::new(Weak::new()),
+        }
+    };
+}
+
+/// Accumulates `nanos` of CPU-touch time against `platform`, settling any
+/// balance a different platform left behind first. Falls back to charging
+/// directly when the thread-local is gone (thread teardown).
+pub(crate) fn add(platform: &Arc<Platform>, nanos: u64) {
+    let outcome = PENDING.try_with(|p| {
+        let key = Arc::as_ptr(platform) as usize;
+        if p.key.get() != key {
+            p.settle();
+            p.key.set(key);
+            *p.platform.borrow_mut() = Arc::downgrade(platform);
+        }
+        p.nanos.set(p.nanos.get() + nanos);
+    });
+    if outcome.is_err() {
+        platform.spend(Category::Cpu, Nanos::from_nanos(nanos));
+    }
+}
+
+/// Settles this thread's pending balance for `platform` (a no-op for other
+/// platforms' balances and when nothing is pending). Every runtime entry
+/// point runs this before touching the clock or ledgers.
+pub(crate) fn flush(platform: &Platform) {
+    let _ = PENDING.try_with(|p| {
+        if p.key.get() == platform as *const Platform as usize {
+            p.settle();
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform() -> Arc<Platform> {
+        Arc::new(Platform::desktop_g280())
+    }
+
+    #[test]
+    fn add_defers_and_flush_settles() {
+        let p = platform();
+        let before = p.ledger().get(Category::Cpu);
+        add(&p, 3);
+        add(&p, 4);
+        assert_eq!(p.ledger().get(Category::Cpu), before, "charges deferred");
+        flush(&p);
+        assert_eq!(
+            p.ledger().get(Category::Cpu).as_nanos() - before.as_nanos(),
+            7
+        );
+        // Idempotent: a second flush settles nothing.
+        flush(&p);
+        assert_eq!(
+            p.ledger().get(Category::Cpu).as_nanos() - before.as_nanos(),
+            7
+        );
+    }
+
+    #[test]
+    fn switching_platforms_settles_the_first() {
+        let a = platform();
+        let b = platform();
+        add(&a, 11);
+        add(&b, 5); // settles a's balance first
+        assert_eq!(a.ledger().get(Category::Cpu).as_nanos(), 11);
+        assert_eq!(b.ledger().get(Category::Cpu).as_nanos(), 0);
+        flush(&b);
+        assert_eq!(b.ledger().get(Category::Cpu).as_nanos(), 5);
+    }
+
+    #[test]
+    fn thread_exit_settles_the_balance() {
+        let p = platform();
+        let p2 = Arc::clone(&p);
+        std::thread::spawn(move || add(&p2, 21)).join().unwrap();
+        assert_eq!(p.ledger().get(Category::Cpu).as_nanos(), 21);
+    }
+
+    #[test]
+    fn dead_platform_balance_is_dropped() {
+        let a = platform();
+        add(&a, 9);
+        drop(a);
+        let b = platform();
+        add(&b, 2); // switching must not panic on the dead weak
+        flush(&b);
+        assert_eq!(b.ledger().get(Category::Cpu).as_nanos(), 2);
+    }
+}

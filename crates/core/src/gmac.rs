@@ -41,6 +41,8 @@
 
 use crate::config::{AalLayer, GmacConfig};
 use crate::error::{GmacError, GmacResult};
+use crate::fasttime;
+use crate::fastview::ObjFastView;
 use crate::object::ObjectId;
 use crate::ptr::{Param, SharedPtr};
 use crate::registry::Registry;
@@ -218,8 +220,12 @@ impl Inner {
     }
 
     /// Serial gate: a no-op in sharded mode, the big lock in ablation mode.
-    /// Public operations take it exactly once at their entry point.
+    /// Public operations take it exactly once at their entry point — which
+    /// makes it the natural settle point for this thread's deferred
+    /// fast-path time (see [`crate::fasttime`]): the balance is flushed
+    /// before the operation can read or advance the clock.
     pub(crate) fn gate(&self) -> Option<MutexGuard<'_, ()>> {
+        fasttime::flush(&self.platform);
         self.serial.as_ref().map(lock)
     }
 
@@ -307,34 +313,41 @@ impl Inner {
         let dev = view
             .affinity
             .unwrap_or_else(|| lock(&self.control).scheduler.device_for_alloc());
-        self.alloc_on_impl(dev, size).map(|(ptr, _)| ptr)
+        self.alloc_on_impl(dev, size, false).map(|(ptr, ..)| ptr)
     }
 
     pub(crate) fn alloc_on(&self, dev: DeviceId, size: u64) -> GmacResult<SharedPtr> {
         let _g = self.gate();
-        self.alloc_on_impl(dev, size).map(|(ptr, _)| ptr)
+        self.alloc_on_impl(dev, size, false).map(|(ptr, ..)| ptr)
     }
 
     /// Typed-allocation entry: like [`Self::alloc`] but also returns the
-    /// allocation identity the RAII handle gates its free on.
+    /// allocation identity the RAII handle gates its free on, plus the
+    /// object's zero-instrumentation fast view when one exists (embedded in
+    /// the typed handle so its accesses can skip the runtime entirely).
     pub(crate) fn alloc_typed_raw(
         &self,
         view: SessionView,
         size: u64,
         safe: bool,
-    ) -> GmacResult<(SharedPtr, ObjectId)> {
+    ) -> GmacResult<(SharedPtr, ObjectId, Option<Arc<ObjFastView>>)> {
         let _g = self.gate();
         let dev = view
             .affinity
             .unwrap_or_else(|| lock(&self.control).scheduler.device_for_alloc());
         if safe {
-            self.safe_alloc_on_impl(dev, size)
+            self.safe_alloc_on_impl(dev, size, true)
         } else {
-            self.alloc_on_impl(dev, size)
+            self.alloc_on_impl(dev, size, true)
         }
     }
 
-    fn alloc_on_impl(&self, dev: DeviceId, size: u64) -> GmacResult<(SharedPtr, ObjectId)> {
+    fn alloc_on_impl(
+        &self,
+        dev: DeviceId,
+        size: u64,
+        want_fast: bool,
+    ) -> GmacResult<(SharedPtr, ObjectId, Option<Arc<ObjFastView>>)> {
         // Validate the device before any charge: a bogus id (an unchecked
         // session affinity) must not desync the time ledger.
         self.platform.device(dev)?;
@@ -360,7 +373,7 @@ impl Inner {
         // No epoch bump: the new claim is disjoint from every existing one
         // (the registry is the collision arbiter), so no live route memo can
         // cover any of its addresses — existing memos stay valid.
-        self.install(dev, dev_addr, addr, size)
+        self.install(dev, dev_addr, addr, size, want_fast)
     }
 
     pub(crate) fn safe_alloc(&self, view: SessionView, size: u64) -> GmacResult<SharedPtr> {
@@ -368,15 +381,22 @@ impl Inner {
         let dev = view
             .affinity
             .unwrap_or_else(|| lock(&self.control).scheduler.device_for_alloc());
-        self.safe_alloc_on_impl(dev, size).map(|(ptr, _)| ptr)
+        self.safe_alloc_on_impl(dev, size, false)
+            .map(|(ptr, ..)| ptr)
     }
 
     pub(crate) fn safe_alloc_on(&self, dev: DeviceId, size: u64) -> GmacResult<SharedPtr> {
         let _g = self.gate();
-        self.safe_alloc_on_impl(dev, size).map(|(ptr, _)| ptr)
+        self.safe_alloc_on_impl(dev, size, false)
+            .map(|(ptr, ..)| ptr)
     }
 
-    fn safe_alloc_on_impl(&self, dev: DeviceId, size: u64) -> GmacResult<(SharedPtr, ObjectId)> {
+    fn safe_alloc_on_impl(
+        &self,
+        dev: DeviceId,
+        size: u64,
+        want_fast: bool,
+    ) -> GmacResult<(SharedPtr, ObjectId, Option<Arc<ObjFastView>>)> {
         self.platform.device(dev)?;
         self.ensure_cuda_init();
         self.platform
@@ -391,7 +411,7 @@ impl Inner {
             .ok_or(GmacError::Mmu(softmmu::MmuError::OutOfVirtualSpace))?;
         // No epoch bump: fresh claims cannot invalidate existing memos (see
         // alloc_on_impl).
-        self.install(dev, dev_addr, addr, size)
+        self.install(dev, dev_addr, addr, size, want_fast)
     }
 
     fn install(
@@ -400,10 +420,13 @@ impl Inner {
         dev_addr: DevAddr,
         addr: VAddr,
         size: u64,
-    ) -> GmacResult<(SharedPtr, ObjectId)> {
+        want_fast: bool,
+    ) -> GmacResult<(SharedPtr, ObjectId, Option<Arc<ObjFastView>>)> {
         let id = self.next_object_id();
-        let ptr = self.shard(dev).install_object(id, dev_addr, addr, size)?;
-        Ok((ptr, id))
+        let (ptr, fast) = self
+            .shard(dev)
+            .install_object(id, dev_addr, addr, size, want_fast)?;
+        Ok((ptr, id, fast))
     }
 
     /// `adsmFree(addr)` (with optional allocation-identity gate for the
@@ -800,6 +823,9 @@ impl Inner {
     /// Tears the runtime down to the bare platform (final measurements).
     /// Caller must own the only handle.
     pub(crate) fn into_platform(self) -> Platform {
+        // The caller is about to measure: settle this thread's deferred
+        // fast-path time (other threads settled at their last gate or exit).
+        fasttime::flush(&self.platform);
         let Inner {
             platform,
             shards,
@@ -887,16 +913,20 @@ impl Gmac {
     /// (including dropping a `Shared<T>` buffer), which would deadlock on
     /// the serial gate.
     pub fn with_platform<R>(&self, f: impl FnOnce(&Platform) -> R) -> R {
+        // Settle deferred fast-path time: the closure may read the clock.
+        fasttime::flush(&self.inner.platform);
         f(&self.inner.platform)
     }
 
     /// Execution-time ledger snapshot (Figure 10 categories).
     pub fn ledger(&self) -> TimeLedger {
+        fasttime::flush(&self.inner.platform);
         self.inner.platform.ledger()
     }
 
     /// Transfer-ledger snapshot (Figure 8 input).
     pub fn transfers(&self) -> TransferLedger {
+        fasttime::flush(&self.inner.platform);
         *self.inner.platform.transfers()
     }
 
@@ -913,6 +943,7 @@ impl Gmac {
 
     /// Virtual time elapsed since platform start.
     pub fn elapsed(&self) -> hetsim::Nanos {
+        fasttime::flush(&self.inner.platform);
         self.inner.platform.elapsed()
     }
 

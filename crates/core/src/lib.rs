@@ -68,11 +68,15 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![deny(unsafe_op_in_unsafe_fn)]
+#![deny(clippy::missing_safety_doc)]
 
 pub mod api;
 pub mod bulk;
 pub mod config;
 pub mod error;
+pub(crate) mod fasttime;
+pub(crate) mod fastview;
 pub mod gmac;
 pub mod io;
 pub mod manager;

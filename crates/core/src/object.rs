@@ -16,10 +16,12 @@
 //! actually wants — a single coalesced request per run instead of one
 //! per-block round trip.
 
+use crate::fastview::ObjFastView;
 use crate::state::BlockState;
 use hetsim::{DevAddr, DeviceId};
 use softmmu::{RegionId, VAddr};
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Identifies a shared object within a context.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -111,6 +113,11 @@ pub struct SharedObject {
     /// Per-block coherence states (block `i` covers
     /// `[i * block_size, min((i+1) * block_size, size))`).
     states: Vec<BlockState>,
+    /// Lock-free mirror consumed by the mmap fast path; `None` when the
+    /// object does not qualify (table-walk backend, non-contiguous host
+    /// bytes, odd block geometry). Every [`Self::set_state`] publishes into
+    /// it, keeping the mirror exact.
+    fast: Option<Arc<ObjFastView>>,
 }
 
 impl SharedObject {
@@ -146,7 +153,22 @@ impl SharedObject {
             region,
             block_size,
             states,
+            fast: None,
         }
+    }
+
+    /// Attaches the fast-path mirror and publishes the current state vector
+    /// into it (the view starts exact even when attached after transitions).
+    pub(crate) fn attach_fast(&mut self, fast: Arc<ObjFastView>) {
+        for (idx, &state) in self.states.iter().enumerate() {
+            fast.publish(idx, state);
+        }
+        self.fast = Some(fast);
+    }
+
+    /// The attached fast-path mirror, if the object qualifies for one.
+    pub(crate) fn fast_view(&self) -> Option<&Arc<ObjFastView>> {
+        self.fast.as_ref()
     }
 
     /// Object identifier.
@@ -239,10 +261,16 @@ impl SharedObject {
 
     /// Sets the coherence state of block `idx`.
     ///
+    /// This is the single mutation point for block states; it publishes the
+    /// transition into the lock-free fast-path mirror when one is attached.
+    ///
     /// # Panics
     /// Panics if `idx` is out of bounds.
     pub fn set_state(&mut self, idx: usize, state: BlockState) {
         self.states[idx] = state;
+        if let Some(fast) = &self.fast {
+            fast.publish(idx, state);
+        }
     }
 
     /// The compact per-block state vector (cheap to snapshot: one byte per

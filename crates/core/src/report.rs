@@ -37,6 +37,14 @@ pub struct Report {
     /// Whether the runtime runs sharded per device (`false` = global-lock
     /// ablation mode).
     pub sharded: bool,
+    /// Whether shared bytes live in a real mmap reservation (`false` =
+    /// table-walk/frame-arena ablation backend). See
+    /// [`crate::GmacConfig::mmap_backing`].
+    pub mmap_backing: bool,
+    /// True when `mmap_backing` was requested but the host reservation
+    /// failed and the runtime fell back to the table-walk backend. Results
+    /// are still byte-identical; only wall-clock speed is lost.
+    pub backing_downgraded: bool,
     /// Live objects, in address order.
     pub objects: Vec<ObjectReport>,
     /// Total dirty blocks according to the protocol's own bookkeeping.
@@ -87,8 +95,12 @@ impl Inner {
         let mut dirty_blocks = 0usize;
         let mut pending_devices = Vec::new();
         let mut counters = crate::runtime::Counters::default();
+        let mut mmap_backing = !self.shards.is_empty();
+        let mut backing_downgraded = false;
         for (i, slot) in self.shards.iter().enumerate() {
             let shard = lock_shard(slot);
+            mmap_backing &= shard.rt.mmap_active();
+            backing_downgraded |= shard.rt.backing_downgraded();
             for o in shard.mgr.iter() {
                 objects.push(ObjectReport {
                     addr: o.addr().0,
@@ -131,6 +143,8 @@ impl Inner {
         Report {
             protocol: self.config().protocol,
             sharded: self.config().sharding,
+            mmap_backing,
+            backing_downgraded,
             async_dma: engine_stats.is_some(),
             dma_in_flight: engine_stats.map_or(0, |s| s.in_flight()),
             dma_queue_high_water: engine_stats.map_or(0, |s| s.depth_high_water),
@@ -185,6 +199,20 @@ impl fmt::Display for Report {
             self.protocol,
             self.elapsed,
             if self.sharded { "" } else { "  [global-lock]" }
+        )?;
+        writeln!(
+            f,
+            "  backing: {}{}",
+            if self.mmap_backing {
+                "mmap (reserve/commit + mprotect)"
+            } else {
+                "table-walk (frame arena)"
+            },
+            if self.backing_downgraded {
+                "  [downgraded: reservation failed]"
+            } else {
+                ""
+            },
         )?;
         writeln!(
             f,
@@ -302,6 +330,12 @@ mod tests {
 
         let text = r.to_string();
         assert!(text.contains("GMAC runtime (GMAC Rolling)"));
+        assert!(text.contains("backing:"));
+        assert!(!r.backing_downgraded, "default reserve must succeed");
+        if cfg!(target_os = "linux") {
+            assert!(r.mmap_backing, "mmap backend is the default on Linux");
+            assert!(text.contains("backing: mmap"));
+        }
         assert!(text.contains("objects: 2"));
         assert!(text.contains("blocks(inv/ro/dirty): 0/15/1"));
         assert!(text.contains("dma jobs:"));
@@ -312,10 +346,14 @@ mod tests {
 
     #[test]
     fn report_exposes_transfer_engine_metrics() {
+        // Table-walk backend: the mmap backend serves slice stores as span
+        // memcpys that never probe the software TLB (tlb_hits/misses are
+        // wall-clock-only counters and legitimately stay 0 there).
         let g = gmac(
             GmacConfig::default()
                 .protocol(Protocol::Rolling)
-                .block_size(4096),
+                .block_size(4096)
+                .mmap_backing(false),
         );
         let s = g.session();
         let a = s.alloc(8 * 4096).unwrap();
@@ -403,5 +441,14 @@ mod tests {
         assert!(r.objects.is_empty());
         assert_eq!(r.dirty_blocks, 0);
         assert!(!r.to_string().is_empty());
+    }
+
+    #[test]
+    fn report_names_the_table_walk_ablation_backend() {
+        let g = gmac(GmacConfig::default().mmap_backing(false));
+        let r = g.report();
+        assert!(!r.mmap_backing);
+        assert!(!r.backing_downgraded, "opting out is not a downgrade");
+        assert!(r.to_string().contains("backing: table-walk"));
     }
 }

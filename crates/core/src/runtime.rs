@@ -124,6 +124,11 @@ pub struct Runtime {
     /// standalone harnesses (and with [`GmacConfig::async_dma`] off): jobs
     /// then execute inline at issue, exactly as before the engine existed.
     pub(crate) engine: Option<Arc<DmaEngine>>,
+    /// True when [`GmacConfig::mmap_backing`] was requested but the host
+    /// reservation failed and this runtime fell back to the table-walk
+    /// backend. Reported (never fatal): behaviour is identical, only the
+    /// zero-instrumentation hit path is lost.
+    pub(crate) backing_downgraded: bool,
 }
 
 impl Runtime {
@@ -141,7 +146,18 @@ impl Runtime {
         config: GmacConfig,
         engine: Option<Arc<DmaEngine>>,
     ) -> Self {
-        let mut vm = AddressSpace::new();
+        // The mmap backing is a wall-clock-only optimisation: when the host
+        // reservation fails (non-Linux, exhausted address space, forced in
+        // tests via a bogus reserve) the runtime degrades gracefully to the
+        // table-walk backend and reports it, rather than panicking.
+        let (mut vm, backing_downgraded) = if config.mmap_backing {
+            match AddressSpace::new_mmap(config.mmap_reserve) {
+                Ok(vm) => (vm, false),
+                Err(_) => (AddressSpace::new(), true),
+            }
+        } else {
+            (AddressSpace::new(), false)
+        };
         // The ablation toggle disables every access-fast-path cache,
         // including the softmmu TLB.
         vm.set_tlb_enabled(config.tlb);
@@ -152,6 +168,7 @@ impl Runtime {
             counters: Counters::default(),
             queue: DmaQueue::new(),
             engine,
+            backing_downgraded,
         }
     }
 
@@ -163,6 +180,18 @@ impl Runtime {
     /// The software MMU.
     pub fn vm(&self) -> &AddressSpace {
         &self.vm
+    }
+
+    /// True when this runtime's address space is mmap-backed (the
+    /// zero-instrumentation hit path is available).
+    pub fn mmap_active(&self) -> bool {
+        self.vm.is_mmap_backed()
+    }
+
+    /// True when mmap backing was requested but the runtime fell back to
+    /// the table-walk backend (see [`crate::GmacConfig::mmap_backing`]).
+    pub fn backing_downgraded(&self) -> bool {
+        self.backing_downgraded
     }
 
     /// Event counters (TLB hit/miss totals are pulled from this runtime's

@@ -161,10 +161,10 @@ impl Session {
     /// # Errors
     /// Same as [`Self::alloc`].
     pub fn alloc_typed<T: Scalar>(&self, n: usize) -> GmacResult<Shared<T>> {
-        let (ptr, id) =
+        let (ptr, id, fast) =
             self.inner
                 .alloc_typed_raw(self.view, (n as u64) * T::SIZE as u64, false)?;
-        Ok(Shared::new(Arc::clone(&self.inner), ptr, n, id))
+        Ok(Shared::new(Arc::clone(&self.inner), ptr, n, id, fast))
     }
 
     /// Typed `adsmSafeAlloc`: like [`Self::alloc_typed`] with a non-unified
@@ -173,10 +173,10 @@ impl Session {
     /// # Errors
     /// Same as [`Self::safe_alloc`].
     pub fn safe_alloc_typed<T: Scalar>(&self, n: usize) -> GmacResult<Shared<T>> {
-        let (ptr, id) = self
-            .inner
-            .alloc_typed_raw(self.view, (n as u64) * T::SIZE as u64, true)?;
-        Ok(Shared::new(Arc::clone(&self.inner), ptr, n, id))
+        let (ptr, id, fast) =
+            self.inner
+                .alloc_typed_raw(self.view, (n as u64) * T::SIZE as u64, true)?;
+        Ok(Shared::new(Arc::clone(&self.inner), ptr, n, id, fast))
     }
 
     /// `adsmFree(addr)`: releases a shared object.
@@ -378,16 +378,20 @@ impl Session {
     /// global-lock ablation mode the closure must not call back into the
     /// session API (serial-gate deadlock).
     pub fn with_platform<R>(&self, f: impl FnOnce(&Platform) -> R) -> R {
+        // Settle deferred fast-path time: the closure may read the clock.
+        crate::fasttime::flush(&self.inner.platform);
         f(&self.inner.platform)
     }
 
     /// Execution-time ledger snapshot (Figure 10 categories).
     pub fn ledger(&self) -> TimeLedger {
+        crate::fasttime::flush(&self.inner.platform);
         self.inner.platform.ledger()
     }
 
     /// Transfer-ledger snapshot (Figure 8 input).
     pub fn transfers(&self) -> TransferLedger {
+        crate::fasttime::flush(&self.inner.platform);
         *self.inner.platform.transfers()
     }
 
@@ -404,6 +408,7 @@ impl Session {
 
     /// Virtual time elapsed since platform start.
     pub fn elapsed(&self) -> hetsim::Nanos {
+        crate::fasttime::flush(&self.inner.platform);
         self.inner.platform.elapsed()
     }
 

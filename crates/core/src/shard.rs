@@ -40,6 +40,7 @@
 
 use crate::config::GmacConfig;
 use crate::error::{GmacError, GmacResult};
+use crate::fastview::ObjFastView;
 use crate::manager::Manager;
 use crate::object::{ObjectId, SharedObject};
 use crate::protocol::{make, CoherenceProtocol};
@@ -216,23 +217,73 @@ impl DeviceShard {
 
     /// Maps and registers a freshly device-allocated object (the tail of
     /// `adsmAlloc`/`adsmSafeAlloc`; the registry claim already succeeded).
+    /// With `want_fast`, also builds and returns the object's
+    /// zero-instrumentation fast view when it qualifies for one (see
+    /// [`Self::make_fast_view`]), for embedding in the typed handle. Raw
+    /// `SharedPtr` allocations pass `false`: no raw pointer ever escapes
+    /// for them, so building a view would pointlessly arm the range and
+    /// put real `mprotect` on every block transition.
     pub(crate) fn install_object(
         &mut self,
         id: ObjectId,
         dev_addr: DevAddr,
         addr: VAddr,
         size: u64,
-    ) -> GmacResult<SharedPtr> {
+        want_fast: bool,
+    ) -> GmacResult<(SharedPtr, Option<Arc<ObjFastView>>)> {
         let initial = self.protocol.initial_state();
         let region = self.rt.vm.map_fixed(addr, size, initial.protection())?;
         let block_size = self.protocol.block_size_for(&self.rt.config, size);
-        let obj = SharedObject::new(
+        let mut obj = SharedObject::new(
             id, addr, size, self.dev, dev_addr, region, block_size, initial,
         );
+        let fast = if want_fast {
+            self.make_fast_view(addr, size, block_size)
+        } else {
+            None
+        };
+        if let Some(fast) = &fast {
+            obj.attach_fast(Arc::clone(fast));
+        }
         self.mgr.insert(obj);
         self.invalidate_memo();
         self.protocol.on_alloc(&mut self.rt, &mut self.mgr, addr)?;
-        Ok(SharedPtr::new(addr))
+        Ok((SharedPtr::new(addr), fast))
+    }
+
+    /// Builds the lock-free fast view for a just-mapped object, when every
+    /// precondition holds:
+    ///
+    /// * the access fast paths are enabled (`tlb`; turning them off is the
+    ///   instrumented-baseline ablation) and the runtime is sharded (the
+    ///   global-lock ablation serialises *all* accesses by design, which a
+    ///   lock-free path would bypass);
+    /// * the softmmu hands out a stable host pointer for the whole object
+    ///   ([`softmmu::AddressSpace::fast_base`]: mmap backend + contiguous);
+    /// * the block size is a power of two and a multiple of every scalar
+    ///   size, so an element access never straddles a block boundary and the
+    ///   per-access probe is one shift + one atomic load.
+    fn make_fast_view(
+        &mut self,
+        addr: VAddr,
+        size: u64,
+        block_size: u64,
+    ) -> Option<Arc<ObjFastView>> {
+        if !(self.rt.config.tlb && self.rt.config.sharding) {
+            return None;
+        }
+        if !block_size.is_power_of_two() || !block_size.is_multiple_of(8) {
+            return None;
+        }
+        let base = self.rt.vm.fast_base(addr, size)?;
+        let states = vec![self.protocol.initial_state(); size.div_ceil(block_size) as usize];
+        Some(ObjFastView::new(
+            base,
+            size,
+            block_size.trailing_zeros(),
+            &states,
+            Arc::clone(&self.rt.platform),
+        ))
     }
 
     /// `adsmFree` under this shard's lock. `id` gates the free on allocation
@@ -279,6 +330,11 @@ impl DeviceShard {
         let free_base = self.rt.config.costs.free_base;
         self.rt.charge(Category::Free, free_base);
         let obj = self.mgr.remove(addr).expect("object found above");
+        if let Some(fast) = obj.fast_view() {
+            // Stale typed handles must miss from here on; the checked path
+            // then reports `NotShared` exactly as it always did.
+            fast.retire();
+        }
         self.invalidate_memo();
         self.protocol.on_free(&mut self.rt, &obj)?;
         self.rt.vm.unmap_region(obj.region())?;

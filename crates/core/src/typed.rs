@@ -10,6 +10,7 @@
 //! memory system.
 
 use crate::error::GmacResult;
+use crate::fastview::ObjFastView;
 use crate::gmac::{Inner, RouteCache};
 use crate::object::ObjectId;
 use crate::ptr::{Param, SharedPtr};
@@ -56,6 +57,11 @@ pub struct Shared<T: Scalar> {
     /// Per-buffer route memo: every access targets the same object, so this
     /// hits on all but the first (see [`crate::GmacConfig::tlb`]).
     routes: RouteCache,
+    /// Zero-instrumentation hit path (mmap backend only): a raw host
+    /// pointer plus a lock-free mirror of the object's block states. An
+    /// element access on an accessible block becomes a plain load/store; any
+    /// miss falls back to the fully-checked runtime path below.
+    fast: Option<Arc<ObjFastView>>,
     _elem: PhantomData<fn() -> T>,
 }
 
@@ -70,13 +76,20 @@ impl<T: Scalar> fmt::Debug for Shared<T> {
 }
 
 impl<T: Scalar> Shared<T> {
-    pub(crate) fn new(inner: Arc<Inner>, ptr: SharedPtr, len: usize, id: ObjectId) -> Self {
+    pub(crate) fn new(
+        inner: Arc<Inner>,
+        ptr: SharedPtr,
+        len: usize,
+        id: ObjectId,
+        fast: Option<Arc<ObjFastView>>,
+    ) -> Self {
         Shared {
             inner: Some(inner),
             ptr,
             len,
             id,
             routes: RouteCache::default(),
+            fast,
             _elem: PhantomData,
         }
     }
@@ -116,6 +129,12 @@ impl<T: Scalar> Shared<T> {
 
     /// Reads element `i` through the coherence protocol.
     ///
+    /// On the mmap backend, a read of a block the CPU already holds
+    /// (ReadOnly or Dirty) is a plain host load — no lock, no page-table
+    /// walk, no protection check (the real `mprotect` mapping *is* the
+    /// check). Anything else falls back to the checked path, which faults
+    /// and fetches exactly as on the table-walk backend.
+    ///
     /// # Errors
     /// Propagates fault/transfer failures.
     ///
@@ -123,10 +142,21 @@ impl<T: Scalar> Shared<T> {
     /// Panics when `i >= len`.
     pub fn read(&self, i: usize) -> GmacResult<T> {
         assert!(i < self.len, "element {i} out of {} elements", self.len);
+        if T::RAW_COMPAT {
+            if let Some(view) = &self.fast {
+                if let Some(value) = view.read::<T>(i as u64 * T::SIZE as u64) {
+                    return Ok(value);
+                }
+            }
+        }
         self.state().load(&self.routes, self.element(i))
     }
 
     /// Writes element `i` through the coherence protocol.
+    ///
+    /// On the mmap backend, a write to an already-Dirty block is a plain
+    /// host store (see [`Self::read`]); first touches still take the
+    /// fault-and-dirty path.
     ///
     /// # Errors
     /// Propagates fault/transfer failures.
@@ -135,6 +165,13 @@ impl<T: Scalar> Shared<T> {
     /// Panics when `i >= len`.
     pub fn write(&self, i: usize, value: T) -> GmacResult<()> {
         assert!(i < self.len, "element {i} out of {} elements", self.len);
+        if T::RAW_COMPAT {
+            if let Some(view) = &self.fast {
+                if view.write::<T>(i as u64 * T::SIZE as u64, value) {
+                    return Ok(());
+                }
+            }
+        }
         self.state().store(&self.routes, self.element(i), value)
     }
 

@@ -15,9 +15,21 @@ use crate::space::AddressSpace;
 /// Implemented for the primitive numeric types; all encodings are
 /// little-endian (the paper assumes homogeneous data representation between
 /// CPU and accelerator, §6.2).
-pub trait Scalar: Copy + Sized {
+///
+/// # Safety
+/// `SIZE` must equal `size_of::<Self>()`, and when [`Scalar::RAW_COMPAT`]
+/// is `true` the implementor additionally guarantees that its in-memory
+/// representation is exactly its little-endian encoding — no padding, no
+/// niches, every bit pattern valid — so bulk paths and the mmap fast path
+/// may `memcpy`/load it instead of encoding element by element.
+pub unsafe trait Scalar: Copy + Sized {
     /// Encoded size in bytes.
     const SIZE: usize;
+
+    /// Whether the in-memory representation *is* the little-endian encoding
+    /// (see the trait's safety contract). `false` forces the portable
+    /// per-element encode/decode everywhere.
+    const RAW_COMPAT: bool = false;
 
     /// Encodes into `out` (exactly `SIZE` bytes).
     fn store_le(self, out: &mut [u8]);
@@ -28,8 +40,12 @@ pub trait Scalar: Copy + Sized {
 
 macro_rules! impl_scalar {
     ($($t:ty),*) => {$(
-        impl Scalar for $t {
+        // SAFETY: primitive numeric types have no padding or niches, accept
+        // any bit pattern, and on little-endian hosts their representation
+        // is their little-endian encoding.
+        unsafe impl Scalar for $t {
             const SIZE: usize = std::mem::size_of::<$t>();
+            const RAW_COMPAT: bool = cfg!(target_endian = "little");
             fn store_le(self, out: &mut [u8]) {
                 out.copy_from_slice(&self.to_le_bytes());
             }
@@ -53,8 +69,7 @@ impl AddressSpace {
     /// Propagates protection faults and unmapped-page errors.
     pub fn load<T: Scalar>(&mut self, addr: VAddr) -> MmuResult<T> {
         if let Some(pte) = self.fast_translate(addr, T::SIZE, AccessKind::Read) {
-            let off = addr.page_offset() as usize;
-            return Ok(T::load_le(&self.frame_bytes(pte)[off..off + T::SIZE]));
+            return Ok(T::load_le(self.page_bytes(addr, T::SIZE, pte)));
         }
         let mut buf = [0u8; 8];
         let buf = &mut buf[..T::SIZE];
@@ -68,8 +83,7 @@ impl AddressSpace {
     /// Propagates protection faults and unmapped-page errors.
     pub fn store<T: Scalar>(&mut self, addr: VAddr, value: T) -> MmuResult<()> {
         if let Some(pte) = self.fast_translate(addr, T::SIZE, AccessKind::Write) {
-            let off = addr.page_offset() as usize;
-            value.store_le(&mut self.frame_bytes_mut(pte)[off..off + T::SIZE]);
+            value.store_le(self.page_bytes_mut(addr, T::SIZE, pte));
             return Ok(());
         }
         let mut buf = [0u8; 8];
@@ -83,7 +97,22 @@ impl AddressSpace {
     /// # Errors
     /// Propagates protection faults and unmapped-page errors.
     pub fn load_slice<T: Scalar>(&mut self, addr: VAddr, n: usize) -> MmuResult<Vec<T>> {
-        let mut bytes = vec![0u8; n * T::SIZE];
+        let len = n * T::SIZE;
+        if T::RAW_COMPAT {
+            self.check(addr, len as u64, AccessKind::Read)?;
+            let mut out: Vec<T> = Vec::with_capacity(n);
+            // SAFETY: the spare capacity is viewed as bytes and filled
+            // completely by `copy_out_ref` (the range was just checked);
+            // RAW_COMPAT scalars accept any bit pattern, so setting the
+            // length afterwards covers only initialized, valid elements.
+            unsafe {
+                let dst = std::slice::from_raw_parts_mut(out.as_mut_ptr().cast::<u8>(), len);
+                self.copy_out_ref(addr, dst)?;
+                out.set_len(n);
+            }
+            return Ok(out);
+        }
+        let mut bytes = vec![0u8; len];
         self.read_bytes(addr, &mut bytes)?;
         Ok(bytes.chunks_exact(T::SIZE).map(T::load_le).collect())
     }
@@ -93,6 +122,18 @@ impl AddressSpace {
     /// # Errors
     /// Propagates protection faults and unmapped-page errors.
     pub fn store_slice<T: Scalar>(&mut self, addr: VAddr, values: &[T]) -> MmuResult<()> {
+        if T::RAW_COMPAT {
+            // SAFETY: RAW_COMPAT guarantees the in-memory representation is
+            // the padding-free little-endian encoding, so the slice can be
+            // written as raw bytes without an intermediate encode pass.
+            let bytes = unsafe {
+                std::slice::from_raw_parts(
+                    values.as_ptr().cast::<u8>(),
+                    std::mem::size_of_val(values),
+                )
+            };
+            return self.write_bytes(addr, bytes);
+        }
         let mut bytes = vec![0u8; values.len() * T::SIZE];
         for (chunk, v) in bytes.chunks_exact_mut(T::SIZE).zip(values) {
             v.store_le(chunk);
@@ -102,8 +143,21 @@ impl AddressSpace {
 }
 
 /// Encodes a scalar slice to little-endian bytes (host-private buffers).
+/// A [`Scalar::RAW_COMPAT`] element type makes this a single `memcpy`.
 pub fn to_bytes<T: Scalar>(values: &[T]) -> Vec<u8> {
-    let mut bytes = vec![0u8; values.len() * T::SIZE];
+    let len = values.len() * T::SIZE;
+    if T::RAW_COMPAT {
+        let mut bytes = Vec::with_capacity(len);
+        // SAFETY: RAW_COMPAT scalars have no padding and their in-memory
+        // representation is exactly their little-endian encoding; the copy
+        // initializes the whole reserved prefix before the length is set.
+        unsafe {
+            std::ptr::copy_nonoverlapping(values.as_ptr().cast::<u8>(), bytes.as_mut_ptr(), len);
+            bytes.set_len(len);
+        }
+        return bytes;
+    }
+    let mut bytes = vec![0u8; len];
     for (chunk, v) in bytes.chunks_exact_mut(T::SIZE).zip(values) {
         v.store_le(chunk);
     }
@@ -111,6 +165,7 @@ pub fn to_bytes<T: Scalar>(values: &[T]) -> Vec<u8> {
 }
 
 /// Decodes little-endian bytes into a scalar vector.
+/// A [`Scalar::RAW_COMPAT`] element type makes this a single `memcpy`.
 ///
 /// # Panics
 /// Panics if `bytes.len()` is not a multiple of the scalar size.
@@ -120,6 +175,21 @@ pub fn from_bytes<T: Scalar>(bytes: &[u8]) -> Vec<T> {
         0,
         "byte length not a scalar multiple"
     );
+    let n = bytes.len() / T::SIZE;
+    if T::RAW_COMPAT {
+        let mut out: Vec<T> = Vec::with_capacity(n);
+        // SAFETY: any bit pattern is a valid RAW_COMPAT scalar and the copy
+        // initializes every element counted by the subsequent `set_len`.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                out.as_mut_ptr().cast::<u8>(),
+                bytes.len(),
+            );
+            out.set_len(n);
+        }
+        return out;
+    }
     bytes.chunks_exact(T::SIZE).map(T::load_le).collect()
 }
 

@@ -58,6 +58,14 @@ pub enum MmuError {
     InvalidRegion(RegionId),
     /// Zero-length mapping or access where a length is required.
     BadLength,
+    /// A real host `mmap`/`mprotect`/`fallocate` call failed (mmap backing
+    /// only; the caller degrades to the table-walk backend at setup time).
+    HostMmap {
+        /// The host operation that failed.
+        op: &'static str,
+        /// Host `errno` (0 when the failure was detected before the call).
+        errno: i32,
+    },
 }
 
 impl fmt::Display for MmuError {
@@ -72,6 +80,9 @@ impl fmt::Display for MmuError {
             MmuError::OutOfVirtualSpace => f.write_str("virtual address space exhausted"),
             MmuError::InvalidRegion(r) => write!(f, "invalid region id {r:?}"),
             MmuError::BadLength => f.write_str("zero-length mapping is not allowed"),
+            MmuError::HostMmap { op, errno } => {
+                write!(f, "host {op} failed (errno {errno})")
+            }
         }
     }
 }
@@ -122,6 +133,14 @@ mod tests {
         assert_eq!(
             MmuError::Misaligned(VAddr(1)).to_string(),
             "address 0x1 is not page aligned"
+        );
+        assert_eq!(
+            MmuError::HostMmap {
+                op: "mmap",
+                errno: 12
+            }
+            .to_string(),
+            "host mmap failed (errno 12)"
         );
     }
 

@@ -6,6 +6,13 @@ use crate::addr::PAGE_SIZE;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FrameId(u32);
 
+impl FrameId {
+    /// Placeholder for page-table entries on the mmap backing, where bytes
+    /// live in the host mapping and no arena frame exists. Never a valid
+    /// arena index; the arena panics if it is ever dereferenced.
+    pub(crate) const SENTINEL: FrameId = FrameId(u32::MAX);
+}
+
 /// System-memory frame storage with a free list.
 #[derive(Debug, Default)]
 pub struct FrameArena {

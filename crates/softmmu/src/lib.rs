@@ -2,10 +2,8 @@
 //!
 //! The GMAC paper detects CPU accesses to shared data with hardware memory
 //! protection: `mmap` fixed-address mappings, `mprotect` permission changes
-//! and `SIGSEGV` delivery to a user-level handler (§4.2–4.3). Re-creating
-//! that in safe Rust is not possible (and per-process signal handling makes
-//! it awkward even in unsafe Rust), so this crate provides the same state
-//! machine as an explicit substrate:
+//! and `SIGSEGV` delivery to a user-level handler (§4.2–4.3). This crate
+//! provides that state machine as an explicit substrate:
 //!
 //! * a 48-bit virtual [`AddressSpace`] with `mmap(MAP_FIXED)` / anonymous
 //!   mapping / `mprotect` equivalents backed by a real 4-level radix
@@ -18,6 +16,22 @@
 //!   tripping its own protection,
 //! * a direct-mapped software **TLB** caching page → (frame, protection)
 //!   translations, so hot access paths skip the 4-level radix walk.
+//!
+//! ## Two byte-storage backends
+//!
+//! Where the *bytes* live is pluggable, and the two backends are
+//! observationally identical (same faults, same data, same virtual time —
+//! only wall-clock time differs):
+//!
+//! * [`AddressSpace::new`] — the portable **table-walk** backend: one boxed
+//!   4 KiB frame per page, every access software-checked. Works anywhere.
+//! * [`AddressSpace::new_mmap`] — the **mmap** backend (Linux): the paper's
+//!   actual mechanism. Real host memory is reserved `PROT_NONE` up front
+//!   and committed/re-protected with real `mprotect` as regions are mapped
+//!   (see [`backing`]). The software page table stays authoritative for
+//!   checked access and fault reporting, but accessible ranges can hand out
+//!   raw host pointers ([`AddressSpace::fast_base`]) so a hot scalar access
+//!   is a plain load/store with **zero instrumentation** on the hit path.
 //!
 //! ## TLB generation invariant
 //!
@@ -48,13 +62,17 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![deny(unsafe_op_in_unsafe_fn)]
+#![deny(clippy::missing_safety_doc)]
 
 pub mod access;
 pub mod addr;
+pub mod backing;
 pub mod fault;
 pub mod frame;
 pub mod prot;
 pub mod space;
+pub mod sys;
 pub mod table;
 
 pub use access::{from_bytes, to_bytes, Scalar};

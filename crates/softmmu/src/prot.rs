@@ -45,6 +45,16 @@ impl Protection {
             (Protection::ReadWrite, _) | (Protection::ReadOnly, AccessKind::Read)
         )
     }
+
+    /// The real `PROT_*` bits this protection maps to on the mmap backing
+    /// (exactly the paper's §4.3 `mprotect` arguments).
+    pub fn host_prot(self) -> i32 {
+        match self {
+            Protection::None => crate::sys::PROT_NONE,
+            Protection::ReadOnly => crate::sys::PROT_READ,
+            Protection::ReadWrite => crate::sys::PROT_READ | crate::sys::PROT_WRITE,
+        }
+    }
 }
 
 impl fmt::Display for Protection {
@@ -83,5 +93,12 @@ mod tests {
     #[test]
     fn default_is_none() {
         assert_eq!(Protection::default(), Protection::None);
+    }
+
+    #[test]
+    fn host_prot_bits_match_mprotect_semantics() {
+        assert_eq!(Protection::None.host_prot(), 0);
+        assert_eq!(Protection::ReadOnly.host_prot(), 1);
+        assert_eq!(Protection::ReadWrite.host_prot(), 3);
     }
 }

@@ -2,8 +2,9 @@
 //! per-page protection (`mprotect`-like) and checked access paths.
 
 use crate::addr::{pages_covering, VAddr, VPage, PAGE_SIZE, VADDR_LIMIT};
+use crate::backing::MmapBacking;
 use crate::fault::{Fault, MmuError, MmuResult};
-use crate::frame::FrameArena;
+use crate::frame::{FrameArena, FrameId};
 use crate::prot::{AccessKind, Protection};
 use crate::table::{PageTable, Pte};
 use std::cell::Cell;
@@ -134,12 +135,26 @@ impl Tlb {
     }
 }
 
-/// The software MMU: page table + frames + region registry + TLB.
+/// Where page bytes live: the portable boxed-frame arena, or real host
+/// memory behind a reserve/commit mmap (see [`crate::backing`]).
+#[derive(Debug)]
+enum Backing {
+    /// Portable table-walk backend: one `Box<[u8; 4096]>` per page.
+    Arena(FrameArena),
+    /// Real anonymous mapping: bytes at host addresses, real `mprotect`.
+    Mmap(MmapBacking),
+}
+
+/// The software MMU: page table + backing store + region registry + TLB.
 #[derive(Debug)]
 pub struct AddressSpace {
     table: PageTable,
-    frames: FrameArena,
+    backing: Backing,
     regions: BTreeMap<u64, Region>,
+    /// Ranges with an escaped fast-path pointer (`start -> end`): real
+    /// user-view protection is materialized lazily, only where a raw
+    /// pointer can actually observe it (see [`Self::fast_base`]).
+    armed: BTreeMap<u64, u64>,
     next_id: u64,
     mmap_cursor: u64,
     faults_observed: u64,
@@ -153,16 +168,147 @@ impl Default for AddressSpace {
 }
 
 impl AddressSpace {
-    /// Creates an empty address space (TLB enabled).
+    /// Creates an empty address space on the portable frame-arena backend
+    /// (TLB enabled).
     pub fn new() -> Self {
         AddressSpace {
             table: PageTable::new(),
-            frames: FrameArena::new(),
+            backing: Backing::Arena(FrameArena::new()),
             regions: BTreeMap::new(),
+            armed: BTreeMap::new(),
             next_id: 1,
             mmap_cursor: MMAP_BASE,
             faults_observed: 0,
             tlb: Tlb::new(),
+        }
+    }
+
+    /// Creates an empty address space backed by a real host mapping:
+    /// `reserve` bytes (chunk-rounded) are reserved up front `PROT_NONE`
+    /// and committed/protected as regions are mapped. Raw host pointers
+    /// into the mapping can then serve scalar access with zero
+    /// instrumentation (see [`Self::fast_base`]).
+    ///
+    /// # Errors
+    /// [`MmuError::HostMmap`] when the host cannot provide the mapping
+    /// (non-Linux target, non-4 KiB pages, reservation failure) — callers
+    /// degrade to [`Self::new`].
+    pub fn new_mmap(reserve: u64) -> MmuResult<Self> {
+        let backing = MmapBacking::new(reserve)?;
+        Ok(AddressSpace {
+            table: PageTable::new(),
+            backing: Backing::Mmap(backing),
+            regions: BTreeMap::new(),
+            armed: BTreeMap::new(),
+            next_id: 1,
+            mmap_cursor: MMAP_BASE,
+            faults_observed: 0,
+            tlb: Tlb::new(),
+        })
+    }
+
+    /// Whether this space runs on the mmap backend.
+    pub fn is_mmap_backed(&self) -> bool {
+        matches!(self.backing, Backing::Mmap(_))
+    }
+
+    /// Raw user-view host pointer for `[addr, addr+len)` — the
+    /// zero-instrumentation fast path. `Some` only on the mmap backend,
+    /// for a fully mapped, host-contiguous range. Dereferencing is subject
+    /// to the *real* page protection (driven by [`Self::protect`]) and to
+    /// the mapping's lifetime; see the safety invariants in
+    /// [`crate::backing`].
+    ///
+    /// Handing out the pointer **arms** the range: its real user-view
+    /// protection is materialized from the page table now, and every later
+    /// [`Self::protect`] over it is mirrored with real `mprotect`. Ranges
+    /// that never arm skip the user-view syscalls entirely — the runtime's
+    /// own copies go through the always-RW runtime view and the checked
+    /// path enforces the software page table, so protection there guards
+    /// nobody.
+    pub fn fast_base(&mut self, addr: VAddr, len: u64) -> Option<*mut u8> {
+        if len == 0 {
+            return None;
+        }
+        let end = addr.checked_add(len)?;
+        let ok = {
+            let Backing::Mmap(m) = &self.backing else {
+                return None;
+            };
+            self.region_at(addr).is_some_and(|r| end <= r.end()) && m.is_contiguous(addr, len)
+        };
+        if !ok {
+            return None;
+        }
+        // No pointer escapes unless its protection could be materialized.
+        self.arm(addr, len).ok()?;
+        let Backing::Mmap(m) = &self.backing else {
+            unreachable!("backend checked above");
+        };
+        Some(m.user_ptr(addr))
+    }
+
+    /// Records `[addr, addr+len)` as armed and syncs its real user-view
+    /// protection from the page table (one `mprotect` per equal-protection
+    /// run).
+    fn arm(&mut self, addr: VAddr, len: u64) -> MmuResult<()> {
+        let (mut lo, mut hi) = (addr.0, addr.0 + len);
+        // Coalesce with overlapping entries (re-arming is idempotent).
+        // Armed ranges are pairwise disjoint, so ends ascend with starts
+        // and the reverse scan stops at the first non-overlapping entry.
+        let overlapping: Vec<u64> = self
+            .armed
+            .range(..hi)
+            .rev()
+            .take_while(|&(_, &e)| e > lo)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in overlapping {
+            let e = self.armed.remove(&s).expect("scanned key vanished");
+            lo = lo.min(s);
+            hi = hi.max(e);
+        }
+        self.armed.insert(lo, hi);
+        let Backing::Mmap(m) = &self.backing else {
+            return Ok(());
+        };
+        let mut run: Option<(VAddr, u64, Protection)> = None;
+        for page in pages_covering(addr, len) {
+            let prot = self
+                .table
+                .lookup(page)
+                .map(|pte| pte.prot)
+                .ok_or(MmuError::Unmapped(page.base()))?;
+            run = match run {
+                Some((start, n, p)) if p == prot => Some((start, n + PAGE_SIZE, p)),
+                Some((start, n, p)) => {
+                    m.protect_user(start, n, p)?;
+                    Some((page.base(), PAGE_SIZE, prot))
+                }
+                None => Some((page.base(), PAGE_SIZE, prot)),
+            };
+        }
+        if let Some((start, n, p)) = run {
+            m.protect_user(start, n, p)?;
+        }
+        Ok(())
+    }
+
+    /// Whether any armed range overlaps `[addr, addr+len)`.
+    fn armed_intersects(&self, addr: VAddr, len: u64) -> bool {
+        self.armed
+            .range(..addr.0 + len)
+            .next_back()
+            .is_some_and(|(_, &e)| e > addr.0)
+    }
+
+    /// The host user-view reservation as `(base, len)`, for protection
+    /// diagnostics (e.g. asserting `PROT_NONE` quarantine via
+    /// `/proc/self/maps`). `None` on the arena backend.
+    pub fn host_reservation(&self) -> Option<(usize, u64)> {
+        match &self.backing {
+            Backing::Mmap(m) => Some((m.user_base() as usize, m.reserve_len())),
+            Backing::Arena(_) => None,
         }
     }
 
@@ -234,16 +380,46 @@ impl AddressSpace {
         }
     }
 
-    /// Frame bytes for the scalar fast path (crate-internal).
+    /// Bytes of an access fully contained in one page (the scalar access
+    /// path, crate-internal). `pte` must be the page's current translation.
     #[inline]
-    pub(crate) fn frame_bytes(&self, pte: Pte) -> &[u8] {
-        self.frames.bytes(pte.frame)
+    pub(crate) fn page_bytes(&self, addr: VAddr, len: usize, pte: Pte) -> &[u8] {
+        match &self.backing {
+            Backing::Arena(a) => {
+                let off = addr.page_offset() as usize;
+                &a.bytes(pte.frame)[off..off + len]
+            }
+            Backing::Mmap(m) => m.bytes(addr, len),
+        }
     }
 
-    /// Mutable frame bytes for the scalar fast path (crate-internal).
+    /// Mutable bytes of an access fully contained in one page (the scalar
+    /// access path, crate-internal).
     #[inline]
-    pub(crate) fn frame_bytes_mut(&mut self, pte: Pte) -> &mut [u8] {
-        self.frames.bytes_mut(pte.frame)
+    pub(crate) fn page_bytes_mut(&mut self, addr: VAddr, len: usize, pte: Pte) -> &mut [u8] {
+        match &mut self.backing {
+            Backing::Arena(a) => {
+                let off = addr.page_offset() as usize;
+                &mut a.bytes_mut(pte.frame)[off..off + len]
+            }
+            Backing::Mmap(m) => m.bytes_mut(addr, len),
+        }
+    }
+
+    /// Arena frame bytes (table-walk backend only).
+    fn arena_bytes(&self, id: FrameId) -> &[u8] {
+        match &self.backing {
+            Backing::Arena(a) => a.bytes(id),
+            Backing::Mmap(_) => unreachable!("arena frame access on the mmap backend"),
+        }
+    }
+
+    /// Mutable arena frame bytes (table-walk backend only).
+    fn arena_bytes_mut(&mut self, id: FrameId) -> &mut [u8] {
+        match &mut self.backing {
+            Backing::Arena(a) => a.bytes_mut(id),
+            Backing::Mmap(_) => unreachable!("arena frame access on the mmap backend"),
+        }
     }
 
     // ----- mapping -----------------------------------------------------------
@@ -270,11 +446,23 @@ impl AddressSpace {
         if self.overlaps(addr, len) {
             return Err(MmuError::Overlap { addr, len });
         }
+        if let Backing::Mmap(m) = &mut self.backing {
+            // Commit real pages (kernel/hole-punch zeroed — no explicit
+            // zero-fill pass, unlike the arena's `zeroed_frame`). The user
+            // view stays quarantined (`PROT_NONE`) until a fast-path
+            // pointer escapes into the range and arms it.
+            m.ensure_backed(addr, len)?;
+        }
         let id = RegionId(self.next_id);
         self.next_id += 1;
         for page in pages_covering(addr, len) {
+            let frame = match &mut self.backing {
+                Backing::Arena(a) => a.alloc(),
+                // Bytes live in the host mapping; the PTE carries a sentinel.
+                Backing::Mmap(_) => FrameId::SENTINEL,
+            };
             let pte = Pte {
-                frame: self.frames.alloc(),
+                frame,
                 prot,
                 region: id,
             };
@@ -336,14 +524,33 @@ impl AddressSpace {
             .map(|(&s, _)| s)
             .ok_or(MmuError::InvalidRegion(id))?;
         let region = self.regions.remove(&start).expect("region key vanished");
+        // Any fast pointers into the region die with it: disarm so a future
+        // tenant of these addresses starts unarmed (and quarantined).
+        let stale: Vec<u64> = self
+            .armed
+            .range(..region.end().0)
+            .rev()
+            .take_while(|&(_, &e)| e > region.start.0)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in stale {
+            self.armed.remove(&s);
+        }
         for page in pages_covering(region.start, region.len) {
             let pte = self.table.unmap(page).expect("region page not mapped");
-            self.frames.free(pte.frame);
+            if let Backing::Arena(a) = &mut self.backing {
+                a.free(pte.frame);
+            }
         }
         // TLB invariant: cached translations into the region must die now —
         // the frames just returned to the arena may be handed to a new
         // mapping immediately.
         self.tlb.invalidate();
+        if let Backing::Mmap(m) = &mut self.backing {
+            // Quarantine: punch the pages out (freeing them and guaranteeing
+            // zeroes on remap) and return the user view to PROT_NONE.
+            m.discard(region.start, region.len)?;
+        }
         Ok(())
     }
 
@@ -369,6 +576,17 @@ impl AddressSpace {
         // never hit — the generation bump guarantees the next access walks
         // the table and observes (or faults on) the new permissions.
         self.tlb.invalidate();
+        // Mirror the transition onto the real user view so raw fast-path
+        // pointers obey exactly the permissions the table just recorded —
+        // but only where such a pointer exists: unarmed ranges are only
+        // ever reached through the runtime view and the checked path, so
+        // a real `mprotect` there is a syscall spent guarding nobody (it
+        // would dominate the per-block transitions of an eviction sweep).
+        if self.armed_intersects(addr, len) {
+            if let Backing::Mmap(m) = &self.backing {
+                m.protect_user(addr, len, prot)?;
+            }
+        }
         Ok(())
     }
 
@@ -460,6 +678,10 @@ impl AddressSpace {
     /// Propagates [`Self::check`] errors; no partial fill occurs on failure.
     pub fn fill(&mut self, addr: VAddr, value: u8, len: u64) -> MmuResult<()> {
         self.check(addr, len, AccessKind::Write)?;
+        if let Backing::Mmap(m) = &self.backing {
+            m.fill(addr, value, len);
+            return Ok(());
+        }
         let mut cur = addr;
         let mut remaining = len;
         while remaining > 0 {
@@ -467,7 +689,7 @@ impl AddressSpace {
             let off = cur.page_offset() as usize;
             let n = ((PAGE_SIZE - cur.page_offset()).min(remaining)) as usize;
             let pte = self.lookup_pte(page).expect("checked page vanished");
-            self.frames.bytes_mut(pte.frame)[off..off + n].fill(value);
+            self.arena_bytes_mut(pte.frame)[off..off + n].fill(value);
             cur = cur + n as u64;
             remaining -= n as u64;
         }
@@ -503,6 +725,11 @@ impl AddressSpace {
     /// [`MmuError::Unmapped`] for holes; nothing is appended on failure.
     pub fn read_raw_into(&self, addr: VAddr, len: u64, out: &mut Vec<u8>) -> MmuResult<()> {
         self.require_mapped(addr, len)?;
+        if let Backing::Mmap(m) = &self.backing {
+            // One memcpy per host-contiguous span instead of one per page.
+            m.append_to(addr, len, out);
+            return Ok(());
+        }
         out.reserve(len as usize);
         let mut cur = addr;
         let mut remaining = len as usize;
@@ -511,7 +738,7 @@ impl AddressSpace {
             let off = cur.page_offset() as usize;
             let n = (PAGE_SIZE as usize - off).min(remaining);
             let pte = self.lookup_pte(page).expect("mapped page vanished");
-            out.extend_from_slice(&self.frames.bytes(pte.frame)[off..off + n]);
+            out.extend_from_slice(&self.arena_bytes(pte.frame)[off..off + n]);
             cur = cur + n as u64;
             remaining -= n;
         }
@@ -529,10 +756,18 @@ impl AddressSpace {
     }
 
     fn require_mapped(&self, addr: VAddr, len: u64) -> MmuResult<()> {
-        for page in pages_covering(addr, len) {
-            if self.lookup_pte(page).is_none() {
-                return Err(MmuError::Unmapped(page.base()));
-            }
+        if len == 0 {
+            return Ok(());
+        }
+        // Regions are whole mapped ranges, so walking the region map is
+        // O(regions covered · log n) instead of a lookup per page.
+        let end = addr.checked_add(len).ok_or(MmuError::OutOfVirtualSpace)?;
+        let mut cur = addr;
+        while cur < end {
+            let region = self
+                .region_at(cur)
+                .ok_or_else(|| MmuError::Unmapped(cur.page().base()))?;
+            cur = region.end();
         }
         Ok(())
     }
@@ -551,7 +786,13 @@ impl AddressSpace {
         self.copy_out_ref(addr, out)
     }
 
-    fn copy_out_ref(&self, addr: VAddr, out: &mut [u8]) -> MmuResult<()> {
+    pub(crate) fn copy_out_ref(&self, addr: VAddr, out: &mut [u8]) -> MmuResult<()> {
+        if let Backing::Mmap(m) = &self.backing {
+            // Callers validated the range (`check`/`require_mapped`), so the
+            // whole copy collapses to one memcpy per host-contiguous span.
+            m.copy_out(addr, out);
+            return Ok(());
+        }
         let mut cur = addr;
         let mut done = 0usize;
         while done < out.len() {
@@ -561,7 +802,7 @@ impl AddressSpace {
             let pte = self
                 .lookup_pte(page)
                 .ok_or(MmuError::Unmapped(page.base()))?;
-            out[done..done + n].copy_from_slice(&self.frames.bytes(pte.frame)[off..off + n]);
+            out[done..done + n].copy_from_slice(&self.arena_bytes(pte.frame)[off..off + n]);
             cur = cur + n as u64;
             done += n;
         }
@@ -569,6 +810,10 @@ impl AddressSpace {
     }
 
     fn copy_in(&mut self, addr: VAddr, src: &[u8]) -> MmuResult<()> {
+        if let Backing::Mmap(m) = &self.backing {
+            m.copy_in(addr, src);
+            return Ok(());
+        }
         let mut cur = addr;
         let mut done = 0usize;
         while done < src.len() {
@@ -578,7 +823,7 @@ impl AddressSpace {
             let pte = self
                 .lookup_pte(page)
                 .ok_or(MmuError::Unmapped(page.base()))?;
-            self.frames.bytes_mut(pte.frame)[off..off + n].copy_from_slice(&src[done..done + n]);
+            self.arena_bytes_mut(pte.frame)[off..off + n].copy_from_slice(&src[done..done + n]);
             cur = cur + n as u64;
             done += n;
         }
@@ -873,6 +1118,84 @@ mod tests {
         assert_eq!(x, [0xAA]);
         vm.read_bytes(conflicting, &mut x).unwrap();
         assert_eq!(x, [0xBB]);
+    }
+
+    #[cfg(target_os = "linux")]
+    fn mmap_space() -> AddressSpace {
+        AddressSpace::new_mmap(4 * crate::backing::CHUNK_SIZE).expect("mmap backing")
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn mmap_backend_basic_parity() {
+        let mut vm = mmap_space();
+        assert!(vm.is_mmap_backed());
+        let a = VAddr(0x2_0000_0000);
+        vm.map_fixed(a, 8192, RW).unwrap();
+        vm.write_bytes(a + 4090, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        let mut out = [0u8; 8];
+        vm.read_bytes(a + 4090, &mut out).unwrap();
+        assert_eq!(out, [1, 2, 3, 4, 5, 6, 7, 8]);
+        // Fresh pages read zero with no explicit zero-fill pass.
+        let mut z = [0xFFu8; 16];
+        vm.read_bytes(a, &mut z).unwrap();
+        assert_eq!(z, [0u8; 16]);
+        // Raw access ignores protection, checked access faults identically.
+        vm.protect(a, PAGE_SIZE, RO).unwrap();
+        assert!(matches!(vm.write_bytes(a, &[1]), Err(MmuError::Fault(_))));
+        assert_eq!(vm.faults_observed(), 1);
+        vm.write_raw(a, &[9]).unwrap();
+        assert_eq!(vm.gather(a, 1).unwrap(), vec![9]);
+        // fill + read_raw_into work through the span paths.
+        vm.fill(a + PAGE_SIZE, 0xCC, 100).unwrap();
+        let mut buf = Vec::new();
+        vm.read_raw_into(a + PAGE_SIZE, 100, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0xCC));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn mmap_unmap_remap_reads_zero() {
+        let mut vm = mmap_space();
+        let a = VAddr(0x5000_0000);
+        let id = vm.map_fixed(a, 2 * PAGE_SIZE, RW).unwrap();
+        vm.write_bytes(a, &[0xAB; 64]).unwrap();
+        vm.unmap_region(id).unwrap();
+        assert!(matches!(
+            vm.read_bytes(a, &mut [0u8; 1]),
+            Err(MmuError::Unmapped(_))
+        ));
+        vm.map_fixed(a, PAGE_SIZE, RW).unwrap();
+        let mut out = [0xEEu8; 64];
+        vm.read_bytes(a, &mut out).unwrap();
+        assert_eq!(out, [0u8; 64], "remapped pages must read zero");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn fast_base_requires_coverage_and_contiguity() {
+        let mut vm = mmap_space();
+        let a = VAddr(0x2_0000_0000);
+        vm.map_fixed(a, 4 * PAGE_SIZE, RW).unwrap();
+        assert!(vm.fast_base(a, 4 * PAGE_SIZE).is_some());
+        assert!(vm.fast_base(a, 0).is_none(), "zero length");
+        assert!(
+            vm.fast_base(a, 5 * PAGE_SIZE).is_none(),
+            "extends past the region"
+        );
+        assert!(vm.fast_base(a + 5 * PAGE_SIZE, 8).is_none(), "unmapped");
+        // The pointer reads the very bytes checked access stored.
+        vm.store::<u32>(a + 8, 0xFEED).unwrap();
+        let p = vm.fast_base(a, 4 * PAGE_SIZE).unwrap();
+        // SAFETY: pages are ReadWrite in the user view and backed.
+        let val = unsafe { p.add(8).cast::<u32>().read_unaligned() };
+        assert_eq!(val, 0xFEED);
+        // The arena backend never vends pointers or a reservation.
+        let mut arena = AddressSpace::new();
+        arena.map_fixed(a, PAGE_SIZE, RW).unwrap();
+        assert!(arena.fast_base(a, 8).is_none());
+        assert!(arena.host_reservation().is_none());
+        assert!(vm.host_reservation().is_some());
     }
 
     #[test]
