@@ -1,0 +1,57 @@
+//! Service-layer load sweep: wall-clock jobs/sec and p50/p99 end-to-end
+//! latency with 100 / 1,000 / 10,000 concurrent client sessions fanning in
+//! on one simulated device through the queue → placer → worker pipeline.
+//!
+//! Virtual-time results are byte-identical with the service on, off, or
+//! absent (asserted by the core crate's `service` integration test); this
+//! binary measures the front-end itself and records the sweep in
+//! `results/BENCH_service.json`. The `cores` field matters: on a single
+//! core the placer, device worker and all clients timeshare one CPU, so
+//! absolute throughput is machine-relative.
+//!
+//! Usage: `service [--quick]`
+
+use gmac_bench::service::{run_all, to_json, Scale};
+use gmac_bench::TextTable;
+use std::io::Write as _;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "service-layer load sweep ({} scale, {cores} cores): jobs/sec and latency vs session count\n",
+        if quick { "quick" } else { "full" }
+    );
+
+    // Warm-up point (thread spawn paths, allocator) outside the numbers.
+    run_all(Scale {
+        session_counts: &[32],
+        ..Scale::quick()
+    });
+    let points = run_all(scale);
+
+    let mut table = TextTable::new(["sessions", "jobs", "jobs/sec", "p50", "p99", "rejections"]);
+    for p in &points {
+        table.row([
+            p.sessions.to_string(),
+            p.jobs.to_string(),
+            format!("{:.0}", p.jobs_per_sec),
+            gmac_bench::fmt_secs(p.p50_ns as f64 / 1e9),
+            gmac_bench::fmt_secs(p.p99_ns as f64 / 1e9),
+            p.rejections.to_string(),
+        ]);
+    }
+    gmac_bench::emit("service", &table.render());
+    if cores < 2 {
+        println!("note: single core — clients, placer and worker timeshare one CPU here");
+    }
+
+    let json = to_json(if quick { "quick" } else { "full" }, cores, &points);
+    if std::fs::create_dir_all("results").is_ok() {
+        if let Ok(mut f) = std::fs::File::create("results/BENCH_service.json") {
+            let _ = f.write_all(json.as_bytes());
+            println!("wrote results/BENCH_service.json");
+        }
+    }
+}

@@ -11,6 +11,7 @@
 pub mod contention;
 pub mod hotpath;
 pub mod overlap;
+pub mod service;
 
 use std::fmt::Write as _;
 use std::fs;

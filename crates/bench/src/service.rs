@@ -1,0 +1,231 @@
+//! Service-layer load bench: M client sessions (M ≫ devices) push jobs
+//! through the queue → placer → device-worker pipeline and measure
+//! **wall-clock** throughput (jobs/sec) and end-to-end latency (submit to
+//! ticket fulfilment, p50/p99) at 100 / 1,000 / 10,000 concurrent sessions.
+//!
+//! Virtual-time results are byte-identical with the service on, off, or
+//! absent — the core crate's `service` integration test enforces that — so
+//! the only thing measured here is how the front-end holds up under fan-in:
+//! fair-queue arbitration cost, admission back-pressure (clients retry on
+//! [`gmac::GmacError::Admission`] using the machine-readable hint), and the
+//! single-worker-per-device serialisation.
+//!
+//! Used by the `service` binary (which writes `results/BENCH_service.json`).
+
+use gmac::{Gmac, GmacConfig, GmacError, Param, Priority};
+use hetsim::{LaunchDims, Platform};
+use std::fmt::Write as _;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Problem sizes for one sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Concurrent client sessions per load point.
+    pub session_counts: &'static [usize],
+    /// Jobs each session submits (serially: submit, wait, repeat).
+    pub jobs_per_session: usize,
+    /// Service queue depth (small enough that the 10k point actually
+    /// exercises admission back-pressure).
+    pub queue_depth: usize,
+}
+
+impl Scale {
+    /// Full measurement scale (the ISSUE's 100 / 1,000 / 10,000 points).
+    pub fn full() -> Self {
+        Scale {
+            session_counts: &[100, 1_000, 10_000],
+            jobs_per_session: 4,
+            queue_depth: 4_096,
+        }
+    }
+
+    /// CI smoke scale (`--quick`).
+    pub fn quick() -> Self {
+        Scale {
+            session_counts: &[100, 1_000],
+            jobs_per_session: 2,
+            queue_depth: 512,
+        }
+    }
+}
+
+/// Wall-clock result of one load point.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadPoint {
+    /// Concurrent sessions.
+    pub sessions: usize,
+    /// Jobs completed (always `sessions * jobs_per_session`).
+    pub jobs: u64,
+    /// Wall-clock nanoseconds from barrier release to last join.
+    pub wall_ns: u64,
+    /// Completed jobs per wall-clock second.
+    pub jobs_per_sec: f64,
+    /// Median end-to-end latency (first submit attempt → ticket result).
+    pub p50_ns: u64,
+    /// 99th-percentile end-to-end latency.
+    pub p99_ns: u64,
+    /// Admission rejections absorbed by client retry (back-pressure events,
+    /// not failures — every job eventually completed).
+    pub rejections: u64,
+}
+
+/// `p` in [0, 1] over a sorted slice (nearest-rank).
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Runs one load point: `sessions` client threads (64 KiB stacks, so the
+/// 10k point stays cheap) each submit-and-wait `jobs_per_session` small
+/// kernel jobs, retrying on admission rejection after the hinted delay.
+pub fn run_point(sessions: usize, scale: Scale) -> LoadPoint {
+    let g = Gmac::new(
+        Platform::desktop_g280(),
+        GmacConfig::default().service_queue_depth(scale.queue_depth),
+    );
+    g.with_platform(|p| p.register_kernel(Arc::new(gmac::testutil::NopKernel)));
+    let svc = g.service();
+    let barrier = Arc::new(Barrier::new(sessions + 1));
+    let handles: Vec<_> = (0..sessions)
+        .map(|i| {
+            let client = svc.client(Priority::ALL[i % Priority::ALL.len()]);
+            let barrier = Arc::clone(&barrier);
+            let jobs = scale.jobs_per_session;
+            std::thread::Builder::new()
+                .stack_size(64 * 1024)
+                .spawn(move || {
+                    barrier.wait();
+                    let mut latencies = Vec::with_capacity(jobs);
+                    let mut rejections = 0u64;
+                    for j in 0..jobs as u64 {
+                        let t0 = Instant::now();
+                        let mut attempt = 0u32;
+                        let ticket = loop {
+                            match client.submit(4096, move |s| {
+                                let b = s.alloc(4096)?;
+                                s.store::<u64>(b, j)?;
+                                s.call("nop", LaunchDims::for_elements(1, 1), &[Param::Shared(b)])?;
+                                s.sync()?;
+                                let v = s.load::<u64>(b)?;
+                                s.free(b)?;
+                                Ok(v)
+                            }) {
+                                Ok(t) => break t,
+                                Err(GmacError::Admission { retry_after, .. }) => {
+                                    // Respect the hint (it scales with the
+                                    // backlog) and back off exponentially on
+                                    // consecutive rejections: at the 10k
+                                    // point far more clients than queue
+                                    // slots exist, and without backoff their
+                                    // wakeups alone starve the worker.
+                                    rejections += 1;
+                                    let ns = (retry_after.as_nanos().max(100_000)
+                                        << attempt.min(4))
+                                    .min(2_000_000_000);
+                                    attempt += 1;
+                                    std::thread::sleep(Duration::from_nanos(ns));
+                                }
+                                Err(other) => panic!("submit failed: {other}"),
+                            }
+                        };
+                        let v = ticket.wait().expect("service job");
+                        assert_eq!(v, j);
+                        latencies.push(t0.elapsed().as_nanos() as u64);
+                    }
+                    (latencies, rejections)
+                })
+                .expect("spawn client thread")
+        })
+        .collect();
+
+    barrier.wait();
+    let start = Instant::now();
+    let mut latencies = Vec::with_capacity(sessions * scale.jobs_per_session);
+    let mut rejections = 0u64;
+    for h in handles {
+        let (l, r) = h.join().expect("client thread");
+        latencies.extend(l);
+        rejections += r;
+    }
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    drop(svc);
+    latencies.sort_unstable();
+    let jobs = latencies.len() as u64;
+    LoadPoint {
+        sessions,
+        jobs,
+        wall_ns,
+        jobs_per_sec: jobs as f64 / (wall_ns as f64 / 1e9).max(f64::MIN_POSITIVE),
+        p50_ns: percentile(&latencies, 0.50),
+        p99_ns: percentile(&latencies, 0.99),
+        rejections,
+    }
+}
+
+/// Runs the whole sweep.
+pub fn run_all(scale: Scale) -> Vec<LoadPoint> {
+    scale
+        .session_counts
+        .iter()
+        .map(|&n| run_point(n, scale))
+        .collect()
+}
+
+/// Renders the sweep as the `BENCH_service.json` document (hand-rolled: the
+/// container has no serde). `cores` records the parallelism the numbers
+/// were measured under — on a single core the placer, worker and clients
+/// all timeshare one CPU, so absolute throughput is not comparable across
+/// machines without it.
+pub fn to_json(scale: &str, cores: usize, points: &[LoadPoint]) -> String {
+    let mut out = format!(
+        "{{\n  \"bench\": \"service\",\n  \"scale\": \"{scale}\",\n  \"cores\": {cores},\n  \"unit\": \"wall_ns\",\n  \"points\": [\n"
+    );
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"sessions\": {}, \"jobs\": {}, \"wall_ns\": {}, \"jobs_per_sec\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \"rejections\": {}}}",
+            p.sessions, p.jobs, p.wall_ns, p.jobs_per_sec, p.p50_ns, p.p99_ns, p.rejections,
+        );
+        out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 50);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 1.0), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn json_shape_holds() {
+        let p = LoadPoint {
+            sessions: 100,
+            jobs: 400,
+            wall_ns: 2_000_000,
+            jobs_per_sec: 200_000.0,
+            p50_ns: 4_000,
+            p99_ns: 90_000,
+            rejections: 3,
+        };
+        let j = to_json("quick", 8, &[p]);
+        assert!(j.contains("\"bench\": \"service\""));
+        assert!(j.contains("\"cores\": 8"));
+        assert!(j.contains("\"sessions\": 100"));
+        assert!(j.contains("\"p99_ns\": 90000"));
+        assert!(j.contains("\"rejections\": 3"));
+    }
+}

@@ -164,6 +164,24 @@ pub struct GmacConfig {
     /// up front (committed lazily, 1 GiB chunks). Only consulted with
     /// [`GmacConfig::mmap_backing`] on.
     pub mmap_reserve: u64,
+    /// Run [`crate::Service`] jobs through the queued multi-tenant pipeline
+    /// (the default): submissions land in a bounded deficit-weighted fair
+    /// queue, a placer thread routes each job to the least-loaded device,
+    /// and one worker per device executes it — device contention becomes
+    /// queueing (or an explicit [`crate::GmacError::Admission`]), never a
+    /// client-visible [`crate::GmacError::DeviceBusy`]. `false` is the
+    /// ablation baseline running every submitted job inline on the
+    /// submitting thread over the same placement and accounting code. The
+    /// service is wall-clock-only: digests, virtual times and per-category
+    /// ledgers are **byte-identical** between modes for a serialized run
+    /// (the `service` ablation test enforces this), mirroring
+    /// [`GmacConfig::sharding`], [`GmacConfig::tlb`],
+    /// [`GmacConfig::async_dma`] and [`GmacConfig::mmap_backing`].
+    pub service: bool,
+    /// Capacity (jobs) of the service layer's bounded fair queue; a full
+    /// queue refuses further submissions with
+    /// [`crate::GmacError::Admission`] carrying a retry-after hint.
+    pub service_queue_depth: usize,
     /// Library bookkeeping costs.
     pub costs: GmacCosts,
 }
@@ -184,6 +202,8 @@ impl Default for GmacConfig {
             async_dma: true,
             mmap_backing: true,
             mmap_reserve: 64 << 30,
+            service: true,
+            service_queue_depth: 1024,
             costs: GmacCosts::default(),
         }
     }
@@ -286,6 +306,20 @@ impl GmacConfig {
         self.mmap_reserve = bytes;
         self
     }
+
+    /// Enables or disables the queued service pipeline (`false` = inline
+    /// ablation mode; see [`GmacConfig::service`]).
+    pub fn service(mut self, on: bool) -> Self {
+        self.service = on;
+        self
+    }
+
+    /// Sets the service queue capacity (clamped ≥ 1; see
+    /// [`GmacConfig::service_queue_depth`]).
+    pub fn service_queue_depth(mut self, jobs: usize) -> Self {
+        self.service_queue_depth = jobs.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -311,6 +345,8 @@ mod tests {
             "the mmap-backed address space is the default"
         );
         assert_eq!(c.mmap_reserve, 64 << 30);
+        assert!(c.service, "the queued service pipeline is the default");
+        assert_eq!(c.service_queue_depth, 1024);
         assert_eq!(c.lookup, LookupKind::Tree);
         assert_eq!(c.block_size % PAGE_SIZE, 0);
     }
@@ -330,7 +366,11 @@ mod tests {
             .tlb(false)
             .async_dma(false)
             .mmap_backing(false)
-            .mmap_reserve(8 << 30);
+            .mmap_reserve(8 << 30)
+            .service(false)
+            .service_queue_depth(16);
+        assert!(!c.service);
+        assert_eq!(c.service_queue_depth, 16);
         assert!(!c.sharding);
         assert!(!c.tlb);
         assert!(!c.async_dma);
@@ -355,6 +395,14 @@ mod tests {
     #[test]
     fn rolling_size_clamped_to_one() {
         assert_eq!(GmacConfig::new().rolling_size(0).rolling_size, Some(1));
+    }
+
+    #[test]
+    fn service_queue_depth_clamped_to_one() {
+        assert_eq!(
+            GmacConfig::new().service_queue_depth(0).service_queue_depth,
+            1
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::session::SessionId;
 use cudart::CudaError;
-use hetsim::{DeviceId, SimError};
+use hetsim::{DeviceId, Nanos, SimError};
 use softmmu::{MmuError, VAddr};
 use std::error::Error;
 use std::fmt;
@@ -24,11 +24,27 @@ pub enum GmacError {
     /// A kernel call targeted a device that already has a call in flight
     /// from a *different* session; each accelerator runs at most one
     /// un-synced call at a time, so the owner must sync first.
+    ///
+    /// With the [service layer](crate::service) on, this error never reaches
+    /// clients: contention becomes queueing (or an explicit
+    /// [`GmacError::Admission`]) instead.
     DeviceBusy {
         /// The busy accelerator.
         dev: DeviceId,
         /// The session whose call is in flight.
         owner: SessionId,
+        /// Machine-readable backoff hint: how long the in-flight call is
+        /// expected to take to drain.
+        retry_after: Nanos,
+    },
+    /// The service layer refused a job at submit time (see
+    /// [`crate::service::admission`]). Carries a machine-readable
+    /// retry-after hint so clients can back off instead of hammering.
+    Admission {
+        /// Why the job was refused.
+        reason: AdmissionReason,
+        /// Suggested backoff before resubmitting.
+        retry_after: Nanos,
     },
     /// `free()` targeted a shared object referenced by a still-pending
     /// accelerator call. Freeing it would tear the mapping out from under
@@ -61,6 +77,34 @@ pub enum GmacError {
     Mmu(MmuError),
 }
 
+/// Why the service layer refused a job at admission
+/// ([`GmacError::Admission`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AdmissionReason {
+    /// The bounded service queue is at capacity
+    /// ([`crate::GmacConfig::service_queue_depth`]); retry after the hint.
+    QueueFull {
+        /// Jobs queued at refusal time.
+        queued: usize,
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// The service is shutting down; resubmission will not succeed.
+    Shutdown,
+}
+
+impl fmt::Display for AdmissionReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionReason::QueueFull { queued, capacity } => {
+                write!(f, "service queue full ({queued}/{capacity} jobs)")
+            }
+            AdmissionReason::Shutdown => f.write_str("service is shutting down"),
+        }
+    }
+}
+
 impl fmt::Display for GmacError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -70,10 +114,26 @@ impl fmt::Display for GmacError {
             }
             GmacError::MixedDevices => f.write_str("kernel parameters span multiple accelerators"),
             GmacError::NothingToSync => f.write_str("no accelerator call outstanding"),
-            GmacError::DeviceBusy { dev, owner } => {
+            GmacError::DeviceBusy {
+                dev,
+                owner,
+                retry_after,
+            } => {
                 write!(
                     f,
-                    "device {dev} already has a call in flight from {owner}; sync it first"
+                    "device {dev} already has a call in flight from {owner}; sync it first \
+                     (retry after ~{}ns)",
+                    retry_after.as_nanos()
+                )
+            }
+            GmacError::Admission {
+                reason,
+                retry_after,
+            } => {
+                write!(
+                    f,
+                    "job refused at admission: {reason} (retry after ~{}ns)",
+                    retry_after.as_nanos()
                 )
             }
             GmacError::ObjectInUse { addr, dev, owner } => {
@@ -169,10 +229,12 @@ mod tests {
         let e = GmacError::DeviceBusy {
             dev: DeviceId(1),
             owner: SessionId(3),
+            retry_after: Nanos::from_micros(5),
         };
         assert_eq!(
             e.to_string(),
-            "device gpu1 already has a call in flight from session #3; sync it first"
+            "device gpu1 already has a call in flight from session #3; sync it first \
+             (retry after ~5000ns)"
         );
         let e = GmacError::ObjectInUse {
             addr: VAddr(0x2_0000_0000),
@@ -189,6 +251,33 @@ mod tests {
     }
 
     #[test]
+    fn admission_carries_machine_readable_retry() {
+        let e = GmacError::Admission {
+            reason: AdmissionReason::QueueFull {
+                queued: 3,
+                capacity: 4,
+            },
+            retry_after: Nanos::from_micros(2),
+        };
+        match &e {
+            GmacError::Admission {
+                reason,
+                retry_after,
+            } => {
+                assert_eq!(*retry_after, Nanos::from_micros(2));
+                assert_eq!(reason.to_string(), "service queue full (3/4 jobs)");
+            }
+            _ => unreachable!(),
+        }
+        assert!(e.to_string().contains("2000ns"));
+        assert!(e.source().is_none());
+        assert_eq!(
+            AdmissionReason::Shutdown.to_string(),
+            "service is shutting down"
+        );
+    }
+
+    #[test]
     fn every_variant_has_a_nonempty_display() {
         let variants = [
             GmacError::NotShared(VAddr(1)),
@@ -198,6 +287,18 @@ mod tests {
             GmacError::DeviceBusy {
                 dev: DeviceId(0),
                 owner: SessionId(1),
+                retry_after: Nanos::ZERO,
+            },
+            GmacError::Admission {
+                reason: AdmissionReason::QueueFull {
+                    queued: 8,
+                    capacity: 8,
+                },
+                retry_after: Nanos::from_nanos(1),
+            },
+            GmacError::Admission {
+                reason: AdmissionReason::Shutdown,
+                retry_after: Nanos::ZERO,
             },
             GmacError::ObjectInUse {
                 addr: VAddr(1),

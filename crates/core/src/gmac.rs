@@ -176,6 +176,14 @@ pub(crate) struct Inner {
     /// held across every public operation, recreating the old
     /// one-`Mutex<State>` serialization on top of the same code paths.
     serial: Option<Mutex<()>>,
+    /// Live `(queued jobs, in-flight bytes)` per device, maintained by the
+    /// service layer and consulted by [`SchedPolicy::LeastLoaded`]
+    /// placement. Plain relaxed atomics — load tracking never serializes
+    /// the data path.
+    pub(crate) loads: Arc<crate::service::LoadBoard>,
+    /// Fairness accounting of the most recently built [`crate::Service`]
+    /// (weak: the service owns it; [`crate::Report`] borrows a snapshot).
+    service_stats: Mutex<std::sync::Weak<crate::service::ServiceStats>>,
     /// Bumped by every registry release (claims are disjoint and cannot
     /// stale a memo); route memos from older epochs never hit (see
     /// [`RouteCache`]).
@@ -212,11 +220,24 @@ impl Inner {
                 cuda_initialized: false,
             }),
             serial,
+            loads: Arc::new(crate::service::LoadBoard::new(device_count)),
+            service_stats: Mutex::new(std::sync::Weak::new()),
             route_epoch: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
             next_object: AtomicU64::new(1),
             config,
         }
+    }
+
+    /// Points the report at the service's fairness accounting (called when
+    /// a [`crate::Service`] is built; the latest service wins).
+    pub(crate) fn register_service_stats(&self, stats: &Arc<crate::service::ServiceStats>) {
+        *lock(&self.service_stats) = Arc::downgrade(stats);
+    }
+
+    /// Fairness-accounting snapshot of the live service, if one exists.
+    pub(crate) fn service_snapshot(&self) -> Option<crate::service::ServiceSnapshot> {
+        lock(&self.service_stats).upgrade().map(|s| s.snapshot())
     }
 
     /// Serial gate: a no-op in sharded mode, the big lock in ablation mode.
@@ -306,13 +327,27 @@ impl Inner {
 
     // ----- allocation (Table 1) --------------------------------------------
 
+    /// Placement for a new allocation: session affinity overrides the
+    /// scheduler's policy; otherwise the scheduler decides, with the live
+    /// per-device loads in hand (only [`SchedPolicy::LeastLoaded`] reads
+    /// them).
+    fn place_alloc(&self, view: SessionView) -> DeviceId {
+        view.affinity.unwrap_or_else(|| {
+            let mut control = lock(&self.control);
+            if control.scheduler.policy() == SchedPolicy::LeastLoaded {
+                let loads = self.loads.snapshot();
+                control.scheduler.device_for_alloc_loaded(&loads)
+            } else {
+                control.scheduler.device_for_alloc()
+            }
+        })
+    }
+
     /// `adsmAlloc(size)`: session affinity overrides the scheduler's
     /// placement policy.
     pub(crate) fn alloc(&self, view: SessionView, size: u64) -> GmacResult<SharedPtr> {
         let _g = self.gate();
-        let dev = view
-            .affinity
-            .unwrap_or_else(|| lock(&self.control).scheduler.device_for_alloc());
+        let dev = self.place_alloc(view);
         self.alloc_on_impl(dev, size, false).map(|(ptr, ..)| ptr)
     }
 
@@ -332,9 +367,7 @@ impl Inner {
         safe: bool,
     ) -> GmacResult<(SharedPtr, ObjectId, Option<Arc<ObjFastView>>)> {
         let _g = self.gate();
-        let dev = view
-            .affinity
-            .unwrap_or_else(|| lock(&self.control).scheduler.device_for_alloc());
+        let dev = self.place_alloc(view);
         if safe {
             self.safe_alloc_on_impl(dev, size, true)
         } else {
@@ -378,9 +411,7 @@ impl Inner {
 
     pub(crate) fn safe_alloc(&self, view: SessionView, size: u64) -> GmacResult<SharedPtr> {
         let _g = self.gate();
-        let dev = view
-            .affinity
-            .unwrap_or_else(|| lock(&self.control).scheduler.device_for_alloc());
+        let dev = self.place_alloc(view);
         self.safe_alloc_on_impl(dev, size, false)
             .map(|(ptr, ..)| ptr)
     }
@@ -509,6 +540,10 @@ impl Inner {
                 return Err(GmacError::DeviceBusy {
                     dev,
                     owner: call.session,
+                    // Deterministic drain estimate: the owner's sync pays at
+                    // least the fixed sync bookkeeping before the device
+                    // frees up.
+                    retry_after: self.config.costs.sync_base,
                 });
             }
         }
@@ -904,6 +939,20 @@ impl Gmac {
     fn session_with(&self, affinity: Option<DeviceId>) -> Session {
         let id = self.inner.next_session_id();
         Session::new(Arc::clone(&self.inner), SessionView { id, affinity })
+    }
+
+    /// Builds the multi-tenant [`crate::Service`] front-end over this
+    /// runtime: M client sessions submit jobs through a bounded fair queue,
+    /// a placer routes them to the least-loaded device, and one worker per
+    /// device executes them — contention becomes queueing instead of
+    /// [`GmacError::DeviceBusy`]. With [`GmacConfig::service`] off the
+    /// returned service runs every job inline on the submitting thread
+    /// (ablation mode, byte-identical results).
+    ///
+    /// Drop the service (it drains and joins its threads) before calling
+    /// [`Self::into_platform`] — its workers hold runtime handles.
+    pub fn service(&self) -> crate::service::Service {
+        crate::service::Service::new(Arc::clone(&self.inner))
     }
 
     /// Runs `f` over the simulated platform (kernel registration, file

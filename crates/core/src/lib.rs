@@ -87,6 +87,7 @@ pub(crate) mod registry;
 pub mod report;
 pub mod runtime;
 pub mod sched;
+pub mod service;
 pub mod session;
 pub mod shard;
 pub mod state;
@@ -97,13 +98,17 @@ pub mod xfer;
 #[allow(deprecated)]
 pub use api::Context;
 pub use config::{AalLayer, GmacConfig, GmacCosts, LookupKind, Protocol};
-pub use error::{GmacError, GmacResult};
+pub use error::{AdmissionReason, GmacError, GmacResult};
 pub use gmac::Gmac;
 pub use object::{ObjectId, SharedObject};
 pub use ptr::{Param, SharedPtr};
 pub use report::{ObjectReport, Report};
 pub use runtime::Counters;
 pub use sched::{SchedPolicy, Scheduler};
+pub use service::{
+    ClassSnapshot, JobId, LoadBoard, Priority, Service, ServiceClient, ServiceSnapshot,
+    ServiceStats, Ticket,
+};
 pub use session::{Session, SessionId};
 pub use shard::DeviceShard;
 pub use state::BlockState;

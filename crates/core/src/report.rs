@@ -73,6 +73,13 @@ pub struct Report {
     pub dma_in_flight: u64,
     /// Deepest any per-device engine queue has been since start-up.
     pub dma_queue_high_water: u64,
+    /// Fairness accounting of the live [`crate::Service`] (per-priority
+    /// served bytes, wait and run time); `None` when no service has been
+    /// built or it has been dropped.
+    pub service: Option<crate::service::ServiceSnapshot>,
+    /// Live `(queued jobs, in-flight bytes)` per device from the service
+    /// layer's [`crate::LoadBoard`] (all zero when no service is active).
+    pub device_loads: Vec<(u64, u64)>,
     /// Software-TLB hit rate over all shards (0 with the fast path off or
     /// no accesses).
     pub tlb_hit_rate: f64,
@@ -151,6 +158,8 @@ impl Inner {
             objects,
             dirty_blocks,
             pending_devices,
+            service: self.service_snapshot(),
+            device_loads: self.loads.snapshot(),
             tlb_hit_rate: ratio(counters.tlb_hits, counters.tlb_hits + counters.tlb_misses),
             memo_hit_rate: ratio(
                 counters.obj_memo_hits,
@@ -259,6 +268,41 @@ impl fmt::Display for Report {
             )?;
         } else {
             writeln!(f, "  engine: inline (async_dma off)")?;
+        }
+        if let Some(svc) = &self.service {
+            writeln!(
+                f,
+                "  service: {} submitted / {} completed / {} rejected   served {}",
+                svc.submitted(),
+                svc.completed(),
+                svc.rejected(),
+                fmt_bytes(svc.served_bytes()),
+            )?;
+            for c in &svc.classes {
+                if c.submitted + c.rejected == 0 {
+                    continue;
+                }
+                writeln!(
+                    f,
+                    "    {:<6} {} jobs ({} rejected, {} failed)  served {}  avg wait {:.3} ms",
+                    c.priority.label(),
+                    c.completed,
+                    c.rejected,
+                    c.failed,
+                    fmt_bytes(c.served_bytes),
+                    c.avg_wait_ns() as f64 / 1e6,
+                )?;
+            }
+            let loaded: Vec<String> = self
+                .device_loads
+                .iter()
+                .enumerate()
+                .filter(|(_, &(q, b))| q > 0 || b > 0)
+                .map(|(i, &(q, b))| format!("gpu{i}: {q} jobs/{}", fmt_bytes(b)))
+                .collect();
+            if !loaded.is_empty() {
+                writeln!(f, "    loads: {}", loaded.join("  "))?;
+            }
         }
         writeln!(
             f,
@@ -441,6 +485,39 @@ mod tests {
         assert!(r.objects.is_empty());
         assert_eq!(r.dirty_blocks, 0);
         assert!(!r.to_string().is_empty());
+    }
+
+    #[test]
+    fn report_surfaces_service_fairness_accounting() {
+        let g = gmac(GmacConfig::default());
+        assert!(
+            g.report().service.is_none(),
+            "no service built yet: no section"
+        );
+        let svc = g.service();
+        let t = svc
+            .client(crate::Priority::High)
+            .submit(2048, |s| {
+                let b = s.alloc_typed::<u32>(64)?;
+                b.write(0, 1)?;
+                b.free()?;
+                Ok(0)
+            })
+            .unwrap();
+        t.wait().unwrap();
+        let r = g.report();
+        let snap = r.service.expect("live service appears in the report");
+        assert_eq!(snap.completed(), 1);
+        assert_eq!(snap.served_bytes(), 2048);
+        assert_eq!(r.device_loads.len(), g.device_count());
+        let text = r.to_string();
+        assert!(text.contains("service: 1 submitted / 1 completed / 0 rejected"));
+        assert!(text.contains("high"), "per-class row names the class");
+        drop(svc);
+        assert!(
+            g.report().service.is_none(),
+            "dropped service leaves no dangling section"
+        );
     }
 
     #[test]

@@ -2,9 +2,11 @@
 //!
 //! The paper's kernel scheduler "selects the most appropriate accelerator for
 //! execution of a given kernel" (§4.1) and defers detailed policies to
-//! Jimenez et al. \[29\]. This module provides the two policies the
+//! Jimenez et al. \[29\]. This module provides the three policies the
 //! experiments need: pinning everything to one device (the single-GPU
-//! platform of §5) and round-robin placement for multi-accelerator tests.
+//! platform of §5), round-robin placement for multi-accelerator tests, and
+//! load-aware placement fed by the service layer's
+//! [`LoadBoard`](crate::service::LoadBoard).
 
 use hetsim::DeviceId;
 
@@ -15,6 +17,12 @@ pub enum SchedPolicy {
     Fixed(DeviceId),
     /// Rotate allocations across all devices.
     RoundRobin,
+    /// Route each allocation to the least-loaded device per the live
+    /// `(queued jobs, in-flight bytes)` pairs on the service layer's
+    /// [`LoadBoard`](crate::service::LoadBoard); degrades to round-robin
+    /// when every device is idle (or no load data is supplied), so an
+    /// unloaded system keeps rotating instead of piling onto device 0.
+    LeastLoaded,
 }
 
 /// The allocation/kernel scheduler.
@@ -54,15 +62,75 @@ impl Scheduler {
         self.policy = policy;
     }
 
-    /// Chooses the device for a new allocation.
+    /// Round-robin rotation that **skips** devices the filter excludes,
+    /// advancing `next` past them — the counter can never hand out an
+    /// excluded device, and it does not stall on one either (the pre-filter
+    /// counter naively returned `next % device_count` even when a session's
+    /// affinity excluded that device). If the filter rejects every device,
+    /// the unfiltered rotation choice is returned as a fallback.
+    fn rotate(&mut self, allowed: impl Fn(DeviceId) -> bool) -> DeviceId {
+        for _ in 0..self.device_count {
+            let dev = DeviceId(self.next % self.device_count);
+            self.next += 1;
+            if allowed(dev) {
+                return dev;
+            }
+        }
+        let dev = DeviceId(self.next % self.device_count);
+        self.next += 1;
+        dev
+    }
+
+    /// Chooses the device for a new allocation (no load information:
+    /// [`SchedPolicy::LeastLoaded`] degrades to round-robin).
     pub fn device_for_alloc(&mut self) -> DeviceId {
+        self.device_for_alloc_loaded(&[])
+    }
+
+    /// Chooses the device for a new allocation given the live per-device
+    /// `(queued jobs, in-flight bytes)` pairs (the service layer's
+    /// [`LoadBoard`](crate::service::LoadBoard) snapshot, in id order).
+    /// Only [`SchedPolicy::LeastLoaded`] consults the loads; a stale or
+    /// missing snapshot (length mismatch, all idle) falls back to the
+    /// round-robin rotation so placement keeps making progress.
+    pub fn device_for_alloc_loaded(&mut self, loads: &[(u64, u64)]) -> DeviceId {
         match self.policy {
             SchedPolicy::Fixed(dev) => dev,
-            SchedPolicy::RoundRobin => {
-                let dev = DeviceId(self.next % self.device_count);
-                self.next += 1;
-                dev
+            SchedPolicy::RoundRobin => self.rotate(|_| true),
+            SchedPolicy::LeastLoaded => {
+                if loads.len() == self.device_count && loads.iter().any(|&(q, b)| q > 0 || b > 0) {
+                    let (idx, _) = loads
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(i, &(q, b))| (q, b, i))
+                        .expect("at least one device");
+                    DeviceId(idx)
+                } else {
+                    self.rotate(|_| true)
+                }
             }
+        }
+    }
+
+    /// Chooses the device for a new allocation among the devices `allowed`
+    /// admits (a session affinity restricted to a subset of accelerators).
+    /// Rotating policies advance their counter *past* excluded devices;
+    /// [`SchedPolicy::Fixed`] falls back to the first
+    /// allowed device when its pin is excluded (or keeps the pin when
+    /// nothing is allowed, surfacing the affinity conflict downstream).
+    pub fn device_for_alloc_where(&mut self, allowed: impl Fn(DeviceId) -> bool) -> DeviceId {
+        match self.policy {
+            SchedPolicy::Fixed(dev) => {
+                if allowed(dev) {
+                    dev
+                } else {
+                    (0..self.device_count)
+                        .map(DeviceId)
+                        .find(|&d| allowed(d))
+                        .unwrap_or(dev)
+                }
+            }
+            SchedPolicy::RoundRobin | SchedPolicy::LeastLoaded => self.rotate(allowed),
         }
     }
 
@@ -70,7 +138,7 @@ impl Scheduler {
     pub fn default_device(&self) -> DeviceId {
         match self.policy {
             SchedPolicy::Fixed(dev) => dev,
-            SchedPolicy::RoundRobin => DeviceId(0),
+            SchedPolicy::RoundRobin | SchedPolicy::LeastLoaded => DeviceId(0),
         }
     }
 }
@@ -96,10 +164,69 @@ mod tests {
     }
 
     #[test]
+    fn round_robin_skips_excluded_devices() {
+        // A session whose affinity excludes device 1 must never be handed
+        // device 1, and the counter must advance past it rather than stall.
+        let mut s = Scheduler::new(SchedPolicy::RoundRobin, 3);
+        let seq: Vec<_> = (0..4)
+            .map(|_| s.device_for_alloc_where(|d| d.0 != 1).0)
+            .collect();
+        assert_eq!(seq, [0, 2, 0, 2]);
+        // The shared counter advanced past the skipped slots (6 consumed
+        // over 4 placements): an unfiltered call continues the rotation
+        // from there instead of replaying one.
+        assert_eq!(s.device_for_alloc(), DeviceId(0));
+        assert_eq!(s.device_for_alloc(), DeviceId(1));
+    }
+
+    #[test]
+    fn fully_excluded_rotation_still_places() {
+        let mut s = Scheduler::new(SchedPolicy::RoundRobin, 2);
+        // Nothing allowed: fall back to the plain rotation (placement must
+        // make progress; the bogus choice surfaces downstream).
+        let dev = s.device_for_alloc_where(|_| false);
+        assert!(dev.0 < 2);
+    }
+
+    #[test]
+    fn fixed_policy_respects_exclusion_when_possible() {
+        let mut s = Scheduler::new(SchedPolicy::Fixed(DeviceId(0)), 3);
+        assert_eq!(s.device_for_alloc_where(|d| d.0 != 0), DeviceId(1));
+        assert_eq!(s.device_for_alloc_where(|_| false), DeviceId(0));
+    }
+
+    #[test]
+    fn least_loaded_picks_min_and_breaks_ties_by_bytes() {
+        let mut s = Scheduler::new(SchedPolicy::LeastLoaded, 3);
+        assert_eq!(
+            s.device_for_alloc_loaded(&[(2, 0), (1, 500), (1, 100)]),
+            DeviceId(2),
+            "equal queue depth: fewer in-flight bytes wins"
+        );
+        assert_eq!(
+            s.device_for_alloc_loaded(&[(0, 0), (3, 0), (1, 0)]),
+            DeviceId(0)
+        );
+    }
+
+    #[test]
+    fn least_loaded_idles_into_round_robin() {
+        let mut s = Scheduler::new(SchedPolicy::LeastLoaded, 3);
+        let idle = [(0, 0); 3];
+        let seq: Vec<_> = (0..6).map(|_| s.device_for_alloc_loaded(&idle).0).collect();
+        assert_eq!(seq, [0, 1, 2, 0, 1, 2], "idle board keeps rotating");
+        // Missing/mismatched load data also degrades to rotation.
+        assert_eq!(s.device_for_alloc_loaded(&[(5, 5)]), DeviceId(0));
+        assert_eq!(s.default_device(), DeviceId(0));
+    }
+
+    #[test]
     fn policy_can_change_at_runtime() {
         let mut s = Scheduler::new(SchedPolicy::Fixed(DeviceId(0)), 2);
         s.set_policy(SchedPolicy::RoundRobin);
         assert_eq!(s.policy(), SchedPolicy::RoundRobin);
+        s.set_policy(SchedPolicy::LeastLoaded);
+        assert_eq!(s.policy(), SchedPolicy::LeastLoaded);
     }
 
     #[test]

@@ -554,7 +554,7 @@ mod tests {
         )
         .unwrap();
         match b.call("nop", LaunchDims::for_elements(1, 1), &[]) {
-            Err(GmacError::DeviceBusy { dev, owner }) => {
+            Err(GmacError::DeviceBusy { dev, owner, .. }) => {
                 assert_eq!(dev, DeviceId(0));
                 assert_eq!(owner, a.id());
             }

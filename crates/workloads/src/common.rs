@@ -203,6 +203,61 @@ pub fn run_variant_with(
     }
 }
 
+/// A workload packaged for submission to the [`gmac::Service`] front-end:
+/// the byte-footprint hint admission and deficit-weighted fairness account
+/// in, plus the boxed job closure the service executes on a placed session.
+/// Built by [`service_job`] or the per-workload `job()` constructors.
+pub struct JobSpec {
+    /// Approximate bytes the job touches (the service's fairness currency).
+    pub bytes_hint: u64,
+    /// Runs the workload's GMAC variant; returns its output digest.
+    pub job: gmac::service::JobFn,
+}
+
+impl fmt::Debug for JobSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobSpec")
+            .field("bytes_hint", &self.bytes_hint)
+            .finish()
+    }
+}
+
+impl JobSpec {
+    /// Submits this job through a service client.
+    ///
+    /// # Errors
+    /// [`GmacError::Admission`] when the service queue is full or closing.
+    pub fn submit(self, client: &gmac::ServiceClient) -> gmac::GmacResult<gmac::Ticket> {
+        client.submit_boxed(self.bytes_hint, self.job)
+    }
+}
+
+/// Maps a workload failure to the runtime error a service ticket carries:
+/// GMAC errors pass through untouched; shim/validation failures (which
+/// cannot occur on the session-only job path short of a bug) surface as
+/// unresolved faults.
+fn job_error(e: WorkloadError) -> GmacError {
+    match e {
+        WorkloadError::Gmac(e) => e,
+        other => GmacError::UnresolvedFault(format!("workload failure: {other}")),
+    }
+}
+
+/// Packages a workload's GMAC variant as a service job with the given byte
+/// hint. The job runs on whatever device-pinned session the service's
+/// placer assigns and returns the workload's output digest, so cross-mode
+/// digest comparisons work unchanged through the queue. The workload's
+/// kernels must already be registered on the runtime's platform.
+pub fn service_job<W>(w: W, bytes_hint: u64) -> JobSpec
+where
+    W: Workload + Send + 'static,
+{
+    JobSpec {
+        bytes_hint,
+        job: Box::new(move |session| w.run_gmac(session).map_err(job_error)),
+    }
+}
+
 /// FNV-1a streaming digest for cross-variant output comparison.
 #[derive(Debug, Clone, Copy)]
 pub struct Digest(u64);

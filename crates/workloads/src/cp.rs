@@ -123,6 +123,13 @@ impl Cp {
     fn charge_atom_generation(&self, p: &Platform) {
         p.cpu_compute(self.natoms as f64 * 24.0, self.atoms_bytes() as f64);
     }
+
+    /// Packages this instance as a service job (atom set + potential grid
+    /// is the byte hint).
+    pub fn job(self) -> crate::common::JobSpec {
+        let hint = self.atoms_bytes() + self.grid_bytes();
+        crate::common::service_job(self, hint)
+    }
 }
 
 const Z0: f64 = 0.55;

@@ -34,8 +34,8 @@ pub mod tpacf;
 pub mod vecadd;
 
 pub use common::{
-    run_variant, run_variant_with, Digest, Prng, RunResult, Variant, Workload, WorkloadError,
-    WorkloadResult,
+    run_variant, run_variant_with, service_job, Digest, JobSpec, Prng, RunResult, Variant,
+    Workload, WorkloadError, WorkloadResult,
 };
 
 /// The seven Parboil workloads at their default (figure) scales, in the

@@ -112,6 +112,14 @@ impl Stencil3d {
         self.cells() as u64 * 4
     }
 
+    /// Packages this instance as a service job (the two ping-pong volumes
+    /// is the byte hint). The volume-dump files must already exist on the
+    /// platform ([`crate::Workload::prepare`]).
+    pub fn job(self) -> crate::common::JobSpec {
+        let hint = self.bytes() * 2;
+        crate::common::service_job(self, hint)
+    }
+
     /// The source emitter: a small run of cells at the volume centre
     /// (values depend on the time-step so dumps differ per step).
     fn source_cells(&self, step: usize) -> Vec<(usize, f32)> {

@@ -63,6 +63,13 @@ impl VecAdd {
         self.n as u64 * 4
     }
 
+    /// Packages this instance as a service job (three `n`-element vectors
+    /// is the byte hint).
+    pub fn job(self) -> crate::common::JobSpec {
+        let hint = self.bytes() * 3;
+        crate::common::service_job(self, hint)
+    }
+
     fn inputs(&self) -> (Vec<f32>, Vec<f32>) {
         let a: Vec<f32> = (0..self.n).map(|i| (i % 9973) as f32 * 0.25).collect();
         let b: Vec<f32> = (0..self.n).map(|i| (i % 7919) as f32 * 0.5).collect();

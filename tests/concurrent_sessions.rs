@@ -208,7 +208,7 @@ fn foreign_session_cannot_sync_or_stack_on_a_busy_device() {
 
     // A different session cannot launch on the busy device...
     match intruder.call("affine", LaunchDims::for_elements(1, 1), &[]) {
-        Err(GmacError::DeviceBusy { dev, owner }) => {
+        Err(GmacError::DeviceBusy { dev, owner, .. }) => {
             assert_eq!(dev, DeviceId(0));
             assert_eq!(owner, s0.id());
         }
