@@ -1,0 +1,67 @@
+//! Oversubscription sweep for device-memory-as-a-cache eviction: a working
+//! set 4–5x device memory cycles through kernel calls under LRU and clock
+//! victim selection, with and without a host budget small enough to spill
+//! to the disk tier, against an un-oversubscribed reference.
+//!
+//! Every mode must produce byte-identical output digests, and the reference
+//! must be virtual-time identical with eviction on and off (the machinery
+//! is free until the device actually runs out) — `run_all` asserts both.
+//! The recorded numbers are the *price* of oversubscription: virtual-time
+//! slowdown over the reference, evictions, re-fetches and disk spills.
+//! Results land in `results/BENCH_evict.json`.
+//!
+//! Usage: `evict [--quick]`
+
+use gmac_bench::evict::{run_all, to_json, Scale};
+use gmac_bench::TextTable;
+use std::io::Write as _;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "eviction/oversubscription sweep ({} scale): {} working set on a {} device ({:.1}x)\n",
+        if quick { "quick" } else { "full" },
+        gmac_bench::fmt_bytes(scale.working_set()),
+        gmac_bench::fmt_bytes(scale.device_mem),
+        scale.oversubscription(),
+    );
+
+    let results = run_all(scale);
+    let reference_ns = results
+        .iter()
+        .find(|(m, _)| *m == gmac_bench::evict::Mode::Reference)
+        .map_or(1, |(_, s)| s.virtual_ns.max(1));
+
+    let mut table = TextTable::new([
+        "mode",
+        "virtual time",
+        "slowdown",
+        "evictions",
+        "refetches",
+        "evicted",
+        "spills",
+    ]);
+    for (mode, s) in &results {
+        table.row([
+            mode.label().to_string(),
+            gmac_bench::fmt_secs(s.virtual_ns as f64 / 1e9),
+            gmac_bench::fmt_ratio(s.virtual_ns as f64 / reference_ns as f64),
+            s.evictions.to_string(),
+            s.refetches.to_string(),
+            gmac_bench::fmt_bytes(s.evicted_bytes),
+            s.disk_spills.to_string(),
+        ]);
+    }
+    gmac_bench::emit("evict", &table.render());
+    println!("all modes digest-identical; reference evict on/off virtual-time identical");
+
+    let json = to_json(if quick { "quick" } else { "full" }, cores, scale, &results);
+    if std::fs::create_dir_all("results").is_ok() {
+        if let Ok(mut f) = std::fs::File::create("results/BENCH_evict.json") {
+            let _ = f.write_all(json.as_bytes());
+            println!("wrote results/BENCH_evict.json");
+        }
+    }
+}

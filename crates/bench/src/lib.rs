@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod contention;
+pub mod evict;
 pub mod hotpath;
 pub mod overlap;
 pub mod service;

@@ -10,6 +10,7 @@
 //! The public surface lives on [`crate::Session`] (and the deprecated
 //! [`crate::Context`] shim); this module holds the shared implementation.
 
+use crate::config::Protocol;
 use crate::error::GmacResult;
 use crate::ptr::SharedPtr;
 use crate::shard::DeviceShard;
@@ -21,6 +22,12 @@ impl DeviceShard {
     /// shard's lock; the `memcpy` family lives on [`crate::gmac::Inner`]
     /// because a shared-to-shared copy may span two shards.
     pub(crate) fn memset_locked(&mut self, ptr: SharedPtr, value: u8, len: u64) -> GmacResult<()> {
+        // The device-side fill needs a device window; an evicted target is
+        // re-homed first. Batch-update fills host-side instead and its
+        // evicted objects stay host-authoritative, so it skips the re-fetch.
+        if self.protocol.kind() != Protocol::Batch {
+            self.ensure_resident(ptr.addr(), &[])?;
+        }
         let (start, _) = self.locate(ptr.addr())?;
         let offset = ptr.addr() - start;
         self.protocol

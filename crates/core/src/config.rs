@@ -61,6 +61,37 @@ pub enum AalLayer {
     Driver,
 }
 
+/// Victim-selection policy when a shard must evict resident objects to make
+/// room for a new allocation (see [`GmacConfig::evict`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EvictPolicy {
+    /// Evict the least-recently-touched resident object first (exact LRU
+    /// over per-object last-touch stamps fed by the access fast path and
+    /// call boundaries).
+    #[default]
+    Lru,
+    /// Clock / second-chance: sweep a hand over resident objects, clearing
+    /// reference bits and evicting the first object found unreferenced —
+    /// the classic approximation that avoids a full stamp sort.
+    Clock,
+}
+
+impl EvictPolicy {
+    /// Display label used in reports and bench JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            EvictPolicy::Lru => "lru",
+            EvictPolicy::Clock => "clock",
+        }
+    }
+}
+
+impl std::fmt::Display for EvictPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Host-side bookkeeping costs of the GMAC library itself.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GmacCosts {
@@ -182,6 +213,31 @@ pub struct GmacConfig {
     /// queue refuses further submissions with
     /// [`crate::GmacError::Admission`] carrying a retry-after hint.
     pub service_queue_depth: usize,
+    /// Treat device memory as a cache over host memory (the default): when
+    /// an allocation does not fit, the shard evicts cold *unpinned* resident
+    /// objects back to host (D2H through the ordinary plan/execute
+    /// machinery, then the device range is released to the first-fit
+    /// allocator) and retries, re-fetching lazily on the next
+    /// `adsmCall`/access that needs them. Objects referenced by a pending
+    /// call are never victims, and an object is never evicted while a
+    /// transfer on it is in flight (in-flight DMA makes it a victim of last
+    /// resort, joined before eviction). `false` is the
+    /// ablation baseline: allocation pressure surfaces immediately as
+    /// [`crate::GmacError::DeviceOom`]. Eviction bookkeeping (touch stamps)
+    /// is wall-clock-only; the eviction machinery itself charges virtual
+    /// time only on the out-of-memory path, so when capacity suffices the
+    /// two modes are **byte-identical** in virtual time, mirroring the
+    /// other ablation toggles.
+    pub evict: bool,
+    /// Victim-selection policy used when [`GmacConfig::evict`] is on.
+    pub evict_policy: EvictPolicy,
+    /// Simulated host-memory budget (bytes) per shard for evicted object
+    /// images. When the bytes evicted-to-host on one shard exceed this,
+    /// the coldest evicted images spill write-behind to `hetsim`'s disk
+    /// tier (priced as file I/O in the virtual ledger) and are read back
+    /// at re-fetch. `None` (the default) models an unconstrained host:
+    /// nothing ever spills.
+    pub host_capacity: Option<u64>,
     /// Library bookkeeping costs.
     pub costs: GmacCosts,
 }
@@ -204,6 +260,9 @@ impl Default for GmacConfig {
             mmap_reserve: 64 << 30,
             service: true,
             service_queue_depth: 1024,
+            evict: true,
+            evict_policy: EvictPolicy::Lru,
+            host_capacity: None,
             costs: GmacCosts::default(),
         }
     }
@@ -320,6 +379,28 @@ impl GmacConfig {
         self.service_queue_depth = jobs.max(1);
         self
     }
+
+    /// Enables or disables device-memory-as-a-cache eviction (`false` =
+    /// fail-fast [`crate::GmacError::DeviceOom`] ablation mode; see
+    /// [`GmacConfig::evict`]).
+    pub fn evict(mut self, on: bool) -> Self {
+        self.evict = on;
+        self
+    }
+
+    /// Selects the eviction victim policy (see [`GmacConfig::evict_policy`]).
+    pub fn evict_policy(mut self, policy: EvictPolicy) -> Self {
+        self.evict_policy = policy;
+        self
+    }
+
+    /// Sets the simulated per-shard host budget for evicted images; beyond
+    /// it, cold images spill to the disk tier (see
+    /// [`GmacConfig::host_capacity`]).
+    pub fn host_capacity(mut self, bytes: u64) -> Self {
+        self.host_capacity = Some(bytes);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -347,6 +428,9 @@ mod tests {
         assert_eq!(c.mmap_reserve, 64 << 30);
         assert!(c.service, "the queued service pipeline is the default");
         assert_eq!(c.service_queue_depth, 1024);
+        assert!(c.evict, "device-memory-as-a-cache eviction is the default");
+        assert_eq!(c.evict_policy, EvictPolicy::Lru);
+        assert_eq!(c.host_capacity, None, "unconstrained host by default");
         assert_eq!(c.lookup, LookupKind::Tree);
         assert_eq!(c.block_size % PAGE_SIZE, 0);
     }
@@ -368,7 +452,13 @@ mod tests {
             .mmap_backing(false)
             .mmap_reserve(8 << 30)
             .service(false)
-            .service_queue_depth(16);
+            .service_queue_depth(16)
+            .evict(false)
+            .evict_policy(EvictPolicy::Clock)
+            .host_capacity(32 << 20);
+        assert!(!c.evict);
+        assert_eq!(c.evict_policy, EvictPolicy::Clock);
+        assert_eq!(c.host_capacity, Some(32 << 20));
         assert!(!c.service);
         assert_eq!(c.service_queue_depth, 16);
         assert!(!c.sharding);
@@ -410,5 +500,12 @@ mod tests {
         assert_eq!(Protocol::Batch.label(), "GMAC Batch");
         assert_eq!(Protocol::Rolling.to_string(), "GMAC Rolling");
         assert_eq!(Protocol::ALL.len(), 3);
+    }
+
+    #[test]
+    fn evict_policy_labels() {
+        assert_eq!(EvictPolicy::Lru.to_string(), "lru");
+        assert_eq!(EvictPolicy::Clock.label(), "clock");
+        assert_eq!(EvictPolicy::default(), EvictPolicy::Lru);
     }
 }

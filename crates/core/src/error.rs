@@ -57,6 +57,21 @@ pub enum GmacError {
         /// Session whose call holds the object (the one that must sync).
         owner: SessionId,
     },
+    /// A device window genuinely cannot hold the requested allocation:
+    /// either eviction is disabled ([`crate::GmacConfig::evict`] off) or
+    /// every resident object was pinned (referenced by a pending call or
+    /// with DMA in flight) and no unpinned victim could free enough room.
+    /// With eviction on and unpinned victims available, allocations succeed
+    /// by evicting instead of surfacing this error.
+    DeviceOom {
+        /// Bytes the allocation asked the device allocator for (rounded to
+        /// the allocator's alignment granule).
+        requested: u64,
+        /// Free device bytes at the time of refusal (possibly fragmented).
+        free: u64,
+        /// The full device.
+        device: DeviceId,
+    },
     /// An access spans beyond the end of a shared object.
     OutOfObjectBounds {
         /// Object start.
@@ -141,6 +156,17 @@ impl fmt::Display for GmacError {
                     f,
                     "shared object at {addr} is referenced by {owner}'s call in flight on \
                      device {dev}; sync before freeing"
+                )
+            }
+            GmacError::DeviceOom {
+                requested,
+                free,
+                device,
+            } => {
+                write!(
+                    f,
+                    "device {device} out of memory: requested {requested} bytes, {free} free \
+                     and no evictable victim"
                 )
             }
             GmacError::OutOfObjectBounds { base, offset, len } => {
@@ -251,6 +277,21 @@ mod tests {
     }
 
     #[test]
+    fn device_oom_names_device_and_sizes() {
+        let e = GmacError::DeviceOom {
+            requested: 1 << 20,
+            free: 4096,
+            device: DeviceId(2),
+        };
+        let text = e.to_string();
+        assert!(
+            text.contains("gpu2") && text.contains("1048576") && text.contains("4096"),
+            "DeviceOom must name the device, request and free bytes: {text}"
+        );
+        assert!(e.source().is_none());
+    }
+
+    #[test]
     fn admission_carries_machine_readable_retry() {
         let e = GmacError::Admission {
             reason: AdmissionReason::QueueFull {
@@ -304,6 +345,11 @@ mod tests {
                 addr: VAddr(1),
                 dev: DeviceId(0),
                 owner: SessionId(0),
+            },
+            GmacError::DeviceOom {
+                requested: 4096,
+                free: 0,
+                device: DeviceId(0),
             },
             GmacError::OutOfObjectBounds {
                 base: VAddr(1),

@@ -199,6 +199,7 @@ impl Inner {
         let engine = config
             .async_dma
             .then(|| Arc::new(DmaEngine::new(Arc::clone(&platform))));
+        let loads = Arc::new(crate::service::LoadBoard::new(device_count));
         let shards = (0..device_count)
             .map(|i| {
                 Mutex::new(DeviceShard::new(
@@ -206,6 +207,7 @@ impl Inner {
                     Arc::clone(&platform),
                     &config,
                     engine.clone(),
+                    Arc::clone(&loads),
                 ))
             })
             .collect();
@@ -220,7 +222,7 @@ impl Inner {
                 cuda_initialized: false,
             }),
             serial,
-            loads: Arc::new(crate::service::LoadBoard::new(device_count)),
+            loads,
             service_stats: Mutex::new(std::sync::Weak::new()),
             route_epoch: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
@@ -389,7 +391,11 @@ impl Inner {
             .spend(Category::Malloc, self.config.costs.alloc_base);
         let size = VAddr(size.max(1)).page_up().0;
         // 1. Accelerator memory first (its allocator dictates the address).
-        let dev_addr = self.platform.dev_alloc(dev, size)?;
+        //    The shard treats device memory as a cache: under pressure it
+        //    evicts cold objects instead of failing (the shard guard is a
+        //    temporary, dropped before the registry write below — no
+        //    gmac-level locks nest).
+        let dev_addr = self.shard(dev).alloc_device_range(size, &[])?;
         // 2. Mirror the same numeric range in system memory — the paper's
         //    fixed-address mmap trick (§4.2). The registry is the global
         //    arbiter of host ranges (per-shard MMUs only see their own).
@@ -400,6 +406,21 @@ impl Inner {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .claim_fixed(addr, size, dev);
         if !claimed {
+            // Eviction recycles device windows whose former owner still
+            // claims the matching host range (the claim outlives the device
+            // copy). That is not a user-visible collision: fall back to a
+            // non-unified claim, exactly like `safe_alloc`. Genuine
+            // cross-device collisions keep surfacing `AddressCollision`.
+            if self.shard(dev).evicted_overlaps(addr, size) {
+                let anywhere = self
+                    .registry
+                    .write()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .claim_anywhere(size, dev);
+                if let Some(addr) = anywhere {
+                    return self.install(dev, dev_addr, addr, size, want_fast);
+                }
+            }
             self.platform.dev_free(dev, dev_addr)?;
             return Err(GmacError::AddressCollision(addr));
         }
@@ -433,7 +454,7 @@ impl Inner {
         self.platform
             .spend(Category::Malloc, self.config.costs.alloc_base);
         let size = VAddr(size.max(1)).page_up().0;
-        let dev_addr = self.platform.dev_alloc(dev, size)?;
+        let dev_addr = self.shard(dev).alloc_device_range(size, &[])?;
         let addr = self
             .registry
             .write()
@@ -483,7 +504,10 @@ impl Inner {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .release(start);
         self.bump_route_epoch();
-        self.platform.dev_free(dev, dev_addr)?;
+        // Evicted objects own no device range; there is nothing to return.
+        if let Some(dev_addr) = dev_addr {
+            self.platform.dev_free(dev, dev_addr)?;
+        }
         Ok(())
     }
 
@@ -550,11 +574,15 @@ impl Inner {
 
         // Build the argument list (device-address translation) under the
         // shard lock; a pointer freed since routing surfaces as NotShared.
+        // Evicted parameter objects are re-homed first — already-processed
+        // parameters are pinned so a later re-fetch cannot evict them out
+        // from under the very call being assembled.
         let mut objects = Vec::new();
         let mut args = Vec::with_capacity(params.len());
         for param in params {
             match param {
                 Param::Shared(ptr) => {
+                    shard.ensure_resident(ptr.addr(), &objects)?;
                     let obj = shard
                         .mgr
                         .find(ptr.addr())

@@ -75,6 +75,7 @@ pub mod api;
 pub mod bulk;
 pub mod config;
 pub mod error;
+pub mod evict;
 pub(crate) mod fasttime;
 pub(crate) mod fastview;
 pub mod gmac;
@@ -97,12 +98,13 @@ pub mod xfer;
 
 #[allow(deprecated)]
 pub use api::Context;
-pub use config::{AalLayer, GmacConfig, GmacCosts, LookupKind, Protocol};
+pub use config::{AalLayer, EvictPolicy, GmacConfig, GmacCosts, LookupKind, Protocol};
 pub use error::{AdmissionReason, GmacError, GmacResult};
+pub use evict::EvictState;
 pub use gmac::Gmac;
 pub use object::{ObjectId, SharedObject};
 pub use ptr::{Param, SharedPtr};
-pub use report::{ObjectReport, Report};
+pub use report::{EvictionReport, ObjectReport, Report};
 pub use runtime::Counters;
 pub use sched::{SchedPolicy, Scheduler};
 pub use service::{

@@ -113,6 +113,12 @@ pub struct SharedObject {
     /// Per-block coherence states (block `i` covers
     /// `[i * block_size, min((i+1) * block_size, size))`).
     states: Vec<BlockState>,
+    /// True while the object owns a device range. Evicting the object under
+    /// allocation pressure releases its device window back to the first-fit
+    /// allocator and clears this flag; the host mirror then holds the only
+    /// copy (every block Dirty, pages read-write) until a later
+    /// `adsmCall`/access re-claims a window and re-fetches lazily.
+    resident: bool,
     /// Lock-free mirror consumed by the mmap fast path; `None` when the
     /// object does not qualify (table-walk backend, non-contiguous host
     /// bytes, odd block geometry). Every [`Self::set_state`] publishes into
@@ -153,8 +159,31 @@ impl SharedObject {
             region,
             block_size,
             states,
+            resident: true,
             fast: None,
         }
+    }
+
+    /// True while the object owns a device window (see the `resident`
+    /// field). Non-resident objects are host-authoritative: every block is
+    /// Dirty and the device address is meaningless until re-fetch.
+    pub fn is_resident(&self) -> bool {
+        self.resident
+    }
+
+    /// Marks the object evicted: its device window has been released. The
+    /// caller (the shard's evictor) is responsible for having fetched
+    /// device-only bytes to host and set every block Dirty first.
+    pub(crate) fn mark_evicted(&mut self) {
+        self.resident = false;
+    }
+
+    /// Re-homes the object at a freshly allocated device window. The host
+    /// copy stays authoritative (blocks remain Dirty); the next release
+    /// flushes everything through the ordinary plan/execute machinery.
+    pub(crate) fn mark_resident(&mut self, dev_addr: DevAddr) {
+        self.dev_addr = dev_addr;
+        self.resident = true;
     }
 
     /// Attaches the fast-path mirror and publishes the current state vector
@@ -229,6 +258,7 @@ impl SharedObject {
     /// Panics in debug builds if `addr` is outside the object.
     pub fn translate(&self, addr: VAddr) -> DevAddr {
         debug_assert!(self.contains(addr), "translate of foreign address");
+        debug_assert!(self.resident, "translate of evicted object");
         self.dev_addr.add(addr - self.addr)
     }
 
@@ -447,6 +477,20 @@ mod tests {
         assert_eq!(runs[2].blocks, 5..6);
         assert_eq!(runs[3].state, BlockState::Invalid);
         assert_eq!(runs[3].blocks, 6..8);
+    }
+
+    #[test]
+    fn residency_round_trips_through_a_new_device_window() {
+        let mut o = obj(8192, 4096);
+        assert!(o.is_resident(), "fresh objects own a device window");
+        o.mark_evicted();
+        assert!(!o.is_resident());
+        // Re-fetch may land at a different device address; translation
+        // follows the new window.
+        o.mark_resident(DevAddr(0x40_0000));
+        assert!(o.is_resident());
+        assert_eq!(o.translate(VAddr(0x10_0010)).0, 0x40_0010);
+        assert!(!o.is_unified(), "re-homed window loses unified addressing");
     }
 
     #[test]

@@ -86,6 +86,11 @@ impl CoherenceProtocol for BatchUpdate {
             if obj.device() != dev {
                 continue;
             }
+            // Evicted objects own no device window: the host copy stays
+            // authoritative (Dirty) until a call argument re-homes them.
+            if !obj.is_resident() {
+                continue;
+            }
             if obj.state(0) != BlockState::Invalid {
                 plan.request(&obj, 0, obj.size());
             }
@@ -107,6 +112,11 @@ impl CoherenceProtocol for BatchUpdate {
         for addr in mgr.addrs() {
             let obj = mgr.find(addr).expect("registered object").clone();
             if obj.device() != dev {
+                continue;
+            }
+            // Evicted objects were never pushed to the device by the
+            // matching release: nothing to fetch, already Dirty on host.
+            if !obj.is_resident() {
                 continue;
             }
             if crate::protocol::is_written(writes.as_deref(), addr) {

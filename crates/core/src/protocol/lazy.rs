@@ -97,6 +97,11 @@ impl CoherenceProtocol for LazyUpdate {
             if obj.device() != dev {
                 continue;
             }
+            // Evicted objects own no device window: the host copy stays
+            // authoritative (Dirty, pages read-write) until re-fetch.
+            if !obj.is_resident() {
+                continue;
+            }
             let state = obj.state(0);
             // Only objects modified by the CPU move (first benefit in §4.3).
             if state == BlockState::Dirty {

@@ -136,6 +136,34 @@ pub trait CoherenceProtocol: std::fmt::Debug + Send {
             .sum()
     }
 
+    /// Hook just before the object at `addr` is evicted from device memory
+    /// (the shard has already fetched device-only bytes to host and will
+    /// set every block Dirty). Protocols with bookkeeping tied to the
+    /// device copy (rolling-update's dirty FIFO) drop the object here;
+    /// object-granular protocols need nothing.
+    ///
+    /// # Errors
+    /// Propagates transfer/MMU failures.
+    fn on_evict(&mut self, _rt: &mut Runtime, _mgr: &mut Manager, _addr: VAddr) -> GmacResult<()> {
+        Ok(())
+    }
+
+    /// Hook just after the evicted object at `addr` has been re-homed in a
+    /// fresh device window (every block Dirty, host authoritative — the
+    /// next release flushes it whole). Rolling-update re-admits the blocks
+    /// into its dirty FIFO here.
+    ///
+    /// # Errors
+    /// Propagates transfer/MMU failures.
+    fn on_resident(
+        &mut self,
+        _rt: &mut Runtime,
+        _mgr: &mut Manager,
+        _addr: VAddr,
+    ) -> GmacResult<()> {
+        Ok(())
+    }
+
     /// Interposed `memset` (paper §4.4): fill the range *device-side*
     /// (`cudaMemset`) instead of faulting page by page on the host, then
     /// invalidate the covered blocks so later CPU reads fetch the fill.

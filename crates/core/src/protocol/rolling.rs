@@ -92,9 +92,10 @@ impl RollingUpdate {
                 break;
             };
             // Lazy deletion: the entry may be stale (block already evicted,
-            // invalidated at a call, or its object freed).
+            // invalidated at a call, the whole object evicted from device
+            // memory, or its object freed).
             let Some(obj) = mgr.find(addr) else { continue };
-            if obj.state(idx) != BlockState::Dirty {
+            if obj.state(idx) != BlockState::Dirty || !obj.is_resident() {
                 continue;
             }
             let obj = obj.clone();
@@ -116,8 +117,12 @@ impl RollingUpdate {
     }
 
     fn recount_dirty(&mut self, mgr: &Manager) {
+        // Evicted objects are host-authoritative (every block Dirty) but own
+        // no device window: their blocks are not flushable and stay outside
+        // the rolling accounting until re-fetch re-admits them.
         self.dirty_count = mgr
             .iter()
+            .filter(|o| o.is_resident())
             .map(|o| o.count_in_state(BlockState::Dirty))
             .sum::<usize>();
         if self.dirty_count == 0 {
@@ -152,8 +157,11 @@ impl CoherenceProtocol for RollingUpdate {
 
     fn on_free(&mut self, _rt: &mut Runtime, obj: &SharedObject) -> GmacResult<()> {
         // Remove the object's dirty blocks from the accounting; stale FIFO
-        // entries are skipped lazily.
-        self.dirty_count -= obj.count_in_state(BlockState::Dirty);
+        // entries are skipped lazily. An evicted object's blocks are all
+        // Dirty but already left the accounting at eviction time.
+        if obj.is_resident() {
+            self.dirty_count -= obj.count_in_state(BlockState::Dirty);
+        }
         let addr = obj.addr();
         self.fifo.retain(|&(a, _)| a != addr);
         Ok(())
@@ -175,7 +183,7 @@ impl CoherenceProtocol for RollingUpdate {
         let mut plan = rt.plan(Direction::HostToDevice, CopyMode::Async, Purpose::Release);
         for addr in mgr.addrs() {
             let obj = mgr.find(addr).expect("registered object").clone();
-            if obj.device() != dev {
+            if obj.device() != dev || !obj.is_resident() {
                 continue;
             }
             // Runs of adjacent dirty blocks flush as single requests.
@@ -187,9 +195,11 @@ impl CoherenceProtocol for RollingUpdate {
         }
         rt.execute(&plan)?;
         // Invalidate (or downgrade) every block per the write annotation.
+        // Evicted objects are skipped whole: the host copy is the only copy,
+        // so invalidating it would lose bytes.
         for addr in mgr.addrs() {
             let obj = mgr.find(addr).expect("registered object").clone();
-            if obj.device() != dev {
+            if obj.device() != dev || !obj.is_resident() {
                 continue;
             }
             let target = mgr.find_mut(addr).expect("registered object");
@@ -285,6 +295,32 @@ impl CoherenceProtocol for RollingUpdate {
 
     fn dirty_blocks(&self, _mgr: &Manager) -> usize {
         self.dirty_count
+    }
+
+    fn on_evict(&mut self, _rt: &mut Runtime, mgr: &mut Manager, addr: VAddr) -> GmacResult<()> {
+        // Mirror of on_free: the object's dirty blocks leave the rolling
+        // accounting (the evictor is about to mark every block Dirty on the
+        // host side, but those are not flushable until re-fetch).
+        if let Some(obj) = mgr.find(addr) {
+            self.dirty_count -= obj.count_in_state(BlockState::Dirty);
+        }
+        self.fifo.retain(|&(a, _)| a != addr);
+        Ok(())
+    }
+
+    fn on_resident(&mut self, _rt: &mut Runtime, mgr: &mut Manager, addr: VAddr) -> GmacResult<()> {
+        // The re-homed object comes back with every block Dirty (host
+        // authoritative). Re-admit them into the rolling accounting, oldest
+        // first, so subsequent overflow evictions stream them out to the
+        // fresh window instead of leaking dirty blocks past the bound. No
+        // flush happens here — the next release/overflow pays it.
+        if let Some(obj) = mgr.find(addr) {
+            for idx in 0..obj.block_count() {
+                self.fifo.push_back((addr, idx));
+            }
+            self.dirty_count += obj.count_in_state(BlockState::Dirty);
+        }
+        Ok(())
     }
 
     fn memset_through(

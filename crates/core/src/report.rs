@@ -29,6 +29,32 @@ pub struct ObjectReport {
     pub blocks: (usize, usize, usize),
 }
 
+/// Per-device eviction activity (device memory as a cache — see
+/// [`crate::evict`]). All zero on devices that never came under memory
+/// pressure; the text rendering skips those rows entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvictionReport {
+    /// Whole objects evicted from device memory back to host.
+    pub evictions: u64,
+    /// Bytes those evictions released.
+    pub evicted_bytes: u64,
+    /// Evicted objects re-homed on the device on next use.
+    pub refetches: u64,
+    /// Bytes of device memory re-allocated by those re-fetches.
+    pub refetch_bytes: u64,
+    /// Victim candidates spared: pinned by a pending call, or DMA-busy and
+    /// not needed once quiescent candidates freed enough space.
+    pub pin_saves: u64,
+    /// Cold host images spilled to the disk tier under `host_capacity`.
+    pub disk_spills: u64,
+}
+
+impl EvictionReport {
+    fn any(&self) -> bool {
+        self.evictions + self.refetches + self.pin_saves + self.disk_spills > 0
+    }
+}
+
 /// Full runtime snapshot.
 #[derive(Debug, Clone)]
 pub struct Report {
@@ -80,6 +106,8 @@ pub struct Report {
     /// Live `(queued jobs, in-flight bytes)` per device from the service
     /// layer's [`crate::LoadBoard`] (all zero when no service is active).
     pub device_loads: Vec<(u64, u64)>,
+    /// Eviction/re-fetch activity per device, in id order.
+    pub eviction_by_device: Vec<EvictionReport>,
     /// Software-TLB hit rate over all shards (0 with the fast path off or
     /// no accesses).
     pub tlb_hit_rate: f64,
@@ -104,10 +132,20 @@ impl Inner {
         let mut counters = crate::runtime::Counters::default();
         let mut mmap_backing = !self.shards.is_empty();
         let mut backing_downgraded = false;
+        let mut eviction_by_device = Vec::with_capacity(self.shards.len());
         for (i, slot) in self.shards.iter().enumerate() {
             let shard = lock_shard(slot);
             mmap_backing &= shard.rt.mmap_active();
             backing_downgraded |= shard.rt.backing_downgraded();
+            let c = shard.rt.counters();
+            eviction_by_device.push(EvictionReport {
+                evictions: c.evictions,
+                evicted_bytes: c.evicted_bytes,
+                refetches: c.refetches,
+                refetch_bytes: c.refetch_bytes,
+                pin_saves: c.pin_saves,
+                disk_spills: c.disk_spills,
+            });
             for o in shard.mgr.iter() {
                 objects.push(ObjectReport {
                     addr: o.addr().0,
@@ -160,6 +198,7 @@ impl Inner {
             pending_devices,
             service: self.service_snapshot(),
             device_loads: self.loads.snapshot(),
+            eviction_by_device,
             tlb_hit_rate: ratio(counters.tlb_hits, counters.tlb_hits + counters.tlb_misses),
             memo_hit_rate: ratio(
                 counters.obj_memo_hits,
@@ -257,6 +296,21 @@ impl fmt::Display for Report {
             "  dma jobs: {} H2D (x{:.2} coalesced) / {} D2H (x{:.2} coalesced)",
             self.h2d_jobs, self.h2d_coalescing, self.d2h_jobs, self.d2h_coalescing,
         )?;
+        for (i, e) in self.eviction_by_device.iter().enumerate() {
+            if !e.any() {
+                continue;
+            }
+            writeln!(
+                f,
+                "  evict gpu{i}: {} out ({})  {} re-fetched ({})  {} pinned saves  {} disk spills",
+                e.evictions,
+                fmt_bytes(e.evicted_bytes),
+                e.refetches,
+                fmt_bytes(e.refetch_bytes),
+                e.pin_saves,
+                e.disk_spills,
+            )?;
+        }
         if self.async_dma {
             writeln!(
                 f,
@@ -518,6 +572,30 @@ mod tests {
             g.report().service.is_none(),
             "dropped service leaves no dangling section"
         );
+    }
+
+    #[test]
+    fn eviction_rows_appear_only_under_pressure() {
+        let g = gmac(GmacConfig::default().protocol(Protocol::Rolling));
+        let s = g.session();
+        let a = s.alloc(400 << 20).unwrap();
+        let _b = s.alloc(400 << 20).unwrap();
+        assert!(
+            !g.report().to_string().contains("evict gpu"),
+            "no pressure yet: eviction rows stay hidden"
+        );
+        let _d = s.alloc(400 << 20).unwrap(); // forces one eviction
+        let r = g.report();
+        let e = r.eviction_by_device[0];
+        assert_eq!(e.evictions, 1);
+        assert!(e.evicted_bytes >= 400 << 20);
+        assert!(r.to_string().contains("evict gpu0: 1 out"));
+        // A device-side op on the victim re-homes it (evicting another
+        // object to make room) and the row reflects that too.
+        s.memset(a, 0, 4096).unwrap();
+        let r = g.report();
+        assert_eq!(r.eviction_by_device[0].refetches, 1);
+        assert!(r.to_string().contains("1 re-fetched"));
     }
 
     #[test]

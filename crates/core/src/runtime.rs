@@ -63,6 +63,23 @@ pub struct Counters {
     /// Wall-clock bookkeeping only; zero with
     /// [`crate::GmacConfig::async_dma`] off.
     pub jobs_overlapped: u64,
+    /// Resident objects evicted from device memory back to host under
+    /// allocation pressure (see [`crate::GmacConfig::evict`]).
+    pub evictions: u64,
+    /// Total size of evicted objects (device bytes released to the
+    /// first-fit allocator by eviction).
+    pub evicted_bytes: u64,
+    /// Evicted objects re-fetched into device memory by a later
+    /// `adsmCall`/access.
+    pub refetches: u64,
+    /// Total size of re-fetched objects (device bytes re-claimed).
+    pub refetch_bytes: u64,
+    /// Eviction candidates spared — pinned by a pending accelerator call,
+    /// or DMA-busy and not needed once quiescent victims freed enough.
+    pub pin_saves: u64,
+    /// Evicted host-side images spilled on to the disk tier under simulated
+    /// host pressure (see [`crate::GmacConfig::host_capacity`]).
+    pub disk_spills: u64,
 }
 
 impl Counters {
@@ -89,6 +106,12 @@ impl Counters {
             tlb_misses,
             dma_wait_ns,
             jobs_overlapped,
+            evictions,
+            evicted_bytes,
+            refetches,
+            refetch_bytes,
+            pin_saves,
+            disk_spills,
         } = *other;
         self.faults_read += faults_read;
         self.faults_write += faults_write;
@@ -103,6 +126,12 @@ impl Counters {
         self.tlb_misses += tlb_misses;
         self.dma_wait_ns += dma_wait_ns;
         self.jobs_overlapped += jobs_overlapped;
+        self.evictions += evictions;
+        self.evicted_bytes += evicted_bytes;
+        self.refetches += refetches;
+        self.refetch_bytes += refetch_bytes;
+        self.pin_saves += pin_saves;
+        self.disk_spills += disk_spills;
     }
 }
 
@@ -326,6 +355,17 @@ impl Runtime {
             self.counters.dma_wait_ns += t0.elapsed().as_nanos() as u64;
         }
         Ok(())
+    }
+
+    /// True when the background engine still holds queued or executing byte
+    /// landings for the object starting at `addr` on `dev` — the eviction
+    /// path's pin probe: such an object's device range must not be handed
+    /// back to the allocator. `false` without the engine (inline jobs
+    /// complete at issue).
+    pub(crate) fn object_dma_busy(&self, dev: DeviceId, addr: VAddr) -> bool {
+        self.engine
+            .as_ref()
+            .is_some_and(|engine| engine.object_busy(dev, addr))
     }
 
     // ----- protocol primitives ----------------------------------------------

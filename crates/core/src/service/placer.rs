@@ -13,13 +13,19 @@
 use hetsim::DeviceId;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-/// Per-device load cell: jobs placed but not finished, bytes in flight.
+/// Per-device load cell: jobs placed but not finished, bytes in flight,
+/// resident device bytes.
 #[derive(Debug, Default)]
 struct DevLoad {
     /// Jobs placed on the device's run queue (or executing) right now.
     queued: AtomicU64,
     /// Byte-footprint hints of jobs currently executing on the device.
     inflight_bytes: AtomicU64,
+    /// Shared-object bytes currently resident in the device's memory,
+    /// maintained by the owning shard (alloc/evict/re-fetch/free). Breaks
+    /// placement ties so new work prefers devices with free capacity —
+    /// landing a job there avoids eviction churn on the full ones.
+    resident: AtomicU64,
 }
 
 /// Lock-free per-device load table shared by the service placer, the
@@ -59,11 +65,21 @@ impl LoadBoard {
             .collect()
     }
 
+    /// Resident device bytes per device, in id order (see
+    /// [`Self::add_resident`]).
+    pub fn resident_snapshot(&self) -> Vec<u64> {
+        self.devs
+            .iter()
+            .map(|d| d.resident.load(Ordering::Relaxed))
+            .collect()
+    }
+
     /// Chooses the device for the next job: a pinned session's affinity
     /// wins outright; otherwise the least-loaded device by
-    /// `(queued jobs, in-flight bytes, id)` — or, when **every** device is
-    /// idle, plain round-robin so an unloaded service keeps rotating
-    /// placements instead of piling everything on device 0.
+    /// `(queued jobs, in-flight bytes, resident bytes, id)` — or, when
+    /// **every** device is idle (no queued jobs or in-flight bytes), plain
+    /// round-robin so an unloaded service keeps rotating placements instead
+    /// of piling everything on device 0.
     pub fn place(&self, affinity: Option<DeviceId>) -> DeviceId {
         if let Some(dev) = affinity {
             return dev;
@@ -72,10 +88,11 @@ impl LoadBoard {
         if loads.iter().all(|&(q, b)| q == 0 && b == 0) {
             return DeviceId(self.rr.fetch_add(1, Ordering::Relaxed) % self.devs.len());
         }
+        let resident = self.resident_snapshot();
         let (idx, _) = loads
             .iter()
             .enumerate()
-            .min_by_key(|&(i, &(q, b))| (q, b, i))
+            .min_by_key(|&(i, &(q, b))| (q, b, resident[i], i))
             .expect("at least one device");
         DeviceId(idx)
     }
@@ -98,6 +115,21 @@ impl LoadBoard {
         self.devs[dev.0]
             .inflight_bytes
             .fetch_sub(cost, Ordering::Relaxed);
+    }
+
+    /// Records `bytes` of shared-object data becoming resident on `dev`
+    /// (allocation or eviction re-fetch).
+    pub fn add_resident(&self, dev: DeviceId, bytes: u64) {
+        self.devs[dev.0]
+            .resident
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records `bytes` leaving `dev`'s memory (eviction or free).
+    pub fn sub_resident(&self, dev: DeviceId, bytes: u64) {
+        self.devs[dev.0]
+            .resident
+            .fetch_sub(bytes, Ordering::Relaxed);
     }
 }
 
@@ -151,6 +183,32 @@ mod tests {
         b.note_placed(DeviceId(0));
         b.note_started(DeviceId(0), 64);
         b.note_finished(DeviceId(0), 64);
+        let seq: Vec<usize> = (0..4).map(|_| b.place(None).0).collect();
+        assert_eq!(seq, [0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn resident_bytes_break_remaining_ties() {
+        let b = LoadBoard::new(2);
+        b.note_placed(DeviceId(0));
+        b.note_placed(DeviceId(1));
+        b.add_resident(DeviceId(0), 4 << 20);
+        b.add_resident(DeviceId(1), 1 << 20);
+        assert_eq!(
+            b.place(None),
+            DeviceId(1),
+            "equal load: emptier memory wins"
+        );
+        b.sub_resident(DeviceId(0), 4 << 20);
+        assert_eq!(b.place(None), DeviceId(0), "tie falls through to id order");
+        assert_eq!(b.resident_snapshot(), vec![0, 1 << 20]);
+    }
+
+    #[test]
+    fn resident_bytes_do_not_defeat_idle_rotation() {
+        let b = LoadBoard::new(2);
+        b.add_resident(DeviceId(0), 1 << 20);
+        // No queued jobs or in-flight bytes: the board still round-robins.
         let seq: Vec<usize> = (0..4).map(|_| b.place(None).0).collect();
         assert_eq!(seq, [0, 1, 0, 1]);
     }

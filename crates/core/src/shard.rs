@@ -40,16 +40,18 @@
 
 use crate::config::GmacConfig;
 use crate::error::{GmacError, GmacResult};
+use crate::evict::EvictState;
 use crate::fastview::ObjFastView;
 use crate::manager::Manager;
 use crate::object::{ObjectId, SharedObject};
 use crate::protocol::{make, CoherenceProtocol};
 use crate::ptr::SharedPtr;
 use crate::runtime::Runtime;
+use crate::service::LoadBoard;
 use crate::session::{SessionId, SessionView};
 use crate::state::BlockState;
-use crate::xfer::DmaEngine;
-use hetsim::{Category, DevAddr, DeviceId, Platform, StreamId};
+use crate::xfer::{DmaEngine, Purpose};
+use hetsim::{Category, CopyMode, DevAddr, DeviceId, Direction, Platform, SimError, StreamId};
 use softmmu::{AccessKind, MmuError, Scalar, VAddr};
 use std::cell::Cell;
 use std::ops::{Deref, DerefMut};
@@ -90,6 +92,12 @@ impl Drop for ShardGuard<'_> {
     fn drop(&mut self) {
         SHARD_LOCKS_HELD.with(|c| c.set(c.get() - 1));
     }
+}
+
+/// Disk-tier spill file name for the evicted image of the object at `addr`
+/// (the unified start address is unique for an object's lifetime).
+pub(crate) fn spill_name(addr: VAddr) -> String {
+    format!("gmac-spill-{:#x}", addr.0)
 }
 
 /// Acquires a shard mutex (poison-tolerant) and counts the hold.
@@ -157,6 +165,12 @@ pub struct DeviceShard {
     pub(crate) protocol: Box<dyn CoherenceProtocol>,
     /// The at-most-one un-synced kernel call on this accelerator.
     pub(crate) pending: Option<PendingCall>,
+    /// Device-memory-as-a-cache bookkeeping: touch stamps, clock bits and
+    /// the host-tier image ledger (see [`crate::evict`]).
+    pub(crate) evict: EvictState,
+    /// Shared load board: this shard reports its resident device bytes so
+    /// the service placer can prefer devices with free capacity.
+    loads: Arc<LoadBoard>,
     /// Access-fast-path memo (see [`ObjMemo`]).
     obj_memo: Option<ObjMemo>,
 }
@@ -167,6 +181,7 @@ impl DeviceShard {
         platform: Arc<Platform>,
         config: &GmacConfig,
         engine: Option<Arc<DmaEngine>>,
+        loads: Arc<LoadBoard>,
     ) -> Self {
         DeviceShard {
             dev,
@@ -174,6 +189,8 @@ impl DeviceShard {
             mgr: Manager::new(config.lookup),
             protocol: make(config.protocol),
             pending: None,
+            evict: EvictState::new(config.evict_policy),
+            loads,
             obj_memo: None,
         }
     }
@@ -193,6 +210,7 @@ impl DeviceShard {
             if let Some(memo) = self.obj_memo {
                 if addr >= memo.start && addr.0 < memo.end {
                     self.rt.counters.obj_memo_hits += 1;
+                    self.evict.touch(memo.slot);
                     return Ok((memo.start, memo.slot));
                 }
             }
@@ -204,6 +222,7 @@ impl DeviceShard {
         if self.rt.config.tlb {
             self.obj_memo = Some(ObjMemo { start, end, slot });
         }
+        self.evict.touch(slot);
         Ok((start, slot))
     }
 
@@ -245,7 +264,12 @@ impl DeviceShard {
         if let Some(fast) = &fast {
             obj.attach_fast(Arc::clone(fast));
         }
-        self.mgr.insert(obj);
+        let slot = self.mgr.insert(obj);
+        // Slab slots are reused: clear any stale stamp, then count the
+        // allocation itself as the first touch (a fresh object is warm).
+        self.evict.forget(slot);
+        self.evict.touch(slot);
+        self.loads.add_resident(self.dev, size);
         self.invalidate_memo();
         self.protocol.on_alloc(&mut self.rt, &mut self.mgr, addr)?;
         Ok((SharedPtr::new(addr), fast))
@@ -288,11 +312,13 @@ impl DeviceShard {
 
     /// `adsmFree` under this shard's lock. `id` gates the free on allocation
     /// identity (the RAII [`crate::Shared`] path). Returns the freed start
-    /// address and device range **without** returning the latter to the
-    /// device allocator: the caller must release the registry claim first
-    /// and only then `dev_free` the returned range, so a concurrent alloc
-    /// can never be handed a first-fit device address whose host claim is
-    /// still registered (a spurious `AddressCollision`).
+    /// address and, for resident objects, the device range **without**
+    /// returning the latter to the device allocator: the caller must release
+    /// the registry claim first and only then `dev_free` the returned range,
+    /// so a concurrent alloc can never be handed a first-fit device address
+    /// whose host claim is still registered (a spurious `AddressCollision`).
+    /// Evicted objects own no device range (`None`); their host image — and
+    /// any disk-tier spill file — is retired here.
     ///
     /// Failure paths charge **nothing** (a failed free must not desync the
     /// time ledger), and objects referenced by a still-pending call are
@@ -301,7 +327,7 @@ impl DeviceShard {
         &mut self,
         ptr: SharedPtr,
         id: Option<ObjectId>,
-    ) -> GmacResult<(VAddr, DevAddr)> {
+    ) -> GmacResult<(VAddr, Option<DevAddr>)> {
         let obj = self
             .mgr
             .find(ptr.addr())
@@ -329,7 +355,16 @@ impl DeviceShard {
         self.rt.join_object(self.dev, addr)?;
         let free_base = self.rt.config.costs.free_base;
         self.rt.charge(Category::Free, free_base);
+        let slot = self.mgr.locate(addr).expect("object found above");
         let obj = self.mgr.remove(addr).expect("object found above");
+        if obj.is_resident() {
+            self.loads.sub_resident(self.dev, obj.size());
+        } else if self.evict.release_image(slot) {
+            // Freeing an evicted-and-spilled object retires its spill file;
+            // the write-behind copy is simply dropped, never read back.
+            self.rt.platform.fs_mut().remove(&spill_name(addr));
+        }
+        self.evict.forget(slot);
         if let Some(fast) = obj.fast_view() {
             // Stale typed handles must miss from here on; the checked path
             // then reports `NotShared` exactly as it always did.
@@ -338,7 +373,236 @@ impl DeviceShard {
         self.invalidate_memo();
         self.protocol.on_free(&mut self.rt, &obj)?;
         self.rt.vm.unmap_region(obj.region())?;
-        Ok((addr, obj.dev_addr()))
+        Ok((addr, obj.is_resident().then(|| obj.dev_addr())))
+    }
+
+    // ----- device memory as a cache (eviction, §tentpole) -------------------
+
+    /// Allocates `size` device bytes on this shard's accelerator, treating
+    /// device memory as a cache over host memory: when the first-fit
+    /// allocator cannot satisfy the request, cold resident objects are
+    /// evicted back to host (their device ranges released) until a
+    /// large-enough contiguous free block exists, then the allocation is
+    /// retried. Objects named in `pinned` or referenced by the pending call
+    /// are never victims; objects with in-flight DMA are victims of last
+    /// resort — they are only evicted when the quiescent candidates did not
+    /// free enough space, and their transfers are joined first so no object
+    /// is ever evicted while a transfer is in flight.
+    ///
+    /// With [`GmacConfig::evict`] off, or when every resident object is
+    /// pinned and the request still does not fit, fails with
+    /// [`GmacError::DeviceOom`].
+    pub(crate) fn alloc_device_range(
+        &mut self,
+        size: u64,
+        pinned: &[VAddr],
+    ) -> GmacResult<DevAddr> {
+        match self.rt.platform.dev_alloc(self.dev, size) {
+            Ok(dev_addr) => return Ok(dev_addr),
+            Err(SimError::OutOfDeviceMemory { requested, free }) => {
+                if !self.rt.config.evict {
+                    return Err(GmacError::DeviceOom {
+                        requested,
+                        free,
+                        device: self.dev,
+                    });
+                }
+                self.evict_until_fits(requested, pinned)?;
+            }
+            Err(e) => return Err(e.into()),
+        }
+        // `evict_until_fits` only returns Ok once the allocator holds a
+        // contiguous free region of at least the rounded request, so the
+        // first-fit retry cannot fail.
+        Ok(self.rt.platform.dev_alloc(self.dev, size)?)
+    }
+
+    /// Evicts unpinned resident objects, coldest first per the configured
+    /// policy, until the device allocator's largest contiguous free block
+    /// can hold `requested` (already rounded) bytes.
+    fn evict_until_fits(&mut self, requested: u64, pinned: &[VAddr]) -> GmacResult<()> {
+        let mut candidates = Vec::new();
+        let mut deferred = Vec::new();
+        for addr in self.mgr.addrs() {
+            let slot = self.mgr.locate(addr).expect("registered object");
+            let obj = self.mgr.by_slot(slot).expect("registered object");
+            if !obj.is_resident() {
+                continue;
+            }
+            let call_pinned = self
+                .pending
+                .as_ref()
+                .is_some_and(|call| call.objects.contains(&addr));
+            if pinned.contains(&addr) || call_pinned {
+                self.rt.counters.pin_saves += 1;
+                continue;
+            }
+            if self.rt.object_dma_busy(self.dev, addr) {
+                // Victim of last resort: preferred over failing the alloc,
+                // but only after quiescent candidates (evict_object joins
+                // the object's transfers before touching its range).
+                deferred.push(slot);
+                continue;
+            }
+            candidates.push(slot);
+        }
+        for slot in self.evict.order(&candidates) {
+            if self.largest_free_dev_block() >= requested {
+                break;
+            }
+            self.evict_object(slot)?;
+        }
+        for slot in self.evict.order(&deferred) {
+            if self.largest_free_dev_block() >= requested {
+                self.rt.counters.pin_saves += 1;
+                continue;
+            }
+            self.evict_object(slot)?;
+        }
+        if self.largest_free_dev_block() >= requested {
+            Ok(())
+        } else {
+            Err(GmacError::DeviceOom {
+                requested,
+                free: self
+                    .rt
+                    .platform
+                    .device(self.dev)
+                    .map(|d| d.mem().free_bytes())
+                    .unwrap_or(0),
+                device: self.dev,
+            })
+        }
+    }
+
+    /// True when an **evicted** object of this shard still claims host
+    /// addresses overlapping `[addr, addr + size)`. The unified-allocation
+    /// path uses this to tell a recycled device window (the evicted owner
+    /// keeps its host range; fall back to a non-unified claim) from a
+    /// genuine cross-device collision (surface `AddressCollision`).
+    pub(crate) fn evicted_overlaps(&self, addr: VAddr, size: u64) -> bool {
+        self.mgr
+            .iter()
+            .any(|obj| !obj.is_resident() && obj.addr().0 < addr.0 + size && obj.end() > addr)
+    }
+
+    /// Largest contiguous free block of this device's first-fit allocator
+    /// (the device mutex is a leaf lock — legal under the shard lock).
+    fn largest_free_dev_block(&self) -> u64 {
+        self.rt
+            .platform
+            .device(self.dev)
+            .map(|d| d.mem().largest_free_block())
+            .unwrap_or(0)
+    }
+
+    /// Evicts the resident object in `slot` back to host memory and returns
+    /// its device range to the allocator.
+    ///
+    /// Device-authoritative bytes (Invalid runs) are fetched home through
+    /// the ordinary D2H plan machinery; afterwards the host mirror is the
+    /// only copy, so every block goes Dirty with pages read-write — which
+    /// is exactly what makes the later re-fetch free of data movement (the
+    /// next release flushes the whole object H2D through the normal path).
+    fn evict_object(&mut self, slot: usize) -> GmacResult<()> {
+        let obj = self
+            .mgr
+            .by_slot(slot)
+            .expect("eviction candidate is live")
+            .clone();
+        let addr = obj.addr();
+        // Queued engine landings must commit before the range is read back
+        // and handed to the allocator — no object is ever evicted while a
+        // transfer on it is in flight.
+        self.rt.join_object(self.dev, addr)?;
+        let mut plan = self
+            .rt
+            .plan(Direction::DeviceToHost, CopyMode::Sync, Purpose::Eviction);
+        for run in obj.runs_in(0, obj.size()) {
+            if run.state == BlockState::Invalid {
+                plan.request(&obj, run.start, run.len());
+            }
+        }
+        self.rt.execute(&plan)?;
+        // Protocol bookkeeping tied to the device copy (rolling-update's
+        // dirty FIFO) drops the object before its blocks are re-stated.
+        self.protocol.on_evict(&mut self.rt, &mut self.mgr, addr)?;
+        self.rt.protect_object(&obj, BlockState::Dirty)?;
+        {
+            let live = self
+                .mgr
+                .by_slot_mut(slot)
+                .expect("eviction candidate is live");
+            for idx in 0..live.block_count() {
+                live.set_state(idx, BlockState::Dirty);
+            }
+            live.mark_evicted();
+        }
+        self.rt.platform.dev_free(self.dev, obj.dev_addr())?;
+        self.rt.counters.evictions += 1;
+        self.rt.counters.evicted_bytes += obj.size();
+        self.evict.note_evicted(slot, obj.size());
+        self.loads.sub_resident(self.dev, obj.size());
+        self.spill_overflow()
+    }
+
+    /// Write-behind spill: brings the host-tier image ledger back under the
+    /// configured budget ([`GmacConfig::host_capacity`]) by copying the
+    /// coldest evicted images to the disk tier (priced `IoWrite`). The host
+    /// bytes stay live and authoritative — the softmmu cannot drop pages —
+    /// so the spill file is a priced shadow copy that is never read back
+    /// into host memory (CPU writes to a spilled object cannot be clobbered
+    /// by stale file content).
+    fn spill_overflow(&mut self) -> GmacResult<()> {
+        let Some(budget) = self.rt.config.host_capacity else {
+            return Ok(());
+        };
+        for (slot, bytes) in self.evict.overflow(budget) {
+            let obj = self.mgr.by_slot(slot).expect("spilled slot is live");
+            let (addr, size) = (obj.addr(), obj.size());
+            debug_assert_eq!(size, bytes, "spill ledger disagrees with object");
+            let image = self.rt.vm.gather(addr, size)?;
+            self.rt.platform.file_write(&spill_name(addr), 0, &image)?;
+            self.rt.counters.disk_spills += 1;
+        }
+        Ok(())
+    }
+
+    /// Re-homes the object containing `addr` in a fresh device window if it
+    /// was evicted; a no-op for resident objects. `pinned` objects survive
+    /// any eviction this re-fetch itself triggers. The re-fetch moves **no
+    /// data**: eviction left every block Dirty (host authoritative), so the
+    /// next release flushes the whole object H2D through the normal path.
+    pub(crate) fn ensure_resident(&mut self, addr: VAddr, pinned: &[VAddr]) -> GmacResult<()> {
+        let (start, slot) = self.locate(addr)?;
+        let size = {
+            let obj = self.mgr.by_slot(slot).expect("located slot is live");
+            if obj.is_resident() {
+                return Ok(());
+            }
+            obj.size()
+        };
+        let dev_addr = self.alloc_device_range(size, pinned)?;
+        self.mgr
+            .by_slot_mut(slot)
+            .expect("located slot is live")
+            .mark_resident(dev_addr);
+        self.protocol
+            .on_resident(&mut self.rt, &mut self.mgr, start)?;
+        self.rt.counters.refetches += 1;
+        self.rt.counters.refetch_bytes += size;
+        if self.evict.release_image(slot) {
+            // The spilled shadow copy pays its disk read-back and retires;
+            // the host image stayed live and authoritative throughout, so
+            // the bytes themselves are discarded.
+            let mut scratch = vec![0u8; size as usize];
+            self.rt
+                .platform
+                .file_read(&spill_name(start), 0, &mut scratch)?;
+            self.rt.platform.fs_mut().remove(&spill_name(start));
+        }
+        self.loads.add_resident(self.dev, size);
+        Ok(())
     }
 
     // ----- kernel execution -------------------------------------------------
@@ -375,8 +639,10 @@ impl DeviceShard {
         }
     }
 
-    /// `adsmSafe(address)`.
+    /// `adsmSafe(address)`. A device address only exists for resident
+    /// objects, so an evicted target is re-homed first.
     pub(crate) fn translate(&mut self, ptr: SharedPtr) -> GmacResult<DevAddr> {
+        self.ensure_resident(ptr.addr(), &[])?;
         let (_, slot) = self.locate(ptr.addr())?;
         let obj = self.mgr.by_slot(slot).expect("located slot is live");
         Ok(obj.translate(ptr.addr()))

@@ -206,6 +206,16 @@ impl DmaEngine {
         q.completed < q.submitted
     }
 
+    /// True when the object starting at `obj` has jobs queued or executing
+    /// on `dev`. The eviction path treats such objects as pinned: their
+    /// device range must not be returned to the allocator while a staged
+    /// byte landing still targets it.
+    pub fn object_busy(&self, dev: DeviceId, obj: VAddr) -> bool {
+        lock_ok(&self.state(dev).queue)
+            .inflight_per_object
+            .contains_key(&obj)
+    }
+
     /// Aggregate statistics across all devices.
     pub fn stats(&self) -> EngineStats {
         let mut s = EngineStats::default();

@@ -141,18 +141,40 @@ fn load_slice_beyond_object_end_is_rejected() {
 
 #[test]
 fn device_memory_exhaustion_is_clean() {
-    let c = session(Protocol::Rolling);
-    // 1 GiB device: two 400 MiB objects fit, the third does not.
+    // With eviction off the device is a hard capacity limit: on a 1 GiB
+    // G280 two 400 MiB objects fit, the third fails with a typed OOM.
+    let platform = Platform::desktop_g280();
+    platform.register_kernel(Arc::new(Inc));
+    let c = Gmac::new(
+        platform,
+        GmacConfig::default()
+            .protocol(Protocol::Rolling)
+            .evict(false),
+    )
+    .session();
     let a = c.alloc(400 << 20).unwrap();
     let _b = c.alloc(400 << 20).unwrap();
     let err = c.alloc(400 << 20).unwrap_err();
-    assert!(matches!(
-        err,
-        GmacError::Sim(hetsim::SimError::OutOfDeviceMemory { .. })
-    ));
+    assert!(matches!(err, GmacError::DeviceOom { .. }));
     // Freeing recovers the space.
     c.free(a).unwrap();
     assert!(c.alloc(400 << 20).is_ok());
+}
+
+#[test]
+fn device_pressure_evicts_instead_of_failing() {
+    // Same pressure with eviction on (the default): the third allocation
+    // succeeds by evicting a cold object back to host, and the evicted
+    // data stays fully readable and writable through the host mirror.
+    let c = session(Protocol::Rolling);
+    let a = c.alloc(400 << 20).unwrap();
+    c.store::<u32>(a, 0xA11C_E5ED).unwrap();
+    let _b = c.alloc(400 << 20).unwrap();
+    let d = c.alloc(400 << 20).unwrap();
+    assert_eq!(c.counters().evictions, 1);
+    assert_eq!(c.load::<u32>(a).unwrap(), 0xA11C_E5ED);
+    c.store::<u32>(d, 7).unwrap();
+    assert_eq!(c.load::<u32>(d).unwrap(), 7);
 }
 
 #[test]

@@ -92,6 +92,31 @@ impl DeviceMemory {
         self.capacity() - self.free_bytes()
     }
 
+    /// Size of the largest contiguous free region. This is the quantity an
+    /// allocation actually needs (first-fit succeeds iff some region is
+    /// large enough); eviction policies compare it against the requested
+    /// size to decide when enough victims have been released.
+    pub fn largest_free_block(&self) -> u64 {
+        self.free.values().copied().max().unwrap_or(0)
+    }
+
+    /// Number of disjoint free regions (1 when fully coalesced, 0 when
+    /// full).
+    pub fn free_region_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// External fragmentation in `[0, 1]`: the fraction of free bytes *not*
+    /// usable by a single worst-case allocation
+    /// (`1 - largest_free_block / free_bytes`; 0 when nothing is free).
+    pub fn fragmentation(&self) -> f64 {
+        let free = self.free_bytes();
+        if free == 0 {
+            return 0.0;
+        }
+        1.0 - self.largest_free_block() as f64 / free as f64
+    }
+
     /// Number of live allocations.
     pub fn allocation_count(&self) -> usize {
         self.live.len()
@@ -389,6 +414,71 @@ mod tests {
         assert!(m.slice_pair_mut((b, 1024), (a, 1024)).is_ok());
         // Overlap rejected.
         assert!(m.slice_pair_mut((a, 512), (a.add(256), 512)).is_err());
+    }
+
+    #[test]
+    fn largest_free_block_and_fragmentation_stay_exact_under_churn() {
+        // Alloc/free churn designed to fragment and then re-coalesce; the
+        // accessors must agree with a from-scratch recomputation after every
+        // step (coalescing keeps them exact, not merely approximate).
+        let mut m = mem();
+        let check = |m: &DeviceMemory| {
+            let regions: Vec<u64> = m.free.values().copied().collect();
+            assert_eq!(
+                m.largest_free_block(),
+                regions.iter().copied().max().unwrap_or(0)
+            );
+            assert_eq!(m.free_region_count(), regions.len());
+            assert_eq!(m.free_bytes(), regions.iter().sum::<u64>());
+            let expect = if m.free_bytes() == 0 {
+                0.0
+            } else {
+                1.0 - m.largest_free_block() as f64 / m.free_bytes() as f64
+            };
+            assert!((m.fragmentation() - expect).abs() < 1e-12);
+        };
+        check(&m);
+        // 12 blocks leave a 16 KiB tail, so holes stay smaller than the
+        // largest region throughout the churn below.
+        let blocks: Vec<DevAddr> = (0..12).map(|_| m.alloc(4096).unwrap()).collect();
+        check(&m);
+        // Free every other block: maximal fragmentation of the freed space.
+        for (i, &a) in blocks.iter().enumerate() {
+            if i % 2 == 0 {
+                m.free(a).unwrap();
+                check(&m);
+            }
+        }
+        assert_eq!(m.largest_free_block(), 64 * 1024 - 12 * 4096);
+        assert!(m.fragmentation() > 0.0, "holes are smaller than the tail");
+        // Refill some holes with smaller allocations, splitting regions.
+        let small: Vec<DevAddr> = (0..4).map(|_| m.alloc(1024).unwrap()).collect();
+        check(&m);
+        for a in small {
+            m.free(a).unwrap();
+            check(&m);
+        }
+        // Free the rest: everything must coalesce back into one region.
+        for (i, &a) in blocks.iter().enumerate() {
+            if i % 2 == 1 {
+                m.free(a).unwrap();
+                check(&m);
+            }
+        }
+        assert_eq!(m.largest_free_block(), 64 * 1024);
+        assert_eq!(m.free_region_count(), 1);
+        assert_eq!(m.fragmentation(), 0.0);
+    }
+
+    #[test]
+    fn full_memory_reports_zero_largest_block() {
+        let mut m = mem();
+        let a = m.alloc(64 * 1024).unwrap();
+        assert_eq!(m.largest_free_block(), 0);
+        assert_eq!(m.free_region_count(), 0);
+        assert_eq!(m.fragmentation(), 0.0, "nothing free, nothing fragmented");
+        m.free(a).unwrap();
+        assert_eq!(m.largest_free_block(), 64 * 1024);
     }
 
     #[test]
