@@ -12,6 +12,7 @@ pub mod contention;
 pub mod evict;
 pub mod hotpath;
 pub mod overlap;
+pub mod race;
 pub mod service;
 
 use std::fmt::Write as _;

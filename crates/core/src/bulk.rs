@@ -31,7 +31,10 @@ impl DeviceShard {
         let (start, _) = self.locate(ptr.addr())?;
         let offset = ptr.addr() - start;
         self.protocol
-            .memset_through(&mut self.rt, &mut self.mgr, start, offset, len, value)
+            .memset_through(&mut self.rt, &mut self.mgr, start, offset, len, value)?;
+        // The fill is a program write to shared data (even though it lands
+        // device-side): the race detector must see it.
+        self.race_note_write(ptr.addr(), len)
     }
 }
 

@@ -231,6 +231,26 @@ pub struct GmacConfig {
     pub evict: bool,
     /// Victim-selection policy used when [`GmacConfig::evict`] is on.
     pub evict_policy: EvictPolicy,
+    /// Enable the coherence race detector (default **off**): per-block
+    /// vector clocks — one CPU epoch per session plus one kernel epoch per
+    /// device, advanced at `adsmCall`/`adsmSync` boundaries — catch the
+    /// accesses the paper's consistency model (§3) forbids:
+    /// CPU-writes-while-a-kernel-may-read, launches over another session's
+    /// unsynced writes, and cross-session writes to call-referenced objects
+    /// (see [`crate::race`]). Violations surface as
+    /// [`crate::GmacError::RaceDetected`] (or, with
+    /// [`GmacConfig::race_report`], as a non-fatal log in
+    /// [`crate::Report`]). The detector makes **no virtual-time charges**:
+    /// on a race-free run, digests, elapsed time and per-category ledgers
+    /// are byte-identical with the detector on or off (the race ablation
+    /// tests enforce this), mirroring every other toggle; the wall-clock
+    /// cost is recorded in `results/BENCH_race.json`.
+    pub race_check: bool,
+    /// With [`GmacConfig::race_check`] on, sink detections into
+    /// [`crate::Report`] instead of failing the offending operation: the
+    /// access/launch completes normally and the violation is logged with
+    /// full object+offset+epoch diagnostics. Default off (error mode).
+    pub race_report: bool,
     /// Simulated host-memory budget (bytes) per shard for evicted object
     /// images. When the bytes evicted-to-host on one shard exceed this,
     /// the coldest evicted images spill write-behind to `hetsim`'s disk
@@ -262,6 +282,8 @@ impl Default for GmacConfig {
             service_queue_depth: 1024,
             evict: true,
             evict_policy: EvictPolicy::Lru,
+            race_check: false,
+            race_report: false,
             host_capacity: None,
             costs: GmacCosts::default(),
         }
@@ -394,6 +416,21 @@ impl GmacConfig {
         self
     }
 
+    /// Enables or disables the coherence race detector (see
+    /// [`GmacConfig::race_check`]; default off).
+    pub fn race_check(mut self, on: bool) -> Self {
+        self.race_check = on;
+        self
+    }
+
+    /// Selects sink mode for the race detector: log violations in
+    /// [`crate::Report`] instead of erroring (see
+    /// [`GmacConfig::race_report`]).
+    pub fn race_report(mut self, on: bool) -> Self {
+        self.race_report = on;
+        self
+    }
+
     /// Sets the simulated per-shard host budget for evicted images; beyond
     /// it, cold images spill to the disk tier (see
     /// [`GmacConfig::host_capacity`]).
@@ -431,6 +468,8 @@ mod tests {
         assert!(c.evict, "device-memory-as-a-cache eviction is the default");
         assert_eq!(c.evict_policy, EvictPolicy::Lru);
         assert_eq!(c.host_capacity, None, "unconstrained host by default");
+        assert!(!c.race_check, "race detection is opt-in");
+        assert!(!c.race_report, "error mode is the race-check default");
         assert_eq!(c.lookup, LookupKind::Tree);
         assert_eq!(c.block_size % PAGE_SIZE, 0);
     }
@@ -455,7 +494,11 @@ mod tests {
             .service_queue_depth(16)
             .evict(false)
             .evict_policy(EvictPolicy::Clock)
+            .race_check(true)
+            .race_report(true)
             .host_capacity(32 << 20);
+        assert!(c.race_check);
+        assert!(c.race_report);
         assert!(!c.evict);
         assert_eq!(c.evict_policy, EvictPolicy::Clock);
         assert_eq!(c.host_capacity, Some(32 << 20));

@@ -72,6 +72,24 @@ pub enum GmacError {
         /// The full device.
         device: DeviceId,
     },
+    /// The coherence race detector ([`crate::GmacConfig::race_check`], error
+    /// mode) caught an access the paper's consistency model (§3) forbids.
+    /// The offending operation *completed* (the write landed / the launch
+    /// was refused before charging, see [`crate::race`]); the error is the
+    /// diagnostic. Sink mode ([`crate::GmacConfig::race_report`]) logs into
+    /// [`crate::Report`] instead of raising this.
+    RaceDetected {
+        /// Start address of the shared object involved.
+        object: VAddr,
+        /// Byte offset of the offending range within the object.
+        offset: u64,
+        /// Length of the offending range in bytes.
+        len: u64,
+        /// The accelerator whose in-flight or refused call is involved.
+        device: DeviceId,
+        /// Violation kinds (non-empty; sorted).
+        kinds: Vec<crate::race::RaceKind>,
+    },
     /// An access spans beyond the end of a shared object.
     OutOfObjectBounds {
         /// Object start.
@@ -167,6 +185,27 @@ impl fmt::Display for GmacError {
                     f,
                     "device {device} out of memory: requested {requested} bytes, {free} free \
                      and no evictable victim"
+                )
+            }
+            GmacError::RaceDetected {
+                object,
+                offset,
+                len,
+                device,
+                kinds,
+            } => {
+                write!(f, "race detected [")?;
+                for (i, k) in kinds.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}")?;
+                }
+                write!(
+                    f,
+                    "]: object {object} bytes [{offset}, {}) conflict with device {device}'s \
+                     call; sync before touching shared data a kernel may read",
+                    offset + len
                 )
             }
             GmacError::OutOfObjectBounds { base, offset, len } => {
@@ -350,6 +389,13 @@ mod tests {
                 requested: 4096,
                 free: 0,
                 device: DeviceId(0),
+            },
+            GmacError::RaceDetected {
+                object: VAddr(1),
+                offset: 0,
+                len: 4,
+                device: DeviceId(0),
+                kinds: vec![crate::race::RaceKind::CpuWriteWhileKernelMayRead],
             },
             GmacError::OutOfObjectBounds {
                 base: VAddr(1),

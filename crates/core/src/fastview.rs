@@ -122,6 +122,18 @@ impl ObjFastView {
         self.retired.store(true, Ordering::Release);
     }
 
+    /// Race-detector epoch boundary: demotes every Dirty mirror entry to
+    /// ReadOnly **in the mirror only** — the softmmu page protection is
+    /// untouched, so the next fast write per block misses into the checked
+    /// path, succeeds there without a fault, is recorded by the detector,
+    /// and re-publishes Dirty to restore the warm path. Blocks the epoch
+    /// never writes again stay demoted at zero cost.
+    pub(crate) fn downgrade_dirty(&self) {
+        for state in self.states.iter() {
+            let _ = state.compare_exchange(DIRTY, READ_ONLY, Ordering::AcqRel, Ordering::Relaxed);
+        }
+    }
+
     /// Probes whether a `len`-byte access at `offset` may go straight to the
     /// host mapping, requiring at least `floor` block state. Returns `None`
     /// on any doubt.
@@ -218,6 +230,25 @@ mod tests {
         v.publish(0, BlockState::ReadOnly);
         assert!(!v.write::<u64>(8, 8), "downgrade re-arms write detection");
         assert_eq!(v.read::<u64>(8), Some(7));
+    }
+
+    #[test]
+    fn downgrade_dirty_demotes_only_dirty_blocks() {
+        let states = [BlockState::Invalid, BlockState::ReadOnly, BlockState::Dirty];
+        let (v, _keep) = view(3 * 4096, &states);
+        v.downgrade_dirty();
+        assert_eq!(v.read::<u32>(0), None, "invalid stays invalid");
+        assert_eq!(
+            v.read::<u32>(2 * 4096),
+            Some(0),
+            "demoted block still reads"
+        );
+        assert!(!v.write::<u32>(2 * 4096, 1), "demoted block misses writes");
+        v.publish(2, BlockState::Dirty);
+        assert!(
+            v.write::<u32>(2 * 4096, 1),
+            "republish re-arms the warm path"
+        );
     }
 
     #[test]

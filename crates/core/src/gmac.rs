@@ -45,6 +45,7 @@ use crate::fasttime;
 use crate::fastview::ObjFastView;
 use crate::object::ObjectId;
 use crate::ptr::{Param, SharedPtr};
+use crate::race::RaceDetector;
 use crate::registry::Registry;
 use crate::runtime::Counters;
 use crate::sched::{SchedPolicy, Scheduler};
@@ -184,6 +185,10 @@ pub(crate) struct Inner {
     /// Fairness accounting of the most recently built [`crate::Service`]
     /// (weak: the service owns it; [`crate::Report`] borrows a snapshot).
     service_stats: Mutex<std::sync::Weak<crate::service::ServiceStats>>,
+    /// Coherence race detector (`None` with [`GmacConfig::race_check`] off —
+    /// the default — so race-free production runs pay nothing). Shared with
+    /// every shard; see [`crate::race`] for the clock model.
+    pub(crate) race: Option<Arc<RaceDetector>>,
     /// Bumped by every registry release (claims are disjoint and cannot
     /// stale a memo); route memos from older epochs never hit (see
     /// [`RouteCache`]).
@@ -200,6 +205,9 @@ impl Inner {
             .async_dma
             .then(|| Arc::new(DmaEngine::new(Arc::clone(&platform))));
         let loads = Arc::new(crate::service::LoadBoard::new(device_count));
+        let race = config
+            .race_check
+            .then(|| Arc::new(RaceDetector::new(config.race_report, device_count)));
         let shards = (0..device_count)
             .map(|i| {
                 Mutex::new(DeviceShard::new(
@@ -208,6 +216,7 @@ impl Inner {
                     &config,
                     engine.clone(),
                     Arc::clone(&loads),
+                    race.clone(),
                 ))
             })
             .collect();
@@ -223,6 +232,7 @@ impl Inner {
             }),
             serial,
             loads,
+            race,
             service_stats: Mutex::new(std::sync::Weak::new()),
             route_epoch: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
@@ -566,8 +576,11 @@ impl Inner {
                     owner: call.session,
                     // Deterministic drain estimate: the owner's sync pays at
                     // least the fixed sync bookkeeping before the device
-                    // frees up.
-                    retry_after: self.config.costs.sync_base,
+                    // frees up. Floored so a config with zero sync cost
+                    // never hands out a "retry immediately" hint.
+                    retry_after: self.config.costs.sync_base.max(hetsim::Nanos::from_nanos(
+                        crate::service::admission::MIN_JOB_DRAIN_NS,
+                    )),
                 });
             }
         }
@@ -594,6 +607,11 @@ impl Inner {
             }
         }
 
+        // Race check before any charge or release: a launch over another
+        // session's unsynced CPU writes must fail (or be sunk) with the time
+        // ledger untouched, like every other failed-call path above.
+        shard.race_check_launch(view.id, &objects)?;
+
         // Release-consistency: the CPU releases shared objects at the call
         // boundary (§3.3). The scan cost covers this shard's objects — the
         // other accelerators' shards are untouched (and unlocked).
@@ -617,7 +635,13 @@ impl Inner {
 
         let stream = StreamId(0);
         shard.rt.platform.launch(dev, stream, kernel, dims, &args)?;
+        // Only the detector needs the object list past this point; skip the
+        // clone entirely when it is off.
+        let raced = self.race.is_some().then(|| objects.clone());
         shard.note_pending(view, stream, objects);
+        if let Some(objects) = raced {
+            shard.race_note_launched(view.id, &objects);
+        }
         Ok(())
     }
 
@@ -810,6 +834,32 @@ impl Inner {
     }
 
     // ----- introspection ----------------------------------------------------
+
+    /// Tags the calling thread with `view`'s session identity for race
+    /// attribution (a no-op with the detector off). Called by every
+    /// [`Session`] entry point that can write shared data or launch/join a
+    /// kernel, so `Shared<T>` handles used on the same thread inherit the
+    /// right writer identity (see [`crate::race`]).
+    pub(crate) fn note_identity(&self, view: SessionView) {
+        if self.race.is_some() {
+            crate::race::set_current_session(view.id);
+        }
+    }
+
+    /// Race-detector counters ([`RaceStats::default`] with the detector
+    /// off).
+    pub(crate) fn race_stats(&self) -> crate::race::RaceStats {
+        self.race.as_ref().map(|r| r.stats()).unwrap_or_default()
+    }
+
+    /// Violations sunk so far ([`GmacConfig::race_report`] mode; empty in
+    /// error mode or with the detector off).
+    pub(crate) fn race_violations(&self) -> Vec<crate::race::RaceViolation> {
+        self.race
+            .as_ref()
+            .map(|r| r.violations())
+            .unwrap_or_default()
+    }
 
     pub(crate) fn counters(&self) -> Counters {
         let _g = self.gate();
@@ -1043,6 +1093,20 @@ impl Gmac {
     /// Devices with a call in flight (any session), in id order.
     pub fn pending_devices(&self) -> Vec<DeviceId> {
         self.inner.pending_devices()
+    }
+
+    /// Race-detector counters: accesses checked and violations observed.
+    /// All-zero with [`GmacConfig::race_check`] off.
+    pub fn race_stats(&self) -> crate::race::RaceStats {
+        self.inner.race_stats()
+    }
+
+    /// Violations recorded by the non-fatal sink
+    /// ([`GmacConfig::race_report`] mode). Empty in error mode (violations
+    /// surface as [`GmacError::RaceDetected`] instead) or with the detector
+    /// off.
+    pub fn race_violations(&self) -> Vec<crate::race::RaceViolation> {
+        self.inner.race_violations()
     }
 
     /// Changes the allocation-placement policy for sessions without

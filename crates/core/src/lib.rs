@@ -84,6 +84,7 @@ pub mod manager;
 pub mod object;
 pub mod protocol;
 pub mod ptr;
+pub mod race;
 pub(crate) mod registry;
 pub mod report;
 pub mod runtime;
@@ -104,7 +105,8 @@ pub use evict::EvictState;
 pub use gmac::Gmac;
 pub use object::{ObjectId, SharedObject};
 pub use ptr::{Param, SharedPtr};
-pub use report::{EvictionReport, ObjectReport, Report};
+pub use race::{RaceKind, RaceStats, RaceViolation};
+pub use report::{EvictionReport, ObjectReport, RaceReport, Report};
 pub use runtime::Counters;
 pub use sched::{SchedPolicy, Scheduler};
 pub use service::{

@@ -1,0 +1,668 @@
+//! Opt-in coherence race detector (ROADMAP item 4; Butelle & Coti,
+//! arXiv:1101.4193 build the same idea directly on a coherent-DSM model).
+//!
+//! The paper's consistency model (§3) forbids the CPU from updating shared
+//! data while an accelerator kernel that may read it is in flight, and makes
+//! `adsmCall`/`adsmSync` the only acquire/release points. Nothing in the
+//! runtime *enforces* that contract — a misuse silently corrupts results.
+//! With [`crate::GmacConfig::race_check`] enabled the runtime tracks
+//! per-block **vector clocks** and reports violations with precise
+//! object+offset+epoch diagnostics.
+//!
+//! # The clock model
+//!
+//! The vector clock has one **CPU epoch per session** plus one **kernel
+//! epoch per device**:
+//!
+//! * a session's CPU epoch advances when it *releases* its writes — at a
+//!   successful `adsmCall` (the protocol flushes dirty data before launch)
+//!   and at `adsmSync` (the session rejoins the CPU timeline);
+//! * a device's kernel epoch advances at every launch.
+//!
+//! Every CPU write to a shared object stamps the covered blocks with the
+//! writing session's `(session, epoch)` pair — one entry per session, so a
+//! foreign session's stamp is never clobbered by a later local write. A
+//! stamp is **unsynced** while its epoch still equals the writer's current
+//! epoch: the writer has not passed a release point since the write.
+//!
+//! # The three violation kinds
+//!
+//! * [`RaceKind::CpuWriteWhileKernelMayRead`] — a CPU write lands on an
+//!   object referenced by a call still in flight on its home device.
+//! * [`RaceKind::LaunchOverUnsyncedWrites`] — a launch references an object
+//!   carrying another session's unsynced stamp: the kernel may read bytes
+//!   whose writer never released them.
+//! * [`RaceKind::CrossSessionWrite`] — the offending write came from a
+//!   session other than the one that owns the in-flight call (reported in
+//!   addition to one of the kinds above).
+//!
+//! # What is *not* an access
+//!
+//! Only program-initiated writes are stamped and checked: the scalar/slice
+//! store paths, bulk ops and I/O interposition. Runtime traffic — protocol
+//! fetches, DMA worker landings, eviction write-backs and re-fetches — moves
+//! the same bytes but represents the *runtime's own* coherence actions, so
+//! it is deliberately invisible to the detector.
+//!
+//! # Ablation discipline
+//!
+//! The detector makes **no virtual-time charges**: with `race_check` on, a
+//! race-free run's digests, elapsed time and per-category ledgers are
+//! byte-identical to the same run with it off. The only cost is wall-clock
+//! (one leaf mutex + hash updates per checked write, measured in
+//! `results/BENCH_race.json`).
+
+use crate::session::SessionId;
+use hetsim::DeviceId;
+use softmmu::VAddr;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, PoisonError};
+
+/// Sentinel for "no session identity known on this thread".
+const UNKNOWN_SESSION: u64 = u64::MAX;
+
+/// Cap on violations retained by the sink in report mode (detections beyond
+/// the cap are still *counted*, just not stored).
+const SINK_CAP: usize = 64;
+
+thread_local! {
+    /// Sticky attribution: the last session that entered the runtime on this
+    /// thread. `Shared<T>` handles carry no session back-reference, so their
+    /// slow-path accesses inherit the thread's last session — exact for the
+    /// intended one-session-per-thread usage (§3.2), and a documented
+    /// approximation when handles migrate across threads.
+    static CURRENT_SESSION: Cell<u64> = const { Cell::new(UNKNOWN_SESSION) };
+}
+
+/// Records the session entering the runtime on this thread (see
+/// [`CURRENT_SESSION`]). Called from `Session` entry points only when race
+/// checking is active, so the disabled mode pays nothing.
+pub(crate) fn set_current_session(id: SessionId) {
+    let _ = CURRENT_SESSION.try_with(|c| c.set(id.0));
+}
+
+fn current_session() -> u64 {
+    CURRENT_SESSION
+        .try_with(Cell::get)
+        .unwrap_or(UNKNOWN_SESSION)
+}
+
+/// The kind of consistency-contract violation detected (a single detection
+/// may carry several kinds, e.g. a foreign write to an in-flight object is
+/// both [`Self::CpuWriteWhileKernelMayRead`] and [`Self::CrossSessionWrite`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum RaceKind {
+    /// A CPU write landed on an object referenced by an un-synced call.
+    CpuWriteWhileKernelMayRead,
+    /// A launch referenced an object carrying a foreign session's unsynced
+    /// write stamp.
+    LaunchOverUnsyncedWrites,
+    /// The offending write came from a session that does not own the call.
+    CrossSessionWrite,
+}
+
+impl fmt::Display for RaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RaceKind::CpuWriteWhileKernelMayRead => "cpu-write-while-kernel-may-read",
+            RaceKind::LaunchOverUnsyncedWrites => "launch-over-unsynced-writes",
+            RaceKind::CrossSessionWrite => "cross-session-write",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One detected violation, with the paper-level diagnostics a user needs to
+/// find the offending access: which object, which byte range, which device's
+/// call was endangered, and the epochs involved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct RaceViolation {
+    /// Violation kinds (non-empty; sorted).
+    pub kinds: Vec<RaceKind>,
+    /// Start address of the shared object involved.
+    pub object: VAddr,
+    /// Byte offset of the offending range within the object.
+    pub offset: u64,
+    /// Length of the offending range in bytes.
+    pub len: u64,
+    /// The accelerator whose in-flight or about-to-launch call is involved.
+    pub device: DeviceId,
+    /// The session whose write or launch triggered the detection.
+    pub session: SessionId,
+    /// `session`'s CPU epoch at detection time.
+    pub session_epoch: u64,
+    /// `device`'s kernel epoch at detection time.
+    pub kernel_epoch: u64,
+    /// For launch-over-unsynced-writes: the foreign writer and the epoch its
+    /// stamp was made in.
+    pub unsynced_writer: Option<(SessionId, u64)>,
+}
+
+impl fmt::Display for RaceViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "race [")?;
+        for (i, k) in self.kinds.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}")?;
+        }
+        write!(
+            f,
+            "] object {:#x} bytes [{}, {}) on {}: {} at cpu epoch {}, kernel epoch {}",
+            self.object.0,
+            self.offset,
+            self.offset + self.len,
+            self.device,
+            self.session,
+            self.session_epoch,
+            self.kernel_epoch
+        )?;
+        if let Some((writer, epoch)) = self.unsynced_writer {
+            write!(f, "; unsynced write by {writer} at epoch {epoch}")?;
+        }
+        Ok(())
+    }
+}
+
+impl RaceViolation {
+    /// Converts the violation into the machine-readable error surfaced in
+    /// error mode.
+    pub(crate) fn into_error(self) -> crate::GmacError {
+        crate::GmacError::RaceDetected {
+            object: self.object,
+            offset: self.offset,
+            len: self.len,
+            device: self.device,
+            kinds: self.kinds,
+        }
+    }
+}
+
+/// Detector counters (exposed through [`crate::Report`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RaceStats {
+    /// Program write accesses stamped and checked.
+    pub writes_checked: u64,
+    /// Kernel launches checked against pending stamps.
+    pub launches_checked: u64,
+    /// Total violations detected (error mode counts the ones it raised).
+    pub violations: u64,
+}
+
+/// A per-session write stamp on one block.
+#[derive(Debug, Clone, Copy)]
+struct Stamp {
+    session: u64,
+    epoch: u64,
+}
+
+/// Per-object stamp table: one `Vec<Stamp>` per block (one entry per
+/// session, updated in place).
+#[derive(Debug)]
+struct ObjRecords {
+    block_size: u64,
+    blocks: Vec<Vec<Stamp>>,
+}
+
+/// A call in flight on one device.
+#[derive(Debug)]
+struct InFlight {
+    launcher: u64,
+    /// Start addresses of the referenced objects.
+    objects: Vec<u64>,
+}
+
+#[derive(Debug, Default)]
+struct RaceState {
+    /// CPU epoch per session (created at first use).
+    epochs: HashMap<u64, u64>,
+    /// Kernel epoch per device.
+    kernel_epochs: Vec<u64>,
+    /// The un-synced call per device, if any.
+    inflight: Vec<Option<InFlight>>,
+    /// Write stamps, keyed by object start address.
+    records: HashMap<u64, ObjRecords>,
+    /// Sink-mode violation log (capped at [`SINK_CAP`]).
+    sink: Vec<RaceViolation>,
+    stats: RaceStats,
+}
+
+/// The process-wide detector, shared by the runtime core and every device
+/// shard. Lock order: this mutex is a **leaf below the shard locks** —
+/// hooks run while a shard is locked and never call back into the runtime.
+#[derive(Debug)]
+pub(crate) struct RaceDetector {
+    /// `true` = sink mode (log and keep going), `false` = error mode.
+    report: bool,
+    state: Mutex<RaceState>,
+}
+
+impl RaceDetector {
+    pub(crate) fn new(report: bool, devices: usize) -> Self {
+        RaceDetector {
+            report,
+            state: Mutex::new(RaceState {
+                kernel_epochs: vec![0; devices],
+                inflight: (0..devices).map(|_| None).collect(),
+                ..RaceState::default()
+            }),
+        }
+    }
+
+    /// Sink mode?
+    pub(crate) fn report_mode(&self) -> bool {
+        self.report
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RaceState> {
+        // Panic-tolerant: a panicking service job must not poison detection
+        // for every other session.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Routes a detection: sink mode logs it and returns `None`; error mode
+    /// returns it for conversion into [`crate::GmacError::RaceDetected`].
+    fn emit(&self, state: &mut RaceState, violation: RaceViolation) -> Option<RaceViolation> {
+        state.stats.violations += 1;
+        if self.report {
+            if state.sink.len() < SINK_CAP {
+                state.sink.push(violation);
+            }
+            None
+        } else {
+            Some(violation)
+        }
+    }
+
+    /// Hook: a program CPU write of `[offset, offset + len)` within the
+    /// object starting at `object` (block granularity `block_size`), homed
+    /// on `dev`. Returns a violation to raise in error mode.
+    ///
+    /// Called with the home shard locked, *after* the bytes landed and the
+    /// touch time was charged: detection is diagnostic, not transactional —
+    /// the racing write is real and the error reports it.
+    pub(crate) fn note_cpu_write(
+        &self,
+        dev: DeviceId,
+        object: VAddr,
+        block_size: u64,
+        offset: u64,
+        len: u64,
+    ) -> Option<RaceViolation> {
+        debug_assert!(len > 0);
+        let writer = current_session();
+        let mut state = self.lock();
+        state.stats.writes_checked += 1;
+        let epoch = if writer == UNKNOWN_SESSION {
+            0
+        } else {
+            *state.epochs.entry(writer).or_insert(0)
+        };
+
+        // Kind 1 (+3): is a call referencing this object in flight on its
+        // home device? (Objects are homed on exactly one device and calls
+        // only reference same-device objects, so one probe suffices.)
+        let mut violation = None;
+        if let Some(inflight) = state.inflight.get(dev.0).and_then(Option::as_ref) {
+            if inflight.objects.contains(&object.0) {
+                let mut kinds = vec![RaceKind::CpuWriteWhileKernelMayRead];
+                if writer != UNKNOWN_SESSION && writer != inflight.launcher {
+                    kinds.push(RaceKind::CrossSessionWrite);
+                }
+                violation = Some(RaceViolation {
+                    kinds,
+                    object,
+                    offset,
+                    len,
+                    device: dev,
+                    session: SessionId(writer),
+                    session_epoch: epoch,
+                    kernel_epoch: state.kernel_epochs.get(dev.0).copied().unwrap_or(0),
+                    unsynced_writer: None,
+                });
+            }
+        }
+
+        // Stamp the covered blocks (skipped when the writing session is
+        // unknown: an unattributable stamp could only ever produce false
+        // launch-time positives).
+        if writer != UNKNOWN_SESSION {
+            let first = (offset / block_size) as usize;
+            let last = ((offset + len - 1) / block_size) as usize;
+            let records = state.records.entry(object.0).or_insert_with(|| ObjRecords {
+                block_size,
+                blocks: Vec::new(),
+            });
+            if records.blocks.len() <= last {
+                records.blocks.resize_with(last + 1, Vec::new);
+            }
+            for block in &mut records.blocks[first..=last] {
+                match block.iter_mut().find(|s| s.session == writer) {
+                    Some(stamp) => stamp.epoch = epoch,
+                    None => block.push(Stamp {
+                        session: writer,
+                        epoch,
+                    }),
+                }
+            }
+        }
+
+        violation.and_then(|v| self.emit(&mut state, v))
+    }
+
+    /// Hook: `launcher` is about to launch on `dev`, referencing the given
+    /// objects (start address + block size each). Runs **before** any launch
+    /// charge or protocol release, so an error-mode detection charges
+    /// nothing. Kind 2 fires on any block stamped by a *different* session
+    /// whose epoch is still that session's current epoch (the write was
+    /// never released).
+    pub(crate) fn check_launch(
+        &self,
+        launcher: SessionId,
+        dev: DeviceId,
+        objects: &[(VAddr, u64)],
+    ) -> Option<RaceViolation> {
+        let mut state = self.lock();
+        state.stats.launches_checked += 1;
+        for &(object, _block_size) in objects {
+            let Some(records) = state.records.get(&object.0) else {
+                continue;
+            };
+            let mut offending: Option<(usize, usize, Stamp)> = None;
+            'blocks: for (idx, block) in records.blocks.iter().enumerate() {
+                for stamp in block {
+                    let unsynced =
+                        state.epochs.get(&stamp.session).copied().unwrap_or(0) == stamp.epoch;
+                    if stamp.session != launcher.0 && unsynced {
+                        match &mut offending {
+                            // Extend a contiguous offending run.
+                            Some((_, end, _)) if *end == idx => *end = idx + 1,
+                            Some(_) => break 'blocks,
+                            None => offending = Some((idx, idx + 1, *stamp)),
+                        }
+                        continue 'blocks;
+                    }
+                }
+                if offending.is_some() {
+                    break;
+                }
+            }
+            if let Some((first, end, stamp)) = offending {
+                let block_size = records.block_size;
+                let violation = RaceViolation {
+                    kinds: vec![
+                        RaceKind::LaunchOverUnsyncedWrites,
+                        RaceKind::CrossSessionWrite,
+                    ],
+                    object,
+                    offset: first as u64 * block_size,
+                    len: (end - first) as u64 * block_size,
+                    device: dev,
+                    session: launcher,
+                    session_epoch: state.epochs.get(&launcher.0).copied().unwrap_or(0),
+                    kernel_epoch: state.kernel_epochs.get(dev.0).copied().unwrap_or(0),
+                    unsynced_writer: Some((SessionId(stamp.session), stamp.epoch)),
+                };
+                return self.emit(&mut state, violation);
+            }
+        }
+        None
+    }
+
+    /// Hook: the launch succeeded. Advances `dev`'s kernel epoch, registers
+    /// the in-flight call (stacked calls by the same session union their
+    /// object sets) and advances the launcher's CPU epoch — the protocol
+    /// release flushed the launcher's own pre-call writes, so its stamps are
+    /// now synced.
+    pub(crate) fn note_launched(&self, launcher: SessionId, dev: DeviceId, objects: &[VAddr]) {
+        let mut state = self.lock();
+        if let Some(e) = state.kernel_epochs.get_mut(dev.0) {
+            *e += 1;
+        }
+        if let Some(slot) = state.inflight.get_mut(dev.0) {
+            match slot {
+                Some(inflight) => {
+                    for obj in objects {
+                        if !inflight.objects.contains(&obj.0) {
+                            inflight.objects.push(obj.0);
+                        }
+                    }
+                    inflight.launcher = launcher.0;
+                }
+                None => {
+                    *slot = Some(InFlight {
+                        launcher: launcher.0,
+                        objects: objects.iter().map(|o| o.0).collect(),
+                    });
+                }
+            }
+        }
+        *state.epochs.entry(launcher.0).or_insert(0) += 1;
+    }
+
+    /// Hook: `session` synced `dev`. Clears the device's in-flight call and
+    /// advances the session's CPU epoch (sync is an acquire/release point).
+    pub(crate) fn note_sync(&self, session: SessionId, dev: DeviceId) {
+        let mut state = self.lock();
+        if let Some(slot) = state.inflight.get_mut(dev.0) {
+            *slot = None;
+        }
+        *state.epochs.entry(session.0).or_insert(0) += 1;
+    }
+
+    /// Hook: the object starting at `object` was freed. Its stamps are
+    /// dropped so a later first-fit reuse of the address starts clean
+    /// (stale stamps would otherwise flag the unrelated new object).
+    pub(crate) fn note_free(&self, object: VAddr) {
+        self.lock().records.remove(&object.0);
+    }
+
+    /// Counter snapshot.
+    pub(crate) fn stats(&self) -> RaceStats {
+        self.lock().stats
+    }
+
+    /// Sink-mode violation log (clone; empty in error mode).
+    pub(crate) fn violations(&self) -> Vec<RaceViolation> {
+        self.lock().sink.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(report: bool) -> RaceDetector {
+        RaceDetector::new(report, 2)
+    }
+
+    const OBJ: VAddr = VAddr(0x10_0000);
+    const DEV: DeviceId = DeviceId(0);
+
+    #[test]
+    fn clean_write_launch_sync_cycle_is_silent() {
+        let d = det(false);
+        set_current_session(SessionId(1));
+        assert!(d.note_cpu_write(DEV, OBJ, 4096, 0, 8).is_none());
+        assert!(d.check_launch(SessionId(1), DEV, &[(OBJ, 4096)]).is_none());
+        d.note_launched(SessionId(1), DEV, &[OBJ]);
+        d.note_sync(SessionId(1), DEV);
+        // Post-sync writes are a fresh epoch; the next launch is clean.
+        assert!(d.note_cpu_write(DEV, OBJ, 4096, 0, 8).is_none());
+        assert!(d.check_launch(SessionId(1), DEV, &[(OBJ, 4096)]).is_none());
+        assert_eq!(d.stats().violations, 0);
+    }
+
+    #[test]
+    fn write_while_inflight_is_kind_one() {
+        let d = det(false);
+        set_current_session(SessionId(1));
+        d.note_launched(SessionId(1), DEV, &[OBJ]);
+        let v = d.note_cpu_write(DEV, OBJ, 4096, 100, 4).expect("violation");
+        assert_eq!(v.kinds, vec![RaceKind::CpuWriteWhileKernelMayRead]);
+        assert_eq!(v.object, OBJ);
+        assert_eq!((v.offset, v.len), (100, 4));
+        assert_eq!(v.device, DEV);
+        // A write to an object the call does NOT reference is fine.
+        assert!(d
+            .note_cpu_write(DEV, VAddr(0x20_0000), 4096, 0, 4)
+            .is_none());
+    }
+
+    #[test]
+    fn foreign_write_while_inflight_adds_cross_session() {
+        let d = det(false);
+        set_current_session(SessionId(2));
+        d.note_launched(SessionId(1), DEV, &[OBJ]);
+        let v = d.note_cpu_write(DEV, OBJ, 4096, 0, 4).expect("violation");
+        assert_eq!(
+            v.kinds,
+            vec![
+                RaceKind::CpuWriteWhileKernelMayRead,
+                RaceKind::CrossSessionWrite
+            ]
+        );
+        assert_eq!(v.session, SessionId(2));
+    }
+
+    #[test]
+    fn launch_over_foreign_unsynced_write_is_kind_two() {
+        let d = det(false);
+        set_current_session(SessionId(2));
+        assert!(d.note_cpu_write(DEV, OBJ, 4096, 4096, 100).is_none());
+        let v = d
+            .check_launch(SessionId(1), DEV, &[(OBJ, 4096)])
+            .expect("violation");
+        assert_eq!(
+            v.kinds,
+            vec![
+                RaceKind::LaunchOverUnsyncedWrites,
+                RaceKind::CrossSessionWrite
+            ]
+        );
+        assert_eq!(v.offset, 4096, "block-precise offset");
+        assert_eq!(v.unsynced_writer, Some((SessionId(2), 0)));
+    }
+
+    #[test]
+    fn released_foreign_write_is_not_flagged() {
+        let d = det(false);
+        set_current_session(SessionId(2));
+        assert!(d.note_cpu_write(DEV, OBJ, 4096, 0, 4).is_none());
+        // Session 2 releases via its own launch+sync on another device.
+        d.note_launched(SessionId(2), DeviceId(1), &[]);
+        assert!(
+            d.check_launch(SessionId(1), DEV, &[(OBJ, 4096)]).is_none(),
+            "released stamp must not flag"
+        );
+    }
+
+    #[test]
+    fn own_unsynced_writes_never_flag_a_launch() {
+        let d = det(false);
+        set_current_session(SessionId(1));
+        assert!(d.note_cpu_write(DEV, OBJ, 4096, 0, 4096).is_none());
+        assert!(d.check_launch(SessionId(1), DEV, &[(OBJ, 4096)]).is_none());
+    }
+
+    #[test]
+    fn free_drops_stamps_for_address_reuse() {
+        let d = det(false);
+        set_current_session(SessionId(2));
+        assert!(d.note_cpu_write(DEV, OBJ, 4096, 0, 4).is_none());
+        d.note_free(OBJ);
+        assert!(
+            d.check_launch(SessionId(1), DEV, &[(OBJ, 4096)]).is_none(),
+            "stamps must not survive free (first-fit reuses addresses)"
+        );
+    }
+
+    #[test]
+    fn report_mode_sinks_instead_of_erroring() {
+        let d = det(true);
+        set_current_session(SessionId(1));
+        d.note_launched(SessionId(1), DEV, &[OBJ]);
+        assert!(d.note_cpu_write(DEV, OBJ, 4096, 0, 4).is_none());
+        assert_eq!(d.stats().violations, 1);
+        let sink = d.violations();
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink[0].kinds, vec![RaceKind::CpuWriteWhileKernelMayRead]);
+        assert!(sink[0].to_string().contains("cpu-write-while-kernel"));
+    }
+
+    #[test]
+    fn sink_is_capped_but_counting_continues() {
+        let d = det(true);
+        set_current_session(SessionId(1));
+        d.note_launched(SessionId(1), DEV, &[OBJ]);
+        for _ in 0..(SINK_CAP as u64 + 10) {
+            assert!(d.note_cpu_write(DEV, OBJ, 4096, 0, 4).is_none());
+        }
+        assert_eq!(d.violations().len(), SINK_CAP);
+        assert_eq!(d.stats().violations, SINK_CAP as u64 + 10);
+    }
+
+    #[test]
+    fn unknown_thread_identity_still_catches_kind_one() {
+        let d = det(false);
+        d.note_launched(SessionId(1), DEV, &[OBJ]);
+        let v = std::thread::spawn(move || {
+            // Fresh thread: no session identity.
+            let v = d.note_cpu_write(DEV, OBJ, 4096, 0, 4);
+            (v, d)
+        });
+        let (v, d) = v.join().unwrap();
+        let v = v.expect("kind 1 is session-independent");
+        assert_eq!(
+            v.kinds,
+            vec![RaceKind::CpuWriteWhileKernelMayRead],
+            "cross-session must not be claimed for unknown writers"
+        );
+        // And the unattributable stamp is not recorded: no launch-time
+        // false positive.
+        d.note_sync(SessionId(1), DEV);
+        assert!(d.check_launch(SessionId(1), DEV, &[(OBJ, 4096)]).is_none());
+    }
+
+    #[test]
+    fn stacked_calls_union_objects() {
+        let d = det(false);
+        let obj2 = VAddr(0x20_0000);
+        set_current_session(SessionId(1));
+        d.note_launched(SessionId(1), DEV, &[OBJ]);
+        d.note_launched(SessionId(1), DEV, &[obj2]);
+        assert!(d.note_cpu_write(DEV, OBJ, 4096, 0, 4).is_some());
+        assert!(d.note_cpu_write(DEV, obj2, 4096, 0, 4).is_some());
+        d.note_sync(SessionId(1), DEV);
+        assert!(d.note_cpu_write(DEV, OBJ, 4096, 0, 4).is_none());
+        assert!(d.note_cpu_write(DEV, obj2, 4096, 0, 4).is_none());
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = RaceViolation {
+            kinds: vec![
+                RaceKind::LaunchOverUnsyncedWrites,
+                RaceKind::CrossSessionWrite,
+            ],
+            object: VAddr(0x10_0000),
+            offset: 4096,
+            len: 4096,
+            device: DeviceId(0),
+            session: SessionId(1),
+            session_epoch: 3,
+            kernel_epoch: 7,
+            unsynced_writer: Some((SessionId(2), 3)),
+        };
+        let s = v.to_string();
+        assert!(s.contains("launch-over-unsynced-writes"), "{s}");
+        assert!(s.contains("0x100000"), "{s}");
+        assert!(s.contains("session #2"), "{s}");
+        assert!(s.contains("epoch 3"), "{s}");
+    }
+}

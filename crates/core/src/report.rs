@@ -55,6 +55,20 @@ impl EvictionReport {
     }
 }
 
+/// Race-detector snapshot (see [`crate::race`]); present only with
+/// [`crate::GmacConfig::race_check`] on.
+#[derive(Debug, Clone)]
+pub struct RaceReport {
+    /// `true` = non-fatal sink mode ([`crate::GmacConfig::race_report`]):
+    /// violations are recorded below instead of raised as errors.
+    pub report_mode: bool,
+    /// Accesses checked and violations observed.
+    pub stats: crate::race::RaceStats,
+    /// Violations sunk so far (always empty in error mode — they surface as
+    /// [`crate::GmacError::RaceDetected`] instead).
+    pub violations: Vec<crate::race::RaceViolation>,
+}
+
 /// Full runtime snapshot.
 #[derive(Debug, Clone)]
 pub struct Report {
@@ -108,6 +122,9 @@ pub struct Report {
     pub device_loads: Vec<(u64, u64)>,
     /// Eviction/re-fetch activity per device, in id order.
     pub eviction_by_device: Vec<EvictionReport>,
+    /// Race-detector snapshot (`None` with [`crate::GmacConfig::race_check`]
+    /// off).
+    pub race: Option<RaceReport>,
     /// Software-TLB hit rate over all shards (0 with the fast path off or
     /// no accesses).
     pub tlb_hit_rate: f64,
@@ -199,6 +216,11 @@ impl Inner {
             service: self.service_snapshot(),
             device_loads: self.loads.snapshot(),
             eviction_by_device,
+            race: self.race.as_ref().map(|r| RaceReport {
+                report_mode: r.report_mode(),
+                stats: r.stats(),
+                violations: r.violations(),
+            }),
             tlb_hit_rate: ratio(counters.tlb_hits, counters.tlb_hits + counters.tlb_misses),
             memo_hit_rate: ratio(
                 counters.obj_memo_hits,
@@ -356,6 +378,20 @@ impl fmt::Display for Report {
                 .collect();
             if !loaded.is_empty() {
                 writeln!(f, "    loads: {}", loaded.join("  "))?;
+            }
+        }
+        if let Some(race) = &self.race {
+            writeln!(
+                f,
+                "  races: {} writes / {} launches checked   {} violation{} [{}]",
+                race.stats.writes_checked,
+                race.stats.launches_checked,
+                race.stats.violations,
+                if race.stats.violations == 1 { "" } else { "s" },
+                if race.report_mode { "sink" } else { "error" },
+            )?;
+            for v in &race.violations {
+                writeln!(f, "    {v}")?;
             }
         }
         writeln!(
@@ -596,6 +632,26 @@ mod tests {
         let r = g.report();
         assert_eq!(r.eviction_by_device[0].refetches, 1);
         assert!(r.to_string().contains("1 re-fetched"));
+    }
+
+    #[test]
+    fn race_section_appears_only_with_the_detector_on() {
+        let g = gmac(GmacConfig::default());
+        assert!(g.report().race.is_none());
+        assert!(!g.report().to_string().contains("races:"));
+
+        let g = gmac(GmacConfig::default().race_check(true).race_report(true));
+        let s = g.session();
+        let p = s.alloc(4096).unwrap();
+        s.store::<u32>(p, 1).unwrap();
+        let r = g.report();
+        let race = r.race.as_ref().expect("detector on: section present");
+        assert!(race.report_mode);
+        assert!(race.stats.writes_checked >= 1);
+        assert_eq!(race.stats.violations, 0);
+        let text = r.to_string();
+        assert!(text.contains("races:"));
+        assert!(text.contains("[sink]"));
     }
 
     #[test]

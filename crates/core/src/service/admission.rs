@@ -24,7 +24,12 @@ pub const MIN_JOB_DRAIN_NS: u64 = 1_000;
 pub fn retry_after_hint(queued: usize, devices: usize, avg_run_ns: u64) -> Nanos {
     let per_job = avg_run_ns.max(MIN_JOB_DRAIN_NS);
     let backlog = (queued as u64).saturating_add(1);
-    Nanos::from_nanos(per_job.saturating_mul(backlog) / devices.max(1) as u64)
+    // The division can floor a small backlog on a wide device pool to zero;
+    // a zero hint reads as "retry immediately" and defeats the backoff, so
+    // the floor applies to the final figure too.
+    Nanos::from_nanos(
+        (per_job.saturating_mul(backlog) / devices.max(1) as u64).max(MIN_JOB_DRAIN_NS),
+    )
 }
 
 #[cfg(test)]
@@ -50,5 +55,27 @@ mod tests {
         // Defensive: a board is never empty, but the hint must not divide
         // by zero even if handed nonsense.
         assert!(retry_after_hint(5, 0, 1_000).as_nanos() > 0);
+    }
+
+    #[test]
+    fn empty_history_on_wide_pool_keeps_the_floor() {
+        // Cold service (no completed jobs → avg 0) on a pool wider than the
+        // backlog: the division would round the hint to zero without the
+        // final floor.
+        let hint = retry_after_hint(0, 64, 0);
+        assert_eq!(hint.as_nanos(), MIN_JOB_DRAIN_NS);
+    }
+
+    #[test]
+    fn drained_queue_still_hints_nonzero() {
+        // A refusal racing the queue draining to empty must still back the
+        // client off: queued = 0 covers the in-flight job that triggered
+        // the refusal.
+        for devices in [1, 2, 8, 1024] {
+            assert!(
+                retry_after_hint(0, devices, 500).as_nanos() >= MIN_JOB_DRAIN_NS,
+                "devices={devices}"
+            );
+        }
     }
 }

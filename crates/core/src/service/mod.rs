@@ -230,6 +230,11 @@ impl SvcShared {
                 "service job panicked".to_string(),
             ))
         });
+        // A panicking job can unwind past its fast-path accesses before any
+        // gate settles them; flush this worker thread's deferred charges now
+        // so the fairness accounting (and the clock the next job reads)
+        // doesn't silently carry one tenant's time into another's job.
+        crate::fasttime::flush(&self.inner.platform);
         // A job that leaves a call in flight would hand the *next* tenant's
         // job a busy device; settle it here so DeviceBusy stays structurally
         // impossible. (Well-behaved jobs sync themselves; this charges

@@ -124,6 +124,7 @@ impl Session {
     /// the accelerator range is taken (use [`Self::safe_alloc`]); propagates
     /// device out-of-memory.
     pub fn alloc(&self, size: u64) -> GmacResult<SharedPtr> {
+        self.inner.note_identity(self.view);
         self.inner.alloc(self.view, size)
     }
 
@@ -132,6 +133,7 @@ impl Session {
     /// # Errors
     /// Same as [`Self::alloc`].
     pub fn alloc_on(&self, dev: DeviceId, size: u64) -> GmacResult<SharedPtr> {
+        self.inner.note_identity(self.view);
         self.inner.alloc_on(dev, size)
     }
 
@@ -144,6 +146,7 @@ impl Session {
     /// # Errors
     /// Propagates device out-of-memory and MMU failures.
     pub fn safe_alloc(&self, size: u64) -> GmacResult<SharedPtr> {
+        self.inner.note_identity(self.view);
         self.inner.safe_alloc(self.view, size)
     }
 
@@ -152,6 +155,7 @@ impl Session {
     /// # Errors
     /// Same as [`Self::safe_alloc`].
     pub fn safe_alloc_on(&self, dev: DeviceId, size: u64) -> GmacResult<SharedPtr> {
+        self.inner.note_identity(self.view);
         self.inner.safe_alloc_on(dev, size)
     }
 
@@ -161,6 +165,7 @@ impl Session {
     /// # Errors
     /// Same as [`Self::alloc`].
     pub fn alloc_typed<T: Scalar>(&self, n: usize) -> GmacResult<Shared<T>> {
+        self.inner.note_identity(self.view);
         let (ptr, id, fast) =
             self.inner
                 .alloc_typed_raw(self.view, (n as u64) * T::SIZE as u64, false)?;
@@ -173,6 +178,7 @@ impl Session {
     /// # Errors
     /// Same as [`Self::safe_alloc`].
     pub fn safe_alloc_typed<T: Scalar>(&self, n: usize) -> GmacResult<Shared<T>> {
+        self.inner.note_identity(self.view);
         let (ptr, id, fast) =
             self.inner
                 .alloc_typed_raw(self.view, (n as u64) * T::SIZE as u64, true)?;
@@ -186,6 +192,7 @@ impl Session {
     /// [`crate::GmacError::ObjectInUse`] if a still-pending call references it
     /// (sync first). Failed frees charge no simulated time.
     pub fn free(&self, ptr: SharedPtr) -> GmacResult<()> {
+        self.inner.note_identity(self.view);
         self.inner.free(ptr)
     }
 
@@ -219,6 +226,7 @@ impl Session {
         params: &[Param],
         writes: Option<&[SharedPtr]>,
     ) -> GmacResult<()> {
+        self.inner.note_identity(self.view);
         self.inner
             .call_annotated(self.view, kernel, dims, params, writes)
     }
@@ -230,6 +238,7 @@ impl Session {
     /// [`crate::GmacError::NothingToSync`] when this session has no call
     /// outstanding.
     pub fn sync(&self) -> GmacResult<()> {
+        self.inner.note_identity(self.view);
         self.inner.sync(self.view)
     }
 
@@ -240,6 +249,7 @@ impl Session {
     /// [`crate::GmacError::NothingToSync`] when this session has no call pending on
     /// `dev`.
     pub fn sync_device(&self, dev: DeviceId) -> GmacResult<()> {
+        self.inner.note_identity(self.view);
         self.inner.sync_device(self.view, dev)
     }
 
@@ -269,6 +279,7 @@ impl Session {
     /// # Errors
     /// Same as [`Self::load`].
     pub fn store<T: Scalar>(&self, ptr: SharedPtr, value: T) -> GmacResult<()> {
+        self.inner.note_identity(self.view);
         self.inner.store(&self.routes, ptr, value)
     }
 
@@ -288,6 +299,7 @@ impl Session {
     /// # Errors
     /// Same as [`Self::load`].
     pub fn store_slice<T: Scalar>(&self, ptr: SharedPtr, values: &[T]) -> GmacResult<()> {
+        self.inner.note_identity(self.view);
         self.inner.store_slice(&self.routes, ptr, values)
     }
 
@@ -299,6 +311,7 @@ impl Session {
     /// # Errors
     /// Fails for foreign pointers or out-of-object ranges.
     pub fn memset(&self, ptr: SharedPtr, value: u8, len: u64) -> GmacResult<()> {
+        self.inner.note_identity(self.view);
         self.inner.memset(&self.routes, ptr, value, len)
     }
 
@@ -307,6 +320,7 @@ impl Session {
     /// # Errors
     /// Fails for foreign pointers or out-of-object ranges.
     pub fn memcpy_in(&self, dst: SharedPtr, src: &[u8]) -> GmacResult<()> {
+        self.inner.note_identity(self.view);
         self.inner.memcpy_in(&self.routes, dst, src)
     }
 
@@ -326,6 +340,7 @@ impl Session {
     /// # Errors
     /// Fails for foreign pointers or out-of-object ranges.
     pub fn memcpy(&self, dst: SharedPtr, src: SharedPtr, len: u64) -> GmacResult<()> {
+        self.inner.note_identity(self.view);
         self.inner.memcpy(&self.routes, dst, src, len)
     }
 
@@ -344,6 +359,7 @@ impl Session {
         ptr: SharedPtr,
         len: u64,
     ) -> GmacResult<u64> {
+        self.inner.note_identity(self.view);
         self.inner
             .read_file_to_shared(&self.routes, name, file_offset, ptr, len)
     }

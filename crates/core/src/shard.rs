@@ -46,6 +46,7 @@ use crate::manager::Manager;
 use crate::object::{ObjectId, SharedObject};
 use crate::protocol::{make, CoherenceProtocol};
 use crate::ptr::SharedPtr;
+use crate::race::RaceDetector;
 use crate::runtime::Runtime;
 use crate::service::LoadBoard;
 use crate::session::{SessionId, SessionView};
@@ -171,6 +172,11 @@ pub struct DeviceShard {
     /// Shared load board: this shard reports its resident device bytes so
     /// the service placer can prefer devices with free capacity.
     loads: Arc<LoadBoard>,
+    /// Shared coherence race detector ([`crate::GmacConfig::race_check`]);
+    /// `None` when detection is off, so the disabled mode pays nothing on
+    /// any access path. Lock order: the detector mutex is a leaf below this
+    /// shard's lock.
+    race: Option<Arc<RaceDetector>>,
     /// Access-fast-path memo (see [`ObjMemo`]).
     obj_memo: Option<ObjMemo>,
 }
@@ -182,6 +188,7 @@ impl DeviceShard {
         config: &GmacConfig,
         engine: Option<Arc<DmaEngine>>,
         loads: Arc<LoadBoard>,
+        race: Option<Arc<RaceDetector>>,
     ) -> Self {
         DeviceShard {
             dev,
@@ -191,6 +198,7 @@ impl DeviceShard {
             pending: None,
             evict: EvictState::new(config.evict_policy),
             loads,
+            race,
             obj_memo: None,
         }
     }
@@ -371,6 +379,11 @@ impl DeviceShard {
             fast.retire();
         }
         self.invalidate_memo();
+        if let Some(race) = &self.race {
+            // First-fit reuses addresses: stale stamps on a freed range
+            // would flag an unrelated future object.
+            race.note_free(addr);
+        }
         self.protocol.on_free(&mut self.rt, &obj)?;
         self.rt.vm.unmap_region(obj.region())?;
         Ok((addr, obj.is_resident().then(|| obj.dev_addr())))
@@ -536,6 +549,16 @@ impl DeviceShard {
             for idx in 0..live.block_count() {
                 live.set_state(idx, BlockState::Dirty);
             }
+            if self.race.is_some() {
+                // The set_state loop re-published Dirty into the fast-view
+                // mirror, which would re-arm warm writes a race_downgrade
+                // had suspended — and eviction/re-fetch is runtime traffic,
+                // not an access, so it must not change what the detector
+                // observes. Re-suspend.
+                if let Some(fast) = live.fast_view() {
+                    fast.downgrade_dirty();
+                }
+            }
             live.mark_evicted();
         }
         self.rt.platform.dev_free(self.dev, obj.dev_addr())?;
@@ -602,7 +625,111 @@ impl DeviceShard {
             self.rt.platform.fs_mut().remove(&spill_name(start));
         }
         self.loads.add_resident(self.dev, size);
+        if self.race.is_some() {
+            // Re-fetch is runtime traffic, not an access: any block states
+            // the protocol re-published into the fast-view mirror must not
+            // re-arm warm writes the detector still wants to see.
+            self.race_downgrade(&[start]);
+        }
         Ok(())
+    }
+
+    // ----- race detection hooks ---------------------------------------------
+
+    /// Hook: a program CPU write of `[addr, addr + len)` landed through this
+    /// shard (scalar store, slice/bulk write, I/O interposition). No-op
+    /// unless [`crate::GmacConfig::race_check`] is on. Stamps the covered
+    /// blocks with the writing session's epoch, checks against the in-flight
+    /// call, and re-publishes Dirty into the fast-view mirror for the
+    /// checked blocks — restoring the zero-instrumentation warm path that
+    /// [`Self::race_downgrade`] suspended at the last epoch boundary.
+    ///
+    /// In error mode the violation is returned *after* the bytes landed and
+    /// the touch time was charged: detection is diagnostic, not
+    /// transactional — virtual time stays byte-identical to a run without
+    /// the error.
+    pub(crate) fn race_note_write(&mut self, addr: VAddr, len: u64) -> GmacResult<()> {
+        let Some(race) = self.race.clone() else {
+            return Ok(());
+        };
+        if len == 0 {
+            return Ok(());
+        }
+        let slot = self.race_locate(addr)?;
+        let obj = self.mgr.by_slot(slot).expect("located slot is live");
+        let start = obj.addr();
+        let offset = addr - start;
+        let violation = race.note_cpu_write(self.dev, start, obj.block_size(), offset, len);
+        if let Some(fast) = obj.fast_view() {
+            for idx in obj.blocks_overlapping(offset, len) {
+                if obj.state(idx) == BlockState::Dirty {
+                    fast.publish(idx, BlockState::Dirty);
+                }
+            }
+        }
+        match violation {
+            Some(v) => Err(v.into_error()),
+            None => Ok(()),
+        }
+    }
+
+    /// Hook: `launcher` is about to launch a call referencing `objects` on
+    /// this device. Runs **before** the launch charge and the protocol
+    /// release, so an error-mode detection charges nothing and flushes
+    /// nothing (mirroring the failed-call-charges-nothing invariant).
+    pub(crate) fn race_check_launch(
+        &mut self,
+        launcher: SessionId,
+        objects: &[VAddr],
+    ) -> GmacResult<()> {
+        let Some(race) = self.race.clone() else {
+            return Ok(());
+        };
+        let mut described = Vec::with_capacity(objects.len());
+        for &addr in objects {
+            let slot = self.race_locate(addr)?;
+            let obj = self.mgr.by_slot(slot).expect("located slot is live");
+            described.push((obj.addr(), obj.block_size()));
+        }
+        match race.check_launch(launcher, self.dev, &described) {
+            Some(v) => Err(v.into_error()),
+            None => Ok(()),
+        }
+    }
+
+    /// Hook: the launch succeeded (after [`Self::note_pending`]). Advances
+    /// the epochs and suspends the referenced objects' fast-path warm
+    /// writes so the first post-launch write per block goes through the
+    /// detector.
+    pub(crate) fn race_note_launched(&mut self, launcher: SessionId, objects: &[VAddr]) {
+        let Some(race) = self.race.clone() else {
+            return;
+        };
+        race.note_launched(launcher, self.dev, objects);
+        self.race_downgrade(objects);
+    }
+
+    /// Downgrades the fast-view mirrors of `objects` (mirror only — softmmu
+    /// protection is untouched, so the forced slow-path re-entry succeeds
+    /// without a fault and charges exactly the same touch time the fast
+    /// path would have deferred). The first write per block per epoch then
+    /// misses into [`Self::race_note_write`], which re-arms the warm path.
+    fn race_downgrade(&mut self, objects: &[VAddr]) {
+        for &addr in objects {
+            if let Ok(slot) = self.race_locate(addr) {
+                if let Some(fast) = self.mgr.by_slot(slot).and_then(|obj| obj.fast_view()) {
+                    fast.downgrade_dirty();
+                }
+            }
+        }
+    }
+
+    /// Counter-free object resolution for the detector hooks: bypasses the
+    /// object memo, the lookup counters and the eviction touch stamps, so a
+    /// race-checked run keeps its counters and its victim order
+    /// byte-identical to the same run with detection off.
+    fn race_locate(&mut self, addr: VAddr) -> GmacResult<usize> {
+        self.mgr.locate(addr).ok_or(GmacError::NotShared(addr))
     }
 
     // ----- kernel execution -------------------------------------------------
@@ -615,6 +742,13 @@ impl DeviceShard {
         self.rt.platform.sync_stream(self.dev, call.stream)?;
         self.protocol
             .acquire(&mut self.rt, &mut self.mgr, self.dev)?;
+        if let Some(race) = self.race.clone() {
+            // Sync is an acquire/release boundary: clear the in-flight call,
+            // advance the session's epoch, and force first-touch-per-block
+            // of the synced objects back through the detector.
+            race.note_sync(call.session, self.dev);
+            self.race_downgrade(&call.objects);
+        }
         Ok(())
     }
 
@@ -675,6 +809,7 @@ impl DeviceShard {
             match self.rt.vm.store(ptr.addr(), value) {
                 Ok(()) => {
                     self.rt.platform.cpu_touch(T::SIZE as u64);
+                    self.race_note_write(ptr.addr(), T::SIZE as u64)?;
                     return Ok(());
                 }
                 Err(e) => self.retry_fault(e, AccessKind::Write, &mut budget)?,
@@ -882,7 +1017,7 @@ impl DeviceShard {
             }
             idx = end;
         }
-        Ok(())
+        self.race_note_write(ptr.addr(), len)
     }
 
     // ----- introspection ----------------------------------------------------

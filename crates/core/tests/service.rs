@@ -360,3 +360,69 @@ fn service_modes_are_byte_identical_on_a_serialized_run() {
         assert_eq!(queued.jobs, other.jobs, "queued vs {name}: DMA job shape");
     }
 }
+
+// ---------------------------------------------------------------------------
+// 5. A panicking job cannot corrupt the fairness clock.
+
+/// A job that unwinds past its fast-path accesses leaves thread-local
+/// deferred CPU charges behind; the worker must settle them before it picks
+/// up the next job, or one tenant's time silently bills to another and the
+/// fairness accounting drifts. Proven by ablation: a run whose middle job
+/// panics after its writes lands on the **same virtual clock** as a run
+/// whose middle job does the same writes and returns cleanly.
+#[test]
+fn panicking_job_settles_deferred_charges_before_the_worker_resumes() {
+    let run = |panic_mid: bool| {
+        with_watchdog(Duration::from_secs(60), move || {
+            let g = nop_gmac(GmacConfig::default());
+            let svc = g.service();
+            let c = svc.client(Priority::Normal);
+            let mid = c
+                .submit(4096, move |s| {
+                    let b = s.alloc_typed::<u32>(1024)?;
+                    for i in 0..1024 {
+                        b.write(i, i as u32)?; // fast-path: charges deferred in TLS
+                    }
+                    if panic_mid {
+                        panic!("mid-job crash after fast-path writes");
+                    }
+                    b.free()?;
+                    Ok(0)
+                })
+                .unwrap();
+            let mid_result = mid.wait();
+            // The follow-up job's accounting must be identical either way.
+            let tail = c
+                .submit(4096, |s| {
+                    let b = s.alloc_typed::<u32>(256)?;
+                    b.write(0, 7)?;
+                    s.call(
+                        "nop",
+                        hetsim::LaunchDims::for_elements(1, 1),
+                        &[gmac::Param::Shared(b.ptr())],
+                    )?;
+                    s.sync()?;
+                    let v = b.read(0)?;
+                    b.free()?;
+                    Ok(u64::from(v))
+                })
+                .unwrap();
+            assert_eq!(tail.wait().unwrap(), 7);
+            let snap = svc.stats();
+            let class = snap.classes[Priority::Normal.index()];
+            (g.elapsed(), mid_result.is_ok(), class.failed)
+        })
+    };
+    let clean = run(false);
+    let panicked = run(true);
+    assert!(clean.1, "control run's middle job succeeds");
+    assert!(!panicked.1, "panicking job fails its ticket");
+    assert_eq!(clean.2, 0, "control run records no failure");
+    assert_eq!(panicked.2, 1, "panic is booked as a class failure");
+    assert_eq!(
+        clean.0, panicked.0,
+        "the panicking run and the clean run must settle on the same \
+         virtual clock — deferred fast-path charges from the unwound job \
+         were either lost or double-billed"
+    );
+}

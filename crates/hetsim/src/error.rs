@@ -35,6 +35,18 @@ pub enum SimError {
     FileNotFound(String),
     /// Kernel argument list did not match the kernel's expectation.
     BadKernelArgs(String),
+    /// An armed [`crate::FaultPlan`] failpoint fired (fault-injection
+    /// testing): the named operation failed deterministically before any
+    /// state change or time charge.
+    FaultInjected {
+        /// Which operation the failpoint intercepted.
+        op: crate::faults::FaultOp,
+        /// Device the operation targeted.
+        device: usize,
+        /// The plan-wide ordinal of the intercepted operation (0-based
+        /// count of `op`-kind calls since the plan was armed).
+        nth: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -58,6 +70,9 @@ impl fmt::Display for SimError {
             SimError::UnknownKernel(name) => write!(f, "unknown kernel: {name}"),
             SimError::FileNotFound(name) => write!(f, "simulated file not found: {name}"),
             SimError::BadKernelArgs(msg) => write!(f, "bad kernel arguments: {msg}"),
+            SimError::FaultInjected { op, device, nth } => {
+                write!(f, "injected fault: {op} #{nth} on device {device}")
+            }
         }
     }
 }
@@ -85,6 +100,15 @@ mod tests {
         assert_eq!(
             SimError::InvalidDeviceAddress(0xdead).to_string(),
             "invalid device address 0xdead"
+        );
+        assert_eq!(
+            SimError::FaultInjected {
+                op: crate::faults::FaultOp::CommitH2d,
+                device: 1,
+                nth: 3,
+            }
+            .to_string(),
+            "injected fault: commit-h2d #3 on device 1"
         );
     }
 

@@ -38,6 +38,7 @@ pub mod devmem;
 pub mod disk;
 pub mod engine;
 pub mod error;
+pub mod faults;
 pub mod kernel;
 pub mod platform;
 pub mod stats;
@@ -49,6 +50,7 @@ pub use devmem::{DevAddr, DeviceMemory};
 pub use disk::{Disk, SimFs};
 pub use engine::Engine;
 pub use error::{SimError, SimResult};
+pub use faults::{FaultOp, FaultPlan};
 pub use kernel::{Args, Kernel, KernelArg, KernelProfile, LaunchDims};
 pub use platform::{
     CopyMode, CpuSpec, DeviceRef, FsRef, Platform, PlatformBuilder, TransfersRef,

@@ -177,6 +177,9 @@ pub struct Platform {
     ledger: crate::stats::AtomicTimeLedger,
     transfers: Mutex<TransferLedger>,
     kernels: RwLock<HashMap<String, Arc<dyn Kernel>>>,
+    /// Armed fault-injection plan (`None` in production — one relaxed-path
+    /// mutex probe per interceptable op). See [`crate::faults`].
+    faults: Mutex<Option<crate::faults::FaultPlan>>,
 }
 
 impl std::fmt::Debug for Platform {
@@ -441,13 +444,47 @@ impl Platform {
         Ok(())
     }
 
+    // ----- fault injection ---------------------------------------------------
+
+    /// Arms `plan`'s failpoints: subsequent [`Self::dev_alloc`],
+    /// [`Self::reserve_h2d`] and [`Self::commit_h2d`] calls consult it,
+    /// with per-op call counters starting at zero. Replaces any previously
+    /// armed plan. See [`crate::faults`] for the determinism contract.
+    pub fn arm_faults(&self, plan: crate::faults::FaultPlan) {
+        *lock_ok(&self.faults) = Some(plan);
+    }
+
+    /// Disarms fault injection. Subsequent operations run normally.
+    pub fn disarm_faults(&self) {
+        *lock_ok(&self.faults) = None;
+    }
+
+    /// Failpoint probe, consulted at the top of each interceptable
+    /// operation — before any time charge or state change, so an injected
+    /// failure is a clean early error.
+    fn check_fault(&self, op: crate::faults::FaultOp, dev: DeviceId) -> SimResult<()> {
+        if let Some(plan) = lock_ok(&self.faults).as_mut() {
+            if let Some(nth) = plan.should_fail(op) {
+                return Err(SimError::FaultInjected {
+                    op,
+                    device: dev.0,
+                    nth,
+                });
+            }
+        }
+        Ok(())
+    }
+
     // ----- device memory ----------------------------------------------------
 
     /// Allocates device memory, charging the accelerator-API cost.
     ///
     /// # Errors
-    /// Fails for unknown devices or when device memory is exhausted.
+    /// Fails for unknown devices or when device memory is exhausted; an
+    /// armed [`crate::FaultPlan`] may inject
+    /// [`SimError::FaultInjected`] before any charge.
     pub fn dev_alloc(&self, dev: DeviceId, size: u64) -> SimResult<DevAddr> {
+        self.check_fault(crate::faults::FaultOp::DevAlloc, dev)?;
         let mut device = self.lock_device(dev)?;
         let cost = device.spec().malloc_cost;
         self.spend(Category::CudaMalloc, cost);
@@ -515,6 +552,7 @@ impl Platform {
         len: u64,
         mode: CopyMode,
     ) -> SimResult<TimePoint> {
+        self.check_fault(crate::faults::FaultOp::ReserveH2d, dev)?;
         let now = self.now();
         let r: Reservation = {
             let mut device = self.lock_device(dev)?;
@@ -538,6 +576,7 @@ impl Platform {
     /// # Errors
     /// Fails for unknown devices or out-of-bounds destination ranges.
     pub fn commit_h2d(&self, dev: DeviceId, dst: DevAddr, src: &[u8]) -> SimResult<()> {
+        self.check_fault(crate::faults::FaultOp::CommitH2d, dev)?;
         self.lock_device(dev)?.mem_mut().write(dst, src)
     }
 
@@ -748,6 +787,7 @@ impl PlatformBuilder {
             ledger: crate::stats::AtomicTimeLedger::default(),
             transfers: Mutex::new(TransferLedger::new()),
             kernels: RwLock::new(HashMap::new()),
+            faults: Mutex::new(None),
         }
     }
 }
